@@ -1,0 +1,87 @@
+//! Log-reclamation benchmark: scan + compaction throughput, and the
+//! ablation the DESIGN calls out — background (dedicated core) vs inline
+//! (foreground) reclamation cost as seen by the application, in simulated
+//! time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specpmt_core::{ReclaimMode, SpecConfig, SpecSpmt};
+use specpmt_pmem::{PmemConfig, PmemDevice, PmemPool};
+use specpmt_txn::TxRuntime;
+
+fn pool() -> PmemPool {
+    PmemPool::create(PmemDevice::new(PmemConfig::new(32 << 20)))
+}
+
+/// Host-time cost of one full reclamation cycle over a grown log.
+fn bench_reclaim_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reclaim_cycle");
+    group.sample_size(20);
+    group.bench_function("scan_and_compact_2k_txs", |b| {
+        b.iter_batched(
+            || {
+                let mut rt = SpecSpmt::new(
+                    pool(),
+                    SpecConfig {
+                        reclaim_mode: ReclaimMode::Inline,
+                        // Never triggers implicitly; reclaimed explicitly below.
+                        reclaim_threshold_bytes: usize::MAX,
+                        ..SpecConfig::default()
+                    },
+                );
+                let base = rt.pool_mut().alloc_direct(8 * 1024, 64).unwrap();
+                for i in 0..2000u64 {
+                    rt.begin();
+                    rt.write_u64(base + ((i as usize * 13) % 1000) * 8, i);
+                    rt.commit();
+                }
+                rt
+            },
+            |mut rt| {
+                rt.reclaim_now();
+                rt
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+/// Simulated-time ablation: how much foreground time inline reclamation
+/// costs the application compared to the background (dedicated-core) mode.
+fn bench_reclaim_ablation(c: &mut Criterion) {
+    fn simulated_ns(mode: ReclaimMode) -> u64 {
+        let mut rt = SpecSpmt::new(
+            pool(),
+            SpecConfig {
+                reclaim_mode: mode,
+                reclaim_threshold_bytes: 64 * 1024,
+                ..SpecConfig::default()
+            },
+        );
+        let base = rt.pool_mut().alloc_direct(8 * 1024, 64).unwrap();
+        let t0 = rt.pool().device().now_ns();
+        for i in 0..20_000u64 {
+            rt.begin();
+            rt.write_u64(base + ((i as usize * 13) % 1000) * 8, i);
+            rt.commit();
+        }
+        rt.pool().device().now_ns() - t0 - rt.tx_stats().background_ns
+    }
+    // Report via a bench so the numbers land in the criterion output.
+    let inline_ns = simulated_ns(ReclaimMode::Inline);
+    let background_ns = simulated_ns(ReclaimMode::Background);
+    println!(
+        "\nablation (simulated foreground ns for 20k txs): inline {inline_ns} vs background {background_ns} ({:.2}x)\n",
+        inline_ns as f64 / background_ns as f64
+    );
+    let mut group = c.benchmark_group("reclaim_ablation_host_time");
+    group.sample_size(10);
+    group.bench_function("inline_20k_txs", |b| b.iter(|| simulated_ns(ReclaimMode::Inline)));
+    group.bench_function("background_20k_txs", |b| {
+        b.iter(|| simulated_ns(ReclaimMode::Background))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reclaim_cycle, bench_reclaim_ablation);
+criterion_main!(benches);

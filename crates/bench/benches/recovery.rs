@@ -1,0 +1,47 @@
+//! Recovery-time benchmark: post-crash replay cost as the log grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specpmt_core::{ReclaimMode, SpecConfig, SpecSpmt};
+use specpmt_pmem::{CrashImage, CrashPolicy, PmemConfig, PmemDevice, PmemPool};
+use specpmt_txn::{Recover, TxRuntime};
+
+/// Builds a crash image whose log holds `txs` committed transactions.
+fn image_with_log(txs: u64) -> CrashImage {
+    let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(32 << 20)));
+    let mut rt = SpecSpmt::new(
+        pool,
+        SpecConfig { reclaim_mode: ReclaimMode::Disabled, ..SpecConfig::default() },
+    );
+    let base = rt.pool_mut().alloc_direct(64 * 1024, 64).unwrap();
+    for i in 0..txs {
+        rt.begin();
+        for w in 0..4usize {
+            rt.write_u64(base + ((i as usize * 97 + w * 31) % 8000) * 8, i);
+        }
+        rt.commit();
+    }
+    rt.pool().device().crash_with(CrashPolicy::AllLost)
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_replay");
+    group.sample_size(20);
+    for txs in [100u64, 1000, 5000] {
+        let img = image_with_log(txs);
+        group.bench_with_input(BenchmarkId::from_parameter(txs), &img, |b, img| {
+            // Clone in setup so the measurement covers replay only.
+            b.iter_batched(
+                || img.clone(),
+                |mut img| {
+                    SpecSpmt::recover(&mut img);
+                    img
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

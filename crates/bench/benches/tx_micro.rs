@@ -1,0 +1,97 @@
+//! Microbenchmarks of the transactional fast paths: per-write logging cost
+//! and commit latency for each software runtime.
+//!
+//! These measure *host* wall-clock of the simulation (how fast the library
+//! itself runs), complementing the simulated-time figure harnesses.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use specpmt_baselines::{PmdkConfig, PmdkUndo, Spht, SphtConfig};
+use specpmt_core::{HashLogConfig, HashLogSpmt, SpecConfig, SpecSpmt};
+use specpmt_pmem::{PmemConfig, PmemDevice, PmemPool};
+use specpmt_txn::TxRuntime;
+
+fn pool() -> PmemPool {
+    PmemPool::create(PmemDevice::new(PmemConfig::new(8 << 20)))
+}
+
+/// One representative transaction: 8 scattered 8-byte updates.
+fn run_tx<R: TxRuntime>(rt: &mut R, base: usize, round: u64) {
+    rt.begin();
+    for i in 0..8usize {
+        rt.write_u64(base + ((round as usize * 131 + i * 257) % 4000) * 8, round + i as u64);
+    }
+    rt.commit();
+    rt.maintain();
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_8x8B");
+    group.bench_function("SpecSPMT", |b| {
+        let mut rt = SpecSpmt::new(pool(), SpecConfig::default());
+        let base = rt.pool_mut().alloc_direct(32 * 1024, 64).unwrap();
+        let mut round = 0;
+        b.iter(|| {
+            run_tx(&mut rt, base, round);
+            round += 1;
+        });
+    });
+    group.bench_function("SpecSPMT-DP", |b| {
+        let mut rt = SpecSpmt::new(pool(), SpecConfig::default().dp());
+        let base = rt.pool_mut().alloc_direct(32 * 1024, 64).unwrap();
+        let mut round = 0;
+        b.iter(|| {
+            run_tx(&mut rt, base, round);
+            round += 1;
+        });
+    });
+    group.bench_function("PMDK", |b| {
+        let mut rt = PmdkUndo::new(pool(), PmdkConfig::default());
+        let base = rt.pool_mut().alloc_direct(32 * 1024, 64).unwrap();
+        let mut round = 0;
+        b.iter(|| {
+            run_tx(&mut rt, base, round);
+            round += 1;
+        });
+    });
+    group.bench_function("SPHT", |b| {
+        let mut rt = Spht::new(pool(), SphtConfig::default());
+        let base = rt.pool_mut().alloc_direct(32 * 1024, 64).unwrap();
+        let mut round = 0;
+        b.iter(|| {
+            run_tx(&mut rt, base, round);
+            round += 1;
+        });
+    });
+    group.bench_function("HashLog", |b| {
+        let mut rt = HashLogSpmt::new(pool(), HashLogConfig { capacity: 1 << 12 });
+        let base = rt.pool_mut().alloc_direct(32 * 1024, 64).unwrap();
+        let mut round = 0;
+        b.iter(|| {
+            run_tx(&mut rt, base, round);
+            round += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_splog_write(c: &mut Criterion) {
+    // Isolate the per-write path: one open transaction, many writes.
+    c.bench_function("splog_single_write", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut rt = SpecSpmt::new(pool(), SpecConfig::default());
+                let base = rt.pool_mut().alloc_direct(64 * 1024, 64).unwrap();
+                rt.begin();
+                (rt, base, 0u64)
+            },
+            |(rt, base, i)| {
+                *i += 1;
+                rt.write_u64(*base + ((*i as usize * 73) % 8000) * 8, *i);
+            },
+            BatchSize::NumIterations(4096),
+        );
+    });
+}
+
+criterion_group!(benches, bench_commit, bench_splog_write);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates Figure 1: execution-time overheads of state-of-the-art
+//! schemes relative to versions without persistent memory transactions.
+//!
+//! Paper reference (geomean overhead): software — PMDK 460%, Kamino-Tx
+//! 232%, SPHT 161%; hardware — EDE 50%, HOOP 29%.
+
+use specpmt_bench::{print_table, run_sw_suite, with_geomean, SwRuntime};
+use specpmt_stamp::{Scale, StampApp};
+
+fn main() {
+    let runtimes =
+        [SwRuntime::NoTx, SwRuntime::Pmdk, SwRuntime::Kamino, SwRuntime::Spht, SwRuntime::Spec];
+    let reports = run_sw_suite(&runtimes, Scale::Small);
+    let rows: Vec<(String, Vec<f64>)> = StampApp::all()
+        .iter()
+        .zip(&reports)
+        .map(|(app, row)| {
+            let notx = &row[0];
+            (
+                app.name().to_string(),
+                row[1..].iter().map(|r| r.overhead_over(notx) * 100.0).collect(),
+            )
+        })
+        .collect();
+    // Overheads are ratios (1 + x); geomean over (1 + overhead) then back.
+    let mut ratio_rows: Vec<(String, Vec<f64>)> = rows
+        .iter()
+        .map(|(n, v)| (n.clone(), v.iter().map(|p| 1.0 + p / 100.0).collect()))
+        .collect();
+    ratio_rows = with_geomean(ratio_rows);
+    let rows: Vec<(String, Vec<f64>)> = ratio_rows
+        .into_iter()
+        .map(|(n, v)| (n, v.into_iter().map(|r| (r - 1.0) * 100.0).collect()))
+        .collect();
+    print_table(
+        "Figure 1 (software): execution-time overhead vs no persistent transactions",
+        &["PMDK", "Kamino-Tx", "SPHT", "SpecSPMT"],
+        &rows,
+        "%",
+    );
+    println!("\npaper geomeans: PMDK 460%, Kamino-Tx 232%, SPHT 161%; SpecSPMT (paper abstract) ~10%");
+    println!("(hardware overheads: run fig13_hardware_speedup, which prints EDE/HOOP vs no-log)");
+}

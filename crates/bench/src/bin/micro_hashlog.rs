@@ -1,0 +1,27 @@
+//! Regenerates the Section 4 micro-experiment: the hash-table log design
+//! (one slot per datum, random PM locality) vs the sequential log.
+//!
+//! Paper reference: the hash-table approach incurs a 3.2x slowdown over
+//! the sequential log design.
+
+use specpmt_bench::{print_table, run_sw_suite, with_geomean, SwRuntime};
+use specpmt_stamp::{Scale, StampApp};
+
+fn main() {
+    let reports = run_sw_suite(&[SwRuntime::Spec, SwRuntime::HashLog], Scale::Small);
+    let rows: Vec<(String, Vec<f64>)> = StampApp::all()
+        .iter()
+        .zip(&reports)
+        .map(|(app, row)| {
+            (app.name().to_string(), vec![row[1].sim_ns as f64 / row[0].sim_ns as f64])
+        })
+        .collect();
+    let rows = with_geomean(rows);
+    print_table(
+        "Section 4 micro: hash-table log slowdown over sequential log",
+        &["HashLog/SeqLog"],
+        &rows,
+        "x",
+    );
+    println!("\npaper: 3.2x slowdown");
+}

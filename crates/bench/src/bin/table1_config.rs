@@ -1,0 +1,43 @@
+//! Prints Table 1: the simulated system configuration in effect.
+
+use specpmt_hwsim::HwConfig;
+
+fn main() {
+    let hw = HwConfig::default();
+    let pm = specpmt_hwtx::hw_pmem_config(1 << 20);
+    println!("## Table 1: system configuration (this reproduction)");
+    println!("CPU            | event-level core model @4GHz (ps-resolution latencies)");
+    println!(
+        "L1 TLB         | private, {} entries, {}-way",
+        hw.tlb_l1_entries, hw.tlb_l1_ways
+    );
+    println!(
+        "L2 TLB         | private, {} entries, {}-way",
+        hw.tlb_l2_entries, hw.tlb_l2_ways
+    );
+    println!(
+        "Data cache     | private, {} KB, {}-way, {} ps",
+        hw.l1_bytes() / 1024,
+        hw.l1_ways,
+        hw.l1_hit_ps
+    );
+    println!(
+        "L2 cache       | shared, {:.1} MB, {}-way, {} ps",
+        hw.l2_bytes() as f64 / (1024.0 * 1024.0),
+        hw.l2_ways,
+        hw.l2_hit_ps
+    );
+    println!(
+        "PM             | {} B WPQ ({} lines), {} ns read, {} ns/line random media occupancy,",
+        pm.wpq_entries * 64,
+        pm.wpq_entries,
+        pm.line_read_ns,
+        pm.line_write_ns
+    );
+    println!(
+        "               | {} ns/line sequential (XPLine write combining), {} ns WPQ accept",
+        pm.line_write_seq_ns, pm.wpq_accept_ns
+    );
+    println!("\npaper Table 1: OoO x86 @4GHz, MESI; L1 TLB 64e/8w; L2 TLB 1536e/12w;");
+    println!("L1D 32KB/8w/2cyc; L2 2MB/12w/20cyc; DDR4-2400; PM 512B WPQ, 150ns read, 500ns write");
+}

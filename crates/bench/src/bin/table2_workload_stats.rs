@@ -1,0 +1,32 @@
+//! Regenerates Table 2: average transaction write-set size (bytes), number
+//! of transactions, and number of updates per application.
+//!
+//! Transaction counts are ~1000x smaller than the paper's inputs by
+//! design; the size and updates-per-transaction columns are the profile
+//! being reproduced.
+
+use specpmt_bench::{run_sw, SwRuntime};
+use specpmt_stamp::{Scale, StampApp};
+
+fn main() {
+    println!("## Table 2: size and number of transactions (this reproduction)");
+    println!(
+        "{:<14} {:>12} {:>10} {:>12} {:>10}",
+        "app", "avg size (B)", "num tx", "num updates", "upd/tx"
+    );
+    for app in StampApp::all() {
+        let run = run_sw(SwRuntime::NoTx, app, Scale::Small);
+        let t = &run.report.tx;
+        println!(
+            "{:<14} {:>12.1} {:>10} {:>12} {:>10.1}",
+            app.name(),
+            t.avg_tx_bytes(),
+            t.tx_committed,
+            t.updates,
+            t.updates as f64 / t.tx_committed.max(1) as f64,
+        );
+    }
+    println!("\npaper (avg size B / #tx / #updates): genome 7.2/2.5M/7.2M, intruder 20.5/23M/107M,");
+    println!("kmeans-low 101/9.9M/267M, kmeans-high 101/4.1M/111M, labyrinth 1420/1K/184K,");
+    println!("ssca2 16/22M/89M, vacation-low 44.2/4.2M/31.6M, vacation-high 67.8/4.2M/44M, yada 175.6/2.4M/58M");
+}

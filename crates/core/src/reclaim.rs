@@ -1,0 +1,141 @@
+//! Log reclamation support: the byte-granular freshness index.
+//!
+//! The paper's background reclamator uses a volatile hash table, keyed by
+//! datum address, to decide whether a log record is *stale* (every byte it
+//! covers is also covered by a younger committed record) and can be
+//! dropped. The table is volatile on purpose: it is rebuilt from the log if
+//! a crash interrupts reclamation, so it needs no crash consistency of its
+//! own.
+//!
+//! Freshness must consider **committed records of all threads** — an entry
+//! may only be dropped when a younger committed record covers its bytes,
+//! never because of an in-flight transaction (the same requirement that
+//! motivates Fig. 11's epoch-overlap rule in the hardware design).
+
+use std::collections::HashMap;
+
+use crate::record::{LogEntry, LogRecord};
+
+/// Volatile index mapping each logged byte address to the youngest commit
+/// timestamp that wrote it.
+#[derive(Debug, Clone, Default)]
+pub struct FreshnessIndex {
+    newest: HashMap<usize, u64>,
+}
+
+impl FreshnessIndex {
+    /// Builds the index from committed records (any order, any thread).
+    pub fn build<'a>(records: impl IntoIterator<Item = &'a LogRecord>) -> Self {
+        let mut newest: HashMap<usize, u64> = HashMap::new();
+        for rec in records {
+            for e in &rec.entries {
+                for i in 0..e.value.len() {
+                    let slot = newest.entry(e.addr + i).or_insert(0);
+                    if rec.ts > *slot {
+                        *slot = rec.ts;
+                    }
+                }
+            }
+        }
+        Self { newest }
+    }
+
+    /// Youngest commit timestamp covering `addr`, if any.
+    pub fn newest_ts(&self, addr: usize) -> Option<u64> {
+        self.newest.get(&addr).copied()
+    }
+
+    /// Whether `entry` at commit time `ts` is fresh: at least one of its
+    /// bytes has no younger committed record.
+    pub fn is_fresh(&self, ts: u64, entry: &LogEntry) -> bool {
+        (0..entry.value.len())
+            .any(|i| self.newest.get(&(entry.addr + i)).is_none_or(|&n| n <= ts))
+    }
+
+    /// Filters a record down to its fresh entries, preserving order.
+    /// Returns `None` when nothing survives (the whole record is stale).
+    /// The second component counts dropped entries.
+    pub fn compact_record(&self, rec: &LogRecord) -> (Option<LogRecord>, u64) {
+        let kept: Vec<LogEntry> =
+            rec.entries.iter().filter(|e| self.is_fresh(rec.ts, e)).cloned().collect();
+        let dropped = (rec.entries.len() - kept.len()) as u64;
+        if kept.is_empty() {
+            (None, dropped)
+        } else {
+            (Some(LogRecord { ts: rec.ts, entries: kept }), dropped)
+        }
+    }
+
+    /// Number of distinct bytes tracked.
+    pub fn tracked_bytes(&self) -> usize {
+        self.newest.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts: u64, addr: usize, value: &[u8]) -> LogRecord {
+        LogRecord { ts, entries: vec![LogEntry { addr, value: value.to_vec() }] }
+    }
+
+    #[test]
+    fn younger_record_stales_older() {
+        let r1 = rec(1, 0, &[1, 1]);
+        let r2 = rec(2, 0, &[2, 2]);
+        let idx = FreshnessIndex::build([&r1, &r2]);
+        let (kept, dropped) = idx.compact_record(&r1);
+        assert!(kept.is_none());
+        assert_eq!(dropped, 1);
+        let (kept, dropped) = idx.compact_record(&r2);
+        assert_eq!(kept.unwrap(), r2);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn partial_overlap_keeps_older_entry() {
+        // r1 covers [0, 4); r2 only covers [0, 2): r1 still owns bytes 2-3.
+        let r1 = rec(1, 0, &[1; 4]);
+        let r2 = rec(2, 0, &[2; 2]);
+        let idx = FreshnessIndex::build([&r1, &r2]);
+        let (kept, _) = idx.compact_record(&r1);
+        assert_eq!(kept.unwrap(), r1);
+    }
+
+    #[test]
+    fn cross_thread_coverage_counts() {
+        // Records from different threads are just records with a global ts.
+        let mine = rec(3, 64, &[1; 8]);
+        let other = rec(9, 64, &[2; 8]);
+        let idx = FreshnessIndex::build([&mine, &other]);
+        assert!(idx.compact_record(&mine).0.is_none());
+    }
+
+    #[test]
+    fn multi_entry_record_partially_compacts() {
+        let r1 = LogRecord {
+            ts: 1,
+            entries: vec![
+                LogEntry { addr: 0, value: vec![1] },
+                LogEntry { addr: 8, value: vec![1] },
+            ],
+        };
+        let r2 = rec(2, 0, &[2]);
+        let idx = FreshnessIndex::build([&r1, &r2]);
+        let (kept, dropped) = idx.compact_record(&r1);
+        let kept = kept.unwrap();
+        assert_eq!(kept.entries.len(), 1);
+        assert_eq!(kept.entries[0].addr, 8);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn newest_ts_lookup() {
+        let r = rec(7, 100, &[1]);
+        let idx = FreshnessIndex::build([&r]);
+        assert_eq!(idx.newest_ts(100), Some(7));
+        assert_eq!(idx.newest_ts(101), None);
+        assert_eq!(idx.tracked_bytes(), 1);
+    }
+}

@@ -1,0 +1,564 @@
+//! On-PM log organization: chained log blocks, record encoding, parsing.
+//!
+//! Per the paper's Section 4.1, each thread's log area is a chronological
+//! sequence of *records* stored in chained fixed-size *log blocks*:
+//!
+//! ```text
+//! block:  [fwd ptr: u64][bwd ptr: u64][record bytes …]
+//! record: [len: u32][ts: u64][checksum: u64][entries …]       (len = entry bytes)
+//! entry:  [addr: u64][len: u32][value bytes]
+//! ```
+//!
+//! Records flow byte-contiguously across blocks (a record larger than the
+//! space left in a block simply continues in the next one). A record with
+//! `len == 0`, an unreadable record, or a checksum mismatch terminates the
+//! chain: the checksum doubles as the commit flag, so a transaction whose
+//! commit was interrupted leaves a torn record that parsing rejects.
+
+use specpmt_pmem::{CrashImage, PmemDevice, PmemPool};
+
+use crate::checksum::fnv1a64;
+
+/// Bytes reserved at the start of each log block (forward + backward
+/// pointers).
+pub const BLOCK_HDR: usize = 16;
+
+/// Record header size: `len (u32) | ts (u64) | checksum (u64)`.
+pub const REC_HDR: usize = 20;
+
+/// Entry header size: `addr (u64) | len (u32)`.
+pub const ENTRY_HDR: usize = 12;
+
+/// Upper bound on a single record's payload; larger lengths are treated as
+/// corruption during parsing.
+pub const MAX_RECORD_PAYLOAD: usize = 1 << 24;
+
+/// Something log bytes can be read from: a live device or a crash image.
+pub trait ByteSource {
+    /// Reads `buf.len()` bytes at `addr`; returns `false` (leaving `buf`
+    /// unspecified) if out of bounds.
+    fn read_at(&self, addr: usize, buf: &mut [u8]) -> bool;
+    /// Source size in bytes.
+    fn source_len(&self) -> usize;
+}
+
+impl ByteSource for CrashImage {
+    fn read_at(&self, addr: usize, buf: &mut [u8]) -> bool {
+        let bytes = self.as_bytes();
+        if addr + buf.len() > bytes.len() {
+            return false;
+        }
+        buf.copy_from_slice(&bytes[addr..addr + buf.len()]);
+        true
+    }
+
+    fn source_len(&self) -> usize {
+        self.len()
+    }
+}
+
+impl ByteSource for PmemDevice {
+    fn read_at(&self, addr: usize, buf: &mut [u8]) -> bool {
+        if addr + buf.len() > self.size() {
+            return false;
+        }
+        buf.copy_from_slice(self.peek(addr, buf.len()));
+        true
+    }
+
+    fn source_len(&self) -> usize {
+        self.size()
+    }
+}
+
+/// A position in a log-block chain: block base offset + offset within the
+/// block (always ≥ [`BLOCK_HDR`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    /// Pool offset of the block.
+    pub block: usize,
+    /// Byte position within the block.
+    pub pos: usize,
+}
+
+/// One durable update captured in a log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Pool offset the value belongs at.
+    pub addr: usize,
+    /// The (new, speculative) value.
+    pub value: Vec<u8>,
+}
+
+/// A parsed, checksum-valid (i.e. committed) log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Commit timestamp (global order across threads).
+    pub ts: u64,
+    /// Entries in append order (later entries supersede earlier ones).
+    pub entries: Vec<LogEntry>,
+}
+
+impl LogRecord {
+    /// Total payload bytes this record's entries encode to.
+    pub fn payload_len(&self) -> usize {
+        self.entries.iter().map(|e| ENTRY_HDR + e.value.len()).sum()
+    }
+}
+
+/// Computes the record checksum over `len || ts || payload`.
+pub fn record_checksum(ts: u64, payload: &[u8]) -> u64 {
+    let mut bytes = Vec::with_capacity(12 + payload.len());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&ts.to_le_bytes());
+    bytes.extend_from_slice(payload);
+    fnv1a64(&bytes)
+}
+
+/// Encodes a record header for the given payload.
+pub fn encode_header(ts: u64, payload: &[u8]) -> [u8; REC_HDR] {
+    let mut h = [0u8; REC_HDR];
+    h[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    h[4..12].copy_from_slice(&ts.to_le_bytes());
+    h[12..20].copy_from_slice(&record_checksum(ts, payload).to_le_bytes());
+    h
+}
+
+/// Appends one entry to a payload buffer.
+pub fn push_entry(payload: &mut Vec<u8>, addr: usize, value: &[u8]) {
+    payload.extend_from_slice(&(addr as u64).to_le_bytes());
+    payload.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    payload.extend_from_slice(value);
+}
+
+/// Encodes a full record (header + payload) — used by compaction.
+pub fn encode_record(rec: &LogRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(rec.payload_len());
+    for e in &rec.entries {
+        push_entry(&mut payload, e.addr, &e.value);
+    }
+    let mut out = Vec::with_capacity(REC_HDR + payload.len());
+    out.extend_from_slice(&encode_header(rec.ts, &payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn parse_entries(payload: &[u8]) -> Vec<LogEntry> {
+    let mut entries = Vec::new();
+    let mut off = 0;
+    while off + ENTRY_HDR <= payload.len() {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&payload[off..off + 8]);
+        let addr = u64::from_le_bytes(a) as usize;
+        let mut l = [0u8; 4];
+        l.copy_from_slice(&payload[off + 8..off + 12]);
+        let len = u32::from_le_bytes(l) as usize;
+        if off + ENTRY_HDR + len > payload.len() {
+            break;
+        }
+        entries.push(LogEntry {
+            addr,
+            value: payload[off + ENTRY_HDR..off + ENTRY_HDR + len].to_vec(),
+        });
+        off += ENTRY_HDR + len;
+    }
+    entries
+}
+
+/// Streaming reader over a block chain.
+struct StreamReader<'a, S: ByteSource> {
+    src: &'a S,
+    cur: Cursor,
+    block_bytes: usize,
+    /// Cycle guard: maximum block hops remaining.
+    hops_left: usize,
+}
+
+impl<'a, S: ByteSource> StreamReader<'a, S> {
+    fn new(src: &'a S, head: usize, block_bytes: usize) -> Self {
+        let max_blocks = src.source_len() / block_bytes + 2;
+        Self { src, cur: Cursor { block: head, pos: BLOCK_HDR }, block_bytes, hops_left: max_blocks }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> bool {
+        let mut off = 0;
+        while off < buf.len() {
+            if self.cur.pos >= self.block_bytes {
+                // Follow the forward pointer.
+                let mut p = [0u8; 8];
+                if !self.src.read_at(self.cur.block, &mut p) {
+                    return false;
+                }
+                let next = u64::from_le_bytes(p) as usize;
+                if next == 0 || next + self.block_bytes > self.src.source_len() {
+                    return false;
+                }
+                if self.hops_left == 0 {
+                    return false;
+                }
+                self.hops_left -= 1;
+                self.cur = Cursor { block: next, pos: BLOCK_HDR };
+            }
+            let n = (self.block_bytes - self.cur.pos).min(buf.len() - off);
+            if !self.src.read_at(self.cur.block + self.cur.pos, &mut buf[off..off + n]) {
+                return false;
+            }
+            self.cur.pos += n;
+            off += n;
+        }
+        true
+    }
+}
+
+/// Parses all committed records of the chain starting at `head`.
+///
+/// Parsing stops at the first `len == 0` header (open/terminated log), an
+/// unreadable position, or a checksum mismatch (torn commit) — per the
+/// paper, no fresh records can follow a corrupt one.
+pub fn parse_chain<S: ByteSource>(src: &S, head: usize, block_bytes: usize) -> Vec<LogRecord> {
+    let mut out = Vec::new();
+    if head == 0 || head + block_bytes > src.source_len() || block_bytes <= BLOCK_HDR {
+        return out;
+    }
+    let mut reader = StreamReader::new(src, head, block_bytes);
+    loop {
+        let mut hdr = [0u8; REC_HDR];
+        if !reader.read(&mut hdr) {
+            break;
+        }
+        let len = u32::from_le_bytes(hdr[0..4].try_into().expect("4 bytes")) as usize;
+        if len == 0 || len > MAX_RECORD_PAYLOAD {
+            break;
+        }
+        let ts = u64::from_le_bytes(hdr[4..12].try_into().expect("8 bytes"));
+        let cksum = u64::from_le_bytes(hdr[12..20].try_into().expect("8 bytes"));
+        let mut payload = vec![0u8; len];
+        if !reader.read(&mut payload) {
+            break;
+        }
+        if record_checksum(ts, &payload) != cksum {
+            break;
+        }
+        out.push(LogRecord { ts, entries: parse_entries(&payload) });
+    }
+    out
+}
+
+/// Writer over a (growable) block chain on a live pool.
+///
+/// Appends records byte-contiguously, allocating and linking new blocks on
+/// demand; records the dirty ranges the caller must flush at commit.
+#[derive(Debug)]
+pub struct LogArea {
+    head: usize,
+    tail: Cursor,
+    block_bytes: usize,
+    blocks: Vec<usize>,
+}
+
+/// Allocates one log block, reusing `free` or batch-allocating from the
+/// pool (the batch amortizes the bump-pointer persist over many blocks).
+///
+/// # Panics
+///
+/// Panics if the pool heap is exhausted.
+pub fn take_block(pool: &mut PmemPool, free: &mut Vec<usize>, block_bytes: usize) -> usize {
+    if let Some(b) = free.pop() {
+        return b;
+    }
+    const BATCH: usize = 16;
+    let base = pool
+        .alloc_direct(block_bytes * BATCH, 64)
+        .expect("pool exhausted while allocating log blocks");
+    for i in (1..BATCH).rev() {
+        free.push(base + i * block_bytes);
+    }
+    base
+}
+
+impl LogArea {
+    /// Creates a chain with one block taken from `free`/the pool. The block
+    /// header and the stream terminator are initialized (volatile; the
+    /// first commit persists them).
+    pub fn create(
+        pool: &mut PmemPool,
+        free: &mut Vec<usize>,
+        block_bytes: usize,
+        dirty: &mut Vec<(usize, usize)>,
+    ) -> Self {
+        assert!(block_bytes > BLOCK_HDR + REC_HDR, "block size too small");
+        let b = take_block(pool, free, block_bytes);
+        let dev = pool.device_mut();
+        dev.write_u64(b, 0);
+        dev.write_u64(b + 8, 0);
+        // Zero terminator so parsing stops immediately.
+        dev.write(b + BLOCK_HDR, &[0u8; 4]);
+        dirty.push((b, BLOCK_HDR + 4));
+        Self { head: b, tail: Cursor { block: b, pos: BLOCK_HDR }, block_bytes, blocks: vec![b] }
+    }
+
+    /// First block of the chain.
+    pub fn head(&self) -> usize {
+        self.head
+    }
+
+    /// Current append position.
+    pub fn tail(&self) -> Cursor {
+        self.tail
+    }
+
+    /// Number of blocks in the chain.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total PM bytes occupied by the chain.
+    pub fn footprint(&self) -> usize {
+        self.blocks.len() * self.block_bytes
+    }
+
+    /// Consumes the area, returning its blocks (for the free list).
+    pub fn into_blocks(self) -> Vec<usize> {
+        self.blocks
+    }
+
+    /// Appends `bytes` at the tail, spilling into new blocks as needed.
+    /// Dirty ranges (including touched block pointers) are pushed to
+    /// `dirty`.
+    pub fn append(
+        &mut self,
+        pool: &mut PmemPool,
+        free: &mut Vec<usize>,
+        bytes: &[u8],
+        dirty: &mut Vec<(usize, usize)>,
+    ) {
+        let mut off = 0;
+        while off < bytes.len() {
+            if self.tail.pos >= self.block_bytes {
+                self.spill(pool, free, dirty);
+            }
+            let n = (self.block_bytes - self.tail.pos).min(bytes.len() - off);
+            let addr = self.tail.block + self.tail.pos;
+            pool.device_mut().write(addr, &bytes[off..off + n]);
+            dirty.push((addr, n));
+            self.tail.pos += n;
+            off += n;
+        }
+    }
+
+    fn spill(&mut self, pool: &mut PmemPool, free: &mut Vec<usize>, dirty: &mut Vec<(usize, usize)>) {
+        let prev = self.tail.block;
+        let nb = take_block(pool, free, self.block_bytes);
+        let dev = pool.device_mut();
+        dev.write_u64(nb, 0);
+        dev.write_u64(nb + 8, prev as u64);
+        dev.write(nb + BLOCK_HDR, &[0u8; 4]);
+        dev.write_u64(prev, nb as u64);
+        dirty.push((nb, BLOCK_HDR + 4));
+        dirty.push((prev, 8));
+        self.blocks.push(nb);
+        self.tail = Cursor { block: nb, pos: BLOCK_HDR };
+    }
+
+    /// Writes `bytes` at `cursor` (an earlier position in this chain),
+    /// following existing forward pointers. Returns the number of bytes
+    /// written (less than `bytes.len()` only if the chain ends — callers
+    /// patching record headers must never hit that).
+    pub fn write_at(
+        &self,
+        pool: &mut PmemPool,
+        mut cursor: Cursor,
+        bytes: &[u8],
+        dirty: &mut Vec<(usize, usize)>,
+    ) -> usize {
+        let mut off = 0;
+        while off < bytes.len() {
+            if cursor.pos >= self.block_bytes {
+                let next = pool.device().peek_u64(cursor.block) as usize;
+                if next == 0 {
+                    break;
+                }
+                cursor = Cursor { block: next, pos: BLOCK_HDR };
+            }
+            let n = (self.block_bytes - cursor.pos).min(bytes.len() - off);
+            let addr = cursor.block + cursor.pos;
+            pool.device_mut().write(addr, &bytes[off..off + n]);
+            dirty.push((addr, n));
+            cursor.pos += n;
+            off += n;
+        }
+        off
+    }
+
+    /// Writes the 4-byte zero terminator at the tail **without** advancing
+    /// it (the next record's header overwrites it in place). Bytes that
+    /// would fall past the last block are dropped — parsing stops at the
+    /// chain end anyway.
+    pub fn write_terminator(&self, pool: &mut PmemPool, dirty: &mut Vec<(usize, usize)>) {
+        self.write_at(pool, self.tail, &[0u8; 4], dirty);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specpmt_pmem::{PmemConfig, PmemDevice};
+
+    const BB: usize = 128;
+
+    fn pool() -> PmemPool {
+        PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20).untimed()))
+    }
+
+    fn append_record(
+        area: &mut LogArea,
+        pool: &mut PmemPool,
+        free: &mut Vec<usize>,
+        rec: &LogRecord,
+    ) {
+        let mut dirty = Vec::new();
+        area.append(pool, free, &encode_record(rec), &mut dirty);
+        area.write_terminator(pool, &mut dirty);
+    }
+
+    fn rec(ts: u64, addr: usize, value: &[u8]) -> LogRecord {
+        LogRecord { ts, entries: vec![LogEntry { addr, value: value.to_vec() }] }
+    }
+
+    #[test]
+    fn roundtrip_single_record() {
+        let mut pool = pool();
+        let mut free = Vec::new();
+        let mut dirty = Vec::new();
+        let mut area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        let r = rec(5, 0x40, &[1, 2, 3]);
+        append_record(&mut area, &mut pool, &mut free, &r);
+        let parsed = parse_chain(pool.device(), area.head(), BB);
+        assert_eq!(parsed, vec![r]);
+    }
+
+    #[test]
+    fn roundtrip_multiple_records_preserve_order() {
+        let mut pool = pool();
+        let mut free = Vec::new();
+        let mut dirty = Vec::new();
+        let mut area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        let recs: Vec<_> = (1..=5).map(|i| rec(i, 64 * i as usize, &[i as u8; 7])).collect();
+        for r in &recs {
+            append_record(&mut area, &mut pool, &mut free, r);
+        }
+        let parsed = parse_chain(pool.device(), area.head(), BB);
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn record_spills_across_blocks() {
+        let mut pool = pool();
+        let mut free = Vec::new();
+        let mut dirty = Vec::new();
+        let mut area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        // Payload much larger than a block.
+        let big = rec(1, 0x100, &vec![0xAB; 3 * BB]);
+        append_record(&mut area, &mut pool, &mut free, &big);
+        assert!(area.block_count() >= 3);
+        let parsed = parse_chain(pool.device(), area.head(), BB);
+        assert_eq!(parsed, vec![big]);
+    }
+
+    #[test]
+    fn empty_chain_parses_empty() {
+        let mut pool = pool();
+        let mut free = Vec::new();
+        let mut dirty = Vec::new();
+        let area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        assert!(parse_chain(pool.device(), area.head(), BB).is_empty());
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_parse() {
+        let mut pool = pool();
+        let mut free = Vec::new();
+        let mut dirty = Vec::new();
+        let mut area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        let r1 = rec(1, 0x40, &[1; 4]);
+        let r2 = rec(2, 0x48, &[2; 4]);
+        append_record(&mut area, &mut pool, &mut free, &r1);
+        let after_r1 = area.tail();
+        append_record(&mut area, &mut pool, &mut free, &r2);
+        // Corrupt one payload byte of r2 (header is REC_HDR after cursor).
+        let addr = after_r1.block + after_r1.pos + REC_HDR + 2;
+        pool.device_mut().write(addr, &[0xFF]);
+        let parsed = parse_chain(pool.device(), area.head(), BB);
+        assert_eq!(parsed, vec![r1]);
+    }
+
+    #[test]
+    fn zero_head_or_oversized_head_is_empty() {
+        let p = pool();
+        assert!(parse_chain(p.device(), 0, BB).is_empty());
+        assert!(parse_chain(p.device(), usize::MAX / 2, BB).is_empty());
+    }
+
+    #[test]
+    fn cyclic_forward_pointer_terminates() {
+        let mut pool = pool();
+        let mut free = Vec::new();
+        let mut dirty = Vec::new();
+        let mut area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        // A record that exactly fills the rest of the block so the parser
+        // must follow the forward pointer for the next header.
+        let fill = BB - BLOCK_HDR - REC_HDR - ENTRY_HDR;
+        let r = rec(1, 0x40, &vec![7u8; fill]);
+        append_record(&mut area, &mut pool, &mut free, &r);
+        // Point the block at itself.
+        let head = area.head();
+        pool.device_mut().write_u64(head, head as u64);
+        let parsed = parse_chain(pool.device(), head, BB);
+        // Terminates (no hang); the self-loop yields garbage that fails
+        // checksum or len checks quickly.
+        assert!(parsed.len() < 10_000);
+    }
+
+    #[test]
+    fn write_at_patches_earlier_bytes_across_blocks() {
+        let mut pool = pool();
+        let mut free = Vec::new();
+        let mut dirty = Vec::new();
+        let mut area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        let start = area.tail();
+        area.append(&mut pool, &mut free, &vec![0u8; 2 * BB], &mut dirty);
+        let patch = vec![0xEE; 200];
+        let n = area.write_at(&mut pool, start, &patch, &mut dirty);
+        assert_eq!(n, 200);
+        // Verify via a reader.
+        let mut r = StreamReader::new(pool.device(), area.head(), BB);
+        let mut buf = vec![0u8; 200];
+        assert!(r.read(&mut buf));
+        assert_eq!(buf, patch);
+    }
+
+    #[test]
+    fn take_block_batches_and_reuses() {
+        let mut pool = pool();
+        let mut free = Vec::new();
+        let b1 = take_block(&mut pool, &mut free, BB);
+        assert!(!free.is_empty());
+        free.push(b1);
+        let b2 = take_block(&mut pool, &mut free, BB);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn entry_parsing_handles_multiple_entries() {
+        let r = LogRecord {
+            ts: 9,
+            entries: vec![
+                LogEntry { addr: 8, value: vec![1] },
+                LogEntry { addr: 16, value: vec![2, 3] },
+            ],
+        };
+        let enc = encode_record(&r);
+        let payload = &enc[REC_HDR..];
+        assert_eq!(parse_entries(payload), r.entries);
+    }
+}

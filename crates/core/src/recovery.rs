@@ -1,0 +1,79 @@
+//! Post-crash recovery for software SpecPMT.
+//!
+//! Recovery is intentionally simple (Section 3.1): walk every thread's log
+//! chain from its persistent head pointer, keep only checksum-valid
+//! (= committed) records, then replay all entries across threads in commit
+//! timestamp order. Replaying effectively:
+//!
+//! * **redoes** committed transactions whose in-place data writes never
+//!   reached PM (the speculative log holds the committed values), and
+//! * **undoes** interrupted transactions whose in-place writes *did* reach
+//!   PM (the freshest committed record for each byte is replayed last).
+//!
+//! Unreclaimed stale records may replay too; they are overwritten by
+//! fresher records later in the order, which is harmless.
+
+use specpmt_pmem::{root_off, CrashImage, POOL_MAGIC};
+
+use crate::record::{parse_chain, LogRecord};
+use crate::runtime::{BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE, MAX_THREADS};
+
+/// Parses every thread's committed records from a crash image.
+///
+/// Returns records sorted by commit timestamp (ascending). An image without
+/// SpecPMT metadata yields no records.
+pub fn committed_records(image: &CrashImage) -> Vec<LogRecord> {
+    if image.len() < specpmt_pmem::POOL_HEADER_SIZE || image.read_u64(0) != POOL_MAGIC {
+        return Vec::new();
+    }
+    let block_bytes = image.read_u64(root_off(BLOCK_BYTES_SLOT)) as usize;
+    if !(64..=(1 << 20)).contains(&block_bytes) {
+        return Vec::new();
+    }
+    let mut records = Vec::new();
+    for tid in 0..MAX_THREADS {
+        let head = image.read_u64(root_off(LOG_HEAD_SLOT_BASE + tid)) as usize;
+        if head != 0 {
+            records.extend(parse_chain(image, head, block_bytes));
+        }
+    }
+    records.sort_by_key(|r| r.ts);
+    records
+}
+
+/// Repairs `image` in place by replaying all committed records in
+/// timestamp order.
+pub fn recover_image(image: &mut CrashImage) {
+    let records = committed_records(image);
+    for rec in &records {
+        for e in &rec.entries {
+            if e.addr + e.value.len() <= image.len() {
+                image.write_bytes(e.addr, &e.value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_specpmt_image_is_untouched() {
+        let mut img = CrashImage::new(vec![0xCD; 4096]);
+        let before = img.clone();
+        recover_image(&mut img);
+        assert_eq!(img, before);
+    }
+
+    #[test]
+    fn empty_pool_image_recovers_to_itself() {
+        let pool = specpmt_pmem::PmemPool::create(specpmt_pmem::PmemDevice::new(
+            specpmt_pmem::PmemConfig::new(1 << 16),
+        ));
+        let mut img = pool.device().crash_with(specpmt_pmem::CrashPolicy::AllSurvive);
+        let before = img.clone();
+        recover_image(&mut img);
+        assert_eq!(img, before);
+    }
+}

@@ -1,0 +1,826 @@
+//! The [`SpecSpmt`] transaction runtime.
+
+use std::collections::{BTreeSet, HashMap};
+
+use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
+use specpmt_txn::{Recover, TxRuntime, TxStats};
+
+use crate::record::{encode_header, encode_record, push_entry, Cursor, LogArea, ENTRY_HDR, REC_HDR};
+use crate::reclaim::FreshnessIndex;
+use crate::recovery;
+
+/// Root slot holding the log block size (so recovery can parse chains).
+pub const BLOCK_BYTES_SLOT: usize = 7;
+
+/// First root slot of the per-thread log head pointers.
+pub const LOG_HEAD_SLOT_BASE: usize = 8;
+
+/// Maximum logical threads (bounded by the pool's root slots).
+pub const MAX_THREADS: usize = 8;
+
+/// How log reclamation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReclaimMode {
+    /// Never reclaim (the log grows without bound).
+    Disabled,
+    /// Reclaim on a modelled dedicated background core: PM traffic is
+    /// counted but elapsed time is recorded as [`TxStats::background_ns`]
+    /// so harnesses exclude it from foreground execution time — the
+    /// paper's dedicated-reclamation-thread setup.
+    #[default]
+    Background,
+    /// Reclaim inline on the application thread, charging its time — the
+    /// ablation configuration.
+    Inline,
+}
+
+/// Configuration for [`SpecSpmt`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecConfig {
+    /// Log block size in bytes.
+    pub block_bytes: usize,
+    /// `true` selects the SpecSPMT-DP variant: data cache lines are also
+    /// flushed (with a second fence) at commit. The paper uses it to
+    /// separate the gain of removing fences from the gain of removing data
+    /// persistence.
+    pub data_persistence: bool,
+    /// Reclamation mode.
+    pub reclaim_mode: ReclaimMode,
+    /// Log footprint (bytes, across all threads) that triggers reclamation
+    /// at commit / `maintain` time.
+    pub reclaim_threshold_bytes: usize,
+    /// Number of logical threads (1..=[`MAX_THREADS`]), each with its own
+    /// log chain. Use [`SpecSpmt::set_thread`] to switch.
+    pub threads: usize,
+}
+
+impl Default for SpecConfig {
+    fn default() -> Self {
+        Self {
+            block_bytes: 4096,
+            data_persistence: false,
+            reclaim_mode: ReclaimMode::Background,
+            reclaim_threshold_bytes: 1 << 20,
+            threads: 1,
+        }
+    }
+}
+
+impl SpecConfig {
+    /// The SpecSPMT-DP variant of this configuration.
+    #[must_use]
+    pub fn dp(mut self) -> Self {
+        self.data_persistence = true;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EntrySlot {
+    /// Offset of the value bytes inside the volatile payload buffer.
+    payload_off: usize,
+    len: usize,
+    /// Position of the value bytes in the PM log stream.
+    value_cursor: Cursor,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    area: LogArea,
+    in_tx: bool,
+    tx_start: Cursor,
+    payload: Vec<u8>,
+    /// Write-set index: last logged entry per address (paper §4: only the
+    /// last update of a datum in a transaction needs a log record).
+    index: HashMap<usize, EntrySlot>,
+    dirty: Vec<(usize, usize)>,
+    data_lines: BTreeSet<usize>,
+}
+
+/// Software SpecPMT: the speculative-logging transaction runtime.
+///
+/// See the crate-level docs for the design; see [`SpecConfig`] for the
+/// variants (`SpecSPMT` vs `SpecSPMT-DP`, background vs inline
+/// reclamation).
+#[derive(Debug)]
+pub struct SpecSpmt {
+    pool: PmemPool,
+    cfg: SpecConfig,
+    threads: Vec<ThreadState>,
+    cur: usize,
+    ts_counter: u64,
+    free_blocks: Vec<usize>,
+    stats: TxStats,
+}
+
+impl SpecSpmt {
+    /// Creates the runtime over `pool`, formatting fresh (empty) log chains
+    /// for each configured thread. Construction runs with device timing
+    /// disabled (it is setup, not measured execution).
+    ///
+    /// Calling this on a pool that held earlier SpecPMT state resets the
+    /// log; use it only on fresh pools or after [`SpecSpmt::recover`] has
+    /// repaired (and the caller has persisted) the data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.threads` is 0 or exceeds [`MAX_THREADS`], or if the
+    /// block size is too small for a record header.
+    pub fn new(mut pool: PmemPool, cfg: SpecConfig) -> Self {
+        assert!(
+            (1..=MAX_THREADS).contains(&cfg.threads),
+            "thread count {} out of range",
+            cfg.threads
+        );
+        let prev = pool.device().timing();
+        pool.device_mut().set_timing(TimingMode::Off);
+        pool.set_root_direct(BLOCK_BYTES_SLOT, cfg.block_bytes as u64);
+        let mut free_blocks = Vec::new();
+        let mut threads = Vec::with_capacity(cfg.threads);
+        for tid in 0..MAX_THREADS {
+            if tid < cfg.threads {
+                let mut dirty = Vec::new();
+                let area =
+                    LogArea::create(&mut pool, &mut free_blocks, cfg.block_bytes, &mut dirty);
+                pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, area.head() as u64);
+                let tx_start = area.tail();
+                threads.push(ThreadState {
+                    area,
+                    in_tx: false,
+                    tx_start,
+                    payload: Vec::new(),
+                    index: HashMap::new(),
+                    dirty: Vec::new(),
+                    data_lines: BTreeSet::new(),
+                });
+            } else {
+                pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, 0);
+            }
+        }
+        pool.device_mut().flush_everything();
+        pool.device_mut().set_timing(prev);
+        Self { pool, cfg, threads, cur: 0, ts_counter: 1, free_blocks, stats: TxStats::default() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SpecConfig {
+        &self.cfg
+    }
+
+    /// Selects the logical thread subsequent operations act on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn set_thread(&mut self, tid: usize) {
+        assert!(tid < self.threads.len(), "thread {tid} out of range");
+        self.cur = tid;
+    }
+
+    /// The currently selected logical thread.
+    pub fn current_thread(&self) -> usize {
+        self.cur
+    }
+
+    /// Number of logical threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total PM bytes currently occupied by log chains.
+    pub fn log_footprint(&self) -> usize {
+        self.threads.iter().map(|t| t.area.footprint()).sum()
+    }
+
+    fn refresh_log_stats(&mut self) {
+        self.stats.log_live_bytes = self.log_footprint() as u64;
+        self.stats.log_peak_bytes = self.stats.log_peak_bytes.max(self.stats.log_live_bytes);
+    }
+
+    fn flush_lines(pool: &mut PmemPool, ranges: &[(usize, usize)]) {
+        // Deduplicate to lines and flush in ascending order so sequential
+        // log lines get the XPLine write-combining discount.
+        let mut lines = BTreeSet::new();
+        for &(addr, len) in ranges {
+            if len == 0 {
+                continue;
+            }
+            let first = addr / CACHE_LINE;
+            let last = (addr + len - 1) / CACHE_LINE;
+            for l in first..=last {
+                lines.insert(l * CACHE_LINE);
+            }
+        }
+        for l in lines {
+            pool.device_mut().clwb(l);
+        }
+    }
+
+    /// Explicitly runs a log-reclamation cycle (the paper's explicit API).
+    /// No-op while any thread has an open transaction or when reclamation
+    /// is disabled.
+    pub fn reclaim_now(&mut self) {
+        if self.cfg.reclaim_mode == ReclaimMode::Disabled {
+            return;
+        }
+        if self.threads.iter().any(|t| t.in_tx) {
+            return;
+        }
+        let t0 = self.pool.device().now_ns();
+
+        // Phase 1: scan — parse committed records of every thread and build
+        // the volatile freshness index (rebuilt from scratch after a crash;
+        // it needs no crash consistency of its own).
+        let block_bytes = self.cfg.block_bytes;
+        let parsed: Vec<Vec<crate::record::LogRecord>> = self
+            .threads
+            .iter()
+            .map(|t| crate::record::parse_chain(self.pool.device(), t.area.head(), block_bytes))
+            .collect();
+        let index = FreshnessIndex::build(parsed.iter().flatten());
+
+        // Phase 2: compact — rewrite each chain with only fresh entries.
+        let mut all_dirty = Vec::new();
+        let mut new_areas = Vec::with_capacity(self.threads.len());
+        let mut dropped_total = 0u64;
+        for records in &parsed {
+            let mut dirty = Vec::new();
+            let mut area =
+                LogArea::create(&mut self.pool, &mut self.free_blocks, block_bytes, &mut dirty);
+            for rec in records {
+                let (kept, dropped) = index.compact_record(rec);
+                dropped_total += dropped;
+                if let Some(kept) = kept {
+                    area.append(
+                        &mut self.pool,
+                        &mut self.free_blocks,
+                        &encode_record(&kept),
+                        &mut dirty,
+                    );
+                }
+            }
+            area.write_terminator(&mut self.pool, &mut dirty);
+            all_dirty.extend(dirty);
+            new_areas.push(area);
+        }
+
+        // Persist the new chains before any head pointer moves (fence 1),
+        // then atomically swap the 8-byte head pointers (fence 2). A crash
+        // between swaps leaves a mix of old and new chains — both parse to
+        // the same committed state. In background mode the reclamator core
+        // issues these as background writes: they contend for the WPQ but
+        // do not stall the application thread.
+        let background = self.cfg.reclaim_mode == ReclaimMode::Background;
+        if background {
+            for &(addr, len) in &all_dirty {
+                self.pool.device_mut().background_range_write(addr, len);
+            }
+        } else {
+            Self::flush_lines(&mut self.pool, &all_dirty);
+            self.pool.device_mut().sfence();
+        }
+        for (tid, area) in new_areas.into_iter().enumerate() {
+            let slot = specpmt_pmem::root_off(LOG_HEAD_SLOT_BASE + tid);
+            if background {
+                let head = area.head() as u64;
+                self.pool.device_mut().write_u64(slot, head);
+                self.pool.device_mut().background_line_write(slot);
+            } else {
+                self.pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, area.head() as u64);
+            }
+            let old = std::mem::replace(&mut self.threads[tid].area, area);
+            self.free_blocks.extend(old.into_blocks());
+            let tail = self.threads[tid].area.tail();
+            self.threads[tid].tx_start = tail;
+        }
+
+        self.stats.records_reclaimed += dropped_total;
+        self.refresh_log_stats();
+        if self.cfg.reclaim_mode == ReclaimMode::Background {
+            self.stats.background_ns += self.pool.device().now_ns() - t0;
+        }
+    }
+
+    /// Adopts *external data* (Section 4.3.2): durable bytes produced by
+    /// other software (or an earlier run) have no speculative log records,
+    /// so an interrupted update to them could not be revoked. This creates
+    /// the one-time snapshot the paper prescribes — a committed record of
+    /// the region's current contents — after which the region is fully
+    /// covered by speculative logging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is open on the current thread.
+    pub fn snapshot_external(&mut self, addr: usize, len: usize) {
+        assert!(!self.in_tx(), "snapshot_external inside a transaction");
+        let mut remaining = len;
+        let mut at = addr;
+        // Chunk the snapshot so a single call cannot monopolize a record.
+        const CHUNK: usize = 16 * 1024;
+        while remaining > 0 {
+            let n = remaining.min(CHUNK);
+            let content = self.pool.device().peek(at, n).to_vec();
+            self.begin();
+            self.write(at, &content);
+            self.commit();
+            at += n;
+            remaining -= n;
+        }
+    }
+
+    /// Switches out of speculative logging (Section 4.3.1): flushes all
+    /// dirty durable data so the log is no longer needed for recovery, then
+    /// truncates the log chains. After this another crash-consistency
+    /// mechanism may own the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is open.
+    pub fn switch_out(&mut self) {
+        assert!(!self.threads.iter().any(|t| t.in_tx), "switch_out inside a transaction");
+        // The paper's whole-cache flush (`wbnoinvd`) equivalent.
+        self.pool.device_mut().flush_everything();
+        for tid in 0..self.threads.len() {
+            let mut dirty = Vec::new();
+            let area = LogArea::create(
+                &mut self.pool,
+                &mut self.free_blocks,
+                self.cfg.block_bytes,
+                &mut dirty,
+            );
+            Self::flush_lines(&mut self.pool, &dirty);
+            self.pool.device_mut().sfence();
+            self.pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, area.head() as u64);
+            let old = std::mem::replace(&mut self.threads[tid].area, area);
+            self.free_blocks.extend(old.into_blocks());
+            let tail = self.threads[tid].area.tail();
+            self.threads[tid].tx_start = tail;
+        }
+        self.refresh_log_stats();
+    }
+}
+
+impl TxRuntime for SpecSpmt {
+    fn begin(&mut self) {
+        let tid = self.cur;
+        assert!(!self.threads[tid].in_tx, "nested transaction on thread {tid}");
+        self.stats.tx_begun += 1;
+        let t = &mut self.threads[tid];
+        t.payload.clear();
+        t.index.clear();
+        t.dirty.clear();
+        t.data_lines.clear();
+        t.tx_start = t.area.tail();
+        t.in_tx = true;
+        // Reserve the header: zero length marks the record open/uncommitted.
+        let mut dirty = Vec::new();
+        t.area.append(&mut self.pool, &mut self.free_blocks, &[0u8; REC_HDR], &mut dirty);
+        t.dirty.extend(dirty);
+    }
+
+    fn write(&mut self, addr: usize, data: &[u8]) {
+        let tid = self.cur;
+        assert!(self.threads[tid].in_tx, "write outside transaction");
+        // In-place data update — never flushed by SpecSPMT.
+        self.pool.device_mut().write(addr, data);
+        self.stats.updates += 1;
+        self.stats.data_bytes += data.len() as u64;
+        if self.cfg.data_persistence && !data.is_empty() {
+            let first = addr / CACHE_LINE;
+            let last = (addr + data.len() - 1) / CACHE_LINE;
+            for l in first..=last {
+                self.threads[tid].data_lines.insert(l * CACHE_LINE);
+            }
+        }
+        // splog: record the *new* value. No flush, no fence.
+        if let Some(slot) = self.threads[tid].index.get(&addr).copied() {
+            if slot.len == data.len() {
+                // Write-set indexing: overwrite the previous entry for this
+                // datum instead of appending a stale one.
+                let t = &mut self.threads[tid];
+                t.payload[slot.payload_off..slot.payload_off + data.len()].copy_from_slice(data);
+                let mut dirty = Vec::new();
+                t.area.write_at(&mut self.pool, slot.value_cursor, data, &mut dirty);
+                t.dirty.extend(dirty);
+                return;
+            }
+        }
+        let t = &mut self.threads[tid];
+        let payload_off = t.payload.len() + ENTRY_HDR;
+        push_entry(&mut t.payload, addr, data);
+        let mut hdr = [0u8; ENTRY_HDR];
+        hdr[0..8].copy_from_slice(&(addr as u64).to_le_bytes());
+        hdr[8..12].copy_from_slice(&(data.len() as u32).to_le_bytes());
+        let mut dirty = Vec::new();
+        t.area.append(&mut self.pool, &mut self.free_blocks, &hdr, &mut dirty);
+        let value_cursor = t.area.tail();
+        t.area.append(&mut self.pool, &mut self.free_blocks, data, &mut dirty);
+        t.dirty.extend(dirty);
+        t.index.insert(addr, EntrySlot { payload_off, len: data.len(), value_cursor });
+        self.stats.log_bytes += (ENTRY_HDR + data.len()) as u64;
+    }
+
+    fn read(&mut self, addr: usize, buf: &mut [u8]) {
+        // Direct in-place access (a key SpecPMT property: no redirection).
+        self.pool.device_mut().read(addr, buf);
+    }
+
+    fn commit(&mut self) {
+        let tid = self.cur;
+        assert!(self.threads[tid].in_tx, "commit outside transaction");
+        let ts = self.ts_counter;
+        self.ts_counter += 1;
+
+        let t = &mut self.threads[tid];
+        let header = encode_header(ts, &t.payload);
+        let mut dirty = Vec::new();
+        let wrote = t.area.write_at(&mut self.pool, t.tx_start, &header, &mut dirty);
+        assert_eq!(wrote, REC_HDR, "record header must fit in the chain");
+        t.area.write_terminator(&mut self.pool, &mut dirty);
+        t.dirty.extend(dirty);
+        self.stats.log_bytes += REC_HDR as u64;
+
+        // The single commit fence: persist the whole record (sequential
+        // lines — cheap) and nothing else.
+        let ranges = std::mem::take(&mut self.threads[tid].dirty);
+        Self::flush_lines(&mut self.pool, &ranges);
+        self.pool.device_mut().sfence();
+
+        if self.cfg.data_persistence {
+            // SpecSPMT-DP: also persist the data lines (second fence).
+            let lines = std::mem::take(&mut self.threads[tid].data_lines);
+            for l in lines {
+                self.pool.device_mut().clwb(l);
+            }
+            self.pool.device_mut().sfence();
+        }
+
+        self.threads[tid].in_tx = false;
+        self.stats.tx_committed += 1;
+        self.refresh_log_stats();
+
+        // Implicit reclamation trigger (paper §4.2).
+        if self.cfg.reclaim_mode != ReclaimMode::Disabled
+            && self.log_footprint() > self.cfg.reclaim_threshold_bytes
+        {
+            self.reclaim_now();
+        }
+    }
+
+    fn alloc(&mut self, size: usize, align: usize) -> usize {
+        assert!(self.threads[self.cur].in_tx, "alloc outside transaction");
+        let r = self.pool.reserve(size, align).expect("pool heap exhausted");
+        if let Some(bump) = r.new_bump {
+            // The bump update rides the speculative log like any other
+            // durable write, making the allocation crash-atomic with the
+            // transaction.
+            self.write_u64(BUMP_OFF, bump);
+        }
+        r.off
+    }
+
+    fn free(&mut self, addr: usize, size: usize, align: usize) {
+        self.pool.free(addr, size, align);
+    }
+
+    fn in_tx(&self) -> bool {
+        self.threads[self.cur].in_tx
+    }
+
+    fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    fn pool_mut(&mut self) -> &mut PmemPool {
+        &mut self.pool
+    }
+
+    fn name(&self) -> &'static str {
+        if self.cfg.data_persistence {
+            "SpecSPMT-DP"
+        } else {
+            "SpecSPMT"
+        }
+    }
+
+    fn maintain(&mut self) {
+        if self.cfg.reclaim_mode != ReclaimMode::Disabled
+            && self.log_footprint() > self.cfg.reclaim_threshold_bytes
+        {
+            self.reclaim_now();
+        }
+    }
+
+    fn tx_stats(&self) -> TxStats {
+        self.stats.clone()
+    }
+}
+
+impl Recover for SpecSpmt {
+    fn recover(image: &mut CrashImage) {
+        recovery::recover_image(image);
+    }
+}
+
+impl specpmt_txn::MultiThreaded for SpecSpmt {
+    fn select_thread(&mut self, tid: usize) {
+        self.set_thread(tid);
+    }
+
+    fn threads(&self) -> usize {
+        self.thread_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specpmt_pmem::{CrashPolicy, PmemConfig, PmemDevice};
+
+    fn runtime(cfg: SpecConfig) -> SpecSpmt {
+        let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 22)));
+        SpecSpmt::new(pool, cfg)
+    }
+
+    fn alloc_region(rt: &mut SpecSpmt, bytes: usize) -> usize {
+        let base = rt.pool_mut().alloc_direct(bytes, 64).unwrap();
+        rt.pool_mut().device_mut().set_timing(TimingMode::Off);
+        rt.pool_mut().device_mut().persist_range(base, bytes);
+        rt.pool_mut().device_mut().set_timing(TimingMode::On);
+        base
+    }
+
+    #[test]
+    fn committed_value_survives_all_lost_crash() {
+        let mut rt = runtime(SpecConfig::default());
+        let a = alloc_region(&mut rt, 64);
+        rt.begin();
+        rt.write_u64(a, 0xFEED);
+        rt.commit();
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        SpecSpmt::recover(&mut img);
+        assert_eq!(img.read_u64(a), 0xFEED);
+    }
+
+    #[test]
+    fn uncommitted_tx_is_revoked_even_if_data_evicted() {
+        let mut rt = runtime(SpecConfig::default());
+        let a = alloc_region(&mut rt, 64);
+        rt.begin();
+        rt.write_u64(a, 1);
+        rt.commit();
+        rt.begin();
+        rt.write_u64(a, 2);
+        // Crash before commit, with *everything* (data + torn log) evicted.
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        SpecSpmt::recover(&mut img);
+        assert_eq!(img.read_u64(a), 1, "uncommitted update must be revoked");
+    }
+
+    #[test]
+    fn exactly_one_fence_per_commit() {
+        let mut rt = runtime(SpecConfig::default());
+        let a = alloc_region(&mut rt, 256);
+        let before = rt.pool().device().stats().sfence_count;
+        rt.begin();
+        for i in 0..8 {
+            rt.write_u64(a + i * 8, i as u64);
+        }
+        rt.commit();
+        let after = rt.pool().device().stats().sfence_count;
+        assert_eq!(after - before, 1, "SpecSPMT commits with a single fence");
+    }
+
+    #[test]
+    fn dp_variant_adds_data_fence_and_flushes() {
+        let mut rt = runtime(SpecConfig::default().dp());
+        assert_eq!(rt.name(), "SpecSPMT-DP");
+        let a = alloc_region(&mut rt, 256);
+        let s0 = rt.pool().device().stats().clone();
+        rt.begin();
+        rt.write_u64(a, 1);
+        rt.commit();
+        let s1 = rt.pool().device().stats().delta_since(&s0);
+        assert_eq!(s1.sfence_count, 2);
+        // Data survives AllLost even without recovery.
+        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(a), 1);
+    }
+
+    #[test]
+    fn write_set_indexing_dedups_repeated_updates() {
+        let mut rt = runtime(SpecConfig::default());
+        let a = alloc_region(&mut rt, 64);
+        rt.begin();
+        for v in 0..100u64 {
+            rt.write_u64(a, v);
+        }
+        rt.commit();
+        // Only one entry logged (plus header bytes).
+        let logged = rt.tx_stats().log_bytes;
+        assert_eq!(logged, (REC_HDR + ENTRY_HDR + 8) as u64);
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        SpecSpmt::recover(&mut img);
+        assert_eq!(img.read_u64(a), 99);
+    }
+
+    #[test]
+    fn transactional_alloc_is_crash_atomic() {
+        let mut rt = runtime(SpecConfig::default());
+        let root = alloc_region(&mut rt, 64);
+        rt.begin();
+        let obj = rt.alloc(32, 8);
+        rt.write_u64(obj, 77);
+        rt.write_u64(root, obj as u64);
+        rt.commit();
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        SpecSpmt::recover(&mut img);
+        let obj2 = img.read_u64(root) as usize;
+        assert_eq!(obj2, obj);
+        assert_eq!(img.read_u64(obj2), 77);
+        // Bump pointer is durable past the allocation.
+        assert!(img.read_u64(BUMP_OFF) as usize >= obj + 32);
+    }
+
+    #[test]
+    fn reclamation_shrinks_log_and_preserves_recovery() {
+        let mut rt = runtime(SpecConfig {
+            reclaim_threshold_bytes: usize::MAX, // manual trigger only
+            ..SpecConfig::default()
+        });
+        let a = alloc_region(&mut rt, 64);
+        for v in 0..2000u64 {
+            rt.begin();
+            rt.write_u64(a, v);
+            rt.commit();
+        }
+        let before = rt.log_footprint();
+        rt.reclaim_now();
+        let after = rt.log_footprint();
+        assert!(after < before, "reclamation must shrink the log: {before} -> {after}");
+        assert!(rt.tx_stats().records_reclaimed > 0);
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        SpecSpmt::recover(&mut img);
+        assert_eq!(img.read_u64(a), 1999);
+    }
+
+    #[test]
+    fn implicit_reclaim_bounds_footprint() {
+        let mut rt = runtime(SpecConfig {
+            reclaim_threshold_bytes: 64 * 1024,
+            ..SpecConfig::default()
+        });
+        let a = alloc_region(&mut rt, 64);
+        for v in 0..20_000u64 {
+            rt.begin();
+            rt.write_u64(a, v);
+            rt.commit();
+        }
+        assert!(
+            rt.log_footprint() <= 2 * 64 * 1024,
+            "footprint {} exceeds bound",
+            rt.log_footprint()
+        );
+    }
+
+    #[test]
+    fn background_reclaim_records_background_time() {
+        let mut rt = runtime(SpecConfig {
+            reclaim_threshold_bytes: 32 * 1024,
+            ..SpecConfig::default()
+        });
+        let a = alloc_region(&mut rt, 64);
+        for v in 0..10_000u64 {
+            rt.begin();
+            rt.write_u64(a, v);
+            rt.commit();
+        }
+        assert!(rt.tx_stats().background_ns > 0);
+    }
+
+    #[test]
+    fn inline_reclaim_charges_foreground() {
+        let mut rt = runtime(SpecConfig {
+            reclaim_mode: ReclaimMode::Inline,
+            reclaim_threshold_bytes: 32 * 1024,
+            ..SpecConfig::default()
+        });
+        let a = alloc_region(&mut rt, 64);
+        for v in 0..10_000u64 {
+            rt.begin();
+            rt.write_u64(a, v);
+            rt.commit();
+        }
+        assert_eq!(rt.tx_stats().background_ns, 0);
+    }
+
+    #[test]
+    fn multi_thread_logs_recover_in_commit_order() {
+        let mut rt = runtime(SpecConfig { threads: 2, ..SpecConfig::default() });
+        let a = alloc_region(&mut rt, 64);
+        rt.set_thread(0);
+        rt.begin();
+        rt.write_u64(a, 10);
+        rt.commit();
+        rt.set_thread(1);
+        rt.begin();
+        rt.write_u64(a, 20);
+        rt.commit();
+        rt.set_thread(0);
+        rt.begin();
+        rt.write_u64(a, 30);
+        rt.commit();
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        SpecSpmt::recover(&mut img);
+        assert_eq!(img.read_u64(a), 30, "youngest commit wins across threads");
+    }
+
+    #[test]
+    fn reclaim_is_noop_while_any_tx_open() {
+        let mut rt = runtime(SpecConfig { threads: 2, ..SpecConfig::default() });
+        let a = alloc_region(&mut rt, 64);
+        for v in 0..500u64 {
+            rt.begin();
+            rt.write_u64(a, v);
+            rt.commit();
+        }
+        rt.set_thread(1);
+        rt.begin();
+        rt.write_u64(a, 999);
+        let before = rt.log_footprint();
+        rt.reclaim_now();
+        assert_eq!(rt.log_footprint(), before);
+        rt.commit();
+    }
+
+    #[test]
+    fn snapshot_external_enables_revocation_of_foreign_data() {
+        // Data written outside the runtime (another software's output).
+        let mut rt = runtime(SpecConfig::default());
+        let a = rt.pool_mut().alloc_direct(64, 64).unwrap();
+        rt.pool_mut().device_mut().write_u64(a, 0x0123);
+        rt.pool_mut().device_mut().persist_range(a, 8);
+
+        rt.snapshot_external(a, 64);
+        // An interrupted update to the foreign datum is now revocable.
+        rt.begin();
+        rt.write_u64(a, 0xBAD);
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        SpecSpmt::recover(&mut img);
+        assert_eq!(img.read_u64(a), 0x0123);
+    }
+
+    #[test]
+    fn snapshot_external_chunks_large_regions() {
+        let mut rt = runtime(SpecConfig::default());
+        let a = rt.pool_mut().alloc_direct(48 * 1024, 64).unwrap();
+        rt.snapshot_external(a, 48 * 1024);
+        // 3 chunk transactions of 16 KiB each.
+        assert_eq!(rt.tx_stats().tx_committed, 3);
+    }
+
+    #[test]
+    fn switch_out_makes_data_durable_without_log() {
+        let mut rt = runtime(SpecConfig::default());
+        let a = alloc_region(&mut rt, 64);
+        rt.begin();
+        rt.write_u64(a, 0xCAFE);
+        rt.commit();
+        rt.switch_out();
+        // No recovery at all: data must already be persistent.
+        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(a), 0xCAFE);
+    }
+
+    #[test]
+    fn large_transaction_spills_blocks() {
+        let mut rt = runtime(SpecConfig { block_bytes: 256, ..SpecConfig::default() });
+        let a = alloc_region(&mut rt, 8192);
+        rt.begin();
+        for i in 0..512 {
+            rt.write_u64(a + i * 8, i as u64);
+        }
+        rt.commit();
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        SpecSpmt::recover(&mut img);
+        for i in 0..512 {
+            assert_eq!(img.read_u64(a + i * 8), i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nested transaction")]
+    fn nested_begin_panics() {
+        let mut rt = runtime(SpecConfig::default());
+        rt.begin();
+        rt.begin();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside transaction")]
+    fn write_outside_tx_panics() {
+        let mut rt = runtime(SpecConfig::default());
+        let a = rt.pool_mut().alloc_direct(8, 8).unwrap();
+        rt.write_u64(a, 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Hardware configuration (the paper's Table 1).
+
+/// Parameters of the simulated core + memory hierarchy. Latencies are in
+/// **picoseconds** (a 4 GHz core's 2-cycle L1 hit is 500 ps; nanosecond
+/// resolution would round it away).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwConfig {
+    /// L1 data cache sets (32 KB, 8-way, 64 B lines → 64 sets).
+    pub l1_sets: usize,
+    /// L1 data cache ways.
+    pub l1_ways: usize,
+    /// L1 hit latency (2 cycles @ 4 GHz).
+    pub l1_hit_ps: u64,
+    /// Shared L2 sets (2 MB, 12-way → 2731 sets; rounded to 2730).
+    pub l2_sets: usize,
+    /// L2 ways.
+    pub l2_ways: usize,
+    /// L2 hit latency (20 cycles).
+    pub l2_hit_ps: u64,
+    /// PM read latency on an L2 miss (Table 1: 150 ns).
+    pub pm_read_ps: u64,
+    /// L1 TLB entries (64, 8-way).
+    pub tlb_l1_entries: usize,
+    /// L1 TLB associativity.
+    pub tlb_l1_ways: usize,
+    /// L2 TLB entries (1536, 12-way).
+    pub tlb_l2_entries: usize,
+    /// L2 TLB associativity.
+    pub tlb_l2_ways: usize,
+    /// L2-TLB hit penalty.
+    pub tlb_l2_hit_ps: u64,
+    /// Page-walk latency on a full TLB miss.
+    pub tlb_miss_ps: u64,
+    /// Page size.
+    pub page_bytes: usize,
+    /// Saturating-counter threshold at which a page becomes hot
+    /// (3-bit counter → 7).
+    pub hot_threshold: u8,
+    /// Commit-time L1 scan for dirty transactional lines.
+    pub commit_scan_ps: u64,
+    /// Bulk-copy engine latency to copy one page into the log.
+    pub bulk_copy_page_ps: u64,
+    /// `startepoch`/`clearepoch` instruction latency (TLB flash-clear).
+    pub epoch_insn_ps: u64,
+}
+
+impl Default for HwConfig {
+    fn default() -> Self {
+        Self {
+            l1_sets: 64,
+            l1_ways: 8,
+            l1_hit_ps: 500,
+            l2_sets: 2730,
+            l2_ways: 12,
+            l2_hit_ps: 5_000,
+            pm_read_ps: 150_000,
+            tlb_l1_entries: 64,
+            tlb_l1_ways: 8,
+            tlb_l2_entries: 1536,
+            tlb_l2_ways: 12,
+            tlb_l2_hit_ps: 2_000,
+            tlb_miss_ps: 50_000,
+            page_bytes: 4096,
+            hot_threshold: 7,
+            commit_scan_ps: 32_000,
+            bulk_copy_page_ps: 250_000,
+            epoch_insn_ps: 5_000,
+        }
+    }
+}
+
+impl HwConfig {
+    /// L1 capacity in bytes.
+    pub fn l1_bytes(&self) -> usize {
+        self.l1_sets * self.l1_ways * crate::cache::LINE
+    }
+
+    /// L2 capacity in bytes.
+    pub fn l2_bytes(&self) -> usize {
+        self.l2_sets * self.l2_ways * crate::cache::LINE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_capacities() {
+        let c = HwConfig::default();
+        assert_eq!(c.l1_bytes(), 32 * 1024);
+        // 2 MB within rounding of the set count.
+        assert!((c.l2_bytes() as i64 - 2 * 1024 * 1024).abs() < 64 * 1024);
+        assert_eq!(c.tlb_l1_entries, 64);
+        assert_eq!(c.tlb_l2_entries, 1536);
+        assert_eq!(c.pm_read_ps, 150_000);
+    }
+}

@@ -1,0 +1,39 @@
+//! Counters for the hardware model.
+
+/// Event counters accumulated by a [`crate::HwCore`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HwStats {
+    /// L1 data cache hits.
+    pub l1_hits: u64,
+    /// L1 misses that hit in L2.
+    pub l2_hits: u64,
+    /// L2 misses (memory accesses).
+    pub mem_accesses: u64,
+    /// Dirty L1 evictions.
+    pub l1_dirty_evictions: u64,
+    /// L1 TLB hits.
+    pub tlb_l1_hits: u64,
+    /// L2 TLB hits.
+    pub tlb_l2_hits: u64,
+    /// Page walks.
+    pub tlb_misses: u64,
+    /// Pages that transitioned cold → hot.
+    pub pages_made_hot: u64,
+    /// Bulk page copies performed by the copy engine.
+    pub bulk_copies: u64,
+    /// Commit-time L1 scans.
+    pub commit_scans: u64,
+    /// `clearepoch` executions.
+    pub epochs_cleared: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let s = HwStats::default();
+        assert_eq!(s.l1_hits + s.l2_hits + s.mem_accesses, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The hardware no-log ideal bound.
+
+use std::collections::BTreeSet;
+
+use specpmt_hwsim::{HwConfig, HwCore};
+use specpmt_pmem::{CrashImage, PmemPool, BUMP_OFF, CACHE_LINE};
+use specpmt_txn::{Recover, TxRuntime, TxStats};
+
+/// Transactions without logging on the simulated hardware: data is flushed
+/// with one fence at commit (Section 7.1.3's `no-log`). **Not crash
+/// consistent** — the ideal performance bound of Figure 13.
+#[derive(Debug)]
+pub struct HwNoLog {
+    pool: PmemPool,
+    core: HwCore,
+    in_tx: bool,
+    data_lines: BTreeSet<usize>,
+    stats: TxStats,
+}
+
+impl HwNoLog {
+    /// Creates the runtime.
+    pub fn new(pool: PmemPool, hw: HwConfig) -> Self {
+        Self {
+            pool,
+            core: HwCore::new(hw),
+            in_tx: false,
+            data_lines: BTreeSet::new(),
+            stats: TxStats::default(),
+        }
+    }
+
+    /// Hardware counters.
+    pub fn hw_stats(&self) -> &specpmt_hwsim::HwStats {
+        self.core.stats()
+    }
+}
+
+impl TxRuntime for HwNoLog {
+    fn begin(&mut self) {
+        assert!(!self.in_tx, "nested transaction");
+        self.in_tx = true;
+        self.data_lines.clear();
+        self.stats.tx_begun += 1;
+    }
+
+    fn write(&mut self, addr: usize, data: &[u8]) {
+        assert!(self.in_tx, "write outside transaction");
+        self.pool.device_mut().write(addr, data);
+        self.core.store(self.pool.device_mut(), addr, data.len());
+        if !data.is_empty() {
+            for l in addr / CACHE_LINE..=(addr + data.len() - 1) / CACHE_LINE {
+                self.data_lines.insert(l * CACHE_LINE);
+            }
+        }
+        self.stats.updates += 1;
+        self.stats.data_bytes += data.len() as u64;
+    }
+
+    fn read(&mut self, addr: usize, buf: &mut [u8]) {
+        self.core.load(self.pool.device_mut(), addr, buf.len());
+        self.pool.device_mut().read(addr, buf);
+    }
+
+    fn commit(&mut self) {
+        assert!(self.in_tx, "commit outside transaction");
+        let lines = std::mem::take(&mut self.data_lines);
+        for &l in &lines {
+            self.pool.device_mut().clwb(l);
+            self.core.l1_mut().mark_clean(l);
+        }
+        self.pool.device_mut().sfence();
+        self.in_tx = false;
+        self.stats.tx_committed += 1;
+    }
+
+    fn alloc(&mut self, size: usize, align: usize) -> usize {
+        assert!(self.in_tx, "alloc outside transaction");
+        let r = self.pool.reserve(size, align).expect("pool heap exhausted");
+        if let Some(bump) = r.new_bump {
+            self.write_u64(BUMP_OFF, bump);
+        }
+        r.off
+    }
+
+    fn free(&mut self, addr: usize, size: usize, align: usize) {
+        self.pool.free(addr, size, align);
+    }
+
+    fn in_tx(&self) -> bool {
+        self.in_tx
+    }
+
+    fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    fn pool_mut(&mut self) -> &mut PmemPool {
+        &mut self.pool
+    }
+
+    fn name(&self) -> &'static str {
+        "no-log(hw)"
+    }
+
+    fn crash_consistent(&self) -> bool {
+        false
+    }
+
+    fn tx_stats(&self) -> TxStats {
+        self.stats.clone()
+    }
+}
+
+impl Recover for HwNoLog {
+    fn recover(_image: &mut CrashImage) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::hw_pool;
+    use specpmt_pmem::CrashPolicy;
+
+    #[test]
+    fn data_persists_at_commit() {
+        let mut rt = HwNoLog::new(hw_pool(1 << 20), HwConfig::default());
+        let a = rt.pool_mut().alloc_direct(64, 64).unwrap();
+        rt.begin();
+        rt.write_u64(a, 9);
+        rt.commit();
+        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(a), 9);
+    }
+
+    #[test]
+    fn not_crash_consistent() {
+        let rt = HwNoLog::new(hw_pool(1 << 20), HwConfig::default());
+        assert!(!rt.crash_consistent());
+    }
+}

@@ -1,0 +1,772 @@
+//! Hardware SpecPMT: hybrid logging + epoch-based log reclamation.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use specpmt_core::record::{encode_record, parse_chain, LogArea, LogEntry, LogRecord, ENTRY_HDR, REC_HDR};
+use specpmt_core::{recovery, BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE};
+use specpmt_hwsim::{HwConfig, HwCore};
+use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
+use specpmt_txn::{Recover, TxRuntime, TxStats};
+
+use crate::common::UndoLog;
+
+/// Configuration for [`HwSpecPmt`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwSpecConfig {
+    /// Hardware core parameters (hot threshold, TLB/cache geometry, …).
+    pub hw: HwConfig,
+    /// `true` selects SpecHPMT-DP: data lines are also flushed at commit.
+    pub data_persistence: bool,
+    /// Epoch record-bytes threshold (paper default: 2 MB of records).
+    pub epoch_max_bytes: usize,
+    /// Epoch page threshold (paper default: 200 speculatively logged pages).
+    pub epoch_max_pages: usize,
+    /// Live (unreclaimed) epochs kept before the oldest is reclaimed;
+    /// bounds log memory at roughly `max_live_epochs x epoch_max_bytes`.
+    pub max_live_epochs: usize,
+    /// Log block size.
+    pub block_bytes: usize,
+    /// Undo-log region capacity.
+    pub undo_bytes: usize,
+    /// Section 5.1.2's adaptive control: sample the performance of
+    /// speculative vs undo-only logging in alternating windows and lock in
+    /// whichever is faster (re-probing periodically). Covers workloads
+    /// where page-granularity speculative logging backfires (e.g. sparse
+    /// writes over many pages with tiny epochs).
+    pub adaptive: bool,
+    /// Commits per adaptive sampling window.
+    pub adaptive_window: u64,
+}
+
+impl Default for HwSpecConfig {
+    fn default() -> Self {
+        Self {
+            hw: HwConfig::default(),
+            data_persistence: false,
+            epoch_max_bytes: 2 << 20,
+            epoch_max_pages: 200,
+            max_live_epochs: 3,
+            block_bytes: 4096,
+            undo_bytes: 1 << 20,
+            adaptive: false,
+            adaptive_window: 64,
+        }
+    }
+}
+
+impl HwSpecConfig {
+    /// The SpecHPMT-DP variant.
+    #[must_use]
+    pub fn dp(mut self) -> Self {
+        self.data_persistence = true;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct Epoch {
+    eid: u8,
+    slot: usize,
+    area: LogArea,
+    record_bytes: usize,
+    pages: usize,
+}
+
+/// Hardware SpecPMT (Section 5): speculative logging for hot pages
+/// (tracked by TLB hotness counters, promoted by the bulk-copy engine),
+/// undo logging for cold data, commit-time L1 scans creating per-line
+/// speculative records persisted with one fence, and foreground
+/// epoch-based reclamation via `startepoch`/`clearepoch`.
+#[derive(Debug)]
+pub struct HwSpecPmt {
+    pool: PmemPool,
+    core: HwCore,
+    cfg: HwSpecConfig,
+    epochs: VecDeque<Epoch>,
+    next_eid: u8,
+    free_slots: Vec<usize>,
+    undo: UndoLog,
+    free_blocks: Vec<usize>,
+    ts_counter: u64,
+    in_tx: bool,
+    hot_dirty_lines: BTreeSet<usize>,
+    cold_data_lines: BTreeSet<usize>,
+    logged_cold_lines: BTreeSet<usize>,
+    flush_set: BTreeSet<usize>,
+    /// Footprint sampling for the Fig. 15 memory-consumption axis.
+    footprint_samples: u64,
+    footprint_sum: u64,
+    /// Control-status register bit: speculative logging enabled.
+    spec_enabled: bool,
+    adaptive: AdaptiveState,
+    stats: TxStats,
+}
+
+/// Section 5.1.2 sampling controller.
+#[derive(Debug)]
+struct AdaptiveState {
+    /// Commits seen in the current window.
+    commits: u64,
+    /// Device time at window start.
+    window_start_ns: u64,
+    /// Measured ns/commit with speculative logging on, if sampled.
+    spec_ns: Option<f64>,
+    /// Measured ns/commit with undo-only logging, if sampled.
+    undo_ns: Option<f64>,
+    /// Commits until the next re-probe once locked.
+    locked_for: u64,
+}
+
+impl AdaptiveState {
+    fn new() -> Self {
+        Self { commits: 0, window_start_ns: 0, spec_ns: None, undo_ns: None, locked_for: 0 }
+    }
+}
+
+impl HwSpecPmt {
+    /// Creates the runtime with one open epoch.
+    pub fn new(mut pool: PmemPool, cfg: HwSpecConfig) -> Self {
+        assert!(
+            (1..=6).contains(&cfg.max_live_epochs),
+            "max_live_epochs must be 1..=6 (3-bit EIDs, 0 = cold)"
+        );
+        let prev = pool.device().timing();
+        pool.device_mut().set_timing(TimingMode::Off);
+        pool.set_root_direct(BLOCK_BYTES_SLOT, cfg.block_bytes as u64);
+        for slot in 0..8 {
+            pool.set_root_direct(LOG_HEAD_SLOT_BASE + slot, 0);
+        }
+        let undo = UndoLog::new(&mut pool, cfg.undo_bytes);
+        pool.device_mut().set_timing(prev);
+        let mut rt = Self {
+            pool,
+            core: HwCore::new(cfg.hw.clone()),
+            cfg,
+            epochs: VecDeque::new(),
+            next_eid: 1,
+            free_slots: (0..8).rev().collect(),
+            undo,
+            free_blocks: Vec::new(),
+            ts_counter: 1,
+            in_tx: false,
+            hot_dirty_lines: BTreeSet::new(),
+            cold_data_lines: BTreeSet::new(),
+            logged_cold_lines: BTreeSet::new(),
+            flush_set: BTreeSet::new(),
+            footprint_samples: 0,
+            footprint_sum: 0,
+            spec_enabled: true,
+            adaptive: AdaptiveState::new(),
+            stats: TxStats::default(),
+        };
+        rt.start_epoch();
+        rt
+    }
+
+    /// Hardware counters.
+    pub fn hw_stats(&self) -> &specpmt_hwsim::HwStats {
+        self.core.stats()
+    }
+
+    /// Sets the control-status register bit enabling speculative logging
+    /// (Section 5.1.2). With the bit clear the runtime behaves as pure
+    /// hardware undo logging (every page treated as cold).
+    pub fn set_speculative_logging(&mut self, enabled: bool) {
+        self.spec_enabled = enabled;
+    }
+
+    /// Whether speculative logging is currently enabled.
+    pub fn speculative_logging(&self) -> bool {
+        self.spec_enabled
+    }
+
+    /// Advances the Section 5.1.2 sampling controller at commit time.
+    fn adaptive_tick(&mut self) {
+        if !self.cfg.adaptive {
+            return;
+        }
+        let now = self.pool.device().now_ns();
+        if self.adaptive.commits == 0 {
+            self.adaptive.window_start_ns = now;
+        }
+        self.adaptive.commits += 1;
+        if self.adaptive.locked_for > 0 {
+            self.adaptive.locked_for -= 1;
+            if self.adaptive.locked_for == 0 {
+                // Re-probe from scratch.
+                self.adaptive.spec_ns = None;
+                self.adaptive.undo_ns = None;
+                self.adaptive.commits = 0;
+                self.spec_enabled = true;
+            }
+            return;
+        }
+        if self.adaptive.commits < self.cfg.adaptive_window {
+            return;
+        }
+        let per_commit =
+            (now - self.adaptive.window_start_ns) as f64 / self.adaptive.commits as f64;
+        if self.spec_enabled {
+            self.adaptive.spec_ns = Some(per_commit);
+        } else {
+            self.adaptive.undo_ns = Some(per_commit);
+        }
+        self.adaptive.commits = 0;
+        match (self.adaptive.spec_ns, self.adaptive.undo_ns) {
+            (Some(s), Some(u)) => {
+                // Lock in the faster scheme for a long stretch.
+                self.spec_enabled = s <= u;
+                self.adaptive.locked_for = 32 * self.cfg.adaptive_window;
+            }
+            (Some(_), None) => self.spec_enabled = false, // sample the other arm
+            _ => self.spec_enabled = true,
+        }
+    }
+
+    /// Current log footprint (epoch chains + undo region use).
+    pub fn log_footprint(&self) -> usize {
+        self.epochs.iter().map(|e| e.area.footprint()).sum::<usize>() + self.undo.used()
+    }
+
+    /// Average sampled log footprint over the run (Fig. 15 x-axis).
+    pub fn avg_log_footprint(&self) -> f64 {
+        if self.footprint_samples == 0 {
+            0.0
+        } else {
+            self.footprint_sum as f64 / self.footprint_samples as f64
+        }
+    }
+
+    fn next_ts(&mut self) -> u64 {
+        let ts = self.ts_counter;
+        self.ts_counter += 1;
+        ts
+    }
+
+    /// Starts a new epoch (`startepoch EID`), reclaiming the oldest when
+    /// the live-epoch bound or the EID space requires it.
+    fn start_epoch(&mut self) {
+        while self.epochs.len() >= self.cfg.max_live_epochs {
+            self.reclaim_oldest();
+        }
+        let eid = self.next_eid;
+        self.next_eid = self.next_eid % 7 + 1;
+        // An EID may not be reused while still live.
+        while self.epochs.iter().any(|e| e.eid == eid) {
+            self.reclaim_oldest();
+        }
+        let slot = self.free_slots.pop().expect("slot available after reclamation");
+        let mut dirty = Vec::new();
+        let area =
+            LogArea::create(&mut self.pool, &mut self.free_blocks, self.cfg.block_bytes, &mut dirty);
+        crate::common::flush_line_set(
+            self.pool.device_mut(),
+            &{
+                let mut s = BTreeSet::new();
+                crate::common::lines_of_ranges(&dirty, &mut s);
+                s
+            },
+        );
+        self.pool.device_mut().sfence();
+        self.pool.set_root_direct(LOG_HEAD_SLOT_BASE + slot, area.head() as u64);
+        self.epochs.push_back(Epoch { eid, slot, area, record_bytes: 0, pages: 0 });
+    }
+
+    /// Reclaims the oldest epoch (Section 5.2.1): persist the data its
+    /// records speculate, `clearepoch`, free the log space. Foreground —
+    /// a few instructions plus the data flushes, no background thread.
+    fn reclaim_oldest(&mut self) {
+        let Some(epoch) = self.epochs.pop_front() else {
+            return;
+        };
+        // Step 1: persist all speculatively-logged data of the epoch by
+        // scanning its records and flushing the named lines.
+        let records = parse_chain(self.pool.device(), epoch.area.head(), self.cfg.block_bytes);
+        let mut lines = BTreeSet::new();
+        for rec in &records {
+            for e in &rec.entries {
+                if !e.value.is_empty() {
+                    for l in e.addr / CACHE_LINE..=(e.addr + e.value.len() - 1) / CACHE_LINE {
+                        lines.insert(l * CACHE_LINE);
+                    }
+                }
+            }
+        }
+        for &l in &lines {
+            self.pool.device_mut().clwb(l);
+            self.core.l1_mut().mark_clean(l);
+        }
+        self.pool.device_mut().sfence();
+        // Step 2: clearepoch — the epoch's pages become cold.
+        self.core.clear_epoch(self.pool.device_mut(), epoch.eid);
+        // Step 3: reclaim the log space (head pointer cleared atomically).
+        self.pool.set_root_direct(LOG_HEAD_SLOT_BASE + epoch.slot, 0);
+        self.free_slots.push(epoch.slot);
+        self.stats.records_reclaimed += records.len() as u64;
+        self.free_blocks.extend(epoch.area.into_blocks());
+        self.stats.log_live_bytes = self.log_footprint() as u64;
+    }
+
+    /// Appends an already-committed record to the active epoch and returns
+    /// its encoded size. `background` selects bulk-engine persistence (page
+    /// copies, eviction logging — durable immediately, WPQ bandwidth only)
+    /// over commit-fence persistence (the commit record's lines join the
+    /// flush set and the single commit fence waits for their acceptance).
+    fn append_record(&mut self, rec: &LogRecord, background: bool) -> usize {
+        let bytes = encode_record(rec);
+        let mut dirty = Vec::new();
+        let epoch = self.epochs.back_mut().expect("active epoch");
+        epoch.area.append(&mut self.pool, &mut self.free_blocks, &bytes, &mut dirty);
+        epoch.area.write_terminator(&mut self.pool, &mut dirty);
+        epoch.record_bytes += bytes.len();
+        if background {
+            for (addr, len) in dirty {
+                self.pool.device_mut().background_range_write(addr, len);
+            }
+        } else {
+            crate::common::lines_of_ranges(&dirty, &mut self.flush_set);
+        }
+        self.stats.log_bytes += bytes.len() as u64;
+        bytes.len()
+    }
+
+    /// Speculatively logs a whole page (cold → hot transition) using the
+    /// bulk-copy engine; the record persists immediately (NT writes), so
+    /// later evictions of the page's lines are always covered.
+    fn bulk_log_page(&mut self, page: usize) {
+        let page_start = page * self.cfg.hw.page_bytes;
+        let content = self.pool.device().peek(page_start, self.cfg.hw.page_bytes).to_vec();
+        self.core.charge_bulk_copy(self.pool.device_mut());
+        let ts = self.next_ts();
+        let rec = LogRecord { ts, entries: vec![LogEntry { addr: page_start, value: content }] };
+        self.append_record(&rec, true);
+        let eid = self.epochs.back().expect("active epoch").eid;
+        self.core.make_page_hot(page, eid);
+        let epoch = self.epochs.back_mut().expect("active epoch");
+        epoch.pages += 1;
+    }
+
+    /// Speculatively logs one line (mid-transaction eviction of a LogBit
+    /// line — Section 5.2: log before the overflow).
+    fn spec_log_line(&mut self, line_addr: usize) {
+        let content = self.pool.device().peek(line_addr, CACHE_LINE).to_vec();
+        let ts = self.next_ts();
+        let rec = LogRecord { ts, entries: vec![LogEntry { addr: line_addr, value: content }] };
+        self.append_record(&rec, true);
+    }
+}
+
+impl TxRuntime for HwSpecPmt {
+    fn begin(&mut self) {
+        assert!(!self.in_tx, "nested transaction");
+        self.in_tx = true;
+        self.hot_dirty_lines.clear();
+        self.cold_data_lines.clear();
+        self.logged_cold_lines.clear();
+        self.flush_set.clear();
+        self.stats.tx_begun += 1;
+    }
+
+    fn write(&mut self, addr: usize, data: &[u8]) {
+        assert!(self.in_tx, "write outside transaction");
+        if data.is_empty() {
+            return;
+        }
+        let page = addr / self.cfg.hw.page_bytes;
+        let access = self.core.store(self.pool.device_mut(), addr, data.len());
+        let tlb = access.tlb.expect("stores carry TLB metadata");
+        let lines: Vec<usize> = (addr / CACHE_LINE..=(addr + data.len() - 1) / CACHE_LINE)
+            .map(|l| l * CACHE_LINE)
+            .collect();
+
+        let hot = if tlb.epoch_bit {
+            true
+        } else if !self.spec_enabled {
+            false
+        } else {
+            let counter = self.core.tlb_mut().bump_counter(page);
+            if counter >= self.cfg.hw.hot_threshold {
+                // Undo-log first (the transition still undo-logs the data
+                // being stored), then promote the page.
+                for &l in &lines {
+                    if self.logged_cold_lines.insert(l) {
+                        self.undo.append_line(self.pool.device_mut(), l, &mut self.flush_set);
+                        self.stats.log_bytes += (24 + CACHE_LINE) as u64;
+                    }
+                }
+                self.bulk_log_page(page);
+                true
+            } else {
+                false
+            }
+        };
+
+        if hot {
+            for &l in &lines {
+                self.core.l1_mut().set_flags(l, true, true);
+                self.hot_dirty_lines.insert(l);
+            }
+        } else {
+            for &l in &lines {
+                if self.logged_cold_lines.insert(l) {
+                    self.undo.append_line(self.pool.device_mut(), l, &mut self.flush_set);
+                    self.stats.log_bytes += (24 + CACHE_LINE) as u64;
+                }
+                self.cold_data_lines.insert(l);
+            }
+        }
+        // The in-place update itself.
+        self.pool.device_mut().write(addr, data);
+        self.stats.updates += 1;
+        self.stats.data_bytes += data.len() as u64;
+
+        // Mid-transaction eviction of a speculatively-logged dirty line:
+        // log it before it overflows (Section 5.2).
+        if let Some(ev) = access.evicted {
+            if ev.dirty && ev.logbit {
+                self.spec_log_line(ev.addr);
+            }
+        }
+    }
+
+    fn read(&mut self, addr: usize, buf: &mut [u8]) {
+        self.core.load(self.pool.device_mut(), addr, buf.len());
+        self.pool.device_mut().read(addr, buf);
+    }
+
+    fn commit(&mut self) {
+        assert!(self.in_tx, "commit outside transaction");
+        // Scan L1 for dirty transactional lines and build the commit
+        // record from the speculatively-logged (hot) ones.
+        self.core.charge_commit_scan(self.pool.device_mut());
+        let ts = self.next_ts();
+        let hot_lines = std::mem::take(&mut self.hot_dirty_lines);
+        if !hot_lines.is_empty() {
+            let entries: Vec<LogEntry> = hot_lines
+                .iter()
+                .map(|&l| LogEntry {
+                    addr: l,
+                    value: self.pool.device().peek(l, CACHE_LINE).to_vec(),
+                })
+                .collect();
+            let rec = LogRecord { ts, entries };
+            self.append_record(&rec, false);
+        }
+        // One fence persists: the commit record, the undo records, the
+        // cold data lines, and the undo truncation. Hot data lines are
+        // *not* persisted (they overflow naturally via PBit evictions).
+        let mut flush = std::mem::take(&mut self.flush_set);
+        let cold = std::mem::take(&mut self.cold_data_lines);
+        for l in cold {
+            flush.insert(l);
+            self.core.l1_mut().mark_clean(l);
+        }
+        if self.cfg.data_persistence {
+            // SpecHPMT-DP: the hot data lines persist by the same commit
+            // fence (ordering inside the commit is the hardware's job).
+            for &l in &hot_lines {
+                flush.insert(l);
+                self.core.l1_mut().mark_clean(l);
+            }
+        }
+        if self.undo.used() > 0 {
+            self.undo.truncate(self.pool.device_mut(), &mut flush);
+        }
+        crate::common::flush_line_set(self.pool.device_mut(), &flush);
+        self.pool.device_mut().sfence();
+
+        self.core.l1_mut().clear_logbits();
+        self.in_tx = false;
+        self.stats.tx_committed += 1;
+        self.stats.log_live_bytes = self.log_footprint() as u64;
+        self.stats.log_peak_bytes = self.stats.log_peak_bytes.max(self.stats.log_live_bytes);
+        self.footprint_samples += 1;
+        self.footprint_sum += self.log_footprint() as u64;
+
+        // Epoch rotation check (paper: after each commit).
+        let epoch = self.epochs.back().expect("active epoch");
+        if epoch.record_bytes > self.cfg.epoch_max_bytes || epoch.pages > self.cfg.epoch_max_pages
+        {
+            self.start_epoch();
+        }
+        self.adaptive_tick();
+    }
+
+    fn alloc(&mut self, size: usize, align: usize) -> usize {
+        assert!(self.in_tx, "alloc outside transaction");
+        let r = self.pool.reserve(size, align).expect("pool heap exhausted");
+        if let Some(bump) = r.new_bump {
+            self.write_u64(BUMP_OFF, bump);
+        }
+        r.off
+    }
+
+    fn free(&mut self, addr: usize, size: usize, align: usize) {
+        self.pool.free(addr, size, align);
+    }
+
+    fn in_tx(&self) -> bool {
+        self.in_tx
+    }
+
+    fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    fn pool_mut(&mut self) -> &mut PmemPool {
+        &mut self.pool
+    }
+
+    fn name(&self) -> &'static str {
+        if self.cfg.data_persistence {
+            "SpecHPMT-DP"
+        } else {
+            "SpecHPMT"
+        }
+    }
+
+    fn tx_stats(&self) -> TxStats {
+        self.stats.clone()
+    }
+}
+
+impl Recover for HwSpecPmt {
+    fn recover(image: &mut CrashImage) {
+        // Committed speculative records (all epoch chains) in timestamp
+        // order, then roll back the interrupted transaction's cold writes.
+        recovery::recover_image(image);
+        UndoLog::recover(image);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::hw_pool;
+    use specpmt_pmem::CrashPolicy;
+
+    fn runtime(cfg: HwSpecConfig) -> HwSpecPmt {
+        HwSpecPmt::new(hw_pool(16 << 20), cfg)
+    }
+
+    fn region(rt: &mut HwSpecPmt, bytes: usize) -> usize {
+        let a = rt.pool_mut().alloc_direct(bytes, 4096).unwrap();
+        rt.pool_mut().device_mut().set_timing(TimingMode::Off);
+        rt.pool_mut().device_mut().persist_range(a, bytes);
+        rt.pool_mut().device_mut().set_timing(TimingMode::On);
+        a
+    }
+
+    /// Hammer one page hot.
+    fn make_hot(rt: &mut HwSpecPmt, addr: usize) {
+        for v in 0..16u64 {
+            rt.begin();
+            rt.write_u64(addr, v);
+            rt.commit();
+        }
+    }
+
+    #[test]
+    fn cold_writes_are_undo_logged_and_persisted() {
+        let mut rt = runtime(HwSpecConfig::default());
+        let a = region(&mut rt, 4096);
+        rt.begin();
+        rt.write_u64(a, 5);
+        rt.commit();
+        // Cold data is flushed at commit — durable without recovery.
+        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(a), 5);
+    }
+
+    #[test]
+    fn page_becomes_hot_after_threshold_stores() {
+        let mut rt = runtime(HwSpecConfig::default());
+        let a = region(&mut rt, 4096);
+        make_hot(&mut rt, a);
+        assert!(rt.hw_stats().pages_made_hot >= 1);
+        assert!(rt.hw_stats().bulk_copies >= 1);
+        let page = a / 4096;
+        let entry = rt.core.tlb_mut().entry(page).unwrap();
+        assert!(entry.epoch_bit, "page must be hot");
+    }
+
+    #[test]
+    fn hot_writes_skip_data_persistence_but_recover() {
+        let mut rt = runtime(HwSpecConfig::default());
+        let a = region(&mut rt, 4096);
+        make_hot(&mut rt, a);
+        let flushed_before = rt.pool().device().stats().clwb_count;
+        rt.begin();
+        rt.write_u64(a, 0xABCD);
+        rt.commit();
+        let _ = flushed_before;
+        // The datum itself stayed in cache; recovery replays the record.
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        HwSpecPmt::recover(&mut img);
+        assert_eq!(img.read_u64(a), 0xABCD);
+    }
+
+    #[test]
+    fn uncommitted_hot_write_is_revoked() {
+        let mut rt = runtime(HwSpecConfig::default());
+        let a = region(&mut rt, 4096);
+        make_hot(&mut rt, a);
+        rt.begin();
+        rt.write_u64(a, 1111);
+        rt.commit();
+        rt.begin();
+        rt.write_u64(a, 2222);
+        // Crash before commit with everything surviving (in-place update
+        // reached PM): the speculative record for 1111 must win.
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        HwSpecPmt::recover(&mut img);
+        assert_eq!(img.read_u64(a), 1111);
+    }
+
+    #[test]
+    fn uncommitted_cold_write_is_revoked() {
+        let mut rt = runtime(HwSpecConfig::default());
+        let a = region(&mut rt, 4096);
+        rt.begin();
+        rt.write_u64(a, 1);
+        rt.commit();
+        rt.begin();
+        rt.write_u64(a, 2);
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        HwSpecPmt::recover(&mut img);
+        assert_eq!(img.read_u64(a), 1);
+    }
+
+    #[test]
+    fn single_fence_per_commit_without_dp() {
+        let mut rt = runtime(HwSpecConfig::default());
+        let a = region(&mut rt, 4096);
+        make_hot(&mut rt, a);
+        let before = rt.pool().device().stats().sfence_count;
+        rt.begin();
+        for i in 0..8 {
+            rt.write_u64(a + i * 8, i as u64);
+        }
+        rt.commit();
+        assert_eq!(rt.pool().device().stats().sfence_count - before, 1);
+    }
+
+    #[test]
+    fn dp_variant_persists_hot_data_in_commit_fence() {
+        let mut rt = runtime(HwSpecConfig::default().dp());
+        assert_eq!(rt.name(), "SpecHPMT-DP");
+        let a = region(&mut rt, 4096);
+        make_hot(&mut rt, a);
+        let before = rt.pool().device().stats().sfence_count;
+        rt.begin();
+        rt.write_u64(a, 42);
+        rt.commit();
+        assert_eq!(rt.pool().device().stats().sfence_count - before, 1);
+        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(a), 42);
+    }
+
+    #[test]
+    fn epoch_rotation_bounds_log_footprint() {
+        let mut rt = runtime(HwSpecConfig {
+            epoch_max_bytes: 8 * 1024,
+            epoch_max_pages: 4,
+            max_live_epochs: 2,
+            ..HwSpecConfig::default()
+        });
+        let a = region(&mut rt, 64 * 4096);
+        // Heat many pages to force epoch rotations and reclamations.
+        for p in 0..32 {
+            for v in 0..12u64 {
+                rt.begin();
+                rt.write_u64(a + p * 4096, v);
+                rt.commit();
+            }
+        }
+        assert!(rt.hw_stats().epochs_cleared > 0, "epochs must be reclaimed");
+        let bound = 2 * (8 * 1024 + 3 * rt.config_epoch_overhead()) + rt.undo_used();
+        assert!(
+            rt.log_footprint() <= bound.max(128 * 1024),
+            "footprint {} exceeds bound",
+            rt.log_footprint()
+        );
+        // Recovery still works after reclamations.
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        HwSpecPmt::recover(&mut img);
+        assert_eq!(img.read_u64(a + 31 * 4096), 11);
+    }
+
+    #[test]
+    fn csr_disable_reverts_to_pure_undo_logging() {
+        let mut rt = runtime(HwSpecConfig::default());
+        rt.set_speculative_logging(false);
+        let a = region(&mut rt, 4096);
+        // Hammering a page must NOT promote it with the CSR bit clear.
+        make_hot(&mut rt, a);
+        assert_eq!(rt.hw_stats().pages_made_hot, 0);
+        assert_eq!(rt.hw_stats().bulk_copies, 0);
+        // And it still behaves like a correct undo-logging runtime.
+        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(a), 15, "cold path persists data at commit");
+        rt.begin();
+        rt.write_u64(a, 999);
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        HwSpecPmt::recover(&mut img);
+        assert_eq!(img.read_u64(a), 15);
+    }
+
+    #[test]
+    fn adaptive_mode_samples_both_schemes_and_stays_correct() {
+        let mut rt = runtime(HwSpecConfig {
+            adaptive: true,
+            adaptive_window: 8,
+            ..HwSpecConfig::default()
+        });
+        let a = region(&mut rt, 4 * 4096);
+        let mut last = 0;
+        for v in 0..200u64 {
+            rt.begin();
+            rt.write_u64(a + (v as usize % 4) * 4096, v);
+            rt.commit();
+            last = v;
+        }
+        // Both arms were sampled; correctness holds throughout.
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        HwSpecPmt::recover(&mut img);
+        assert_eq!(img.read_u64(a + (last as usize % 4) * 4096), last);
+    }
+
+    #[test]
+    fn reclaimed_epoch_data_is_durable_without_its_records() {
+        let mut rt = runtime(HwSpecConfig {
+            epoch_max_bytes: 4 * 1024,
+            max_live_epochs: 1,
+            ..HwSpecConfig::default()
+        });
+        let a = region(&mut rt, 8 * 4096);
+        make_hot(&mut rt, a);
+        // Force enough records to rotate + reclaim the first epoch.
+        for v in 0..200u64 {
+            rt.begin();
+            rt.write_u64(a, 0xE000 + v);
+            rt.commit();
+        }
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        HwSpecPmt::recover(&mut img);
+        assert_eq!(img.read_u64(a), 0xE000 + 199);
+    }
+}
+
+impl HwSpecPmt {
+    /// Per-epoch fixed overhead for test bounds (block + record headers).
+    #[doc(hidden)]
+    pub fn config_epoch_overhead(&self) -> usize {
+        self.cfg.block_bytes + REC_HDR + ENTRY_HDR
+    }
+
+    /// Undo-region bytes currently live (test support).
+    #[doc(hidden)]
+    pub fn undo_used(&self) -> usize {
+        self.undo.used()
+    }
+}

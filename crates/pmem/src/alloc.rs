@@ -1,0 +1,171 @@
+//! Size-class free-list + bump allocator used by [`crate::PmemPool`].
+//!
+//! The allocator mirrors `libvmmalloc`'s role in the paper's STAMP port:
+//! dynamic allocations land in persistent memory. Free lists are **volatile**
+//! (rebuilt empty after a crash — freed-but-crashed regions leak, the common
+//! PM practice the paper's ecosystem accepts); the bump pointer is
+//! **persistent** and is updated through whichever transaction runtime is
+//! active, so allocation is crash-atomic with the transaction that performed
+//! it.
+
+use std::collections::HashMap;
+
+use crate::PmemError;
+
+/// Rounds `v` up to a multiple of `align` (a power of two).
+#[inline]
+fn round_up(v: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+/// Outcome of [`SizeClassAllocator::reserve`].
+///
+/// When the block came from the bump region, `new_bump` carries the bump
+/// value the caller must make durable (transactionally, via its runtime).
+/// Free-list hits need no durable update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// Byte offset of the allocated block.
+    pub off: usize,
+    /// New persistent bump-pointer value, if the bump region grew.
+    pub new_bump: Option<u64>,
+}
+
+/// Volatile allocation state over a `[start, end)` heap region.
+#[derive(Debug, Clone)]
+pub struct SizeClassAllocator {
+    bump: usize,
+    end: usize,
+    peak: usize,
+    free: HashMap<usize, Vec<usize>>,
+}
+
+impl SizeClassAllocator {
+    /// Creates an allocator over `[start, end)` with the bump at `start`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "heap start after end");
+        Self { bump: start, end, peak: start, free: HashMap::new() }
+    }
+
+    /// Restores the volatile bump from a persisted value (after recovery).
+    /// Free lists start empty: regions freed before the crash leak.
+    pub fn restore(&mut self, bump: usize) {
+        assert!(bump <= self.end, "persisted bump beyond heap end");
+        self.bump = bump;
+        self.peak = self.peak.max(bump);
+        self.free.clear();
+    }
+
+    /// Current bump value.
+    pub fn bump(&self) -> usize {
+        self.bump
+    }
+
+    /// High-water mark of the bump pointer.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    fn class_of(size: usize, align: usize) -> usize {
+        round_up(size.max(1), align.max(8))
+    }
+
+    /// Reserves `size` bytes aligned to `align` (power of two, ≥ 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfMemory`] when the heap is exhausted.
+    pub fn reserve(&mut self, size: usize, align: usize) -> Result<Reservation, PmemError> {
+        let class = Self::class_of(size, align);
+        if let Some(list) = self.free.get_mut(&class) {
+            if let Some(off) = list.pop() {
+                return Ok(Reservation { off, new_bump: None });
+            }
+        }
+        let off = round_up(self.bump, align.max(8));
+        let new_bump = off.checked_add(class).ok_or(PmemError::OutOfMemory { requested: size })?;
+        if new_bump > self.end {
+            return Err(PmemError::OutOfMemory { requested: size });
+        }
+        self.bump = new_bump;
+        self.peak = self.peak.max(new_bump);
+        Ok(Reservation { off, new_bump: Some(new_bump as u64) })
+    }
+
+    /// Returns a block to its size-class free list.
+    ///
+    /// `size`/`align` must match the original reservation.
+    pub fn release(&mut self, off: usize, size: usize, align: usize) {
+        let class = Self::class_of(size, align);
+        self.free.entry(class).or_default().push(off);
+    }
+
+    /// Bytes currently between heap start... i.e. consumed by the bump
+    /// region (free-listed blocks still count — they remain reserved in PM).
+    pub fn used_until(&self) -> usize {
+        self.bump
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocates_aligned() {
+        let mut a = SizeClassAllocator::new(100, 1000);
+        let r = a.reserve(10, 8).unwrap();
+        assert_eq!(r.off % 8, 0);
+        assert!(r.new_bump.is_some());
+        let r2 = a.reserve(10, 64).unwrap();
+        assert_eq!(r2.off % 64, 0);
+    }
+
+    #[test]
+    fn free_list_reuses_without_bump_growth() {
+        let mut a = SizeClassAllocator::new(0, 1024);
+        let r = a.reserve(32, 8).unwrap();
+        a.release(r.off, 32, 8);
+        let r2 = a.reserve(32, 8).unwrap();
+        assert_eq!(r2.off, r.off);
+        assert_eq!(r2.new_bump, None);
+    }
+
+    #[test]
+    fn exhaustion_errors() {
+        let mut a = SizeClassAllocator::new(0, 64);
+        a.reserve(64, 8).unwrap();
+        assert!(matches!(a.reserve(8, 8), Err(PmemError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn restore_clears_free_lists() {
+        let mut a = SizeClassAllocator::new(0, 1024);
+        let r = a.reserve(32, 8).unwrap();
+        a.release(r.off, 32, 8);
+        a.restore(64);
+        let r2 = a.reserve(32, 8).unwrap();
+        // Free list was dropped; allocation comes from the bump at 64.
+        assert_eq!(r2.off, 64);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut a = SizeClassAllocator::new(0, 1024);
+        a.reserve(128, 8).unwrap();
+        let p = a.peak();
+        let r = a.reserve(64, 8).unwrap();
+        a.release(r.off, 64, 8);
+        assert!(a.peak() >= p);
+    }
+
+    #[test]
+    fn different_classes_do_not_alias() {
+        let mut a = SizeClassAllocator::new(0, 4096);
+        let r8 = a.reserve(8, 8).unwrap();
+        a.release(r8.off, 8, 8);
+        let r16 = a.reserve(16, 8).unwrap();
+        assert_ne!(r16.off, r8.off);
+    }
+}

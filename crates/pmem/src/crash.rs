@@ -1,0 +1,150 @@
+//! Crash images and crash nondeterminism policies.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Controls which *unfenced* data survives a simulated crash.
+///
+/// Fenced flushes and WPQ-accepted flushes always survive (ADR); everything
+/// else — in-flight flushes and plain dirty cache words — survives according
+/// to this policy, modelling arbitrary cache-eviction timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPolicy {
+    /// No unfenced data survives. The most adversarial image for redo-style
+    /// recovery.
+    AllLost,
+    /// All dirty data survives (as if every line were evicted just before
+    /// the crash). The most adversarial image for undo-style recovery.
+    AllSurvive,
+    /// Each unfenced unit independently survives with probability ½, driven
+    /// by the given seed. Different seeds explore different images.
+    Random(u64),
+}
+
+impl CrashPolicy {
+    pub(crate) fn rng(&self) -> Option<StdRng> {
+        match self {
+            CrashPolicy::Random(seed) => Some(StdRng::seed_from_u64(*seed)),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn survives(&self, rng: &mut Option<StdRng>) -> bool {
+        match self {
+            CrashPolicy::AllLost => false,
+            CrashPolicy::AllSurvive => true,
+            CrashPolicy::Random(_) => rng.as_mut().expect("rng present").random::<bool>(),
+        }
+    }
+}
+
+/// The contents of persistent memory after a simulated crash.
+///
+/// Produced by [`crate::PmemDevice::crash_with`]; recovery routines mutate
+/// the image in place and verification reads it back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashImage {
+    bytes: Vec<u8>,
+}
+
+impl CrashImage {
+    /// Wraps raw bytes as a crash image (testing and tooling).
+    pub fn new(bytes: Vec<u8>) -> Self {
+        Self { bytes }
+    }
+
+    /// The raw post-crash bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable access for recovery routines.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Image size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the image is empty (zero-sized device).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + 8` exceeds the image.
+    pub fn read_u64(&self, addr: usize) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[addr..addr + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `addr` (for recovery routines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + 8` exceeds the image.
+    pub fn write_u64(&mut self, addr: usize, value: u64) {
+        self.bytes[addr..addr + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads `len` bytes at `addr`.
+    pub fn read_bytes(&self, addr: usize, len: usize) -> &[u8] {
+        &self.bytes[addr..addr + len]
+    }
+
+    /// Overwrites `data.len()` bytes at `addr`.
+    pub fn write_bytes(&mut self, addr: usize, data: &[u8]) {
+        self.bytes[addr..addr + data.len()].copy_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lost_never_survives() {
+        let p = CrashPolicy::AllLost;
+        let mut rng = p.rng();
+        for _ in 0..8 {
+            assert!(!p.survives(&mut rng));
+        }
+    }
+
+    #[test]
+    fn all_survive_always_survives() {
+        let p = CrashPolicy::AllSurvive;
+        let mut rng = p.rng();
+        for _ in 0..8 {
+            assert!(p.survives(&mut rng));
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let draw = |seed| {
+            let p = CrashPolicy::Random(seed);
+            let mut rng = p.rng();
+            (0..32).map(|_| p.survives(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(1), draw(2));
+    }
+
+    #[test]
+    fn image_accessors() {
+        let mut img = CrashImage::new(vec![0; 64]);
+        img.write_u64(8, 99);
+        assert_eq!(img.read_u64(8), 99);
+        img.write_bytes(0, &[1, 2, 3]);
+        assert_eq!(img.read_bytes(0, 3), &[1, 2, 3]);
+        assert_eq!(img.len(), 64);
+        assert!(!img.is_empty());
+    }
+}

@@ -1,0 +1,693 @@
+//! The simulated persistent-memory device.
+
+use std::collections::VecDeque;
+
+use crate::crash::{CrashImage, CrashPolicy};
+use crate::geometry::{line_of, line_start, lines_touching, xpline_of_line, CACHE_LINE, PERSIST_WORD};
+use crate::{PmemConfig, PmemError, PmemStats};
+
+/// Whether device operations advance the simulated clock and counters.
+///
+/// Workload *setup* (building initial data structures) should run with
+/// [`TimingMode::Off`] so measurements cover only the transactional phase.
+/// With timing off, flushes and fences still take effect logically — they
+/// apply to the persisted image immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimingMode {
+    /// Operations are charged to the simulated clock and counted.
+    #[default]
+    On,
+    /// Operations are free and persist immediately.
+    Off,
+}
+
+/// A line flush that has been issued but not yet fenced.
+#[derive(Debug, Clone)]
+struct PendingFlush {
+    line: usize,
+    /// Simulated time at which the line is accepted into the WPQ — the
+    /// instant it enters the persistence domain under ADR.
+    accepted_at: u64,
+    /// Contents of the line at `clwb` time. A later store to the line does
+    /// not change what this flush persists.
+    snapshot: Vec<u8>,
+}
+
+/// Simulated byte-addressable persistent memory device.
+///
+/// The device keeps two images: the **volatile** image every load/store sees,
+/// and the **persisted** image that survives a [`crash`](Self::crash). Data
+/// moves from volatile to persisted through cache-line flushes
+/// ([`clwb`](Self::clwb)) completed by fences ([`sfence`](Self::sfence)), or
+/// nondeterministically at crash time (modelling cache evictions).
+///
+/// Timing follows an ADR platform: a `clwb` issues an asynchronous line
+/// write-back that must be *accepted by the write pending queue* to be
+/// persistent; `sfence` stalls until every outstanding flush of this device
+/// is accepted. The WPQ drains to PM media serially; flushing faster than
+/// media bandwidth backs up the queue and stalls later fences. A flush
+/// landing in the XPLine that the media currently has open is serviced at
+/// the cheaper sequential rate.
+#[derive(Debug, Clone)]
+pub struct PmemDevice {
+    cfg: PmemConfig,
+    volatile: Vec<u8>,
+    persisted: Vec<u8>,
+    pending: Vec<PendingFlush>,
+    /// Drain-completion times of WPQ entries (monotonic non-decreasing).
+    wpq_drains: VecDeque<u64>,
+    media_busy_until: u64,
+    last_media_xpline: Option<usize>,
+    clock_ns: u64,
+    timing: TimingMode,
+    stats: PmemStats,
+    /// Fault injection: remaining persistence-affecting operations before a
+    /// crash image is captured (see [`Self::arm_crash`]).
+    crash_fuel: Option<u64>,
+    armed_policy: CrashPolicy,
+    fired_image: Option<CrashImage>,
+}
+
+impl PmemDevice {
+    /// Creates a zero-filled device with the given configuration.
+    pub fn new(cfg: PmemConfig) -> Self {
+        let size = cfg.size;
+        Self {
+            cfg,
+            volatile: vec![0; size],
+            persisted: vec![0; size],
+            pending: Vec::new(),
+            wpq_drains: VecDeque::new(),
+            media_busy_until: 0,
+            last_media_xpline: None,
+            clock_ns: 0,
+            timing: TimingMode::On,
+            stats: PmemStats::default(),
+            crash_fuel: None,
+            armed_policy: CrashPolicy::AllLost,
+            fired_image: None,
+        }
+    }
+
+    /// Reconstructs a device from a crash image: both images equal the
+    /// post-crash contents, the clock is reset.
+    pub fn from_image(cfg: PmemConfig, image: &CrashImage) -> Self {
+        let mut dev = Self::new(cfg.with_size(image.as_bytes().len()));
+        dev.volatile.copy_from_slice(image.as_bytes());
+        dev.persisted.copy_from_slice(image.as_bytes());
+        dev
+    }
+
+    /// Device capacity in bytes.
+    pub fn size(&self) -> usize {
+        self.volatile.len()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PmemConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Accumulated event counters.
+    pub fn stats(&self) -> &PmemStats {
+        &self.stats
+    }
+
+    /// Switches timing on or off (see [`TimingMode`]).
+    pub fn set_timing(&mut self, mode: TimingMode) {
+        self.timing = mode;
+    }
+
+    /// Current timing mode.
+    pub fn timing(&self) -> TimingMode {
+        self.timing
+    }
+
+    /// Advances the simulated clock by `ns` of CPU work (no memory traffic).
+    pub fn advance(&mut self, ns: u64) {
+        if self.timing == TimingMode::On {
+            self.clock_ns += ns;
+        }
+    }
+
+    /// Arms fault injection: a crash image under `policy` is captured
+    /// immediately **before** the `after_ops`-th subsequent
+    /// persistence-affecting operation (stores, flushes, fences — reads and
+    /// timing-off operations do not count). Execution then continues
+    /// normally; the captured image is retrieved with
+    /// [`Self::take_fired_image`]. This is how test drivers crash a runtime
+    /// *inside* its commit sequence (e.g. between a log flush and its
+    /// fence).
+    pub fn arm_crash(&mut self, after_ops: u64, policy: CrashPolicy) {
+        self.crash_fuel = Some(after_ops);
+        self.armed_policy = policy;
+        self.fired_image = None;
+    }
+
+    /// Whether an armed crash has fired.
+    pub fn crash_fired(&self) -> bool {
+        self.fired_image.is_some()
+    }
+
+    /// Takes the captured crash image, if the armed crash fired.
+    pub fn take_fired_image(&mut self) -> Option<CrashImage> {
+        self.fired_image.take()
+    }
+
+    fn tick_fuel(&mut self) {
+        if self.timing == TimingMode::Off {
+            return;
+        }
+        match self.crash_fuel {
+            Some(0) => {
+                if self.fired_image.is_none() {
+                    self.fired_image = Some(self.crash_with(self.armed_policy));
+                }
+            }
+            Some(f) => self.crash_fuel = Some(f - 1),
+            None => {}
+        }
+    }
+
+    fn check(&self, addr: usize, len: usize) -> Result<(), PmemError> {
+        if addr.checked_add(len).is_none_or(|end| end > self.volatile.len()) {
+            return Err(PmemError::OutOfBounds { addr, len, size: self.volatile.len() });
+        }
+        Ok(())
+    }
+
+    /// Stores `data` at `addr` in the volatile image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds (callers are expected to stay
+    /// within the pool they allocated; see [`Self::try_write`] for the
+    /// checked variant).
+    pub fn write(&mut self, addr: usize, data: &[u8]) {
+        self.try_write(addr, data).expect("pmem write out of bounds");
+    }
+
+    /// Checked variant of [`Self::write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the range exceeds capacity.
+    pub fn try_write(&mut self, addr: usize, data: &[u8]) -> Result<(), PmemError> {
+        self.check(addr, data.len())?;
+        self.tick_fuel();
+        self.volatile[addr..addr + data.len()].copy_from_slice(data);
+        if self.timing == TimingMode::On {
+            let words = data.len().div_ceil(PERSIST_WORD) as u64;
+            self.clock_ns += words * self.cfg.store_word_ns;
+            self.stats.bytes_stored += data.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Loads `buf.len()` bytes from `addr` in the volatile image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read(&mut self, addr: usize, buf: &mut [u8]) {
+        self.try_read(addr, buf).expect("pmem read out of bounds");
+    }
+
+    /// Checked variant of [`Self::read`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the range exceeds capacity.
+    pub fn try_read(&mut self, addr: usize, buf: &mut [u8]) -> Result<(), PmemError> {
+        self.check(addr, buf.len())?;
+        buf.copy_from_slice(&self.volatile[addr..addr + buf.len()]);
+        if self.timing == TimingMode::On {
+            let words = buf.len().div_ceil(PERSIST_WORD) as u64;
+            self.clock_ns += words * self.cfg.load_word_ns;
+            self.stats.bytes_loaded += buf.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&mut self, addr: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: usize, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Borrows a slice of the volatile image without charging any cost.
+    /// Intended for verification and debugging, not for modelled execution.
+    pub fn peek(&self, addr: usize, len: usize) -> &[u8] {
+        &self.volatile[addr..addr + len]
+    }
+
+    /// Reads a `u64` from the volatile image without charging any cost.
+    pub fn peek_u64(&self, addr: usize) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.volatile[addr..addr + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    /// Issues a `clwb` for the cache line containing `addr`: snapshots the
+    /// line and schedules its write-back. The line is persistent only once
+    /// accepted by the WPQ; [`Self::sfence`] waits for that.
+    pub fn clwb(&mut self, addr: usize) {
+        let line = line_of(addr);
+        assert!(line_start(line) < self.volatile.len(), "clwb out of bounds");
+        self.tick_fuel();
+        let snapshot =
+            self.volatile[line_start(line)..line_start(line) + CACHE_LINE].to_vec();
+        if self.timing == TimingMode::Off {
+            self.persisted[line_start(line)..line_start(line) + CACHE_LINE]
+                .copy_from_slice(&snapshot);
+            return;
+        }
+        self.clock_ns += self.cfg.clwb_issue_ns;
+        self.stats.clwb_count += 1;
+
+        // WPQ slot availability: drop entries already drained to media.
+        let now = self.clock_ns;
+        while self.wpq_drains.front().is_some_and(|&t| t <= now) {
+            self.wpq_drains.pop_front();
+        }
+        let slot_free_at = if self.wpq_drains.len() >= self.cfg.wpq_entries {
+            // Queue full: must wait for the oldest entry to drain.
+            self.wpq_drains.pop_front().unwrap_or(now)
+        } else {
+            now
+        };
+        let accepted_at = slot_free_at.max(now) + self.cfg.wpq_accept_ns;
+
+        // Media service: sequential XPLine hits are cheaper.
+        let xp = xpline_of_line(line);
+        let sequential = self.last_media_xpline == Some(xp);
+        let service = if sequential { self.cfg.line_write_seq_ns } else { self.cfg.line_write_ns };
+        let drain_at = self.media_busy_until.max(accepted_at) + service;
+        self.media_busy_until = drain_at;
+        self.last_media_xpline = Some(xp);
+        self.wpq_drains.push_back(drain_at);
+
+        self.stats.lines_persisted += 1;
+        if sequential {
+            self.stats.seq_line_hits += 1;
+        }
+        self.pending.push(PendingFlush { line, accepted_at, snapshot });
+    }
+
+    /// Persists the line containing `addr` from a **background core**
+    /// (log replayer / reclamator threads): the write consumes a WPQ slot
+    /// and media bandwidth — so it contends with foreground flushes — but
+    /// does not advance this thread's clock or leave a fence obligation.
+    /// The line content persists logically at once (the background thread
+    /// is assumed to fence before publishing any dependent state).
+    pub fn background_line_write(&mut self, addr: usize) {
+        let line = line_of(addr);
+        assert!(line_start(line) < self.volatile.len(), "background write out of bounds");
+        let start = line_start(line);
+        if self.timing == TimingMode::Off {
+            let snapshot = self.volatile[start..start + CACHE_LINE].to_vec();
+            self.persisted[start..start + CACHE_LINE].copy_from_slice(&snapshot);
+            return;
+        }
+        let now = self.clock_ns;
+        while self.wpq_drains.front().is_some_and(|&t| t <= now) {
+            self.wpq_drains.pop_front();
+        }
+        let slot_free_at = if self.wpq_drains.len() >= self.cfg.wpq_entries {
+            self.wpq_drains.pop_front().unwrap_or(now)
+        } else {
+            now
+        };
+        let accepted_at = slot_free_at.max(now) + self.cfg.wpq_accept_ns;
+        let xp = xpline_of_line(line);
+        let sequential = self.last_media_xpline == Some(xp);
+        let service = if sequential { self.cfg.line_write_seq_ns } else { self.cfg.line_write_ns };
+        let drain_at = self.media_busy_until.max(accepted_at) + service;
+        self.media_busy_until = drain_at;
+        self.last_media_xpline = Some(xp);
+        self.wpq_drains.push_back(drain_at);
+        self.stats.lines_persisted += 1;
+        if sequential {
+            self.stats.seq_line_hits += 1;
+        }
+        let snapshot = self.volatile[start..start + CACHE_LINE].to_vec();
+        self.persisted[start..start + CACHE_LINE].copy_from_slice(&snapshot);
+    }
+
+    /// [`Self::background_line_write`] over every line of a range.
+    pub fn background_range_write(&mut self, addr: usize, len: usize) {
+        for line in lines_touching(addr, len) {
+            self.background_line_write(line_start(line));
+        }
+    }
+
+    /// Issues `clwb` for every cache line touched by `[addr, addr + len)`.
+    pub fn clwb_range(&mut self, addr: usize, len: usize) {
+        for line in lines_touching(addr, len) {
+            self.clwb(line_start(line));
+        }
+    }
+
+    /// Store fence: stalls until all outstanding flushes are accepted into
+    /// the persistence domain, then applies them to the persisted image.
+    pub fn sfence(&mut self) {
+        if self.timing == TimingMode::Off {
+            debug_assert!(self.pending.is_empty());
+            return;
+        }
+        self.tick_fuel();
+        self.stats.sfence_count += 1;
+        let target = self.pending.iter().map(|p| p.accepted_at).max().unwrap_or(0);
+        if target > self.clock_ns {
+            self.stats.fence_stall_ns += target - self.clock_ns;
+            self.clock_ns = target;
+        }
+        self.clock_ns += self.cfg.sfence_base_ns;
+        for p in self.pending.drain(..) {
+            let start = line_start(p.line);
+            self.persisted[start..start + CACHE_LINE].copy_from_slice(&p.snapshot);
+        }
+    }
+
+    /// Non-temporal store: writes `data` and flushes the touched lines in one
+    /// step (still requires a fence for ordering, like real `movnt`).
+    pub fn nt_store(&mut self, addr: usize, data: &[u8]) {
+        self.write(addr, data);
+        if self.timing == TimingMode::On {
+            self.stats.nt_stores += 1;
+        }
+        self.clwb_range(addr, data.len());
+    }
+
+    /// Convenience: `clwb_range` followed by `sfence`.
+    pub fn persist_range(&mut self, addr: usize, len: usize) {
+        self.clwb_range(addr, len);
+        self.sfence();
+    }
+
+    /// Produces the memory image a crash at the current instant could leave,
+    /// governed by `policy`:
+    ///
+    /// * flushed-and-fenced data is always present;
+    /// * flushes accepted by the WPQ (even without a fence) are present —
+    ///   ADR drains the WPQ on power failure;
+    /// * in-flight flushes and plain dirty words survive per `policy`
+    ///   (cache evictions can persist any subset, at 8-byte granularity).
+    pub fn crash_with(&self, policy: CrashPolicy) -> CrashImage {
+        let mut image = self.persisted.clone();
+        let mut rng = policy.rng();
+        // Flushes already accepted into the persistence domain.
+        for p in &self.pending {
+            let survives = if p.accepted_at <= self.clock_ns {
+                true
+            } else {
+                policy.survives(&mut rng)
+            };
+            if survives {
+                let start = line_start(p.line);
+                image[start..start + CACHE_LINE].copy_from_slice(&p.snapshot);
+            }
+        }
+        // Dirty words may have been evicted from the cache at any time.
+        let words = self.volatile.len() / PERSIST_WORD;
+        for w in 0..words {
+            let a = w * PERSIST_WORD;
+            let vol = &self.volatile[a..a + PERSIST_WORD];
+            if vol != &image[a..a + PERSIST_WORD] && policy.survives(&mut rng) {
+                image[a..a + PERSIST_WORD].copy_from_slice(vol);
+            }
+        }
+        CrashImage::new(image)
+    }
+
+    /// Shorthand for [`Self::crash_with`]`(CrashPolicy::Random(seed))`.
+    pub fn crash(&self, seed: u64) -> CrashImage {
+        self.crash_with(CrashPolicy::Random(seed))
+    }
+
+    /// Drains every outstanding flush and persists **all** dirty data, as an
+    /// orderly shutdown (or `wbnoinvd`) would. The persisted image becomes
+    /// identical to the volatile image.
+    pub fn flush_everything(&mut self) {
+        let dirty: Vec<usize> = (0..self.volatile.len() / CACHE_LINE)
+            .filter(|&l| {
+                let s = line_start(l);
+                self.volatile[s..s + CACHE_LINE] != self.persisted[s..s + CACHE_LINE]
+            })
+            .collect();
+        for l in dirty {
+            self.clwb(line_start(l));
+        }
+        self.sfence();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> PmemDevice {
+        PmemDevice::new(PmemConfig::new(4096))
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut d = dev();
+        d.write_u64(128, 0xdead_beef);
+        assert_eq!(d.read_u64(128), 0xdead_beef);
+    }
+
+    #[test]
+    fn unflushed_store_lost_in_pessimistic_crash() {
+        let mut d = dev();
+        d.write_u64(0, 7);
+        let img = d.crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(0), 0);
+    }
+
+    #[test]
+    fn unflushed_store_survives_optimistic_crash() {
+        let mut d = dev();
+        d.write_u64(0, 7);
+        let img = d.crash_with(CrashPolicy::AllSurvive);
+        assert_eq!(img.read_u64(0), 7);
+    }
+
+    #[test]
+    fn flushed_and_fenced_store_always_survives() {
+        let mut d = dev();
+        d.write_u64(0, 7);
+        d.clwb(0);
+        d.sfence();
+        for seed in 0..16 {
+            assert_eq!(d.crash(seed).read_u64(0), 7);
+        }
+    }
+
+    #[test]
+    fn clwb_snapshots_at_flush_time() {
+        let mut d = dev();
+        d.write_u64(0, 1);
+        d.clwb(0);
+        d.write_u64(0, 2); // after the flush snapshot
+        d.sfence();
+        let img = d.crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(0), 1);
+        assert_eq!(d.read_u64(0), 2);
+    }
+
+    #[test]
+    fn accepted_flush_survives_even_without_fence() {
+        // Give the flush time to be accepted by advancing the clock.
+        let mut d = dev();
+        d.write_u64(0, 9);
+        d.clwb(0);
+        d.advance(10_000);
+        let img = d.crash_with(CrashPolicy::AllLost);
+        // accepted_at <= clock because the WPQ had free slots at issue time.
+        assert_eq!(img.read_u64(0), 9);
+    }
+
+    #[test]
+    fn fence_costs_time_and_counts() {
+        let mut d = dev();
+        d.write_u64(0, 1);
+        let before = d.now_ns();
+        d.clwb(0);
+        d.sfence();
+        assert!(d.now_ns() > before);
+        assert_eq!(d.stats().clwb_count, 1);
+        assert_eq!(d.stats().sfence_count, 1);
+        assert_eq!(d.stats().lines_persisted, 1);
+    }
+
+    #[test]
+    fn sequential_flushes_cheaper_than_random() {
+        let cfg = PmemConfig::new(1 << 20);
+        // Sequential: 64 adjacent lines.
+        let mut seq = PmemDevice::new(cfg.clone());
+        for i in 0..64 {
+            seq.write_u64(i * 64, 1);
+            seq.clwb(i * 64);
+        }
+        seq.sfence();
+        // Random: 64 lines spread across distinct XPLines.
+        let mut rnd = PmemDevice::new(cfg);
+        for i in 0..64 {
+            rnd.write_u64(i * 4096, 1);
+            rnd.clwb(i * 4096);
+        }
+        rnd.sfence();
+        assert!(
+            seq.now_ns() < rnd.now_ns(),
+            "sequential {} >= random {}",
+            seq.now_ns(),
+            rnd.now_ns()
+        );
+        assert!(seq.stats().seq_line_hits > 0);
+        assert_eq!(rnd.stats().seq_line_hits, 0);
+    }
+
+    #[test]
+    fn wpq_backpressure_stalls_sustained_flushing() {
+        let cfg = PmemConfig::new(1 << 20);
+        let mut d = PmemDevice::new(cfg);
+        // Flush far more lines than the WPQ holds; later fences pay the
+        // media drain backlog.
+        let mut last_fence_cost = 0;
+        for burst in 0..4 {
+            let t0 = d.now_ns();
+            for i in 0..32 {
+                let a = (burst * 32 + i) * 4096; // distinct XPLines
+                d.write_u64(a, 1);
+                d.clwb(a);
+            }
+            d.sfence();
+            last_fence_cost = d.now_ns() - t0;
+        }
+        assert!(last_fence_cost > 0);
+        assert!(d.stats().fence_stall_ns > 0);
+    }
+
+    #[test]
+    fn timing_off_persists_immediately_and_counts_nothing() {
+        let mut d = dev();
+        d.set_timing(TimingMode::Off);
+        d.write_u64(0, 5);
+        d.clwb(0);
+        d.sfence();
+        assert_eq!(d.now_ns(), 0);
+        assert_eq!(d.stats().clwb_count, 0);
+        let img = d.crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(0), 5);
+    }
+
+    #[test]
+    fn torn_line_possible_word_granular() {
+        // Two words in one line, never flushed: a crash may persist one but
+        // not the other.
+        let mut d = dev();
+        d.write_u64(0, 0x1111);
+        d.write_u64(8, 0x2222);
+        let mut seen_torn = false;
+        for seed in 0..64 {
+            let img = d.crash(seed);
+            let a = img.read_u64(0);
+            let b = img.read_u64(8);
+            if (a == 0x1111) != (b == 0x2222) {
+                seen_torn = true;
+            }
+        }
+        assert!(seen_torn, "expected at least one torn-line crash image");
+    }
+
+    #[test]
+    fn from_image_roundtrip() {
+        let mut d = dev();
+        d.write_u64(64, 42);
+        d.persist_range(64, 8);
+        let img = d.crash_with(CrashPolicy::AllLost);
+        let mut d2 = PmemDevice::from_image(PmemConfig::new(4096), &img);
+        assert_eq!(d2.read_u64(64), 42);
+    }
+
+    #[test]
+    fn flush_everything_syncs_images() {
+        let mut d = dev();
+        d.write_u64(0, 1);
+        d.write_u64(512, 2);
+        d.flush_everything();
+        let img = d.crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(0), 1);
+        assert_eq!(img.read_u64(512), 2);
+    }
+
+    #[test]
+    fn try_write_out_of_bounds_errors() {
+        let mut d = dev();
+        let err = d.try_write(4090, &[0; 16]).unwrap_err();
+        assert!(matches!(err, PmemError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn armed_crash_fires_before_nth_op() {
+        let mut d = dev();
+        d.write_u64(0, 1); // op 0 (not counted: arm below)
+        d.arm_crash(1, CrashPolicy::AllLost);
+        d.write_u64(8, 2); // op executes (fuel 1 -> 0)
+        d.write_u64(16, 3); // crash fires before this op
+        assert!(d.crash_fired());
+        let img = d.take_fired_image().unwrap();
+        // Nothing was flushed, AllLost: all writes gone.
+        assert_eq!(img.read_u64(0), 0);
+        assert_eq!(img.read_u64(8), 0);
+        assert_eq!(img.read_u64(16), 0);
+        // Volatile image still has everything (execution continued).
+        assert_eq!(d.read_u64(16), 3);
+    }
+
+    #[test]
+    fn armed_crash_between_clwb_and_fence_loses_inflight_flush() {
+        let mut d = dev();
+        d.write_u64(0, 7);
+        d.arm_crash(1, CrashPolicy::AllLost);
+        d.clwb(0); // executes; crash fires before the fence
+        d.sfence();
+        let img = d.take_fired_image().unwrap();
+        // In-flight (not yet accepted) flush is lost under AllLost.
+        assert_eq!(img.read_u64(0), 0);
+    }
+
+    #[test]
+    fn armed_crash_does_not_fire_during_timing_off() {
+        let mut d = dev();
+        d.arm_crash(0, CrashPolicy::AllLost);
+        d.set_timing(TimingMode::Off);
+        d.write_u64(0, 1);
+        assert!(!d.crash_fired());
+        d.set_timing(TimingMode::On);
+        d.write_u64(8, 2);
+        assert!(d.crash_fired());
+    }
+
+    #[test]
+    fn nt_store_persists_after_fence() {
+        let mut d = dev();
+        d.nt_store(256, &[9u8; 16]);
+        d.sfence();
+        let img = d.crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.as_bytes()[256], 9);
+        assert_eq!(d.stats().nt_stores, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for device and pool operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by persistent-memory device and pool operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmemError {
+    /// An access fell outside the device capacity.
+    OutOfBounds {
+        /// First byte of the offending access.
+        addr: usize,
+        /// Length of the offending access.
+        len: usize,
+        /// Device capacity.
+        size: usize,
+    },
+    /// The pool allocator could not satisfy an allocation.
+    OutOfMemory {
+        /// Requested allocation size.
+        requested: usize,
+    },
+    /// A pool was opened from an image whose header is corrupt.
+    BadPoolHeader,
+}
+
+impl fmt::Display for PmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmemError::OutOfBounds { addr, len, size } => write!(
+                f,
+                "access [{addr}, {}) out of bounds for device of {size} bytes",
+                addr + len
+            ),
+            PmemError::OutOfMemory { requested } => {
+                write!(f, "pool allocator out of memory ({requested} bytes requested)")
+            }
+            PmemError::BadPoolHeader => write!(f, "persistent pool header is corrupt"),
+        }
+    }
+}
+
+impl Error for PmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PmemError::OutOfBounds { addr: 10, len: 4, size: 8 };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = PmemError::OutOfMemory { requested: 64 };
+        assert!(e.to_string().contains("64"));
+    }
+}

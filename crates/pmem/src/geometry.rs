@@ -1,0 +1,83 @@
+//! Address geometry helpers: cache lines, persistence words, XPLines.
+
+/// Cache line size in bytes (x86).
+pub const CACHE_LINE: usize = 64;
+
+/// Persistence atomicity granule in bytes. x86 guarantees that aligned
+/// 8-byte stores reach the persistence domain atomically; anything larger
+/// can tear across a crash.
+pub const PERSIST_WORD: usize = 8;
+
+/// Optane media write granule ("XPLine"). Flushes of lines that fall in the
+/// same XPLine as the previous flush hit the on-DIMM write-combining buffer
+/// and are serviced faster, which is why sequential log writes beat random
+/// data writes on real hardware.
+pub const XPLINE: usize = 256;
+
+/// Index of the cache line containing byte address `addr`.
+#[inline]
+pub fn line_of(addr: usize) -> usize {
+    addr / CACHE_LINE
+}
+
+/// First byte address of cache line `line`.
+#[inline]
+pub fn line_start(line: usize) -> usize {
+    line * CACHE_LINE
+}
+
+/// Index of the 8-byte persistence word containing byte address `addr`.
+#[inline]
+pub fn word_of(addr: usize) -> usize {
+    addr / PERSIST_WORD
+}
+
+/// Index of the XPLine containing cache line `line`.
+#[inline]
+pub fn xpline_of_line(line: usize) -> usize {
+    line * CACHE_LINE / XPLINE
+}
+
+/// Iterator over the cache-line indices touched by `[addr, addr + len)`.
+#[inline]
+pub fn lines_touching(addr: usize, len: usize) -> impl Iterator<Item = usize> {
+    let first = line_of(addr);
+    let last = if len == 0 { first } else { line_of(addr + len - 1) };
+    first..=last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 1);
+        assert_eq!(line_start(2), 128);
+    }
+
+    #[test]
+    fn word_math() {
+        assert_eq!(word_of(7), 0);
+        assert_eq!(word_of(8), 1);
+    }
+
+    #[test]
+    fn xpline_groups_four_lines() {
+        assert_eq!(xpline_of_line(0), 0);
+        assert_eq!(xpline_of_line(3), 0);
+        assert_eq!(xpline_of_line(4), 1);
+    }
+
+    #[test]
+    fn touching_lines_spans() {
+        let v: Vec<_> = lines_touching(60, 8).collect();
+        assert_eq!(v, vec![0, 1]);
+        let v: Vec<_> = lines_touching(0, 64).collect();
+        assert_eq!(v, vec![0]);
+        let v: Vec<_> = lines_touching(10, 0).collect();
+        assert_eq!(v, vec![0]);
+    }
+}

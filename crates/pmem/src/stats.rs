@@ -1,0 +1,69 @@
+//! Counters exposed by the device.
+
+/// Event counters accumulated by a [`crate::PmemDevice`].
+///
+/// Timing-off phases (see [`crate::TimingMode`]) still update the volatile
+/// and persisted images but do **not** contribute to these counters, so
+/// setup work can be excluded from measurements.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PmemStats {
+    /// `clwb`/`clflushopt` instructions issued.
+    pub clwb_count: u64,
+    /// `sfence` instructions executed.
+    pub sfence_count: u64,
+    /// Nanoseconds spent stalled in fences waiting for the WPQ to drain.
+    pub fence_stall_ns: u64,
+    /// Cache lines written to PM media (each counts [`crate::CACHE_LINE`] bytes).
+    pub lines_persisted: u64,
+    /// Of [`Self::lines_persisted`], how many hit the open XPLine
+    /// (sequential-write discount).
+    pub seq_line_hits: u64,
+    /// Bytes stored by the CPU (volatile image updates).
+    pub bytes_stored: u64,
+    /// Bytes loaded by the CPU.
+    pub bytes_loaded: u64,
+    /// Non-temporal store operations.
+    pub nt_stores: u64,
+}
+
+impl PmemStats {
+    /// Total bytes of PM media write traffic.
+    pub fn pm_write_bytes(&self) -> u64 {
+        self.lines_persisted * crate::CACHE_LINE as u64
+    }
+
+    /// Difference `self - earlier`, for measuring a phase.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &PmemStats) -> PmemStats {
+        PmemStats {
+            clwb_count: self.clwb_count - earlier.clwb_count,
+            sfence_count: self.sfence_count - earlier.sfence_count,
+            fence_stall_ns: self.fence_stall_ns - earlier.fence_stall_ns,
+            lines_persisted: self.lines_persisted - earlier.lines_persisted,
+            seq_line_hits: self.seq_line_hits - earlier.seq_line_hits,
+            bytes_stored: self.bytes_stored - earlier.bytes_stored,
+            bytes_loaded: self.bytes_loaded - earlier.bytes_loaded,
+            nt_stores: self.nt_stores - earlier.nt_stores,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pm_write_bytes_scales_by_line() {
+        let s = PmemStats { lines_persisted: 3, ..PmemStats::default() };
+        assert_eq!(s.pm_write_bytes(), 192);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let a = PmemStats { clwb_count: 10, sfence_count: 4, ..PmemStats::default() };
+        let b = PmemStats { clwb_count: 3, sfence_count: 1, ..PmemStats::default() };
+        let d = a.delta_since(&b);
+        assert_eq!(d.clwb_count, 7);
+        assert_eq!(d.sfence_count, 3);
+    }
+}

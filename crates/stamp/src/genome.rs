@@ -1,0 +1,233 @@
+//! `genome`: gene-sequence assembly.
+//!
+//! Mirrors STAMP `genome`: phase 1 deduplicates DNA segments by inserting
+//! them into a hash set (here a persistent open-addressing table — small
+//! transactional writes, ~7 B average per Table 2); phase 2 links unique
+//! segments into an assembly chain (single pointer write per transaction).
+
+use specpmt_txn::TxRuntime;
+
+use crate::util::{hash64, setup_region, SplitMix64};
+use crate::Scale;
+
+/// Configuration for the genome workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenomeCfg {
+    /// Genome length in bases.
+    pub genome_len: usize,
+    /// Segment length in bases.
+    pub segment_len: usize,
+    /// Number of sampled segments (phase-1 transactions).
+    pub segments: usize,
+    /// Hash-table capacity (power of two, > unique segments).
+    pub table_cap: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// CPU cost per segment hash/compare (ns).
+    pub hash_compute_ns: u64,
+}
+
+impl GenomeCfg {
+    /// Preset for a scale.
+    pub fn scaled(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => Self {
+                genome_len: 256,
+                segment_len: 16,
+                segments: 80,
+                table_cap: 256,
+                seed: 31,
+                hash_compute_ns: 600,
+            },
+            Scale::Small => Self {
+                genome_len: 8192,
+                segment_len: 16,
+                segments: 2500,
+                table_cap: 8192,
+                seed: 31,
+                hash_compute_ns: 600,
+            },
+        }
+    }
+}
+
+struct Layout {
+    /// Hash table: `table_cap` entries of 8 B (segment fingerprint; 0 = empty).
+    table: usize,
+    /// Unique-segment count (u32).
+    unique: usize,
+    /// Chain links: `table_cap` × u32 (next unique segment's slot + 1).
+    links: usize,
+    /// Chain head slot (u32).
+    head: usize,
+}
+
+fn layout(cfg: &GenomeCfg, base: usize) -> Layout {
+    let table = base;
+    let unique = table + cfg.table_cap * 8;
+    let links = unique + 4;
+    let head = links + cfg.table_cap * 4;
+    Layout { table, unique, links, head }
+}
+
+fn region_bytes(cfg: &GenomeCfg) -> usize {
+    cfg.table_cap * 8 + 4 + cfg.table_cap * 4 + 4
+}
+
+fn gen_genome(cfg: &GenomeCfg) -> Vec<u8> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    (0..cfg.genome_len).map(|_| b"ACGT"[rng.below(4)]).collect()
+}
+
+fn gen_segments(cfg: &GenomeCfg, genome: &[u8]) -> Vec<u64> {
+    let mut rng = SplitMix64::new(cfg.seed ^ 0x5E65);
+    (0..cfg.segments)
+        .map(|_| {
+            let at = rng.below(genome.len() - cfg.segment_len);
+            // Fingerprint the segment; reserve 0 as the empty marker.
+            hash64(&genome[at..at + cfg.segment_len]) | 1
+        })
+        .collect()
+}
+
+/// Volatile reference: insertion order of unique fingerprints and their
+/// final table slots.
+fn reference(cfg: &GenomeCfg, segments: &[u64]) -> (Vec<u64>, Vec<usize>) {
+    let mask = cfg.table_cap - 1;
+    let mut table = vec![0u64; cfg.table_cap];
+    let mut uniques = Vec::new();
+    let mut slots = Vec::new();
+    for &fp in segments {
+        let mut idx = (fp as usize) & mask;
+        loop {
+            if table[idx] == fp {
+                break; // duplicate
+            }
+            if table[idx] == 0 {
+                table[idx] = fp;
+                uniques.push(fp);
+                slots.push(idx);
+                break;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+    (uniques, slots)
+}
+
+fn read_u32<R: TxRuntime>(rt: &mut R, addr: usize) -> u32 {
+    let mut b = [0u8; 4];
+    rt.read(addr, &mut b);
+    u32::from_le_bytes(b)
+}
+
+/// Runs the workload; returns the verification outcome.
+///
+/// # Panics
+///
+/// Panics if `table_cap` is not a power of two.
+pub fn run<R: TxRuntime>(rt: &mut R, cfg: &GenomeCfg) -> Result<(), String> {
+    assert!(cfg.table_cap.is_power_of_two(), "table_cap must be a power of two");
+    let base = setup_region(rt, region_bytes(cfg), 64);
+    let lay = layout(cfg, base);
+    let genome = gen_genome(cfg);
+    let segments = gen_segments(cfg, &genome);
+    let mask = cfg.table_cap - 1;
+
+    // Phase 1: transactional dedup inserts.
+    for &fp in &segments {
+        rt.compute(cfg.hash_compute_ns);
+        rt.begin();
+        let mut idx = (fp as usize) & mask;
+        loop {
+            let a = lay.table + idx * 8;
+            let cur = rt.read_u64(a);
+            if cur == fp {
+                break; // duplicate — nothing to write
+            }
+            if cur == 0 {
+                rt.write_u64(a, fp);
+                let cnt = read_u32(rt, lay.unique);
+                rt.write(lay.unique, &(cnt + 1).to_le_bytes());
+                break;
+            }
+            idx = (idx + 1) & mask;
+        }
+        rt.commit();
+        rt.maintain();
+    }
+
+    // Phase 2: link unique segments into the assembly chain, one pointer
+    // write per transaction (mimics overlap chaining).
+    let (uniques, slots) = reference(cfg, &segments);
+    let mut prev: Option<usize> = None;
+    for &slot in &slots {
+        rt.compute(cfg.hash_compute_ns / 2);
+        rt.begin();
+        match prev {
+            None => rt.write(lay.head, &((slot + 1) as u32).to_le_bytes()),
+            Some(p) => rt.write(lay.links + p * 4, &((slot + 1) as u32).to_le_bytes()),
+        }
+        rt.commit();
+        rt.maintain();
+        prev = Some(slot);
+    }
+
+    // Verify: unique count, table contents, and chain traversal.
+    rt.untimed(|rt| {
+        let got = read_u32(rt, lay.unique) as usize;
+        if got != uniques.len() {
+            return Err(format!("unique count {got} != {}", uniques.len()));
+        }
+        for (i, &slot) in slots.iter().enumerate() {
+            let fp = rt.read_u64(lay.table + slot * 8);
+            if fp != uniques[i] {
+                return Err(format!("slot {slot}: fingerprint mismatch"));
+            }
+        }
+        // Walk the chain.
+        let mut cur = read_u32(rt, lay.head) as usize;
+        for (i, &slot) in slots.iter().enumerate() {
+            if cur == 0 {
+                return Err(format!("chain ends early at {i}"));
+            }
+            if cur - 1 != slot {
+                return Err(format!("chain position {i}: slot {} != {slot}", cur - 1));
+            }
+            cur = read_u32(rt, lay.links + (cur - 1) * 4) as usize;
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_dedups() {
+        let cfg = GenomeCfg::scaled(Scale::Tiny);
+        let genome = gen_genome(&cfg);
+        let segs = gen_segments(&cfg, &genome);
+        let (uniques, slots) = reference(&cfg, &segs);
+        assert_eq!(uniques.len(), slots.len());
+        assert!(uniques.len() <= segs.len());
+        let set: std::collections::HashSet<_> = uniques.iter().collect();
+        assert_eq!(set.len(), uniques.len());
+    }
+
+    #[test]
+    fn fingerprints_never_zero() {
+        let cfg = GenomeCfg::scaled(Scale::Tiny);
+        let genome = gen_genome(&cfg);
+        for fp in gen_segments(&cfg, &genome) {
+            assert_ne!(fp, 0);
+        }
+    }
+
+    #[test]
+    fn genome_is_valid_dna() {
+        let cfg = GenomeCfg::scaled(Scale::Tiny);
+        assert!(gen_genome(&cfg).iter().all(|b| b"ACGT".contains(b)));
+    }
+}

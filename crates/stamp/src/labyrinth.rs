@@ -1,0 +1,213 @@
+//! `labyrinth`: maze routing with transactional path claims.
+//!
+//! Mirrors STAMP `labyrinth`: each route is computed on a private snapshot
+//! of the grid (breadth-first search — heavy compute), then one large
+//! transaction claims every cell of the path (Table 2's biggest write sets:
+//! ~1.4 KB of 8-byte cell updates).
+
+use std::collections::VecDeque;
+
+use specpmt_txn::TxRuntime;
+
+use crate::util::{setup_region, SplitMix64};
+use crate::Scale;
+
+/// Configuration for the labyrinth workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabyrinthCfg {
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+    /// Grid layers.
+    pub layers: usize,
+    /// Route requests (transactions, minus failed routes).
+    pub routes: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// CPU cost per BFS-visited cell (ns).
+    pub visit_compute_ns: u64,
+}
+
+impl LabyrinthCfg {
+    /// Preset for a scale.
+    pub fn scaled(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => Self {
+                width: 16,
+                height: 16,
+                layers: 2,
+                routes: 6,
+                seed: 51,
+                visit_compute_ns: 3,
+            },
+            Scale::Small => Self {
+                width: 128,
+                height: 128,
+                layers: 2,
+                routes: 120,
+                seed: 51,
+                visit_compute_ns: 3,
+            },
+        }
+    }
+
+    fn cells(&self) -> usize {
+        self.width * self.height * self.layers
+    }
+}
+
+fn idx(cfg: &LabyrinthCfg, x: usize, y: usize, z: usize) -> usize {
+    (z * cfg.height + y) * cfg.width + x
+}
+
+/// BFS shortest path over free cells; returns cell indices src→dst.
+fn route(cfg: &LabyrinthCfg, occ: &[u64], src: usize, dst: usize) -> Option<(Vec<usize>, usize)> {
+    let n = cfg.cells();
+    let mut prev = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    prev[src] = src;
+    queue.push_back(src);
+    let mut visited = 1usize;
+    while let Some(c) = queue.pop_front() {
+        if c == dst {
+            let mut path = vec![c];
+            let mut cur = c;
+            while cur != src {
+                cur = prev[cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some((path, visited));
+        }
+        let z = c / (cfg.width * cfg.height);
+        let rem = c % (cfg.width * cfg.height);
+        let y = rem / cfg.width;
+        let x = rem % cfg.width;
+        let mut push = |nx: usize, ny: usize, nz: usize, prev: &mut Vec<usize>| {
+            let ni = idx(cfg, nx, ny, nz);
+            if prev[ni] == usize::MAX && (occ[ni] == 0 || ni == dst) {
+                prev[ni] = c;
+                queue.push_back(ni);
+                visited += 1;
+            }
+        };
+        if x > 0 {
+            push(x - 1, y, z, &mut prev);
+        }
+        if x + 1 < cfg.width {
+            push(x + 1, y, z, &mut prev);
+        }
+        if y > 0 {
+            push(x, y - 1, z, &mut prev);
+        }
+        if y + 1 < cfg.height {
+            push(x, y + 1, z, &mut prev);
+        }
+        if z > 0 {
+            push(x, y, z - 1, &mut prev);
+        }
+        if z + 1 < cfg.layers {
+            push(x, y, z + 1, &mut prev);
+        }
+    }
+    None
+}
+
+fn gen_requests(cfg: &LabyrinthCfg) -> Vec<(usize, usize)> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    (0..cfg.routes)
+        .map(|_| {
+            // Endpoints in opposite quadrants to keep paths long, like the
+            // STAMP inputs' long nets.
+            let sx = rng.below(cfg.width / 3);
+            let sy = rng.below(cfg.height / 3);
+            let dx = cfg.width - 1 - rng.below(cfg.width / 3);
+            let dy = cfg.height - 1 - rng.below(cfg.height / 3);
+            let sz = rng.below(cfg.layers);
+            let dz = rng.below(cfg.layers);
+            (idx(cfg, sx, sy, sz), idx(cfg, dx, dy, dz))
+        })
+        .collect()
+}
+
+/// Runs the workload; returns the verification outcome.
+pub fn run<R: TxRuntime>(rt: &mut R, cfg: &LabyrinthCfg) -> Result<(), String> {
+    let grid_bytes = cfg.cells() * 8;
+    let base = setup_region(rt, grid_bytes + 8, 64);
+    let routed_count_a = base + grid_bytes;
+
+    // Volatile occupancy mirror — doubles as the verification reference.
+    let mut occ = vec![0u64; cfg.cells()];
+    let mut routed = 0u64;
+
+    for (path_id, &(src, dst)) in gen_requests(cfg).iter().enumerate() {
+        if occ[src] != 0 || occ[dst] != 0 {
+            continue;
+        }
+        let Some((path, visited)) = route(cfg, &occ, src, dst) else {
+            continue;
+        };
+        // Routing happens on the private snapshot (compute only).
+        rt.compute(cfg.visit_compute_ns * visited as u64);
+        // The claim transaction: every path cell plus the route counter.
+        let id = path_id as u64 + 1;
+        rt.begin();
+        for &c in &path {
+            rt.write_u64(base + c * 8, id);
+        }
+        routed += 1;
+        rt.write_u64(routed_count_a, routed);
+        rt.commit();
+        rt.maintain();
+        for &c in &path {
+            occ[c] = id;
+        }
+    }
+
+    // Verify: persistent grid equals the mirror; counter matches.
+    rt.untimed(|rt| {
+        let got = rt.read_u64(routed_count_a);
+        if got != routed {
+            return Err(format!("routed count {got} != {routed}"));
+        }
+        for (c, &want) in occ.iter().enumerate() {
+            let got = rt.read_u64(base + c * 8);
+            if got != want {
+                return Err(format!("cell {c}: {got} != {want}"));
+            }
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_finds_shortest_manhattan_path_on_empty_grid() {
+        let cfg = LabyrinthCfg::scaled(Scale::Tiny);
+        let occ = vec![0u64; cfg.cells()];
+        let src = idx(&cfg, 0, 0, 0);
+        let dst = idx(&cfg, 5, 7, 0);
+        let (path, _) = route(&cfg, &occ, src, dst).unwrap();
+        assert_eq!(path.len(), 5 + 7 + 1);
+        assert_eq!(path[0], src);
+        assert_eq!(*path.last().unwrap(), dst);
+    }
+
+    #[test]
+    fn blocked_route_returns_none() {
+        let cfg = LabyrinthCfg { width: 3, height: 1, layers: 1, ..LabyrinthCfg::scaled(Scale::Tiny) };
+        let mut occ = vec![0u64; cfg.cells()];
+        occ[1] = 9; // wall in the middle of a 3x1 corridor
+        assert!(route(&cfg, &occ, 0, 2).is_none());
+    }
+
+    #[test]
+    fn requests_are_deterministic() {
+        let cfg = LabyrinthCfg::scaled(Scale::Tiny);
+        assert_eq!(gen_requests(&cfg), gen_requests(&cfg));
+    }
+}

@@ -1,0 +1,152 @@
+//! `ssca2`: graph adjacency construction (SSCA2 kernel 1).
+//!
+//! Mirrors STAMP `ssca2`: the transactional kernel inserts edges into
+//! per-vertex adjacency arrays — four 4-byte updates (slot + degree for
+//! both endpoints) per transaction, the 16-byte profile of Table 2.
+
+use specpmt_txn::TxRuntime;
+
+use crate::util::{setup_region, SplitMix64};
+use crate::Scale;
+
+/// Configuration for the ssca2 workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ssca2Cfg {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edge count (transactions).
+    pub edges: usize,
+    /// Adjacency capacity per vertex.
+    pub max_degree: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// CPU cost charged per edge for index computation (ns).
+    pub edge_compute_ns: u64,
+}
+
+impl Ssca2Cfg {
+    /// Preset for a scale.
+    pub fn scaled(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => {
+                Self { vertices: 32, edges: 80, max_degree: 32, seed: 7, edge_compute_ns: 600 }
+            }
+            Scale::Small => {
+                Self { vertices: 1024, edges: 8000, max_degree: 96, seed: 7, edge_compute_ns: 600 }
+            }
+        }
+    }
+}
+
+struct Layout {
+    degrees: usize, // vertices * 4
+    adj: usize,     // vertices * max_degree * 4
+}
+
+fn layout(cfg: &Ssca2Cfg, base: usize) -> Layout {
+    Layout { degrees: base, adj: base + cfg.vertices * 4 }
+}
+
+/// Generates the deterministic edge list (no self-loops; degree-capped on
+/// both sides so the transactional run never overflows a slot array).
+fn gen_edges(cfg: &Ssca2Cfg) -> Vec<(u32, u32)> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut degree = vec![0usize; cfg.vertices];
+    let mut edges = Vec::with_capacity(cfg.edges);
+    while edges.len() < cfg.edges {
+        let u = rng.below(cfg.vertices);
+        let v = rng.below(cfg.vertices);
+        if u == v || degree[u] >= cfg.max_degree || degree[v] >= cfg.max_degree {
+            continue;
+        }
+        degree[u] += 1;
+        degree[v] += 1;
+        edges.push((u as u32, v as u32));
+    }
+    edges
+}
+
+fn read_u32<R: TxRuntime>(rt: &mut R, addr: usize) -> u32 {
+    let mut b = [0u8; 4];
+    rt.read(addr, &mut b);
+    u32::from_le_bytes(b)
+}
+
+/// Runs the workload; returns the verification outcome.
+pub fn run<R: TxRuntime>(rt: &mut R, cfg: &Ssca2Cfg) -> Result<(), String> {
+    let bytes = cfg.vertices * 4 + cfg.vertices * cfg.max_degree * 4;
+    let base = setup_region(rt, bytes, 64);
+    let lay = layout(cfg, base);
+    let edges = gen_edges(cfg);
+
+    for &(u, v) in &edges {
+        rt.compute(cfg.edge_compute_ns);
+        rt.begin();
+        for (a, b) in [(u as usize, v), (v as usize, u)] {
+            let da = lay.degrees + a * 4;
+            let deg = read_u32(rt, da) as usize;
+            rt.write(lay.adj + (a * cfg.max_degree + deg) * 4, &b.to_le_bytes());
+            rt.write(da, &((deg + 1) as u32).to_le_bytes());
+        }
+        rt.commit();
+        rt.maintain();
+    }
+
+    // Verify against a volatile reference construction.
+    let mut want_deg = vec![0u32; cfg.vertices];
+    let mut want_adj = vec![0u32; cfg.vertices * cfg.max_degree];
+    for &(u, v) in &edges {
+        for (a, b) in [(u as usize, v), (v as usize, u)] {
+            want_adj[a * cfg.max_degree + want_deg[a] as usize] = b;
+            want_deg[a] += 1;
+        }
+    }
+    rt.untimed(|rt| {
+        for vtx in 0..cfg.vertices {
+            let got = read_u32(rt, lay.degrees + vtx * 4);
+            if got != want_deg[vtx] {
+                return Err(format!("vertex {vtx}: degree {got} != {}", want_deg[vtx]));
+            }
+            for s in 0..want_deg[vtx] as usize {
+                let got = read_u32(rt, lay.adj + (vtx * cfg.max_degree + s) * 4);
+                if got != want_adj[vtx * cfg.max_degree + s] {
+                    return Err(format!("vertex {vtx} slot {s}: {got} mismatch"));
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_generation_is_deterministic_and_capped() {
+        let cfg = Ssca2Cfg::scaled(Scale::Tiny);
+        let a = gen_edges(&cfg);
+        let b = gen_edges(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.edges);
+        let mut deg = vec![0usize; cfg.vertices];
+        for &(u, v) in &a {
+            assert_ne!(u, v);
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        assert!(deg.iter().all(|&d| d <= cfg.max_degree));
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges() {
+        let cfg = Ssca2Cfg::scaled(Scale::Tiny);
+        let edges = gen_edges(&cfg);
+        let mut deg = vec![0usize; cfg.vertices];
+        for &(u, v) in &edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        assert_eq!(deg.iter().sum::<usize>(), 2 * cfg.edges);
+    }
+}

@@ -1,0 +1,274 @@
+//! `vacation`: travel-reservation database.
+//!
+//! Mirrors STAMP `vacation`: a client session queries several rows of the
+//! car/room/flight tables (reads + compute), picks the cheapest available
+//! item, and reserves it — decrementing capacity, charging the customer,
+//! and appending a reservation record. The high-contention input reserves
+//! up to two items per transaction (larger write sets, ~68 B vs ~44 B).
+
+use specpmt_txn::TxRuntime;
+
+use crate::util::{setup_region, SplitMix64};
+use crate::Scale;
+
+/// Number of tables (cars, rooms, flights).
+pub const TABLES: usize = 3;
+
+/// Configuration for the vacation workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VacationCfg {
+    /// Rows per table.
+    pub rows: usize,
+    /// Customers.
+    pub customers: usize,
+    /// Client sessions (transactions).
+    pub sessions: usize,
+    /// Rows examined per item query.
+    pub queries_per_item: usize,
+    /// Maximum items reserved per session (1 = low contention, 2 = high).
+    pub max_items: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// CPU cost per examined row (ns).
+    pub query_compute_ns: u64,
+}
+
+impl VacationCfg {
+    /// Low-contention preset (one item per session).
+    pub fn low(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => Self {
+                rows: 32,
+                customers: 16,
+                sessions: 60,
+                queries_per_item: 4,
+                max_items: 1,
+                seed: 21,
+                query_compute_ns: 400,
+            },
+            Scale::Small => Self {
+                rows: 4096,
+                customers: 1024,
+                sessions: 3000,
+                queries_per_item: 8,
+                max_items: 1,
+                seed: 21,
+                query_compute_ns: 400,
+            },
+        }
+    }
+
+    /// High-contention preset (up to two items per session).
+    pub fn high(scale: Scale) -> Self {
+        let mut cfg = Self::low(scale);
+        cfg.max_items = 2;
+        cfg.queries_per_item = cfg.queries_per_item / 2 + 1;
+        cfg.seed = 22;
+        cfg
+    }
+}
+
+const ROW_BYTES: usize = 8; // capacity u32 | price u32
+const CUST_BYTES: usize = 8; // spent u32 | trips u32
+const RESV_BYTES: usize = 16; // customer u32 | table u32 | row u32 | price u32
+
+struct Layout {
+    tables: usize,
+    customers: usize,
+    resv_count: usize,
+    resv: usize,
+}
+
+fn layout(cfg: &VacationCfg, base: usize) -> Layout {
+    let tables = base;
+    let customers = tables + TABLES * cfg.rows * ROW_BYTES;
+    let resv_count = customers + cfg.customers * CUST_BYTES;
+    let resv = resv_count + 8;
+    Layout { tables, customers, resv_count, resv }
+}
+
+fn region_bytes(cfg: &VacationCfg) -> usize {
+    TABLES * cfg.rows * ROW_BYTES
+        + cfg.customers * CUST_BYTES
+        + 8
+        + cfg.sessions * cfg.max_items * RESV_BYTES
+}
+
+fn read_u32<R: TxRuntime>(rt: &mut R, addr: usize) -> u32 {
+    let mut b = [0u8; 4];
+    rt.read(addr, &mut b);
+    u32::from_le_bytes(b)
+}
+
+/// Volatile mirror used for both initialization and verification.
+struct Mirror {
+    rows: Vec<(u32, u32)>,      // (capacity, price) per table row
+    customers: Vec<(u32, u32)>, // (spent, trips)
+    reservations: Vec<(u32, u32, u32, u32)>,
+}
+
+fn simulate(cfg: &VacationCfg, initial_rows: &[(u32, u32)]) -> Mirror {
+    let mut m = Mirror {
+        rows: initial_rows.to_vec(),
+        customers: vec![(0, 0); cfg.customers],
+        reservations: Vec::new(),
+    };
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xABCD);
+    for s in 0..cfg.sessions {
+        let cust = rng.below(cfg.customers);
+        let items = 1 + (s % cfg.max_items);
+        for _ in 0..items {
+            let table = rng.below(TABLES);
+            // Examine rows, choose the cheapest with capacity.
+            let mut best: Option<(usize, u32)> = None;
+            for _ in 0..cfg.queries_per_item {
+                let r = rng.below(cfg.rows);
+                let (cap, price) = m.rows[table * cfg.rows + r];
+                if cap > 0 && best.is_none_or(|(_, bp)| price < bp) {
+                    best = Some((r, price));
+                }
+            }
+            if let Some((r, price)) = best {
+                let idx = table * cfg.rows + r;
+                m.rows[idx].0 -= 1;
+                m.customers[cust].0 += price;
+                m.customers[cust].1 += 1;
+                m.reservations.push((cust as u32, table as u32, r as u32, price));
+            }
+        }
+    }
+    m
+}
+
+/// Runs the workload; returns the verification outcome.
+pub fn run<R: TxRuntime>(rt: &mut R, cfg: &VacationCfg) -> Result<(), String> {
+    let base = setup_region(rt, region_bytes(cfg), 64);
+    let lay = layout(cfg, base);
+
+    // Initialize tables (untimed setup).
+    let mut init_rng = SplitMix64::new(cfg.seed);
+    let initial_rows: Vec<(u32, u32)> = (0..TABLES * cfg.rows)
+        .map(|_| (1 + init_rng.below(4) as u32, 50 + init_rng.below(950) as u32))
+        .collect();
+    rt.untimed(|rt| {
+        for (i, &(cap, price)) in initial_rows.iter().enumerate() {
+            let a = lay.tables + i * ROW_BYTES;
+            rt.pool_mut().device_mut().write(a, &cap.to_le_bytes());
+            rt.pool_mut().device_mut().write(a + 4, &price.to_le_bytes());
+        }
+        let end = lay.tables + initial_rows.len() * ROW_BYTES;
+        rt.pool_mut().device_mut().persist_range(lay.tables, end - lay.tables);
+    });
+
+    // Timed client sessions — must replay the same decisions as `simulate`.
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xABCD);
+    let mut resv_idx = 0usize;
+    for s in 0..cfg.sessions {
+        let cust = rng.below(cfg.customers);
+        let items = 1 + (s % cfg.max_items);
+        rt.begin();
+        for _ in 0..items {
+            let table = rng.below(TABLES);
+            rt.compute(cfg.query_compute_ns * cfg.queries_per_item as u64);
+            let mut best: Option<(usize, u32)> = None;
+            for _ in 0..cfg.queries_per_item {
+                let r = rng.below(cfg.rows);
+                let a = lay.tables + (table * cfg.rows + r) * ROW_BYTES;
+                let cap = read_u32(rt, a);
+                let price = read_u32(rt, a + 4);
+                if cap > 0 && best.is_none_or(|(_, bp)| price < bp) {
+                    best = Some((r, price));
+                }
+            }
+            if let Some((r, price)) = best {
+                let a = lay.tables + (table * cfg.rows + r) * ROW_BYTES;
+                let cap = read_u32(rt, a);
+                rt.write(a, &(cap - 1).to_le_bytes());
+                let ca = lay.customers + cust * CUST_BYTES;
+                let spent = read_u32(rt, ca);
+                let trips = read_u32(rt, ca + 4);
+                rt.write(ca, &(spent + price).to_le_bytes());
+                rt.write(ca + 4, &(trips + 1).to_le_bytes());
+                let ra = lay.resv + resv_idx * RESV_BYTES;
+                rt.write(ra, &(cust as u32).to_le_bytes());
+                rt.write(ra + 4, &(table as u32).to_le_bytes());
+                rt.write(ra + 8, &(r as u32).to_le_bytes());
+                rt.write(ra + 12, &price.to_le_bytes());
+                resv_idx += 1;
+            }
+        }
+        rt.write(lay.resv_count, &(resv_idx as u64).to_le_bytes());
+        rt.commit();
+        rt.maintain();
+    }
+
+    // Verify.
+    let want = simulate(cfg, &initial_rows);
+    rt.untimed(|rt| {
+        let got_count = {
+            let mut b = [0u8; 8];
+            rt.read(lay.resv_count, &mut b);
+            u64::from_le_bytes(b) as usize
+        };
+        if got_count != want.reservations.len() {
+            return Err(format!(
+                "reservation count {got_count} != {}",
+                want.reservations.len()
+            ));
+        }
+        for (i, &(cust, table, row, price)) in want.reservations.iter().enumerate() {
+            let ra = lay.resv + i * RESV_BYTES;
+            let got = (
+                read_u32(rt, ra),
+                read_u32(rt, ra + 4),
+                read_u32(rt, ra + 8),
+                read_u32(rt, ra + 12),
+            );
+            if got != (cust, table, row, price) {
+                return Err(format!("reservation {i}: {got:?} != {:?}", (cust, table, row, price)));
+            }
+        }
+        for (i, &(cap, _)) in want.rows.iter().enumerate() {
+            let got = read_u32(rt, lay.tables + i * ROW_BYTES);
+            if got != cap {
+                return Err(format!("row {i}: capacity {got} != {cap}"));
+            }
+        }
+        for (c, &(spent, trips)) in want.customers.iter().enumerate() {
+            let ca = lay.customers + c * CUST_BYTES;
+            if read_u32(rt, ca) != spent || read_u32(rt, ca + 4) != trips {
+                return Err(format!("customer {c} state mismatch"));
+            }
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_invariant_holds_in_reference() {
+        let cfg = VacationCfg::low(Scale::Tiny);
+        let mut rng = SplitMix64::new(cfg.seed);
+        let rows: Vec<(u32, u32)> = (0..TABLES * cfg.rows)
+            .map(|_| (1 + rng.below(4) as u32, 50 + rng.below(950) as u32))
+            .collect();
+        let m = simulate(&cfg, &rows);
+        let initial_cap: u32 = rows.iter().map(|r| r.0).sum();
+        let final_cap: u32 = m.rows.iter().map(|r| r.0).sum();
+        assert_eq!(initial_cap - final_cap, m.reservations.len() as u32);
+        let spent: u64 = m.customers.iter().map(|c| c.0 as u64).sum();
+        let charged: u64 = m.reservations.iter().map(|r| r.3 as u64).sum();
+        assert_eq!(spent, charged);
+    }
+
+    #[test]
+    fn high_contention_reserves_more_items() {
+        let low = VacationCfg::low(Scale::Tiny);
+        let high = VacationCfg::high(Scale::Tiny);
+        assert_eq!(low.max_items, 1);
+        assert_eq!(high.max_items, 2);
+    }
+}

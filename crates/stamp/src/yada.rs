@@ -1,0 +1,250 @@
+//! `yada`: Delaunay-style mesh refinement.
+//!
+//! Mirrors STAMP `yada`: a work queue of poor-quality triangles; refining
+//! one retires it and inserts new triangles into the mesh store — a
+//! mid-size transaction (~176 B, ~24 updates per Table 2) of record-field
+//! writes. The refinement rule here is a deterministic quality function
+//! rather than true geometric cavity re-triangulation, preserving the
+//! transaction profile and a machine-checkable termination/quality
+//! invariant.
+
+use std::collections::VecDeque;
+
+use specpmt_txn::TxRuntime;
+
+use crate::util::{setup_region, SplitMix64};
+use crate::Scale;
+
+/// Quality threshold: triangles below it are "bad" and get refined.
+pub const QUALITY_MIN: u32 = 60;
+
+/// Children created per refinement.
+pub const CHILDREN: usize = 3;
+
+/// Bytes per triangle record.
+pub const TRI_BYTES: usize = 32;
+
+/// Configuration for the yada workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YadaCfg {
+    /// Initial triangles.
+    pub initial: usize,
+    /// Capacity of the triangle store.
+    pub capacity: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// CPU cost per refinement (cavity computation), ns.
+    pub refine_compute_ns: u64,
+}
+
+impl YadaCfg {
+    /// Preset for a scale.
+    pub fn scaled(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => {
+                Self { initial: 24, capacity: 4096, seed: 61, refine_compute_ns: 2500 }
+            }
+            Scale::Small => {
+                Self { initial: 400, capacity: 65536, seed: 61, refine_compute_ns: 2500 }
+            }
+        }
+    }
+}
+
+/// Deterministic child quality: strictly increasing so refinement
+/// terminates.
+fn child_quality(parent_q: u32, parent_id: usize, child: usize) -> u32 {
+    let h = crate::util::hash64(&[(parent_id as u64).to_le_bytes(), (child as u64).to_le_bytes()]
+        .concat());
+    (parent_q + 15 + (h % 20) as u32).min(100)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Tri {
+    quality: u32,
+    v: [u32; 3],
+    alive: bool,
+    gen: u32,
+    /// Neighbor links (cavity adjacency).
+    n: [u32; 2],
+}
+
+/// Volatile reference refinement.
+fn reference(cfg: &YadaCfg) -> Vec<Tri> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut tris: Vec<Tri> = (0..cfg.initial)
+        .map(|i| Tri {
+            quality: rng.below(100) as u32,
+            v: [i as u32, i as u32 + 1, i as u32 + 2],
+            alive: true,
+            gen: 0,
+            n: [i as u32, 0],
+        })
+        .collect();
+    let mut queue: VecDeque<usize> =
+        (0..cfg.initial).filter(|&i| tris[i].quality < QUALITY_MIN).collect();
+    while let Some(t) = queue.pop_front() {
+        if !tris[t].alive || tris[t].quality >= QUALITY_MIN {
+            continue;
+        }
+        tris[t].alive = false;
+        for c in 0..CHILDREN {
+            let q = child_quality(tris[t].quality, t, c);
+            let id = tris.len();
+            assert!(id < cfg.capacity, "triangle store overflow");
+            tris.push(Tri {
+                quality: q,
+                v: [t as u32, id as u32, c as u32],
+                alive: true,
+                gen: tris[t].gen + 1,
+                n: [t as u32, c as u32],
+            });
+            if q < QUALITY_MIN {
+                queue.push_back(id);
+            }
+        }
+    }
+    tris
+}
+
+struct Layout {
+    tris: usize,
+    count: usize, // u32 triangle count
+}
+
+fn layout(cfg: &YadaCfg, base: usize) -> Layout {
+    Layout { tris: base, count: base + cfg.capacity * TRI_BYTES }
+}
+
+fn read_u32<R: TxRuntime>(rt: &mut R, addr: usize) -> u32 {
+    let mut b = [0u8; 4];
+    rt.read(addr, &mut b);
+    u32::from_le_bytes(b)
+}
+
+fn write_tri<R: TxRuntime>(rt: &mut R, at: usize, t: &Tri) {
+    // Field-by-field writes: the small-update profile of mesh codes.
+    rt.write(at, &t.quality.to_le_bytes());
+    rt.write(at + 4, &t.v[0].to_le_bytes());
+    rt.write(at + 8, &t.v[1].to_le_bytes());
+    rt.write(at + 12, &t.v[2].to_le_bytes());
+    rt.write(at + 16, &u32::from(t.alive).to_le_bytes());
+    rt.write(at + 20, &t.gen.to_le_bytes());
+    rt.write(at + 24, &t.n[0].to_le_bytes());
+    rt.write(at + 28, &t.n[1].to_le_bytes());
+}
+
+/// Runs the workload; returns the verification outcome.
+pub fn run<R: TxRuntime>(rt: &mut R, cfg: &YadaCfg) -> Result<(), String> {
+    let base = setup_region(rt, cfg.capacity * TRI_BYTES + 4, 64);
+    let lay = layout(cfg, base);
+
+    // Seed mesh (one transaction per initial triangle, like mesh loading).
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut live: Vec<Tri> = Vec::with_capacity(cfg.capacity);
+    for i in 0..cfg.initial {
+        let t = Tri {
+            quality: rng.below(100) as u32,
+            v: [i as u32, i as u32 + 1, i as u32 + 2],
+            alive: true,
+            gen: 0,
+            n: [i as u32, 0],
+        };
+        live.push(t);
+        rt.begin();
+        write_tri(rt, lay.tris + i * TRI_BYTES, &t);
+        rt.write(lay.count, &((i + 1) as u32).to_le_bytes());
+        rt.commit();
+        rt.maintain();
+    }
+
+    // Refinement loop.
+    let mut queue: VecDeque<usize> =
+        (0..cfg.initial).filter(|&i| live[i].quality < QUALITY_MIN).collect();
+    while let Some(t) = queue.pop_front() {
+        if !live[t].alive || live[t].quality >= QUALITY_MIN {
+            continue;
+        }
+        rt.compute(cfg.refine_compute_ns);
+        rt.begin();
+        // Retire the parent and relink its neighborhood.
+        live[t].alive = false;
+        rt.write(lay.tris + t * TRI_BYTES + 16, &0u32.to_le_bytes());
+        rt.write(lay.tris + t * TRI_BYTES + 24, &(live.len() as u32).to_le_bytes());
+        rt.write(lay.tris + t * TRI_BYTES + 28, &(live[t].gen + 1).to_le_bytes());
+        // Insert the children.
+        for c in 0..CHILDREN {
+            let q = child_quality(live[t].quality, t, c);
+            let id = live.len();
+            assert!(id < cfg.capacity, "triangle store overflow");
+            let child = Tri {
+                quality: q,
+                v: [t as u32, id as u32, c as u32],
+                alive: true,
+                gen: live[t].gen + 1,
+                n: [t as u32, c as u32],
+            };
+            live.push(child);
+            write_tri(rt, lay.tris + id * TRI_BYTES, &child);
+            if q < QUALITY_MIN {
+                queue.push_back(id);
+            }
+        }
+        rt.write(lay.count, &(live.len() as u32).to_le_bytes());
+        rt.commit();
+        rt.maintain();
+    }
+
+    // Verify against the reference.
+    let want = reference(cfg);
+    rt.untimed(|rt| {
+        let got_count = read_u32(rt, lay.count) as usize;
+        if got_count != want.len() {
+            return Err(format!("triangle count {got_count} != {}", want.len()));
+        }
+        for (i, w) in want.iter().enumerate() {
+            let at = lay.tris + i * TRI_BYTES;
+            let got = Tri {
+                quality: read_u32(rt, at),
+                v: [read_u32(rt, at + 4), read_u32(rt, at + 8), read_u32(rt, at + 12)],
+                alive: read_u32(rt, at + 16) != 0,
+                gen: read_u32(rt, at + 20),
+                n: [w.n[0], w.n[1]], // neighbor links mutate on retirement
+            };
+            if got != *w {
+                return Err(format!("triangle {i}: {got:?} != {w:?}"));
+            }
+            if got.alive && got.quality < QUALITY_MIN {
+                return Err(format!("triangle {i} alive but below quality threshold"));
+            }
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refinement_terminates_with_all_good_triangles() {
+        let tris = reference(&YadaCfg::scaled(Scale::Tiny));
+        assert!(tris.iter().filter(|t| t.alive).all(|t| t.quality >= QUALITY_MIN));
+        assert!(tris.iter().any(|t| !t.alive), "some triangle must have been refined");
+    }
+
+    #[test]
+    fn child_quality_strictly_increases() {
+        for q in 0..QUALITY_MIN {
+            for c in 0..CHILDREN {
+                assert!(child_quality(q, 7, c) > q);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_is_deterministic() {
+        let cfg = YadaCfg::scaled(Scale::Tiny);
+        assert_eq!(reference(&cfg), reference(&cfg));
+    }
+}

@@ -1,0 +1,186 @@
+//! Strict two-phase locking for multi-threaded transactions (paper
+//! Section 4.3.3).
+//!
+//! SpecPMT provides atomic durability and leaves isolation to the software;
+//! the paper names strict two-phase locking as one compatible scheme and
+//! requires transactions to coincide with the outermost critical sections.
+//! [`LockTable`] is that scheme for logical threads: striped address locks
+//! acquired during the transaction and released only after commit.
+//! [`run_interleaved_locked`] composes it with the deterministic scheduler —
+//! a transaction whose stripes are held by another logical thread is
+//! deferred to a later round instead of interleaving unsafely.
+
+use crate::driver::TxOp;
+use crate::sched::{MultiThreaded, ScheduleOutcome};
+use crate::CommitOracle;
+
+/// Striped address lock table with per-logical-thread ownership.
+#[derive(Debug, Clone)]
+pub struct LockTable {
+    stripe_bytes: usize,
+    owners: Vec<Option<usize>>,
+}
+
+impl LockTable {
+    /// Creates a table covering `span_bytes` of address space in stripes of
+    /// `stripe_bytes` (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe_bytes` is not a power of two or zero.
+    pub fn new(span_bytes: usize, stripe_bytes: usize) -> Self {
+        assert!(stripe_bytes.is_power_of_two() && stripe_bytes > 0);
+        let stripes = span_bytes.div_ceil(stripe_bytes);
+        Self { stripe_bytes, owners: vec![None; stripes.max(1)] }
+    }
+
+    fn stripe_range(&self, addr: usize, len: usize) -> std::ops::RangeInclusive<usize> {
+        let first = addr / self.stripe_bytes;
+        let last = if len == 0 { first } else { (addr + len - 1) / self.stripe_bytes };
+        first..=last.min(self.owners.len() - 1)
+    }
+
+    /// Attempts to lock every stripe of `[addr, addr+len)` for `tid`.
+    /// All-or-nothing: on conflict, no new stripes are retained.
+    pub fn try_lock(&mut self, tid: usize, addr: usize, len: usize) -> bool {
+        let range = self.stripe_range(addr, len);
+        // Conflict check first (lock acquisition is all-or-nothing).
+        for s in range.clone() {
+            if self.owners[s].is_some_and(|o| o != tid) {
+                return false;
+            }
+        }
+        for s in range {
+            self.owners[s] = Some(tid);
+        }
+        true
+    }
+
+    /// Whether `tid` currently holds the stripe containing `addr`.
+    pub fn holds(&self, tid: usize, addr: usize) -> bool {
+        self.owners
+            .get(addr / self.stripe_bytes)
+            .is_some_and(|o| *o == Some(tid))
+    }
+
+    /// Releases every stripe held by `tid` (strict 2PL: only after commit).
+    pub fn release_all(&mut self, tid: usize) {
+        for o in &mut self.owners {
+            if *o == Some(tid) {
+                *o = None;
+            }
+        }
+    }
+
+    /// Number of stripes currently held by anyone.
+    pub fn held_stripes(&self) -> usize {
+        self.owners.iter().filter(|o| o.is_some()).count()
+    }
+}
+
+/// Runs per-thread transaction streams round-robin under strict 2PL: a
+/// transaction executes only once all its stripes are acquired; conflicting
+/// transactions are deferred to later rounds (and, because locks are
+/// released at commit and threads progress one transaction per round, every
+/// transaction eventually runs).
+///
+/// Returns the schedule outcome once every stream is drained.
+///
+/// # Panics
+///
+/// Panics if `streams.len()` exceeds the runtime's thread count.
+pub fn run_interleaved_locked<R: MultiThreaded>(
+    rt: &mut R,
+    base: usize,
+    streams: &[Vec<Vec<TxOp>>],
+    locks: &mut LockTable,
+) -> ScheduleOutcome {
+    assert!(streams.len() <= rt.threads());
+    let mut oracle = CommitOracle::new();
+    let mut committed = vec![0u64; streams.len()];
+    let mut next = vec![0usize; streams.len()];
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for (tid, stream) in streams.iter().enumerate() {
+            let Some(tx) = stream.get(next[tid]) else {
+                continue;
+            };
+            all_done = false;
+            // Acquire every stripe up front (conservative 2PL — avoids
+            // deadlock under the deterministic scheduler).
+            let acquired = tx
+                .iter()
+                .all(|op| locks.try_lock(tid, base + op.addr, op.data.len()));
+            if !acquired {
+                locks.release_all(tid);
+                continue; // deferred to a later round
+            }
+            rt.select_thread(tid);
+            rt.begin();
+            oracle.begin();
+            for op in tx {
+                rt.write(base + op.addr, &op.data);
+                oracle.write(base + op.addr, &op.data);
+            }
+            rt.commit();
+            oracle.commit();
+            locks.release_all(tid); // strict 2PL: release after commit
+            committed[tid] += 1;
+            next[tid] += 1;
+            progressed = true;
+            rt.maintain();
+        }
+        if all_done {
+            break;
+        }
+        assert!(progressed, "livelock: no transaction could acquire its locks");
+    }
+    ScheduleOutcome { committed_per_thread: committed, oracle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_lock_is_all_or_nothing() {
+        let mut t = LockTable::new(1024, 64);
+        assert!(t.try_lock(0, 100, 8));
+        // Thread 1 wants stripes 0..=2; stripe 1 is held by thread 0.
+        assert!(!t.try_lock(1, 0, 200));
+        assert!(!t.holds(1, 0), "failed acquisition must not retain stripes");
+        assert!(t.holds(0, 100));
+    }
+
+    #[test]
+    fn reentrant_for_same_thread() {
+        let mut t = LockTable::new(1024, 64);
+        assert!(t.try_lock(0, 0, 64));
+        assert!(t.try_lock(0, 0, 128), "own stripes are re-acquirable");
+    }
+
+    #[test]
+    fn release_all_frees_everything() {
+        let mut t = LockTable::new(1024, 64);
+        assert!(t.try_lock(0, 0, 512));
+        assert!(t.held_stripes() > 0);
+        t.release_all(0);
+        assert_eq!(t.held_stripes(), 0);
+        assert!(t.try_lock(1, 0, 512));
+    }
+
+    #[test]
+    fn zero_length_locks_single_stripe() {
+        let mut t = LockTable::new(1024, 64);
+        assert!(t.try_lock(0, 70, 0));
+        assert!(t.holds(0, 70));
+        assert!(!t.holds(0, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_stripe_panics() {
+        LockTable::new(1024, 48);
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: a crash-consistent persistent counter with SpecPMT.
+//!
+//! Demonstrates the headline property from the paper's Figure 2: a
+//! committed transaction survives a crash even when *none* of its data
+//! writes ever reached persistent memory — the speculative log alone
+//! carries the committed state — while an interrupted transaction is
+//! revoked even when its in-place writes *did* reach PM.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use specpmt::core::{SpecConfig, SpecSpmt};
+use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool};
+use specpmt::txn::{Recover, TxRuntime};
+
+fn main() {
+    // 1. Create a persistent pool (a simulated PM device) and the runtime.
+    let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20)));
+    let mut rt = SpecSpmt::new(pool, SpecConfig::default());
+
+    // 2. Allocate two durable counters inside a transaction.
+    rt.begin();
+    let hits = rt.alloc(8, 8);
+    let misses = rt.alloc(8, 8);
+    rt.write_u64(hits, 0);
+    rt.write_u64(misses, 0);
+    rt.commit();
+
+    // 3. Update them transactionally. No flushes, no fences per write —
+    //    each commit persists the whole transaction with a single fence.
+    for i in 0..100u64 {
+        rt.begin();
+        if i % 3 == 0 {
+            let h = rt.read_u64(hits);
+            rt.write_u64(hits, h + 1);
+        } else {
+            let m = rt.read_u64(misses);
+            rt.write_u64(misses, m + 1);
+        }
+        rt.commit();
+    }
+
+    // 4. Start one more transaction... and crash in the middle of it, with
+    //    the most adversarial cache behaviour possible: the interrupted
+    //    update DID reach PM, while nothing else was ever evicted.
+    rt.begin();
+    rt.write_u64(hits, 99_999);
+    let mut image = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+
+    // 5. Recover: replay the speculative log.
+    SpecSpmt::recover(&mut image);
+    let hits_rec = image.read_u64(hits);
+    let misses_rec = image.read_u64(misses);
+    println!("recovered: hits = {hits_rec}, misses = {misses_rec}");
+    assert_eq!(hits_rec, 34, "committed value restored, torn update revoked");
+    assert_eq!(misses_rec, 66);
+
+    // 6. The same holds if *nothing* was evicted (pure cache-resident run):
+    let mut image = rt.pool().device().crash_with(CrashPolicy::AllLost);
+    SpecSpmt::recover(&mut image);
+    assert_eq!(image.read_u64(hits), 34);
+    assert_eq!(image.read_u64(misses), 66);
+
+    let stats = rt.tx_stats();
+    let dev = rt.pool().device().stats();
+    println!(
+        "{} transactions committed with {} fences total ({:.2} fences/tx)",
+        stats.tx_committed,
+        dev.sfence_count,
+        dev.sfence_count as f64 / stats.tx_committed as f64
+    );
+    println!("quickstart OK");
+}

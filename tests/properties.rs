@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! crash-recovery invariants.
+
+use proptest::prelude::*;
+use specpmt::core::record::{
+    encode_record, parse_chain, LogArea, LogEntry, LogRecord,
+};
+use specpmt::core::reclaim::FreshnessIndex;
+use specpmt::core::{SpecConfig, SpecSpmt};
+use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool, TimingMode};
+use specpmt::txn::driver::{check_crash_atomicity, StreamSpec};
+use specpmt::txn::{Recover, TxRuntime};
+
+fn arb_record() -> impl Strategy<Value = LogRecord> {
+    (
+        1u64..1000,
+        prop::collection::vec((0usize..4096, prop::collection::vec(any::<u8>(), 1..40)), 1..6),
+    )
+        .prop_map(|(ts, entries)| LogRecord {
+            ts,
+            entries: entries
+                .into_iter()
+                .map(|(addr, value)| LogEntry { addr: addr + 4096, value })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of records round-trips through the chained-block log,
+    /// for any block size, including sizes that force records to straddle
+    /// many blocks.
+    #[test]
+    fn log_chain_roundtrips(
+        records in prop::collection::vec(arb_record(), 1..12),
+        block_bytes in prop::sample::select(vec![64usize, 96, 128, 512, 4096]),
+    ) {
+        let mut pool =
+            PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20).untimed()));
+        let mut free = Vec::new();
+        let mut dirty = Vec::new();
+        let mut area = LogArea::create(&mut pool, &mut free, block_bytes, &mut dirty);
+        for rec in &records {
+            area.append(&mut pool, &mut free, &encode_record(rec), &mut dirty);
+        }
+        area.write_terminator(&mut pool, &mut dirty);
+        let parsed = parse_chain(pool.device(), area.head(), block_bytes);
+        prop_assert_eq!(parsed, records);
+    }
+
+    /// Compaction never drops the youngest record covering a byte: for any
+    /// record set, replaying the *compacted* set in timestamp order gives
+    /// the same final bytes as replaying the original set.
+    #[test]
+    fn compaction_preserves_replay_semantics(
+        mut records in prop::collection::vec(arb_record(), 1..15),
+    ) {
+        // Unique, ordered timestamps.
+        records.sort_by_key(|r| r.ts);
+        records.dedup_by_key(|r| r.ts);
+        let index = FreshnessIndex::build(records.iter());
+        let compacted: Vec<LogRecord> =
+            records.iter().filter_map(|r| index.compact_record(r).0).collect();
+
+        let replay = |recs: &[LogRecord]| {
+            let mut mem = std::collections::HashMap::new();
+            for r in recs {
+                for e in &r.entries {
+                    for (i, &b) in e.value.iter().enumerate() {
+                        mem.insert(e.addr + i, b);
+                    }
+                }
+            }
+            mem
+        };
+        prop_assert_eq!(replay(&records), replay(&compacted));
+    }
+
+    /// The crash-atomicity property, randomized: any stream, any crash
+    /// point, any crash nondeterminism.
+    #[test]
+    fn specspmt_crash_atomicity_random(
+        seed in 0u64..10_000,
+        crash_after in 0u64..300,
+        policy_seed in 0u64..10_000,
+    ) {
+        let spec_stream = StreamSpec {
+            txs: 8,
+            max_writes_per_tx: 4,
+            max_write_len: 16,
+            region_len: 256,
+            seed,
+        };
+        let make = |pool: PmemPool| SpecSpmt::new(pool, SpecConfig {
+            block_bytes: 512,
+            reclaim_threshold_bytes: 8 * 1024,
+            ..SpecConfig::default()
+        });
+        check_crash_atomicity(make, &spec_stream, crash_after, CrashPolicy::Random(policy_seed))
+            .map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    /// Write-set indexing: repeated same-address writes inside one
+    /// transaction recover to the last value, under any crash policy after
+    /// commit.
+    #[test]
+    fn last_write_wins_within_tx(values in prop::collection::vec(any::<u64>(), 1..20)) {
+        let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20)));
+        let mut rt = SpecSpmt::new(pool, SpecConfig::default());
+        rt.begin();
+        let a = rt.alloc(8, 8);
+        for &v in &values {
+            rt.write_u64(a, v);
+        }
+        rt.commit();
+        for policy in [CrashPolicy::AllLost, CrashPolicy::AllSurvive, CrashPolicy::Random(1)] {
+            let mut img = rt.pool().device().crash_with(policy);
+            SpecSpmt::recover(&mut img);
+            prop_assert_eq!(img.read_u64(a), *values.last().unwrap());
+        }
+    }
+
+    /// Device persistence semantics: flushed+fenced data survives every
+    /// crash policy; unflushed data never survives `AllLost`.
+    #[test]
+    fn device_persistence_invariants(
+        writes in prop::collection::vec((0usize..100, any::<u64>()), 1..30),
+    ) {
+        // One slot per cache line so a flush never persists a neighbour.
+        let mut dev = PmemDevice::new(PmemConfig::new(8192));
+        dev.set_timing(TimingMode::On);
+        let mut persisted = std::collections::HashMap::new();
+        let mut volatile_only = std::collections::HashMap::new();
+        for (i, &(slot, v)) in writes.iter().enumerate() {
+            let addr = slot * 64;
+            dev.write_u64(addr, v);
+            if i % 2 == 0 {
+                dev.clwb(addr);
+                dev.sfence();
+                persisted.insert(addr, v);
+                volatile_only.remove(&addr);
+            } else if persisted.get(&addr) != Some(&v) {
+                volatile_only.insert(addr, v);
+            } else {
+                volatile_only.remove(&addr);
+            }
+        }
+        let img = dev.crash_with(CrashPolicy::AllLost);
+        for (&addr, &v) in &persisted {
+            if !volatile_only.contains_key(&addr) {
+                prop_assert_eq!(img.read_u64(addr), v, "fenced write lost at {}", addr);
+            }
+        }
+        for (&addr, &v) in &volatile_only {
+            prop_assert_ne!(img.read_u64(addr), v, "unflushed write survived AllLost at {}", addr);
+        }
+    }
+}
