@@ -401,8 +401,10 @@ mod tests {
     #[should_panic(expected = "exhausted")]
     fn oversized_tx_panics() {
         let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 22)));
-        let mut rt =
-            PmdkUndo::new(pool, PmdkConfig { log_bytes: 512, snapshot_granule: 64, sw_overhead_ns: 0 });
+        let mut rt = PmdkUndo::new(
+            pool,
+            PmdkConfig { log_bytes: 512, snapshot_granule: 64, sw_overhead_ns: 0 },
+        );
         let a = region(&mut rt, 4096);
         rt.begin();
         rt.write(a, &[0u8; 4096]);

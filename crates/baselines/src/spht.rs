@@ -3,7 +3,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use specpmt_core::record::{
-    encode_header, push_entry, Cursor, LogArea, ENTRY_HDR, REC_HDR,
+    encode_header, push_entry, Cursor, LogArea, PoolStore, ENTRY_HDR, REC_HDR,
 };
 use specpmt_core::recovery;
 use specpmt_core::{BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE};
@@ -74,7 +74,11 @@ impl Spht {
         pool.set_root_direct(BLOCK_BYTES_SLOT, cfg.block_bytes as u64);
         let mut free_blocks = Vec::new();
         let mut dirty = Vec::new();
-        let area = LogArea::create(&mut pool, &mut free_blocks, cfg.block_bytes, &mut dirty);
+        let area = LogArea::create(
+            &mut PoolStore::new(&mut pool, &mut free_blocks),
+            cfg.block_bytes,
+            &mut dirty,
+        );
         pool.set_root_direct(LOG_HEAD_SLOT_BASE, area.head() as u64);
         pool.device_mut().flush_everything();
         pool.device_mut().set_timing(prev);
@@ -145,8 +149,11 @@ impl Spht {
         }
         // Truncate: fresh chain, atomic head swap (also replayer-side).
         let mut dirty = Vec::new();
-        let area =
-            LogArea::create(&mut self.pool, &mut self.free_blocks, self.cfg.block_bytes, &mut dirty);
+        let area = LogArea::create(
+            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+            self.cfg.block_bytes,
+            &mut dirty,
+        );
         for (addr, len) in dirty {
             self.pool.device_mut().background_range_write(addr, len);
         }
@@ -174,7 +181,11 @@ impl TxRuntime for Spht {
         self.tx_start = self.area.tail();
         self.in_tx = true;
         let mut dirty = Vec::new();
-        self.area.append(&mut self.pool, &mut self.free_blocks, &[0u8; REC_HDR], &mut dirty);
+        self.area.append(
+            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+            &[0u8; REC_HDR],
+            &mut dirty,
+        );
         self.dirty.extend(dirty);
     }
 
@@ -206,7 +217,12 @@ impl TxRuntime for Spht {
                 // order right after the record header at tx_start.
                 let mut cursor = self.tx_start;
                 cursor = advance(cursor, REC_HDR + off, self.cfg.block_bytes, &self.pool);
-                self.area.write_at(&mut self.pool, cursor, data, &mut dirty);
+                self.area.write_at(
+                    &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+                    cursor,
+                    data,
+                    &mut dirty,
+                );
                 self.dirty.extend(dirty);
                 return;
             }
@@ -217,8 +233,16 @@ impl TxRuntime for Spht {
         hdr[0..8].copy_from_slice(&(addr as u64).to_le_bytes());
         hdr[8..12].copy_from_slice(&(data.len() as u32).to_le_bytes());
         let mut dirty = Vec::new();
-        self.area.append(&mut self.pool, &mut self.free_blocks, &hdr, &mut dirty);
-        self.area.append(&mut self.pool, &mut self.free_blocks, data, &mut dirty);
+        self.area.append(
+            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+            &hdr,
+            &mut dirty,
+        );
+        self.area.append(
+            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+            data,
+            &mut dirty,
+        );
         self.dirty.extend(dirty);
         self.index.insert(addr, (off, data.len()));
         self.stats.log_bytes += (ENTRY_HDR + data.len()) as u64;
@@ -247,9 +271,17 @@ impl TxRuntime for Spht {
         self.pool.device_mut().advance(self.cfg.link_overhead_ns);
         let header = encode_header(ts, &self.payload);
         let mut dirty = Vec::new();
-        let wrote = self.area.write_at(&mut self.pool, self.tx_start, &header, &mut dirty);
+        let wrote = self.area.write_at(
+            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+            self.tx_start,
+            &header,
+            &mut dirty,
+        );
         assert_eq!(wrote, REC_HDR);
-        self.area.write_terminator(&mut self.pool, &mut dirty);
+        self.area.write_terminator(
+            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+            &mut dirty,
+        );
         self.dirty.extend(dirty);
         self.stats.log_bytes += REC_HDR as u64;
         // Single fence: persist the redo records only.

@@ -2,8 +2,11 @@
 //! ablation the DESIGN calls out — background (dedicated core) vs inline
 //! (foreground) reclamation cost as seen by the application, in simulated
 //! time.
+//!
+//! Output is one JSON line per benchmark (see `specpmt_bench::harness`),
+//! plus a human-readable ablation summary.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use specpmt_bench::harness::{bench_with_setup, smoke_mode};
 use specpmt_core::{ReclaimMode, SpecConfig, SpecSpmt};
 use specpmt_pmem::{PmemConfig, PmemDevice, PmemPool};
 use specpmt_txn::TxRuntime;
@@ -12,76 +15,72 @@ fn pool() -> PmemPool {
     PmemPool::create(PmemDevice::new(PmemConfig::new(32 << 20)))
 }
 
-/// Host-time cost of one full reclamation cycle over a grown log.
-fn bench_reclaim_cycle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reclaim_cycle");
-    group.sample_size(20);
-    group.bench_function("scan_and_compact_2k_txs", |b| {
-        b.iter_batched(
-            || {
-                let mut rt = SpecSpmt::new(
-                    pool(),
-                    SpecConfig {
-                        reclaim_mode: ReclaimMode::Inline,
-                        // Never triggers implicitly; reclaimed explicitly below.
-                        reclaim_threshold_bytes: usize::MAX,
-                        ..SpecConfig::default()
-                    },
-                );
-                let base = rt.pool_mut().alloc_direct(8 * 1024, 64).unwrap();
-                for i in 0..2000u64 {
-                    rt.begin();
-                    rt.write_u64(base + ((i as usize * 13) % 1000) * 8, i);
-                    rt.commit();
-                }
-                rt
-            },
-            |mut rt| {
-                rt.reclaim_now();
-                rt
-            },
-            criterion::BatchSize::LargeInput,
-        );
-    });
-    group.finish();
+/// Grows a log of `txs` committed transactions with reclamation held off.
+fn grown_runtime(txs: u64) -> SpecSpmt {
+    let mut rt = SpecSpmt::new(
+        pool(),
+        SpecConfig {
+            reclaim_mode: ReclaimMode::Inline,
+            // Never triggers implicitly; reclaimed explicitly by the bench.
+            reclaim_threshold_bytes: usize::MAX,
+            ..SpecConfig::default()
+        },
+    );
+    let base = rt.pool_mut().alloc_direct(8 * 1024, 64).unwrap();
+    for i in 0..txs {
+        rt.begin();
+        rt.write_u64(base + ((i as usize * 13) % 1000) * 8, i);
+        rt.commit();
+    }
+    rt
 }
 
-/// Simulated-time ablation: how much foreground time inline reclamation
-/// costs the application compared to the background (dedicated-core) mode.
-fn bench_reclaim_ablation(c: &mut Criterion) {
-    fn simulated_ns(mode: ReclaimMode) -> u64 {
-        let mut rt = SpecSpmt::new(
-            pool(),
-            SpecConfig {
-                reclaim_mode: mode,
-                reclaim_threshold_bytes: 64 * 1024,
-                ..SpecConfig::default()
-            },
-        );
-        let base = rt.pool_mut().alloc_direct(8 * 1024, 64).unwrap();
-        let t0 = rt.pool().device().now_ns();
-        for i in 0..20_000u64 {
-            rt.begin();
-            rt.write_u64(base + ((i as usize * 13) % 1000) * 8, i);
-            rt.commit();
-        }
-        rt.pool().device().now_ns() - t0 - rt.tx_stats().background_ns
+/// Simulated foreground nanoseconds for `txs` transactions under `mode`.
+fn simulated_ns(mode: ReclaimMode, txs: u64) -> u64 {
+    let mut rt = SpecSpmt::new(
+        pool(),
+        SpecConfig {
+            reclaim_mode: mode,
+            reclaim_threshold_bytes: 64 * 1024,
+            ..SpecConfig::default()
+        },
+    );
+    let base = rt.pool_mut().alloc_direct(8 * 1024, 64).unwrap();
+    let t0 = rt.pool().device().now_ns();
+    for i in 0..txs {
+        rt.begin();
+        rt.write_u64(base + ((i as usize * 13) % 1000) * 8, i);
+        rt.commit();
     }
-    // Report via a bench so the numbers land in the criterion output.
-    let inline_ns = simulated_ns(ReclaimMode::Inline);
-    let background_ns = simulated_ns(ReclaimMode::Background);
+    rt.pool().device().now_ns() - t0 - rt.tx_stats().background_ns
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let (samples, grow_txs, ablate_txs) =
+        if smoke { (2, 100u64, 500u64) } else { (9, 2000, 20_000) };
+
+    // Host-time cost of one full reclamation cycle over a grown log.
+    bench_with_setup(
+        &format!("reclaim_cycle/scan_and_compact_{grow_txs}_txs"),
+        samples,
+        || grown_runtime(grow_txs),
+        |mut rt| rt.reclaim_now(),
+    );
+
+    // Simulated-time ablation: how much foreground time inline reclamation
+    // costs the application compared to background (dedicated-core) mode.
+    let inline_ns = simulated_ns(ReclaimMode::Inline, ablate_txs);
+    let background_ns = simulated_ns(ReclaimMode::Background, ablate_txs);
     println!(
-        "\nablation (simulated foreground ns for 20k txs): inline {inline_ns} vs background {background_ns} ({:.2}x)\n",
+        "{{\"bench\":\"reclaim_ablation_simulated\",\"txs\":{ablate_txs},\
+         \"inline_ns\":{inline_ns},\"background_ns\":{background_ns},\
+         \"slowdown\":{:.3}}}",
         inline_ns as f64 / background_ns as f64
     );
-    let mut group = c.benchmark_group("reclaim_ablation_host_time");
-    group.sample_size(10);
-    group.bench_function("inline_20k_txs", |b| b.iter(|| simulated_ns(ReclaimMode::Inline)));
-    group.bench_function("background_20k_txs", |b| {
-        b.iter(|| simulated_ns(ReclaimMode::Background))
-    });
-    group.finish();
+    println!(
+        "ablation (simulated foreground ns for {ablate_txs} txs): \
+         inline {inline_ns} vs background {background_ns} ({:.2}x)",
+        inline_ns as f64 / background_ns as f64
+    );
 }
-
-criterion_group!(benches, bench_reclaim_cycle, bench_reclaim_ablation);
-criterion_main!(benches);

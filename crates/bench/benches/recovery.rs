@@ -1,6 +1,8 @@
 //! Recovery-time benchmark: post-crash replay cost as the log grows.
+//!
+//! Output is one JSON line per log size (see `specpmt_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specpmt_bench::harness::{bench_with_setup, smoke_mode};
 use specpmt_core::{ReclaimMode, SpecConfig, SpecSpmt};
 use specpmt_pmem::{CrashImage, CrashPolicy, PmemConfig, PmemDevice, PmemPool};
 use specpmt_txn::{Recover, TxRuntime};
@@ -23,25 +25,17 @@ fn image_with_log(txs: u64) -> CrashImage {
     rt.pool().device().crash_with(CrashPolicy::AllLost)
 }
 
-fn bench_recovery(c: &mut Criterion) {
-    let mut group = c.benchmark_group("recovery_replay");
-    group.sample_size(20);
-    for txs in [100u64, 1000, 5000] {
+fn main() {
+    let (samples, sizes): (usize, &[u64]) =
+        if smoke_mode() { (2, &[50]) } else { (11, &[100, 1000, 5000]) };
+    for &txs in sizes {
         let img = image_with_log(txs);
-        group.bench_with_input(BenchmarkId::from_parameter(txs), &img, |b, img| {
-            // Clone in setup so the measurement covers replay only.
-            b.iter_batched(
-                || img.clone(),
-                |mut img| {
-                    SpecSpmt::recover(&mut img);
-                    img
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        // Clone in setup so the measurement covers replay only.
+        bench_with_setup(
+            &format!("recovery_replay/{txs}"),
+            samples,
+            || img.clone(),
+            |mut img| SpecSpmt::recover(&mut img),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_recovery);
-criterion_main!(benches);

@@ -2,10 +2,11 @@
 //! and commit latency for each software runtime.
 //!
 //! These measure *host* wall-clock of the simulation (how fast the library
-//! itself runs), complementing the simulated-time figure harnesses.
+//! itself runs), complementing the simulated-time figure harnesses. Output
+//! is one JSON line per benchmark (see `specpmt_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use specpmt_baselines::{PmdkConfig, PmdkUndo, Spht, SphtConfig};
+use specpmt_bench::harness::{bench, smoke_mode};
 use specpmt_core::{HashLogConfig, HashLogSpmt, SpecConfig, SpecSpmt};
 use specpmt_pmem::{PmemConfig, PmemDevice, PmemPool};
 use specpmt_txn::TxRuntime;
@@ -24,74 +25,42 @@ fn run_tx<R: TxRuntime>(rt: &mut R, base: usize, round: u64) {
     rt.maintain();
 }
 
-fn bench_commit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("commit_8x8B");
-    group.bench_function("SpecSPMT", |b| {
-        let mut rt = SpecSpmt::new(pool(), SpecConfig::default());
-        let base = rt.pool_mut().alloc_direct(32 * 1024, 64).unwrap();
-        let mut round = 0;
-        b.iter(|| {
-            run_tx(&mut rt, base, round);
-            round += 1;
-        });
+fn bench_commit_on<R: TxRuntime>(name: &str, mut rt: R, samples: usize, iters: u64) {
+    let base = rt.pool_mut().alloc_direct(32 * 1024, 64).unwrap();
+    let mut round = 0u64;
+    bench(&format!("commit_8x8B/{name}"), samples, iters, || {
+        run_tx(&mut rt, base, round);
+        round += 1;
     });
-    group.bench_function("SpecSPMT-DP", |b| {
-        let mut rt = SpecSpmt::new(pool(), SpecConfig::default().dp());
-        let base = rt.pool_mut().alloc_direct(32 * 1024, 64).unwrap();
-        let mut round = 0;
-        b.iter(|| {
-            run_tx(&mut rt, base, round);
-            round += 1;
-        });
-    });
-    group.bench_function("PMDK", |b| {
-        let mut rt = PmdkUndo::new(pool(), PmdkConfig::default());
-        let base = rt.pool_mut().alloc_direct(32 * 1024, 64).unwrap();
-        let mut round = 0;
-        b.iter(|| {
-            run_tx(&mut rt, base, round);
-            round += 1;
-        });
-    });
-    group.bench_function("SPHT", |b| {
-        let mut rt = Spht::new(pool(), SphtConfig::default());
-        let base = rt.pool_mut().alloc_direct(32 * 1024, 64).unwrap();
-        let mut round = 0;
-        b.iter(|| {
-            run_tx(&mut rt, base, round);
-            round += 1;
-        });
-    });
-    group.bench_function("HashLog", |b| {
-        let mut rt = HashLogSpmt::new(pool(), HashLogConfig { capacity: 1 << 12 });
-        let base = rt.pool_mut().alloc_direct(32 * 1024, 64).unwrap();
-        let mut round = 0;
-        b.iter(|| {
-            run_tx(&mut rt, base, round);
-            round += 1;
-        });
-    });
-    group.finish();
 }
 
-fn bench_splog_write(c: &mut Criterion) {
+fn main() {
+    let (samples, iters) = if smoke_mode() { (2, 8) } else { (9, 2000) };
+    bench_commit_on("SpecSPMT", SpecSpmt::new(pool(), SpecConfig::default()), samples, iters);
+    bench_commit_on(
+        "SpecSPMT-DP",
+        SpecSpmt::new(pool(), SpecConfig::default().dp()),
+        samples,
+        iters,
+    );
+    bench_commit_on("PMDK", PmdkUndo::new(pool(), PmdkConfig::default()), samples, iters);
+    bench_commit_on("SPHT", Spht::new(pool(), SphtConfig::default()), samples, iters);
+    bench_commit_on(
+        "HashLog",
+        HashLogSpmt::new(pool(), HashLogConfig { capacity: 1 << 12 }),
+        samples,
+        iters,
+    );
+
     // Isolate the per-write path: one open transaction, many writes.
-    c.bench_function("splog_single_write", |b| {
-        b.iter_batched_ref(
-            || {
-                let mut rt = SpecSpmt::new(pool(), SpecConfig::default());
-                let base = rt.pool_mut().alloc_direct(64 * 1024, 64).unwrap();
-                rt.begin();
-                (rt, base, 0u64)
-            },
-            |(rt, base, i)| {
-                *i += 1;
-                rt.write_u64(*base + ((*i as usize * 73) % 8000) * 8, *i);
-            },
-            BatchSize::NumIterations(4096),
-        );
+    let mut rt = SpecSpmt::new(pool(), SpecConfig::default());
+    let base = rt.pool_mut().alloc_direct(64 * 1024, 64).unwrap();
+    rt.begin();
+    let mut i = 0u64;
+    let write_iters = if smoke_mode() { 64 } else { 4096 };
+    bench("splog_single_write", samples, write_iters, || {
+        i += 1;
+        rt.write_u64(base + ((i as usize * 73) % 8000) * 8, i);
     });
+    rt.commit();
 }
-
-criterion_group!(benches, bench_commit, bench_splog_write);
-criterion_main!(benches);

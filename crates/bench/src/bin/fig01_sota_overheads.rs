@@ -38,6 +38,8 @@ fn main() {
         &rows,
         "%",
     );
-    println!("\npaper geomeans: PMDK 460%, Kamino-Tx 232%, SPHT 161%; SpecSPMT (paper abstract) ~10%");
+    println!(
+        "\npaper geomeans: PMDK 460%, Kamino-Tx 232%, SPHT 161%; SpecSPMT (paper abstract) ~10%"
+    );
     println!("(hardware overheads: run fig13_hardware_speedup, which prints EDE/HOOP vs no-log)");
 }

@@ -9,13 +9,8 @@ use specpmt_bench::{print_table, run_sw_suite, with_geomean, SwRuntime};
 use specpmt_stamp::{Scale, StampApp};
 
 fn main() {
-    let runtimes = [
-        SwRuntime::Pmdk,
-        SwRuntime::Kamino,
-        SwRuntime::Spht,
-        SwRuntime::SpecDp,
-        SwRuntime::Spec,
-    ];
+    let runtimes =
+        [SwRuntime::Pmdk, SwRuntime::Kamino, SwRuntime::Spht, SwRuntime::SpecDp, SwRuntime::Spec];
     let reports = run_sw_suite(&runtimes, Scale::Small);
     let rows: Vec<(String, Vec<f64>)> = StampApp::all()
         .iter()

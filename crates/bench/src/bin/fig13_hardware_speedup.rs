@@ -30,15 +30,12 @@ fn main() {
     println!("\npaper geomeans: HOOP 1.19x, SpecHPMT-DP ~1.0x, SpecHPMT 1.41x, no-log 1.5x");
 
     // Figure 1 (bottom): overhead of EDE / HOOP over no-log.
-    let ede_over = geomean(
-        reports.iter().map(|row| row[0].sim_ns as f64 / row[4].sim_ns as f64),
-    ) - 1.0;
-    let hoop_over = geomean(
-        reports.iter().map(|row| row[1].sim_ns as f64 / row[4].sim_ns as f64),
-    ) - 1.0;
-    let spec_over = geomean(
-        reports.iter().map(|row| row[3].sim_ns as f64 / row[4].sim_ns as f64),
-    ) - 1.0;
+    let ede_over =
+        geomean(reports.iter().map(|row| row[0].sim_ns as f64 / row[4].sim_ns as f64)) - 1.0;
+    let hoop_over =
+        geomean(reports.iter().map(|row| row[1].sim_ns as f64 / row[4].sim_ns as f64)) - 1.0;
+    let spec_over =
+        geomean(reports.iter().map(|row| row[3].sim_ns as f64 / row[4].sim_ns as f64)) - 1.0;
     println!("\n## Figure 1 (hardware): overhead vs no-log");
     println!(
         "EDE {:.1}%  HOOP {:.1}%  SpecHPMT {:.1}%   (paper: EDE 50%, HOOP 29%, SpecHPMT ~7%)",

@@ -7,14 +7,8 @@ fn main() {
     let pm = specpmt_hwtx::hw_pmem_config(1 << 20);
     println!("## Table 1: system configuration (this reproduction)");
     println!("CPU            | event-level core model @4GHz (ps-resolution latencies)");
-    println!(
-        "L1 TLB         | private, {} entries, {}-way",
-        hw.tlb_l1_entries, hw.tlb_l1_ways
-    );
-    println!(
-        "L2 TLB         | private, {} entries, {}-way",
-        hw.tlb_l2_entries, hw.tlb_l2_ways
-    );
+    println!("L1 TLB         | private, {} entries, {}-way", hw.tlb_l1_entries, hw.tlb_l1_ways);
+    println!("L2 TLB         | private, {} entries, {}-way", hw.tlb_l2_entries, hw.tlb_l2_ways);
     println!(
         "Data cache     | private, {} KB, {}-way, {} ps",
         hw.l1_bytes() / 1024,

@@ -26,7 +26,9 @@ fn main() {
             t.updates as f64 / t.tx_committed.max(1) as f64,
         );
     }
-    println!("\npaper (avg size B / #tx / #updates): genome 7.2/2.5M/7.2M, intruder 20.5/23M/107M,");
+    println!(
+        "\npaper (avg size B / #tx / #updates): genome 7.2/2.5M/7.2M, intruder 20.5/23M/107M,"
+    );
     println!("kmeans-low 101/9.9M/267M, kmeans-high 101/4.1M/111M, labyrinth 1420/1K/184K,");
     println!("ssca2 16/22M/89M, vacation-low 44.2/4.2M/31.6M, vacation-high 67.8/4.2M/44M, yada 175.6/2.4M/58M");
 }

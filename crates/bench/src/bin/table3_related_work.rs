@@ -4,20 +4,86 @@
 fn main() {
     println!("## Table 3: summary of related work (paper's taxonomy)");
     println!();
-    println!("{:<22} {:<9} {:<19} {:<11} {:<13} {:<9} {}",
-        "system", "platform", "log/update ordering", "cache", "data persist", "access", "in this repo");
+    let header = ("system", "platform", "log/update ordering", "cache", "data persist", "access");
+    println!(
+        "{:<22} {:<9} {:<19} {:<11} {:<13} {:<9} in this repo",
+        header.0, header.1, header.2, header.3, header.4, header.5
+    );
     let rows = [
-        ("EDE", "hardware", "non-fence ordering", "unmodified", "synchronous", "direct", "specpmt-hwtx::Ede"),
-        ("ATOM, Proteus", "hardware", "non-fence ordering", "modified", "synchronous", "direct", "-"),
-        ("TSOPER, ASAP", "hardware", "non-fence ordering", "modified", "asynchronous", "direct", "-"),
-        ("HOOP, ReDu", "hardware", "eliminated", "unmodified", "asynchronous", "indirect", "specpmt-hwtx::Hoop"),
-        ("PMDK", "software", "fence", "unmodified", "synchronous", "direct", "specpmt-baselines::PmdkUndo"),
-        ("Kamino-Tx", "software", "fence", "unmodified", "asynchronous", "direct", "specpmt-baselines::KaminoTx"),
+        (
+            "EDE",
+            "hardware",
+            "non-fence ordering",
+            "unmodified",
+            "synchronous",
+            "direct",
+            "specpmt-hwtx::Ede",
+        ),
+        (
+            "ATOM, Proteus",
+            "hardware",
+            "non-fence ordering",
+            "modified",
+            "synchronous",
+            "direct",
+            "-",
+        ),
+        (
+            "TSOPER, ASAP",
+            "hardware",
+            "non-fence ordering",
+            "modified",
+            "asynchronous",
+            "direct",
+            "-",
+        ),
+        (
+            "HOOP, ReDu",
+            "hardware",
+            "eliminated",
+            "unmodified",
+            "asynchronous",
+            "indirect",
+            "specpmt-hwtx::Hoop",
+        ),
+        (
+            "PMDK",
+            "software",
+            "fence",
+            "unmodified",
+            "synchronous",
+            "direct",
+            "specpmt-baselines::PmdkUndo",
+        ),
+        (
+            "Kamino-Tx",
+            "software",
+            "fence",
+            "unmodified",
+            "asynchronous",
+            "direct",
+            "specpmt-baselines::KaminoTx",
+        ),
         ("LSNVMM", "software", "eliminated", "unmodified", "eliminated", "indirect", "-"),
         ("Pronto", "software", "eliminated", "unmodified", "eliminated", "direct", "-"),
-        ("SPHT", "software", "eliminated", "unmodified", "asynchronous", "direct", "specpmt-baselines::Spht"),
-        ("SpecPMT (this work)", "both", "eliminated", "unmodified", "eliminated", "direct",
-         "specpmt-core::SpecSpmt + specpmt-hwtx::HwSpecPmt"),
+        (
+            "SPHT",
+            "software",
+            "eliminated",
+            "unmodified",
+            "asynchronous",
+            "direct",
+            "specpmt-baselines::Spht",
+        ),
+        (
+            "SpecPMT (this work)",
+            "both",
+            "eliminated",
+            "unmodified",
+            "eliminated",
+            "direct",
+            "specpmt-core::SpecSpmt + specpmt-hwtx::HwSpecPmt",
+        ),
     ];
     for (sys, plat, ord, cache, persist, access, here) in rows {
         println!("{sys:<22} {plat:<9} {ord:<19} {cache:<11} {persist:<13} {access:<9} {here}");

@@ -1,8 +1,12 @@
 //! Shared experiment harness: runtime factories, suite runners, and table
-//! formatting used by the per-figure binaries and the criterion benches.
+//! formatting used by the per-figure binaries and the wall-clock benches
+//! (see [`harness`] -- the workspace is zero-dependency, so there is no
+//! criterion).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use specpmt_baselines::{
     KaminoConfig, KaminoTx, NoLog, NoLogConfig, PmdkConfig, PmdkUndo, Spht, SphtConfig,
@@ -70,9 +74,7 @@ pub fn run_sw(rt: SwRuntime, app: StampApp, scale: Scale) -> AppRun {
         SwRuntime::Kamino => {
             run_app(app, &mut KaminoTx::new(fresh_pool(), KaminoConfig::default()), scale)
         }
-        SwRuntime::Spht => {
-            run_app(app, &mut Spht::new(fresh_pool(), SphtConfig::default()), scale)
-        }
+        SwRuntime::Spht => run_app(app, &mut Spht::new(fresh_pool(), SphtConfig::default()), scale),
         SwRuntime::SpecDp => {
             run_app(app, &mut SpecSpmt::new(fresh_pool(), SpecConfig::default().dp()), scale)
         }
@@ -189,12 +191,8 @@ pub fn run_hw_with(
 ) -> (AppRun, f64) {
     let pool = hw_pool(POOL_BYTES);
     let (run, avg_footprint) = match rt {
-        HwRuntime::Ede => {
-            (run_app(app, &mut Ede::new(pool, EdeConfig::default()), scale), 0.0)
-        }
-        HwRuntime::Hoop => {
-            (run_app(app, &mut Hoop::new(pool, HoopConfig::default()), scale), 0.0)
-        }
+        HwRuntime::Ede => (run_app(app, &mut Ede::new(pool, EdeConfig::default()), scale), 0.0),
+        HwRuntime::Hoop => (run_app(app, &mut Hoop::new(pool, HoopConfig::default()), scale), 0.0),
         HwRuntime::SpecDp => {
             let mut r = HwSpecPmt::new(pool, spec_cfg.dp());
             let run = run_app(app, &mut r, scale);

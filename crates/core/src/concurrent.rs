@@ -1,0 +1,826 @@
+//! Concurrent SpecSPMT: real OS threads over one shared pool, plus the
+//! background reclamation daemon.
+//!
+//! [`crate::SpecSpmt`] models the paper's multi-threaded design with
+//! *logical* threads multiplexed on one core (deterministic, good for crash
+//! search). This module is the actually-concurrent counterpart on top of
+//! [`specpmt_pmem::SharedPmemDevice`]:
+//!
+//! * [`SpecSpmtShared`] owns the pool, the global commit-timestamp counter
+//!   (an `AtomicU64` standing in for `rdtscp`), one log-chain slot per
+//!   thread, and the shared free-block list;
+//! * each application thread holds a [`TxHandle`] — its own
+//!   [`specpmt_pmem::DeviceHandle`] (private flush/fence state) appending to
+//!   its own log chain, so disjoint threads never contend beyond the
+//!   device's internal sharding;
+//! * [`ReclaimDaemon`] is a real `std::thread` (the paper's dedicated
+//!   reclamation core): it periodically rebuilds the [`FreshnessIndex`]
+//!   from the *committed* records of **all** threads, compacts each chain,
+//!   and splices the result in with the two-fence protocol (persist the new
+//!   chain, fence; swap the 8-byte head pointer, fence).
+//!
+//! The on-PM layout (root slots, block chains, record encoding) is
+//! identical to the sequential runtime, so [`crate::recovery::recover_image`]
+//! recovers images from either.
+//!
+//! # Freshness across threads
+//!
+//! An entry may be dropped only when a *younger committed* record covers
+//! every byte it logs — never because of an in-flight transaction. The
+//! daemon builds its index from committed records only (an open record has
+//! a zeroed header, which terminates parsing), and a chain with an open
+//! transaction is skipped entirely in the compaction phase. A *stale* index
+//! is safe: records committed after the scan are simply treated as fresh.
+//!
+//! # Lock ordering
+//!
+//! Per-thread area mutexes are leaf-ish: at most **one** area lock is held
+//! at a time, and the free-block lock is only acquired while holding an
+//! area lock (never the reverse). Device-internal locks nest below both.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use specpmt_pmem::{
+    CrashImage, DeviceHandle, SharedPmemDevice, SharedPmemPool, TimingMode, BUMP_OFF, CACHE_LINE,
+};
+
+use crate::reclaim::FreshnessIndex;
+use crate::record::{
+    encode_header, encode_record, parse_chain, push_entry, Cursor, LogArea, SharedStore, ENTRY_HDR,
+    REC_HDR,
+};
+use crate::recovery;
+use crate::runtime::{BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE, MAX_THREADS};
+
+/// Configuration for [`SpecSpmtShared`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcurrentConfig {
+    /// Log block size in bytes.
+    pub block_bytes: usize,
+    /// `true` selects the SpecSPMT-DP variant (data lines flushed with a
+    /// second fence at commit).
+    pub data_persistence: bool,
+    /// Number of application threads (1..=[`MAX_THREADS`]), each with its
+    /// own log chain and [`TxHandle`].
+    pub threads: usize,
+    /// Aggregate log footprint (bytes) above which the daemon runs a
+    /// reclamation cycle.
+    pub reclaim_threshold_bytes: usize,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        Self {
+            block_bytes: 4096,
+            data_persistence: false,
+            threads: 1,
+            reclaim_threshold_bytes: 1 << 20,
+        }
+    }
+}
+
+impl ConcurrentConfig {
+    /// The SpecSPMT-DP variant of this configuration.
+    #[must_use]
+    pub fn dp(mut self) -> Self {
+        self.data_persistence = true;
+        self
+    }
+
+    /// Sets the thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct AreaState {
+    area: LogArea,
+    /// A transaction is open on this chain (its newest record has a zeroed
+    /// header). The daemon must skip the chain while set.
+    open: bool,
+}
+
+/// Counters for the concurrent runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedStats {
+    /// Transactions committed (all threads).
+    pub commits: u64,
+    /// Reclamation cycles the daemon (or explicit calls) completed.
+    pub reclaim_cycles: u64,
+    /// Log entries dropped as stale.
+    pub records_reclaimed: u64,
+    /// Current aggregate log footprint in bytes.
+    pub log_live_bytes: u64,
+}
+
+/// Shared state of the concurrent SpecSPMT runtime. Wrap it in an [`Arc`]
+/// (see [`SpecSpmtShared::new`]) and hand each thread a [`TxHandle`].
+#[derive(Debug)]
+pub struct SpecSpmtShared {
+    pool: SharedPmemPool,
+    cfg: ConcurrentConfig,
+    /// Next commit timestamp (models `rdtscp`: globally ordered).
+    ts: AtomicU64,
+    areas: Vec<Mutex<AreaState>>,
+    free_blocks: Mutex<Vec<usize>>,
+    commits: AtomicU64,
+    reclaim_cycles: AtomicU64,
+    records_reclaimed: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl SpecSpmtShared {
+    /// Formats `pool` for `cfg.threads` log chains and returns the shared
+    /// runtime. Setup runs with device timing disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.threads` is out of range or the block size is too
+    /// small for a record header.
+    pub fn new(pool: SharedPmemPool, cfg: ConcurrentConfig) -> Arc<Self> {
+        assert!(
+            (1..=MAX_THREADS).contains(&cfg.threads),
+            "thread count {} out of range",
+            cfg.threads
+        );
+        let dev = pool.device().clone();
+        let prev = dev.timing();
+        dev.set_timing(TimingMode::Off);
+        pool.set_root_direct(BLOCK_BYTES_SLOT, cfg.block_bytes as u64);
+        let handle = pool.handle();
+        let mut free = Vec::new();
+        let mut areas = Vec::with_capacity(cfg.threads);
+        for tid in 0..MAX_THREADS {
+            if tid < cfg.threads {
+                let mut dirty = Vec::new();
+                let area = LogArea::create(
+                    &mut SharedStore { handle: &handle, pool: &pool, free: &mut free },
+                    cfg.block_bytes,
+                    &mut dirty,
+                );
+                pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, area.head() as u64);
+                areas.push(Mutex::new(AreaState { area, open: false }));
+            } else {
+                pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, 0);
+            }
+        }
+        dev.flush_everything();
+        dev.set_timing(prev);
+        Arc::new(Self {
+            pool,
+            cfg,
+            ts: AtomicU64::new(1),
+            areas,
+            free_blocks: Mutex::new(free),
+            commits: AtomicU64::new(0),
+            reclaim_cycles: AtomicU64::new(0),
+            records_reclaimed: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ConcurrentConfig {
+        &self.cfg
+    }
+
+    /// The shared pool.
+    pub fn pool(&self) -> &SharedPmemPool {
+        &self.pool
+    }
+
+    /// The shared device.
+    pub fn device(&self) -> &SharedPmemDevice {
+        self.pool.device()
+    }
+
+    /// Creates the transaction handle for thread slot `tid`. Each slot must
+    /// be driven by at most one thread at a time (the paper's model:
+    /// transactions coincide with outermost critical sections; a log chain
+    /// belongs to one thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn tx_handle(self: &Arc<Self>, tid: usize) -> TxHandle {
+        assert!(tid < self.cfg.threads, "thread {tid} out of range");
+        TxHandle {
+            shared: Arc::clone(self),
+            dev: self.pool.handle(),
+            tid,
+            in_tx: false,
+            tx_start: Cursor { block: 0, pos: 0 },
+            payload: Vec::new(),
+            index: HashMap::new(),
+            dirty: Vec::new(),
+            data_lines: BTreeSet::new(),
+        }
+    }
+
+    /// Current aggregate log footprint in bytes.
+    pub fn log_footprint(&self) -> usize {
+        self.areas.iter().map(|a| a.lock().expect("area lock").area.footprint()).sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SharedStats {
+        SharedStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            reclaim_cycles: self.reclaim_cycles.load(Ordering::Relaxed),
+            records_reclaimed: self.records_reclaimed.load(Ordering::Relaxed),
+            log_live_bytes: self.log_footprint() as u64,
+        }
+    }
+
+    /// Runs one reclamation cycle on the calling thread (the daemon calls
+    /// this; tests and benchmarks may too).
+    ///
+    /// Scan phase: parse the committed records of every chain and build the
+    /// freshness index. Compact phase: per chain (skipping chains with an
+    /// open transaction), rewrite with only fresh entries and splice the
+    /// new chain in with two fences.
+    pub fn reclaim_cycle(&self) {
+        let handle = self.pool.handle();
+
+        // Phase 1: scan. Each chain is parsed under its lock (consistent
+        // snapshot of that chain); the global index may be stale by the
+        // time a chain is compacted, which errs toward keeping entries.
+        let parsed: Vec<Vec<crate::record::LogRecord>> = self
+            .areas
+            .iter()
+            .map(|a| {
+                let st = a.lock().expect("area lock");
+                parse_chain(&handle, st.area.head(), self.cfg.block_bytes)
+            })
+            .collect();
+        let index = FreshnessIndex::build(parsed.iter().flatten());
+        drop(parsed);
+
+        // Phase 2: compact each chain.
+        let mut dropped_total = 0u64;
+        for (tid, slot) in self.areas.iter().enumerate() {
+            let mut st = slot.lock().expect("area lock");
+            if st.open {
+                continue; // an open record pins the chain
+            }
+            // Re-parse under the lock: records committed since the scan
+            // must be preserved (the stale index treats them as fresh).
+            let records = parse_chain(&handle, st.area.head(), self.cfg.block_bytes);
+            let mut dirty = Vec::new();
+            let mut new_area = {
+                let mut free = self.free_blocks.lock().expect("free lock");
+                let mut store = SharedStore { handle: &handle, pool: &self.pool, free: &mut free };
+                let mut area = LogArea::create(&mut store, self.cfg.block_bytes, &mut dirty);
+                for rec in &records {
+                    let (kept, dropped) = index.compact_record(rec);
+                    dropped_total += dropped;
+                    if let Some(kept) = kept {
+                        area.append(&mut store, &encode_record(&kept), &mut dirty);
+                    }
+                }
+                area.write_terminator(&mut store, &mut dirty);
+                area
+            };
+            // Fence 1: the new chain is fully persistent before any head
+            // pointer references it.
+            flush_ranges(&handle, &dirty);
+            handle.sfence();
+            // Fence 2: atomically swap the 8-byte head pointer.
+            self.pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, new_area.head() as u64);
+            std::mem::swap(&mut st.area, &mut new_area);
+            drop(st);
+            // Old blocks are recycled only after the swap fence, so a crash
+            // image either references the old chain (intact) or the new.
+            self.free_blocks.lock().expect("free lock").extend(new_area.into_blocks());
+        }
+        self.records_reclaimed.fetch_add(dropped_total, Ordering::Relaxed);
+        self.reclaim_cycles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Orderly shutdown: make all durable data reachable without the log.
+    pub fn close(&self) {
+        self.device().flush_everything();
+    }
+
+    /// Spawns the background reclamation daemon (the paper's dedicated
+    /// reclamation core as a real OS thread). It polls every `poll`
+    /// interval and runs [`Self::reclaim_cycle`] whenever the aggregate
+    /// footprint exceeds the configured threshold. Stop (and join) it by
+    /// dropping the returned [`ReclaimDaemon`] or calling
+    /// [`ReclaimDaemon::stop`].
+    pub fn spawn_reclaimer(self: &Arc<Self>, poll: Duration) -> ReclaimDaemon {
+        let shared = Arc::clone(self);
+        shared.stop.store(false, Ordering::SeqCst);
+        let handle = std::thread::Builder::new()
+            .name("specpmt-reclaim".into())
+            .spawn(move || {
+                while !shared.stop.load(Ordering::SeqCst) {
+                    if shared.log_footprint() > shared.cfg.reclaim_threshold_bytes {
+                        shared.reclaim_cycle();
+                    } else {
+                        std::thread::sleep(poll);
+                    }
+                }
+            })
+            .expect("spawn reclaim daemon");
+        ReclaimDaemon { shared: Arc::clone(self), handle: Some(handle) }
+    }
+
+    /// Post-crash recovery (identical image format to [`crate::SpecSpmt`]).
+    pub fn recover(image: &mut CrashImage) {
+        recovery::recover_image(image);
+    }
+}
+
+/// Handle to the background reclamation thread. Dropping it stops and
+/// joins the daemon.
+#[derive(Debug)]
+pub struct ReclaimDaemon {
+    shared: Arc<SpecSpmtShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ReclaimDaemon {
+    /// Stops the daemon and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReclaimDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EntrySlot {
+    payload_off: usize,
+    len: usize,
+    value_cursor: Cursor,
+}
+
+/// Per-thread transaction handle of [`SpecSpmtShared`].
+///
+/// The API mirrors the sequential runtime's transaction surface (`begin` /
+/// `write` / `commit`), but is owned by one OS thread and safe to drive
+/// concurrently with the other threads' handles and the daemon.
+#[derive(Debug)]
+pub struct TxHandle {
+    shared: Arc<SpecSpmtShared>,
+    dev: DeviceHandle,
+    tid: usize,
+    in_tx: bool,
+    tx_start: Cursor,
+    payload: Vec<u8>,
+    index: HashMap<usize, EntrySlot>,
+    dirty: Vec<(usize, usize)>,
+    data_lines: BTreeSet<usize>,
+}
+
+fn flush_ranges(dev: &DeviceHandle, ranges: &[(usize, usize)]) {
+    // Deduplicate to lines and flush ascending so sequential log lines get
+    // the XPLine write-combining discount.
+    let mut lines = BTreeSet::new();
+    for &(addr, len) in ranges {
+        if len == 0 {
+            continue;
+        }
+        let first = addr / CACHE_LINE;
+        let last = (addr + len - 1) / CACHE_LINE;
+        for l in first..=last {
+            lines.insert(l * CACHE_LINE);
+        }
+    }
+    for l in lines {
+        dev.clwb(l);
+    }
+}
+
+impl TxHandle {
+    /// The shared runtime.
+    pub fn shared(&self) -> &Arc<SpecSpmtShared> {
+        &self.shared
+    }
+
+    /// This handle's thread slot.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The shared device (for crash-epoch observation).
+    pub fn device(&self) -> &SharedPmemDevice {
+        self.shared.device()
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_tx(&self) -> bool {
+        self.in_tx
+    }
+
+    /// This thread's core-local simulated time (see
+    /// [`specpmt_pmem::DeviceHandle::local_now_ns`]) — the per-core
+    /// timeline that fence stalls of *this* thread advance.
+    pub fn local_now_ns(&self) -> u64 {
+        self.dev.local_now_ns()
+    }
+
+    /// Starts a transaction on this thread's chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nested `begin` (including a second handle driving the same
+    /// slot).
+    pub fn begin(&mut self) {
+        assert!(!self.in_tx, "nested transaction on thread {}", self.tid);
+        self.payload.clear();
+        self.index.clear();
+        self.dirty.clear();
+        self.data_lines.clear();
+        let mut st = self.shared.areas[self.tid].lock().expect("area lock");
+        assert!(!st.open, "thread slot {} already has an open transaction", self.tid);
+        st.open = true;
+        self.tx_start = st.area.tail();
+        // Reserve the header: zero length marks the record open/uncommitted.
+        let mut dirty = Vec::new();
+        {
+            let mut free = self.shared.free_blocks.lock().expect("free lock");
+            let mut store =
+                SharedStore { handle: &self.dev, pool: &self.shared.pool, free: &mut free };
+            st.area.append(&mut store, &[0u8; REC_HDR], &mut dirty);
+        }
+        drop(st);
+        self.dirty.extend(dirty);
+        self.in_tx = true;
+    }
+
+    /// Durably writes `data` at pool offset `addr` within the open
+    /// transaction: in-place data update (never flushed by SpecSPMT) plus a
+    /// speculative log entry of the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a transaction.
+    pub fn write(&mut self, addr: usize, data: &[u8]) {
+        assert!(self.in_tx, "write outside transaction");
+        self.dev.write(addr, data);
+        if self.shared.cfg.data_persistence && !data.is_empty() {
+            let first = addr / CACHE_LINE;
+            let last = (addr + data.len() - 1) / CACHE_LINE;
+            for l in first..=last {
+                self.data_lines.insert(l * CACHE_LINE);
+            }
+        }
+        let mut st = self.shared.areas[self.tid].lock().expect("area lock");
+        if let Some(slot) = self.index.get(&addr).copied() {
+            if slot.len == data.len() {
+                // Write-set indexing: overwrite the previous entry in place.
+                self.payload[slot.payload_off..slot.payload_off + data.len()].copy_from_slice(data);
+                let mut dirty = Vec::new();
+                let mut free = self.shared.free_blocks.lock().expect("free lock");
+                let mut store =
+                    SharedStore { handle: &self.dev, pool: &self.shared.pool, free: &mut free };
+                st.area.write_at(&mut store, slot.value_cursor, data, &mut dirty);
+                drop(free);
+                drop(st);
+                self.dirty.extend(dirty);
+                return;
+            }
+        }
+        let payload_off = self.payload.len() + ENTRY_HDR;
+        push_entry(&mut self.payload, addr, data);
+        let mut hdr = [0u8; ENTRY_HDR];
+        hdr[0..8].copy_from_slice(&(addr as u64).to_le_bytes());
+        hdr[8..12].copy_from_slice(&(data.len() as u32).to_le_bytes());
+        let mut dirty = Vec::new();
+        let value_cursor = {
+            let mut free = self.shared.free_blocks.lock().expect("free lock");
+            let mut store =
+                SharedStore { handle: &self.dev, pool: &self.shared.pool, free: &mut free };
+            st.area.append(&mut store, &hdr, &mut dirty);
+            let cursor = st.area.tail();
+            st.area.append(&mut store, data, &mut dirty);
+            cursor
+        };
+        drop(st);
+        self.dirty.extend(dirty);
+        self.index.insert(addr, EntrySlot { payload_off, len: data.len(), value_cursor });
+    }
+
+    /// Writes a little-endian `u64` transactionally.
+    pub fn write_u64(&mut self, addr: usize, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Reads `buf.len()` bytes at `addr` (direct in-place access — SpecPMT
+    /// never redirects reads).
+    pub fn read(&self, addr: usize, buf: &mut [u8]) {
+        self.dev.read(addr, buf);
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: usize) -> u64 {
+        self.dev.read_u64(addr)
+    }
+
+    /// Transactionally allocates from the shared heap; the bump update
+    /// rides the speculative log, making the allocation crash-atomic with
+    /// the transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a transaction or when the heap is exhausted.
+    pub fn alloc(&mut self, size: usize, align: usize) -> usize {
+        assert!(self.in_tx, "alloc outside transaction");
+        let r = self.shared.pool.reserve(size, align).expect("pool heap exhausted");
+        if let Some(bump) = r.new_bump {
+            self.write_u64(BUMP_OFF, bump);
+        }
+        r.off
+    }
+
+    /// Commits the open transaction with the single SpecSPMT flush+fence;
+    /// returns the commit timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a transaction.
+    pub fn commit(&mut self) -> u64 {
+        assert!(self.in_tx, "commit outside transaction");
+        let ts = self.shared.ts.fetch_add(1, Ordering::SeqCst);
+        let header = encode_header(ts, &self.payload);
+        let mut st = self.shared.areas[self.tid].lock().expect("area lock");
+        let mut dirty = Vec::new();
+        {
+            let mut free = self.shared.free_blocks.lock().expect("free lock");
+            let mut store =
+                SharedStore { handle: &self.dev, pool: &self.shared.pool, free: &mut free };
+            let wrote = st.area.write_at(&mut store, self.tx_start, &header, &mut dirty);
+            assert_eq!(wrote, REC_HDR, "record header must fit in the chain");
+            st.area.write_terminator(&mut store, &mut dirty);
+        }
+        self.dirty.extend(dirty);
+
+        // The single commit fence: persist the whole record and nothing
+        // else. The area lock is held through the fence so the daemon never
+        // splices a chain whose newest record is mid-persist.
+        let ranges = std::mem::take(&mut self.dirty);
+        flush_ranges(&self.dev, &ranges);
+        self.dev.sfence();
+
+        if self.shared.cfg.data_persistence {
+            // SpecSPMT-DP: also persist the data lines (second fence).
+            let lines = std::mem::take(&mut self.data_lines);
+            for l in lines {
+                self.dev.clwb(l);
+            }
+            self.dev.sfence();
+        }
+
+        st.open = false;
+        drop(st);
+        self.in_tx = false;
+        self.shared.commits.fetch_add(1, Ordering::Relaxed);
+        ts
+    }
+}
+
+impl specpmt_txn::TxThread for TxHandle {
+    fn begin(&mut self) {
+        TxHandle::begin(self);
+    }
+
+    fn write(&mut self, addr: usize, data: &[u8]) {
+        TxHandle::write(self, addr, data);
+    }
+
+    fn commit(&mut self) -> u64 {
+        TxHandle::commit(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specpmt_pmem::{CrashPolicy, PmemConfig};
+
+    fn shared(cfg: ConcurrentConfig) -> Arc<SpecSpmtShared> {
+        let dev = SharedPmemDevice::new(PmemConfig::new(1 << 22));
+        SpecSpmtShared::new(SharedPmemPool::create(dev), cfg)
+    }
+
+    fn alloc_region(s: &Arc<SpecSpmtShared>, bytes: usize) -> usize {
+        let base = s.pool().alloc_direct(bytes, 64).unwrap();
+        let prev = s.device().timing();
+        s.device().set_timing(TimingMode::Off);
+        s.pool().handle().persist_range(base, bytes);
+        s.device().set_timing(prev);
+        base
+    }
+
+    #[test]
+    fn committed_value_survives_all_lost_crash() {
+        let s = shared(ConcurrentConfig::default());
+        let a = alloc_region(&s, 64);
+        let mut h = s.tx_handle(0);
+        h.begin();
+        h.write_u64(a, 0xFEED);
+        h.commit();
+        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        assert_eq!(img.read_u64(a), 0xFEED);
+    }
+
+    #[test]
+    fn uncommitted_tx_is_revoked_even_if_data_evicted() {
+        let s = shared(ConcurrentConfig::default());
+        let a = alloc_region(&s, 64);
+        let mut h = s.tx_handle(0);
+        h.begin();
+        h.write_u64(a, 1);
+        h.commit();
+        h.begin();
+        h.write_u64(a, 2);
+        let mut img = s.device().crash_with(CrashPolicy::AllSurvive);
+        SpecSpmtShared::recover(&mut img);
+        assert_eq!(img.read_u64(a), 1, "uncommitted update must be revoked");
+    }
+
+    #[test]
+    fn exactly_one_fence_per_commit() {
+        let s = shared(ConcurrentConfig::default());
+        let a = alloc_region(&s, 256);
+        let mut h = s.tx_handle(0);
+        let before = s.device().stats().sfence_count;
+        h.begin();
+        for i in 0..8 {
+            h.write_u64(a + i * 8, i as u64);
+        }
+        h.commit();
+        let after = s.device().stats().sfence_count;
+        assert_eq!(after - before, 1, "SpecSPMT commits with a single fence");
+    }
+
+    #[test]
+    fn parallel_threads_commit_disjoint_regions() {
+        let s = shared(ConcurrentConfig::default().with_threads(4));
+        let base = alloc_region(&s, 4 * 64);
+        std::thread::scope(|scope| {
+            for tid in 0..4 {
+                let s = &s;
+                let mut h = s.tx_handle(tid);
+                scope.spawn(move || {
+                    for v in 0..50u64 {
+                        h.begin();
+                        h.write_u64(base + tid * 64, v);
+                        h.commit();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.stats().commits, 200);
+        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        for tid in 0..4 {
+            assert_eq!(img.read_u64(base + tid * 64), 49);
+        }
+    }
+
+    #[test]
+    fn cross_thread_freshness_respected_by_reclaim() {
+        // Thread 1's younger commit to the same address must stale thread
+        // 0's record — and never the other way around.
+        let s = shared(ConcurrentConfig::default().with_threads(2));
+        let a = alloc_region(&s, 64);
+        let mut h0 = s.tx_handle(0);
+        let mut h1 = s.tx_handle(1);
+        h0.begin();
+        h0.write_u64(a, 10);
+        h0.commit();
+        h1.begin();
+        h1.write_u64(a, 20);
+        h1.commit();
+        s.reclaim_cycle();
+        assert!(s.stats().records_reclaimed > 0, "older cross-thread entry dropped");
+        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        assert_eq!(img.read_u64(a), 20, "youngest commit wins after compaction");
+    }
+
+    #[test]
+    fn reclaim_skips_chain_with_open_tx() {
+        let s = shared(ConcurrentConfig::default().with_threads(2));
+        let a = alloc_region(&s, 64);
+        let mut h0 = s.tx_handle(0);
+        let mut h1 = s.tx_handle(1);
+        for v in 0..100u64 {
+            h0.begin();
+            h0.write_u64(a, v);
+            h0.commit();
+        }
+        h1.begin();
+        h1.write_u64(a + 32, 7);
+        s.reclaim_cycle(); // must not touch h1's chain
+        h1.commit();
+        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        assert_eq!(img.read_u64(a), 99);
+        assert_eq!(img.read_u64(a + 32), 7);
+    }
+
+    #[test]
+    fn daemon_bounds_log_footprint() {
+        let s = shared(ConcurrentConfig {
+            threads: 2,
+            reclaim_threshold_bytes: 64 * 1024,
+            ..ConcurrentConfig::default()
+        });
+        let base = alloc_region(&s, 2 * 64);
+        let daemon = s.spawn_reclaimer(Duration::from_micros(200));
+        std::thread::scope(|scope| {
+            for tid in 0..2 {
+                let s = &s;
+                let mut h = s.tx_handle(tid);
+                scope.spawn(move || {
+                    for v in 0..5_000u64 {
+                        h.begin();
+                        h.write_u64(base + tid * 64, v);
+                        h.commit();
+                    }
+                });
+            }
+        });
+        daemon.stop();
+        let st = s.stats();
+        assert!(st.reclaim_cycles > 0, "daemon never ran");
+        // One final cycle with no open transactions bounds the tail.
+        s.reclaim_cycle();
+        assert!(s.log_footprint() <= 2 * 64 * 1024, "footprint {} not bounded", s.log_footprint());
+        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        for tid in 0..2 {
+            assert_eq!(img.read_u64(base + tid * 64), 4_999);
+        }
+    }
+
+    #[test]
+    fn transactional_alloc_is_crash_atomic() {
+        let s = shared(ConcurrentConfig::default());
+        let root = alloc_region(&s, 64);
+        let mut h = s.tx_handle(0);
+        h.begin();
+        let obj = h.alloc(32, 8);
+        h.write_u64(obj, 77);
+        h.write_u64(root, obj as u64);
+        h.commit();
+        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        let obj2 = img.read_u64(root) as usize;
+        assert_eq!(obj2, obj);
+        assert_eq!(img.read_u64(obj2), 77);
+    }
+
+    #[test]
+    fn dp_variant_persists_data_with_second_fence() {
+        let s = shared(ConcurrentConfig::default().dp());
+        let a = alloc_region(&s, 64);
+        let mut h = s.tx_handle(0);
+        let before = s.device().stats().sfence_count;
+        h.begin();
+        h.write_u64(a, 5);
+        h.commit();
+        assert_eq!(s.device().stats().sfence_count - before, 2);
+        let img = s.device().crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(a), 5, "DP data survives without recovery");
+    }
+
+    #[test]
+    #[should_panic(expected = "nested transaction")]
+    fn nested_begin_panics() {
+        let s = shared(ConcurrentConfig::default());
+        let mut h = s.tx_handle(0);
+        h.begin();
+        h.begin();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_tid_panics() {
+        let s = shared(ConcurrentConfig::default());
+        let _ = s.tx_handle(3);
+    }
+}

@@ -108,10 +108,8 @@ pub fn inspect_image(image: &CrashImage) -> InspectReport {
             let records = parse_chain(image, head, block_bytes);
             let entries = records.iter().map(|r| r.entries.len()).sum();
             let payload_bytes = records.iter().map(|r| r.payload_len()).sum();
-            let ts_range = records
-                .iter()
-                .map(|r| r.ts)
-                .fold(None, |acc: Option<(u64, u64)>, ts| {
+            let ts_range =
+                records.iter().map(|r| r.ts).fold(None, |acc: Option<(u64, u64)>, ts| {
                     Some(match acc {
                         None => (ts, ts),
                         Some((lo, hi)) => (lo.min(ts), hi.max(ts)),

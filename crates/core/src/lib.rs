@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 mod checksum;
+pub mod concurrent;
 pub mod hashlog;
 pub mod inspect;
 pub mod reclaim;
@@ -68,8 +69,9 @@ pub mod recovery;
 mod runtime;
 
 pub use checksum::fnv1a64;
-pub use inspect::{inspect_image, ChainSummary, InspectReport};
+pub use concurrent::{ConcurrentConfig, ReclaimDaemon, SharedStats, SpecSpmtShared, TxHandle};
 pub use hashlog::{HashLogConfig, HashLogSpmt};
+pub use inspect::{inspect_image, ChainSummary, InspectReport};
 pub use runtime::{
     ReclaimMode, SpecConfig, SpecSpmt, BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE, MAX_THREADS,
 };

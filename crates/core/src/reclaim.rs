@@ -48,8 +48,7 @@ impl FreshnessIndex {
     /// Whether `entry` at commit time `ts` is fresh: at least one of its
     /// bytes has no younger committed record.
     pub fn is_fresh(&self, ts: u64, entry: &LogEntry) -> bool {
-        (0..entry.value.len())
-            .any(|i| self.newest.get(&(entry.addr + i)).is_none_or(|&n| n <= ts))
+        (0..entry.value.len()).any(|i| self.newest.get(&(entry.addr + i)).is_none_or(|&n| n <= ts))
     }
 
     /// Filters a record down to its fresh entries, preserving order.

@@ -15,7 +15,7 @@
 //! chain: the checksum doubles as the commit flag, so a transaction whose
 //! commit was interrupted leaves a torn record that parsing rejects.
 
-use specpmt_pmem::{CrashImage, PmemDevice, PmemPool};
+use specpmt_pmem::{CrashImage, DeviceHandle, PmemDevice, PmemPool, SharedPmemPool};
 
 use crate::checksum::fnv1a64;
 
@@ -63,6 +63,20 @@ impl ByteSource for PmemDevice {
             return false;
         }
         buf.copy_from_slice(self.peek(addr, buf.len()));
+        true
+    }
+
+    fn source_len(&self) -> usize {
+        self.size()
+    }
+}
+
+impl ByteSource for DeviceHandle {
+    fn read_at(&self, addr: usize, buf: &mut [u8]) -> bool {
+        if addr + buf.len() > self.size() {
+            return false;
+        }
+        buf.copy_from_slice(&self.peek(addr, buf.len()));
         true
     }
 
@@ -177,7 +191,12 @@ struct StreamReader<'a, S: ByteSource> {
 impl<'a, S: ByteSource> StreamReader<'a, S> {
     fn new(src: &'a S, head: usize, block_bytes: usize) -> Self {
         let max_blocks = src.source_len() / block_bytes + 2;
-        Self { src, cur: Cursor { block: head, pos: BLOCK_HDR }, block_bytes, hops_left: max_blocks }
+        Self {
+            src,
+            cur: Cursor { block: head, pos: BLOCK_HDR },
+            block_bytes,
+            hops_left: max_blocks,
+        }
     }
 
     fn read(&mut self, buf: &mut [u8]) -> bool {
@@ -244,6 +263,97 @@ pub fn parse_chain<S: ByteSource>(src: &S, head: usize, block_bytes: usize) -> V
     out
 }
 
+/// The mutable storage a [`LogArea`] writes through — abstracts over the
+/// single-threaded [`PmemPool`] and a per-thread [`DeviceHandle`] of a
+/// [`SharedPmemPool`], so the log-chain code is written once and shared by
+/// the sequential and the concurrent runtimes.
+pub trait LogStore {
+    /// Stores `data` at `addr` in the volatile image.
+    fn store(&mut self, addr: usize, data: &[u8]);
+    /// Reads a `u64` at `addr` without charging cost (pointer chasing).
+    fn load_u64(&self, addr: usize) -> u64;
+    /// Allocates one log block of `block_bytes` (reusing freed blocks where
+    /// available).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the pool heap is exhausted.
+    fn take_block(&mut self, block_bytes: usize) -> usize;
+}
+
+/// Batch size for log-block allocation (amortizes the bump-pointer persist
+/// over many blocks).
+const BLOCK_BATCH: usize = 16;
+
+/// [`LogStore`] over the single-threaded pool plus its volatile free list.
+#[derive(Debug)]
+pub struct PoolStore<'a> {
+    /// The pool log blocks live in.
+    pub pool: &'a mut PmemPool,
+    /// Volatile free-block list.
+    pub free: &'a mut Vec<usize>,
+}
+
+impl<'a> PoolStore<'a> {
+    /// Wraps a pool and its free list.
+    pub fn new(pool: &'a mut PmemPool, free: &'a mut Vec<usize>) -> Self {
+        Self { pool, free }
+    }
+}
+
+impl LogStore for PoolStore<'_> {
+    fn store(&mut self, addr: usize, data: &[u8]) {
+        self.pool.device_mut().write(addr, data);
+    }
+
+    fn load_u64(&self, addr: usize) -> u64 {
+        self.pool.device().peek_u64(addr)
+    }
+
+    fn take_block(&mut self, block_bytes: usize) -> usize {
+        take_block(self.pool, self.free, block_bytes)
+    }
+}
+
+/// [`LogStore`] over one thread's [`DeviceHandle`] of a shared pool.
+///
+/// The caller supplies the free list (typically a guard over the shared
+/// runtime's free-block mutex — the handle itself never takes locks beyond
+/// the device's internal sharding).
+#[derive(Debug)]
+pub struct SharedStore<'a> {
+    /// The issuing thread's device handle.
+    pub handle: &'a DeviceHandle,
+    /// The shared pool blocks are allocated from.
+    pub pool: &'a SharedPmemPool,
+    /// Free-block list (shared across threads; caller holds its lock).
+    pub free: &'a mut Vec<usize>,
+}
+
+impl LogStore for SharedStore<'_> {
+    fn store(&mut self, addr: usize, data: &[u8]) {
+        self.handle.write(addr, data);
+    }
+
+    fn load_u64(&self, addr: usize) -> u64 {
+        self.handle.peek_u64(addr)
+    }
+
+    fn take_block(&mut self, block_bytes: usize) -> usize {
+        if let Some(b) = self.free.pop() {
+            return b;
+        }
+        let base = self
+            .pool
+            .alloc_direct(block_bytes * BLOCK_BATCH, 64)
+            .expect("pool exhausted while allocating log blocks");
+        for i in (1..BLOCK_BATCH).rev() {
+            self.free.push(base + i * block_bytes);
+        }
+        base
+    }
+}
+
 /// Writer over a (growable) block chain on a live pool.
 ///
 /// Appends records byte-contiguously, allocating and linking new blocks on
@@ -266,33 +376,30 @@ pub fn take_block(pool: &mut PmemPool, free: &mut Vec<usize>, block_bytes: usize
     if let Some(b) = free.pop() {
         return b;
     }
-    const BATCH: usize = 16;
     let base = pool
-        .alloc_direct(block_bytes * BATCH, 64)
+        .alloc_direct(block_bytes * BLOCK_BATCH, 64)
         .expect("pool exhausted while allocating log blocks");
-    for i in (1..BATCH).rev() {
+    for i in (1..BLOCK_BATCH).rev() {
         free.push(base + i * block_bytes);
     }
     base
 }
 
 impl LogArea {
-    /// Creates a chain with one block taken from `free`/the pool. The block
+    /// Creates a chain with one block taken from the store. The block
     /// header and the stream terminator are initialized (volatile; the
     /// first commit persists them).
-    pub fn create(
-        pool: &mut PmemPool,
-        free: &mut Vec<usize>,
+    pub fn create<S: LogStore>(
+        store: &mut S,
         block_bytes: usize,
         dirty: &mut Vec<(usize, usize)>,
     ) -> Self {
         assert!(block_bytes > BLOCK_HDR + REC_HDR, "block size too small");
-        let b = take_block(pool, free, block_bytes);
-        let dev = pool.device_mut();
-        dev.write_u64(b, 0);
-        dev.write_u64(b + 8, 0);
+        let b = store.take_block(block_bytes);
+        store.store(b, &0u64.to_le_bytes());
+        store.store(b + 8, &0u64.to_le_bytes());
         // Zero terminator so parsing stops immediately.
-        dev.write(b + BLOCK_HDR, &[0u8; 4]);
+        store.store(b + BLOCK_HDR, &[0u8; 4]);
         dirty.push((b, BLOCK_HDR + 4));
         Self { head: b, tail: Cursor { block: b, pos: BLOCK_HDR }, block_bytes, blocks: vec![b] }
     }
@@ -325,35 +432,33 @@ impl LogArea {
     /// Appends `bytes` at the tail, spilling into new blocks as needed.
     /// Dirty ranges (including touched block pointers) are pushed to
     /// `dirty`.
-    pub fn append(
+    pub fn append<S: LogStore>(
         &mut self,
-        pool: &mut PmemPool,
-        free: &mut Vec<usize>,
+        store: &mut S,
         bytes: &[u8],
         dirty: &mut Vec<(usize, usize)>,
     ) {
         let mut off = 0;
         while off < bytes.len() {
             if self.tail.pos >= self.block_bytes {
-                self.spill(pool, free, dirty);
+                self.spill(store, dirty);
             }
             let n = (self.block_bytes - self.tail.pos).min(bytes.len() - off);
             let addr = self.tail.block + self.tail.pos;
-            pool.device_mut().write(addr, &bytes[off..off + n]);
+            store.store(addr, &bytes[off..off + n]);
             dirty.push((addr, n));
             self.tail.pos += n;
             off += n;
         }
     }
 
-    fn spill(&mut self, pool: &mut PmemPool, free: &mut Vec<usize>, dirty: &mut Vec<(usize, usize)>) {
+    fn spill<S: LogStore>(&mut self, store: &mut S, dirty: &mut Vec<(usize, usize)>) {
         let prev = self.tail.block;
-        let nb = take_block(pool, free, self.block_bytes);
-        let dev = pool.device_mut();
-        dev.write_u64(nb, 0);
-        dev.write_u64(nb + 8, prev as u64);
-        dev.write(nb + BLOCK_HDR, &[0u8; 4]);
-        dev.write_u64(prev, nb as u64);
+        let nb = store.take_block(self.block_bytes);
+        store.store(nb, &0u64.to_le_bytes());
+        store.store(nb + 8, &(prev as u64).to_le_bytes());
+        store.store(nb + BLOCK_HDR, &[0u8; 4]);
+        store.store(prev, &(nb as u64).to_le_bytes());
         dirty.push((nb, BLOCK_HDR + 4));
         dirty.push((prev, 8));
         self.blocks.push(nb);
@@ -364,9 +469,9 @@ impl LogArea {
     /// following existing forward pointers. Returns the number of bytes
     /// written (less than `bytes.len()` only if the chain ends — callers
     /// patching record headers must never hit that).
-    pub fn write_at(
+    pub fn write_at<S: LogStore>(
         &self,
-        pool: &mut PmemPool,
+        store: &mut S,
         mut cursor: Cursor,
         bytes: &[u8],
         dirty: &mut Vec<(usize, usize)>,
@@ -374,7 +479,7 @@ impl LogArea {
         let mut off = 0;
         while off < bytes.len() {
             if cursor.pos >= self.block_bytes {
-                let next = pool.device().peek_u64(cursor.block) as usize;
+                let next = store.load_u64(cursor.block) as usize;
                 if next == 0 {
                     break;
                 }
@@ -382,7 +487,7 @@ impl LogArea {
             }
             let n = (self.block_bytes - cursor.pos).min(bytes.len() - off);
             let addr = cursor.block + cursor.pos;
-            pool.device_mut().write(addr, &bytes[off..off + n]);
+            store.store(addr, &bytes[off..off + n]);
             dirty.push((addr, n));
             cursor.pos += n;
             off += n;
@@ -394,8 +499,8 @@ impl LogArea {
     /// it (the next record's header overwrites it in place). Bytes that
     /// would fall past the last block are dropped — parsing stops at the
     /// chain end anyway.
-    pub fn write_terminator(&self, pool: &mut PmemPool, dirty: &mut Vec<(usize, usize)>) {
-        self.write_at(pool, self.tail, &[0u8; 4], dirty);
+    pub fn write_terminator<S: LogStore>(&self, store: &mut S, dirty: &mut Vec<(usize, usize)>) {
+        self.write_at(store, self.tail, &[0u8; 4], dirty);
     }
 }
 
@@ -417,8 +522,9 @@ mod tests {
         rec: &LogRecord,
     ) {
         let mut dirty = Vec::new();
-        area.append(pool, free, &encode_record(rec), &mut dirty);
-        area.write_terminator(pool, &mut dirty);
+        let mut store = PoolStore::new(pool, free);
+        area.append(&mut store, &encode_record(rec), &mut dirty);
+        area.write_terminator(&mut store, &mut dirty);
     }
 
     fn rec(ts: u64, addr: usize, value: &[u8]) -> LogRecord {
@@ -430,7 +536,7 @@ mod tests {
         let mut pool = pool();
         let mut free = Vec::new();
         let mut dirty = Vec::new();
-        let mut area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        let mut area = LogArea::create(&mut PoolStore::new(&mut pool, &mut free), BB, &mut dirty);
         let r = rec(5, 0x40, &[1, 2, 3]);
         append_record(&mut area, &mut pool, &mut free, &r);
         let parsed = parse_chain(pool.device(), area.head(), BB);
@@ -442,7 +548,7 @@ mod tests {
         let mut pool = pool();
         let mut free = Vec::new();
         let mut dirty = Vec::new();
-        let mut area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        let mut area = LogArea::create(&mut PoolStore::new(&mut pool, &mut free), BB, &mut dirty);
         let recs: Vec<_> = (1..=5).map(|i| rec(i, 64 * i as usize, &[i as u8; 7])).collect();
         for r in &recs {
             append_record(&mut area, &mut pool, &mut free, r);
@@ -456,7 +562,7 @@ mod tests {
         let mut pool = pool();
         let mut free = Vec::new();
         let mut dirty = Vec::new();
-        let mut area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        let mut area = LogArea::create(&mut PoolStore::new(&mut pool, &mut free), BB, &mut dirty);
         // Payload much larger than a block.
         let big = rec(1, 0x100, &vec![0xAB; 3 * BB]);
         append_record(&mut area, &mut pool, &mut free, &big);
@@ -470,7 +576,7 @@ mod tests {
         let mut pool = pool();
         let mut free = Vec::new();
         let mut dirty = Vec::new();
-        let area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        let area = LogArea::create(&mut PoolStore::new(&mut pool, &mut free), BB, &mut dirty);
         assert!(parse_chain(pool.device(), area.head(), BB).is_empty());
     }
 
@@ -479,7 +585,7 @@ mod tests {
         let mut pool = pool();
         let mut free = Vec::new();
         let mut dirty = Vec::new();
-        let mut area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        let mut area = LogArea::create(&mut PoolStore::new(&mut pool, &mut free), BB, &mut dirty);
         let r1 = rec(1, 0x40, &[1; 4]);
         let r2 = rec(2, 0x48, &[2; 4]);
         append_record(&mut area, &mut pool, &mut free, &r1);
@@ -504,7 +610,7 @@ mod tests {
         let mut pool = pool();
         let mut free = Vec::new();
         let mut dirty = Vec::new();
-        let mut area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        let mut area = LogArea::create(&mut PoolStore::new(&mut pool, &mut free), BB, &mut dirty);
         // A record that exactly fills the rest of the block so the parser
         // must follow the forward pointer for the next header.
         let fill = BB - BLOCK_HDR - REC_HDR - ENTRY_HDR;
@@ -524,11 +630,11 @@ mod tests {
         let mut pool = pool();
         let mut free = Vec::new();
         let mut dirty = Vec::new();
-        let mut area = LogArea::create(&mut pool, &mut free, BB, &mut dirty);
+        let mut area = LogArea::create(&mut PoolStore::new(&mut pool, &mut free), BB, &mut dirty);
         let start = area.tail();
-        area.append(&mut pool, &mut free, &vec![0u8; 2 * BB], &mut dirty);
+        area.append(&mut PoolStore::new(&mut pool, &mut free), &vec![0u8; 2 * BB], &mut dirty);
         let patch = vec![0xEE; 200];
-        let n = area.write_at(&mut pool, start, &patch, &mut dirty);
+        let n = area.write_at(&mut PoolStore::new(&mut pool, &mut free), start, &patch, &mut dirty);
         assert_eq!(n, 200);
         // Verify via a reader.
         let mut r = StreamReader::new(pool.device(), area.head(), BB);

@@ -5,8 +5,10 @@ use std::collections::{BTreeSet, HashMap};
 use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
 use specpmt_txn::{Recover, TxRuntime, TxStats};
 
-use crate::record::{encode_header, encode_record, push_entry, Cursor, LogArea, ENTRY_HDR, REC_HDR};
 use crate::reclaim::FreshnessIndex;
+use crate::record::{
+    encode_header, encode_record, push_entry, Cursor, LogArea, PoolStore, ENTRY_HDR, REC_HDR,
+};
 use crate::recovery;
 
 /// Root slot holding the log block size (so recovery can parse chains).
@@ -140,8 +142,11 @@ impl SpecSpmt {
         for tid in 0..MAX_THREADS {
             if tid < cfg.threads {
                 let mut dirty = Vec::new();
-                let area =
-                    LogArea::create(&mut pool, &mut free_blocks, cfg.block_bytes, &mut dirty);
+                let area = LogArea::create(
+                    &mut PoolStore::new(&mut pool, &mut free_blocks),
+                    cfg.block_bytes,
+                    &mut dirty,
+                );
                 pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, area.head() as u64);
                 let tx_start = area.tail();
                 threads.push(ThreadState {
@@ -245,21 +250,16 @@ impl SpecSpmt {
         let mut dropped_total = 0u64;
         for records in &parsed {
             let mut dirty = Vec::new();
-            let mut area =
-                LogArea::create(&mut self.pool, &mut self.free_blocks, block_bytes, &mut dirty);
+            let mut store = PoolStore::new(&mut self.pool, &mut self.free_blocks);
+            let mut area = LogArea::create(&mut store, block_bytes, &mut dirty);
             for rec in records {
                 let (kept, dropped) = index.compact_record(rec);
                 dropped_total += dropped;
                 if let Some(kept) = kept {
-                    area.append(
-                        &mut self.pool,
-                        &mut self.free_blocks,
-                        &encode_record(&kept),
-                        &mut dirty,
-                    );
+                    area.append(&mut store, &encode_record(&kept), &mut dirty);
                 }
             }
-            area.write_terminator(&mut self.pool, &mut dirty);
+            area.write_terminator(&mut store, &mut dirty);
             all_dirty.extend(dirty);
             new_areas.push(area);
         }
@@ -343,8 +343,7 @@ impl SpecSpmt {
         for tid in 0..self.threads.len() {
             let mut dirty = Vec::new();
             let area = LogArea::create(
-                &mut self.pool,
-                &mut self.free_blocks,
+                &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
                 self.cfg.block_bytes,
                 &mut dirty,
             );
@@ -374,7 +373,11 @@ impl TxRuntime for SpecSpmt {
         t.in_tx = true;
         // Reserve the header: zero length marks the record open/uncommitted.
         let mut dirty = Vec::new();
-        t.area.append(&mut self.pool, &mut self.free_blocks, &[0u8; REC_HDR], &mut dirty);
+        t.area.append(
+            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+            &[0u8; REC_HDR],
+            &mut dirty,
+        );
         t.dirty.extend(dirty);
     }
 
@@ -400,7 +403,12 @@ impl TxRuntime for SpecSpmt {
                 let t = &mut self.threads[tid];
                 t.payload[slot.payload_off..slot.payload_off + data.len()].copy_from_slice(data);
                 let mut dirty = Vec::new();
-                t.area.write_at(&mut self.pool, slot.value_cursor, data, &mut dirty);
+                t.area.write_at(
+                    &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+                    slot.value_cursor,
+                    data,
+                    &mut dirty,
+                );
                 t.dirty.extend(dirty);
                 return;
             }
@@ -412,9 +420,10 @@ impl TxRuntime for SpecSpmt {
         hdr[0..8].copy_from_slice(&(addr as u64).to_le_bytes());
         hdr[8..12].copy_from_slice(&(data.len() as u32).to_le_bytes());
         let mut dirty = Vec::new();
-        t.area.append(&mut self.pool, &mut self.free_blocks, &hdr, &mut dirty);
+        let mut store = PoolStore::new(&mut self.pool, &mut self.free_blocks);
+        t.area.append(&mut store, &hdr, &mut dirty);
         let value_cursor = t.area.tail();
-        t.area.append(&mut self.pool, &mut self.free_blocks, data, &mut dirty);
+        t.area.append(&mut store, data, &mut dirty);
         t.dirty.extend(dirty);
         t.index.insert(addr, EntrySlot { payload_off, len: data.len(), value_cursor });
         self.stats.log_bytes += (ENTRY_HDR + data.len()) as u64;
@@ -434,9 +443,10 @@ impl TxRuntime for SpecSpmt {
         let t = &mut self.threads[tid];
         let header = encode_header(ts, &t.payload);
         let mut dirty = Vec::new();
-        let wrote = t.area.write_at(&mut self.pool, t.tx_start, &header, &mut dirty);
+        let mut store = PoolStore::new(&mut self.pool, &mut self.free_blocks);
+        let wrote = t.area.write_at(&mut store, t.tx_start, &header, &mut dirty);
         assert_eq!(wrote, REC_HDR, "record header must fit in the chain");
-        t.area.write_terminator(&mut self.pool, &mut dirty);
+        t.area.write_terminator(&mut store, &mut dirty);
         t.dirty.extend(dirty);
         self.stats.log_bytes += REC_HDR as u64;
 
@@ -666,10 +676,8 @@ mod tests {
 
     #[test]
     fn implicit_reclaim_bounds_footprint() {
-        let mut rt = runtime(SpecConfig {
-            reclaim_threshold_bytes: 64 * 1024,
-            ..SpecConfig::default()
-        });
+        let mut rt =
+            runtime(SpecConfig { reclaim_threshold_bytes: 64 * 1024, ..SpecConfig::default() });
         let a = alloc_region(&mut rt, 64);
         for v in 0..20_000u64 {
             rt.begin();
@@ -685,10 +693,8 @@ mod tests {
 
     #[test]
     fn background_reclaim_records_background_time() {
-        let mut rt = runtime(SpecConfig {
-            reclaim_threshold_bytes: 32 * 1024,
-            ..SpecConfig::default()
-        });
+        let mut rt =
+            runtime(SpecConfig { reclaim_threshold_bytes: 32 * 1024, ..SpecConfig::default() });
         let a = alloc_region(&mut rt, 64);
         for v in 0..10_000u64 {
             rt.begin();

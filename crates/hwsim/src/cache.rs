@@ -150,11 +150,7 @@ impl SetAssocCache {
     /// Iterates over resident dirty lines with the LogBit set (the commit
     /// scan).
     pub fn dirty_logged_lines(&self) -> impl Iterator<Item = usize> + '_ {
-        self.lines
-            .iter()
-            .flatten()
-            .filter(|l| l.dirty && l.logbit)
-            .map(|l| l.addr)
+        self.lines.iter().flatten().filter(|l| l.dirty && l.logbit).map(|l| l.addr)
     }
 
     /// Marks a resident line clean (it was written back by policy code).

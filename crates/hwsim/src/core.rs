@@ -42,8 +42,12 @@ impl HwCore {
     pub fn new(cfg: HwConfig) -> Self {
         let l1 = SetAssocCache::new(cfg.l1_sets, cfg.l1_ways);
         let l2 = SetAssocCache::new(cfg.l2_sets, cfg.l2_ways);
-        let tlb =
-            TwoLevelTlb::new(cfg.tlb_l1_entries, cfg.tlb_l1_ways, cfg.tlb_l2_entries, cfg.tlb_l2_ways);
+        let tlb = TwoLevelTlb::new(
+            cfg.tlb_l1_entries,
+            cfg.tlb_l1_ways,
+            cfg.tlb_l2_entries,
+            cfg.tlb_l2_ways,
+        );
         Self { cfg, l1, l2, tlb, stats: HwStats::default(), frac_ps: 0 }
     }
 

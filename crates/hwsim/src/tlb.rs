@@ -36,7 +36,7 @@ struct TlbLevel {
 
 impl TlbLevel {
     fn new(entries: usize, ways: usize) -> Self {
-        assert!(entries % ways == 0, "entries must divide into ways");
+        assert!(entries.is_multiple_of(ways), "entries must divide into ways");
         let sets = entries / ways;
         Self { sets, ways, entries: vec![None; entries] }
     }
@@ -72,9 +72,8 @@ impl TlbLevel {
                     return None;
                 }
                 Some(e) => {
-                    if victim.is_none_or(|v| {
-                        self.entries[v].expect("victim occupied").lru > e.lru
-                    }) {
+                    if victim.is_none_or(|v| self.entries[v].expect("victim occupied").lru > e.lru)
+                    {
                         victim = Some(i);
                     }
                 }
@@ -96,7 +95,11 @@ pub struct TwoLevelTlb {
 impl TwoLevelTlb {
     /// Creates the TLB pair.
     pub fn new(l1_entries: usize, l1_ways: usize, l2_entries: usize, l2_ways: usize) -> Self {
-        Self { l1: TlbLevel::new(l1_entries, l1_ways), l2: TlbLevel::new(l2_entries, l2_ways), tick: 0 }
+        Self {
+            l1: TlbLevel::new(l1_entries, l1_ways),
+            l2: TlbLevel::new(l2_entries, l2_ways),
+            tick: 0,
+        }
     }
 
     /// Looks up `page`, inserting a fresh cold entry on a miss. An entry

@@ -90,9 +90,8 @@ impl UndoLog {
     pub fn new(pool: &mut PmemPool, cap: usize) -> Self {
         let prev = pool.device().timing();
         pool.device_mut().set_timing(TimingMode::Off);
-        let base = pool
-            .alloc_direct(cap, CACHE_LINE)
-            .expect("pool too small for hardware undo log");
+        let base =
+            pool.alloc_direct(cap, CACHE_LINE).expect("pool too small for hardware undo log");
         pool.device_mut().persist_range(base, 8);
         pool.set_root_direct(HW_UNDO_BASE_SLOT, base as u64);
         pool.set_root_direct(HW_UNDO_SIZE_SLOT, cap as u64);
@@ -133,7 +132,7 @@ impl UndoLog {
         let at = self.base + self.pos;
         dev.write(at, &entry);
         dev.write(at + sz, &[0u8; 4]); // scan terminator
-        // Hardware logging: the record goes straight to the WPQ.
+                                       // Hardware logging: the record goes straight to the WPQ.
         dev.background_range_write(at, sz + 4);
         self.pos += sz;
     }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use specpmt_core::record::{encode_record, LogArea, LogEntry, LogRecord};
+use specpmt_core::record::{encode_record, LogArea, LogEntry, LogRecord, PoolStore};
 use specpmt_core::{recovery, BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE};
 use specpmt_hwsim::{HwConfig, HwCore};
 use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
@@ -73,7 +73,11 @@ impl Hoop {
         }
         let mut free_blocks = Vec::new();
         let mut dirty = Vec::new();
-        let area = LogArea::create(&mut pool, &mut free_blocks, cfg.block_bytes, &mut dirty);
+        let area = LogArea::create(
+            &mut PoolStore::new(&mut pool, &mut free_blocks),
+            cfg.block_bytes,
+            &mut dirty,
+        );
         pool.set_root_direct(LOG_HEAD_SLOT_BASE, area.head() as u64);
         pool.device_mut().flush_everything();
         pool.device_mut().set_timing(prev);
@@ -120,8 +124,11 @@ impl Hoop {
         }
         // Truncate the applied log.
         let mut dirty = Vec::new();
-        let area =
-            LogArea::create(&mut self.pool, &mut self.free_blocks, self.cfg.block_bytes, &mut dirty);
+        let area = LogArea::create(
+            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+            self.cfg.block_bytes,
+            &mut dirty,
+        );
         for (addr, len) in dirty {
             self.pool.device_mut().background_range_write(addr, len);
         }
@@ -189,7 +196,8 @@ impl TxRuntime for Hoop {
         // coalesced write intents (later entries win on replay).
         let mut entries = Vec::new();
         for &l in &self.tx_miss_lines {
-            entries.push(LogEntry { addr: l, value: self.pool.device().peek(l, CACHE_LINE).to_vec() });
+            entries
+                .push(LogEntry { addr: l, value: self.pool.device().peek(l, CACHE_LINE).to_vec() });
         }
         let mut coalesced: std::collections::BTreeMap<usize, Vec<u8>> = Default::default();
         for (addr, data) in self.tx_writes.drain(..) {
@@ -201,8 +209,15 @@ impl TxRuntime for Hoop {
         let rec = LogRecord { ts, entries };
         let bytes = encode_record(&rec);
         let mut dirty = Vec::new();
-        self.area.append(&mut self.pool, &mut self.free_blocks, &bytes, &mut dirty);
-        self.area.write_terminator(&mut self.pool, &mut dirty);
+        self.area.append(
+            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+            &bytes,
+            &mut dirty,
+        );
+        self.area.write_terminator(
+            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+            &mut dirty,
+        );
         // One fence: persist the packed redo records.
         let mut lines = BTreeSet::new();
         crate::common::lines_of_ranges(&dirty, &mut lines);
@@ -363,10 +378,7 @@ mod tests {
         rt.write_u64(a, 1);
         rt.commit();
         let logged = rt.tx_stats().log_bytes;
-        assert!(
-            logged > 64 * CACHE_LINE as u64,
-            "miss logging must inflate the record: {logged}"
-        );
+        assert!(logged > 64 * CACHE_LINE as u64, "miss logging must inflate the record: {logged}");
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use specpmt_core::record::{encode_record, parse_chain, LogArea, LogEntry, LogRecord, ENTRY_HDR, REC_HDR};
+use specpmt_core::record::{
+    encode_record, parse_chain, LogArea, LogEntry, LogRecord, PoolStore, ENTRY_HDR, REC_HDR,
+};
 use specpmt_core::{recovery, BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE};
 use specpmt_hwsim::{HwConfig, HwCore};
 use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
@@ -257,16 +259,16 @@ impl HwSpecPmt {
         }
         let slot = self.free_slots.pop().expect("slot available after reclamation");
         let mut dirty = Vec::new();
-        let area =
-            LogArea::create(&mut self.pool, &mut self.free_blocks, self.cfg.block_bytes, &mut dirty);
-        crate::common::flush_line_set(
-            self.pool.device_mut(),
-            &{
-                let mut s = BTreeSet::new();
-                crate::common::lines_of_ranges(&dirty, &mut s);
-                s
-            },
+        let area = LogArea::create(
+            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+            self.cfg.block_bytes,
+            &mut dirty,
         );
+        crate::common::flush_line_set(self.pool.device_mut(), &{
+            let mut s = BTreeSet::new();
+            crate::common::lines_of_ranges(&dirty, &mut s);
+            s
+        });
         self.pool.device_mut().sfence();
         self.pool.set_root_direct(LOG_HEAD_SLOT_BASE + slot, area.head() as u64);
         self.epochs.push_back(Epoch { eid, slot, area, record_bytes: 0, pages: 0 });
@@ -316,8 +318,15 @@ impl HwSpecPmt {
         let bytes = encode_record(rec);
         let mut dirty = Vec::new();
         let epoch = self.epochs.back_mut().expect("active epoch");
-        epoch.area.append(&mut self.pool, &mut self.free_blocks, &bytes, &mut dirty);
-        epoch.area.write_terminator(&mut self.pool, &mut dirty);
+        epoch.area.append(
+            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+            &bytes,
+            &mut dirty,
+        );
+        epoch.area.write_terminator(
+            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+            &mut dirty,
+        );
         epoch.record_bytes += bytes.len();
         if background {
             for (addr, len) in dirty {
@@ -485,8 +494,7 @@ impl TxRuntime for HwSpecPmt {
 
         // Epoch rotation check (paper: after each commit).
         let epoch = self.epochs.back().expect("active epoch");
-        if epoch.record_bytes > self.cfg.epoch_max_bytes || epoch.pages > self.cfg.epoch_max_pages
-        {
+        if epoch.record_bytes > self.cfg.epoch_max_bytes || epoch.pages > self.cfg.epoch_max_pages {
             self.start_epoch();
         }
         self.adaptive_tick();
@@ -536,6 +544,20 @@ impl Recover for HwSpecPmt {
         // order, then roll back the interrupted transaction's cold writes.
         recovery::recover_image(image);
         UndoLog::recover(image);
+    }
+}
+
+impl HwSpecPmt {
+    /// Per-epoch fixed overhead for test bounds (block + record headers).
+    #[doc(hidden)]
+    pub fn config_epoch_overhead(&self) -> usize {
+        self.cfg.block_bytes + REC_HDR + ENTRY_HDR
+    }
+
+    /// Undo-region bytes currently live (test support).
+    #[doc(hidden)]
+    pub fn undo_used(&self) -> usize {
+        self.undo.used()
     }
 }
 
@@ -717,11 +739,8 @@ mod tests {
 
     #[test]
     fn adaptive_mode_samples_both_schemes_and_stays_correct() {
-        let mut rt = runtime(HwSpecConfig {
-            adaptive: true,
-            adaptive_window: 8,
-            ..HwSpecConfig::default()
-        });
+        let mut rt =
+            runtime(HwSpecConfig { adaptive: true, adaptive_window: 8, ..HwSpecConfig::default() });
         let a = region(&mut rt, 4 * 4096);
         let mut last = 0;
         for v in 0..200u64 {
@@ -754,19 +773,5 @@ mod tests {
         let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
         HwSpecPmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 0xE000 + 199);
-    }
-}
-
-impl HwSpecPmt {
-    /// Per-epoch fixed overhead for test bounds (block + record headers).
-    #[doc(hidden)]
-    pub fn config_epoch_overhead(&self) -> usize {
-        self.cfg.block_bytes + REC_HDR + ENTRY_HDR
-    }
-
-    /// Undo-region bytes currently live (test support).
-    #[doc(hidden)]
-    pub fn undo_used(&self) -> usize {
-        self.undo.used()
     }
 }

@@ -7,13 +7,7 @@ use specpmt_txn::TxRuntime;
 fn check<R: TxRuntime>(mut rt: R) {
     for app in StampApp::all() {
         let run = run_app(app, &mut rt, Scale::Tiny);
-        assert!(
-            run.verified.is_ok(),
-            "{} failed on {}: {:?}",
-            app.name(),
-            rt.name(),
-            run.verified
-        );
+        assert!(run.verified.is_ok(), "{} failed on {}: {:?}", app.name(), rt.name(), run.verified);
         assert!(run.report.tx.tx_committed > 0);
     }
 }

@@ -44,6 +44,14 @@ pub struct PmemConfig {
     pub store_word_ns: u64,
     /// Cost of a cached load, charged per 8-byte word.
     pub load_word_ns: u64,
+    /// Number of interleaved media channels (DIMMs). Consecutive 4 KiB
+    /// chunks of the address space stripe round-robin across channels
+    /// (iMC interleaving), each with independent occupancy and its own
+    /// write-pending queue, so aggregate media bandwidth scales with the
+    /// channel count. The default of 1 models a single DIMM (the
+    /// conservative single-channel model); the paper's evaluation platform
+    /// interleaves 6 per socket.
+    pub media_channels: usize,
 }
 
 impl PmemConfig {
@@ -56,6 +64,18 @@ impl PmemConfig {
     #[must_use]
     pub fn with_size(mut self, size: usize) -> Self {
         self.size = size.next_multiple_of(crate::CACHE_LINE);
+        self
+    }
+
+    /// Returns `self` with the media channel (DIMM) count replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    #[must_use]
+    pub fn with_media_channels(mut self, channels: usize) -> Self {
+        assert!(channels > 0, "at least one media channel");
+        self.media_channels = channels;
         self
     }
 
@@ -88,6 +108,7 @@ impl Default for PmemConfig {
             wpq_entries: 8,
             store_word_ns: 1,
             load_word_ns: 1,
+            media_channels: 1,
         }
     }
 }

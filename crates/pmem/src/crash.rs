@@ -1,7 +1,6 @@
 //! Crash images and crash nondeterminism policies.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Controls which *unfenced* data survives a simulated crash.
 ///
@@ -22,18 +21,18 @@ pub enum CrashPolicy {
 }
 
 impl CrashPolicy {
-    pub(crate) fn rng(&self) -> Option<StdRng> {
+    pub(crate) fn rng(&self) -> Option<SplitMix64> {
         match self {
-            CrashPolicy::Random(seed) => Some(StdRng::seed_from_u64(*seed)),
+            CrashPolicy::Random(seed) => Some(SplitMix64::new(*seed)),
             _ => None,
         }
     }
 
-    pub(crate) fn survives(&self, rng: &mut Option<StdRng>) -> bool {
+    pub(crate) fn survives(&self, rng: &mut Option<SplitMix64>) -> bool {
         match self {
             CrashPolicy::AllLost => false,
             CrashPolicy::AllSurvive => true,
-            CrashPolicy::Random(_) => rng.as_mut().expect("rng present").random::<bool>(),
+            CrashPolicy::Random(_) => rng.as_mut().expect("rng present").next_bool(),
         }
     }
 }

@@ -3,7 +3,10 @@
 use std::collections::VecDeque;
 
 use crate::crash::{CrashImage, CrashPolicy};
-use crate::geometry::{line_of, line_start, lines_touching, xpline_of_line, CACHE_LINE, PERSIST_WORD};
+use crate::geometry::{
+    channel_of_xpline, line_of, line_start, lines_touching, xpline_of_line, CACHE_LINE,
+    PERSIST_WORD,
+};
 use crate::{PmemConfig, PmemError, PmemStats};
 
 /// Whether device operations advance the simulated clock and counters.
@@ -54,10 +57,15 @@ pub struct PmemDevice {
     volatile: Vec<u8>,
     persisted: Vec<u8>,
     pending: Vec<PendingFlush>,
-    /// Drain-completion times of WPQ entries (monotonic non-decreasing).
-    wpq_drains: VecDeque<u64>,
-    media_busy_until: u64,
-    last_media_xpline: Option<usize>,
+    /// Per-channel drain-completion times of in-flight WPQ entries (each
+    /// memory controller has its own WPQ of `wpq_entries` slots; each
+    /// queue is monotonic non-decreasing).
+    wpq_drains: Vec<VecDeque<u64>>,
+    /// Per-channel media occupancy; 4 KiB chunks of the address space
+    /// stripe round-robin across channels (see
+    /// [`crate::geometry::channel_of_xpline`]).
+    media_busy_until: Vec<u64>,
+    last_media_xpline: Vec<Option<usize>>,
     clock_ns: u64,
     timing: TimingMode,
     stats: PmemStats,
@@ -72,14 +80,15 @@ impl PmemDevice {
     /// Creates a zero-filled device with the given configuration.
     pub fn new(cfg: PmemConfig) -> Self {
         let size = cfg.size;
+        let channels = cfg.media_channels.max(1);
         Self {
             cfg,
             volatile: vec![0; size],
             persisted: vec![0; size],
             pending: Vec::new(),
-            wpq_drains: VecDeque::new(),
-            media_busy_until: 0,
-            last_media_xpline: None,
+            wpq_drains: vec![VecDeque::new(); channels],
+            media_busy_until: vec![0; channels],
+            last_media_xpline: vec![None; channels],
             clock_ns: 0,
             timing: TimingMode::On,
             stats: PmemStats::default(),
@@ -164,11 +173,10 @@ impl PmemDevice {
             return;
         }
         match self.crash_fuel {
-            Some(0) => {
-                if self.fired_image.is_none() {
-                    self.fired_image = Some(self.crash_with(self.armed_policy));
-                }
+            Some(0) if self.fired_image.is_none() => {
+                self.fired_image = Some(self.crash_with(self.armed_policy));
             }
+            Some(0) => {}
             Some(f) => self.crash_fuel = Some(f - 1),
             None => {}
         }
@@ -266,8 +274,7 @@ impl PmemDevice {
         let line = line_of(addr);
         assert!(line_start(line) < self.volatile.len(), "clwb out of bounds");
         self.tick_fuel();
-        let snapshot =
-            self.volatile[line_start(line)..line_start(line) + CACHE_LINE].to_vec();
+        let snapshot = self.volatile[line_start(line)..line_start(line) + CACHE_LINE].to_vec();
         if self.timing == TimingMode::Off {
             self.persisted[line_start(line)..line_start(line) + CACHE_LINE]
                 .copy_from_slice(&snapshot);
@@ -278,25 +285,26 @@ impl PmemDevice {
 
         // WPQ slot availability: drop entries already drained to media.
         let now = self.clock_ns;
-        while self.wpq_drains.front().is_some_and(|&t| t <= now) {
-            self.wpq_drains.pop_front();
+        let xp = xpline_of_line(line);
+        let ch = channel_of_xpline(xp, self.media_busy_until.len());
+        while self.wpq_drains[ch].front().is_some_and(|&t| t <= now) {
+            self.wpq_drains[ch].pop_front();
         }
-        let slot_free_at = if self.wpq_drains.len() >= self.cfg.wpq_entries {
+        let slot_free_at = if self.wpq_drains[ch].len() >= self.cfg.wpq_entries {
             // Queue full: must wait for the oldest entry to drain.
-            self.wpq_drains.pop_front().unwrap_or(now)
+            self.wpq_drains[ch].pop_front().unwrap_or(now)
         } else {
             now
         };
         let accepted_at = slot_free_at.max(now) + self.cfg.wpq_accept_ns;
 
         // Media service: sequential XPLine hits are cheaper.
-        let xp = xpline_of_line(line);
-        let sequential = self.last_media_xpline == Some(xp);
+        let sequential = self.last_media_xpline[ch] == Some(xp);
         let service = if sequential { self.cfg.line_write_seq_ns } else { self.cfg.line_write_ns };
-        let drain_at = self.media_busy_until.max(accepted_at) + service;
-        self.media_busy_until = drain_at;
-        self.last_media_xpline = Some(xp);
-        self.wpq_drains.push_back(drain_at);
+        let drain_at = self.media_busy_until[ch].max(accepted_at) + service;
+        self.media_busy_until[ch] = drain_at;
+        self.last_media_xpline[ch] = Some(xp);
+        self.wpq_drains[ch].push_back(drain_at);
 
         self.stats.lines_persisted += 1;
         if sequential {
@@ -321,22 +329,23 @@ impl PmemDevice {
             return;
         }
         let now = self.clock_ns;
-        while self.wpq_drains.front().is_some_and(|&t| t <= now) {
-            self.wpq_drains.pop_front();
+        let xp = xpline_of_line(line);
+        let ch = channel_of_xpline(xp, self.media_busy_until.len());
+        while self.wpq_drains[ch].front().is_some_and(|&t| t <= now) {
+            self.wpq_drains[ch].pop_front();
         }
-        let slot_free_at = if self.wpq_drains.len() >= self.cfg.wpq_entries {
-            self.wpq_drains.pop_front().unwrap_or(now)
+        let slot_free_at = if self.wpq_drains[ch].len() >= self.cfg.wpq_entries {
+            self.wpq_drains[ch].pop_front().unwrap_or(now)
         } else {
             now
         };
         let accepted_at = slot_free_at.max(now) + self.cfg.wpq_accept_ns;
-        let xp = xpline_of_line(line);
-        let sequential = self.last_media_xpline == Some(xp);
+        let sequential = self.last_media_xpline[ch] == Some(xp);
         let service = if sequential { self.cfg.line_write_seq_ns } else { self.cfg.line_write_ns };
-        let drain_at = self.media_busy_until.max(accepted_at) + service;
-        self.media_busy_until = drain_at;
-        self.last_media_xpline = Some(xp);
-        self.wpq_drains.push_back(drain_at);
+        let drain_at = self.media_busy_until[ch].max(accepted_at) + service;
+        self.media_busy_until[ch] = drain_at;
+        self.last_media_xpline[ch] = Some(xp);
+        self.wpq_drains[ch].push_back(drain_at);
         self.stats.lines_persisted += 1;
         if sequential {
             self.stats.seq_line_hits += 1;
@@ -409,11 +418,8 @@ impl PmemDevice {
         let mut rng = policy.rng();
         // Flushes already accepted into the persistence domain.
         for p in &self.pending {
-            let survives = if p.accepted_at <= self.clock_ns {
-                true
-            } else {
-                policy.survives(&mut rng)
-            };
+            let survives =
+                if p.accepted_at <= self.clock_ns { true } else { policy.survives(&mut rng) };
             if survives {
                 let start = line_start(p.line);
                 image[start..start + CACHE_LINE].copy_from_slice(&p.snapshot);

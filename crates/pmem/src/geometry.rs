@@ -38,6 +38,20 @@ pub fn xpline_of_line(line: usize) -> usize {
     line * CACHE_LINE / XPLINE
 }
 
+/// iMC interleave granularity: consecutive 4 KiB chunks of the physical
+/// address space map to successive media channels (DIMMs), as on the
+/// paper's interleaved Optane platform. Coarser than an XPLine, so a
+/// sequential stream stays on one DIMM long enough to keep hitting its
+/// write-combining buffer before rotating to the next.
+pub const INTERLEAVE_BYTES: usize = 4096;
+
+/// Media channel that serves XPLine `xp` on a device with `channels`
+/// channels (`channels` must be non-zero).
+#[inline]
+pub fn channel_of_xpline(xp: usize, channels: usize) -> usize {
+    (xp * XPLINE / INTERLEAVE_BYTES) % channels
+}
+
 /// Iterator over the cache-line indices touched by `[addr, addr + len)`.
 #[inline]
 pub fn lines_touching(addr: usize, len: usize) -> impl Iterator<Item = usize> {

@@ -41,16 +41,20 @@ mod crash;
 mod device;
 mod error;
 mod geometry;
+mod rng;
 mod stats;
 
 pub mod alloc;
 pub mod pool;
+pub mod shared;
 
+pub use alloc::Reservation;
 pub use config::PmemConfig;
 pub use crash::{CrashImage, CrashPolicy};
 pub use device::{PmemDevice, TimingMode};
 pub use error::PmemError;
 pub use geometry::{line_of, line_start, word_of, CACHE_LINE, PERSIST_WORD, XPLINE};
-pub use alloc::Reservation;
 pub use pool::{root_off, PmemPool, BUMP_OFF, POOL_HEADER_SIZE, POOL_MAGIC, ROOT_SLOTS};
+pub use rng::SplitMix64;
+pub use shared::{DeviceHandle, SharedPmemDevice, SharedPmemPool};
 pub use stats::PmemStats;

@@ -1,0 +1,965 @@
+//! Thread-safe persistent-memory device and pool.
+//!
+//! [`crate::PmemDevice`] is `&mut self` and therefore single-threaded. The
+//! concurrent SpecSPMT runtime (paper Section 4: per-thread log areas, a
+//! global commit timestamp, and a *background* reclamation thread on a
+//! dedicated core) needs many real OS threads issuing stores, flushes, and
+//! fences against **one** device. [`SharedPmemDevice`] provides that with
+//! `std::sync` primitives only:
+//!
+//! * the byte images (volatile + persisted) are **sharded** into fixed-size
+//!   stripes, each behind its own `Mutex` — threads touching different
+//!   stripes (e.g. appending to their own log-block chains) proceed in
+//!   parallel;
+//! * the simulated clock and all event counters are atomics;
+//! * the WPQ/media timing model and the pending-flush set are small
+//!   mutex-protected critical sections;
+//! * fences are **per thread**: each [`DeviceHandle`] owns the flushes it
+//!   issued, and its `sfence` waits only for those (as on real hardware,
+//!   where `sfence` orders the issuing core's stores).
+//!
+//! Crash semantics match the single-threaded device: fenced (and
+//! WPQ-accepted) flushes always survive, everything else survives per
+//! [`CrashPolicy`]. Armed crashes ([`SharedPmemDevice::arm_crash`]) capture
+//! the image *between* operations of whichever thread exhausts the fuel;
+//! concurrently committing threads observe the capture through the **crash
+//! epoch** ([`SharedPmemDevice::crash_epoch`]): a transaction whose commit
+//! fence completed with no epoch change is definitely in the image, one
+//! that overlapped a capture is a boundary case (all-or-nothing).
+//!
+//! Lock ordering (deadlock freedom): the crash mutex is only taken while
+//! holding no other lock; shard mutexes are always taken in ascending index
+//! order; the pending mutex is never held while acquiring a shard lock
+//! (entries are removed under the lock and applied after release).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::alloc::{Reservation, SizeClassAllocator};
+use crate::crash::{CrashImage, CrashPolicy};
+use crate::geometry::{
+    channel_of_xpline, line_of, line_start, lines_touching, xpline_of_line, CACHE_LINE,
+    PERSIST_WORD,
+};
+use crate::{
+    PmemConfig, PmemError, PmemStats, TimingMode, BUMP_OFF, POOL_HEADER_SIZE, POOL_MAGIC,
+    ROOT_SLOTS,
+};
+
+/// Bytes per image shard (one mutex each). Must be a multiple of
+/// [`CACHE_LINE`]. Small enough that per-thread log chains rarely share a
+/// shard, large enough that a typical record touches one or two.
+pub const SHARD_BYTES: usize = 4096;
+
+#[derive(Debug)]
+struct Shard {
+    volatile: Vec<u8>,
+    persisted: Vec<u8>,
+}
+
+/// A line flush issued by some handle but not yet fenced.
+#[derive(Debug, Clone)]
+struct PendingFlush {
+    owner: u64,
+    line: usize,
+    accepted_at: u64,
+    snapshot: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct WpqModel {
+    /// Per-channel in-flight drain times (each memory controller has its
+    /// own WPQ of `wpq_entries` slots).
+    drains: Vec<VecDeque<u64>>,
+    /// Per-channel media occupancy; 4 KiB chunks of the address space
+    /// stripe round-robin across channels (see
+    /// [`crate::geometry::channel_of_xpline`]).
+    media_busy_until: Vec<u64>,
+    last_media_xpline: Vec<Option<usize>>,
+}
+
+#[derive(Debug)]
+struct CrashState {
+    fuel: Option<u64>,
+    policy: CrashPolicy,
+    fired: Option<CrashImage>,
+    /// Incremented **twice** per capture: once before the image is built
+    /// (odd ⇒ capture in progress) and once after it is stored (even ⇒
+    /// idle). Readers bracket a commit with two [`crash_observe`] calls:
+    /// `e0 == e1 && e0` even and not fired at `e0` ⇒ no capture overlapped
+    /// the commit ⇒ the commit is in any later-fired image.
+    ///
+    /// [`crash_observe`]: SharedPmemDevice::crash_observe
+    epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    clwb_count: AtomicU64,
+    sfence_count: AtomicU64,
+    fence_stall_ns: AtomicU64,
+    lines_persisted: AtomicU64,
+    seq_line_hits: AtomicU64,
+    bytes_stored: AtomicU64,
+    bytes_loaded: AtomicU64,
+    nt_stores: AtomicU64,
+}
+
+#[derive(Debug)]
+struct DevInner {
+    cfg: PmemConfig,
+    size: usize,
+    shards: Vec<Mutex<Shard>>,
+    wpq: Mutex<WpqModel>,
+    pending: Mutex<Vec<PendingFlush>>,
+    clock_ns: AtomicU64,
+    timing_on: AtomicBool,
+    crash: Mutex<CrashState>,
+    next_handle: AtomicU64,
+    stats: AtomicStats,
+}
+
+/// Thread-safe simulated persistent-memory device (see module docs).
+///
+/// Cloning is cheap (an `Arc` bump); all clones view the same device.
+/// Per-thread operations go through a [`DeviceHandle`]
+/// (see [`SharedPmemDevice::handle`]).
+#[derive(Debug, Clone)]
+pub struct SharedPmemDevice {
+    inner: Arc<DevInner>,
+}
+
+impl SharedPmemDevice {
+    /// Creates a zero-filled shared device with the given configuration.
+    pub fn new(cfg: PmemConfig) -> Self {
+        let size = cfg.size;
+        let shards = size.div_ceil(SHARD_BYTES);
+        let shards = (0..shards)
+            .map(|i| {
+                let len = SHARD_BYTES.min(size - i * SHARD_BYTES);
+                Mutex::new(Shard { volatile: vec![0; len], persisted: vec![0; len] })
+            })
+            .collect();
+        let channels = cfg.media_channels.max(1);
+        Self {
+            inner: Arc::new(DevInner {
+                cfg,
+                size,
+                shards,
+                wpq: Mutex::new(WpqModel {
+                    drains: vec![VecDeque::new(); channels],
+                    media_busy_until: vec![0; channels],
+                    last_media_xpline: vec![None; channels],
+                }),
+                pending: Mutex::new(Vec::new()),
+                clock_ns: AtomicU64::new(0),
+                timing_on: AtomicBool::new(true),
+                crash: Mutex::new(CrashState {
+                    fuel: None,
+                    policy: CrashPolicy::AllLost,
+                    fired: None,
+                    epoch: 0,
+                }),
+                next_handle: AtomicU64::new(0),
+                stats: AtomicStats::default(),
+            }),
+        }
+    }
+
+    /// Device capacity in bytes.
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PmemConfig {
+        &self.inner.cfg
+    }
+
+    /// Creates a per-thread operation handle.
+    pub fn handle(&self) -> DeviceHandle {
+        DeviceHandle {
+            dev: self.clone(),
+            id: self.inner.next_handle.fetch_add(1, Ordering::Relaxed),
+            clock: AtomicU64::new(self.now_ns()),
+        }
+    }
+
+    /// Current simulated time in nanoseconds (global across threads).
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock_ns.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the accumulated event counters.
+    pub fn stats(&self) -> PmemStats {
+        let s = &self.inner.stats;
+        PmemStats {
+            clwb_count: s.clwb_count.load(Ordering::Relaxed),
+            sfence_count: s.sfence_count.load(Ordering::Relaxed),
+            fence_stall_ns: s.fence_stall_ns.load(Ordering::Relaxed),
+            lines_persisted: s.lines_persisted.load(Ordering::Relaxed),
+            seq_line_hits: s.seq_line_hits.load(Ordering::Relaxed),
+            bytes_stored: s.bytes_stored.load(Ordering::Relaxed),
+            bytes_loaded: s.bytes_loaded.load(Ordering::Relaxed),
+            nt_stores: s.nt_stores.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Switches timing on or off device-wide (setup phases only — callers
+    /// must not race this with measured execution).
+    pub fn set_timing(&self, mode: TimingMode) {
+        self.inner.timing_on.store(mode == TimingMode::On, Ordering::SeqCst);
+    }
+
+    /// Current timing mode.
+    pub fn timing(&self) -> TimingMode {
+        if self.inner.timing_on.load(Ordering::SeqCst) {
+            TimingMode::On
+        } else {
+            TimingMode::Off
+        }
+    }
+
+    /// Arms fault injection: a crash image under `policy` is captured
+    /// immediately before the `after_ops`-th subsequent persistence
+    /// operation (counting ops from **all** threads).
+    pub fn arm_crash(&self, after_ops: u64, policy: CrashPolicy) {
+        let mut c = self.inner.crash.lock().expect("crash lock");
+        c.fuel = Some(after_ops);
+        c.policy = policy;
+        c.fired = None;
+    }
+
+    /// Whether an armed crash has fired.
+    pub fn crash_fired(&self) -> bool {
+        self.inner.crash.lock().expect("crash lock").fired.is_some()
+    }
+
+    /// Takes the captured crash image, if the armed crash fired.
+    pub fn take_fired_image(&self) -> Option<CrashImage> {
+        self.inner.crash.lock().expect("crash lock").fired.take()
+    }
+
+    /// Raw crash-epoch counter (two increments per capture; odd while a
+    /// capture is in progress). See the module docs for the bracketing
+    /// protocol.
+    pub fn crash_epoch(&self) -> u64 {
+        self.inner.crash.lock().expect("crash lock").epoch
+    }
+
+    /// Atomically observes `(epoch, fired)`.
+    ///
+    /// The commit-bracketing protocol: observe `(e0, f0)` before starting a
+    /// transaction and `(e1, _)` after its commit fence. If `f0` is false,
+    /// `e0` is even, and `e1 == e0`, no image capture started anywhere
+    /// inside the bracket — the transaction is *definitely* contained in
+    /// any image captured later. Otherwise a capture overlapped the
+    /// transaction and it is a boundary case: recovery surfaces it entirely
+    /// or not at all.
+    pub fn crash_observe(&self) -> (u64, bool) {
+        let c = self.inner.crash.lock().expect("crash lock");
+        (c.epoch, c.fired.is_some())
+    }
+
+    /// Produces the memory image a crash at this instant could leave (same
+    /// policy semantics as [`crate::PmemDevice::crash_with`]). Shards are
+    /// snapshot one at a time; in-flight mutations on other threads land on
+    /// one side or the other, which is exactly crash nondeterminism.
+    pub fn crash_with(&self, policy: CrashPolicy) -> CrashImage {
+        self.capture(policy)
+    }
+
+    /// Shorthand for [`Self::crash_with`]`(CrashPolicy::Random(seed))`.
+    pub fn crash(&self, seed: u64) -> CrashImage {
+        self.crash_with(CrashPolicy::Random(seed))
+    }
+
+    /// Copies every shard's volatile image into its persisted image — the
+    /// orderly-shutdown (`wbnoinvd`) equivalent. Pending flushes are
+    /// dropped (their contents are covered by the copy).
+    pub fn flush_everything(&self) {
+        self.inner.pending.lock().expect("pending lock").clear();
+        for shard in &self.inner.shards {
+            let mut s = shard.lock().expect("shard lock");
+            let vol = s.volatile.clone();
+            s.persisted.copy_from_slice(&vol);
+        }
+    }
+
+    // --- internals ------------------------------------------------------
+
+    fn timing_is_on(&self) -> bool {
+        self.inner.timing_on.load(Ordering::SeqCst)
+    }
+
+    fn check(&self, addr: usize, len: usize) -> Result<(), PmemError> {
+        if addr.checked_add(len).is_none_or(|end| end > self.inner.size) {
+            return Err(PmemError::OutOfBounds { addr, len, size: self.inner.size });
+        }
+        Ok(())
+    }
+
+    fn shard(&self, idx: usize) -> MutexGuard<'_, Shard> {
+        self.inner.shards[idx].lock().expect("shard lock")
+    }
+
+    /// Calls `f(shard_guard, offset_in_shard, range_in_buf)` for each shard
+    /// stripe overlapped by `[addr, addr + len)`, in ascending order.
+    fn for_stripes(
+        &self,
+        addr: usize,
+        len: usize,
+        mut f: impl FnMut(&mut Shard, usize, std::ops::Range<usize>),
+    ) {
+        let mut off = 0;
+        while off < len {
+            let a = addr + off;
+            let idx = a / SHARD_BYTES;
+            let in_shard = a % SHARD_BYTES;
+            let n = (SHARD_BYTES - in_shard).min(len - off);
+            let mut guard = self.shard(idx);
+            f(&mut guard, in_shard, off..off + n);
+            off += n;
+        }
+    }
+
+    /// One persistence-affecting operation happened: burn crash fuel and
+    /// capture the image when it runs out. Called while holding **no**
+    /// locks.
+    fn tick_fuel(&self) {
+        if !self.timing_is_on() {
+            return;
+        }
+        let (capture, policy) = {
+            let mut c = self.inner.crash.lock().expect("crash lock");
+            match c.fuel {
+                Some(0) => {
+                    // Disarm before capturing so exactly one thread (this
+                    // one) performs the capture even under races.
+                    c.fuel = None;
+                    c.epoch += 1;
+                    (true, c.policy)
+                }
+                Some(f) => {
+                    c.fuel = Some(f - 1);
+                    (false, c.policy)
+                }
+                None => (false, c.policy),
+            }
+        };
+        if capture {
+            // Built outside the crash lock (shard locks are acquired fresh
+            // below; no thread waits on the crash lock while holding a
+            // shard lock). The epoch is odd during this window, so commit
+            // brackets that overlap the build classify as boundary.
+            let image = self.capture(policy);
+            let mut c = self.inner.crash.lock().expect("crash lock");
+            c.fired = Some(image);
+            c.epoch += 1;
+        }
+    }
+
+    fn capture(&self, policy: CrashPolicy) -> CrashImage {
+        // Snapshot both images shard by shard (ascending order).
+        let mut volatile = Vec::with_capacity(self.inner.size);
+        let mut image = Vec::with_capacity(self.inner.size);
+        for shard in &self.inner.shards {
+            let s = shard.lock().expect("shard lock");
+            volatile.extend_from_slice(&s.volatile);
+            image.extend_from_slice(&s.persisted);
+        }
+        let now = self.now_ns();
+        let mut rng = policy.rng();
+        {
+            let pending = self.inner.pending.lock().expect("pending lock");
+            for p in pending.iter() {
+                let survives = if p.accepted_at <= now { true } else { policy.survives(&mut rng) };
+                if survives {
+                    let start = line_start(p.line);
+                    image[start..start + CACHE_LINE].copy_from_slice(&p.snapshot);
+                }
+            }
+        }
+        let words = self.inner.size / PERSIST_WORD;
+        for w in 0..words {
+            let a = w * PERSIST_WORD;
+            if volatile[a..a + PERSIST_WORD] != image[a..a + PERSIST_WORD]
+                && policy.survives(&mut rng)
+            {
+                image[a..a + PERSIST_WORD].copy_from_slice(&volatile[a..a + PERSIST_WORD]);
+            }
+        }
+        CrashImage::new(image)
+    }
+
+    /// WPQ + media accounting for one line write-back; returns the time the
+    /// flush is accepted into the persistence domain.
+    fn wpq_accept(&self, line: usize, now: u64) -> u64 {
+        let cfg = &self.inner.cfg;
+        let mut w = self.inner.wpq.lock().expect("wpq lock");
+        let xp = xpline_of_line(line);
+        let ch = channel_of_xpline(xp, w.media_busy_until.len());
+        while w.drains[ch].front().is_some_and(|&t| t <= now) {
+            w.drains[ch].pop_front();
+        }
+        let slot_free_at = if w.drains[ch].len() >= cfg.wpq_entries {
+            w.drains[ch].pop_front().unwrap_or(now)
+        } else {
+            now
+        };
+        let accepted_at = slot_free_at.max(now) + cfg.wpq_accept_ns;
+        let sequential = w.last_media_xpline[ch] == Some(xp);
+        let service = if sequential { cfg.line_write_seq_ns } else { cfg.line_write_ns };
+        let drain_at = w.media_busy_until[ch].max(accepted_at) + service;
+        w.media_busy_until[ch] = drain_at;
+        w.last_media_xpline[ch] = Some(xp);
+        w.drains[ch].push_back(drain_at);
+        drop(w);
+        let stats = &self.inner.stats;
+        stats.lines_persisted.fetch_add(1, Ordering::Relaxed);
+        if sequential {
+            stats.seq_line_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        accepted_at
+    }
+}
+
+/// Per-thread operation handle over a [`SharedPmemDevice`].
+///
+/// Mirrors the [`crate::PmemDevice`] API. Flush/fence state is private to
+/// the handle: `sfence` orders only this handle's outstanding flushes, like
+/// `sfence` on the issuing core. The handle also owns its **core clock** —
+/// a private simulated timeline advanced by this handle's loads, stores,
+/// flush issues, and fence stalls. Distinct handles model distinct cores:
+/// their fence stalls overlap rather than serialize, while the shared WPQ
+/// and media model still couple them through bandwidth. The device-global
+/// clock ([`SharedPmemDevice::now_ns`]) tracks the maximum over all
+/// timelines.
+#[derive(Debug)]
+pub struct DeviceHandle {
+    dev: SharedPmemDevice,
+    id: u64,
+    clock: AtomicU64,
+}
+
+impl DeviceHandle {
+    /// The shared device this handle operates on.
+    pub fn device(&self) -> &SharedPmemDevice {
+        &self.dev
+    }
+
+    /// This handle's core-local simulated time in nanoseconds.
+    pub fn local_now_ns(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Advances the core-local clock by `ns` and folds it into the
+    /// device-global clock (which tracks the max over all timelines).
+    fn local_charge(&self, ns: u64) -> u64 {
+        let t = self.clock.fetch_add(ns, Ordering::Relaxed) + ns;
+        self.dev.inner.clock_ns.fetch_max(t, Ordering::Relaxed);
+        t
+    }
+
+    /// Device capacity in bytes.
+    pub fn size(&self) -> usize {
+        self.dev.size()
+    }
+
+    /// Stores `data` at `addr` in the volatile image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write(&self, addr: usize, data: &[u8]) {
+        self.try_write(addr, data).expect("shared pmem write out of bounds");
+    }
+
+    /// Checked variant of [`Self::write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the range exceeds capacity.
+    pub fn try_write(&self, addr: usize, data: &[u8]) -> Result<(), PmemError> {
+        self.dev.check(addr, data.len())?;
+        self.dev.tick_fuel();
+        self.dev.for_stripes(addr, data.len(), |shard, off, range| {
+            let n = range.len();
+            shard.volatile[off..off + n].copy_from_slice(&data[range]);
+        });
+        if self.dev.timing_is_on() {
+            let words = data.len().div_ceil(PERSIST_WORD) as u64;
+            self.local_charge(words * self.dev.inner.cfg.store_word_ns);
+            self.dev.inner.stats.bytes_stored.fetch_add(data.len() as u64, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Loads `buf.len()` bytes from `addr` in the volatile image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read(&self, addr: usize, buf: &mut [u8]) {
+        self.dev.check(addr, buf.len()).expect("shared pmem read out of bounds");
+        self.dev.for_stripes(addr, buf.len(), |shard, off, range| {
+            let n = range.len();
+            buf[range].copy_from_slice(&shard.volatile[off..off + n]);
+        });
+        if self.dev.timing_is_on() {
+            let words = buf.len().div_ceil(PERSIST_WORD) as u64;
+            self.local_charge(words * self.dev.inner.cfg.load_word_ns);
+            self.dev.inner.stats.bytes_loaded.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&self, addr: usize, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Copies `len` bytes at `addr` out of the volatile image without
+    /// charging any cost (verification / debugging).
+    pub fn peek(&self, addr: usize, len: usize) -> Vec<u8> {
+        self.dev.check(addr, len).expect("peek out of bounds");
+        let mut out = vec![0u8; len];
+        self.dev.for_stripes(addr, len, |shard, off, range| {
+            let n = range.len();
+            out[range].copy_from_slice(&shard.volatile[off..off + n]);
+        });
+        out
+    }
+
+    /// Reads a `u64` from the volatile image without charging any cost.
+    pub fn peek_u64(&self, addr: usize) -> u64 {
+        let b = self.peek(addr, 8);
+        u64::from_le_bytes(b.try_into().expect("8 bytes"))
+    }
+
+    /// Issues a `clwb` for the cache line containing `addr`. The line is
+    /// persistent only once accepted by the WPQ; [`Self::sfence`] waits for
+    /// that.
+    pub fn clwb(&self, addr: usize) {
+        let line = line_of(addr);
+        assert!(line_start(line) < self.dev.size(), "clwb out of bounds");
+        self.dev.tick_fuel();
+        let snapshot = self.peek(line_start(line), CACHE_LINE);
+        if !self.dev.timing_is_on() {
+            self.apply_persisted(line, &snapshot);
+            return;
+        }
+        self.local_charge(self.dev.inner.cfg.clwb_issue_ns);
+        self.dev.inner.stats.clwb_count.fetch_add(1, Ordering::Relaxed);
+        let accepted_at = self.dev.wpq_accept(line, self.local_now_ns());
+        self.dev.inner.pending.lock().expect("pending lock").push(PendingFlush {
+            owner: self.id,
+            line,
+            accepted_at,
+            snapshot,
+        });
+    }
+
+    fn apply_persisted(&self, line: usize, snapshot: &[u8]) {
+        let start = line_start(line);
+        self.dev.for_stripes(start, CACHE_LINE, |shard, off, range| {
+            let n = range.len();
+            shard.persisted[off..off + n].copy_from_slice(&snapshot[range]);
+        });
+    }
+
+    /// Issues `clwb` for every cache line touched by `[addr, addr + len)`.
+    pub fn clwb_range(&self, addr: usize, len: usize) {
+        for line in lines_touching(addr, len) {
+            self.clwb(line_start(line));
+        }
+    }
+
+    /// Store fence: stalls until every flush **this handle** issued is
+    /// accepted into the persistence domain, then applies them to the
+    /// persisted image.
+    pub fn sfence(&self) {
+        if !self.dev.timing_is_on() {
+            return;
+        }
+        self.dev.tick_fuel();
+        self.dev.inner.stats.sfence_count.fetch_add(1, Ordering::Relaxed);
+        // Remove own entries under the lock; apply after releasing it so a
+        // shard lock is never acquired while holding the pending lock.
+        let mine: Vec<PendingFlush> = {
+            let mut pending = self.dev.inner.pending.lock().expect("pending lock");
+            let mut mine = Vec::new();
+            pending.retain(|p| {
+                if p.owner == self.id {
+                    mine.push(p.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            mine
+        };
+        let target = mine.iter().map(|p| p.accepted_at).max().unwrap_or(0);
+        let now = self.local_now_ns();
+        if target > now {
+            self.dev.inner.stats.fence_stall_ns.fetch_add(target - now, Ordering::Relaxed);
+            self.clock.fetch_max(target, Ordering::Relaxed);
+            self.dev.inner.clock_ns.fetch_max(target, Ordering::Relaxed);
+        }
+        self.local_charge(self.dev.inner.cfg.sfence_base_ns);
+        for p in mine {
+            self.apply_persisted(p.line, &p.snapshot);
+        }
+    }
+
+    /// Non-temporal store: write + flush in one step (still needs a fence).
+    pub fn nt_store(&self, addr: usize, data: &[u8]) {
+        self.write(addr, data);
+        if self.dev.timing_is_on() {
+            self.dev.inner.stats.nt_stores.fetch_add(1, Ordering::Relaxed);
+        }
+        self.clwb_range(addr, data.len());
+    }
+
+    /// Convenience: `clwb_range` followed by `sfence`.
+    pub fn persist_range(&self, addr: usize, len: usize) {
+        self.clwb_range(addr, len);
+        self.sfence();
+    }
+
+    /// Persists the line containing `addr` from a background core: consumes
+    /// WPQ/media bandwidth but does not advance the caller's clock or leave
+    /// a fence obligation (see [`crate::PmemDevice::background_line_write`]).
+    pub fn background_line_write(&self, addr: usize) {
+        let line = line_of(addr);
+        assert!(line_start(line) < self.dev.size(), "background write out of bounds");
+        let snapshot = self.peek(line_start(line), CACHE_LINE);
+        if self.dev.timing_is_on() {
+            let _ = self.dev.wpq_accept(line, self.local_now_ns());
+        }
+        self.apply_persisted(line, &snapshot);
+    }
+
+    /// [`Self::background_line_write`] over every line of a range.
+    pub fn background_range_write(&self, addr: usize, len: usize) {
+        for line in lines_touching(addr, len) {
+            self.background_line_write(line_start(line));
+        }
+    }
+
+    /// Advances the simulated clock by `ns` of CPU work.
+    pub fn advance(&self, ns: u64) {
+        if self.dev.timing_is_on() {
+            self.local_charge(ns);
+        }
+    }
+}
+
+/// Thread-safe persistent pool over a [`SharedPmemDevice`] — the shared
+/// counterpart of [`crate::PmemPool`], with the identical on-PM layout
+/// (magic, bump pointer, root slots), so recovery code that understands one
+/// understands both.
+#[derive(Debug)]
+pub struct SharedPmemPool {
+    dev: SharedPmemDevice,
+    alloc: Mutex<SizeClassAllocator>,
+}
+
+impl SharedPmemPool {
+    /// Formats `dev` as a fresh pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is smaller than [`POOL_HEADER_SIZE`].
+    pub fn create(dev: SharedPmemDevice) -> Self {
+        assert!(dev.size() >= POOL_HEADER_SIZE, "device too small for a pool");
+        let prev = dev.timing();
+        dev.set_timing(TimingMode::Off);
+        let h = dev.handle();
+        h.write_u64(0, POOL_MAGIC);
+        h.write_u64(BUMP_OFF, POOL_HEADER_SIZE as u64);
+        for i in 0..ROOT_SLOTS {
+            h.write_u64(crate::root_off(i), 0);
+        }
+        h.persist_range(0, POOL_HEADER_SIZE);
+        dev.set_timing(prev);
+        let end = dev.size();
+        Self { dev, alloc: Mutex::new(SizeClassAllocator::new(POOL_HEADER_SIZE, end)) }
+    }
+
+    /// The underlying shared device.
+    pub fn device(&self) -> &SharedPmemDevice {
+        &self.dev
+    }
+
+    /// Creates a per-thread device handle.
+    pub fn handle(&self) -> DeviceHandle {
+        self.dev.handle()
+    }
+
+    /// Reserves heap space without making the bump durable (the caller's
+    /// runtime logs [`BUMP_OFF`] transactionally when the heap grew).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfMemory`] when the heap is exhausted.
+    pub fn reserve(&self, size: usize, align: usize) -> Result<Reservation, PmemError> {
+        self.alloc.lock().expect("alloc lock").reserve(size, align)
+    }
+
+    /// Allocates and immediately persists the bump pointer (setup and
+    /// runtime-internal metadata).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfMemory`] when the heap is exhausted.
+    pub fn alloc_direct(&self, size: usize, align: usize) -> Result<usize, PmemError> {
+        // Hold the allocator lock across the bump persist so concurrent
+        // allocations persist monotonically increasing bump values.
+        let mut alloc = self.alloc.lock().expect("alloc lock");
+        let r = alloc.reserve(size, align)?;
+        if let Some(bump) = r.new_bump {
+            let h = self.dev.handle();
+            h.write_u64(BUMP_OFF, bump);
+            h.persist_range(BUMP_OFF, 8);
+        }
+        Ok(r.off)
+    }
+
+    /// Returns a block to the volatile free list.
+    pub fn free(&self, off: usize, size: usize, align: usize) {
+        self.alloc.lock().expect("alloc lock").release(off, size, align);
+    }
+
+    /// Reads root slot `i`.
+    pub fn root(&self, i: usize) -> u64 {
+        self.dev.handle().peek_u64(crate::root_off(i))
+    }
+
+    /// Writes and immediately persists root slot `i`.
+    pub fn set_root_direct(&self, i: usize, value: u64) {
+        let h = self.dev.handle();
+        h.write_u64(crate::root_off(i), value);
+        h.persist_range(crate::root_off(i), 8);
+    }
+
+    /// Bytes consumed by the bump region.
+    pub fn heap_used(&self) -> usize {
+        self.alloc.lock().expect("alloc lock").used_until() - POOL_HEADER_SIZE
+    }
+
+    /// Total heap capacity.
+    pub fn heap_capacity(&self) -> usize {
+        self.dev.size() - POOL_HEADER_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn dev() -> SharedPmemDevice {
+        SharedPmemDevice::new(PmemConfig::new(64 * 1024))
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let d = dev();
+        let h = d.handle();
+        h.write_u64(128, 0xDEAD_BEEF);
+        assert_eq!(h.read_u64(128), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn cross_shard_write_roundtrips() {
+        let d = dev();
+        let h = d.handle();
+        let addr = SHARD_BYTES - 3; // straddles the first shard boundary
+        let data = [1u8, 2, 3, 4, 5, 6, 7];
+        h.write(addr, &data);
+        let mut back = [0u8; 7];
+        h.read(addr, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn fence_stalls_overlap_across_handles() {
+        // Two cores flushing + fencing back-to-back: each pays its own
+        // fence latency on its own timeline, so the global clock advances
+        // by roughly ONE fence worth, not two -- unlike two fences on one
+        // handle, which serialize.
+        let d = dev();
+        let serial = d.handle();
+        serial.write_u64(0, 1);
+        serial.clwb(0);
+        serial.sfence();
+        serial.write_u64(4096, 2);
+        serial.clwb(4096);
+        serial.sfence();
+        let serial_elapsed = serial.local_now_ns();
+
+        let d2 = dev();
+        let a = d2.handle();
+        let b = d2.handle();
+        a.write_u64(0, 1);
+        a.clwb(0);
+        b.write_u64(4096, 2);
+        b.clwb(4096);
+        a.sfence();
+        b.sfence();
+        let parallel_elapsed = d2.now_ns();
+        assert!(
+            parallel_elapsed < serial_elapsed,
+            "two cores should overlap fence stalls: parallel {parallel_elapsed} \
+             vs serial {serial_elapsed}"
+        );
+    }
+
+    #[test]
+    fn local_clocks_fold_into_global_max() {
+        let d = dev();
+        let a = d.handle();
+        let b = d.handle();
+        a.advance(1000);
+        b.advance(250);
+        assert_eq!(a.local_now_ns(), 1000);
+        assert_eq!(b.local_now_ns(), 250);
+        assert_eq!(d.now_ns(), 1000, "global clock is the max timeline");
+        // A later handle starts at the current global time.
+        let c = d.handle();
+        assert_eq!(c.local_now_ns(), 1000);
+    }
+
+    #[test]
+    fn fenced_flush_survives_all_lost() {
+        let d = dev();
+        let h = d.handle();
+        h.write_u64(0, 7);
+        h.clwb(0);
+        h.sfence();
+        assert_eq!(d.crash_with(CrashPolicy::AllLost).read_u64(0), 7);
+    }
+
+    #[test]
+    fn unflushed_store_lost_in_pessimistic_crash() {
+        let d = dev();
+        let h = d.handle();
+        h.write_u64(0, 7);
+        assert_eq!(d.crash_with(CrashPolicy::AllLost).read_u64(0), 0);
+        assert_eq!(d.crash_with(CrashPolicy::AllSurvive).read_u64(0), 7);
+    }
+
+    #[test]
+    fn sfence_orders_only_own_flushes() {
+        let d = dev();
+        let a = d.handle();
+        let b = d.handle();
+        a.write_u64(0, 1);
+        a.clwb(0);
+        b.write_u64(64, 2);
+        b.clwb(64);
+        // Only a's fence: a's line persisted; b's flush still pending (it
+        // may survive via WPQ acceptance, but sfence must not consume it).
+        a.sfence();
+        b.write_u64(64, 3); // volatile overwrite after b's snapshot
+        b.sfence();
+        let img = d.crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(0), 1);
+        assert_eq!(img.read_u64(64), 2, "b's fence persisted b's snapshot");
+    }
+
+    #[test]
+    fn timing_off_persists_immediately() {
+        let d = dev();
+        d.set_timing(TimingMode::Off);
+        let h = d.handle();
+        h.write_u64(0, 5);
+        h.clwb(0);
+        h.sfence();
+        assert_eq!(d.now_ns(), 0);
+        assert_eq!(d.stats().clwb_count, 0);
+        assert_eq!(d.crash_with(CrashPolicy::AllLost).read_u64(0), 5);
+    }
+
+    #[test]
+    fn armed_crash_fires_and_bumps_epoch() {
+        let d = dev();
+        let h = d.handle();
+        assert_eq!(d.crash_epoch(), 0);
+        d.arm_crash(1, CrashPolicy::AllLost);
+        h.write_u64(0, 1); // fuel 1 -> 0
+        h.write_u64(8, 2); // fires before this op
+        assert!(d.crash_fired());
+        assert_eq!(d.crash_epoch(), 2, "two increments per capture");
+        assert_eq!(d.crash_observe(), (2, true));
+        let img = d.take_fired_image().unwrap();
+        assert_eq!(img.read_u64(0), 0);
+        assert_eq!(h.read_u64(8), 2, "execution continues after capture");
+    }
+
+    #[test]
+    fn parallel_disjoint_commits_all_survive() {
+        let d = SharedPmemDevice::new(PmemConfig::new(256 * 1024));
+        thread::scope(|s| {
+            for t in 0..4usize {
+                let h = d.handle();
+                s.spawn(move || {
+                    let base = t * 32 * 1024;
+                    for i in 0..64usize {
+                        let a = base + i * CACHE_LINE;
+                        h.write_u64(a, (t * 1000 + i) as u64);
+                        h.clwb(a);
+                        h.sfence();
+                    }
+                });
+            }
+        });
+        let img = d.crash_with(CrashPolicy::AllLost);
+        for t in 0..4usize {
+            for i in 0..64usize {
+                let a = t * 32 * 1024 + i * CACHE_LINE;
+                assert_eq!(img.read_u64(a), (t * 1000 + i) as u64);
+            }
+        }
+        assert_eq!(d.stats().sfence_count, 4 * 64);
+    }
+
+    #[test]
+    fn flush_everything_syncs_images() {
+        let d = dev();
+        let h = d.handle();
+        h.write_u64(0, 1);
+        h.write_u64(SHARD_BYTES + 8, 2);
+        d.flush_everything();
+        let img = d.crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(0), 1);
+        assert_eq!(img.read_u64(SHARD_BYTES + 8), 2);
+    }
+
+    #[test]
+    fn shared_pool_layout_matches_pmem_pool() {
+        let pool = SharedPmemPool::create(dev());
+        assert_eq!(pool.handle().peek_u64(0), POOL_MAGIC);
+        let off = pool.alloc_direct(100, 8).unwrap();
+        assert!(off >= POOL_HEADER_SIZE);
+        let img = pool.device().crash_with(CrashPolicy::AllLost);
+        assert!(img.read_u64(BUMP_OFF) as usize >= off + 100);
+        pool.set_root_direct(3, 0x77);
+        assert_eq!(pool.root(3), 0x77);
+    }
+
+    #[test]
+    fn try_write_out_of_bounds_errors() {
+        let d = dev();
+        let h = d.handle();
+        assert!(h.try_write(64 * 1024 - 4, &[0u8; 16]).is_err());
+    }
+}

@@ -52,7 +52,12 @@ struct Layout {
 
 fn layout(cfg: &IntruderCfg, base: usize) -> Layout {
     let attacks_found = base + cfg.flows * FLOW_BYTES;
-    Layout { flows: base, attacks_found, last_seq: attacks_found + 4, bytes_rcvd: attacks_found + 8 }
+    Layout {
+        flows: base,
+        attacks_found,
+        last_seq: attacks_found + 4,
+        bytes_rcvd: attacks_found + 8,
+    }
 }
 
 const SIGNATURE: [u8; 4] = *b"EVIL";
@@ -146,8 +151,7 @@ pub fn run<R: TxRuntime>(rt: &mut R, cfg: &IntruderCfg) -> Result<(), String> {
     }
 
     // Verify.
-    let want_attacks =
-        payloads.iter().filter(|p| contains_signature(&p[..])).count() as u32;
+    let want_attacks = payloads.iter().filter(|p| contains_signature(&p[..])).count() as u32;
     rt.untimed(|rt| {
         let got = read_u32(rt, lay.attacks_found);
         if got != want_attacks {

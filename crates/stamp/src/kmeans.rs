@@ -36,7 +36,9 @@ impl KmeansCfg {
     /// The low-contention input (STAMP `-c40`-style).
     pub fn low(scale: Scale) -> Self {
         match scale {
-            Scale::Tiny => Self { points: 80, clusters: 10, dims: 8, iters: 2, seed: 11, flop_ns: 3 },
+            Scale::Tiny => {
+                Self { points: 80, clusters: 10, dims: 8, iters: 2, seed: 11, flop_ns: 3 }
+            }
             Scale::Small => {
                 Self { points: 4000, clusters: 40, dims: 24, iters: 2, seed: 11, flop_ns: 3 }
             }
@@ -46,7 +48,9 @@ impl KmeansCfg {
     /// The high-contention input (fewer clusters, less compute per point).
     pub fn high(scale: Scale) -> Self {
         match scale {
-            Scale::Tiny => Self { points: 60, clusters: 4, dims: 8, iters: 2, seed: 13, flop_ns: 3 },
+            Scale::Tiny => {
+                Self { points: 60, clusters: 4, dims: 8, iters: 2, seed: 13, flop_ns: 3 }
+            }
             Scale::Small => {
                 Self { points: 1700, clusters: 15, dims: 24, iters: 2, seed: 13, flop_ns: 3 }
             }
@@ -180,12 +184,12 @@ pub fn run<R: TxRuntime>(rt: &mut R, cfg: &KmeansCfg) -> Result<(), String> {
             rt.maintain();
         }
         // Centroid recomputation (volatile, like STAMP's barrier phase).
-        for c in 0..cfg.clusters {
+        for (c, centroid) in centroids.iter_mut().enumerate().take(cfg.clusters) {
             let count = rt.untimed(|rt| read_u32(rt, lay.counts + c * 4));
             if count > 0 {
-                for d in 0..cfg.dims {
+                for (d, coord) in centroid.iter_mut().enumerate().take(cfg.dims) {
                     let s = rt.untimed(|rt| read_u32(rt, lay.sums + (c * cfg.dims + d) * 4));
-                    centroids[c][d] = s as i32 / count as i32;
+                    *coord = s as i32 / count as i32;
                 }
             }
         }

@@ -33,14 +33,9 @@ impl LabyrinthCfg {
     /// Preset for a scale.
     pub fn scaled(scale: Scale) -> Self {
         match scale {
-            Scale::Tiny => Self {
-                width: 16,
-                height: 16,
-                layers: 2,
-                routes: 6,
-                seed: 51,
-                visit_compute_ns: 3,
-            },
+            Scale::Tiny => {
+                Self { width: 16, height: 16, layers: 2, routes: 6, seed: 51, visit_compute_ns: 3 }
+            }
             Scale::Small => Self {
                 width: 128,
                 height: 128,
@@ -199,7 +194,8 @@ mod tests {
 
     #[test]
     fn blocked_route_returns_none() {
-        let cfg = LabyrinthCfg { width: 3, height: 1, layers: 1, ..LabyrinthCfg::scaled(Scale::Tiny) };
+        let cfg =
+            LabyrinthCfg { width: 3, height: 1, layers: 1, ..LabyrinthCfg::scaled(Scale::Tiny) };
         let mut occ = vec![0u64; cfg.cells()];
         occ[1] = 9; // wall in the middle of a 3x1 corridor
         assert!(route(&cfg, &occ, 0, 2).is_none());

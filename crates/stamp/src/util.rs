@@ -54,10 +54,8 @@ impl SplitMix64 {
 /// Panics if the pool heap cannot hold the region.
 pub fn setup_region<R: specpmt_txn::TxRuntime>(rt: &mut R, bytes: usize, align: usize) -> usize {
     rt.untimed(|rt| {
-        let base = rt
-            .pool_mut()
-            .alloc_direct(bytes, align)
-            .expect("pool too small for workload region");
+        let base =
+            rt.pool_mut().alloc_direct(bytes, align).expect("pool too small for workload region");
         rt.pool_mut().device_mut().persist_range(base, bytes);
         base
     })

@@ -211,10 +211,7 @@ pub fn run<R: TxRuntime>(rt: &mut R, cfg: &VacationCfg) -> Result<(), String> {
             u64::from_le_bytes(b) as usize
         };
         if got_count != want.reservations.len() {
-            return Err(format!(
-                "reservation count {got_count} != {}",
-                want.reservations.len()
-            ));
+            return Err(format!("reservation count {got_count} != {}", want.reservations.len()));
         }
         for (i, &(cust, table, row, price)) in want.reservations.iter().enumerate() {
             let ra = lay.resv + i * RESV_BYTES;

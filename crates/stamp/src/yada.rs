@@ -41,9 +41,7 @@ impl YadaCfg {
     /// Preset for a scale.
     pub fn scaled(scale: Scale) -> Self {
         match scale {
-            Scale::Tiny => {
-                Self { initial: 24, capacity: 4096, seed: 61, refine_compute_ns: 2500 }
-            }
+            Scale::Tiny => Self { initial: 24, capacity: 4096, seed: 61, refine_compute_ns: 2500 },
             Scale::Small => {
                 Self { initial: 400, capacity: 65536, seed: 61, refine_compute_ns: 2500 }
             }
@@ -54,8 +52,9 @@ impl YadaCfg {
 /// Deterministic child quality: strictly increasing so refinement
 /// terminates.
 fn child_quality(parent_q: u32, parent_id: usize, child: usize) -> u32 {
-    let h = crate::util::hash64(&[(parent_id as u64).to_le_bytes(), (child as u64).to_le_bytes()]
-        .concat());
+    let h = crate::util::hash64(
+        &[(parent_id as u64).to_le_bytes(), (child as u64).to_le_bytes()].concat(),
+    );
     (parent_q + 15 + (h % 20) as u32).min(100)
 }
 

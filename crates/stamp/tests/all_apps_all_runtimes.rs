@@ -17,13 +17,7 @@ fn pool() -> PmemPool {
 fn check<R: TxRuntime>(mut rt: R) {
     for app in StampApp::all() {
         let run = run_app(app, &mut rt, Scale::Tiny);
-        assert!(
-            run.verified.is_ok(),
-            "{} failed on {}: {:?}",
-            app.name(),
-            rt.name(),
-            run.verified
-        );
+        assert!(run.verified.is_ok(), "{} failed on {}: {:?}", app.name(), rt.name(), run.verified);
         assert!(run.report.tx.tx_committed > 0, "{} committed nothing", app.name());
         assert_eq!(run.report.tx.tx_begun, run.report.tx.tx_committed);
     }

@@ -22,13 +22,15 @@
 
 pub mod driver;
 pub mod lock;
+pub mod mt;
 pub mod oracle;
 mod report;
 mod runtime;
 pub mod sched;
 
+pub use lock::{run_interleaved_locked, LockTable};
+pub use mt::{check_mt_crash_atomicity, MtScenario, TxThread};
 pub use oracle::CommitOracle;
 pub use report::{geomean, RunReport, TxStats};
 pub use runtime::{Recover, TxRuntime};
-pub use lock::{run_interleaved_locked, LockTable};
 pub use sched::{run_interleaved, MultiThreaded, ScheduleOutcome};

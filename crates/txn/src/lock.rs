@@ -58,9 +58,7 @@ impl LockTable {
 
     /// Whether `tid` currently holds the stripe containing `addr`.
     pub fn holds(&self, tid: usize, addr: usize) -> bool {
-        self.owners
-            .get(addr / self.stripe_bytes)
-            .is_some_and(|o| *o == Some(tid))
+        self.owners.get(addr / self.stripe_bytes).is_some_and(|o| *o == Some(tid))
     }
 
     /// Releases every stripe held by `tid` (strict 2PL: only after commit).
@@ -109,9 +107,7 @@ pub fn run_interleaved_locked<R: MultiThreaded>(
             all_done = false;
             // Acquire every stripe up front (conservative 2PL — avoids
             // deadlock under the deterministic scheduler).
-            let acquired = tx
-                .iter()
-                .all(|op| locks.try_lock(tid, base + op.addr, op.data.len()));
+            let acquired = tx.iter().all(|op| locks.try_lock(tid, base + op.addr, op.data.len()));
             if !acquired {
                 locks.release_all(tid);
                 continue; // deferred to a later round

@@ -88,6 +88,12 @@ impl CommitOracle {
         self.committed.len()
     }
 
+    /// Iterates over `(addr, expected_value)` for every byte written by a
+    /// committed transaction, in no particular order.
+    pub fn committed_bytes(&self) -> impl Iterator<Item = (usize, u8)> + '_ {
+        self.committed.iter().map(|(&a, &b)| (a, b))
+    }
+
     /// Checks a recovered image against the committed state.
     ///
     /// # Errors

@@ -85,7 +85,8 @@ where
     for fuel in (0..600).step_by(7) {
         let total = run_with_crash(make, fuel, 0xB0B + fuel);
         assert_eq!(
-            total, want,
+            total,
+            want,
             "{name}: money {} after crash at fuel {fuel}!",
             if total > want { "created" } else { "destroyed" }
         );

@@ -32,8 +32,8 @@ impl PersistentKv {
     }
 
     fn slot_of<R: TxRuntime>(&self, rt: &mut R, key: u64) -> usize {
-        let mut idx = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize
-            & (self.capacity - 1);
+        let mut idx =
+            (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize & (self.capacity - 1);
         loop {
             let k = rt.read_u64(self.base + idx * SLOT);
             if k == 0 || k == key + 1 {

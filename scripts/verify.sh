@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything must pass offline, proving the workspace
+# has zero registry dependencies. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline --workspace
+run cargo test -q --offline --workspace
+run cargo fmt --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,176 @@
+//! Multi-threaded crash-atomicity sweep for the concurrent SpecSPMT
+//! runtime ([`specpmt::core::SpecSpmtShared`]).
+//!
+//! Real OS threads drive per-thread transaction streams into one shared
+//! pool; the device crashes at a swept persistence-operation boundary
+//! under every [`CrashPolicy`]; recovery replays the speculative logs and
+//! [`specpmt::txn::check_mt_crash_atomicity`] verifies per-thread atomic
+//! durability via the crash-epoch bracketing protocol. The sweep covers
+//! both SpecSPMT and SpecSPMT-DP, with and without the background
+//! reclamation daemon racing the application threads.
+
+use std::time::Duration;
+
+use specpmt::core::{ConcurrentConfig, SpecSpmtShared};
+use specpmt::pmem::{CrashPolicy, PmemConfig, SharedPmemDevice, SharedPmemPool};
+use specpmt::txn::driver::{generate_stream, StreamSpec, TxOp};
+use specpmt::txn::{check_mt_crash_atomicity, MtScenario};
+
+const REGION_LEN: usize = 256;
+
+/// Builds a shared pool with `threads` disjoint data regions, runs one
+/// random stream per thread with a crash armed at `crash_after`, and
+/// verifies atomic durability. Returns the scenario for extra assertions.
+fn run_scenario(
+    cfg: ConcurrentConfig,
+    crash_after: u64,
+    policy: CrashPolicy,
+    seed: u64,
+    daemon_poll: Option<Duration>,
+) -> MtScenario {
+    let threads = cfg.threads;
+    let dev = SharedPmemDevice::new(PmemConfig::new(1 << 22));
+    let pool = SharedPmemPool::create(dev.clone());
+    let shared = SpecSpmtShared::new(pool, cfg);
+
+    let bases: Vec<usize> = (0..threads)
+        .map(|_| shared.pool().alloc_direct(REGION_LEN, 64).expect("pool holds all regions"))
+        .collect();
+    let streams: Vec<Vec<Vec<TxOp>>> = (0..threads)
+        .map(|t| {
+            generate_stream(&StreamSpec {
+                txs: 12,
+                max_writes_per_tx: 4,
+                max_write_len: 12,
+                region_len: REGION_LEN,
+                seed: seed * 31 + t as u64,
+            })
+        })
+        .collect();
+    let handles: Vec<_> = (0..threads).map(|t| shared.tx_handle(t)).collect();
+
+    let daemon = daemon_poll.map(|poll| shared.spawn_reclaimer(poll));
+    let out = check_mt_crash_atomicity(
+        &dev,
+        handles,
+        &bases,
+        REGION_LEN,
+        &streams,
+        crash_after,
+        policy,
+        SpecSpmtShared::recover,
+    )
+    .unwrap_or_else(|e| {
+        panic!(
+            "atomicity violation (threads={threads} crash_after={crash_after} \
+             policy={policy:?} seed={seed}): {e}"
+        )
+    });
+    if let Some(d) = daemon {
+        d.stop();
+    }
+    out
+}
+
+#[test]
+fn specpmt_mt_sweep_all_policies() {
+    for threads in [2usize, 4] {
+        for crash_after in [3u64, 17, 41, 97, 211, 4001] {
+            for (p, policy) in [
+                CrashPolicy::AllLost,
+                CrashPolicy::AllSurvive,
+                CrashPolicy::Random(crash_after ^ 0x5eed),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                run_scenario(
+                    ConcurrentConfig::default().with_threads(threads),
+                    crash_after,
+                    policy,
+                    crash_after.wrapping_mul(7) + p as u64,
+                    None,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn specpmt_dp_mt_sweep_all_policies() {
+    for threads in [2usize, 4] {
+        for crash_after in [5u64, 23, 61, 131, 3001] {
+            for (p, policy) in [
+                CrashPolicy::AllLost,
+                CrashPolicy::AllSurvive,
+                CrashPolicy::Random(crash_after ^ 0xd9),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                run_scenario(
+                    ConcurrentConfig::default().dp().with_threads(threads),
+                    crash_after,
+                    policy,
+                    crash_after.wrapping_mul(13) + p as u64,
+                    None,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn specpmt_mt_sweep_with_reclaim_daemon_racing() {
+    // A tiny threshold keeps the daemon compacting continuously while the
+    // application threads commit — crashes may land inside a reclamation
+    // cycle, exercising the two-fence splice under fire.
+    for crash_after in [29u64, 83, 241, 701] {
+        for policy in [CrashPolicy::AllLost, CrashPolicy::Random(crash_after)] {
+            let cfg = ConcurrentConfig {
+                reclaim_threshold_bytes: 2048,
+                ..ConcurrentConfig::default().with_threads(4)
+            };
+            run_scenario(
+                cfg,
+                crash_after,
+                policy,
+                crash_after + 1,
+                Some(Duration::from_micros(50)),
+            );
+        }
+    }
+}
+
+#[test]
+fn specpmt_dp_mt_with_reclaim_daemon_racing() {
+    for crash_after in [37u64, 149, 499] {
+        let cfg = ConcurrentConfig {
+            reclaim_threshold_bytes: 2048,
+            ..ConcurrentConfig::default().dp().with_threads(2)
+        };
+        run_scenario(
+            cfg,
+            crash_after,
+            CrashPolicy::AllLost,
+            crash_after + 2,
+            Some(Duration::from_micros(50)),
+        );
+    }
+}
+
+#[test]
+fn full_streams_commit_when_crash_never_fires() {
+    // Fuel far beyond the stream length: every transaction must commit and
+    // survive an adversarial post-shutdown AllLost image.
+    let out = run_scenario(
+        ConcurrentConfig::default().with_threads(4),
+        u64::MAX / 2,
+        CrashPolicy::AllLost,
+        99,
+        None,
+    );
+    assert!(!out.crash_fired);
+    assert_eq!(out.committed_per_thread, vec![12; 4]);
+    assert_eq!(out.boundary_per_thread, vec![false; 4]);
+}

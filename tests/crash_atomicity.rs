@@ -56,13 +56,8 @@ where
     F: Fn(PmemPool) -> R + Copy,
 {
     for seed in 0..2u64 {
-        let spec_stream = StreamSpec {
-            txs: 12,
-            max_writes_per_tx: 5,
-            max_write_len: 24,
-            region_len: 384,
-            seed,
-        };
+        let spec_stream =
+            StreamSpec { txs: 12, max_writes_per_tx: 5, max_write_len: 24, region_len: 384, seed };
         for crash_after in [0, 1, 3, 7, 15, 40, 90, 200, 100_000] {
             for policy in [
                 CrashPolicy::AllLost,

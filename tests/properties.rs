@@ -1,64 +1,67 @@
-//! Property-based tests (proptest) on the core data structures and the
-//! crash-recovery invariants.
+//! Property-style tests on the core data structures and the crash-recovery
+//! invariants, driven by deterministic seeded loops (the workspace is
+//! zero-dependency, so there is no `proptest`). Every case derives from a
+//! [`SplitMix64`] seed; on failure the assertion message names the seed so
+//! the case replays exactly with `SEED=<n>`-style edits.
 
-use proptest::prelude::*;
-use specpmt::core::record::{
-    encode_record, parse_chain, LogArea, LogEntry, LogRecord,
-};
 use specpmt::core::reclaim::FreshnessIndex;
+use specpmt::core::record::{encode_record, parse_chain, LogArea, LogEntry, LogRecord, PoolStore};
 use specpmt::core::{SpecConfig, SpecSpmt};
-use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool, TimingMode};
+use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool, SplitMix64, TimingMode};
 use specpmt::txn::driver::{check_crash_atomicity, StreamSpec};
 use specpmt::txn::{Recover, TxRuntime};
 
-fn arb_record() -> impl Strategy<Value = LogRecord> {
-    (
-        1u64..1000,
-        prop::collection::vec((0usize..4096, prop::collection::vec(any::<u8>(), 1..40)), 1..6),
-    )
-        .prop_map(|(ts, entries)| LogRecord {
-            ts,
-            entries: entries
-                .into_iter()
-                .map(|(addr, value)| LogEntry { addr: addr + 4096, value })
-                .collect(),
+/// Draws a random log record: 1–5 entries of 1–40 bytes in a 4 KiB window
+/// above the root block.
+fn random_record(rng: &mut SplitMix64, ts: u64) -> LogRecord {
+    let entries = (0..rng.range_usize(1, 5))
+        .map(|_| {
+            let len = rng.range_usize(1, 40);
+            let addr = 4096 + rng.range_usize(0, 4096 - len);
+            LogEntry { addr, value: (0..len).map(|_| rng.next_u8()).collect() }
         })
+        .collect();
+    LogRecord { ts, entries }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Any sequence of records round-trips through the chained-block log, for
+/// any block size, including sizes that force records to straddle many
+/// blocks.
+#[test]
+fn log_chain_roundtrips() {
+    for seed in 0u64..64 {
+        let mut rng = SplitMix64::new(seed);
+        let block_bytes = [64usize, 96, 128, 512, 4096][rng.range_usize(0, 4)];
+        let records: Vec<LogRecord> = (0..rng.range_usize(1, 12))
+            .map(|i| {
+                let ts = 1 + i as u64;
+                random_record(&mut rng, ts)
+            })
+            .collect();
 
-    /// Any sequence of records round-trips through the chained-block log,
-    /// for any block size, including sizes that force records to straddle
-    /// many blocks.
-    #[test]
-    fn log_chain_roundtrips(
-        records in prop::collection::vec(arb_record(), 1..12),
-        block_bytes in prop::sample::select(vec![64usize, 96, 128, 512, 4096]),
-    ) {
-        let mut pool =
-            PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20).untimed()));
+        let mut pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20).untimed()));
         let mut free = Vec::new();
         let mut dirty = Vec::new();
-        let mut area = LogArea::create(&mut pool, &mut free, block_bytes, &mut dirty);
+        let mut area =
+            LogArea::create(&mut PoolStore::new(&mut pool, &mut free), block_bytes, &mut dirty);
         for rec in &records {
-            area.append(&mut pool, &mut free, &encode_record(rec), &mut dirty);
+            area.append(&mut PoolStore::new(&mut pool, &mut free), &encode_record(rec), &mut dirty);
         }
-        area.write_terminator(&mut pool, &mut dirty);
+        area.write_terminator(&mut PoolStore::new(&mut pool, &mut free), &mut dirty);
         let parsed = parse_chain(pool.device(), area.head(), block_bytes);
-        prop_assert_eq!(parsed, records);
+        assert_eq!(parsed, records, "roundtrip mismatch (seed={seed})");
     }
+}
 
-    /// Compaction never drops the youngest record covering a byte: for any
-    /// record set, replaying the *compacted* set in timestamp order gives
-    /// the same final bytes as replaying the original set.
-    #[test]
-    fn compaction_preserves_replay_semantics(
-        mut records in prop::collection::vec(arb_record(), 1..15),
-    ) {
-        // Unique, ordered timestamps.
-        records.sort_by_key(|r| r.ts);
-        records.dedup_by_key(|r| r.ts);
+/// Compaction never drops the youngest record covering a byte: for any
+/// record set, replaying the *compacted* set in timestamp order gives the
+/// same final bytes as replaying the original set.
+#[test]
+fn compaction_preserves_replay_semantics() {
+    for seed in 0u64..64 {
+        let mut rng = SplitMix64::new(seed ^ 0xC0FFEE);
+        let records: Vec<LogRecord> =
+            (0..rng.range_usize(1, 15)).map(|i| random_record(&mut rng, 1 + i as u64)).collect();
         let index = FreshnessIndex::build(records.iter());
         let compacted: Vec<LogRecord> =
             records.iter().filter_map(|r| index.compact_record(r).0).collect();
@@ -74,38 +77,54 @@ proptest! {
             }
             mem
         };
-        prop_assert_eq!(replay(&records), replay(&compacted));
+        assert_eq!(
+            replay(&records),
+            replay(&compacted),
+            "compaction changed replay state (seed={seed})"
+        );
     }
+}
 
-    /// The crash-atomicity property, randomized: any stream, any crash
-    /// point, any crash nondeterminism.
-    #[test]
-    fn specspmt_crash_atomicity_random(
-        seed in 0u64..10_000,
-        crash_after in 0u64..300,
-        policy_seed in 0u64..10_000,
-    ) {
+/// The crash-atomicity property, randomized: any stream, any crash point,
+/// any crash nondeterminism.
+#[test]
+fn specspmt_crash_atomicity_random() {
+    for seed in 0u64..64 {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9));
+        let stream_seed = rng.next_u64();
+        let crash_after = rng.below(300);
+        let policy_seed = rng.next_u64();
         let spec_stream = StreamSpec {
             txs: 8,
             max_writes_per_tx: 4,
             max_write_len: 16,
             region_len: 256,
-            seed,
+            seed: stream_seed,
         };
-        let make = |pool: PmemPool| SpecSpmt::new(pool, SpecConfig {
-            block_bytes: 512,
-            reclaim_threshold_bytes: 8 * 1024,
-            ..SpecConfig::default()
-        });
+        let make = |pool: PmemPool| {
+            SpecSpmt::new(
+                pool,
+                SpecConfig {
+                    block_bytes: 512,
+                    reclaim_threshold_bytes: 8 * 1024,
+                    ..SpecConfig::default()
+                },
+            )
+        };
         check_crash_atomicity(make, &spec_stream, crash_after, CrashPolicy::Random(policy_seed))
-            .map_err(|e| TestCaseError::fail(e))?;
+            .unwrap_or_else(|e| {
+                panic!("atomicity violation (seed={seed} crash_after={crash_after}): {e}")
+            });
     }
+}
 
-    /// Write-set indexing: repeated same-address writes inside one
-    /// transaction recover to the last value, under any crash policy after
-    /// commit.
-    #[test]
-    fn last_write_wins_within_tx(values in prop::collection::vec(any::<u64>(), 1..20)) {
+/// Write-set indexing: repeated same-address writes inside one transaction
+/// recover to the last value, under any crash policy after commit.
+#[test]
+fn last_write_wins_within_tx() {
+    for seed in 0u64..32 {
+        let mut rng = SplitMix64::new(seed ^ 0xBEEF);
+        let values: Vec<u64> = (0..rng.range_usize(1, 20)).map(|_| rng.next_u64()).collect();
         let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20)));
         let mut rt = SpecSpmt::new(pool, SpecConfig::default());
         rt.begin();
@@ -117,16 +136,24 @@ proptest! {
         for policy in [CrashPolicy::AllLost, CrashPolicy::AllSurvive, CrashPolicy::Random(1)] {
             let mut img = rt.pool().device().crash_with(policy);
             SpecSpmt::recover(&mut img);
-            prop_assert_eq!(img.read_u64(a), *values.last().unwrap());
+            assert_eq!(
+                img.read_u64(a),
+                *values.last().unwrap(),
+                "lost last write (seed={seed} policy={policy:?})"
+            );
         }
     }
+}
 
-    /// Device persistence semantics: flushed+fenced data survives every
-    /// crash policy; unflushed data never survives `AllLost`.
-    #[test]
-    fn device_persistence_invariants(
-        writes in prop::collection::vec((0usize..100, any::<u64>()), 1..30),
-    ) {
+/// Device persistence semantics: flushed+fenced data survives every crash
+/// policy; unflushed data never survives `AllLost`.
+#[test]
+fn device_persistence_invariants() {
+    for seed in 0u64..32 {
+        let mut rng = SplitMix64::new(seed.wrapping_add(0x51DE));
+        let writes: Vec<(usize, u64)> =
+            (0..rng.range_usize(1, 30)).map(|_| (rng.range_usize(0, 99), rng.next_u64())).collect();
+
         // One slot per cache line so a flush never persists a neighbour.
         let mut dev = PmemDevice::new(PmemConfig::new(8192));
         dev.set_timing(TimingMode::On);
@@ -149,11 +176,78 @@ proptest! {
         let img = dev.crash_with(CrashPolicy::AllLost);
         for (&addr, &v) in &persisted {
             if !volatile_only.contains_key(&addr) {
-                prop_assert_eq!(img.read_u64(addr), v, "fenced write lost at {}", addr);
+                assert_eq!(img.read_u64(addr), v, "fenced write lost at {addr} (seed={seed})");
             }
         }
         for (&addr, &v) in &volatile_only {
-            prop_assert_ne!(img.read_u64(addr), v, "unflushed write survived AllLost at {}", addr);
+            assert_ne!(
+                img.read_u64(addr),
+                v,
+                "unflushed write survived AllLost at {addr} (seed={seed})"
+            );
         }
+    }
+}
+
+/// Multi-threaded crash atomicity, randomized: real threads, random
+/// streams, random crash points and policies, on the concurrent runtime.
+/// (The structured sweep lives in `tests/concurrency.rs`; this adds seeded
+/// random exploration on top.)
+#[test]
+fn concurrent_crash_atomicity_random() {
+    use specpmt::core::{ConcurrentConfig, SpecSpmtShared};
+    use specpmt::pmem::{SharedPmemDevice, SharedPmemPool};
+    use specpmt::txn::check_mt_crash_atomicity;
+    use specpmt::txn::driver::generate_stream;
+
+    for seed in 0u64..24 {
+        let mut rng = SplitMix64::new(seed ^ 0xAB1E);
+        let threads = rng.range_usize(1, 4);
+        let crash_after = 1 + rng.below(600);
+        let policy = match rng.range_usize(0, 2) {
+            0 => CrashPolicy::AllLost,
+            1 => CrashPolicy::AllSurvive,
+            _ => CrashPolicy::Random(rng.next_u64()),
+        };
+        let dp = rng.next_bool();
+
+        let dev = SharedPmemDevice::new(PmemConfig::new(1 << 21));
+        let pool = SharedPmemPool::create(dev.clone());
+        let mut cfg = ConcurrentConfig::default().with_threads(threads);
+        if dp {
+            cfg = cfg.dp();
+        }
+        let shared = SpecSpmtShared::new(pool, cfg);
+        let region_len = 192;
+        let bases: Vec<usize> =
+            (0..threads).map(|_| shared.pool().alloc_direct(region_len, 64).unwrap()).collect();
+        let streams: Vec<_> = (0..threads)
+            .map(|t| {
+                generate_stream(&StreamSpec {
+                    txs: 8,
+                    max_writes_per_tx: 3,
+                    max_write_len: 12,
+                    region_len,
+                    seed: rng.next_u64().wrapping_add(t as u64),
+                })
+            })
+            .collect();
+        let handles: Vec<_> = (0..threads).map(|t| shared.tx_handle(t)).collect();
+        check_mt_crash_atomicity(
+            &dev,
+            handles,
+            &bases,
+            region_len,
+            &streams,
+            crash_after,
+            policy,
+            SpecSpmtShared::recover,
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "MT atomicity violation (seed={seed} threads={threads} dp={dp} \
+                 crash_after={crash_after} policy={policy:?}): {e}"
+            )
+        });
     }
 }
