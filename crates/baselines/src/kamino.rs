@@ -2,7 +2,7 @@
 
 use specpmt_core::fnv1a64;
 use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
-use specpmt_txn::{Recover, TxRuntime, TxStats};
+use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
 const ENTRY_MAGIC: u32 = 0x4B41_4D4E; // "KAMN"
 const ENTRY_BYTES: usize = 24; // magic u32 | len u32 | addr u64 | cksum u64
@@ -77,7 +77,7 @@ impl KaminoTx {
     }
 }
 
-impl TxRuntime for KaminoTx {
+impl TxAccess for KaminoTx {
     fn begin(&mut self) {
         assert!(!self.in_tx, "nested transaction");
         self.in_tx = true;
@@ -165,6 +165,10 @@ impl TxRuntime for KaminoTx {
         self.in_tx
     }
 
+    specpmt_txn::impl_pool_tx_timing!();
+}
+
+impl TxRuntime for KaminoTx {
     fn pool(&self) -> &PmemPool {
         &self.pool
     }

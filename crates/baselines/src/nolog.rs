@@ -1,7 +1,7 @@
 //! The no-crash-consistency bounds.
 
 use specpmt_pmem::{CrashImage, PmemPool, BUMP_OFF, CACHE_LINE};
-use specpmt_txn::{Recover, TxRuntime, TxStats};
+use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
 use std::collections::BTreeSet;
 
@@ -38,7 +38,7 @@ impl NoLog {
     }
 }
 
-impl TxRuntime for NoLog {
+impl TxAccess for NoLog {
     fn begin(&mut self) {
         assert!(!self.in_tx, "nested transaction");
         self.in_tx = true;
@@ -92,6 +92,10 @@ impl TxRuntime for NoLog {
         self.in_tx
     }
 
+    specpmt_txn::impl_pool_tx_timing!();
+}
+
+impl TxRuntime for NoLog {
     fn pool(&self) -> &PmemPool {
         &self.pool
     }

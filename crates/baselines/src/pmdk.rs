@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 
 use specpmt_core::fnv1a64;
 use specpmt_pmem::{root_off, CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE, POOL_MAGIC};
-use specpmt_txn::{Recover, TxRuntime, TxStats};
+use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
 /// Root slot holding the undo-log region base.
 pub const UNDO_BASE_SLOT: usize = 4;
@@ -158,7 +158,7 @@ impl PmdkUndo {
     }
 }
 
-impl TxRuntime for PmdkUndo {
+impl TxAccess for PmdkUndo {
     fn begin(&mut self) {
         assert!(!self.in_tx, "nested transaction");
         self.in_tx = true;
@@ -238,6 +238,10 @@ impl TxRuntime for PmdkUndo {
         self.in_tx
     }
 
+    specpmt_txn::impl_pool_tx_timing!();
+}
+
+impl TxRuntime for PmdkUndo {
     fn pool(&self) -> &PmemPool {
         &self.pool
     }

@@ -8,7 +8,7 @@ use specpmt_core::record::{
 use specpmt_core::recovery;
 use specpmt_core::{BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE};
 use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
-use specpmt_txn::{Recover, TxRuntime, TxStats};
+use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
 /// Configuration for [`Spht`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -170,7 +170,7 @@ impl Spht {
     }
 }
 
-impl TxRuntime for Spht {
+impl TxAccess for Spht {
     fn begin(&mut self) {
         assert!(!self.in_tx, "nested transaction");
         self.stats.tx_begun += 1;
@@ -314,6 +314,16 @@ impl TxRuntime for Spht {
         self.in_tx
     }
 
+    fn maintain(&mut self) {
+        if self.area.footprint() > self.cfg.replay_threshold_bytes {
+            self.replay_now();
+        }
+    }
+
+    specpmt_txn::impl_pool_tx_timing!();
+}
+
+impl TxRuntime for Spht {
     fn pool(&self) -> &PmemPool {
         &self.pool
     }
@@ -324,12 +334,6 @@ impl TxRuntime for Spht {
 
     fn name(&self) -> &'static str {
         "SPHT"
-    }
-
-    fn maintain(&mut self) {
-        if self.area.footprint() > self.cfg.replay_threshold_bytes {
-            self.replay_now();
-        }
     }
 
     fn close(&mut self) {

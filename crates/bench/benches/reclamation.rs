@@ -9,7 +9,7 @@
 use specpmt_bench::harness::{bench_with_setup, smoke_mode};
 use specpmt_core::{ReclaimMode, SpecConfig, SpecSpmt};
 use specpmt_pmem::{PmemConfig, PmemDevice, PmemPool};
-use specpmt_txn::TxRuntime;
+use specpmt_txn::{TxAccess, TxRuntime};
 
 fn pool() -> PmemPool {
     PmemPool::create(PmemDevice::new(PmemConfig::new(32 << 20)))

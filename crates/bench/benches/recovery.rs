@@ -5,7 +5,7 @@
 use specpmt_bench::harness::{bench_with_setup, smoke_mode};
 use specpmt_core::{ReclaimMode, SpecConfig, SpecSpmt};
 use specpmt_pmem::{CrashImage, CrashPolicy, PmemConfig, PmemDevice, PmemPool};
-use specpmt_txn::{Recover, TxRuntime};
+use specpmt_txn::{Recover, TxAccess, TxRuntime};
 
 /// Builds a crash image whose log holds `txs` committed transactions.
 fn image_with_log(txs: u64) -> CrashImage {

@@ -11,13 +11,20 @@
 //!
 //! Output is one JSON line per configuration:
 //! `{"bench":"scaling","threads":N,"daemon":B,...}`.
+//!
+//! With `--threads [N,M,..]` (default 1,2,4,8) the bench instead sweeps
+//! the STAMP workloads on real OS threads over `LockedTxHandle` fleets
+//! and prints per-workload simulated commit throughput as JSON.
 
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use specpmt_bench::harness::smoke_mode;
+use specpmt_bench::{print_mt_scaling, threads_arg};
 use specpmt_core::{ConcurrentConfig, SpecSpmtShared};
 use specpmt_pmem::{PmemConfig, SharedPmemDevice, SharedPmemPool};
+use specpmt_stamp::Scale;
+use specpmt_txn::TxAccess;
 
 struct ScalePoint {
     sim_commits_per_ms: f64,
@@ -96,6 +103,11 @@ fn run_scale(threads: usize, txs_per_thread: u64, daemon: bool) -> ScalePoint {
 }
 
 fn main() {
+    if let Some(counts) = threads_arg() {
+        let scale = if smoke_mode() { Scale::Tiny } else { Scale::Small };
+        print_mt_scaling("scaling_stamp", &counts, scale);
+        return;
+    }
     let txs_per_thread: u64 = if smoke_mode() { 200 } else { 20_000 };
     for daemon in [false, true] {
         let mut prev: Option<f64> = None;

@@ -9,7 +9,7 @@ use specpmt_baselines::{PmdkConfig, PmdkUndo, Spht, SphtConfig};
 use specpmt_bench::harness::{bench, smoke_mode};
 use specpmt_core::{HashLogConfig, HashLogSpmt, SpecConfig, SpecSpmt};
 use specpmt_pmem::{PmemConfig, PmemDevice, PmemPool};
-use specpmt_txn::TxRuntime;
+use specpmt_txn::{TxAccess, TxRuntime};
 
 fn pool() -> PmemPool {
     PmemPool::create(PmemDevice::new(PmemConfig::new(8 << 20)))

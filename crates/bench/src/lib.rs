@@ -230,6 +230,81 @@ pub fn run_hw_suite(runtimes: &[HwRuntime], scale: Scale) -> Vec<Vec<RunReport>>
         .collect()
 }
 
+// --- multi-threaded (real OS threads) SpecSPMT mode ------------------------
+
+use specpmt_core::{ConcurrentConfig, LockedTxHandle, SpecSpmtShared};
+use specpmt_pmem::{SharedPmemDevice, SharedPmemPool};
+use specpmt_stamp::{run_app_mt, MtAppRun};
+use specpmt_txn::SharedLockTable;
+
+/// Runs `app` on `threads` real OS threads over the concurrent SpecSPMT
+/// runtime, with strict-2PL concurrency control supplied by
+/// [`LockedTxHandle`] (fresh shared pool and lock table each run).
+///
+/// # Panics
+///
+/// Panics if the workload fails invariant verification.
+pub fn run_spec_mt(app: StampApp, threads: usize, scale: Scale) -> MtAppRun {
+    // Same media provisioning as the `scaling` bench: twelve interleaved
+    // DIMMs so log streams of different threads rarely shear each other's
+    // sequential-write window.
+    let dev = SharedPmemDevice::new(PmemConfig::new(POOL_BYTES).with_media_channels(12));
+    let shared = SpecSpmtShared::new(
+        SharedPmemPool::create(dev),
+        ConcurrentConfig { threads, ..ConcurrentConfig::default() },
+    );
+    let locks = SharedLockTable::new(POOL_BYTES, 64);
+    let mut handles = LockedTxHandle::fleet(&shared, &locks, threads);
+    let run = run_app_mt(app, &mut handles, scale);
+    assert!(
+        run.verified.is_ok(),
+        "{} on SpecSPMT x{threads} failed verification: {:?}",
+        app.name(),
+        run.verified
+    );
+    run
+}
+
+/// Parses a `--threads` flag from the process arguments: `--threads`
+/// alone selects the paper's 1/2/4/8 sweep, `--threads 1,2,4` selects an
+/// explicit list. Returns `None` when the flag is absent (single-threaded
+/// figure mode).
+pub fn threads_arg() -> Option<Vec<usize>> {
+    let args: Vec<String> = std::env::args().collect();
+    let at = args.iter().position(|a| a == "--threads")?;
+    let counts = match args.get(at + 1) {
+        Some(list) if !list.starts_with('-') => list
+            .split(',')
+            .map(|s| s.trim().parse::<usize>().expect("--threads takes a comma-separated list"))
+            .collect(),
+        _ => vec![1, 2, 4, 8],
+    };
+    Some(counts)
+}
+
+/// Runs the full STAMP suite at each thread count and prints one JSON
+/// line per (app, threads) pair:
+/// `{"bench":NAME,"mode":"mt","app":...,"threads":N,...}`. Each line also
+/// reports whether throughput at this point improved on the previous
+/// thread count for the same app (`"scales_up"`).
+pub fn print_mt_scaling(bench: &str, thread_counts: &[usize], scale: Scale) {
+    for app in StampApp::all() {
+        let mut prev: Option<f64> = None;
+        for &threads in thread_counts {
+            let run = run_spec_mt(app, threads, scale);
+            let r = &run.report;
+            let scales = prev.is_none_or(|p| r.commits_per_ms > p);
+            prev = Some(r.commits_per_ms);
+            println!(
+                "{{\"bench\":\"{bench}\",\"mode\":\"mt\",\"runtime\":\"SpecSPMT\",\
+                 \"app\":\"{}\",\"threads\":{},\"commits\":{},\"sim_ns\":{},\
+                 \"commits_per_ms\":{:.1},\"scales_up\":{scales}}}",
+                r.workload, r.threads, r.commits, r.sim_ns, r.commits_per_ms
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,6 +47,7 @@ use std::time::Duration;
 use specpmt_pmem::{
     CrashImage, DeviceHandle, SharedPmemDevice, SharedPmemPool, TimingMode, BUMP_OFF, CACHE_LINE,
 };
+use specpmt_txn::CommitReceipt;
 
 use crate::reclaim::FreshnessIndex;
 use crate::record::{
@@ -112,6 +113,9 @@ struct AreaState {
 pub struct SharedStats {
     /// Transactions committed (all threads).
     pub commits: u64,
+    /// Transactions aborted (all threads) — compensating restore records
+    /// sealed by [`TxHandle::abort`].
+    pub aborts: u64,
     /// Reclamation cycles the daemon (or explicit calls) completed.
     pub reclaim_cycles: u64,
     /// Log entries dropped as stale.
@@ -131,6 +135,7 @@ pub struct SpecSpmtShared {
     areas: Vec<Mutex<AreaState>>,
     free_blocks: Mutex<Vec<usize>>,
     commits: AtomicU64,
+    aborts: AtomicU64,
     reclaim_cycles: AtomicU64,
     records_reclaimed: AtomicU64,
     stop: AtomicBool,
@@ -180,6 +185,7 @@ impl SpecSpmtShared {
             areas,
             free_blocks: Mutex::new(free),
             commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
             reclaim_cycles: AtomicU64::new(0),
             records_reclaimed: AtomicU64::new(0),
             stop: AtomicBool::new(false),
@@ -221,6 +227,7 @@ impl SpecSpmtShared {
             index: HashMap::new(),
             dirty: Vec::new(),
             data_lines: BTreeSet::new(),
+            undo: Vec::new(),
         }
     }
 
@@ -233,6 +240,7 @@ impl SpecSpmtShared {
     pub fn stats(&self) -> SharedStats {
         SharedStats {
             commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
             reclaim_cycles: self.reclaim_cycles.load(Ordering::Relaxed),
             records_reclaimed: self.records_reclaimed.load(Ordering::Relaxed),
             log_live_bytes: self.log_footprint() as u64,
@@ -390,6 +398,11 @@ pub struct TxHandle {
     index: HashMap<usize, EntrySlot>,
     dirty: Vec<(usize, usize)>,
     data_lines: BTreeSet<usize>,
+    /// Volatile pre-images of every in-place write of the open
+    /// transaction, in write order — the [`TxHandle::abort`] path replays
+    /// them in reverse through the normal logging write, turning the
+    /// abort into a committed compensating record.
+    undo: Vec<(usize, Vec<u8>)>,
 }
 
 fn flush_ranges(dev: &DeviceHandle, ranges: &[(usize, usize)]) {
@@ -432,13 +445,6 @@ impl TxHandle {
         self.in_tx
     }
 
-    /// This thread's core-local simulated time (see
-    /// [`specpmt_pmem::DeviceHandle::local_now_ns`]) — the per-core
-    /// timeline that fence stalls of *this* thread advance.
-    pub fn local_now_ns(&self) -> u64 {
-        self.dev.local_now_ns()
-    }
-
     /// Starts a transaction on this thread's chain.
     ///
     /// # Panics
@@ -451,6 +457,7 @@ impl TxHandle {
         self.index.clear();
         self.dirty.clear();
         self.data_lines.clear();
+        self.undo.clear();
         let mut st = self.shared.areas[self.tid].lock().expect("area lock");
         assert!(!st.open, "thread slot {} already has an open transaction", self.tid);
         st.open = true;
@@ -477,6 +484,12 @@ impl TxHandle {
     /// Panics outside a transaction.
     pub fn write(&mut self, addr: usize, data: &[u8]) {
         assert!(self.in_tx, "write outside transaction");
+        if !data.is_empty() {
+            // Volatile pre-image for the abort path. `peek` is untimed and
+            // unsampled, so the bookkeeping does not distort the simulated
+            // cost of the write itself.
+            self.undo.push((addr, self.dev.peek(addr, data.len())));
+        }
         self.dev.write(addr, data);
         if self.shared.cfg.data_persistence && !data.is_empty() {
             let first = addr / CACHE_LINE;
@@ -521,20 +534,10 @@ impl TxHandle {
         self.index.insert(addr, EntrySlot { payload_off, len: data.len(), value_cursor });
     }
 
-    /// Writes a little-endian `u64` transactionally.
-    pub fn write_u64(&mut self, addr: usize, value: u64) {
-        self.write(addr, &value.to_le_bytes());
-    }
-
     /// Reads `buf.len()` bytes at `addr` (direct in-place access — SpecPMT
     /// never redirects reads).
     pub fn read(&self, addr: usize, buf: &mut [u8]) {
         self.dev.read(addr, buf);
-    }
-
-    /// Reads a little-endian `u64`.
-    pub fn read_u64(&self, addr: usize) -> u64 {
-        self.dev.read_u64(addr)
     }
 
     /// Transactionally allocates from the shared heap; the bump update
@@ -548,19 +551,24 @@ impl TxHandle {
         assert!(self.in_tx, "alloc outside transaction");
         let r = self.shared.pool.reserve(size, align).expect("pool heap exhausted");
         if let Some(bump) = r.new_bump {
-            self.write_u64(BUMP_OFF, bump);
+            self.write(BUMP_OFF, &bump.to_le_bytes());
         }
         r.off
     }
 
-    /// Commits the open transaction with the single SpecSPMT flush+fence;
-    /// returns the commit timestamp.
-    ///
-    /// # Panics
-    ///
-    /// Panics outside a transaction.
-    pub fn commit(&mut self) -> u64 {
+    /// Seals the open record: timestamped, checksummed header plus the
+    /// single SpecSPMT flush+fence. Shared tail of [`TxHandle::commit`] and
+    /// [`TxHandle::abort`].
+    fn seal(&mut self) -> u64 {
         assert!(self.in_tx, "commit outside transaction");
+        if self.payload.is_empty() {
+            // A zero-length record header is the chain terminator, so an
+            // empty (read-only or write-free) transaction must not seal a
+            // zero-length record — it would orphan every younger record
+            // behind it. Pad with one zero-length entry: the payload becomes
+            // one entry header, and recovery replays it as a no-op.
+            self.write(0, &[]);
+        }
         let ts = self.shared.ts.fetch_add(1, Ordering::SeqCst);
         let header = encode_header(ts, &self.payload);
         let mut st = self.shared.areas[self.tid].lock().expect("area lock");
@@ -594,8 +602,108 @@ impl TxHandle {
         st.open = false;
         drop(st);
         self.in_tx = false;
-        self.shared.commits.fetch_add(1, Ordering::Relaxed);
+        self.undo.clear();
         ts
+    }
+
+    /// Commits the open transaction with the single SpecSPMT flush+fence;
+    /// returns the [`CommitReceipt`] carrying the global commit timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a transaction.
+    pub fn commit(&mut self) -> CommitReceipt {
+        let ts = self.seal();
+        self.shared.commits.fetch_add(1, Ordering::Relaxed);
+        CommitReceipt::new(ts)
+    }
+
+    /// Aborts the open transaction.
+    ///
+    /// SpecPMT writes in place before commit, so aborting must *restore*:
+    /// the volatile pre-images captured by [`TxHandle::write`] are replayed
+    /// in reverse through the normal logging write path, and the record is
+    /// then sealed exactly like a commit. The youngest-committed-record-wins
+    /// recovery rule makes the compensating record authoritative: after a
+    /// crash at any point — before, during, or after the abort — the
+    /// pre-transaction values win.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a transaction.
+    pub fn abort(&mut self) {
+        assert!(self.in_tx, "abort outside transaction");
+        let undo = std::mem::take(&mut self.undo);
+        for (addr, old) in undo.into_iter().rev() {
+            self.write(addr, &old);
+        }
+        let _ = self.seal();
+        self.shared.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl specpmt_txn::TxAccess for TxHandle {
+    fn begin(&mut self) {
+        TxHandle::begin(self);
+    }
+
+    fn write(&mut self, addr: usize, data: &[u8]) {
+        TxHandle::write(self, addr, data);
+    }
+
+    fn read(&mut self, addr: usize, buf: &mut [u8]) {
+        TxHandle::read(self, addr, buf);
+    }
+
+    fn commit(&mut self) {
+        let _ = TxHandle::commit(self);
+    }
+
+    fn abort(&mut self) {
+        TxHandle::abort(self);
+    }
+
+    fn alloc(&mut self, size: usize, align: usize) -> usize {
+        TxHandle::alloc(self, size, align)
+    }
+
+    fn free(&mut self, _addr: usize, _size: usize, _align: usize) {
+        // Bump allocator: frees are a no-op, same as the sequential runtime.
+    }
+
+    fn in_tx(&self) -> bool {
+        self.in_tx
+    }
+
+    fn compute(&mut self, ns: u64) {
+        self.dev.advance(ns);
+    }
+
+    fn local_now_ns(&self) -> u64 {
+        self.dev.local_now_ns()
+    }
+
+    fn set_timing(&mut self, mode: TimingMode) -> TimingMode {
+        let prev = self.shared.device().timing();
+        self.shared.device().set_timing(mode);
+        prev
+    }
+
+    fn setup_alloc(&mut self, bytes: usize, align: usize) -> usize {
+        let prev = self.shared.device().timing();
+        self.shared.device().set_timing(TimingMode::Off);
+        let base = self.shared.pool.alloc_direct(bytes, align).expect("setup_alloc");
+        self.dev.persist_range(base, bytes);
+        self.shared.device().set_timing(prev);
+        base
+    }
+
+    fn setup_write(&mut self, addr: usize, data: &[u8]) {
+        let prev = self.shared.device().timing();
+        self.shared.device().set_timing(TimingMode::Off);
+        self.dev.write(addr, data);
+        self.dev.persist_range(addr, data.len());
+        self.shared.device().set_timing(prev);
     }
 }
 
@@ -609,7 +717,7 @@ impl specpmt_txn::TxThread for TxHandle {
     }
 
     fn commit(&mut self) -> u64 {
-        TxHandle::commit(self)
+        TxHandle::commit(self).ts()
     }
 }
 
@@ -617,6 +725,7 @@ impl specpmt_txn::TxThread for TxHandle {
 mod tests {
     use super::*;
     use specpmt_pmem::{CrashPolicy, PmemConfig};
+    use specpmt_txn::TxAccess as _;
 
     fn shared(cfg: ConcurrentConfig) -> Arc<SpecSpmtShared> {
         let dev = SharedPmemDevice::new(PmemConfig::new(1 << 22));

@@ -20,7 +20,7 @@
 use std::collections::BTreeSet;
 
 use specpmt_pmem::{root_off, CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE, POOL_MAGIC};
-use specpmt_txn::{Recover, TxRuntime, TxStats};
+use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
 use crate::checksum::fnv1a64;
 
@@ -176,9 +176,9 @@ impl HashLogSpmt {
     }
 }
 
-impl TxRuntime for HashLogSpmt {
+impl TxAccess for HashLogSpmt {
     fn begin(&mut self) {
-        assert!(!self.in_tx, "nested transaction");
+        assert!(!self.in_tx, "nested transaction on thread 0");
         self.in_tx = true;
         self.tx_ts = self.ts_counter;
         self.ts_counter += 1;
@@ -241,6 +241,10 @@ impl TxRuntime for HashLogSpmt {
         self.in_tx
     }
 
+    specpmt_txn::impl_pool_tx_timing!();
+}
+
+impl TxRuntime for HashLogSpmt {
     fn pool(&self) -> &PmemPool {
         &self.pool
     }

@@ -133,7 +133,7 @@ mod tests {
     use super::*;
     use crate::{SpecConfig, SpecSpmt};
     use specpmt_pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool};
-    use specpmt_txn::TxRuntime;
+    use specpmt_txn::{TxAccess, TxRuntime};
 
     #[test]
     fn inspect_reports_committed_records() {

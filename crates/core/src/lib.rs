@@ -38,7 +38,7 @@
 //! ```
 //! use specpmt_core::{SpecConfig, SpecSpmt};
 //! use specpmt_pmem::{PmemConfig, PmemDevice, PmemPool};
-//! use specpmt_txn::{Recover, TxRuntime};
+//! use specpmt_txn::{Recover, TxAccess, TxRuntime};
 //!
 //! let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20)));
 //! let mut rt = SpecSpmt::new(pool, SpecConfig::default());
@@ -63,6 +63,7 @@ mod checksum;
 pub mod concurrent;
 pub mod hashlog;
 pub mod inspect;
+pub mod locked;
 pub mod reclaim;
 pub mod record;
 pub mod recovery;
@@ -72,6 +73,7 @@ pub use checksum::fnv1a64;
 pub use concurrent::{ConcurrentConfig, ReclaimDaemon, SharedStats, SpecSpmtShared, TxHandle};
 pub use hashlog::{HashLogConfig, HashLogSpmt};
 pub use inspect::{inspect_image, ChainSummary, InspectReport};
+pub use locked::LockedTxHandle;
 pub use runtime::{
     ReclaimMode, SpecConfig, SpecSpmt, BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE, MAX_THREADS,
 };

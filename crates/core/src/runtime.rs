@@ -3,7 +3,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
-use specpmt_txn::{Recover, TxRuntime, TxStats};
+use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
 use crate::reclaim::FreshnessIndex;
 use crate::record::{
@@ -359,7 +359,7 @@ impl SpecSpmt {
     }
 }
 
-impl TxRuntime for SpecSpmt {
+impl TxAccess for SpecSpmt {
     fn begin(&mut self) {
         let tid = self.cur;
         assert!(!self.threads[tid].in_tx, "nested transaction on thread {tid}");
@@ -497,6 +497,18 @@ impl TxRuntime for SpecSpmt {
         self.threads[self.cur].in_tx
     }
 
+    fn maintain(&mut self) {
+        if self.cfg.reclaim_mode != ReclaimMode::Disabled
+            && self.log_footprint() > self.cfg.reclaim_threshold_bytes
+        {
+            self.reclaim_now();
+        }
+    }
+
+    specpmt_txn::impl_pool_tx_timing!();
+}
+
+impl TxRuntime for SpecSpmt {
     fn pool(&self) -> &PmemPool {
         &self.pool
     }
@@ -510,14 +522,6 @@ impl TxRuntime for SpecSpmt {
             "SpecSPMT-DP"
         } else {
             "SpecSPMT"
-        }
-    }
-
-    fn maintain(&mut self) {
-        if self.cfg.reclaim_mode != ReclaimMode::Disabled
-            && self.log_footprint() > self.cfg.reclaim_threshold_bytes
-        {
-            self.reclaim_now();
         }
     }
 

@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 
 use specpmt_hwsim::{HwConfig, HwCore};
 use specpmt_pmem::{CrashImage, PmemPool, BUMP_OFF, CACHE_LINE};
-use specpmt_txn::{Recover, TxRuntime, TxStats};
+use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
 use crate::common::UndoLog;
 
@@ -63,7 +63,7 @@ impl Ede {
     }
 }
 
-impl TxRuntime for Ede {
+impl TxAccess for Ede {
     fn begin(&mut self) {
         assert!(!self.in_tx, "nested transaction");
         self.in_tx = true;
@@ -135,6 +135,10 @@ impl TxRuntime for Ede {
         self.in_tx
     }
 
+    specpmt_txn::impl_pool_tx_timing!();
+}
+
+impl TxRuntime for Ede {
     fn pool(&self) -> &PmemPool {
         &self.pool
     }

@@ -6,7 +6,7 @@ use specpmt_core::record::{encode_record, LogArea, LogEntry, LogRecord, PoolStor
 use specpmt_core::{recovery, BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE};
 use specpmt_hwsim::{HwConfig, HwCore};
 use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
-use specpmt_txn::{Recover, TxRuntime, TxStats};
+use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
 /// Configuration for [`Hoop`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,7 +145,7 @@ impl Hoop {
     }
 }
 
-impl TxRuntime for Hoop {
+impl TxAccess for Hoop {
     fn begin(&mut self) {
         assert!(!self.in_tx, "nested transaction");
         self.in_tx = true;
@@ -251,6 +251,16 @@ impl TxRuntime for Hoop {
         self.in_tx
     }
 
+    fn maintain(&mut self) {
+        if self.gc_accum_bytes >= self.cfg.gc_batch_bytes {
+            self.gc_now();
+        }
+    }
+
+    specpmt_txn::impl_pool_tx_timing!();
+}
+
+impl TxRuntime for Hoop {
     fn pool(&self) -> &PmemPool {
         &self.pool
     }
@@ -261,12 +271,6 @@ impl TxRuntime for Hoop {
 
     fn name(&self) -> &'static str {
         "HOOP"
-    }
-
-    fn maintain(&mut self) {
-        if self.gc_accum_bytes >= self.cfg.gc_batch_bytes {
-            self.gc_now();
-        }
     }
 
     fn tx_stats(&self) -> TxStats {

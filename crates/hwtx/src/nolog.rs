@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 
 use specpmt_hwsim::{HwConfig, HwCore};
 use specpmt_pmem::{CrashImage, PmemPool, BUMP_OFF, CACHE_LINE};
-use specpmt_txn::{Recover, TxRuntime, TxStats};
+use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
 /// Transactions without logging on the simulated hardware: data is flushed
 /// with one fence at commit (Section 7.1.3's `no-log`). **Not crash
@@ -36,7 +36,7 @@ impl HwNoLog {
     }
 }
 
-impl TxRuntime for HwNoLog {
+impl TxAccess for HwNoLog {
     fn begin(&mut self) {
         assert!(!self.in_tx, "nested transaction");
         self.in_tx = true;
@@ -91,6 +91,10 @@ impl TxRuntime for HwNoLog {
         self.in_tx
     }
 
+    specpmt_txn::impl_pool_tx_timing!();
+}
+
+impl TxRuntime for HwNoLog {
     fn pool(&self) -> &PmemPool {
         &self.pool
     }

@@ -8,7 +8,7 @@ use specpmt_core::record::{
 use specpmt_core::{recovery, BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE};
 use specpmt_hwsim::{HwConfig, HwCore};
 use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
-use specpmt_txn::{Recover, TxRuntime, TxStats};
+use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
 use crate::common::UndoLog;
 
@@ -365,7 +365,7 @@ impl HwSpecPmt {
     }
 }
 
-impl TxRuntime for HwSpecPmt {
+impl TxAccess for HwSpecPmt {
     fn begin(&mut self) {
         assert!(!self.in_tx, "nested transaction");
         self.in_tx = true;
@@ -517,6 +517,10 @@ impl TxRuntime for HwSpecPmt {
         self.in_tx
     }
 
+    specpmt_txn::impl_pool_tx_timing!();
+}
+
+impl TxRuntime for HwSpecPmt {
     fn pool(&self) -> &PmemPool {
         &self.pool
     }

@@ -4,8 +4,14 @@
 //! them into a hash set (here a persistent open-addressing table — small
 //! transactional writes, ~7 B average per Table 2); phase 2 links unique
 //! segments into an assembly chain (single pointer write per transaction).
+//!
+//! The transaction bodies ([`insert_segment`], [`link_segment`]) are
+//! written once against [`TxAccess`] and shared by the sequential [`run`]
+//! and the real-thread [`run_mt`].
 
-use specpmt_txn::TxRuntime;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use specpmt_txn::{run_tx, TxAccess};
 
 use crate::util::{hash64, setup_region, SplitMix64};
 use crate::Scale;
@@ -54,12 +60,15 @@ impl GenomeCfg {
 struct Layout {
     /// Hash table: `table_cap` entries of 8 B (segment fingerprint; 0 = empty).
     table: usize,
-    /// Unique-segment count (u32).
+    /// Unique-segment count (u32) — the sequential run's counter.
     unique: usize,
     /// Chain links: `table_cap` × u32 (next unique segment's slot + 1).
     links: usize,
     /// Chain head slot (u32).
     head: usize,
+    /// Per-thread unique-counter shards (u32 each) — only allocated by
+    /// [`run_mt`], which would otherwise serialize on a single counter.
+    shards: usize,
 }
 
 fn layout(cfg: &GenomeCfg, base: usize) -> Layout {
@@ -67,7 +76,7 @@ fn layout(cfg: &GenomeCfg, base: usize) -> Layout {
     let unique = table + cfg.table_cap * 8;
     let links = unique + 4;
     let head = links + cfg.table_cap * 4;
-    Layout { table, unique, links, head }
+    Layout { table, unique, links, head, shards: head + 4 }
 }
 
 fn region_bytes(cfg: &GenomeCfg) -> usize {
@@ -91,7 +100,8 @@ fn gen_segments(cfg: &GenomeCfg, genome: &[u8]) -> Vec<u64> {
 }
 
 /// Volatile reference: insertion order of unique fingerprints and their
-/// final table slots.
+/// final table slots (slots are only meaningful for a sequential run —
+/// under concurrency, probe placement depends on the interleaving).
 fn reference(cfg: &GenomeCfg, segments: &[u64]) -> (Vec<u64>, Vec<usize>) {
     let mask = cfg.table_cap - 1;
     let mut table = vec![0u64; cfg.table_cap];
@@ -115,18 +125,47 @@ fn reference(cfg: &GenomeCfg, segments: &[u64]) -> (Vec<u64>, Vec<usize>) {
     (uniques, slots)
 }
 
-fn read_u32<R: TxRuntime>(rt: &mut R, addr: usize) -> u32 {
-    let mut b = [0u8; 4];
-    rt.read(addr, &mut b);
-    u32::from_le_bytes(b)
+/// Phase-1 transaction body: deduplicating insert of one fingerprint, with
+/// the unique counter at `unique_ctr` (the global counter for sequential
+/// runs, a per-thread shard for multi-threaded ones).
+///
+/// Doom-safe: when a doomed access returns zeros, the probe loop
+/// terminates at the first slot and every write is dropped — the driver
+/// aborts and retries.
+fn insert_segment<A: TxAccess>(tx: &mut A, lay: &Layout, mask: usize, fp: u64, unique_ctr: usize) {
+    let mut idx = (fp as usize) & mask;
+    loop {
+        let a = lay.table + idx * 8;
+        let cur = tx.read_u64(a);
+        if cur == fp {
+            break; // duplicate — nothing to write
+        }
+        if cur == 0 {
+            tx.write_u64(a, fp);
+            let cnt = tx.read_u32(unique_ctr);
+            tx.write_u32(unique_ctr, cnt + 1);
+            break;
+        }
+        idx = (idx + 1) & mask;
+    }
 }
 
-/// Runs the workload; returns the verification outcome.
+/// Phase-2 transaction body: link `slot` after `prev` in the assembly
+/// chain (one pointer write — mimics overlap chaining).
+fn link_segment<A: TxAccess>(tx: &mut A, lay: &Layout, prev: Option<usize>, slot: usize) {
+    let val = (slot + 1) as u32;
+    match prev {
+        None => tx.write_u32(lay.head, val),
+        Some(p) => tx.write_u32(lay.links + p * 4, val),
+    }
+}
+
+/// Runs the workload sequentially; returns the verification outcome.
 ///
 /// # Panics
 ///
 /// Panics if `table_cap` is not a power of two.
-pub fn run<R: TxRuntime>(rt: &mut R, cfg: &GenomeCfg) -> Result<(), String> {
+pub fn run<A: TxAccess>(rt: &mut A, cfg: &GenomeCfg) -> Result<(), String> {
     assert!(cfg.table_cap.is_power_of_two(), "table_cap must be a power of two");
     let base = setup_region(rt, region_bytes(cfg), 64);
     let lay = layout(cfg, base);
@@ -137,45 +176,21 @@ pub fn run<R: TxRuntime>(rt: &mut R, cfg: &GenomeCfg) -> Result<(), String> {
     // Phase 1: transactional dedup inserts.
     for &fp in &segments {
         rt.compute(cfg.hash_compute_ns);
-        rt.begin();
-        let mut idx = (fp as usize) & mask;
-        loop {
-            let a = lay.table + idx * 8;
-            let cur = rt.read_u64(a);
-            if cur == fp {
-                break; // duplicate — nothing to write
-            }
-            if cur == 0 {
-                rt.write_u64(a, fp);
-                let cnt = read_u32(rt, lay.unique);
-                rt.write(lay.unique, &(cnt + 1).to_le_bytes());
-                break;
-            }
-            idx = (idx + 1) & mask;
-        }
-        rt.commit();
-        rt.maintain();
+        run_tx(rt, |tx| insert_segment(tx, &lay, mask, fp, lay.unique));
     }
 
-    // Phase 2: link unique segments into the assembly chain, one pointer
-    // write per transaction (mimics overlap chaining).
+    // Phase 2: link unique segments into the assembly chain.
     let (uniques, slots) = reference(cfg, &segments);
     let mut prev: Option<usize> = None;
     for &slot in &slots {
         rt.compute(cfg.hash_compute_ns / 2);
-        rt.begin();
-        match prev {
-            None => rt.write(lay.head, &((slot + 1) as u32).to_le_bytes()),
-            Some(p) => rt.write(lay.links + p * 4, &((slot + 1) as u32).to_le_bytes()),
-        }
-        rt.commit();
-        rt.maintain();
+        run_tx(rt, |tx| link_segment(tx, &lay, prev, slot));
         prev = Some(slot);
     }
 
     // Verify: unique count, table contents, and chain traversal.
     rt.untimed(|rt| {
-        let got = read_u32(rt, lay.unique) as usize;
+        let got = rt.read_u32(lay.unique) as usize;
         if got != uniques.len() {
             return Err(format!("unique count {got} != {}", uniques.len()));
         }
@@ -186,7 +201,7 @@ pub fn run<R: TxRuntime>(rt: &mut R, cfg: &GenomeCfg) -> Result<(), String> {
             }
         }
         // Walk the chain.
-        let mut cur = read_u32(rt, lay.head) as usize;
+        let mut cur = rt.read_u32(lay.head) as usize;
         for (i, &slot) in slots.iter().enumerate() {
             if cur == 0 {
                 return Err(format!("chain ends early at {i}"));
@@ -194,10 +209,111 @@ pub fn run<R: TxRuntime>(rt: &mut R, cfg: &GenomeCfg) -> Result<(), String> {
             if cur - 1 != slot {
                 return Err(format!("chain position {i}: slot {} != {slot}", cur - 1));
             }
-            cur = read_u32(rt, lay.links + (cur - 1) * 4) as usize;
+            cur = rt.read_u32(lay.links + (cur - 1) * 4) as usize;
         }
         Ok(())
     })
+}
+
+/// Runs the workload on real OS threads, one [`TxAccess`] handle per
+/// thread, racing phase-1 inserts over the shared hash table. Returns the
+/// number of committed transactions.
+///
+/// Verification is order-independent: the final table must hold exactly
+/// the set of unique fingerprints, the sharded counters must sum to the
+/// unique count, and the chain must visit each unique slot exactly once.
+///
+/// # Panics
+///
+/// Panics if `handles` is empty or `table_cap` is not a power of two.
+pub fn run_mt<A: TxAccess + Send>(handles: &mut [A], cfg: &GenomeCfg) -> Result<u64, String> {
+    assert!(!handles.is_empty(), "need at least one handle");
+    assert!(cfg.table_cap.is_power_of_two(), "table_cap must be a power of two");
+    let threads = handles.len();
+    let base = setup_region(&mut handles[0], region_bytes(cfg) + threads * 4, 64);
+    let lay = layout(cfg, base);
+    let genome = gen_genome(cfg);
+    let segments = gen_segments(cfg, &genome);
+    let mask = cfg.table_cap - 1;
+    let commits = AtomicU64::new(0);
+
+    // Phase 1: racing dedup inserts, segments partitioned round-robin.
+    std::thread::scope(|scope| {
+        for (t, h) in handles.iter_mut().enumerate() {
+            let (segments, lay, commits) = (&segments, &lay, &commits);
+            scope.spawn(move || {
+                let ctr = lay.shards + t * 4;
+                let mut n = 0u64;
+                for &fp in segments.iter().skip(t).step_by(threads) {
+                    h.compute(cfg.hash_compute_ns);
+                    run_tx(h, |tx| insert_segment(tx, lay, mask, fp, ctr));
+                    n += 1;
+                }
+                commits.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    });
+
+    // Phase 2: chain linking is inherently sequential (each link names its
+    // predecessor); thread 0 performs it, as STAMP's sequential epilogue
+    // phases do.
+    let (uniques, _) = reference(cfg, &segments);
+    let h0 = &mut handles[0];
+    let probe = |h: &mut A, fp: u64| -> Result<usize, String> {
+        let mut idx = (fp as usize) & mask;
+        loop {
+            match h.untimed(|h| h.read_u64(lay.table + idx * 8)) {
+                cur if cur == fp => return Ok(idx),
+                0 => return Err(format!("fingerprint {fp:#x} missing from table")),
+                _ => idx = (idx + 1) & mask,
+            }
+        }
+    };
+    let mut prev: Option<usize> = None;
+    for &fp in &uniques {
+        let slot = probe(h0, fp)?;
+        h0.compute(cfg.hash_compute_ns / 2);
+        run_tx(h0, |tx| link_segment(tx, &lay, prev, slot));
+        commits.fetch_add(1, Ordering::Relaxed);
+        prev = Some(slot);
+    }
+
+    // Order-independent verification.
+    let want: std::collections::HashSet<u64> = uniques.iter().copied().collect();
+    handles[0].untimed(|rt| {
+        let shard_sum: u32 = (0..threads).map(|t| rt.read_u32(lay.shards + t * 4)).sum();
+        if shard_sum as usize != want.len() {
+            return Err(format!("sharded unique count {shard_sum} != {}", want.len()));
+        }
+        let mut got = std::collections::HashSet::new();
+        for slot in 0..cfg.table_cap {
+            let fp = rt.read_u64(lay.table + slot * 8);
+            if fp != 0 && !got.insert(fp) {
+                return Err(format!("fingerprint {fp:#x} stored twice"));
+            }
+        }
+        if got != want {
+            return Err(format!("table holds {} fingerprints, want {}", got.len(), want.len()));
+        }
+        // The chain must visit every unique slot exactly once.
+        let mut cur = rt.read_u32(lay.head) as usize;
+        let mut seen = std::collections::HashSet::new();
+        while cur != 0 {
+            let slot = cur - 1;
+            if !seen.insert(slot) {
+                return Err(format!("chain revisits slot {slot}"));
+            }
+            if rt.read_u64(lay.table + slot * 8) == 0 {
+                return Err(format!("chain visits empty slot {slot}"));
+            }
+            cur = rt.read_u32(lay.links + slot * 4) as usize;
+        }
+        if seen.len() != want.len() {
+            return Err(format!("chain visits {} slots, want {}", seen.len(), want.len()));
+        }
+        Ok(())
+    })?;
+    Ok(commits.load(Ordering::Relaxed))
 }
 
 #[cfg(test)]

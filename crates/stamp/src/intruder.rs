@@ -5,8 +5,17 @@
 //! and arrival bitmap (~20 B, Table 2). When a flow completes, the decoder
 //! scans the reassembled payload for the attack signature (compute) and a
 //! transaction records the verdict.
+//!
+//! The transaction bodies ([`insert_fragment`], [`record_verdict`]) are
+//! written once against [`TxAccess`] and shared by the sequential [`run`]
+//! and the real-thread [`run_mt`]. Under concurrency the per-stream
+//! bookkeeping (`last_seq`, `bytes_rcvd`) is sharded per thread — the body
+//! takes the shard addresses as parameters — and the thread whose
+//! committed insert completes a flow's bitmap performs the decode.
 
-use specpmt_txn::TxRuntime;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use specpmt_txn::{run_tx, TxAccess};
 
 use crate::util::{setup_region, SplitMix64};
 use crate::Scale;
@@ -42,12 +51,17 @@ impl IntruderCfg {
 }
 
 const FLOW_BYTES: usize = FRAGS * FRAG_BYTES + 4 + 4; // frags | bitmap | verdict
+const FULL_BITMAP: u32 = (1 << FRAGS) - 1;
 
 struct Layout {
     flows: usize,
     attacks_found: usize, // u32 counter
     last_seq: usize,      // u32 stream metadata
     bytes_rcvd: usize,    // u32 stream metadata
+    /// Per-thread `(last_seq, bytes_rcvd)` shards (8 B each) — only
+    /// allocated by [`run_mt`], which would otherwise serialize every
+    /// fragment insert on the global stream metadata.
+    shards: usize,
 }
 
 fn layout(cfg: &IntruderCfg, base: usize) -> Layout {
@@ -57,6 +71,7 @@ fn layout(cfg: &IntruderCfg, base: usize) -> Layout {
         attacks_found,
         last_seq: attacks_found + 4,
         bytes_rcvd: attacks_found + 8,
+        shards: attacks_found + 12,
     }
 }
 
@@ -101,77 +116,164 @@ fn contains_signature(payload: &[u8]) -> bool {
     payload.windows(SIGNATURE.len()).any(|w| w == SIGNATURE)
 }
 
-fn read_u32<R: TxRuntime>(rt: &mut R, addr: usize) -> u32 {
-    let mut b = [0u8; 4];
-    rt.read(addr, &mut b);
-    u32::from_le_bytes(b)
+/// Fragment-insertion transaction body: store the fragment, merge its bit
+/// into the flow's arrival bitmap, and update the stream bookkeeping at
+/// `seq_addr`/`rcvd_addr` (global for sequential runs, per-thread shards
+/// for multi-threaded ones). Returns the post-merge bitmap — the caller
+/// that observes it complete performs the decode.
+///
+/// Doom-safe: doomed reads return zeros and writes are dropped, and the
+/// returned bitmap of a doomed attempt is discarded by [`run_tx`].
+fn insert_fragment<A: TxAccess>(
+    tx: &mut A,
+    flow_base: usize,
+    frag: &Fragment,
+    seq_addr: usize,
+    rcvd_addr: usize,
+) -> u32 {
+    let bitmap_a = flow_base + FRAGS * FRAG_BYTES;
+    tx.write(flow_base + frag.index as usize * FRAG_BYTES, &frag.data);
+    // Per-fragment bookkeeping: arrival bitmap, last-seen sequence, and
+    // received-byte count (the queue/list metadata STAMP's version
+    // maintains per packet).
+    let bitmap = tx.read_u32(bitmap_a) | (1 << frag.index);
+    tx.write_u32(bitmap_a, bitmap);
+    tx.write_u32(seq_addr, frag.index);
+    let rcvd = tx.read_u32(rcvd_addr);
+    tx.write_u32(rcvd_addr, rcvd + FRAG_BYTES as u32);
+    bitmap
 }
 
-/// Runs the workload; returns the verification outcome.
-pub fn run<R: TxRuntime>(rt: &mut R, cfg: &IntruderCfg) -> Result<(), String> {
+/// Verdict transaction body: record the decode outcome for a completed
+/// flow and bump the shared attack counter when the signature matched.
+fn record_verdict<A: TxAccess>(tx: &mut A, flow_base: usize, attack: bool, attacks_found: usize) {
+    tx.write_u32(flow_base + FRAGS * FRAG_BYTES + 4, if attack { 2 } else { 1 });
+    if attack {
+        let n = tx.read_u32(attacks_found);
+        tx.write_u32(attacks_found, n + 1);
+    }
+}
+
+/// Decode step shared by both drivers: read the reassembled payload
+/// (every fragment is already committed once the bitmap is full), scan it
+/// (compute), and run the verdict transaction.
+fn decode_flow<A: TxAccess>(rt: &mut A, lay: &Layout, flow_base: usize, compute_ns: u64) {
+    rt.compute(compute_ns);
+    let mut payload = [0u8; FRAGS * FRAG_BYTES];
+    rt.read(flow_base, &mut payload);
+    let attack = contains_signature(&payload);
+    run_tx(rt, |tx| record_verdict(tx, flow_base, attack, lay.attacks_found));
+}
+
+/// Per-flow verification shared by both drivers: payload bytes, verdict,
+/// and the attack counter.
+fn verify_flows<A: TxAccess>(
+    rt: &mut A,
+    lay: &Layout,
+    payloads: &[[u8; FRAGS * FRAG_BYTES]],
+) -> Result<(), String> {
+    let want_attacks = payloads.iter().filter(|p| contains_signature(&p[..])).count() as u32;
+    let got = rt.read_u32(lay.attacks_found);
+    if got != want_attacks {
+        return Err(format!("attacks found {got} != {want_attacks}"));
+    }
+    for (f, p) in payloads.iter().enumerate() {
+        let flow_base = lay.flows + f * FLOW_BYTES;
+        let mut got_payload = [0u8; FRAGS * FRAG_BYTES];
+        rt.read(flow_base, &mut got_payload);
+        if &got_payload != p {
+            return Err(format!("flow {f}: payload mismatch"));
+        }
+        let verdict = rt.read_u32(flow_base + FRAGS * FRAG_BYTES + 4);
+        let want = if contains_signature(&p[..]) { 2 } else { 1 };
+        if verdict != want {
+            return Err(format!("flow {f}: verdict {verdict} != {want}"));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the workload sequentially; returns the verification outcome.
+pub fn run<A: TxAccess>(rt: &mut A, cfg: &IntruderCfg) -> Result<(), String> {
     let base = setup_region(rt, cfg.flows * FLOW_BYTES + 12, 64);
     let lay = layout(cfg, base);
     let (payloads, stream) = gen_stream(cfg);
 
     for frag in &stream {
         let flow_base = lay.flows + frag.flow as usize * FLOW_BYTES;
-        let bitmap_a = flow_base + FRAGS * FRAG_BYTES;
         // Flow-map lookup and list insertion (cache misses) happen before
         // the transactional update.
         rt.compute(cfg.scan_compute_ns / 3);
-        // Fragment insertion transaction.
-        rt.begin();
-        rt.write(flow_base + frag.index as usize * FRAG_BYTES, &frag.data);
-        // Per-fragment bookkeeping: arrival bitmap, last-seen sequence, and
-        // received-byte count (the queue/list metadata STAMP's version
-        // maintains per packet).
-        let bitmap = read_u32(rt, bitmap_a) | (1 << frag.index);
-        rt.write(bitmap_a, &bitmap.to_le_bytes());
-        rt.write(lay.last_seq, &frag.index.to_le_bytes());
-        let rcvd = read_u32(rt, lay.bytes_rcvd);
-        rt.write(lay.bytes_rcvd, &(rcvd + FRAG_BYTES as u32).to_le_bytes());
-        rt.commit();
-        rt.maintain();
-
+        let bitmap =
+            run_tx(rt, |tx| insert_fragment(tx, flow_base, frag, lay.last_seq, lay.bytes_rcvd));
         // Complete flow: decode (compute) and record the verdict.
-        if bitmap == (1 << FRAGS) - 1 {
-            rt.compute(cfg.scan_compute_ns);
-            let mut payload = [0u8; FRAGS * FRAG_BYTES];
-            rt.read(flow_base, &mut payload);
-            let attack = contains_signature(&payload);
-            rt.begin();
-            rt.write(bitmap_a + 4, &(if attack { 2u32 } else { 1u32 }).to_le_bytes());
-            if attack {
-                let n = read_u32(rt, lay.attacks_found);
-                rt.write(lay.attacks_found, &(n + 1).to_le_bytes());
-            }
-            rt.commit();
-            rt.maintain();
+        if bitmap == FULL_BITMAP {
+            decode_flow(rt, &lay, flow_base, cfg.scan_compute_ns);
         }
     }
 
-    // Verify.
-    let want_attacks = payloads.iter().filter(|p| contains_signature(&p[..])).count() as u32;
-    rt.untimed(|rt| {
-        let got = read_u32(rt, lay.attacks_found);
-        if got != want_attacks {
-            return Err(format!("attacks found {got} != {want_attacks}"));
+    rt.untimed(|rt| verify_flows(rt, &lay, &payloads))
+}
+
+/// Runs the workload on real OS threads, one [`TxAccess`] handle per
+/// thread, racing fragment inserts over the shared flow table. Returns
+/// the number of committed transactions.
+///
+/// Fragments are partitioned round-robin; strict 2PL serializes the
+/// bitmap read-modify-write per flow, so exactly one committed insert
+/// observes the full bitmap and performs the decode. Stream bookkeeping
+/// is sharded per thread and verified by summation.
+///
+/// # Panics
+///
+/// Panics if `handles` is empty.
+pub fn run_mt<A: TxAccess + Send>(handles: &mut [A], cfg: &IntruderCfg) -> Result<u64, String> {
+    assert!(!handles.is_empty(), "need at least one handle");
+    let threads = handles.len();
+    let base = setup_region(&mut handles[0], cfg.flows * FLOW_BYTES + 12 + threads * 8, 64);
+    let lay = layout(cfg, base);
+    let (payloads, stream) = gen_stream(cfg);
+    let commits = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for (t, h) in handles.iter_mut().enumerate() {
+            let (stream, lay, commits) = (&stream, &lay, &commits);
+            scope.spawn(move || {
+                let seq_addr = lay.shards + t * 8;
+                let rcvd_addr = seq_addr + 4;
+                let mut n = 0u64;
+                for frag in stream.iter().skip(t).step_by(threads) {
+                    let flow_base = lay.flows + frag.flow as usize * FLOW_BYTES;
+                    h.compute(cfg.scan_compute_ns / 3);
+                    let bitmap =
+                        run_tx(h, |tx| insert_fragment(tx, flow_base, frag, seq_addr, rcvd_addr));
+                    n += 1;
+                    if bitmap == FULL_BITMAP {
+                        decode_flow(h, lay, flow_base, cfg.scan_compute_ns);
+                        n += 1;
+                    }
+                }
+                commits.fetch_add(n, Ordering::Relaxed);
+            });
         }
-        for (f, p) in payloads.iter().enumerate() {
-            let flow_base = lay.flows + f * FLOW_BYTES;
-            let mut got_payload = [0u8; FRAGS * FRAG_BYTES];
-            rt.read(flow_base, &mut got_payload);
-            if &got_payload != p {
-                return Err(format!("flow {f}: payload mismatch"));
-            }
-            let verdict = read_u32(rt, flow_base + FRAGS * FRAG_BYTES + 4);
-            let want = if contains_signature(&p[..]) { 2 } else { 1 };
-            if verdict != want {
-                return Err(format!("flow {f}: verdict {verdict} != {want}"));
+    });
+
+    handles[0].untimed(|rt| {
+        verify_flows(rt, &lay, &payloads)?;
+        let rcvd_sum: u32 = (0..threads).map(|t| rt.read_u32(lay.shards + t * 8 + 4)).sum();
+        let want = (cfg.flows * FRAGS * FRAG_BYTES) as u32;
+        if rcvd_sum != want {
+            return Err(format!("sharded bytes_rcvd {rcvd_sum} != {want}"));
+        }
+        for t in 0..threads {
+            let seq = rt.read_u32(lay.shards + t * 8);
+            if seq as usize >= FRAGS {
+                return Err(format!("thread {t}: last_seq {seq} out of range"));
             }
         }
         Ok(())
-    })
+    })?;
+    Ok(commits.load(Ordering::Relaxed))
 }
 
 #[cfg(test)]

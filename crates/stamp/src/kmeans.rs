@@ -8,9 +8,18 @@
 //! the paper calls out for `kmeans-low` in Section 7.3).
 //!
 //! Coordinates are fixed-point `i32`, so the transactional run and the
-//! volatile reference are bit-identical.
+//! volatile reference are bit-identical — even under [`run_mt`], because
+//! the per-point updates are commutative integer adds and the centroid
+//! recomputation happens at a barrier, exactly as in STAMP.
+//!
+//! The transaction bodies ([`zero_cluster`], [`assign_point`]) are
+//! written once against [`TxAccess`] and shared by the sequential [`run`]
+//! and the real-thread [`run_mt`].
 
-use specpmt_txn::TxRuntime;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use specpmt_txn::{run_tx, TxAccess};
 
 use crate::util::{setup_region, SplitMix64};
 use crate::Scale;
@@ -97,6 +106,10 @@ fn nearest(point: &[i32], centroids: &[Vec<i32>]) -> usize {
     best
 }
 
+fn initial_centroids(cfg: &KmeansCfg, points: &[i32]) -> Vec<Vec<i32>> {
+    (0..cfg.clusters).map(|c| points[c * cfg.dims..(c + 1) * cfg.dims].to_vec()).collect()
+}
+
 /// Volatile reference result: final sums, counts, membership.
 struct Reference {
     sums: Vec<i64>,
@@ -105,8 +118,7 @@ struct Reference {
 }
 
 fn reference(cfg: &KmeansCfg, points: &[i32]) -> Reference {
-    let mut centroids: Vec<Vec<i32>> =
-        (0..cfg.clusters).map(|c| points[c * cfg.dims..(c + 1) * cfg.dims].to_vec()).collect();
+    let mut centroids = initial_centroids(cfg, points);
     let mut sums = vec![0i64; cfg.clusters * cfg.dims];
     let mut counts = vec![0u32; cfg.clusters];
     let mut membership = vec![0u32; cfg.points];
@@ -133,36 +145,107 @@ fn reference(cfg: &KmeansCfg, points: &[i32]) -> Reference {
     Reference { sums, counts, membership }
 }
 
-fn read_u32<R: TxRuntime>(rt: &mut R, addr: usize) -> u32 {
-    let mut b = [0u8; 4];
-    rt.read(addr, &mut b);
-    u32::from_le_bytes(b)
+/// Zero-phase transaction body: reset one cluster's accumulators.
+fn zero_cluster<A: TxAccess>(tx: &mut A, lay: &Layout, dims: usize, c: usize) {
+    for d in 0..dims {
+        tx.write_u32(lay.sums + (c * dims + d) * 4, 0);
+    }
+    tx.write_u32(lay.counts + c * 4, 0);
 }
 
-/// Runs the workload; returns the verification outcome.
+/// Assignment transaction body: record point `p`'s membership in cluster
+/// `c` and fold its coordinates into the cluster accumulators.
+///
+/// Doom-safe: the read-modify-writes observe zeros on a doomed attempt,
+/// whose writes are dropped; the driver aborts and retries.
+fn assign_point<A: TxAccess>(
+    tx: &mut A,
+    lay: &Layout,
+    dims: usize,
+    p: usize,
+    pt: &[i32],
+    c: usize,
+) {
+    tx.write_u32(lay.membership + p * 4, c as u32);
+    for (d, x) in pt.iter().enumerate() {
+        let a = lay.sums + (c * dims + d) * 4;
+        let cur = tx.read_u32(a) as i32;
+        tx.write_u32(a, (cur + x) as u32);
+    }
+    let ca = lay.counts + c * 4;
+    let cur = tx.read_u32(ca);
+    tx.write_u32(ca, cur + 1);
+}
+
+/// Recomputes centroids from the persistent accumulators (untimed, like
+/// STAMP's barrier phase between assignment passes).
+fn recompute_centroids<A: TxAccess>(
+    rt: &mut A,
+    lay: &Layout,
+    cfg: &KmeansCfg,
+    out: &mut [Vec<i32>],
+) {
+    rt.untimed(|rt| {
+        for (c, centroid) in out.iter_mut().enumerate().take(cfg.clusters) {
+            let count = rt.read_u32(lay.counts + c * 4);
+            if count > 0 {
+                for (d, coord) in centroid.iter_mut().enumerate().take(cfg.dims) {
+                    let s = rt.read_u32(lay.sums + (c * cfg.dims + d) * 4);
+                    *coord = s as i32 / count as i32;
+                }
+            }
+        }
+    });
+}
+
+/// Verifies the persistent accumulators and membership against the
+/// volatile reference (exact — the arithmetic is order-independent).
+fn verify<A: TxAccess>(
+    rt: &mut A,
+    lay: &Layout,
+    cfg: &KmeansCfg,
+    want: &Reference,
+) -> Result<(), String> {
+    for c in 0..cfg.clusters {
+        for d in 0..cfg.dims {
+            let got = rt.read_u32(lay.sums + (c * cfg.dims + d) * 4) as i64;
+            if got != want.sums[c * cfg.dims + d] {
+                return Err(format!(
+                    "cluster {c} dim {d}: sum {got} != {}",
+                    want.sums[c * cfg.dims + d]
+                ));
+            }
+        }
+        let got = rt.read_u32(lay.counts + c * 4);
+        if got != want.counts[c] {
+            return Err(format!("cluster {c}: count {got} != {}", want.counts[c]));
+        }
+    }
+    for p in 0..cfg.points {
+        let got = rt.read_u32(lay.membership + p * 4);
+        if got != want.membership[p] {
+            return Err(format!("point {p}: membership {got} != {}", want.membership[p]));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the workload sequentially; returns the verification outcome.
 ///
 /// # Panics
 ///
 /// Panics if the pool is too small (allocate ≥ a few MiB).
-pub fn run<R: TxRuntime>(rt: &mut R, cfg: &KmeansCfg) -> Result<(), String> {
+pub fn run<A: TxAccess>(rt: &mut A, cfg: &KmeansCfg) -> Result<(), String> {
     assert!(cfg.points >= cfg.clusters, "need at least one point per cluster");
     let base = setup_region(rt, region_bytes(cfg), 64);
     let lay = layout(cfg, base);
     let points = gen_points(cfg);
-
-    let mut centroids: Vec<Vec<i32>> =
-        (0..cfg.clusters).map(|c| points[c * cfg.dims..(c + 1) * cfg.dims].to_vec()).collect();
+    let mut centroids = initial_centroids(cfg, &points);
 
     for _ in 0..cfg.iters {
         // Zero the accumulators, one transaction per cluster.
         for c in 0..cfg.clusters {
-            rt.begin();
-            for d in 0..cfg.dims {
-                rt.write(lay.sums + (c * cfg.dims + d) * 4, &0u32.to_le_bytes());
-            }
-            rt.write(lay.counts + c * 4, &0u32.to_le_bytes());
-            rt.commit();
-            rt.maintain();
+            run_tx(rt, |tx| zero_cluster(tx, &lay, cfg.dims, c));
         }
         // Assignment pass: one transaction per point.
         for p in 0..cfg.points {
@@ -170,57 +253,80 @@ pub fn run<R: TxRuntime>(rt: &mut R, cfg: &KmeansCfg) -> Result<(), String> {
             // Distance computation happens outside the transaction.
             rt.compute(cfg.flop_ns * (cfg.clusters * cfg.dims) as u64);
             let c = nearest(pt, &centroids);
-            rt.begin();
-            rt.write(lay.membership + p * 4, &(c as u32).to_le_bytes());
-            for (d, x) in pt.iter().enumerate() {
-                let a = lay.sums + (c * cfg.dims + d) * 4;
-                let cur = read_u32(rt, a) as i32;
-                rt.write(a, &((cur + x) as u32).to_le_bytes());
-            }
-            let ca = lay.counts + c * 4;
-            let cur = read_u32(rt, ca);
-            rt.write(ca, &(cur + 1).to_le_bytes());
-            rt.commit();
-            rt.maintain();
+            run_tx(rt, |tx| assign_point(tx, &lay, cfg.dims, p, pt, c));
         }
         // Centroid recomputation (volatile, like STAMP's barrier phase).
-        for (c, centroid) in centroids.iter_mut().enumerate().take(cfg.clusters) {
-            let count = rt.untimed(|rt| read_u32(rt, lay.counts + c * 4));
-            if count > 0 {
-                for (d, coord) in centroid.iter_mut().enumerate().take(cfg.dims) {
-                    let s = rt.untimed(|rt| read_u32(rt, lay.sums + (c * cfg.dims + d) * 4));
-                    *coord = s as i32 / count as i32;
-                }
-            }
-        }
+        recompute_centroids(rt, &lay, cfg, &mut centroids);
     }
 
-    // Verification against the volatile reference.
     let want = reference(cfg, &points);
-    rt.untimed(|rt| {
-        for c in 0..cfg.clusters {
-            for d in 0..cfg.dims {
-                let got = read_u32(rt, lay.sums + (c * cfg.dims + d) * 4) as i64;
-                if got != want.sums[c * cfg.dims + d] {
-                    return Err(format!(
-                        "cluster {c} dim {d}: sum {got} != {}",
-                        want.sums[c * cfg.dims + d]
-                    ));
+    rt.untimed(|rt| verify(rt, &lay, cfg, &want))
+}
+
+/// Runs the workload on real OS threads, one [`TxAccess`] handle per
+/// thread. Clusters (zero phase) and points (assignment phase) are
+/// partitioned round-robin; a [`Barrier`] separates the phases, and
+/// thread 0 recomputes centroids between passes for everyone (avoiding
+/// racing timing-mode toggles on the shared device). Returns the number
+/// of committed transactions.
+///
+/// Verification is exact against the sequential reference: the
+/// accumulator updates are commutative, so the multi-threaded result is
+/// bit-identical regardless of interleaving.
+///
+/// # Panics
+///
+/// Panics if `handles` is empty.
+pub fn run_mt<A: TxAccess + Send>(handles: &mut [A], cfg: &KmeansCfg) -> Result<u64, String> {
+    assert!(!handles.is_empty(), "need at least one handle");
+    assert!(cfg.points >= cfg.clusters, "need at least one point per cluster");
+    let threads = handles.len();
+    let base = setup_region(&mut handles[0], region_bytes(cfg), 64);
+    let lay = layout(cfg, base);
+    let points = gen_points(cfg);
+    let commits = AtomicU64::new(0);
+    let barrier = Barrier::new(threads);
+    let shared_centroids = Mutex::new(initial_centroids(cfg, &points));
+
+    std::thread::scope(|scope| {
+        for (t, h) in handles.iter_mut().enumerate() {
+            let (points, lay, commits, barrier, shared_centroids) =
+                (&points, &lay, &commits, &barrier, &shared_centroids);
+            scope.spawn(move || {
+                let mut centroids = shared_centroids.lock().unwrap().clone();
+                let mut n = 0u64;
+                for _ in 0..cfg.iters {
+                    // Zero phase: clusters partitioned round-robin.
+                    for c in (t..cfg.clusters).step_by(threads) {
+                        run_tx(h, |tx| zero_cluster(tx, lay, cfg.dims, c));
+                        n += 1;
+                    }
+                    barrier.wait();
+                    // Assignment pass: points partitioned round-robin.
+                    for p in (t..cfg.points).step_by(threads) {
+                        let pt = &points[p * cfg.dims..(p + 1) * cfg.dims];
+                        h.compute(cfg.flop_ns * (cfg.clusters * cfg.dims) as u64);
+                        let c = nearest(pt, &centroids);
+                        run_tx(h, |tx| assign_point(tx, lay, cfg.dims, p, pt, c));
+                        n += 1;
+                    }
+                    barrier.wait();
+                    // Barrier phase: thread 0 recomputes for everyone.
+                    if t == 0 {
+                        let mut shared = shared_centroids.lock().unwrap();
+                        recompute_centroids(h, lay, cfg, &mut shared);
+                    }
+                    barrier.wait();
+                    centroids.clone_from(&shared_centroids.lock().unwrap());
                 }
-            }
-            let got = read_u32(rt, lay.counts + c * 4);
-            if got != want.counts[c] {
-                return Err(format!("cluster {c}: count {got} != {}", want.counts[c]));
-            }
+                commits.fetch_add(n, Ordering::Relaxed);
+            });
         }
-        for p in 0..cfg.points {
-            let got = read_u32(rt, lay.membership + p * 4);
-            if got != want.membership[p] {
-                return Err(format!("point {p}: membership {got} != {}", want.membership[p]));
-            }
-        }
-        Ok(())
-    })
+    });
+
+    let want = reference(cfg, &points);
+    handles[0].untimed(|rt| verify(rt, &lay, cfg, &want))?;
+    Ok(commits.load(Ordering::Relaxed))
 }
 
 #[cfg(test)]

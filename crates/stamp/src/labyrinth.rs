@@ -4,10 +4,19 @@
 //! of the grid (breadth-first search — heavy compute), then one large
 //! transaction claims every cell of the path (Table 2's biggest write sets:
 //! ~1.4 KB of 8-byte cell updates).
+//!
+//! The claim transaction body ([`try_claim`]) is written once against
+//! [`TxAccess`] and shared by the sequential [`run`] and the real-thread
+//! [`run_mt`]. Like STAMP, the claim *revalidates* the path inside the
+//! transaction: routing used a possibly stale snapshot, so the body
+//! re-reads every cell and claims nothing if another route got there
+//! first — the driver then re-routes on a fresh snapshot.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use specpmt_txn::TxRuntime;
+use specpmt_txn::{run_tx, TxAccess};
 
 use crate::util::{setup_region, SplitMix64};
 use crate::Scale;
@@ -126,8 +135,36 @@ fn gen_requests(cfg: &LabyrinthCfg) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// Runs the workload; returns the verification outcome.
-pub fn run<R: TxRuntime>(rt: &mut R, cfg: &LabyrinthCfg) -> Result<(), String> {
+/// Claim transaction body: revalidate every path cell (the route was
+/// computed on a snapshot that may be stale), then claim them all and
+/// bump the routed counter. Returns whether the claim succeeded; on
+/// `false` nothing was written and the caller should re-route.
+///
+/// Doom-safe: doomed reads show every cell free, so the body "claims"
+/// with dropped writes and returns `true` — which [`run_tx`] discards
+/// when it aborts and retries the attempt.
+fn try_claim<A: TxAccess>(
+    tx: &mut A,
+    grid: usize,
+    routed_addr: usize,
+    path: &[usize],
+    id: u64,
+) -> bool {
+    for &c in path {
+        if tx.read_u64(grid + c * 8) != 0 {
+            return false;
+        }
+    }
+    for &c in path {
+        tx.write_u64(grid + c * 8, id);
+    }
+    let routed = tx.read_u64(routed_addr);
+    tx.write_u64(routed_addr, routed + 1);
+    true
+}
+
+/// Runs the workload sequentially; returns the verification outcome.
+pub fn run<A: TxAccess>(rt: &mut A, cfg: &LabyrinthCfg) -> Result<(), String> {
     let grid_bytes = cfg.cells() * 8;
     let base = setup_region(rt, grid_bytes + 8, 64);
     let routed_count_a = base + grid_bytes;
@@ -145,16 +182,14 @@ pub fn run<R: TxRuntime>(rt: &mut R, cfg: &LabyrinthCfg) -> Result<(), String> {
         };
         // Routing happens on the private snapshot (compute only).
         rt.compute(cfg.visit_compute_ns * visited as u64);
-        // The claim transaction: every path cell plus the route counter.
+        // The claim transaction: sequentially the snapshot is never stale,
+        // so revalidation always succeeds.
         let id = path_id as u64 + 1;
-        rt.begin();
-        for &c in &path {
-            rt.write_u64(base + c * 8, id);
+        let claimed = run_tx(rt, |tx| try_claim(tx, base, routed_count_a, &path, id));
+        if !claimed {
+            return Err(format!("route {path_id}: sequential claim revalidation failed"));
         }
         routed += 1;
-        rt.write_u64(routed_count_a, routed);
-        rt.commit();
-        rt.maintain();
         for &c in &path {
             occ[c] = id;
         }
@@ -174,6 +209,101 @@ pub fn run<R: TxRuntime>(rt: &mut R, cfg: &LabyrinthCfg) -> Result<(), String> {
         }
         Ok(())
     })
+}
+
+/// Re-route attempts per request before a multi-threaded driver gives up
+/// (a failed claim means another thread's route crossed ours).
+const MT_REROUTES: usize = 8;
+
+/// Runs the workload on real OS threads, one [`TxAccess`] handle per
+/// thread, requests partitioned round-robin. Each thread snapshots a
+/// shared occupancy mirror, routes privately (compute), and claims
+/// transactionally with in-transaction revalidation; a failed claim
+/// re-routes on a fresh snapshot, as STAMP does. Returns the number of
+/// committed transactions.
+///
+/// Verification is order-independent: the persistent grid must hold
+/// exactly the committed claims (each path's cells carry its unique id,
+/// all other cells zero) and the routed counter must equal the number of
+/// successful claims.
+///
+/// # Panics
+///
+/// Panics if `handles` is empty.
+pub fn run_mt<A: TxAccess + Send>(handles: &mut [A], cfg: &LabyrinthCfg) -> Result<u64, String> {
+    assert!(!handles.is_empty(), "need at least one handle");
+    let threads = handles.len();
+    let grid_bytes = cfg.cells() * 8;
+    let base = setup_region(&mut handles[0], grid_bytes + 8, 64);
+    let routed_count_a = base + grid_bytes;
+    let requests = gen_requests(cfg);
+    let commits = AtomicU64::new(0);
+    // Shared occupancy mirror: snapshots for routing. Updated only after
+    // a committed claim, so it always trails the persistent grid — stale
+    // snapshots are caught by the in-transaction revalidation.
+    let occ = Mutex::new(vec![0u64; cfg.cells()]);
+    let claims = Mutex::new(Vec::<(u64, Vec<usize>)>::new());
+
+    std::thread::scope(|scope| {
+        for (t, h) in handles.iter_mut().enumerate() {
+            let (requests, occ, claims, commits) = (&requests, &occ, &claims, &commits);
+            scope.spawn(move || {
+                let mut n = 0u64;
+                for (path_id, &(src, dst)) in requests.iter().enumerate().skip(t).step_by(threads) {
+                    let id = path_id as u64 + 1;
+                    for _ in 0..MT_REROUTES {
+                        let snapshot = occ.lock().unwrap().clone();
+                        if snapshot[src] != 0 || snapshot[dst] != 0 {
+                            break;
+                        }
+                        let Some((path, visited)) = route(cfg, &snapshot, src, dst) else {
+                            break;
+                        };
+                        h.compute(cfg.visit_compute_ns * visited as u64);
+                        let claimed =
+                            run_tx(h, |tx| try_claim(tx, base, routed_count_a, &path, id));
+                        n += 1;
+                        if claimed {
+                            let mut occ = occ.lock().unwrap();
+                            for &c in &path {
+                                occ[c] = id;
+                            }
+                            claims.lock().unwrap().push((id, path));
+                            break;
+                        }
+                        // Another thread's route crossed ours between the
+                        // snapshot and the claim: re-route.
+                    }
+                }
+                commits.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let claims = claims.into_inner().unwrap();
+    let mut want = vec![0u64; cfg.cells()];
+    for (id, path) in &claims {
+        for &c in path {
+            if want[c] != 0 {
+                return Err(format!("cell {c}: claimed by both {} and {id}", want[c]));
+            }
+            want[c] = *id;
+        }
+    }
+    handles[0].untimed(|rt| {
+        let got = rt.read_u64(routed_count_a);
+        if got != claims.len() as u64 {
+            return Err(format!("routed count {got} != {}", claims.len()));
+        }
+        for (c, &w) in want.iter().enumerate() {
+            let got = rt.read_u64(base + c * 8);
+            if got != w {
+                return Err(format!("cell {c}: {got} != {w}"));
+            }
+        }
+        Ok(())
+    })?;
+    Ok(commits.load(Ordering::Relaxed))
 }
 
 #[cfg(test)]

@@ -4,8 +4,11 @@
 //! except `bayes` (unstable performance), ported to persistent memory with
 //! `libvmmalloc`. This crate provides faithful *miniatures* of those nine
 //! workloads — real algorithms with verifiable results, not synthetic write
-//! streams — written once against [`specpmt_txn::TxRuntime`] so they run
-//! unmodified on every runtime in the workspace:
+//! streams — with every transaction body written exactly once against
+//! [`specpmt_txn::TxAccess`] so it runs unmodified on every runtime in the
+//! workspace: sequentially on the deterministic single-threaded runtimes
+//! (via [`run_app`]) or raced over real OS threads on per-thread handles
+//! under strict two-phase locking (via [`run_app_mt`]):
 //!
 //! | app | transactional kernel | per-tx profile it mirrors (Table 2) |
 //! |---|---|---|
@@ -34,10 +37,13 @@ pub mod genome;
 pub mod intruder;
 pub mod kmeans;
 pub mod labyrinth;
+pub mod mt;
 pub mod ssca2;
 pub mod util;
 pub mod vacation;
 pub mod yada;
+
+pub use mt::{run_app_mt, MtAppRun, MtRunReport};
 
 use specpmt_txn::{RunReport, TxRuntime};
 

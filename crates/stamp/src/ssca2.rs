@@ -3,8 +3,16 @@
 //! Mirrors STAMP `ssca2`: the transactional kernel inserts edges into
 //! per-vertex adjacency arrays — four 4-byte updates (slot + degree for
 //! both endpoints) per transaction, the 16-byte profile of Table 2.
+//!
+//! The transaction body ([`insert_edge`]) is written once against
+//! [`TxAccess`] and shared by the sequential [`run`] and the real-thread
+//! [`run_mt`]. Under concurrency the adjacency slot order depends on the
+//! interleaving, so the multi-threaded verification compares neighbor
+//! *multisets* per vertex instead of slot-exact contents.
 
-use specpmt_txn::TxRuntime;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use specpmt_txn::{run_tx, TxAccess};
 
 use crate::util::{setup_region, SplitMix64};
 use crate::Scale;
@@ -66,14 +74,35 @@ fn gen_edges(cfg: &Ssca2Cfg) -> Vec<(u32, u32)> {
     edges
 }
 
-fn read_u32<R: TxRuntime>(rt: &mut R, addr: usize) -> u32 {
-    let mut b = [0u8; 4];
-    rt.read(addr, &mut b);
-    u32::from_le_bytes(b)
+/// Edge-insertion transaction body: append each endpoint to the other's
+/// adjacency array and bump both degrees (STAMP's kernel-1 update).
+///
+/// Doom-safe: a doomed degree read returns 0 and the slot/degree writes
+/// are dropped; the driver aborts and retries.
+fn insert_edge<A: TxAccess>(tx: &mut A, lay: &Layout, max_degree: usize, u: u32, v: u32) {
+    for (a, b) in [(u as usize, v), (v as usize, u)] {
+        let da = lay.degrees + a * 4;
+        let deg = tx.read_u32(da) as usize;
+        tx.write_u32(lay.adj + (a * max_degree + deg) * 4, b);
+        tx.write_u32(da, (deg + 1) as u32);
+    }
 }
 
-/// Runs the workload; returns the verification outcome.
-pub fn run<R: TxRuntime>(rt: &mut R, cfg: &Ssca2Cfg) -> Result<(), String> {
+/// Expected final degrees and (sequential-order) adjacency contents.
+fn reference(cfg: &Ssca2Cfg, edges: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+    let mut want_deg = vec![0u32; cfg.vertices];
+    let mut want_adj = vec![0u32; cfg.vertices * cfg.max_degree];
+    for &(u, v) in edges {
+        for (a, b) in [(u as usize, v), (v as usize, u)] {
+            want_adj[a * cfg.max_degree + want_deg[a] as usize] = b;
+            want_deg[a] += 1;
+        }
+    }
+    (want_deg, want_adj)
+}
+
+/// Runs the workload sequentially; returns the verification outcome.
+pub fn run<A: TxAccess>(rt: &mut A, cfg: &Ssca2Cfg) -> Result<(), String> {
     let bytes = cfg.vertices * 4 + cfg.vertices * cfg.max_degree * 4;
     let base = setup_region(rt, bytes, 64);
     let lay = layout(cfg, base);
@@ -81,34 +110,20 @@ pub fn run<R: TxRuntime>(rt: &mut R, cfg: &Ssca2Cfg) -> Result<(), String> {
 
     for &(u, v) in &edges {
         rt.compute(cfg.edge_compute_ns);
-        rt.begin();
-        for (a, b) in [(u as usize, v), (v as usize, u)] {
-            let da = lay.degrees + a * 4;
-            let deg = read_u32(rt, da) as usize;
-            rt.write(lay.adj + (a * cfg.max_degree + deg) * 4, &b.to_le_bytes());
-            rt.write(da, &((deg + 1) as u32).to_le_bytes());
-        }
-        rt.commit();
-        rt.maintain();
+        run_tx(rt, |tx| insert_edge(tx, &lay, cfg.max_degree, u, v));
     }
 
-    // Verify against a volatile reference construction.
-    let mut want_deg = vec![0u32; cfg.vertices];
-    let mut want_adj = vec![0u32; cfg.vertices * cfg.max_degree];
-    for &(u, v) in &edges {
-        for (a, b) in [(u as usize, v), (v as usize, u)] {
-            want_adj[a * cfg.max_degree + want_deg[a] as usize] = b;
-            want_deg[a] += 1;
-        }
-    }
+    // Verify against a volatile reference construction (slot-exact: the
+    // sequential insertion order is deterministic).
+    let (want_deg, want_adj) = reference(cfg, &edges);
     rt.untimed(|rt| {
         for vtx in 0..cfg.vertices {
-            let got = read_u32(rt, lay.degrees + vtx * 4);
+            let got = rt.read_u32(lay.degrees + vtx * 4);
             if got != want_deg[vtx] {
                 return Err(format!("vertex {vtx}: degree {got} != {}", want_deg[vtx]));
             }
             for s in 0..want_deg[vtx] as usize {
-                let got = read_u32(rt, lay.adj + (vtx * cfg.max_degree + s) * 4);
+                let got = rt.read_u32(lay.adj + (vtx * cfg.max_degree + s) * 4);
                 if got != want_adj[vtx * cfg.max_degree + s] {
                     return Err(format!("vertex {vtx} slot {s}: {got} mismatch"));
                 }
@@ -116,6 +131,68 @@ pub fn run<R: TxRuntime>(rt: &mut R, cfg: &Ssca2Cfg) -> Result<(), String> {
         }
         Ok(())
     })
+}
+
+/// Runs the workload on real OS threads, one [`TxAccess`] handle per
+/// thread, racing edge inserts (partitioned round-robin) over the shared
+/// adjacency arrays. Returns the number of committed transactions.
+///
+/// Verification is order-independent: each vertex's final degree must
+/// equal its incident-edge count and its adjacency slice must hold
+/// exactly the expected neighbor multiset (slot order varies with the
+/// interleaving).
+///
+/// # Panics
+///
+/// Panics if `handles` is empty.
+pub fn run_mt<A: TxAccess + Send>(handles: &mut [A], cfg: &Ssca2Cfg) -> Result<u64, String> {
+    assert!(!handles.is_empty(), "need at least one handle");
+    let threads = handles.len();
+    let bytes = cfg.vertices * 4 + cfg.vertices * cfg.max_degree * 4;
+    let base = setup_region(&mut handles[0], bytes, 64);
+    let lay = layout(cfg, base);
+    let edges = gen_edges(cfg);
+    let commits = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for (t, h) in handles.iter_mut().enumerate() {
+            let (edges, lay, commits) = (&edges, &lay, &commits);
+            scope.spawn(move || {
+                let mut n = 0u64;
+                for &(u, v) in edges.iter().skip(t).step_by(threads) {
+                    h.compute(cfg.edge_compute_ns);
+                    run_tx(h, |tx| insert_edge(tx, lay, cfg.max_degree, u, v));
+                    n += 1;
+                }
+                commits.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let (want_deg, _) = reference(cfg, &edges);
+    let mut want_nbrs: Vec<Vec<u32>> = vec![Vec::new(); cfg.vertices];
+    for &(u, v) in &edges {
+        want_nbrs[u as usize].push(v);
+        want_nbrs[v as usize].push(u);
+    }
+    want_nbrs.iter_mut().for_each(|n| n.sort_unstable());
+    handles[0].untimed(|rt| {
+        for vtx in 0..cfg.vertices {
+            let got = rt.read_u32(lay.degrees + vtx * 4);
+            if got != want_deg[vtx] {
+                return Err(format!("vertex {vtx}: degree {got} != {}", want_deg[vtx]));
+            }
+            let mut got_nbrs: Vec<u32> = (0..got as usize)
+                .map(|s| rt.read_u32(lay.adj + (vtx * cfg.max_degree + s) * 4))
+                .collect();
+            got_nbrs.sort_unstable();
+            if got_nbrs != want_nbrs[vtx] {
+                return Err(format!("vertex {vtx}: neighbor multiset mismatch"));
+            }
+        }
+        Ok(())
+    })?;
+    Ok(commits.load(Ordering::Relaxed))
 }
 
 #[cfg(test)]

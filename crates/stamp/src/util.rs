@@ -52,13 +52,8 @@ impl SplitMix64 {
 /// # Panics
 ///
 /// Panics if the pool heap cannot hold the region.
-pub fn setup_region<R: specpmt_txn::TxRuntime>(rt: &mut R, bytes: usize, align: usize) -> usize {
-    rt.untimed(|rt| {
-        let base =
-            rt.pool_mut().alloc_direct(bytes, align).expect("pool too small for workload region");
-        rt.pool_mut().device_mut().persist_range(base, bytes);
-        base
-    })
+pub fn setup_region<A: specpmt_txn::TxAccess>(rt: &mut A, bytes: usize, align: usize) -> usize {
+    rt.setup_alloc(bytes, align)
 }
 
 /// 64-bit FNV-1a (workload-side key hashing).

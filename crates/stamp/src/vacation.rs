@@ -5,8 +5,17 @@
 //! item, and reserves it — decrementing capacity, charging the customer,
 //! and appending a reservation record. The high-contention input reserves
 //! up to two items per transaction (larger write sets, ~68 B vs ~44 B).
+//!
+//! The session transaction body ([`run_session`]) is written once against
+//! [`TxAccess`] and shared by the sequential [`run`] and the real-thread
+//! [`run_mt`]. All RNG decisions (customer, tables, queried rows) are
+//! drawn up front into [`Session`] plans so the body is retry-safe; the
+//! reservation slot is claimed by a read-modify-write of the persistent
+//! record counter inside the transaction, which 2PL serializes.
 
-use specpmt_txn::TxRuntime;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use specpmt_txn::{run_tx, TxAccess};
 
 use crate::util::{setup_region, SplitMix64};
 use crate::Scale;
@@ -94,10 +103,34 @@ fn region_bytes(cfg: &VacationCfg) -> usize {
         + cfg.sessions * cfg.max_items * RESV_BYTES
 }
 
-fn read_u32<R: TxRuntime>(rt: &mut R, addr: usize) -> u32 {
-    let mut b = [0u8; 4];
-    rt.read(addr, &mut b);
-    u32::from_le_bytes(b)
+/// A client session's pre-drawn decisions: the customer and, per item,
+/// the table and the rows to examine. Drawing everything up front keeps
+/// the transaction body free of volatile side effects (retry-safe).
+struct Session {
+    cust: usize,
+    items: Vec<(usize, Vec<usize>)>,
+}
+
+fn gen_initial_rows(cfg: &VacationCfg) -> Vec<(u32, u32)> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    (0..TABLES * cfg.rows).map(|_| (1 + rng.below(4) as u32, 50 + rng.below(950) as u32)).collect()
+}
+
+fn gen_sessions(cfg: &VacationCfg) -> Vec<Session> {
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xABCD);
+    (0..cfg.sessions)
+        .map(|s| {
+            let cust = rng.below(cfg.customers);
+            let items = (0..1 + (s % cfg.max_items))
+                .map(|_| {
+                    let table = rng.below(TABLES);
+                    let rows = (0..cfg.queries_per_item).map(|_| rng.below(cfg.rows)).collect();
+                    (table, rows)
+                })
+                .collect();
+            Session { cust, items }
+        })
+        .collect()
 }
 
 /// Volatile mirror used for both initialization and verification.
@@ -107,22 +140,17 @@ struct Mirror {
     reservations: Vec<(u32, u32, u32, u32)>,
 }
 
-fn simulate(cfg: &VacationCfg, initial_rows: &[(u32, u32)]) -> Mirror {
+fn simulate(cfg: &VacationCfg, initial_rows: &[(u32, u32)], sessions: &[Session]) -> Mirror {
     let mut m = Mirror {
         rows: initial_rows.to_vec(),
         customers: vec![(0, 0); cfg.customers],
         reservations: Vec::new(),
     };
-    let mut rng = SplitMix64::new(cfg.seed ^ 0xABCD);
-    for s in 0..cfg.sessions {
-        let cust = rng.below(cfg.customers);
-        let items = 1 + (s % cfg.max_items);
-        for _ in 0..items {
-            let table = rng.below(TABLES);
+    for sess in sessions {
+        for (table, rows) in &sess.items {
             // Examine rows, choose the cheapest with capacity.
             let mut best: Option<(usize, u32)> = None;
-            for _ in 0..cfg.queries_per_item {
-                let r = rng.below(cfg.rows);
+            for &r in rows {
                 let (cap, price) = m.rows[table * cfg.rows + r];
                 if cap > 0 && best.is_none_or(|(_, bp)| price < bp) {
                     best = Some((r, price));
@@ -131,114 +159,194 @@ fn simulate(cfg: &VacationCfg, initial_rows: &[(u32, u32)]) -> Mirror {
             if let Some((r, price)) = best {
                 let idx = table * cfg.rows + r;
                 m.rows[idx].0 -= 1;
-                m.customers[cust].0 += price;
-                m.customers[cust].1 += 1;
-                m.reservations.push((cust as u32, table as u32, r as u32, price));
+                m.customers[sess.cust].0 += price;
+                m.customers[sess.cust].1 += 1;
+                m.reservations.push((sess.cust as u32, *table as u32, r as u32, price));
             }
         }
     }
     m
 }
 
-/// Runs the workload; returns the verification outcome.
-pub fn run<R: TxRuntime>(rt: &mut R, cfg: &VacationCfg) -> Result<(), String> {
-    let base = setup_region(rt, region_bytes(cfg), 64);
-    let lay = layout(cfg, base);
+/// Session transaction body: query each planned item's rows, reserve the
+/// cheapest available, charge the customer, and append a reservation
+/// record at a slot claimed by a read-modify-write of the persistent
+/// record counter.
+///
+/// Doom-safe: doomed capacity reads return 0, so no item qualifies and
+/// no write is attempted; the residual `cap > 0` re-check guards the
+/// decrement against any zero read (never underflows).
+fn run_session<A: TxAccess>(tx: &mut A, lay: &Layout, cfg: &VacationCfg, sess: &Session) {
+    for (table, rows) in &sess.items {
+        tx.compute(cfg.query_compute_ns * cfg.queries_per_item as u64);
+        let mut best: Option<(usize, u32)> = None;
+        for &r in rows {
+            let a = lay.tables + (table * cfg.rows + r) * ROW_BYTES;
+            let cap = tx.read_u32(a);
+            let price = tx.read_u32(a + 4);
+            if cap > 0 && best.is_none_or(|(_, bp)| price < bp) {
+                best = Some((r, price));
+            }
+        }
+        if let Some((r, price)) = best {
+            let a = lay.tables + (table * cfg.rows + r) * ROW_BYTES;
+            let cap = tx.read_u32(a);
+            if cap == 0 {
+                continue; // only reachable on a doomed attempt
+            }
+            tx.write_u32(a, cap - 1);
+            let ca = lay.customers + sess.cust * CUST_BYTES;
+            let spent = tx.read_u32(ca);
+            let trips = tx.read_u32(ca + 4);
+            tx.write_u32(ca, spent + price);
+            tx.write_u32(ca + 4, trips + 1);
+            let idx = tx.read_u64(lay.resv_count) as usize;
+            let ra = lay.resv + idx * RESV_BYTES;
+            tx.write_u32(ra, sess.cust as u32);
+            tx.write_u32(ra + 4, *table as u32);
+            tx.write_u32(ra + 8, r as u32);
+            tx.write_u32(ra + 12, price);
+            tx.write_u64(lay.resv_count, idx as u64 + 1);
+        }
+    }
+}
 
-    // Initialize tables (untimed setup).
-    let mut init_rng = SplitMix64::new(cfg.seed);
-    let initial_rows: Vec<(u32, u32)> = (0..TABLES * cfg.rows)
-        .map(|_| (1 + init_rng.below(4) as u32, 50 + init_rng.below(950) as u32))
-        .collect();
+/// Untimed setup: pre-populate the table rows directly (non-transactional
+/// persistent initialization).
+fn setup_tables<A: TxAccess>(rt: &mut A, lay: &Layout, initial_rows: &[(u32, u32)]) {
     rt.untimed(|rt| {
         for (i, &(cap, price)) in initial_rows.iter().enumerate() {
-            let a = lay.tables + i * ROW_BYTES;
-            rt.pool_mut().device_mut().write(a, &cap.to_le_bytes());
-            rt.pool_mut().device_mut().write(a + 4, &price.to_le_bytes());
+            let mut row = [0u8; ROW_BYTES];
+            row[..4].copy_from_slice(&cap.to_le_bytes());
+            row[4..].copy_from_slice(&price.to_le_bytes());
+            rt.setup_write(lay.tables + i * ROW_BYTES, &row);
         }
-        let end = lay.tables + initial_rows.len() * ROW_BYTES;
-        rt.pool_mut().device_mut().persist_range(lay.tables, end - lay.tables);
     });
+}
 
-    // Timed client sessions — must replay the same decisions as `simulate`.
-    let mut rng = SplitMix64::new(cfg.seed ^ 0xABCD);
-    let mut resv_idx = 0usize;
-    for s in 0..cfg.sessions {
-        let cust = rng.below(cfg.customers);
-        let items = 1 + (s % cfg.max_items);
-        rt.begin();
-        for _ in 0..items {
-            let table = rng.below(TABLES);
-            rt.compute(cfg.query_compute_ns * cfg.queries_per_item as u64);
-            let mut best: Option<(usize, u32)> = None;
-            for _ in 0..cfg.queries_per_item {
-                let r = rng.below(cfg.rows);
-                let a = lay.tables + (table * cfg.rows + r) * ROW_BYTES;
-                let cap = read_u32(rt, a);
-                let price = read_u32(rt, a + 4);
-                if cap > 0 && best.is_none_or(|(_, bp)| price < bp) {
-                    best = Some((r, price));
-                }
-            }
-            if let Some((r, price)) = best {
-                let a = lay.tables + (table * cfg.rows + r) * ROW_BYTES;
-                let cap = read_u32(rt, a);
-                rt.write(a, &(cap - 1).to_le_bytes());
-                let ca = lay.customers + cust * CUST_BYTES;
-                let spent = read_u32(rt, ca);
-                let trips = read_u32(rt, ca + 4);
-                rt.write(ca, &(spent + price).to_le_bytes());
-                rt.write(ca + 4, &(trips + 1).to_le_bytes());
-                let ra = lay.resv + resv_idx * RESV_BYTES;
-                rt.write(ra, &(cust as u32).to_le_bytes());
-                rt.write(ra + 4, &(table as u32).to_le_bytes());
-                rt.write(ra + 8, &(r as u32).to_le_bytes());
-                rt.write(ra + 12, &price.to_le_bytes());
-                resv_idx += 1;
-            }
-        }
-        rt.write(lay.resv_count, &(resv_idx as u64).to_le_bytes());
-        rt.commit();
-        rt.maintain();
+/// Runs the workload sequentially; returns the verification outcome.
+pub fn run<A: TxAccess>(rt: &mut A, cfg: &VacationCfg) -> Result<(), String> {
+    let base = setup_region(rt, region_bytes(cfg), 64);
+    let lay = layout(cfg, base);
+    let initial_rows = gen_initial_rows(cfg);
+    let sessions = gen_sessions(cfg);
+    setup_tables(rt, &lay, &initial_rows);
+
+    // Timed client sessions — replay the same decisions as `simulate`.
+    for sess in &sessions {
+        run_tx(rt, |tx| run_session(tx, &lay, cfg, sess));
     }
 
-    // Verify.
-    let want = simulate(cfg, &initial_rows);
+    // Verify (exact: sequential decisions match the mirror's).
+    let want = simulate(cfg, &initial_rows, &sessions);
     rt.untimed(|rt| {
-        let got_count = {
-            let mut b = [0u8; 8];
-            rt.read(lay.resv_count, &mut b);
-            u64::from_le_bytes(b) as usize
-        };
+        let got_count = rt.read_u64(lay.resv_count) as usize;
         if got_count != want.reservations.len() {
             return Err(format!("reservation count {got_count} != {}", want.reservations.len()));
         }
         for (i, &(cust, table, row, price)) in want.reservations.iter().enumerate() {
             let ra = lay.resv + i * RESV_BYTES;
-            let got = (
-                read_u32(rt, ra),
-                read_u32(rt, ra + 4),
-                read_u32(rt, ra + 8),
-                read_u32(rt, ra + 12),
-            );
+            let got =
+                (rt.read_u32(ra), rt.read_u32(ra + 4), rt.read_u32(ra + 8), rt.read_u32(ra + 12));
             if got != (cust, table, row, price) {
                 return Err(format!("reservation {i}: {got:?} != {:?}", (cust, table, row, price)));
             }
         }
         for (i, &(cap, _)) in want.rows.iter().enumerate() {
-            let got = read_u32(rt, lay.tables + i * ROW_BYTES);
+            let got = rt.read_u32(lay.tables + i * ROW_BYTES);
             if got != cap {
                 return Err(format!("row {i}: capacity {got} != {cap}"));
             }
         }
         for (c, &(spent, trips)) in want.customers.iter().enumerate() {
             let ca = lay.customers + c * CUST_BYTES;
-            if read_u32(rt, ca) != spent || read_u32(rt, ca + 4) != trips {
+            if rt.read_u32(ca) != spent || rt.read_u32(ca + 4) != trips {
                 return Err(format!("customer {c} state mismatch"));
             }
         }
         Ok(())
     })
+}
+
+/// Runs the workload on real OS threads, one [`TxAccess`] handle per
+/// thread, sessions partitioned round-robin. Returns the number of
+/// committed transactions.
+///
+/// The concurrent outcome depends on the interleaving (which session
+/// sees which capacities), so verification checks the database's
+/// accounting invariants instead of an exact trace: every reservation
+/// record is priced at its row's initial price, each row's capacity
+/// drop equals its record count, and each customer's spent/trips equal
+/// the sum/count of their records.
+///
+/// # Panics
+///
+/// Panics if `handles` is empty.
+pub fn run_mt<A: TxAccess + Send>(handles: &mut [A], cfg: &VacationCfg) -> Result<u64, String> {
+    assert!(!handles.is_empty(), "need at least one handle");
+    let threads = handles.len();
+    let base = setup_region(&mut handles[0], region_bytes(cfg), 64);
+    let lay = layout(cfg, base);
+    let initial_rows = gen_initial_rows(cfg);
+    let sessions = gen_sessions(cfg);
+    setup_tables(&mut handles[0], &lay, &initial_rows);
+    let commits = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for (t, h) in handles.iter_mut().enumerate() {
+            let (sessions, lay, commits) = (&sessions, &lay, &commits);
+            scope.spawn(move || {
+                let mut n = 0u64;
+                for sess in sessions.iter().skip(t).step_by(threads) {
+                    run_tx(h, |tx| run_session(tx, lay, cfg, sess));
+                    n += 1;
+                }
+                commits.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    });
+
+    handles[0].untimed(|rt| {
+        let got_count = rt.read_u64(lay.resv_count) as usize;
+        if got_count > cfg.sessions * cfg.max_items {
+            return Err(format!("reservation count {got_count} out of range"));
+        }
+        let mut row_resv = vec![0u32; TABLES * cfg.rows];
+        let mut cust_spent = vec![0u64; cfg.customers];
+        let mut cust_trips = vec![0u32; cfg.customers];
+        for i in 0..got_count {
+            let ra = lay.resv + i * RESV_BYTES;
+            let cust = rt.read_u32(ra) as usize;
+            let table = rt.read_u32(ra + 4) as usize;
+            let row = rt.read_u32(ra + 8) as usize;
+            let price = rt.read_u32(ra + 12);
+            if cust >= cfg.customers || table >= TABLES || row >= cfg.rows {
+                return Err(format!("reservation {i}: out-of-range fields"));
+            }
+            if price != initial_rows[table * cfg.rows + row].1 {
+                return Err(format!("reservation {i}: price {price} mismatch"));
+            }
+            row_resv[table * cfg.rows + row] += 1;
+            cust_spent[cust] += price as u64;
+            cust_trips[cust] += 1;
+        }
+        for (i, &(cap0, _)) in initial_rows.iter().enumerate() {
+            let cap = rt.read_u32(lay.tables + i * ROW_BYTES);
+            if cap + row_resv[i] != cap0 {
+                return Err(format!("row {i}: capacity {cap} + {} != {cap0}", row_resv[i]));
+            }
+        }
+        for c in 0..cfg.customers {
+            let ca = lay.customers + c * CUST_BYTES;
+            let spent = rt.read_u32(ca) as u64;
+            let trips = rt.read_u32(ca + 4);
+            if spent != cust_spent[c] || trips != cust_trips[c] {
+                return Err(format!("customer {c}: accounting mismatch"));
+            }
+        }
+        Ok(())
+    })?;
+    Ok(commits.load(Ordering::Relaxed))
 }
 
 #[cfg(test)]
@@ -248,11 +356,9 @@ mod tests {
     #[test]
     fn accounting_invariant_holds_in_reference() {
         let cfg = VacationCfg::low(Scale::Tiny);
-        let mut rng = SplitMix64::new(cfg.seed);
-        let rows: Vec<(u32, u32)> = (0..TABLES * cfg.rows)
-            .map(|_| (1 + rng.below(4) as u32, 50 + rng.below(950) as u32))
-            .collect();
-        let m = simulate(&cfg, &rows);
+        let rows = gen_initial_rows(&cfg);
+        let sessions = gen_sessions(&cfg);
+        let m = simulate(&cfg, &rows, &sessions);
         let initial_cap: u32 = rows.iter().map(|r| r.0).sum();
         let final_cap: u32 = m.rows.iter().map(|r| r.0).sum();
         assert_eq!(initial_cap - final_cap, m.reservations.len() as u32);
@@ -267,5 +373,19 @@ mod tests {
         let high = VacationCfg::high(Scale::Tiny);
         assert_eq!(low.max_items, 1);
         assert_eq!(high.max_items, 2);
+    }
+
+    #[test]
+    fn session_plans_are_deterministic_and_sized() {
+        let cfg = VacationCfg::high(Scale::Tiny);
+        let sessions = gen_sessions(&cfg);
+        assert_eq!(sessions.len(), cfg.sessions);
+        for (s, sess) in sessions.iter().enumerate() {
+            assert_eq!(sess.items.len(), 1 + (s % cfg.max_items));
+            for (table, rows) in &sess.items {
+                assert!(*table < TABLES);
+                assert_eq!(rows.len(), cfg.queries_per_item);
+            }
+        }
     }
 }

@@ -7,10 +7,19 @@
 //! rather than true geometric cavity re-triangulation, preserving the
 //! transaction profile and a machine-checkable termination/quality
 //! invariant.
+//!
+//! The transaction bodies ([`seed_tri`], [`refine_tri`]) are written once
+//! against [`TxAccess`] and shared by the sequential [`run`] and the
+//! real-thread [`run_mt`]. Child slots are allocated by a
+//! read-modify-write of the persistent triangle count *inside* the
+//! refinement transaction, so the sequential run reproduces the reference
+//! ids exactly while concurrent runs stay collision-free under 2PL.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 
-use specpmt_txn::TxRuntime;
+use specpmt_txn::{run_tx, TxAccess};
 
 use crate::util::{setup_region, SplitMix64};
 use crate::Scale;
@@ -68,10 +77,9 @@ struct Tri {
     n: [u32; 2],
 }
 
-/// Volatile reference refinement.
-fn reference(cfg: &YadaCfg) -> Vec<Tri> {
+fn initial_tris(cfg: &YadaCfg) -> Vec<Tri> {
     let mut rng = SplitMix64::new(cfg.seed);
-    let mut tris: Vec<Tri> = (0..cfg.initial)
+    (0..cfg.initial)
         .map(|i| Tri {
             quality: rng.below(100) as u32,
             v: [i as u32, i as u32 + 1, i as u32 + 2],
@@ -79,7 +87,12 @@ fn reference(cfg: &YadaCfg) -> Vec<Tri> {
             gen: 0,
             n: [i as u32, 0],
         })
-        .collect();
+        .collect()
+}
+
+/// Volatile reference refinement.
+fn reference(cfg: &YadaCfg) -> Vec<Tri> {
+    let mut tris = initial_tris(cfg);
     let mut queue: VecDeque<usize> =
         (0..cfg.initial).filter(|&i| tris[i].quality < QUALITY_MIN).collect();
     while let Some(t) = queue.pop_front() {
@@ -115,99 +128,120 @@ fn layout(cfg: &YadaCfg, base: usize) -> Layout {
     Layout { tris: base, count: base + cfg.capacity * TRI_BYTES }
 }
 
-fn read_u32<R: TxRuntime>(rt: &mut R, addr: usize) -> u32 {
-    let mut b = [0u8; 4];
-    rt.read(addr, &mut b);
-    u32::from_le_bytes(b)
-}
-
-fn write_tri<R: TxRuntime>(rt: &mut R, at: usize, t: &Tri) {
+fn write_tri<A: TxAccess>(tx: &mut A, at: usize, t: &Tri) {
     // Field-by-field writes: the small-update profile of mesh codes.
-    rt.write(at, &t.quality.to_le_bytes());
-    rt.write(at + 4, &t.v[0].to_le_bytes());
-    rt.write(at + 8, &t.v[1].to_le_bytes());
-    rt.write(at + 12, &t.v[2].to_le_bytes());
-    rt.write(at + 16, &u32::from(t.alive).to_le_bytes());
-    rt.write(at + 20, &t.gen.to_le_bytes());
-    rt.write(at + 24, &t.n[0].to_le_bytes());
-    rt.write(at + 28, &t.n[1].to_le_bytes());
+    tx.write_u32(at, t.quality);
+    tx.write_u32(at + 4, t.v[0]);
+    tx.write_u32(at + 8, t.v[1]);
+    tx.write_u32(at + 12, t.v[2]);
+    tx.write_u32(at + 16, u32::from(t.alive));
+    tx.write_u32(at + 20, t.gen);
+    tx.write_u32(at + 24, t.n[0]);
+    tx.write_u32(at + 28, t.n[1]);
 }
 
-/// Runs the workload; returns the verification outcome.
-pub fn run<R: TxRuntime>(rt: &mut R, cfg: &YadaCfg) -> Result<(), String> {
+/// Mesh-loading transaction body: store initial triangle `i` and bump the
+/// triangle count (read-modify-write, so concurrent seeding serializes on
+/// the counter while the slots — fixed per triangle — never collide).
+fn seed_tri<A: TxAccess>(tx: &mut A, lay: &Layout, i: usize, t: &Tri) {
+    write_tri(tx, lay.tris + i * TRI_BYTES, t);
+    let count = tx.read_u32(lay.count);
+    tx.write_u32(lay.count, count + 1);
+}
+
+/// Refinement transaction body: retire parent `t` (known quality/gen from
+/// the work-queue item), allocate `CHILDREN` slots by read-modify-write
+/// of the persistent count, and insert the children. Returns the first
+/// child id, or `None` if the parent was already retired (never happens
+/// sequentially; defensive under concurrency).
+///
+/// Doom-safe: a doomed read shows the parent dead, so the body writes
+/// nothing; [`run_tx`] aborts and retries the attempt anyway.
+///
+/// # Panics
+///
+/// Panics if the triangle store would overflow.
+fn refine_tri<A: TxAccess>(
+    tx: &mut A,
+    lay: &Layout,
+    capacity: usize,
+    t: usize,
+    parent_q: u32,
+    parent_gen: u32,
+) -> Option<usize> {
+    let at = lay.tris + t * TRI_BYTES;
+    if tx.read_u32(at + 16) == 0 {
+        return None;
+    }
+    // Retire the parent and relink its neighborhood.
+    let base_id = tx.read_u32(lay.count) as usize;
+    assert!(base_id + CHILDREN <= capacity, "triangle store overflow");
+    tx.write_u32(at + 16, 0);
+    tx.write_u32(at + 24, base_id as u32);
+    tx.write_u32(at + 28, parent_gen + 1);
+    // Insert the children.
+    for c in 0..CHILDREN {
+        let id = base_id + c;
+        let child = Tri {
+            quality: child_quality(parent_q, t, c),
+            v: [t as u32, id as u32, c as u32],
+            alive: true,
+            gen: parent_gen + 1,
+            n: [t as u32, c as u32],
+        };
+        write_tri(tx, lay.tris + id * TRI_BYTES, &child);
+    }
+    tx.write_u32(lay.count, (base_id + CHILDREN) as u32);
+    Some(base_id)
+}
+
+/// Runs the workload sequentially; returns the verification outcome.
+pub fn run<A: TxAccess>(rt: &mut A, cfg: &YadaCfg) -> Result<(), String> {
     let base = setup_region(rt, cfg.capacity * TRI_BYTES + 4, 64);
     let lay = layout(cfg, base);
 
     // Seed mesh (one transaction per initial triangle, like mesh loading).
-    let mut rng = SplitMix64::new(cfg.seed);
-    let mut live: Vec<Tri> = Vec::with_capacity(cfg.capacity);
-    for i in 0..cfg.initial {
-        let t = Tri {
-            quality: rng.below(100) as u32,
-            v: [i as u32, i as u32 + 1, i as u32 + 2],
-            alive: true,
-            gen: 0,
-            n: [i as u32, 0],
-        };
-        live.push(t);
-        rt.begin();
-        write_tri(rt, lay.tris + i * TRI_BYTES, &t);
-        rt.write(lay.count, &((i + 1) as u32).to_le_bytes());
-        rt.commit();
-        rt.maintain();
+    let seeds = initial_tris(cfg);
+    for (i, t) in seeds.iter().enumerate() {
+        run_tx(rt, |tx| seed_tri(tx, &lay, i, t));
     }
 
-    // Refinement loop.
-    let mut queue: VecDeque<usize> =
-        (0..cfg.initial).filter(|&i| live[i].quality < QUALITY_MIN).collect();
-    while let Some(t) = queue.pop_front() {
-        if !live[t].alive || live[t].quality >= QUALITY_MIN {
-            continue;
-        }
+    // Refinement loop: (id, quality, gen) work items; each id is enqueued
+    // at most once, and the slot allocations replay the reference exactly.
+    let mut queue: VecDeque<(usize, u32, u32)> = seeds
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.quality < QUALITY_MIN)
+        .map(|(i, t)| (i, t.quality, t.gen))
+        .collect();
+    while let Some((t, q, gen)) = queue.pop_front() {
         rt.compute(cfg.refine_compute_ns);
-        rt.begin();
-        // Retire the parent and relink its neighborhood.
-        live[t].alive = false;
-        rt.write(lay.tris + t * TRI_BYTES + 16, &0u32.to_le_bytes());
-        rt.write(lay.tris + t * TRI_BYTES + 24, &(live.len() as u32).to_le_bytes());
-        rt.write(lay.tris + t * TRI_BYTES + 28, &(live[t].gen + 1).to_le_bytes());
-        // Insert the children.
+        let first = run_tx(rt, |tx| refine_tri(tx, &lay, cfg.capacity, t, q, gen));
+        let Some(base_id) = first else {
+            return Err(format!("triangle {t}: refined twice"));
+        };
         for c in 0..CHILDREN {
-            let q = child_quality(live[t].quality, t, c);
-            let id = live.len();
-            assert!(id < cfg.capacity, "triangle store overflow");
-            let child = Tri {
-                quality: q,
-                v: [t as u32, id as u32, c as u32],
-                alive: true,
-                gen: live[t].gen + 1,
-                n: [t as u32, c as u32],
-            };
-            live.push(child);
-            write_tri(rt, lay.tris + id * TRI_BYTES, &child);
-            if q < QUALITY_MIN {
-                queue.push_back(id);
+            let cq = child_quality(q, t, c);
+            if cq < QUALITY_MIN {
+                queue.push_back((base_id + c, cq, gen + 1));
             }
         }
-        rt.write(lay.count, &(live.len() as u32).to_le_bytes());
-        rt.commit();
-        rt.maintain();
     }
 
     // Verify against the reference.
     let want = reference(cfg);
     rt.untimed(|rt| {
-        let got_count = read_u32(rt, lay.count) as usize;
+        let got_count = rt.read_u32(lay.count) as usize;
         if got_count != want.len() {
             return Err(format!("triangle count {got_count} != {}", want.len()));
         }
         for (i, w) in want.iter().enumerate() {
             let at = lay.tris + i * TRI_BYTES;
             let got = Tri {
-                quality: read_u32(rt, at),
-                v: [read_u32(rt, at + 4), read_u32(rt, at + 8), read_u32(rt, at + 12)],
-                alive: read_u32(rt, at + 16) != 0,
-                gen: read_u32(rt, at + 20),
+                quality: rt.read_u32(at),
+                v: [rt.read_u32(at + 4), rt.read_u32(at + 8), rt.read_u32(at + 12)],
+                alive: rt.read_u32(at + 16) != 0,
+                gen: rt.read_u32(at + 20),
                 n: [w.n[0], w.n[1]], // neighbor links mutate on retirement
             };
             if got != *w {
@@ -219,6 +253,104 @@ pub fn run<R: TxRuntime>(rt: &mut R, cfg: &YadaCfg) -> Result<(), String> {
         }
         Ok(())
     })
+}
+
+/// Runs the workload on real OS threads, one [`TxAccess`] handle per
+/// thread: seeds are partitioned round-robin, then all threads drain a
+/// shared work queue of bad triangles (an `outstanding` counter detects
+/// quiescence). Returns the number of committed transactions.
+///
+/// Child ids depend on the interleaving, so verification checks the
+/// refinement invariants instead of an exact trace: every live triangle
+/// meets the quality bar, and the final count equals
+/// `initial + CHILDREN × retired`.
+///
+/// # Panics
+///
+/// Panics if `handles` is empty.
+pub fn run_mt<A: TxAccess + Send>(handles: &mut [A], cfg: &YadaCfg) -> Result<u64, String> {
+    assert!(!handles.is_empty(), "need at least one handle");
+    let threads = handles.len();
+    let base = setup_region(&mut handles[0], cfg.capacity * TRI_BYTES + 4, 64);
+    let lay = layout(cfg, base);
+    let seeds = initial_tris(cfg);
+    let commits = AtomicU64::new(0);
+    let barrier = Barrier::new(threads);
+    let queue = Mutex::new(VecDeque::<(usize, u32, u32)>::new());
+    // Work items enqueued but not yet fully processed (children enqueued).
+    let outstanding = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for (t, h) in handles.iter_mut().enumerate() {
+            let (seeds, lay, commits, barrier, queue, outstanding) =
+                (&seeds, &lay, &commits, &barrier, &queue, &outstanding);
+            scope.spawn(move || {
+                let mut n = 0u64;
+                // Seed phase: fixed slots, counter serialized by 2PL.
+                for (i, tri) in seeds.iter().enumerate().skip(t).step_by(threads) {
+                    run_tx(h, |tx| seed_tri(tx, lay, i, tri));
+                    n += 1;
+                    if tri.quality < QUALITY_MIN {
+                        outstanding.fetch_add(1, Ordering::SeqCst);
+                        queue.lock().unwrap().push_back((i, tri.quality, tri.gen));
+                    }
+                }
+                barrier.wait();
+                // Refinement: drain the shared queue to quiescence.
+                loop {
+                    let item = queue.lock().unwrap().pop_front();
+                    let Some((tri, q, gen)) = item else {
+                        if outstanding.load(Ordering::SeqCst) == 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    h.compute(cfg.refine_compute_ns);
+                    let first = run_tx(h, |tx| refine_tri(tx, lay, cfg.capacity, tri, q, gen));
+                    n += 1;
+                    if let Some(base_id) = first {
+                        for c in 0..CHILDREN {
+                            let cq = child_quality(q, tri, c);
+                            if cq < QUALITY_MIN {
+                                outstanding.fetch_add(1, Ordering::SeqCst);
+                                queue.lock().unwrap().push_back((base_id + c, cq, gen + 1));
+                            }
+                        }
+                    }
+                    outstanding.fetch_sub(1, Ordering::SeqCst);
+                }
+                commits.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    });
+
+    handles[0].untimed(|rt| {
+        let got_count = rt.read_u32(lay.count) as usize;
+        if got_count > cfg.capacity || got_count < cfg.initial {
+            return Err(format!("triangle count {got_count} out of range"));
+        }
+        let mut retired = 0usize;
+        for i in 0..got_count {
+            let at = lay.tris + i * TRI_BYTES;
+            let quality = rt.read_u32(at);
+            let alive = rt.read_u32(at + 16) != 0;
+            if alive && quality < QUALITY_MIN {
+                return Err(format!("triangle {i} alive but below quality threshold"));
+            }
+            if !alive {
+                retired += 1;
+            }
+        }
+        if got_count != cfg.initial + CHILDREN * retired {
+            return Err(format!(
+                "count {got_count} != initial {} + {CHILDREN}x{retired} retired",
+                cfg.initial
+            ));
+        }
+        Ok(())
+    })?;
+    Ok(commits.load(Ordering::Relaxed))
 }
 
 #[cfg(test)]
@@ -245,5 +377,13 @@ mod tests {
     fn reference_is_deterministic() {
         let cfg = YadaCfg::scaled(Scale::Tiny);
         assert_eq!(reference(&cfg), reference(&cfg));
+    }
+
+    #[test]
+    fn reference_count_matches_retirement_invariant() {
+        let cfg = YadaCfg::scaled(Scale::Tiny);
+        let tris = reference(&cfg);
+        let retired = tris.iter().filter(|t| !t.alive).count();
+        assert_eq!(tris.len(), cfg.initial + CHILDREN * retired);
     }
 }

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod driver;
 pub mod lock;
 pub mod mt;
@@ -28,6 +29,9 @@ mod report;
 mod runtime;
 pub mod sched;
 
+pub use access::{run_tx, CommitReceipt, TxAccess};
+pub use lock::{run_interleaved_2pl, LockGuard, LockedRun, SharedLockTable};
+#[allow(deprecated)]
 pub use lock::{run_interleaved_locked, LockTable};
 pub use mt::{check_mt_crash_atomicity, MtScenario, TxThread};
 pub use oracle::CommitOracle;

@@ -4,23 +4,229 @@
 //! SpecPMT provides atomic durability and leaves isolation to the software;
 //! the paper names strict two-phase locking as one compatible scheme and
 //! requires transactions to coincide with the outermost critical sections.
-//! [`LockTable`] is that scheme for logical threads: striped address locks
-//! acquired during the transaction and released only after commit.
-//! [`run_interleaved_locked`] composes it with the deterministic scheduler —
-//! a transaction whose stripes are held by another logical thread is
-//! deferred to a later round instead of interleaving unsafely.
+//! [`SharedLockTable`] is that scheme for real OS threads: striped address
+//! locks acquired incrementally during the transaction (growing phase) and
+//! released only when the RAII [`LockGuard`] drops after commit or abort
+//! (shrinking phase — all at once, so strictness is structural, not a
+//! caller convention).
+//!
+//! [`run_interleaved_2pl`] composes the table with the deterministic
+//! logical-thread scheduler — a transaction whose stripes are held by
+//! another logical thread is deferred to a later round instead of
+//! interleaving unsafely. Real-thread composition lives in
+//! `specpmt-core`'s `LockedTxHandle`, which dooms the transaction after a
+//! bounded try-lock instead of deferring (threads cannot be descheduled
+//! mid-transaction from outside).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::driver::TxOp;
 use crate::sched::{MultiThreaded, ScheduleOutcome};
 use crate::CommitOracle;
 
-/// Striped address lock table with per-logical-thread ownership.
+/// A stripe owner cell: 0 = free, `tid + 1` = held.
+const FREE: usize = 0;
+
+/// Thread-safe striped address lock table.
+///
+/// Stripes are exclusive (no reader/writer distinction — SpecPMT
+/// workloads read what they may write) and tracked per [`LockGuard`], so
+/// release is impossible to forget: dropping the guard frees exactly the
+/// stripes it acquired. Share the table across threads via [`Arc`].
+#[derive(Debug)]
+pub struct SharedLockTable {
+    stripe_bytes: usize,
+    owners: Vec<AtomicUsize>,
+}
+
+impl SharedLockTable {
+    /// Creates a table covering `span_bytes` of address space in stripes
+    /// of `stripe_bytes` (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe_bytes` is not a power of two or zero.
+    pub fn new(span_bytes: usize, stripe_bytes: usize) -> Arc<Self> {
+        assert!(stripe_bytes.is_power_of_two() && stripe_bytes > 0);
+        let stripes = span_bytes.div_ceil(stripe_bytes).max(1);
+        Arc::new(Self {
+            stripe_bytes,
+            owners: (0..stripes).map(|_| AtomicUsize::new(FREE)).collect(),
+        })
+    }
+
+    /// Opens an empty guard for `tid`: the per-transaction handle through
+    /// which stripes are acquired. Strict 2PL falls out of its lifetime —
+    /// hold it until after commit or abort.
+    pub fn guard(self: &Arc<Self>, tid: usize) -> LockGuard {
+        LockGuard { table: Arc::clone(self), tid, held: Vec::new() }
+    }
+
+    fn stripe_range(&self, addr: usize, len: usize) -> std::ops::RangeInclusive<usize> {
+        let first = addr / self.stripe_bytes;
+        let last = if len == 0 { first } else { (addr + len - 1) / self.stripe_bytes };
+        first..=last.min(self.owners.len() - 1)
+    }
+
+    /// Number of stripes currently held by anyone.
+    pub fn held_stripes(&self) -> usize {
+        self.owners.iter().filter(|o| o.load(Ordering::Relaxed) != FREE).count()
+    }
+
+    /// Number of stripes currently held by `tid`.
+    pub fn held_by(&self, tid: usize) -> usize {
+        self.owners.iter().filter(|o| o.load(Ordering::Relaxed) == tid + 1).count()
+    }
+}
+
+/// RAII ownership of lock-table stripes for one transaction.
+///
+/// Acquired stripes are released exactly when the guard drops; there is
+/// no manual release call, which is what makes the locking *strict*
+/// two-phase by construction.
+#[derive(Debug)]
+pub struct LockGuard {
+    table: Arc<SharedLockTable>,
+    tid: usize,
+    held: Vec<usize>,
+}
+
+impl LockGuard {
+    /// Attempts to add every stripe of `[addr, addr + len)` to the guard.
+    /// All-or-nothing: on conflict, stripes newly acquired by this call
+    /// are rolled back and `false` is returned (stripes already held are
+    /// kept — the growing phase never shrinks).
+    pub fn try_extend(&mut self, addr: usize, len: usize) -> bool {
+        let range = self.table.stripe_range(addr, len);
+        let mut newly: Vec<usize> = Vec::new();
+        for s in range {
+            if self.held.contains(&s) {
+                continue; // reentrant within this transaction
+            }
+            let claimed = self.table.owners[s]
+                .compare_exchange(FREE, self.tid + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok();
+            if claimed {
+                newly.push(s);
+            } else {
+                for &n in &newly {
+                    self.table.owners[n].store(FREE, Ordering::Release);
+                }
+                return false;
+            }
+        }
+        self.held.extend(newly);
+        true
+    }
+
+    /// Whether this guard holds the stripe containing `addr`.
+    pub fn covers(&self, addr: usize) -> bool {
+        self.held.contains(&(addr / self.table.stripe_bytes))
+    }
+
+    /// The owning logical/OS thread id.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Number of stripes this guard holds.
+    pub fn held(&self) -> usize {
+        self.held.len()
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        for &s in &self.held {
+            self.table.owners[s].store(FREE, Ordering::Release);
+        }
+    }
+}
+
+/// Configuration for [`run_interleaved_2pl`]: the deterministic strict-2PL
+/// schedule of per-logical-thread transaction streams.
+#[derive(Debug)]
+pub struct LockedRun<'a> {
+    /// Pool offset the stream addresses are relative to.
+    pub base: usize,
+    /// One transaction stream per logical thread.
+    pub streams: &'a [Vec<Vec<TxOp>>],
+    /// The shared lock table providing isolation.
+    pub locks: Arc<SharedLockTable>,
+}
+
+/// Runs per-thread transaction streams round-robin under strict 2PL: a
+/// transaction executes only once all its stripes are acquired (its guard
+/// drops after commit); conflicting transactions are deferred to later
+/// rounds (and, because guards drop at commit and threads progress one
+/// transaction per round, every transaction eventually runs).
+///
+/// Returns the schedule outcome once every stream is drained.
+///
+/// # Panics
+///
+/// Panics if `cfg.streams.len()` exceeds the runtime's thread count.
+pub fn run_interleaved_2pl<R: MultiThreaded>(rt: &mut R, cfg: &LockedRun) -> ScheduleOutcome {
+    assert!(cfg.streams.len() <= rt.threads());
+    let mut oracle = CommitOracle::new();
+    let mut committed = vec![0u64; cfg.streams.len()];
+    let mut next = vec![0usize; cfg.streams.len()];
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for (tid, stream) in cfg.streams.iter().enumerate() {
+            let Some(tx) = stream.get(next[tid]) else {
+                continue;
+            };
+            all_done = false;
+            // Acquire every stripe up front (conservative 2PL — avoids
+            // deadlock under the deterministic scheduler). The guard
+            // releases everything when it drops, acquired or not.
+            let mut guard = cfg.locks.guard(tid);
+            let acquired = tx.iter().all(|op| guard.try_extend(cfg.base + op.addr, op.data.len()));
+            if !acquired {
+                continue; // guard drops here: deferred to a later round
+            }
+            rt.select_thread(tid);
+            rt.begin();
+            oracle.begin();
+            for op in tx {
+                rt.write(cfg.base + op.addr, &op.data);
+                oracle.write(cfg.base + op.addr, &op.data);
+            }
+            rt.commit();
+            oracle.commit();
+            drop(guard); // strict 2PL: release only after commit
+            committed[tid] += 1;
+            next[tid] += 1;
+            progressed = true;
+            rt.maintain();
+        }
+        if all_done {
+            break;
+        }
+        assert!(progressed, "livelock: no transaction could acquire its locks");
+    }
+    ScheduleOutcome { committed_per_thread: committed, oracle }
+}
+
+// --- deprecated predecessor API ----------------------------------------
+
+/// Striped address lock table with per-logical-thread ownership and
+/// caller-managed release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SharedLockTable` with RAII `LockGuard`s: release becomes \
+            structural instead of a caller convention"
+)]
 #[derive(Debug, Clone)]
 pub struct LockTable {
     stripe_bytes: usize,
     owners: Vec<Option<usize>>,
 }
 
+#[allow(deprecated)]
 impl LockTable {
     /// Creates a table covering `span_bytes` of address space in stripes of
     /// `stripe_bytes` (power of two).
@@ -44,7 +250,6 @@ impl LockTable {
     /// All-or-nothing: on conflict, no new stripes are retained.
     pub fn try_lock(&mut self, tid: usize, addr: usize, len: usize) -> bool {
         let range = self.stripe_range(addr, len);
-        // Conflict check first (lock acquisition is all-or-nothing).
         for s in range.clone() {
             if self.owners[s].is_some_and(|o| o != tid) {
                 return false;
@@ -76,63 +281,30 @@ impl LockTable {
     }
 }
 
-/// Runs per-thread transaction streams round-robin under strict 2PL: a
-/// transaction executes only once all its stripes are acquired; conflicting
-/// transactions are deferred to later rounds (and, because locks are
-/// released at commit and threads progress one transaction per round, every
-/// transaction eventually runs).
-///
-/// Returns the schedule outcome once every stream is drained.
+/// Runs per-thread transaction streams round-robin under strict 2PL with
+/// positional arguments and a caller-managed lock table.
 ///
 /// # Panics
 ///
 /// Panics if `streams.len()` exceeds the runtime's thread count.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_interleaved_2pl` with a `LockedRun` config struct and a \
+            `SharedLockTable`"
+)]
+#[allow(deprecated)]
 pub fn run_interleaved_locked<R: MultiThreaded>(
     rt: &mut R,
     base: usize,
     streams: &[Vec<Vec<TxOp>>],
     locks: &mut LockTable,
 ) -> ScheduleOutcome {
-    assert!(streams.len() <= rt.threads());
-    let mut oracle = CommitOracle::new();
-    let mut committed = vec![0u64; streams.len()];
-    let mut next = vec![0usize; streams.len()];
-    loop {
-        let mut progressed = false;
-        let mut all_done = true;
-        for (tid, stream) in streams.iter().enumerate() {
-            let Some(tx) = stream.get(next[tid]) else {
-                continue;
-            };
-            all_done = false;
-            // Acquire every stripe up front (conservative 2PL — avoids
-            // deadlock under the deterministic scheduler).
-            let acquired = tx.iter().all(|op| locks.try_lock(tid, base + op.addr, op.data.len()));
-            if !acquired {
-                locks.release_all(tid);
-                continue; // deferred to a later round
-            }
-            rt.select_thread(tid);
-            rt.begin();
-            oracle.begin();
-            for op in tx {
-                rt.write(base + op.addr, &op.data);
-                oracle.write(base + op.addr, &op.data);
-            }
-            rt.commit();
-            oracle.commit();
-            locks.release_all(tid); // strict 2PL: release after commit
-            committed[tid] += 1;
-            next[tid] += 1;
-            progressed = true;
-            rt.maintain();
-        }
-        if all_done {
-            break;
-        }
-        assert!(progressed, "livelock: no transaction could acquire its locks");
-    }
-    ScheduleOutcome { committed_per_thread: committed, oracle }
+    // Delegate to the replacement on a fresh shared table with the same
+    // stripe geometry (the legacy table carries no cross-call state that a
+    // schedule could observe: it is empty between transactions).
+    let span = locks.owners.len() * locks.stripe_bytes;
+    let shared = SharedLockTable::new(span, locks.stripe_bytes);
+    run_interleaved_2pl(rt, &LockedRun { base, streams, locks: shared })
 }
 
 #[cfg(test)]
@@ -140,43 +312,99 @@ mod tests {
     use super::*;
 
     #[test]
-    fn try_lock_is_all_or_nothing() {
-        let mut t = LockTable::new(1024, 64);
-        assert!(t.try_lock(0, 100, 8));
+    fn try_extend_is_all_or_nothing() {
+        let t = SharedLockTable::new(1024, 64);
+        let mut g0 = t.guard(0);
+        assert!(g0.try_extend(100, 8));
         // Thread 1 wants stripes 0..=2; stripe 1 is held by thread 0.
-        assert!(!t.try_lock(1, 0, 200));
-        assert!(!t.holds(1, 0), "failed acquisition must not retain stripes");
-        assert!(t.holds(0, 100));
+        let mut g1 = t.guard(1);
+        assert!(!g1.try_extend(0, 200));
+        assert_eq!(g1.held(), 0, "failed acquisition must not retain stripes");
+        assert_eq!(t.held_by(1), 0);
+        assert!(g0.covers(100));
     }
 
     #[test]
-    fn reentrant_for_same_thread() {
-        let mut t = LockTable::new(1024, 64);
-        assert!(t.try_lock(0, 0, 64));
-        assert!(t.try_lock(0, 0, 128), "own stripes are re-acquirable");
+    fn reentrant_within_one_guard() {
+        let t = SharedLockTable::new(1024, 64);
+        let mut g = t.guard(0);
+        assert!(g.try_extend(0, 64));
+        assert!(g.try_extend(0, 128), "own stripes are re-acquirable");
+        assert_eq!(g.held(), 2);
     }
 
     #[test]
-    fn release_all_frees_everything() {
-        let mut t = LockTable::new(1024, 64);
-        assert!(t.try_lock(0, 0, 512));
-        assert!(t.held_stripes() > 0);
-        t.release_all(0);
-        assert_eq!(t.held_stripes(), 0);
-        assert!(t.try_lock(1, 0, 512));
+    fn drop_releases_everything() {
+        let t = SharedLockTable::new(1024, 64);
+        {
+            let mut g = t.guard(0);
+            assert!(g.try_extend(0, 512));
+            assert!(t.held_stripes() > 0);
+        }
+        assert_eq!(t.held_stripes(), 0, "guard drop must free all stripes");
+        let mut g1 = t.guard(1);
+        assert!(g1.try_extend(0, 512));
+    }
+
+    #[test]
+    fn partial_rollback_keeps_earlier_stripes() {
+        let t = SharedLockTable::new(1024, 64);
+        let mut blocker = t.guard(1);
+        assert!(blocker.try_extend(256, 8)); // stripe 4
+        let mut g = t.guard(0);
+        assert!(g.try_extend(0, 64)); // stripe 0: growing phase
+        assert!(!g.try_extend(128, 256), "conflicts with stripe 4");
+        assert!(g.covers(0), "earlier stripes survive a failed extend");
+        assert_eq!(t.held_by(0), 1);
+        assert_eq!(t.held_by(1), 1);
     }
 
     #[test]
     fn zero_length_locks_single_stripe() {
-        let mut t = LockTable::new(1024, 64);
-        assert!(t.try_lock(0, 70, 0));
-        assert!(t.holds(0, 70));
-        assert!(!t.holds(0, 0));
+        let t = SharedLockTable::new(1024, 64);
+        let mut g = t.guard(0);
+        assert!(g.try_extend(70, 0));
+        assert!(g.covers(70));
+        assert!(!g.covers(0));
     }
 
     #[test]
     #[should_panic]
     fn non_power_of_two_stripe_panics() {
-        LockTable::new(1024, 48);
+        SharedLockTable::new(1024, 48);
+    }
+
+    #[test]
+    fn concurrent_guards_never_share_a_stripe() {
+        let t = SharedLockTable::new(4096, 64);
+        let won = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for tid in 0..4 {
+                let t = Arc::clone(&t);
+                let won = &won;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let mut g = t.guard(tid);
+                        if g.try_extend(512, 64) {
+                            won.fetch_add(1, Ordering::Relaxed);
+                            assert_eq!(t.held_by(tid), 1);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(won.load(Ordering::Relaxed) > 0);
+        assert_eq!(t.held_stripes(), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_table_still_locks() {
+        let mut t = LockTable::new(1024, 64);
+        assert!(t.try_lock(0, 100, 8));
+        assert!(!t.try_lock(1, 0, 200));
+        assert!(t.holds(0, 100));
+        t.release_all(0);
+        assert_eq!(t.held_stripes(), 0);
     }
 }

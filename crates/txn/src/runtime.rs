@@ -1,57 +1,23 @@
 //! The [`TxRuntime`] and [`Recover`] traits.
 
-use specpmt_pmem::{CrashImage, PmemPool, TimingMode};
+use specpmt_pmem::{CrashImage, PmemPool};
 
+use crate::access::TxAccess;
 use crate::TxStats;
 
-/// A persistent-memory transaction runtime providing atomic durability.
+/// A single-threaded persistent-memory transaction runtime providing
+/// atomic durability.
 ///
-/// The contract mirrors the paper's transactional API (Fig. 3): writes
-/// between [`begin`](Self::begin) and [`commit`](Self::commit) become
-/// observable after a crash either entirely or not at all. Concurrency
-/// control is out of scope (as in the paper, Section 4.3.3): callers
-/// serialize conflicting transactions.
+/// The transaction surface itself (begin / write / read / commit plus the
+/// timing and setup helpers) lives in the [`TxAccess`] supertrait, which
+/// this trait shares with the concurrent per-thread handles; `TxRuntime`
+/// adds what only an exclusively-owned runtime can offer — direct pool
+/// access, an identity, and runtime-wide counters.
 ///
-/// Reads go through the runtime because some designs (out-of-place updates)
-/// redirect them; in-place runtimes read the pool directly.
-pub trait TxRuntime {
-    /// Starts a transaction.
-    ///
-    /// # Panics
-    ///
-    /// Implementations may panic if a transaction is already open.
-    fn begin(&mut self);
-
-    /// Durably writes `data` at pool offset `addr` within the open
-    /// transaction.
-    ///
-    /// # Panics
-    ///
-    /// Implementations may panic when called outside a transaction.
-    fn write(&mut self, addr: usize, data: &[u8]);
-
-    /// Reads `buf.len()` bytes at pool offset `addr`, observing the open
-    /// transaction's own writes.
-    fn read(&mut self, addr: usize, buf: &mut [u8]);
-
-    /// Commits the open transaction, making its writes crash-atomic.
-    fn commit(&mut self);
-
-    /// Transactionally allocates `size` bytes (aligned to `align`) from the
-    /// pool heap. The allocation is durable iff the transaction commits.
-    ///
-    /// # Panics
-    ///
-    /// Implementations may panic when the heap is exhausted or when called
-    /// outside a transaction.
-    fn alloc(&mut self, size: usize, align: usize) -> usize;
-
-    /// Returns a block to the (volatile) free list.
-    fn free(&mut self, addr: usize, size: usize, align: usize);
-
-    /// Whether a transaction is currently open.
-    fn in_tx(&self) -> bool;
-
+/// Concurrency control is out of scope (as in the paper, Section 4.3.3):
+/// callers serialize conflicting transactions; the concurrent handles
+/// layer strict two-phase locking on top of `TxAccess` instead.
+pub trait TxRuntime: TxAccess {
     /// The underlying pool.
     fn pool(&self) -> &PmemPool;
 
@@ -67,10 +33,6 @@ pub trait TxRuntime {
         true
     }
 
-    /// Background-maintenance hook (log reclamation, redo replay, …),
-    /// invoked by drivers between transactions. Default: nothing.
-    fn maintain(&mut self) {}
-
     /// Orderly shutdown: make all durable data reachable without the log
     /// (flush data, truncate logs). Default: flush everything.
     fn close(&mut self) {
@@ -79,39 +41,6 @@ pub trait TxRuntime {
 
     /// Runtime-specific counters.
     fn tx_stats(&self) -> TxStats;
-
-    // --- convenience helpers -------------------------------------------
-
-    /// Writes a little-endian `u64` transactionally.
-    fn write_u64(&mut self, addr: usize, value: u64) {
-        self.write(addr, &value.to_le_bytes());
-    }
-
-    /// Reads a little-endian `u64`.
-    fn read_u64(&mut self, addr: usize) -> u64 {
-        let mut b = [0u8; 8];
-        self.read(addr, &mut b);
-        u64::from_le_bytes(b)
-    }
-
-    /// Charges `ns` of CPU compute to the simulated clock (workload work
-    /// between memory operations).
-    fn compute(&mut self, ns: u64) {
-        self.pool_mut().device_mut().advance(ns);
-    }
-
-    /// Runs `f` with device timing disabled — for workload setup phases
-    /// that must not count toward measurements.
-    fn untimed<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T
-    where
-        Self: Sized,
-    {
-        let prev = self.pool().device().timing();
-        self.pool_mut().device_mut().set_timing(TimingMode::Off);
-        let out = f(self);
-        self.pool_mut().device_mut().set_timing(prev);
-        out
-    }
 }
 
 /// Post-crash recovery: repair a raw crash image in place so that it

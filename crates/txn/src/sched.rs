@@ -102,9 +102,9 @@ mod tests {
         }
     }
 
-    impl TxRuntime for FakeMt {
+    impl crate::TxAccess for FakeMt {
         fn begin(&mut self) {
-            assert!(!self.in_tx);
+            assert!(!self.in_tx, "nested transaction on thread {}", self.tid);
             self.in_tx = true;
         }
         fn write(&mut self, addr: usize, data: &[u8]) {
@@ -126,6 +126,10 @@ mod tests {
         fn in_tx(&self) -> bool {
             self.in_tx
         }
+        crate::impl_pool_tx_timing!();
+    }
+
+    impl TxRuntime for FakeMt {
         fn pool(&self) -> &specpmt_pmem::PmemPool {
             &self.pool
         }

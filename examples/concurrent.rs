@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use specpmt::core::{ConcurrentConfig, SpecSpmtShared};
 use specpmt::pmem::{CrashPolicy, PmemConfig, SharedPmemDevice, SharedPmemPool};
+use specpmt::txn::TxAccess;
 
 const THREADS: usize = 4;
 const TXS_PER_THREAD: u64 = 500;

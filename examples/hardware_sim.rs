@@ -6,7 +6,7 @@
 
 use specpmt::hwtx::{hw_pool, Ede, EdeConfig, HwSpecConfig, HwSpecPmt};
 use specpmt::pmem::CrashPolicy;
-use specpmt::txn::{Recover, TxRuntime};
+use specpmt::txn::{Recover, TxAccess, TxRuntime};
 
 fn main() {
     let mut rt = HwSpecPmt::new(

@@ -5,7 +5,7 @@
 
 use specpmt::core::{inspect_image, SpecConfig, SpecSpmt};
 use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool};
-use specpmt::txn::{Recover, TxRuntime};
+use specpmt::txn::{Recover, TxAccess, TxRuntime};
 
 fn main() {
     let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20)));

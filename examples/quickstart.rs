@@ -10,7 +10,7 @@
 
 use specpmt::core::{SpecConfig, SpecSpmt};
 use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool};
-use specpmt::txn::{Recover, TxRuntime};
+use specpmt::txn::{Recover, TxAccess, TxRuntime};
 
 fn main() {
     // 1. Create a persistent pool (a simulated PM device) and the runtime.

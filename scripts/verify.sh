@@ -14,4 +14,12 @@ run cargo test -q --offline --workspace
 run cargo fmt --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# No live call sites of deprecated APIs (LockTable / run_interleaved_locked):
+# only their own definitions and contract tests may opt in via #[allow].
+run env RUSTFLAGS="-D deprecated" cargo check --offline --workspace --all-targets
+
+# Multi-threaded STAMP smoke: every workload once at small scale on two real
+# OS threads over LockedTxHandle fleets (one JSON line per app).
+run cargo run --release --offline -p specpmt-bench --bin fig12_software_speedup -- --threads 2
+
 echo "verify: OK"

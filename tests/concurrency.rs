@@ -11,10 +11,10 @@
 
 use std::time::Duration;
 
-use specpmt::core::{ConcurrentConfig, SpecSpmtShared};
+use specpmt::core::{ConcurrentConfig, LockedTxHandle, SpecSpmtShared};
 use specpmt::pmem::{CrashPolicy, PmemConfig, SharedPmemDevice, SharedPmemPool};
 use specpmt::txn::driver::{generate_stream, StreamSpec, TxOp};
-use specpmt::txn::{check_mt_crash_atomicity, MtScenario};
+use specpmt::txn::{check_mt_crash_atomicity, run_tx, MtScenario, SharedLockTable, TxAccess};
 
 const REGION_LEN: usize = 256;
 
@@ -157,6 +157,147 @@ fn specpmt_dp_mt_with_reclaim_daemon_racing() {
             Some(Duration::from_micros(50)),
         );
     }
+}
+
+// --- racing writers on overlapping stripes ------------------------------
+//
+// Unlike the disjoint-region sweeps above, these threads contend for the
+// *same* slots of one shared region through [`LockedTxHandle`]s: strict
+// 2PL plus doom/abort-retry must serialize the conflicting transactions,
+// and the speculative-logging commit protocol must keep every recovered
+// slot internally consistent no matter where the crash lands.
+
+/// Each 16-byte slot holds a `(tag, tag ^ PAIR_MASK)` pair written by one
+/// transaction; recovery observing any other combination means a torn mix
+/// of two writers (or a half-applied transaction) leaked through.
+const SLOT_BYTES: usize = 16;
+const SLOTS: usize = 32;
+const PAIR_MASK: u64 = 0xA5A5_5A5A_C3C3_3C3C;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Races `threads` writers over one striped region with a crash armed at
+/// `crash_after` and asserts (a) the lock table drains to zero stripes and
+/// (b) no recovered slot is torn. Returns whether the crash fired.
+fn run_racing_writers(threads: usize, crash_after: u64, seed: u64) -> bool {
+    let dev = SharedPmemDevice::new(PmemConfig::new(1 << 22));
+    let pool = SharedPmemPool::create(dev.clone());
+    let shared = SpecSpmtShared::new(pool, ConcurrentConfig::default().with_threads(threads));
+    let base = shared.pool().alloc_direct(SLOTS * SLOT_BYTES, 64).expect("region fits");
+    // 64-byte stripes over 16-byte slots: four slots share each stripe, so
+    // even threads aiming at different slots collide on lock stripes.
+    let locks = SharedLockTable::new(1 << 22, 64);
+    let mut handles = LockedTxHandle::fleet(&shared, &locks, threads);
+
+    // External-data protocol: one committed snapshot of zeros over the
+    // shared region before the crash is armed.
+    run_tx(&mut handles[0], |tx| {
+        for w in 0..SLOTS * SLOT_BYTES / 8 {
+            tx.write_u64(base + w * 8, 0);
+        }
+    });
+
+    dev.arm_crash(crash_after, CrashPolicy::Random(seed ^ 0xc4a5));
+    std::thread::scope(|s| {
+        for (t, h) in handles.iter_mut().enumerate() {
+            let dev = dev.clone();
+            s.spawn(move || {
+                let mut rng = seed.wrapping_mul(31).wrapping_add(t as u64 + 1);
+                for i in 0..24u64 {
+                    if dev.crash_observe().1 {
+                        break; // image frozen: later commits cannot be captured
+                    }
+                    let slot = (splitmix(&mut rng) as usize) % SLOTS;
+                    let tag = ((t as u64 + 1) << 32) | (i + 1);
+                    run_tx(h, |tx| {
+                        let a = base + slot * SLOT_BYTES;
+                        tx.write_u64(a, tag);
+                        tx.write_u64(a + 8, tag ^ PAIR_MASK);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(locks.held_stripes(), 0, "stripes leaked after commit/abort");
+
+    let crash_fired = dev.crash_fired();
+    let mut image = match dev.take_fired_image() {
+        Some(img) => img,
+        None => {
+            dev.flush_everything();
+            dev.crash_with(CrashPolicy::AllLost)
+        }
+    };
+    SpecSpmtShared::recover(&mut image);
+    for slot in 0..SLOTS {
+        let a = base + slot * SLOT_BYTES;
+        let (w0, w1) = (image.read_u64(a), image.read_u64(a + 8));
+        assert!(
+            (w0 == 0 && w1 == 0) || w1 == (w0 ^ PAIR_MASK),
+            "torn slot {slot} after recovery (threads={threads} crash_after={crash_after} \
+             seed={seed}): {w0:#x} / {w1:#x}"
+        );
+    }
+    crash_fired
+}
+
+#[test]
+fn racing_writers_never_recover_torn_slots() {
+    for threads in [2usize, 3, 4, 8] {
+        for (k, crash_after) in [7u64, 43, 131, 977].into_iter().enumerate() {
+            run_racing_writers(threads, crash_after, threads as u64 * 101 + k as u64);
+        }
+    }
+}
+
+#[test]
+fn racing_writers_survive_shutdown_image_when_crash_never_fires() {
+    // Fuel far beyond the run: every slot must still pair up under an
+    // adversarial post-shutdown AllLost image.
+    let fired = run_racing_writers(4, u64::MAX / 2, 4242);
+    assert!(!fired);
+}
+
+#[test]
+fn nested_begin_message_is_identical_across_runtimes() {
+    // API contract: the deterministic runtime and the concurrent handle
+    // reject nested `begin` with the *same* panic message, so test
+    // harnesses can match one string for both.
+    use specpmt::core::{SpecConfig, SpecSpmt};
+    use specpmt::pmem::{PmemDevice, PmemPool};
+
+    fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the expected panic quiet
+        let err = std::panic::catch_unwind(f).expect_err("nested begin must panic");
+        std::panic::set_hook(prev);
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string")
+    }
+
+    let single = panic_message(|| {
+        let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20)));
+        let mut rt = SpecSpmt::new(pool, SpecConfig::default());
+        rt.begin();
+        rt.begin();
+    });
+    let handle = panic_message(|| {
+        let dev = SharedPmemDevice::new(PmemConfig::new(1 << 20));
+        let shared = SpecSpmtShared::new(SharedPmemPool::create(dev), ConcurrentConfig::default());
+        let mut h = shared.tx_handle(0);
+        h.begin();
+        h.begin();
+    });
+    assert_eq!(single, "nested transaction on thread 0");
+    assert_eq!(handle, single, "begin contract diverged between SpecSpmt and TxHandle");
 }
 
 #[test]

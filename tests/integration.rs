@@ -5,7 +5,7 @@ use specpmt::core::{ReclaimMode, SpecConfig, SpecSpmt};
 use specpmt::hwtx::{hw_pool, HwSpecConfig, HwSpecPmt};
 use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool};
 use specpmt::stamp::{run_app, Scale, StampApp};
-use specpmt::txn::{Recover, TxRuntime};
+use specpmt::txn::{Recover, TxAccess, TxRuntime};
 
 fn pool() -> PmemPool {
     PmemPool::create(PmemDevice::new(PmemConfig::new(16 << 20)))
@@ -165,7 +165,7 @@ fn runtimes_are_send() {
 #[test]
 fn scheduled_2pl_run_recovers_to_oracle_state() {
     use specpmt::txn::driver::{generate_stream, StreamSpec};
-    use specpmt::txn::{run_interleaved_locked, LockTable};
+    use specpmt::txn::{run_interleaved_2pl, LockedRun, SharedLockTable};
 
     let mut rt = SpecSpmt::new(pool(), SpecConfig { threads: 3, ..SpecConfig::default() });
     let base = rt.pool_mut().alloc_direct(512, 64).unwrap();
@@ -182,8 +182,9 @@ fn scheduled_2pl_run_recovers_to_oracle_state() {
             })
         })
         .collect();
-    let mut locks = LockTable::new(16 << 20, 64);
-    let outcome = run_interleaved_locked(&mut rt, base, &streams, &mut locks);
+    let locks = SharedLockTable::new(16 << 20, 64);
+    let outcome =
+        run_interleaved_2pl(&mut rt, &LockedRun { base, streams: &streams, locks: locks.clone() });
     assert_eq!(outcome.committed_per_thread, vec![15, 15, 15]);
     assert_eq!(locks.held_stripes(), 0, "strict 2PL released everything");
 

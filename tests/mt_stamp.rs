@@ -1,0 +1,33 @@
+//! End-to-end multi-threaded STAMP acceptance sweep through the facade
+//! crate: every workload must complete and verify at 1, 2, 4, and 8 real
+//! OS threads over a [`LockedTxHandle`] fleet, and the strict-2PL lock
+//! table must drain completely after each run. (Per-crate smoke lives in
+//! `crates/stamp/tests/mt_apps.rs`; this sweep is the top-level contract.)
+
+use specpmt::core::{ConcurrentConfig, LockedTxHandle, SpecSpmtShared};
+use specpmt::pmem::{PmemConfig, SharedPmemDevice, SharedPmemPool};
+use specpmt::stamp::{run_app_mt, Scale, StampApp};
+use specpmt::txn::SharedLockTable;
+
+const POOL_BYTES: usize = 1 << 23;
+
+#[test]
+fn every_workload_completes_at_one_two_four_eight_threads() {
+    for app in StampApp::all() {
+        for threads in [1usize, 2, 4, 8] {
+            let dev = SharedPmemDevice::new(PmemConfig::new(POOL_BYTES));
+            let shared = SpecSpmtShared::new(
+                SharedPmemPool::create(dev),
+                ConcurrentConfig::default().with_threads(threads),
+            );
+            let locks = SharedLockTable::new(POOL_BYTES, 64);
+            let mut handles = LockedTxHandle::fleet(&shared, &locks, threads);
+            let run = run_app_mt(app, &mut handles, Scale::Tiny);
+            assert!(run.verified.is_ok(), "{} @ {threads} threads: {:?}", app.name(), run.verified);
+            assert!(run.report.commits > 0, "{} @ {threads} threads: no commits", app.name());
+            assert!(run.report.sim_ns > 0, "{} @ {threads} threads: no sim time", app.name());
+            assert_eq!(run.report.threads, threads, "{}: thread count", app.name());
+            assert_eq!(locks.held_stripes(), 0, "{} @ {threads} threads: leak", app.name());
+        }
+    }
+}

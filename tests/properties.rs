@@ -9,7 +9,7 @@ use specpmt::core::record::{encode_record, parse_chain, LogArea, LogEntry, LogRe
 use specpmt::core::{SpecConfig, SpecSpmt};
 use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool, SplitMix64, TimingMode};
 use specpmt::txn::driver::{check_crash_atomicity, StreamSpec};
-use specpmt::txn::{Recover, TxRuntime};
+use specpmt::txn::{Recover, TxAccess, TxRuntime};
 
 /// Draws a random log record: 1–5 entries of 1–40 bytes in a 4 KiB window
 /// above the root block.
