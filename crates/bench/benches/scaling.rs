@@ -12,15 +12,21 @@
 //! Output is one JSON line per configuration:
 //! `{"bench":"scaling","threads":N,"daemon":B,...}`.
 //!
-//! With `--threads [N,M,..]` (default 1,2,4,8) the bench instead sweeps
-//! the STAMP workloads on real OS threads over `LockedTxHandle` fleets
-//! and prints per-workload simulated commit throughput as JSON.
+//! With `--threads N,M,..` (default 1,2,4,8; any counts in 1..=32) the
+//! bench instead sweeps the STAMP workloads on real OS threads over
+//! `LockedTxHandle` fleets and prints per-workload simulated commit
+//! throughput as JSON. With `--stripe-bytes A,B,..` it sweeps the shared
+//! lock table's stripe size at a fixed thread count and reports lock
+//! acquire/conflict counters per point; `--app NAME` filters either sweep
+//! to a single STAMP workload.
 
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use specpmt_bench::harness::smoke_mode;
-use specpmt_bench::{print_mt_scaling, threads_arg};
+use specpmt_bench::{
+    apps_arg, print_mt_scaling, print_stripe_sweep, stripe_bytes_arg, threads_arg,
+};
 use specpmt_core::{ConcurrentConfig, SpecSpmtShared};
 use specpmt_pmem::{PmemConfig, SharedPmemDevice, SharedPmemPool};
 use specpmt_stamp::Scale;
@@ -103,15 +109,20 @@ fn run_scale(threads: usize, txs_per_thread: u64, daemon: bool) -> ScalePoint {
 }
 
 fn main() {
+    let scale = if smoke_mode() { Scale::Tiny } else { Scale::Small };
+    if let Some(stripes) = stripe_bytes_arg() {
+        let threads = threads_arg().map_or(4, |counts| counts[0]);
+        print_stripe_sweep("scaling_stripe", &stripes, threads, scale, &apps_arg());
+        return;
+    }
     if let Some(counts) = threads_arg() {
-        let scale = if smoke_mode() { Scale::Tiny } else { Scale::Small };
-        print_mt_scaling("scaling_stamp", &counts, scale);
+        print_mt_scaling("scaling_stamp", &counts, scale, &apps_arg());
         return;
     }
     let txs_per_thread: u64 = if smoke_mode() { 200 } else { 20_000 };
     for daemon in [false, true] {
         let mut prev: Option<f64> = None;
-        for threads in [1usize, 2, 4, 8] {
+        for threads in [1usize, 2, 4, 8, 16, 32] {
             let p = run_scale(threads, txs_per_thread, daemon);
             let scales = prev.is_none_or(|prev| p.sim_commits_per_ms > prev);
             prev = Some(p.sim_commits_per_ms);

@@ -11,13 +11,13 @@
 //! throughput per (app, thread-count) pair.
 
 use specpmt_bench::{
-    print_mt_scaling, print_table, run_sw_suite, threads_arg, with_geomean, SwRuntime,
+    apps_arg, print_mt_scaling, print_table, run_sw_suite, threads_arg, with_geomean, SwRuntime,
 };
 use specpmt_stamp::{Scale, StampApp};
 
 fn main() {
     if let Some(counts) = threads_arg() {
-        print_mt_scaling("fig12", &counts, Scale::Small);
+        print_mt_scaling("fig12", &counts, Scale::Small, &apps_arg());
         return;
     }
     let runtimes =

@@ -10,14 +10,14 @@
 //! so the multi-threaded sweep shares the fig12 path.
 
 use specpmt_bench::{
-    print_mt_scaling, print_table, run_hw_suite, threads_arg, with_geomean, HwRuntime,
+    apps_arg, print_mt_scaling, print_table, run_hw_suite, threads_arg, with_geomean, HwRuntime,
 };
 use specpmt_stamp::{Scale, StampApp};
 use specpmt_txn::geomean;
 
 fn main() {
     if let Some(counts) = threads_arg() {
-        print_mt_scaling("fig13", &counts, Scale::Small);
+        print_mt_scaling("fig13", &counts, Scale::Small, &apps_arg());
         return;
     }
     let runtimes =

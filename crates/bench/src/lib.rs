@@ -232,10 +232,41 @@ pub fn run_hw_suite(runtimes: &[HwRuntime], scale: Scale) -> Vec<Vec<RunReport>>
 
 // --- multi-threaded (real OS threads) SpecSPMT mode ------------------------
 
-use specpmt_core::{ConcurrentConfig, LockedTxHandle, SpecSpmtShared};
+use specpmt_core::{ConcurrentConfig, LockedTxHandle, PoolLayout, SpecSpmtShared};
 use specpmt_pmem::{SharedPmemDevice, SharedPmemPool};
 use specpmt_stamp::{run_app_mt, MtAppRun};
-use specpmt_txn::SharedLockTable;
+use specpmt_txn::{LockTableStats, SharedLockTable};
+
+/// Knobs for one multi-threaded SpecSPMT run. The media provisioning is
+/// deliberately **constant** across thread counts (twelve interleaved
+/// DIMMs, the `scaling` bench's setup) so throughput differences measure
+/// the runtime, not a moving hardware budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MtRunConfig {
+    /// Interleaved media channels (DIMMs) on the simulated device.
+    pub media_channels: usize,
+    /// [`SharedLockTable`] stripe size in bytes (power of two).
+    pub stripe_bytes: usize,
+}
+
+impl Default for MtRunConfig {
+    fn default() -> Self {
+        Self { media_channels: 12, stripe_bytes: 64 }
+    }
+}
+
+/// One multi-threaded run plus the contention counters the stripe study
+/// reports: runtime aborts (doomed transactions retried by the 2PL
+/// wrapper) and lock-table acquire/conflict totals.
+#[derive(Debug)]
+pub struct MtSweepPoint {
+    /// The workload run (report + verification result).
+    pub run: MtAppRun,
+    /// Transactions aborted and retried (from [`specpmt_core::SharedStats`]).
+    pub aborts: u64,
+    /// Lock-table acquire/conflict counters for the run.
+    pub lock_stats: LockTableStats,
+}
 
 /// Runs `app` on `threads` real OS threads over the concurrent SpecSPMT
 /// runtime, with strict-2PL concurrency control supplied by
@@ -245,15 +276,28 @@ use specpmt_txn::SharedLockTable;
 ///
 /// Panics if the workload fails invariant verification.
 pub fn run_spec_mt(app: StampApp, threads: usize, scale: Scale) -> MtAppRun {
-    // Same media provisioning as the `scaling` bench: twelve interleaved
-    // DIMMs so log streams of different threads rarely shear each other's
-    // sequential-write window.
-    let dev = SharedPmemDevice::new(PmemConfig::new(POOL_BYTES).with_media_channels(12));
+    run_spec_mt_cfg(app, threads, scale, MtRunConfig::default()).run
+}
+
+/// [`run_spec_mt`] with explicit [`MtRunConfig`] knobs; returns the run
+/// plus abort/conflict counters for the contention study.
+///
+/// # Panics
+///
+/// Panics if the workload fails invariant verification.
+pub fn run_spec_mt_cfg(
+    app: StampApp,
+    threads: usize,
+    scale: Scale,
+    cfg: MtRunConfig,
+) -> MtSweepPoint {
+    let dev =
+        SharedPmemDevice::new(PmemConfig::new(POOL_BYTES).with_media_channels(cfg.media_channels));
     let shared = SpecSpmtShared::new(
         SharedPmemPool::create(dev),
         ConcurrentConfig { threads, ..ConcurrentConfig::default() },
     );
-    let locks = SharedLockTable::new(POOL_BYTES, 64);
+    let locks = SharedLockTable::new(POOL_BYTES, cfg.stripe_bytes);
     let mut handles = LockedTxHandle::fleet(&shared, &locks, threads);
     let run = run_app_mt(app, &mut handles, scale);
     assert!(
@@ -262,44 +306,148 @@ pub fn run_spec_mt(app: StampApp, threads: usize, scale: Scale) -> MtAppRun {
         app.name(),
         run.verified
     );
-    run
+    MtSweepPoint { run, aborts: shared.stats().aborts, lock_stats: locks.stats() }
+}
+
+fn usage_bail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
 }
 
 /// Parses a `--threads` flag from the process arguments: `--threads`
-/// alone selects the paper's 1/2/4/8 sweep, `--threads 1,2,4` selects an
-/// explicit list. Returns `None` when the flag is absent (single-threaded
-/// figure mode).
+/// alone selects the paper's 1/2/4/8 sweep, `--threads 1,2,4,8,16,32`
+/// selects an explicit list. Returns `None` when the flag is absent
+/// (single-threaded figure mode).
+///
+/// Counts are validated against [`PoolLayout::MAX_THREADS`]; a malformed
+/// or out-of-range list exits with a clear error instead of panicking
+/// deep inside the runtime.
 pub fn threads_arg() -> Option<Vec<usize>> {
     let args: Vec<String> = std::env::args().collect();
     let at = args.iter().position(|a| a == "--threads")?;
-    let counts = match args.get(at + 1) {
+    let counts: Vec<usize> = match args.get(at + 1) {
         Some(list) if !list.starts_with('-') => list
             .split(',')
-            .map(|s| s.trim().parse::<usize>().expect("--threads takes a comma-separated list"))
+            .map(|s| {
+                s.trim().parse::<usize>().unwrap_or_else(|_| {
+                    usage_bail(&format!(
+                        "--threads takes a comma-separated list of counts, got {s:?}"
+                    ))
+                })
+            })
             .collect(),
         _ => vec![1, 2, 4, 8],
     };
+    for &t in &counts {
+        if !(1..=PoolLayout::MAX_THREADS).contains(&t) {
+            usage_bail(&format!(
+                "--threads {t} out of range: thread counts must be 1..={}",
+                PoolLayout::MAX_THREADS
+            ));
+        }
+    }
     Some(counts)
 }
 
-/// Runs the full STAMP suite at each thread count and prints one JSON
-/// line per (app, threads) pair:
+/// Parses a `--stripe-bytes A[,B,..]` flag (lock-table stripe sizes for
+/// the contention study). Returns `None` when absent. Sizes must be
+/// non-zero powers of two; anything else exits with a clear error.
+pub fn stripe_bytes_arg() -> Option<Vec<usize>> {
+    let args: Vec<String> = std::env::args().collect();
+    let at = args.iter().position(|a| a == "--stripe-bytes")?;
+    let Some(list) = args.get(at + 1).filter(|a| !a.starts_with('-')) else {
+        usage_bail("--stripe-bytes requires a comma-separated list of sizes (e.g. 64,256)");
+    };
+    let sizes: Vec<usize> = list
+        .split(',')
+        .map(|s| {
+            s.trim().parse::<usize>().unwrap_or_else(|_| {
+                usage_bail(&format!("--stripe-bytes takes a comma-separated list, got {s:?}"))
+            })
+        })
+        .collect();
+    for &b in &sizes {
+        if b == 0 || !b.is_power_of_two() {
+            usage_bail(&format!("--stripe-bytes {b} invalid: sizes must be powers of two"));
+        }
+    }
+    Some(sizes)
+}
+
+/// Parses an `--app NAME` filter. Returns the full STAMP suite when
+/// absent; an unknown name exits with the list of valid names.
+pub fn apps_arg() -> Vec<StampApp> {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(at) = args.iter().position(|a| a == "--app") else {
+        return StampApp::all().to_vec();
+    };
+    let Some(name) = args.get(at + 1).filter(|a| !a.starts_with('-')) else {
+        usage_bail("--app requires a workload name (e.g. intruder)");
+    };
+    match StampApp::all().iter().find(|a| a.name() == name) {
+        Some(&app) => vec![app],
+        None => {
+            let names: Vec<&str> = StampApp::all().iter().map(|a| a.name()).collect();
+            usage_bail(&format!("unknown app {name:?}; expected one of {}", names.join(", ")));
+        }
+    }
+}
+
+/// Runs each listed app at each thread count and prints one JSON line per
+/// (app, threads) pair:
 /// `{"bench":NAME,"mode":"mt","app":...,"threads":N,...}`. Each line also
-/// reports whether throughput at this point improved on the previous
-/// thread count for the same app (`"scales_up"`).
-pub fn print_mt_scaling(bench: &str, thread_counts: &[usize], scale: Scale) {
-    for app in StampApp::all() {
+/// carries the abort count and whether throughput improved on the
+/// previous thread count for the same app (`"scales_up"`).
+pub fn print_mt_scaling(bench: &str, thread_counts: &[usize], scale: Scale, apps: &[StampApp]) {
+    for &app in apps {
         let mut prev: Option<f64> = None;
         for &threads in thread_counts {
-            let run = run_spec_mt(app, threads, scale);
-            let r = &run.report;
+            let point = run_spec_mt_cfg(app, threads, scale, MtRunConfig::default());
+            let r = &point.run.report;
             let scales = prev.is_none_or(|p| r.commits_per_ms > p);
             prev = Some(r.commits_per_ms);
             println!(
                 "{{\"bench\":\"{bench}\",\"mode\":\"mt\",\"runtime\":\"SpecSPMT\",\
-                 \"app\":\"{}\",\"threads\":{},\"commits\":{},\"sim_ns\":{},\
+                 \"app\":\"{}\",\"threads\":{},\"commits\":{},\"aborts\":{},\"sim_ns\":{},\
                  \"commits_per_ms\":{:.1},\"scales_up\":{scales}}}",
-                r.workload, r.threads, r.commits, r.sim_ns, r.commits_per_ms
+                r.workload, r.threads, r.commits, point.aborts, r.sim_ns, r.commits_per_ms
+            );
+        }
+    }
+}
+
+/// The contention-aware stripe study: runs each listed app at a fixed
+/// thread count across lock-table stripe sizes and prints one JSON line
+/// per (app, stripe) pair with commit throughput, abort/retry counts and
+/// the stripe-conflict rate — quantifying coarse-stripe false sharing
+/// (e.g. intruder's multi-thread dip) instead of leaving it anecdotal.
+pub fn print_stripe_sweep(
+    bench: &str,
+    stripe_sizes: &[usize],
+    threads: usize,
+    scale: Scale,
+    apps: &[StampApp],
+) {
+    for &app in apps {
+        for &stripe_bytes in stripe_sizes {
+            let cfg = MtRunConfig { stripe_bytes, ..MtRunConfig::default() };
+            let point = run_spec_mt_cfg(app, threads, scale, cfg);
+            let r = &point.run.report;
+            let ls = point.lock_stats;
+            println!(
+                "{{\"bench\":\"{bench}\",\"mode\":\"stripe\",\"runtime\":\"SpecSPMT\",\
+                 \"app\":\"{}\",\"threads\":{},\"stripe_bytes\":{stripe_bytes},\
+                 \"commits\":{},\"aborts\":{},\"sim_ns\":{},\"commits_per_ms\":{:.1},\
+                 \"lock_acquires\":{},\"lock_conflicts\":{},\"conflict_rate\":{:.4}}}",
+                r.workload,
+                r.threads,
+                r.commits,
+                point.aborts,
+                r.sim_ns,
+                r.commits_per_ms,
+                ls.acquires,
+                ls.conflicts,
+                ls.conflict_rate()
             );
         }
     }

@@ -49,13 +49,13 @@ use specpmt_pmem::{
 };
 use specpmt_txn::CommitReceipt;
 
+use crate::layout::PoolLayout;
 use crate::reclaim::FreshnessIndex;
 use crate::record::{
     encode_header, encode_record, parse_chain, push_entry, Cursor, LogArea, SharedStore, ENTRY_HDR,
     REC_HDR,
 };
 use crate::recovery;
-use crate::runtime::{BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE, MAX_THREADS};
 
 /// Configuration for [`SpecSpmtShared`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,8 +65,8 @@ pub struct ConcurrentConfig {
     /// `true` selects the SpecSPMT-DP variant (data lines flushed with a
     /// second fence at commit).
     pub data_persistence: bool,
-    /// Number of application threads (1..=[`MAX_THREADS`]), each with its
-    /// own log chain and [`TxHandle`].
+    /// Number of application threads (1..=[`PoolLayout::MAX_THREADS`]),
+    /// each with its own log chain and [`TxHandle`].
     pub threads: usize,
     /// Aggregate log footprint (bytes) above which the daemon runs a
     /// reclamation cycle.
@@ -130,6 +130,7 @@ pub struct SharedStats {
 pub struct SpecSpmtShared {
     pool: SharedPmemPool,
     cfg: ConcurrentConfig,
+    layout: PoolLayout,
     /// Next commit timestamp (models `rdtscp`: globally ordered).
     ts: AtomicU64,
     areas: Vec<Mutex<AreaState>>,
@@ -151,36 +152,34 @@ impl SpecSpmtShared {
     /// small for a record header.
     pub fn new(pool: SharedPmemPool, cfg: ConcurrentConfig) -> Arc<Self> {
         assert!(
-            (1..=MAX_THREADS).contains(&cfg.threads),
-            "thread count {} out of range",
-            cfg.threads
+            (1..=PoolLayout::MAX_THREADS).contains(&cfg.threads),
+            "thread count {} out of range (1..={})",
+            cfg.threads,
+            PoolLayout::MAX_THREADS
         );
         let dev = pool.device().clone();
         let prev = dev.timing();
         dev.set_timing(TimingMode::Off);
-        pool.set_root_direct(BLOCK_BYTES_SLOT, cfg.block_bytes as u64);
+        let layout = PoolLayout::format_shared(&pool, cfg.threads, cfg.block_bytes);
         let handle = pool.handle();
         let mut free = Vec::new();
         let mut areas = Vec::with_capacity(cfg.threads);
-        for tid in 0..MAX_THREADS {
-            if tid < cfg.threads {
-                let mut dirty = Vec::new();
-                let area = LogArea::create(
-                    &mut SharedStore { handle: &handle, pool: &pool, free: &mut free },
-                    cfg.block_bytes,
-                    &mut dirty,
-                );
-                pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, area.head() as u64);
-                areas.push(Mutex::new(AreaState { area, open: false }));
-            } else {
-                pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, 0);
-            }
+        for tid in 0..cfg.threads {
+            let mut dirty = Vec::new();
+            let area = LogArea::create(
+                &mut SharedStore { handle: &handle, pool: &pool, free: &mut free },
+                cfg.block_bytes,
+                &mut dirty,
+            );
+            layout.set_head_shared(&pool, tid, area.head() as u64);
+            areas.push(Mutex::new(AreaState { area, open: false }));
         }
         dev.flush_everything();
         dev.set_timing(prev);
         Arc::new(Self {
             pool,
             cfg,
+            layout,
             ts: AtomicU64::new(1),
             areas,
             free_blocks: Mutex::new(free),
@@ -195,6 +194,11 @@ impl SpecSpmtShared {
     /// The active configuration.
     pub fn config(&self) -> &ConcurrentConfig {
         &self.cfg
+    }
+
+    /// The persisted pool layout this runtime formatted.
+    pub fn layout(&self) -> PoolLayout {
+        self.layout
     }
 
     /// The shared pool.
@@ -216,7 +220,11 @@ impl SpecSpmtShared {
     ///
     /// Panics if `tid` is out of range.
     pub fn tx_handle(self: &Arc<Self>, tid: usize) -> TxHandle {
-        assert!(tid < self.cfg.threads, "thread {tid} out of range");
+        assert!(
+            tid < self.cfg.threads,
+            "thread {tid} out of range (configured for {})",
+            self.cfg.threads
+        );
         TxHandle {
             shared: Arc::clone(self),
             dev: self.pool.handle(),
@@ -301,7 +309,7 @@ impl SpecSpmtShared {
             flush_ranges(&handle, &dirty);
             handle.sfence();
             // Fence 2: atomically swap the 8-byte head pointer.
-            self.pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, new_area.head() as u64);
+            self.layout.set_head_shared(&self.pool, tid, new_area.head() as u64);
             std::mem::swap(&mut st.area, &mut new_area);
             drop(st);
             // Old blocks are recycled only after the swap fence, so a crash
@@ -915,6 +923,52 @@ mod tests {
         assert_eq!(s.device().stats().sfence_count - before, 2);
         let img = s.device().crash_with(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(a), 5, "DP data survives without recovery");
+    }
+
+    #[test]
+    fn seventeen_parallel_threads_commit_and_recover() {
+        // Past the legacy 8-root-slot cap: every chain head lives in the
+        // dynamic descriptor's head table.
+        let threads = 17usize;
+        let s = shared(ConcurrentConfig::default().with_threads(threads));
+        assert!(s.layout().is_dynamic());
+        let base = alloc_region(&s, threads * 64);
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let s = &s;
+                let mut h = s.tx_handle(tid);
+                scope.spawn(move || {
+                    for v in 0..20u64 {
+                        h.begin();
+                        h.write_u64(base + tid * 64, v);
+                        h.commit();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.stats().commits, threads as u64 * 20);
+        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        for tid in 0..threads {
+            assert_eq!(img.read_u64(base + tid * 64), 19, "thread {tid}");
+        }
+    }
+
+    #[test]
+    fn reclaim_splices_heads_in_the_descriptor_table() {
+        let s = shared(ConcurrentConfig::default().with_threads(12));
+        let a = alloc_region(&s, 64);
+        let mut h = s.tx_handle(11);
+        for v in 0..500u64 {
+            h.begin();
+            h.write_u64(a, v);
+            h.commit();
+        }
+        s.reclaim_cycle();
+        assert!(s.stats().records_reclaimed > 0);
+        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        assert_eq!(img.read_u64(a), 499);
     }
 
     #[test]

@@ -11,14 +11,15 @@ use std::fmt;
 
 use specpmt_pmem::{root_off, CrashImage, POOL_MAGIC};
 
+use crate::layout::{PoolLayout, BLOCK_BYTES_SLOT};
 use crate::record::parse_chain;
-use crate::runtime::{BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE, MAX_THREADS};
 
 /// Summary of one thread's (or epoch's) log chain.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChainSummary {
-    /// Root slot index the chain head was read from.
-    pub slot: usize,
+    /// Thread (chain) index the head was read from — a root-slot-relative
+    /// index on legacy pools, a head-table index on dynamic layouts.
+    pub tid: usize,
     /// Head block offset.
     pub head: usize,
     /// Committed (checksum-valid) records.
@@ -38,9 +39,15 @@ pub struct InspectReport {
     pub valid_pool: bool,
     /// Persistent bump pointer (heap high-water).
     pub heap_bump: u64,
-    /// Log block size from the metadata slot (0 if absent).
+    /// Log block size from the layout (or raw metadata slot if no layout
+    /// parsed; 0 if absent).
     pub block_bytes: usize,
-    /// Per-chain summaries (only slots with non-zero heads).
+    /// Thread count the pool was formatted for (0 when no layout parsed).
+    pub threads: usize,
+    /// `true` when the pool carries a dynamic layout descriptor (vs the
+    /// legacy fixed root slots).
+    pub dynamic_layout: bool,
+    /// Per-chain summaries (only threads with non-zero heads).
     pub chains: Vec<ChainSummary>,
 }
 
@@ -70,12 +77,18 @@ impl fmt::Display for InspectReport {
         writeln!(f, "pool:        {}", if self.valid_pool { "valid" } else { "INVALID MAGIC" })?;
         writeln!(f, "heap bump:   {:#x}", self.heap_bump)?;
         writeln!(f, "block size:  {} bytes", self.block_bytes)?;
+        writeln!(
+            f,
+            "layout:      {} ({} threads)",
+            if self.dynamic_layout { "dynamic descriptor" } else { "legacy root slots" },
+            self.threads
+        )?;
         writeln!(f, "chains:      {}", self.chains.len())?;
         for c in &self.chains {
             write!(
                 f,
-                "  slot {:2}: head {:#8x}  {:4} records  {:5} entries  {:7} payload bytes",
-                c.slot, c.head, c.records, c.entries, c.payload_bytes
+                "  tid {:2}: head {:#8x}  {:4} records  {:5} entries  {:7} payload bytes",
+                c.tid, c.head, c.records, c.entries, c.payload_bytes
             )?;
             match c.ts_range {
                 Some((lo, hi)) => writeln!(f, "  ts {lo}..={hi}")?,
@@ -90,42 +103,68 @@ impl fmt::Display for InspectReport {
 }
 
 /// Inspects a crash image (or a live pool's image) without modifying it.
+///
+/// The pool's [`PoolLayout`] (dynamic descriptor or legacy fixed root
+/// slots) determines where chain heads are read from. A valid pool whose
+/// layout does not parse (e.g. no runtime metadata yet) reports the raw
+/// [`BLOCK_BYTES_SLOT`] contents and no chains.
 pub fn inspect_image(image: &CrashImage) -> InspectReport {
     let valid_pool =
         image.len() >= specpmt_pmem::POOL_HEADER_SIZE && image.read_u64(0) == POOL_MAGIC;
     if !valid_pool {
-        return InspectReport { valid_pool, heap_bump: 0, block_bytes: 0, chains: Vec::new() };
+        return InspectReport {
+            valid_pool,
+            heap_bump: 0,
+            block_bytes: 0,
+            threads: 0,
+            dynamic_layout: false,
+            chains: Vec::new(),
+        };
     }
     let heap_bump = image.read_u64(specpmt_pmem::BUMP_OFF);
-    let block_bytes = image.read_u64(root_off(BLOCK_BYTES_SLOT)) as usize;
+    let Some(layout) = PoolLayout::read(image) else {
+        let block_bytes = image.read_u64(root_off(BLOCK_BYTES_SLOT)) as usize;
+        return InspectReport {
+            valid_pool,
+            heap_bump,
+            block_bytes,
+            threads: 0,
+            dynamic_layout: false,
+            chains: Vec::new(),
+        };
+    };
     let mut chains = Vec::new();
-    if (64..=(1 << 20)).contains(&block_bytes) {
-        for slot in 0..MAX_THREADS {
-            let head = image.read_u64(root_off(LOG_HEAD_SLOT_BASE + slot)) as usize;
-            if head == 0 {
-                continue;
-            }
-            let records = parse_chain(image, head, block_bytes);
-            let entries = records.iter().map(|r| r.entries.len()).sum();
-            let payload_bytes = records.iter().map(|r| r.payload_len()).sum();
-            let ts_range =
-                records.iter().map(|r| r.ts).fold(None, |acc: Option<(u64, u64)>, ts| {
-                    Some(match acc {
-                        None => (ts, ts),
-                        Some((lo, hi)) => (lo.min(ts), hi.max(ts)),
-                    })
-                });
-            chains.push(ChainSummary {
-                slot,
-                head,
-                records: records.len(),
-                entries,
-                payload_bytes,
-                ts_range,
-            });
+    for tid in 0..layout.threads() {
+        let head = layout.head(image, tid);
+        if head == 0 {
+            continue;
         }
+        let records = parse_chain(image, head, layout.block_bytes());
+        let entries = records.iter().map(|r| r.entries.len()).sum();
+        let payload_bytes = records.iter().map(|r| r.payload_len()).sum();
+        let ts_range = records.iter().map(|r| r.ts).fold(None, |acc: Option<(u64, u64)>, ts| {
+            Some(match acc {
+                None => (ts, ts),
+                Some((lo, hi)) => (lo.min(ts), hi.max(ts)),
+            })
+        });
+        chains.push(ChainSummary {
+            tid,
+            head,
+            records: records.len(),
+            entries,
+            payload_bytes,
+            ts_range,
+        });
     }
-    InspectReport { valid_pool, heap_bump, block_bytes, chains }
+    InspectReport {
+        valid_pool,
+        heap_bump,
+        block_bytes: layout.block_bytes(),
+        threads: layout.threads(),
+        dynamic_layout: layout.is_dynamic(),
+        chains,
+    }
 }
 
 #[cfg(test)]
@@ -151,11 +190,33 @@ mod tests {
         let img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
         let report = inspect_image(&img);
         assert!(report.valid_pool);
+        assert!(report.dynamic_layout);
+        assert_eq!(report.threads, 2);
         assert_eq!(report.chains.len(), 2);
         assert_eq!(report.total_records(), 10);
         assert_eq!(report.ts_range(), Some((1, 10)));
         let rendered = report.to_string();
         assert!(rendered.contains("10") || rendered.contains("records"));
+        assert!(rendered.contains("dynamic descriptor"));
+    }
+
+    #[test]
+    fn inspect_sees_all_chains_past_legacy_cap() {
+        let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 22)));
+        let mut rt = SpecSpmt::new(pool, SpecConfig { threads: 17, ..SpecConfig::default() });
+        let a = rt.pool_mut().alloc_direct(17 * 8, 64).unwrap();
+        for tid in 0..17 {
+            rt.set_thread(tid);
+            rt.begin();
+            rt.write_u64(a + tid * 8, tid as u64);
+            rt.commit();
+        }
+        let img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let report = inspect_image(&img);
+        assert_eq!(report.threads, 17);
+        assert_eq!(report.chains.len(), 17);
+        assert_eq!(report.total_records(), 17);
+        assert_eq!(report.chains[16].tid, 16);
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! The persisted pool layout descriptor.
+//!
+//! The paper's software design (§4) gives every thread a private
+//! append-only log chain, which means the pool must record *where each
+//! thread's chain head lives*. Early versions of this runtime burned one
+//! pool root slot per thread, capping the runtime at 8 threads (the pool
+//! has 16 root slots and half are spoken for). [`PoolLayout`] removes the
+//! cap: at format time the runtime allocates a **layout descriptor** on
+//! the heap — thread count, block size and a per-thread head-slot table —
+//! checksums the static part, and points root slot [`LAYOUT_SLOT`] at it.
+//! Everything that parses a pool after a crash ([`crate::recovery`],
+//! [`crate::inspect`]) reads the descriptor instead of assuming the old
+//! fixed slots.
+//!
+//! ```text
+//! root slot 3 (LAYOUT_SLOT) ──► descriptor (heap, 64-byte aligned)
+//!   0  .. 8   layout magic "SPLAYOUT"
+//!   8  .. 12  version (u32)
+//!   12 .. 16  thread count (u32, 1..=32)
+//!   16 .. 24  log block bytes (u64)
+//!   24 .. 32  FNV-1a checksum of bytes 0..24
+//!   32 .. 32 + 8·threads   per-thread chain-head pointers (u64 each)
+//! ```
+//!
+//! The header (bytes 0..32) is written once at format time and never
+//! mutated, so its checksum catches a torn or foreign descriptor. The head
+//! table **is** mutated at runtime (log reclamation splices a compacted
+//! chain in by atomically rewriting one aligned 8-byte head — the paper's
+//! two-fence protocol), so it is deliberately *not* covered by the
+//! checksum; a head pointer self-validates by chain parsing, exactly like
+//! the old root slots did.
+//!
+//! # Legacy pools
+//!
+//! A pool whose [`LAYOUT_SLOT`] root is zero is a *legacy* pool: the
+//! hardware models and baselines (`specpmt-hwtx`, `specpmt-baselines`)
+//! still format [`LEGACY_CHAIN_SLOTS`] fixed chains rooted at
+//! [`LOG_HEAD_SLOT_BASE`] with the block size in [`BLOCK_BYTES_SLOT`].
+//! [`PoolLayout::read`] transparently degrades to that layout, so one
+//! recovery/inspection path serves both generations of pool.
+
+use specpmt_pmem::{root_off, PmemPool, SharedPmemPool, POOL_HEADER_SIZE, POOL_MAGIC};
+
+use crate::checksum::fnv1a64;
+use crate::record::ByteSource;
+
+/// Root slot pointing at the layout descriptor (0 = legacy pool).
+pub const LAYOUT_SLOT: usize = 3;
+
+/// Root slot holding the log block size (mirrored by [`PoolLayout`] for
+/// legacy tooling; authoritative only on legacy pools).
+pub const BLOCK_BYTES_SLOT: usize = 7;
+
+/// First root slot of the fixed per-thread chain heads on *legacy* pools.
+pub const LOG_HEAD_SLOT_BASE: usize = 8;
+
+/// Number of fixed chain-head root slots on legacy pools (the old
+/// `MAX_THREADS` cap).
+pub const LEGACY_CHAIN_SLOTS: usize = 8;
+
+/// Magic identifying a layout descriptor ("SPLAYOUT").
+pub const LAYOUT_MAGIC: u64 = 0x5350_4c41_594f_5554;
+
+/// Current descriptor version.
+pub const LAYOUT_VERSION: u32 = 1;
+
+/// Descriptor header bytes preceding the head table.
+pub const DESC_HDR: usize = 32;
+
+/// Valid log block sizes (shared with recovery's plausibility check).
+const BLOCK_BYTES_RANGE: std::ops::RangeInclusive<usize> = 64..=(1 << 20);
+
+/// A parsed (or freshly formatted) pool layout: where each thread's log
+/// chain head lives and how large log blocks are.
+///
+/// Copyable by design — the runtimes keep one by value and pass it around
+/// freely while mutating the pool it describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolLayout {
+    threads: usize,
+    block_bytes: usize,
+    /// Heap offset of the descriptor; 0 marks a legacy fixed-slot layout.
+    desc_base: usize,
+}
+
+fn read_u64_at<S: ByteSource>(src: &S, addr: usize) -> Option<u64> {
+    let mut b = [0u8; 8];
+    src.read_at(addr, &mut b).then(|| u64::from_le_bytes(b))
+}
+
+impl PoolLayout {
+    /// Maximum threads a pool can be formatted for.
+    pub const MAX_THREADS: usize = 32;
+
+    fn descriptor_bytes(threads: usize, block_bytes: usize) -> Vec<u8> {
+        let mut d = vec![0u8; DESC_HDR + 8 * threads];
+        d[0..8].copy_from_slice(&LAYOUT_MAGIC.to_le_bytes());
+        d[8..12].copy_from_slice(&LAYOUT_VERSION.to_le_bytes());
+        d[12..16].copy_from_slice(&(threads as u32).to_le_bytes());
+        d[16..24].copy_from_slice(&(block_bytes as u64).to_le_bytes());
+        let sum = fnv1a64(&d[0..24]);
+        d[24..32].copy_from_slice(&sum.to_le_bytes());
+        d
+    }
+
+    fn check_format_args(threads: usize, block_bytes: usize) {
+        assert!(
+            (1..=Self::MAX_THREADS).contains(&threads),
+            "thread count {threads} out of range (1..={})",
+            Self::MAX_THREADS
+        );
+        assert!(
+            BLOCK_BYTES_RANGE.contains(&block_bytes),
+            "block size {block_bytes} out of range ({}..={})",
+            BLOCK_BYTES_RANGE.start(),
+            BLOCK_BYTES_RANGE.end()
+        );
+    }
+
+    /// Formats a layout descriptor on `pool`'s heap (head table zeroed) and
+    /// roots it at [`LAYOUT_SLOT`]. [`BLOCK_BYTES_SLOT`] is mirrored for
+    /// legacy tooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `block_bytes` is out of range, or the heap
+    /// cannot hold the descriptor.
+    pub fn format(pool: &mut PmemPool, threads: usize, block_bytes: usize) -> Self {
+        Self::check_format_args(threads, block_bytes);
+        let bytes = Self::descriptor_bytes(threads, block_bytes);
+        let desc_base =
+            pool.alloc_direct(bytes.len(), 64).expect("pool too small for layout descriptor");
+        pool.device_mut().write(desc_base, &bytes);
+        pool.device_mut().persist_range(desc_base, bytes.len());
+        pool.set_root_direct(LAYOUT_SLOT, desc_base as u64);
+        pool.set_root_direct(BLOCK_BYTES_SLOT, block_bytes as u64);
+        Self { threads, block_bytes, desc_base }
+    }
+
+    /// [`PoolLayout::format`] for the shared (concurrent) pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `block_bytes` is out of range, or the heap
+    /// cannot hold the descriptor.
+    pub fn format_shared(pool: &SharedPmemPool, threads: usize, block_bytes: usize) -> Self {
+        Self::check_format_args(threads, block_bytes);
+        let bytes = Self::descriptor_bytes(threads, block_bytes);
+        let desc_base =
+            pool.alloc_direct(bytes.len(), 64).expect("pool too small for layout descriptor");
+        let h = pool.handle();
+        h.write(desc_base, &bytes);
+        h.persist_range(desc_base, bytes.len());
+        pool.set_root_direct(LAYOUT_SLOT, desc_base as u64);
+        pool.set_root_direct(BLOCK_BYTES_SLOT, block_bytes as u64);
+        Self { threads, block_bytes, desc_base }
+    }
+
+    /// Parses the layout from any byte source (crash image, live device or
+    /// device handle).
+    ///
+    /// Returns `None` when the source is not a SpecPMT pool, the descriptor
+    /// is corrupt, or (on a legacy pool) the block size is implausible.
+    pub fn read<S: ByteSource>(src: &S) -> Option<Self> {
+        if src.source_len() < POOL_HEADER_SIZE || read_u64_at(src, 0)? != POOL_MAGIC {
+            return None;
+        }
+        let desc_base = read_u64_at(src, root_off(LAYOUT_SLOT))? as usize;
+        if desc_base == 0 {
+            // Legacy fixed-slot pool (hardware models, baselines, pre-layout
+            // software pools).
+            let block_bytes = read_u64_at(src, root_off(BLOCK_BYTES_SLOT))? as usize;
+            if !BLOCK_BYTES_RANGE.contains(&block_bytes) {
+                return None;
+            }
+            return Some(Self { threads: LEGACY_CHAIN_SLOTS, block_bytes, desc_base: 0 });
+        }
+        if desc_base < POOL_HEADER_SIZE
+            || desc_base.checked_add(DESC_HDR).is_none_or(|end| end > src.source_len())
+        {
+            return None;
+        }
+        let mut hdr = [0u8; DESC_HDR];
+        if !src.read_at(desc_base, &mut hdr) {
+            return None;
+        }
+        if u64::from_le_bytes(hdr[0..8].try_into().expect("8 bytes")) != LAYOUT_MAGIC {
+            return None;
+        }
+        if u32::from_le_bytes(hdr[8..12].try_into().expect("4 bytes")) != LAYOUT_VERSION {
+            return None;
+        }
+        let sum = u64::from_le_bytes(hdr[24..32].try_into().expect("8 bytes"));
+        if sum != fnv1a64(&hdr[0..24]) {
+            return None;
+        }
+        let threads = u32::from_le_bytes(hdr[12..16].try_into().expect("4 bytes")) as usize;
+        let block_bytes = u64::from_le_bytes(hdr[16..24].try_into().expect("8 bytes")) as usize;
+        if !(1..=Self::MAX_THREADS).contains(&threads)
+            || !BLOCK_BYTES_RANGE.contains(&block_bytes)
+            || desc_base + DESC_HDR + 8 * threads > src.source_len()
+        {
+            return None;
+        }
+        Some(Self { threads, block_bytes, desc_base })
+    }
+
+    /// Number of per-thread log chains.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Log block size in bytes.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// `true` when the layout lives in a heap descriptor (vs the legacy
+    /// fixed root slots).
+    pub fn is_dynamic(&self) -> bool {
+        self.desc_base != 0
+    }
+
+    /// Heap offset of the descriptor (0 on legacy pools).
+    pub fn desc_base(&self) -> usize {
+        self.desc_base
+    }
+
+    /// Pool offset of thread `tid`'s chain-head pointer (an aligned u64 —
+    /// reclamation's atomic splice target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range for this layout.
+    pub fn head_addr(&self, tid: usize) -> usize {
+        assert!(tid < self.threads, "thread {tid} out of range (layout has {})", self.threads);
+        if self.desc_base == 0 {
+            root_off(LOG_HEAD_SLOT_BASE + tid)
+        } else {
+            self.desc_base + DESC_HDR + 8 * tid
+        }
+    }
+
+    /// Reads thread `tid`'s chain head from `src` (0 = empty chain).
+    pub fn head<S: ByteSource>(&self, src: &S, tid: usize) -> usize {
+        read_u64_at(src, self.head_addr(tid)).unwrap_or(0) as usize
+    }
+
+    /// Writes and immediately persists thread `tid`'s chain head.
+    pub fn set_head(&self, pool: &mut PmemPool, tid: usize, head: u64) {
+        let addr = self.head_addr(tid);
+        pool.device_mut().write_u64(addr, head);
+        pool.device_mut().persist_range(addr, 8);
+    }
+
+    /// [`PoolLayout::set_head`] for the shared (concurrent) pool.
+    pub fn set_head_shared(&self, pool: &SharedPmemPool, tid: usize, head: u64) {
+        let addr = self.head_addr(tid);
+        let h = pool.handle();
+        h.write_u64(addr, head);
+        h.persist_range(addr, 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specpmt_pmem::{CrashImage, CrashPolicy, PmemConfig, PmemDevice};
+
+    fn pool() -> PmemPool {
+        PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20)))
+    }
+
+    #[test]
+    fn format_then_read_round_trips() {
+        for threads in [1usize, 2, 8, 17, 32] {
+            let mut p = pool();
+            let l = PoolLayout::format(&mut p, threads, 4096);
+            assert!(l.is_dynamic());
+            assert_eq!(l.threads(), threads);
+            assert_eq!(l.block_bytes(), 4096);
+            let img = p.device().crash_with(CrashPolicy::AllLost);
+            let back = PoolLayout::read(&img).expect("layout parses from crash image");
+            assert_eq!(back, l, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn head_table_survives_crash() {
+        let mut p = pool();
+        let l = PoolLayout::format(&mut p, 17, 256);
+        l.set_head(&mut p, 16, 0xABCD);
+        let img = p.device().crash_with(CrashPolicy::AllLost);
+        let back = PoolLayout::read(&img).unwrap();
+        assert_eq!(back.head(&img, 16), 0xABCD);
+        assert_eq!(back.head(&img, 0), 0, "unset heads read as empty");
+    }
+
+    #[test]
+    fn legacy_pool_degrades_to_fixed_slots() {
+        // A pool formatted the old way: block size + fixed root slots, no
+        // descriptor (LAYOUT_SLOT stays 0). hwtx/baselines still do this.
+        let mut p = pool();
+        p.set_root_direct(BLOCK_BYTES_SLOT, 4096);
+        p.set_root_direct(LOG_HEAD_SLOT_BASE + 5, 0x1000);
+        let img = p.device().crash_with(CrashPolicy::AllLost);
+        let l = PoolLayout::read(&img).expect("legacy layout parses");
+        assert!(!l.is_dynamic());
+        assert_eq!(l.threads(), LEGACY_CHAIN_SLOTS);
+        assert_eq!(l.block_bytes(), 4096);
+        assert_eq!(l.head_addr(5), root_off(LOG_HEAD_SLOT_BASE + 5));
+        assert_eq!(l.head(&img, 5), 0x1000);
+    }
+
+    #[test]
+    fn garbage_and_corruption_are_rejected() {
+        // Not a pool at all.
+        assert!(PoolLayout::read(&CrashImage::new(vec![0xAB; 4096])).is_none());
+        // A pool with no runtime metadata (legacy block size 0).
+        let img = pool().device().crash_with(CrashPolicy::AllSurvive);
+        assert!(PoolLayout::read(&img).is_none());
+        // A torn descriptor: flip one header byte, checksum must catch it.
+        let mut p = pool();
+        let l = PoolLayout::format(&mut p, 4, 4096);
+        let mut img = p.device().crash_with(CrashPolicy::AllLost);
+        let b = img.read_u64(l.desc_base() + 16);
+        img.write_bytes(l.desc_base() + 16, &(b ^ 1).to_le_bytes());
+        assert!(PoolLayout::read(&img).is_none(), "checksum must reject a torn descriptor");
+        // A dangling descriptor pointer.
+        let mut img2 = p.device().crash_with(CrashPolicy::AllLost);
+        img2.write_bytes(root_off(LAYOUT_SLOT), &(u64::MAX).to_le_bytes());
+        assert!(PoolLayout::read(&img2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range (1..=32)")]
+    fn format_rejects_zero_threads() {
+        let mut p = pool();
+        let _ = PoolLayout::format(&mut p, 0, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range (1..=32)")]
+    fn format_rejects_too_many_threads() {
+        let mut p = pool();
+        let _ = PoolLayout::format(&mut p, PoolLayout::MAX_THREADS + 1, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range (layout has 4)")]
+    fn head_addr_bounds_checked() {
+        let mut p = pool();
+        let l = PoolLayout::format(&mut p, 4, 4096);
+        let _ = l.head_addr(4);
+    }
+
+    #[test]
+    fn shared_format_matches_sequential() {
+        let dev = specpmt_pmem::SharedPmemDevice::new(PmemConfig::new(1 << 20));
+        let p = SharedPmemPool::create(dev);
+        let l = PoolLayout::format_shared(&p, 32, 512);
+        l.set_head_shared(&p, 31, 0x2222);
+        let img = p.device().crash_with(CrashPolicy::AllLost);
+        let back = PoolLayout::read(&img).unwrap();
+        assert_eq!(back, l);
+        assert_eq!(back.head(&img, 31), 0x2222);
+    }
+}

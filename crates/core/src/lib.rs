@@ -63,6 +63,7 @@ mod checksum;
 pub mod concurrent;
 pub mod hashlog;
 pub mod inspect;
+pub mod layout;
 pub mod locked;
 pub mod reclaim;
 pub mod record;
@@ -73,7 +74,8 @@ pub use checksum::fnv1a64;
 pub use concurrent::{ConcurrentConfig, ReclaimDaemon, SharedStats, SpecSpmtShared, TxHandle};
 pub use hashlog::{HashLogConfig, HashLogSpmt};
 pub use inspect::{inspect_image, ChainSummary, InspectReport};
-pub use locked::LockedTxHandle;
-pub use runtime::{
-    ReclaimMode, SpecConfig, SpecSpmt, BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE, MAX_THREADS,
+pub use layout::{
+    PoolLayout, BLOCK_BYTES_SLOT, LAYOUT_SLOT, LEGACY_CHAIN_SLOTS, LOG_HEAD_SLOT_BASE,
 };
+pub use locked::LockedTxHandle;
+pub use runtime::{ReclaimMode, SpecConfig, SpecSpmt};

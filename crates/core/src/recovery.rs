@@ -13,28 +13,26 @@
 //! Unreclaimed stale records may replay too; they are overwritten by
 //! fresher records later in the order, which is harmless.
 
-use specpmt_pmem::{root_off, CrashImage, POOL_MAGIC};
+use specpmt_pmem::CrashImage;
 
+use crate::layout::PoolLayout;
 use crate::record::{parse_chain, LogRecord};
-use crate::runtime::{BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE, MAX_THREADS};
 
 /// Parses every thread's committed records from a crash image.
 ///
-/// Returns records sorted by commit timestamp (ascending). An image without
-/// SpecPMT metadata yields no records.
+/// The pool's [`PoolLayout`] (dynamic descriptor or legacy fixed root
+/// slots) determines how many chains exist and where their heads live.
+/// Returns records sorted by commit timestamp (ascending). An image
+/// without SpecPMT metadata yields no records.
 pub fn committed_records(image: &CrashImage) -> Vec<LogRecord> {
-    if image.len() < specpmt_pmem::POOL_HEADER_SIZE || image.read_u64(0) != POOL_MAGIC {
+    let Some(layout) = PoolLayout::read(image) else {
         return Vec::new();
-    }
-    let block_bytes = image.read_u64(root_off(BLOCK_BYTES_SLOT)) as usize;
-    if !(64..=(1 << 20)).contains(&block_bytes) {
-        return Vec::new();
-    }
+    };
     let mut records = Vec::new();
-    for tid in 0..MAX_THREADS {
-        let head = image.read_u64(root_off(LOG_HEAD_SLOT_BASE + tid)) as usize;
+    for tid in 0..layout.threads() {
+        let head = layout.head(image, tid);
         if head != 0 {
-            records.extend(parse_chain(image, head, block_bytes));
+            records.extend(parse_chain(image, head, layout.block_bytes()));
         }
     }
     records.sort_by_key(|r| r.ts);

@@ -5,20 +5,12 @@ use std::collections::{BTreeSet, HashMap};
 use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
 use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
+use crate::layout::PoolLayout;
 use crate::reclaim::FreshnessIndex;
 use crate::record::{
     encode_header, encode_record, push_entry, Cursor, LogArea, PoolStore, ENTRY_HDR, REC_HDR,
 };
 use crate::recovery;
-
-/// Root slot holding the log block size (so recovery can parse chains).
-pub const BLOCK_BYTES_SLOT: usize = 7;
-
-/// First root slot of the per-thread log head pointers.
-pub const LOG_HEAD_SLOT_BASE: usize = 8;
-
-/// Maximum logical threads (bounded by the pool's root slots).
-pub const MAX_THREADS: usize = 8;
 
 /// How log reclamation runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,8 +43,8 @@ pub struct SpecConfig {
     /// Log footprint (bytes, across all threads) that triggers reclamation
     /// at commit / `maintain` time.
     pub reclaim_threshold_bytes: usize,
-    /// Number of logical threads (1..=[`MAX_THREADS`]), each with its own
-    /// log chain. Use [`SpecSpmt::set_thread`] to switch.
+    /// Number of logical threads (1..=[`PoolLayout::MAX_THREADS`]), each
+    /// with its own log chain. Use [`SpecSpmt::set_thread`] to switch.
     pub threads: usize,
 }
 
@@ -108,6 +100,7 @@ struct ThreadState {
 pub struct SpecSpmt {
     pool: PmemPool,
     cfg: SpecConfig,
+    layout: PoolLayout,
     threads: Vec<ThreadState>,
     cur: usize,
     ts_counter: u64,
@@ -126,45 +119,56 @@ impl SpecSpmt {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.threads` is 0 or exceeds [`MAX_THREADS`], or if the
-    /// block size is too small for a record header.
+    /// Panics if `cfg.threads` is 0 or exceeds
+    /// [`PoolLayout::MAX_THREADS`], or if the block size is out of range.
     pub fn new(mut pool: PmemPool, cfg: SpecConfig) -> Self {
         assert!(
-            (1..=MAX_THREADS).contains(&cfg.threads),
-            "thread count {} out of range",
-            cfg.threads
+            (1..=PoolLayout::MAX_THREADS).contains(&cfg.threads),
+            "thread count {} out of range (1..={})",
+            cfg.threads,
+            PoolLayout::MAX_THREADS
         );
         let prev = pool.device().timing();
         pool.device_mut().set_timing(TimingMode::Off);
-        pool.set_root_direct(BLOCK_BYTES_SLOT, cfg.block_bytes as u64);
+        let layout = PoolLayout::format(&mut pool, cfg.threads, cfg.block_bytes);
         let mut free_blocks = Vec::new();
         let mut threads = Vec::with_capacity(cfg.threads);
-        for tid in 0..MAX_THREADS {
-            if tid < cfg.threads {
-                let mut dirty = Vec::new();
-                let area = LogArea::create(
-                    &mut PoolStore::new(&mut pool, &mut free_blocks),
-                    cfg.block_bytes,
-                    &mut dirty,
-                );
-                pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, area.head() as u64);
-                let tx_start = area.tail();
-                threads.push(ThreadState {
-                    area,
-                    in_tx: false,
-                    tx_start,
-                    payload: Vec::new(),
-                    index: HashMap::new(),
-                    dirty: Vec::new(),
-                    data_lines: BTreeSet::new(),
-                });
-            } else {
-                pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, 0);
-            }
+        for tid in 0..cfg.threads {
+            let mut dirty = Vec::new();
+            let area = LogArea::create(
+                &mut PoolStore::new(&mut pool, &mut free_blocks),
+                cfg.block_bytes,
+                &mut dirty,
+            );
+            layout.set_head(&mut pool, tid, area.head() as u64);
+            let tx_start = area.tail();
+            threads.push(ThreadState {
+                area,
+                in_tx: false,
+                tx_start,
+                payload: Vec::new(),
+                index: HashMap::new(),
+                dirty: Vec::new(),
+                data_lines: BTreeSet::new(),
+            });
         }
         pool.device_mut().flush_everything();
         pool.device_mut().set_timing(prev);
-        Self { pool, cfg, threads, cur: 0, ts_counter: 1, free_blocks, stats: TxStats::default() }
+        Self {
+            pool,
+            cfg,
+            layout,
+            threads,
+            cur: 0,
+            ts_counter: 1,
+            free_blocks,
+            stats: TxStats::default(),
+        }
+    }
+
+    /// The persisted pool layout this runtime formatted.
+    pub fn layout(&self) -> PoolLayout {
+        self.layout
     }
 
     /// The active configuration.
@@ -279,14 +283,15 @@ impl SpecSpmt {
             Self::flush_lines(&mut self.pool, &all_dirty);
             self.pool.device_mut().sfence();
         }
+        let layout = self.layout;
         for (tid, area) in new_areas.into_iter().enumerate() {
-            let slot = specpmt_pmem::root_off(LOG_HEAD_SLOT_BASE + tid);
+            let addr = layout.head_addr(tid);
             if background {
                 let head = area.head() as u64;
-                self.pool.device_mut().write_u64(slot, head);
-                self.pool.device_mut().background_line_write(slot);
+                self.pool.device_mut().write_u64(addr, head);
+                self.pool.device_mut().background_line_write(addr);
             } else {
-                self.pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, area.head() as u64);
+                layout.set_head(&mut self.pool, tid, area.head() as u64);
             }
             let old = std::mem::replace(&mut self.threads[tid].area, area);
             self.free_blocks.extend(old.into_blocks());
@@ -349,7 +354,8 @@ impl SpecSpmt {
             );
             Self::flush_lines(&mut self.pool, &dirty);
             self.pool.device_mut().sfence();
-            self.pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, area.head() as u64);
+            let layout = self.layout;
+            layout.set_head(&mut self.pool, tid, area.head() as u64);
             let old = std::mem::replace(&mut self.threads[tid].area, area);
             self.free_blocks.extend(old.into_blocks());
             let tail = self.threads[tid].area.tail();
@@ -743,6 +749,36 @@ mod tests {
         let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
         SpecSpmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 30, "youngest commit wins across threads");
+    }
+
+    #[test]
+    fn seventeen_threads_log_and_recover_past_legacy_cap() {
+        // The legacy layout capped the runtime at 8 root-slot chains; the
+        // dynamic descriptor must carry 17 without aliasing any head.
+        let mut rt = runtime(SpecConfig { threads: 17, ..SpecConfig::default() });
+        assert!(rt.layout().is_dynamic());
+        let a = alloc_region(&mut rt, 17 * 64);
+        for tid in 0..17 {
+            rt.set_thread(tid);
+            rt.begin();
+            rt.write_u64(a + tid * 64, 1000 + tid as u64);
+            rt.commit();
+        }
+        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        SpecSpmt::recover(&mut img);
+        for tid in 0..17 {
+            assert_eq!(img.read_u64(a + tid * 64), 1000 + tid as u64, "thread {tid}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range (1..=32)")]
+    fn thread_count_past_layout_max_panics_with_actual_max() {
+        let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 22)));
+        let _ = SpecSpmt::new(
+            pool,
+            SpecConfig { threads: PoolLayout::MAX_THREADS + 1, ..SpecConfig::default() },
+        );
     }
 
     #[test]

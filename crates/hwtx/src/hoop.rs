@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 
 use specpmt_core::record::{encode_record, LogArea, LogEntry, LogRecord, PoolStore};
-use specpmt_core::{recovery, BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE};
+use specpmt_core::{recovery, BLOCK_BYTES_SLOT, LEGACY_CHAIN_SLOTS, LOG_HEAD_SLOT_BASE};
 use specpmt_hwsim::{HwConfig, HwCore};
 use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
 use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
@@ -68,7 +68,7 @@ impl Hoop {
         let prev = pool.device().timing();
         pool.device_mut().set_timing(TimingMode::Off);
         pool.set_root_direct(BLOCK_BYTES_SLOT, cfg.block_bytes as u64);
-        for slot in 0..8 {
+        for slot in 0..LEGACY_CHAIN_SLOTS {
             pool.set_root_direct(LOG_HEAD_SLOT_BASE + slot, 0);
         }
         let mut free_blocks = Vec::new();

@@ -5,7 +5,7 @@ use std::collections::{BTreeSet, VecDeque};
 use specpmt_core::record::{
     encode_record, parse_chain, LogArea, LogEntry, LogRecord, PoolStore, ENTRY_HDR, REC_HDR,
 };
-use specpmt_core::{recovery, BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE};
+use specpmt_core::{recovery, BLOCK_BYTES_SLOT, LEGACY_CHAIN_SLOTS, LOG_HEAD_SLOT_BASE};
 use specpmt_hwsim::{HwConfig, HwCore};
 use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
 use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
@@ -135,7 +135,7 @@ impl HwSpecPmt {
         let prev = pool.device().timing();
         pool.device_mut().set_timing(TimingMode::Off);
         pool.set_root_direct(BLOCK_BYTES_SLOT, cfg.block_bytes as u64);
-        for slot in 0..8 {
+        for slot in 0..LEGACY_CHAIN_SLOTS {
             pool.set_root_direct(LOG_HEAD_SLOT_BASE + slot, 0);
         }
         let undo = UndoLog::new(&mut pool, cfg.undo_bytes);
@@ -146,7 +146,7 @@ impl HwSpecPmt {
             cfg,
             epochs: VecDeque::new(),
             next_eid: 1,
-            free_slots: (0..8).rev().collect(),
+            free_slots: (0..LEGACY_CHAIN_SLOTS).rev().collect(),
             undo,
             free_blocks: Vec::new(),
             ts_counter: 1,

@@ -933,6 +933,47 @@ mod tests {
     }
 
     #[test]
+    fn thirty_two_handles_commit_disjoint_lines() {
+        // Full-machine fleet: 32 cores, each with its own handle (private
+        // flush/fence state and core clock), committing disjoint lines.
+        let d = SharedPmemDevice::new(PmemConfig::new(1024 * 1024));
+        thread::scope(|s| {
+            for t in 0..32usize {
+                let h = d.handle();
+                s.spawn(move || {
+                    let base = t * 16 * 1024;
+                    for i in 0..16usize {
+                        let a = base + i * CACHE_LINE;
+                        h.write_u64(a, (t * 100 + i) as u64);
+                        h.clwb(a);
+                        h.sfence();
+                    }
+                });
+            }
+        });
+        let img = d.crash_with(CrashPolicy::AllLost);
+        for t in 0..32usize {
+            for i in 0..16usize {
+                let a = t * 16 * 1024 + i * CACHE_LINE;
+                assert_eq!(img.read_u64(a), (t * 100 + i) as u64, "handle {t} line {i}");
+            }
+        }
+        assert_eq!(d.stats().sfence_count, 32 * 16);
+    }
+
+    #[test]
+    fn thirty_two_core_clocks_fold_into_global_max() {
+        let d = dev();
+        let handles: Vec<DeviceHandle> = (0..32).map(|_| d.handle()).collect();
+        for (i, h) in handles.iter().enumerate() {
+            h.advance(((i + 1) * 10) as u64);
+        }
+        assert_eq!(d.now_ns(), 320, "global clock is the max of all 32 core timelines");
+        let late = d.handle();
+        assert_eq!(late.local_now_ns(), 320, "handle 33 starts at the global max");
+    }
+
+    #[test]
     fn flush_everything_syncs_images() {
         let d = dev();
         let h = d.handle();

@@ -30,9 +30,7 @@ mod runtime;
 pub mod sched;
 
 pub use access::{run_tx, CommitReceipt, TxAccess};
-pub use lock::{run_interleaved_2pl, LockGuard, LockedRun, SharedLockTable};
-#[allow(deprecated)]
-pub use lock::{run_interleaved_locked, LockTable};
+pub use lock::{run_interleaved_2pl, LockGuard, LockTableStats, LockedRun, SharedLockTable};
 pub use mt::{check_mt_crash_atomicity, MtScenario, TxThread};
 pub use oracle::CommitOracle;
 pub use report::{geomean, RunReport, TxStats};

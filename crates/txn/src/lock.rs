@@ -18,7 +18,7 @@
 //! bounded try-lock instead of deferring (threads cannot be descheduled
 //! mid-transaction from outside).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::driver::TxOp;
@@ -27,6 +27,31 @@ use crate::CommitOracle;
 
 /// A stripe owner cell: 0 = free, `tid + 1` = held.
 const FREE: usize = 0;
+
+/// Contention counters of a [`SharedLockTable`] (the stripe-size study's
+/// raw material: how often `try_extend` succeeded vs hit a stripe held by
+/// another thread).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockTableStats {
+    /// Successful `try_extend` calls (all requested stripes acquired).
+    pub acquires: u64,
+    /// Failed `try_extend` calls (a requested stripe was held by another
+    /// thread; newly acquired stripes were rolled back).
+    pub conflicts: u64,
+}
+
+impl LockTableStats {
+    /// Fraction of `try_extend` calls that hit a foreign-held stripe
+    /// (0.0 when the table was never exercised).
+    pub fn conflict_rate(&self) -> f64 {
+        let total = self.acquires + self.conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / total as f64
+        }
+    }
+}
 
 /// Thread-safe striped address lock table.
 ///
@@ -38,6 +63,8 @@ const FREE: usize = 0;
 pub struct SharedLockTable {
     stripe_bytes: usize,
     owners: Vec<AtomicUsize>,
+    acquires: AtomicU64,
+    conflicts: AtomicU64,
 }
 
 impl SharedLockTable {
@@ -53,7 +80,22 @@ impl SharedLockTable {
         Arc::new(Self {
             stripe_bytes,
             owners: (0..stripes).map(|_| AtomicUsize::new(FREE)).collect(),
+            acquires: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
         })
+    }
+
+    /// The stripe size this table was built with.
+    pub fn stripe_bytes(&self) -> usize {
+        self.stripe_bytes
+    }
+
+    /// Snapshot of the contention counters.
+    pub fn stats(&self) -> LockTableStats {
+        LockTableStats {
+            acquires: self.acquires.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+        }
     }
 
     /// Opens an empty guard for `tid`: the per-transaction handle through
@@ -113,10 +155,12 @@ impl LockGuard {
                 for &n in &newly {
                     self.table.owners[n].store(FREE, Ordering::Release);
                 }
+                self.table.conflicts.fetch_add(1, Ordering::Relaxed);
                 return false;
             }
         }
         self.held.extend(newly);
+        self.table.acquires.fetch_add(1, Ordering::Relaxed);
         true
     }
 
@@ -211,102 +255,6 @@ pub fn run_interleaved_2pl<R: MultiThreaded>(rt: &mut R, cfg: &LockedRun) -> Sch
     ScheduleOutcome { committed_per_thread: committed, oracle }
 }
 
-// --- deprecated predecessor API ----------------------------------------
-
-/// Striped address lock table with per-logical-thread ownership and
-/// caller-managed release.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SharedLockTable` with RAII `LockGuard`s: release becomes \
-            structural instead of a caller convention"
-)]
-#[derive(Debug, Clone)]
-pub struct LockTable {
-    stripe_bytes: usize,
-    owners: Vec<Option<usize>>,
-}
-
-#[allow(deprecated)]
-impl LockTable {
-    /// Creates a table covering `span_bytes` of address space in stripes of
-    /// `stripe_bytes` (power of two).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `stripe_bytes` is not a power of two or zero.
-    pub fn new(span_bytes: usize, stripe_bytes: usize) -> Self {
-        assert!(stripe_bytes.is_power_of_two() && stripe_bytes > 0);
-        let stripes = span_bytes.div_ceil(stripe_bytes);
-        Self { stripe_bytes, owners: vec![None; stripes.max(1)] }
-    }
-
-    fn stripe_range(&self, addr: usize, len: usize) -> std::ops::RangeInclusive<usize> {
-        let first = addr / self.stripe_bytes;
-        let last = if len == 0 { first } else { (addr + len - 1) / self.stripe_bytes };
-        first..=last.min(self.owners.len() - 1)
-    }
-
-    /// Attempts to lock every stripe of `[addr, addr+len)` for `tid`.
-    /// All-or-nothing: on conflict, no new stripes are retained.
-    pub fn try_lock(&mut self, tid: usize, addr: usize, len: usize) -> bool {
-        let range = self.stripe_range(addr, len);
-        for s in range.clone() {
-            if self.owners[s].is_some_and(|o| o != tid) {
-                return false;
-            }
-        }
-        for s in range {
-            self.owners[s] = Some(tid);
-        }
-        true
-    }
-
-    /// Whether `tid` currently holds the stripe containing `addr`.
-    pub fn holds(&self, tid: usize, addr: usize) -> bool {
-        self.owners.get(addr / self.stripe_bytes).is_some_and(|o| *o == Some(tid))
-    }
-
-    /// Releases every stripe held by `tid` (strict 2PL: only after commit).
-    pub fn release_all(&mut self, tid: usize) {
-        for o in &mut self.owners {
-            if *o == Some(tid) {
-                *o = None;
-            }
-        }
-    }
-
-    /// Number of stripes currently held by anyone.
-    pub fn held_stripes(&self) -> usize {
-        self.owners.iter().filter(|o| o.is_some()).count()
-    }
-}
-
-/// Runs per-thread transaction streams round-robin under strict 2PL with
-/// positional arguments and a caller-managed lock table.
-///
-/// # Panics
-///
-/// Panics if `streams.len()` exceeds the runtime's thread count.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_interleaved_2pl` with a `LockedRun` config struct and a \
-            `SharedLockTable`"
-)]
-#[allow(deprecated)]
-pub fn run_interleaved_locked<R: MultiThreaded>(
-    rt: &mut R,
-    base: usize,
-    streams: &[Vec<Vec<TxOp>>],
-    locks: &mut LockTable,
-) -> ScheduleOutcome {
-    // Delegate to the replacement on a fresh shared table with the same
-    // stripe geometry (the legacy table carries no cross-call state that a
-    // schedule could observe: it is empty between transactions).
-    let span = locks.owners.len() * locks.stripe_bytes;
-    let shared = SharedLockTable::new(span, locks.stripe_bytes);
-    run_interleaved_2pl(rt, &LockedRun { base, streams, locks: shared })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,13 +346,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_table_still_locks() {
-        let mut t = LockTable::new(1024, 64);
-        assert!(t.try_lock(0, 100, 8));
-        assert!(!t.try_lock(1, 0, 200));
-        assert!(t.holds(0, 100));
-        t.release_all(0);
-        assert_eq!(t.held_stripes(), 0);
+    fn stats_count_acquires_and_conflicts() {
+        let t = SharedLockTable::new(1024, 64);
+        assert_eq!(t.stripe_bytes(), 64);
+        assert_eq!(t.stats(), LockTableStats::default());
+        let mut g0 = t.guard(0);
+        assert!(g0.try_extend(0, 64));
+        let mut g1 = t.guard(1);
+        assert!(!g1.try_extend(0, 8));
+        assert!(g1.try_extend(512, 8));
+        let st = t.stats();
+        assert_eq!(st.acquires, 2);
+        assert_eq!(st.conflicts, 1);
+        assert!((st.conflict_rate() - 1.0 / 3.0).abs() < 1e-9);
     }
 }

@@ -14,12 +14,22 @@ run cargo test -q --offline --workspace
 run cargo fmt --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# No live call sites of deprecated APIs (LockTable / run_interleaved_locked):
-# only their own definitions and contract tests may opt in via #[allow].
+# Deprecation gate: the workspace declares no #[deprecated] shims and calls
+# none — the legacy LockTable / run_interleaved_locked pair is deleted.
 run env RUSTFLAGS="-D deprecated" cargo check --offline --workspace --all-targets
 
 # Multi-threaded STAMP smoke: every workload once at small scale on two real
 # OS threads over LockedTxHandle fleets (one JSON line per app).
 run cargo run --release --offline -p specpmt-bench --bin fig12_software_speedup -- --threads 2
+
+# Dynamic-layout smoke: one workload on a 16-thread fleet — past the legacy
+# 8-slot cap, over a pool formatted with the persisted layout descriptor.
+run env SPECPMT_BENCH_SMOKE=1 cargo bench --offline -p specpmt-bench --bench scaling -- \
+    --threads 16 --app intruder
+
+# Stripe-sweep smoke: two stripe sizes, one workload, fixed thread count;
+# each line must carry the lock table's acquire/conflict counters.
+run env SPECPMT_BENCH_SMOKE=1 cargo bench --offline -p specpmt-bench --bench scaling -- \
+    --stripe-bytes 64,256 --threads 4 --app intruder
 
 echo "verify: OK"

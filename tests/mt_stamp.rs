@@ -31,3 +31,33 @@ fn every_workload_completes_at_one_two_four_eight_threads() {
         }
     }
 }
+
+/// Smoke past the old 8-slot cap: a representative subset of the workloads
+/// must complete, verify, and recover on a 16-thread fleet over one
+/// dynamically formatted pool.
+#[test]
+fn sixteen_thread_fleet_runs_past_the_legacy_cap() {
+    use specpmt::pmem::CrashPolicy;
+
+    const THREADS: usize = 16;
+    for app in [StampApp::Intruder, StampApp::Ssca2, StampApp::KmeansLow] {
+        let dev = SharedPmemDevice::new(PmemConfig::new(POOL_BYTES));
+        let shared = SpecSpmtShared::new(
+            SharedPmemPool::create(dev),
+            ConcurrentConfig::default().with_threads(THREADS),
+        );
+        let locks = SharedLockTable::new(POOL_BYTES, 64);
+        let mut handles = LockedTxHandle::fleet(&shared, &locks, THREADS);
+        let run = run_app_mt(app, &mut handles, Scale::Tiny);
+        assert!(run.verified.is_ok(), "{} @ 16 threads: {:?}", app.name(), run.verified);
+        assert_eq!(run.report.threads, THREADS, "{}: thread count", app.name());
+        assert_eq!(locks.held_stripes(), 0, "{} @ 16 threads: leak", app.name());
+        // The pool the fleet wrote must still parse and recover as a
+        // 16-thread dynamic layout.
+        let mut img = shared.pool().device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        let report = specpmt::core::inspect_image(&img);
+        assert!(report.dynamic_layout, "{}: dynamic layout", app.name());
+        assert_eq!(report.threads, THREADS, "{}: inspect threads", app.name());
+    }
+}
