@@ -11,7 +11,7 @@ pub mod harness;
 use specpmt_baselines::{
     KaminoConfig, KaminoTx, NoLog, NoLogConfig, PmdkConfig, PmdkUndo, Spht, SphtConfig,
 };
-use specpmt_core::{HashLogConfig, HashLogSpmt, ReclaimMode, SpecConfig, SpecSpmt};
+use specpmt_core::{HashLogConfig, HashLogSpmt, ReclaimMode, ReclaimStats, SpecConfig, SpecSpmt};
 use specpmt_pmem::{PmemConfig, PmemDevice, PmemPool};
 use specpmt_stamp::{run_app, AppRun, Scale, StampApp};
 use specpmt_txn::RunReport;
@@ -266,6 +266,10 @@ pub struct MtSweepPoint {
     pub aborts: u64,
     /// Lock-table acquire/conflict counters for the run.
     pub lock_stats: LockTableStats,
+    /// Reclamation observability counters after one end-of-run compaction
+    /// cycle (these runs have no background daemon, so the final cycle is
+    /// what quantifies how much of the workload's log was stale).
+    pub reclaim: ReclaimStats,
 }
 
 /// Runs `app` on `threads` real OS threads over the concurrent SpecSPMT
@@ -306,7 +310,16 @@ pub fn run_spec_mt_cfg(
         app.name(),
         run.verified
     );
-    MtSweepPoint { run, aborts: shared.stats().aborts, lock_stats: locks.stats() }
+    // One explicit reclamation cycle after the run: the sweep points carry
+    // reclaim observability (chains skipped via watermark, entries
+    // dropped, bytes compacted) without a daemon racing the measurement.
+    shared.reclaim_cycle();
+    MtSweepPoint {
+        run,
+        aborts: shared.stats().aborts,
+        lock_stats: locks.stats(),
+        reclaim: shared.reclaim_stats(),
+    }
 }
 
 fn usage_bail(message: &str) -> ! {
@@ -349,9 +362,17 @@ pub fn threads_arg() -> Option<Vec<usize>> {
     Some(counts)
 }
 
+/// Smallest stripe size [`stripe_bytes_arg`] accepts: one cache line
+/// (finer stripes cannot reduce false sharing any further and explode the
+/// lock-table size).
+pub const MIN_STRIPE_BYTES: usize = 64;
+
 /// Parses a `--stripe-bytes A[,B,..]` flag (lock-table stripe sizes for
-/// the contention study). Returns `None` when absent. Sizes must be
-/// non-zero powers of two; anything else exits with a clear error.
+/// the contention study). Returns `None` when absent. Sizes are validated
+/// up front — each must be a power of two within
+/// [`MIN_STRIPE_BYTES`]`..=`[`POOL_BYTES`] — so a typo exits with a clear
+/// usage error before any benchmark state is built, instead of panicking
+/// (or silently degenerating to a one-lock table) deep inside the sweep.
 pub fn stripe_bytes_arg() -> Option<Vec<usize>> {
     let args: Vec<String> = std::env::args().collect();
     let at = args.iter().position(|a| a == "--stripe-bytes")?;
@@ -366,9 +387,17 @@ pub fn stripe_bytes_arg() -> Option<Vec<usize>> {
             })
         })
         .collect();
+    if sizes.is_empty() {
+        usage_bail("--stripe-bytes requires at least one size");
+    }
     for &b in &sizes {
-        if b == 0 || !b.is_power_of_two() {
+        if !b.is_power_of_two() {
             usage_bail(&format!("--stripe-bytes {b} invalid: sizes must be powers of two"));
+        }
+        if !(MIN_STRIPE_BYTES..=POOL_BYTES).contains(&b) {
+            usage_bail(&format!(
+                "--stripe-bytes {b} out of range: sizes must be {MIN_STRIPE_BYTES}..={POOL_BYTES}"
+            ));
         }
     }
     Some(sizes)
@@ -406,11 +435,26 @@ pub fn print_mt_scaling(bench: &str, thread_counts: &[usize], scale: Scale, apps
             let r = &point.run.report;
             let scales = prev.is_none_or(|p| r.commits_per_ms > p);
             prev = Some(r.commits_per_ms);
+            let rc = point.reclaim;
             println!(
                 "{{\"bench\":\"{bench}\",\"mode\":\"mt\",\"runtime\":\"SpecSPMT\",\
                  \"app\":\"{}\",\"threads\":{},\"commits\":{},\"aborts\":{},\"sim_ns\":{},\
-                 \"commits_per_ms\":{:.1},\"scales_up\":{scales}}}",
-                r.workload, r.threads, r.commits, point.aborts, r.sim_ns, r.commits_per_ms
+                 \"commits_per_ms\":{:.1},\"scales_up\":{scales},\
+                 \"reclaim_cycles\":{},\"reclaim_chains_skipped\":{},\
+                 \"reclaim_rewrites_skipped\":{},\"reclaim_entries_dropped\":{},\
+                 \"reclaim_bytes\":{},\"reclaim_last_cycle_ns\":{}}}",
+                r.workload,
+                r.threads,
+                r.commits,
+                point.aborts,
+                r.sim_ns,
+                r.commits_per_ms,
+                rc.cycles,
+                rc.chains_skipped,
+                rc.rewrites_skipped,
+                rc.records_dropped,
+                rc.bytes_reclaimed,
+                rc.last_cycle_ns
             );
         }
     }
@@ -434,11 +478,13 @@ pub fn print_stripe_sweep(
             let point = run_spec_mt_cfg(app, threads, scale, cfg);
             let r = &point.run.report;
             let ls = point.lock_stats;
+            let rc = point.reclaim;
             println!(
                 "{{\"bench\":\"{bench}\",\"mode\":\"stripe\",\"runtime\":\"SpecSPMT\",\
                  \"app\":\"{}\",\"threads\":{},\"stripe_bytes\":{stripe_bytes},\
                  \"commits\":{},\"aborts\":{},\"sim_ns\":{},\"commits_per_ms\":{:.1},\
-                 \"lock_acquires\":{},\"lock_conflicts\":{},\"conflict_rate\":{:.4}}}",
+                 \"lock_acquires\":{},\"lock_conflicts\":{},\"conflict_rate\":{:.4},\
+                 \"reclaim_entries_dropped\":{},\"reclaim_bytes\":{}}}",
                 r.workload,
                 r.threads,
                 r.commits,
@@ -447,7 +493,9 @@ pub fn print_stripe_sweep(
                 r.commits_per_ms,
                 ls.acquires,
                 ls.conflicts,
-                ls.conflict_rate()
+                ls.conflict_rate(),
+                rc.records_dropped,
+                rc.bytes_reclaimed
             );
         }
     }

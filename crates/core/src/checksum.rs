@@ -1,19 +1,104 @@
 //! FNV-1a checksum used as the record commit flag.
+//!
+//! Two implementations of the same function live here on purpose:
+//!
+//! * [`fnv1a64_reference`] — the textbook byte-serial loop. It *defines*
+//!   the hash and is kept as the oracle for the property tests.
+//! * [`fnv1a64`] / [`Fnv1a`] — the hot-path version. FNV-1a is inherently
+//!   sequential (`h = (h ^ b) * p` chains through every byte), so it
+//!   cannot be parallelised bit-identically across bytes; what *can* be
+//!   done is processing the input eight bytes per loop iteration: one
+//!   unaligned 8-byte load, then eight unrolled xor/multiply steps on the
+//!   register, with a byte-at-a-time tail. Same byte operations in the
+//!   same order — bit-identical by construction — but the bounds checks,
+//!   loads, and loop overhead drop by ~8×, which matters because every
+//!   commit hashes its whole record payload.
+//!
+//! [`Fnv1a`] is the streaming form: the commit path feeds entry bytes into
+//! it *as they are staged* instead of re-walking the payload at seal time.
 
-/// 64-bit FNV-1a hash.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x100_0000_01b3;
+
+/// Folds one byte into the running hash.
+#[inline(always)]
+fn step(h: u64, b: u8) -> u64 {
+    (h ^ b as u64).wrapping_mul(PRIME)
+}
+
+/// Folds `bytes` into `h`, eight bytes per iteration.
+#[inline]
+fn fold(mut h: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        // One unaligned load, then eight register-only steps. The byte
+        // order of the steps is exactly the byte order of the input, so
+        // the result is bit-identical to the serial loop.
+        let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h = step(h, w as u8);
+        h = step(h, (w >> 8) as u8);
+        h = step(h, (w >> 16) as u8);
+        h = step(h, (w >> 24) as u8);
+        h = step(h, (w >> 32) as u8);
+        h = step(h, (w >> 40) as u8);
+        h = step(h, (w >> 48) as u8);
+        h = step(h, (w >> 56) as u8);
+    }
+    for &b in chunks.remainder() {
+        h = step(h, b);
+    }
+    h
+}
+
+/// 64-bit FNV-1a hash, word-at-a-time (see the module docs).
 ///
 /// Used to validate log records; a mismatch marks the record as torn or
 /// uncommitted (the paper's checksum-as-commit-status design, which avoids
 /// a dedicated commit flag and its extra fence).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x100_0000_01b3;
+    fold(OFFSET, bytes)
+}
+
+/// The byte-serial FNV-1a definition. Reference implementation for the
+/// property tests; production code uses [`fnv1a64`].
+pub fn fnv1a64_reference(bytes: &[u8]) -> u64 {
     let mut h = OFFSET;
     for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(PRIME);
+        h = step(h, b);
     }
     h
+}
+
+/// Streaming FNV-1a hasher: feed bytes in any chunking, the result equals
+/// [`fnv1a64`] over the concatenation. FNV has no block state, so the
+/// struct is a single `u64` and cheap to copy/snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a {
+    h: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Fresh hasher (offset basis).
+    pub fn new() -> Self {
+        Self { h: OFFSET }
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.h = fold(self.h, bytes);
+    }
+
+    /// The hash of everything fed so far. Does not consume the hasher —
+    /// FNV supports continued feeding after a read.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
 }
 
 #[cfg(test)]
@@ -24,6 +109,30 @@ mod tests {
     fn known_vectors() {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64_reference(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64_reference(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn word_and_byte_paths_agree_on_all_small_lengths() {
+        // Cover every tail length 0..8 plus several full words.
+        let data: Vec<u8> = (0u16..64).map(|i| (i * 37 + 11) as u8).collect();
+        for len in 0..data.len() {
+            assert_eq!(fnv1a64(&data[..len]), fnv1a64_reference(&data[..len]), "len {len}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_across_chunkings() {
+        let data: Vec<u8> = (0u16..256).map(|i| (i ^ (i >> 3)) as u8).collect();
+        let expect = fnv1a64(&data);
+        for chunk in [1, 3, 7, 8, 13, 64, 256] {
+            let mut h = Fnv1a::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finish(), expect, "chunk {chunk}");
+        }
     }
 
     #[test]

@@ -38,7 +38,6 @@
 //! at a time, and the free-block lock is only acquired while holding an
 //! area lock (never the reverse). Device-internal locks nest below both.
 
-use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -50,12 +49,13 @@ use specpmt_pmem::{
 use specpmt_txn::CommitReceipt;
 
 use crate::layout::PoolLayout;
-use crate::reclaim::FreshnessIndex;
+use crate::reclaim::{ReclaimState, ReclaimStats};
 use crate::record::{
-    encode_header, encode_record, parse_chain, push_entry, Cursor, LogArea, SharedStore, ENTRY_HDR,
+    encode_header_parts, encode_record, entry_header, parse_chain, Cursor, LogArea, SharedStore,
     REC_HDR,
 };
 use crate::recovery;
+use crate::writeset::WriteSet;
 
 /// Configuration for [`SpecSpmtShared`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,6 +140,11 @@ pub struct SpecSpmtShared {
     reclaim_cycles: AtomicU64,
     records_reclaimed: AtomicU64,
     stop: AtomicBool,
+    /// Incremental-reclamation state (persistent freshness index,
+    /// per-chain watermarked scan caches, cycle counters). One reclamation
+    /// cycle runs at a time; the mutex serializes explicit calls with the
+    /// daemon.
+    reclaim: Mutex<ReclaimState>,
 }
 
 impl SpecSpmtShared {
@@ -188,6 +193,7 @@ impl SpecSpmtShared {
             reclaim_cycles: AtomicU64::new(0),
             records_reclaimed: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            reclaim: Mutex::new(ReclaimState::default()),
         })
     }
 
@@ -231,11 +237,11 @@ impl SpecSpmtShared {
             tid,
             in_tx: false,
             tx_start: Cursor { block: 0, pos: 0 },
-            payload: Vec::new(),
-            index: HashMap::new(),
+            ws: WriteSet::new(),
             dirty: Vec::new(),
-            data_lines: BTreeSet::new(),
-            undo: Vec::new(),
+            data_lines: Vec::new(),
+            undo_addrs: Vec::new(),
+            undo_data: Vec::new(),
         }
     }
 
@@ -255,67 +261,110 @@ impl SpecSpmtShared {
         }
     }
 
+    /// Cumulative incremental-reclamation counters (cycles, watermark
+    /// skips, rewrites, bytes reclaimed).
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.reclaim.lock().expect("reclaim lock").stats
+    }
+
     /// Runs one reclamation cycle on the calling thread (the daemon calls
     /// this; tests and benchmarks may too).
     ///
-    /// Scan phase: parse the committed records of every chain and build the
-    /// freshness index. Compact phase: per chain (skipping chains with an
-    /// open transaction), rewrite with only fresh entries and splice the
-    /// new chain in with two fences.
+    /// Cycles are incremental (see [`crate::reclaim`]): a chain whose
+    /// `(head, generation)` watermark has not moved since the last cycle
+    /// is not re-parsed — its cached parse is reused — and a chain whose
+    /// compaction drops nothing is not rewritten (no new blocks, no splice
+    /// fences). When no chain changed at all, the cycle is a complete
+    /// no-op. Otherwise: scan phase parses the changed chains' committed
+    /// records into the persistent freshness index; compact phase (per
+    /// chain, skipping chains with an open transaction) rewrites with only
+    /// fresh entries and splices the new chain in with two fences.
     pub fn reclaim_cycle(&self) {
         let handle = self.pool.handle();
+        let t0 = self.device().now_ns();
+        let mut rs = self.reclaim.lock().expect("reclaim lock");
+        rs.ensure_chains(self.areas.len());
+        rs.stats.cycles += 1;
 
-        // Phase 1: scan. Each chain is parsed under its lock (consistent
-        // snapshot of that chain); the global index may be stale by the
-        // time a chain is compacted, which errs toward keeping entries.
-        let parsed: Vec<Vec<crate::record::LogRecord>> = self
-            .areas
-            .iter()
-            .map(|a| {
-                let st = a.lock().expect("area lock");
-                parse_chain(&handle, st.area.head(), self.cfg.block_bytes)
-            })
-            .collect();
-        let index = FreshnessIndex::build(parsed.iter().flatten());
-        drop(parsed);
+        // Phase 1: scan. Chains whose watermark moved are parsed under
+        // their lock (consistent snapshot of that chain) and folded into
+        // the persistent index; the index may be stale by the time a chain
+        // is compacted, which errs toward keeping entries.
+        let mut any_changed = false;
+        for (tid, slot) in self.areas.iter().enumerate() {
+            let st = slot.lock().expect("area lock");
+            let mark = (st.area.head(), st.area.generation());
+            if rs.is_current(tid, mark) {
+                rs.stats.chains_skipped += 1;
+                continue;
+            }
+            any_changed = true;
+            let records = parse_chain(&handle, st.area.head(), self.cfg.block_bytes);
+            drop(st);
+            rs.install_parse(tid, mark, records);
+            rs.stats.chains_scanned += 1;
+        }
+        if !any_changed {
+            // The index is exactly what the previous cycle left behind:
+            // every chain it left fully fresh is still fully fresh, and
+            // skipping a compaction is always the safe side.
+            rs.stats.noop_cycles += 1;
+            rs.stats.last_cycle_ns = self.device().now_ns() - t0;
+            self.reclaim_cycles.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
 
-        // Phase 2: compact each chain.
+        // Phase 2: compact each chain from its cached parse.
         let mut dropped_total = 0u64;
         for (tid, slot) in self.areas.iter().enumerate() {
             let mut st = slot.lock().expect("area lock");
             if st.open {
                 continue; // an open record pins the chain
             }
-            // Re-parse under the lock: records committed since the scan
-            // must be preserved (the stale index treats them as fresh).
-            let records = parse_chain(&handle, st.area.head(), self.cfg.block_bytes);
+            let mark = (st.area.head(), st.area.generation());
+            if !rs.is_current(tid, mark) {
+                // The chain advanced between scan and compact: refresh
+                // under the lock — records committed since the scan must
+                // be preserved (the stale index treats them as fresh).
+                let records = parse_chain(&handle, st.area.head(), self.cfg.block_bytes);
+                rs.install_parse(tid, mark, records);
+                rs.stats.chains_scanned += 1;
+            }
+            let (kept, dropped, bytes) = rs.compact_chain(tid);
+            if dropped == 0 {
+                rs.stats.rewrites_skipped += 1;
+                continue;
+            }
+            dropped_total += dropped;
+            rs.stats.records_dropped += dropped;
+            rs.stats.records_kept += kept.iter().map(|r| r.entries.len() as u64).sum::<u64>();
+            rs.stats.bytes_reclaimed += bytes;
             let mut dirty = Vec::new();
             let mut new_area = {
                 let mut free = self.free_blocks.lock().expect("free lock");
                 let mut store = SharedStore { handle: &handle, pool: &self.pool, free: &mut free };
                 let mut area = LogArea::create(&mut store, self.cfg.block_bytes, &mut dirty);
-                for rec in &records {
-                    let (kept, dropped) = index.compact_record(rec);
-                    dropped_total += dropped;
-                    if let Some(kept) = kept {
-                        area.append(&mut store, &encode_record(&kept), &mut dirty);
-                    }
+                for rec in &kept {
+                    area.append(&mut store, &encode_record(rec), &mut dirty);
                 }
                 area.write_terminator(&mut store, &mut dirty);
                 area
             };
             // Fence 1: the new chain is fully persistent before any head
-            // pointer references it.
-            flush_ranges(&handle, &dirty);
+            // pointer references it (one vectored, coalesced flush).
+            handle.clwb_ranges(&dirty);
             handle.sfence();
             // Fence 2: atomically swap the 8-byte head pointer.
             self.layout.set_head_shared(&self.pool, tid, new_area.head() as u64);
+            rs.stats.chains_rewritten += 1;
+            rs.commit_rewrite(tid, (new_area.head(), new_area.generation()), kept);
             std::mem::swap(&mut st.area, &mut new_area);
             drop(st);
             // Old blocks are recycled only after the swap fence, so a crash
             // image either references the old chain (intact) or the new.
             self.free_blocks.lock().expect("free lock").extend(new_area.into_blocks());
         }
+        rs.stats.last_cycle_ns = self.device().now_ns() - t0;
         self.records_reclaimed.fetch_add(dropped_total, Ordering::Relaxed);
         self.reclaim_cycles.fetch_add(1, Ordering::Relaxed);
     }
@@ -383,18 +432,14 @@ impl Drop for ReclaimDaemon {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct EntrySlot {
-    payload_off: usize,
-    len: usize,
-    value_cursor: Cursor,
-}
-
 /// Per-thread transaction handle of [`SpecSpmtShared`].
 ///
 /// The API mirrors the sequential runtime's transaction surface (`begin` /
 /// `write` / `commit`), but is owned by one OS thread and safe to drive
-/// concurrently with the other threads' handles and the daemon.
+/// concurrently with the other threads' handles and the daemon. All
+/// per-transaction scratch (write set, dirty ranges, undo arena) is owned
+/// by the handle and cleared — never freed — between transactions, so a
+/// warmed-up handle commits without heap allocation.
 #[derive(Debug)]
 pub struct TxHandle {
     shared: Arc<SpecSpmtShared>,
@@ -402,34 +447,23 @@ pub struct TxHandle {
     tid: usize,
     in_tx: bool,
     tx_start: Cursor,
-    payload: Vec<u8>,
-    index: HashMap<usize, EntrySlot>,
+    /// Reusable write set: open-addressing index + payload arena +
+    /// streaming record checksum (see [`crate::writeset`]).
+    ws: WriteSet,
+    /// Dirty `(addr, len)` log ranges of the open transaction; coalesced
+    /// into one vectored flush at commit.
     dirty: Vec<(usize, usize)>,
-    data_lines: BTreeSet<usize>,
+    /// SpecSPMT-DP only: cache-line *indices* of data stores, sorted and
+    /// deduplicated at commit for the second (data) flush+fence.
+    data_lines: Vec<usize>,
     /// Volatile pre-images of every in-place write of the open
     /// transaction, in write order — the [`TxHandle::abort`] path replays
     /// them in reverse through the normal logging write, turning the
-    /// abort into a committed compensating record.
-    undo: Vec<(usize, Vec<u8>)>,
-}
-
-fn flush_ranges(dev: &DeviceHandle, ranges: &[(usize, usize)]) {
-    // Deduplicate to lines and flush ascending so sequential log lines get
-    // the XPLine write-combining discount.
-    let mut lines = BTreeSet::new();
-    for &(addr, len) in ranges {
-        if len == 0 {
-            continue;
-        }
-        let first = addr / CACHE_LINE;
-        let last = (addr + len - 1) / CACHE_LINE;
-        for l in first..=last {
-            lines.insert(l * CACHE_LINE);
-        }
-    }
-    for l in lines {
-        dev.clwb(l);
-    }
+    /// abort into a committed compensating record. Stored as an arena
+    /// (`(addr, offset, len)` descriptors over one byte buffer) so the
+    /// commit path captures pre-images without per-write allocation.
+    undo_addrs: Vec<(usize, usize, usize)>,
+    undo_data: Vec<u8>,
 }
 
 impl TxHandle {
@@ -461,25 +495,23 @@ impl TxHandle {
     /// slot).
     pub fn begin(&mut self) {
         assert!(!self.in_tx, "nested transaction on thread {}", self.tid);
-        self.payload.clear();
-        self.index.clear();
+        self.ws.begin();
         self.dirty.clear();
         self.data_lines.clear();
-        self.undo.clear();
+        self.undo_addrs.clear();
+        self.undo_data.clear();
         let mut st = self.shared.areas[self.tid].lock().expect("area lock");
         assert!(!st.open, "thread slot {} already has an open transaction", self.tid);
         st.open = true;
         self.tx_start = st.area.tail();
         // Reserve the header: zero length marks the record open/uncommitted.
-        let mut dirty = Vec::new();
         {
             let mut free = self.shared.free_blocks.lock().expect("free lock");
             let mut store =
                 SharedStore { handle: &self.dev, pool: &self.shared.pool, free: &mut free };
-            st.area.append(&mut store, &[0u8; REC_HDR], &mut dirty);
+            st.area.append(&mut store, &[0u8; REC_HDR], &mut self.dirty);
         }
         drop(st);
-        self.dirty.extend(dirty);
         self.in_tx = true;
     }
 
@@ -493,53 +525,45 @@ impl TxHandle {
     pub fn write(&mut self, addr: usize, data: &[u8]) {
         assert!(self.in_tx, "write outside transaction");
         if !data.is_empty() {
-            // Volatile pre-image for the abort path. `peek` is untimed and
-            // unsampled, so the bookkeeping does not distort the simulated
-            // cost of the write itself.
-            self.undo.push((addr, self.dev.peek(addr, data.len())));
+            // Volatile pre-image for the abort path, captured into the
+            // reusable undo arena. `peek_into` is untimed and unsampled,
+            // so the bookkeeping does not distort the simulated cost of
+            // the write itself.
+            let off = self.undo_data.len();
+            self.undo_data.resize(off + data.len(), 0);
+            self.dev.peek_into(addr, &mut self.undo_data[off..]);
+            self.undo_addrs.push((addr, off, data.len()));
         }
         self.dev.write(addr, data);
         if self.shared.cfg.data_persistence && !data.is_empty() {
             let first = addr / CACHE_LINE;
             let last = (addr + data.len() - 1) / CACHE_LINE;
-            for l in first..=last {
-                self.data_lines.insert(l * CACHE_LINE);
-            }
+            // Line *indices*; sorted and deduplicated once, at commit.
+            self.data_lines.extend(first..=last);
         }
         let mut st = self.shared.areas[self.tid].lock().expect("area lock");
-        if let Some(slot) = self.index.get(&addr).copied() {
+        if let Some(slot) = self.ws.lookup(addr) {
             if slot.len == data.len() {
                 // Write-set indexing: overwrite the previous entry in place.
-                self.payload[slot.payload_off..slot.payload_off + data.len()].copy_from_slice(data);
-                let mut dirty = Vec::new();
+                self.ws.patch(slot, data);
                 let mut free = self.shared.free_blocks.lock().expect("free lock");
                 let mut store =
                     SharedStore { handle: &self.dev, pool: &self.shared.pool, free: &mut free };
-                st.area.write_at(&mut store, slot.value_cursor, data, &mut dirty);
-                drop(free);
-                drop(st);
-                self.dirty.extend(dirty);
+                st.area.write_at(&mut store, slot.value_cursor, data, &mut self.dirty);
                 return;
             }
         }
-        let payload_off = self.payload.len() + ENTRY_HDR;
-        push_entry(&mut self.payload, addr, data);
-        let mut hdr = [0u8; ENTRY_HDR];
-        hdr[0..8].copy_from_slice(&(addr as u64).to_le_bytes());
-        hdr[8..12].copy_from_slice(&(data.len() as u32).to_le_bytes());
-        let mut dirty = Vec::new();
         let value_cursor = {
             let mut free = self.shared.free_blocks.lock().expect("free lock");
             let mut store =
                 SharedStore { handle: &self.dev, pool: &self.shared.pool, free: &mut free };
-            st.area.append(&mut store, &hdr, &mut dirty);
+            st.area.append(&mut store, &entry_header(addr, data.len()), &mut self.dirty);
             let cursor = st.area.tail();
-            st.area.append(&mut store, data, &mut dirty);
+            st.area.append(&mut store, data, &mut self.dirty);
             cursor
         };
         drop(st);
-        self.dirty.extend(dirty);
-        self.index.insert(addr, EntrySlot { payload_off, len: data.len(), value_cursor });
+        self.ws.stage(addr, data, value_cursor);
     }
 
     /// Reads `buf.len()` bytes at `addr` (direct in-place access — SpecPMT
@@ -569,7 +593,7 @@ impl TxHandle {
     /// [`TxHandle::abort`].
     fn seal(&mut self) -> u64 {
         assert!(self.in_tx, "commit outside transaction");
-        if self.payload.is_empty() {
+        if self.ws.payload().is_empty() {
             // A zero-length record header is the chain terminator, so an
             // empty (read-only or write-free) transaction must not seal a
             // zero-length record — it would orphan every younger record
@@ -578,39 +602,42 @@ impl TxHandle {
             self.write(0, &[]);
         }
         let ts = self.shared.ts.fetch_add(1, Ordering::SeqCst);
-        let header = encode_header(ts, &self.payload);
+        // Seal: the record checksum was streamed while entries were
+        // staged; only the fixed `(len, ts)` suffix is folded in here.
+        let header = encode_header_parts(ts, self.ws.payload().len(), self.ws.checksum(ts));
         let mut st = self.shared.areas[self.tid].lock().expect("area lock");
-        let mut dirty = Vec::new();
         {
             let mut free = self.shared.free_blocks.lock().expect("free lock");
             let mut store =
                 SharedStore { handle: &self.dev, pool: &self.shared.pool, free: &mut free };
-            let wrote = st.area.write_at(&mut store, self.tx_start, &header, &mut dirty);
+            let wrote = st.area.write_at(&mut store, self.tx_start, &header, &mut self.dirty);
             assert_eq!(wrote, REC_HDR, "record header must fit in the chain");
-            st.area.write_terminator(&mut store, &mut dirty);
+            st.area.write_terminator(&mut store, &mut self.dirty);
         }
-        self.dirty.extend(dirty);
 
-        // The single commit fence: persist the whole record and nothing
-        // else. The area lock is held through the fence so the daemon never
-        // splices a chain whose newest record is mid-persist.
-        let ranges = std::mem::take(&mut self.dirty);
-        flush_ranges(&self.dev, &ranges);
+        // The single commit fence: one vectored flush covering the whole
+        // record (coalesced, ascending lines) and nothing else. The area
+        // lock is held through the fence so the daemon never splices a
+        // chain whose newest record is mid-persist. The dirty list is
+        // cleared, not freed.
+        self.dev.clwb_ranges(&self.dirty);
+        self.dirty.clear();
         self.dev.sfence();
 
         if self.shared.cfg.data_persistence {
             // SpecSPMT-DP: also persist the data lines (second fence).
-            let lines = std::mem::take(&mut self.data_lines);
-            for l in lines {
-                self.dev.clwb(l);
-            }
+            self.data_lines.sort_unstable();
+            self.data_lines.dedup();
+            self.dev.clwb_lines(&self.data_lines);
+            self.data_lines.clear();
             self.dev.sfence();
         }
 
         st.open = false;
         drop(st);
         self.in_tx = false;
-        self.undo.clear();
+        self.undo_addrs.clear();
+        self.undo_data.clear();
         ts
     }
 
@@ -641,10 +668,17 @@ impl TxHandle {
     /// Panics outside a transaction.
     pub fn abort(&mut self) {
         assert!(self.in_tx, "abort outside transaction");
-        let undo = std::mem::take(&mut self.undo);
-        for (addr, old) in undo.into_iter().rev() {
-            self.write(addr, &old);
+        // Take the arenas so the replay can borrow the pre-image bytes
+        // while `write` mutates the handle; they are handed back below so
+        // their capacity survives (the replay's own pre-image captures go
+        // into fresh vectors and are discarded — `seal` clears them).
+        let addrs = std::mem::take(&mut self.undo_addrs);
+        let data = std::mem::take(&mut self.undo_data);
+        for &(addr, off, len) in addrs.iter().rev() {
+            self.write(addr, &data[off..off + len]);
         }
+        self.undo_addrs = addrs;
+        self.undo_data = data;
         let _ = self.seal();
         self.shared.aborts.fetch_add(1, Ordering::Relaxed);
     }

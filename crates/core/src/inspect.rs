@@ -12,7 +12,8 @@ use std::fmt;
 use specpmt_pmem::{root_off, CrashImage, POOL_MAGIC};
 
 use crate::layout::{PoolLayout, BLOCK_BYTES_SLOT};
-use crate::record::parse_chain;
+use crate::reclaim::FreshnessIndex;
+use crate::record::{parse_chain, REC_HDR};
 
 /// Summary of one thread's (or epoch's) log chain.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +29,13 @@ pub struct ChainSummary {
     pub entries: usize,
     /// Total payload bytes across records.
     pub payload_bytes: usize,
+    /// Entries fully overwritten by younger committed records (any chain):
+    /// a reclamation cycle would drop them.
+    pub stale_entries: usize,
+    /// Log bytes (record headers + payload) a reclamation cycle would
+    /// reclaim from this chain, per the same [`FreshnessIndex`] the
+    /// reclamator itself uses.
+    pub reclaimable_bytes: usize,
     /// Commit-timestamp range (min, max), if any records exist.
     pub ts_range: Option<(u64, u64)>,
 }
@@ -55,6 +63,17 @@ impl InspectReport {
     /// Total committed records across all chains.
     pub fn total_records(&self) -> usize {
         self.chains.iter().map(|c| c.records).sum()
+    }
+
+    /// Total stale (fully overwritten) entries across all chains.
+    pub fn total_stale_entries(&self) -> usize {
+        self.chains.iter().map(|c| c.stale_entries).sum()
+    }
+
+    /// Total log bytes a reclamation cycle would reclaim across all
+    /// chains.
+    pub fn total_reclaimable_bytes(&self) -> usize {
+        self.chains.iter().map(|c| c.reclaimable_bytes).sum()
     }
 
     /// Global commit-timestamp range, if any records exist.
@@ -87,8 +106,15 @@ impl fmt::Display for InspectReport {
         for c in &self.chains {
             write!(
                 f,
-                "  tid {:2}: head {:#8x}  {:4} records  {:5} entries  {:7} payload bytes",
-                c.tid, c.head, c.records, c.entries, c.payload_bytes
+                "  tid {:2}: head {:#8x}  {:4} records  {:5} entries  {:7} payload bytes  \
+                 {:4} stale  {:6} reclaimable",
+                c.tid,
+                c.head,
+                c.records,
+                c.entries,
+                c.payload_bytes,
+                c.stale_entries,
+                c.reclaimable_bytes
             )?;
             match c.ts_range {
                 Some((lo, hi)) => writeln!(f, "  ts {lo}..={hi}")?,
@@ -96,9 +122,15 @@ impl fmt::Display for InspectReport {
             }
         }
         match self.ts_range() {
-            Some((lo, hi)) => writeln!(f, "global ts:   {lo}..={hi}"),
-            None => writeln!(f, "global ts:   (no committed records)"),
+            Some((lo, hi)) => writeln!(f, "global ts:   {lo}..={hi}")?,
+            None => writeln!(f, "global ts:   (no committed records)")?,
         }
+        writeln!(
+            f,
+            "reclaimable: {} bytes across {} stale entries",
+            self.total_reclaimable_bytes(),
+            self.total_stale_entries()
+        )
     }
 }
 
@@ -133,15 +165,34 @@ pub fn inspect_image(image: &CrashImage) -> InspectReport {
             chains: Vec::new(),
         };
     };
-    let mut chains = Vec::new();
+    // Two passes: parse every chain first so the freshness index sees all
+    // committed records (staleness is a *global* property — a byte written
+    // by thread 0 may be overwritten by thread 3), then summarize each
+    // chain against the full index, exactly as a reclamation cycle would.
+    let mut parsed = Vec::new();
     for tid in 0..layout.threads() {
         let head = layout.head(image, tid);
         if head == 0 {
             continue;
         }
-        let records = parse_chain(image, head, layout.block_bytes());
+        parsed.push((tid, head, parse_chain(image, head, layout.block_bytes())));
+    }
+    let index = FreshnessIndex::build(parsed.iter().flat_map(|(_, _, recs)| recs.iter()));
+    let mut chains = Vec::new();
+    for (tid, head, records) in parsed {
         let entries = records.iter().map(|r| r.entries.len()).sum();
         let payload_bytes = records.iter().map(|r| r.payload_len()).sum();
+        let mut stale_entries = 0usize;
+        let mut reclaimable_bytes = 0usize;
+        for rec in &records {
+            let before = REC_HDR + rec.payload_len();
+            let (kept, dropped) = index.compact_record(rec);
+            stale_entries += dropped as usize;
+            reclaimable_bytes += match kept {
+                Some(k) => before - (REC_HDR + k.payload_len()),
+                None => before,
+            };
+        }
         let ts_range = records.iter().map(|r| r.ts).fold(None, |acc: Option<(u64, u64)>, ts| {
             Some(match acc {
                 None => (ts, ts),
@@ -154,6 +205,8 @@ pub fn inspect_image(image: &CrashImage) -> InspectReport {
             records: records.len(),
             entries,
             payload_bytes,
+            stale_entries,
+            reclaimable_bytes,
             ts_range,
         });
     }
@@ -195,9 +248,18 @@ mod tests {
         assert_eq!(report.chains.len(), 2);
         assert_eq!(report.total_records(), 10);
         assert_eq!(report.ts_range(), Some((1, 10)));
+        // Both threads hammer the same u64: only the globally youngest
+        // record (tid 1's last commit) is fresh; the other 9 entries are
+        // reclaimable — and staleness crosses chains (all of tid 0's
+        // entries are stale because tid 1 overwrote them).
+        assert_eq!(report.total_stale_entries(), 9);
+        assert_eq!(report.chains[0].stale_entries, 5);
+        assert_eq!(report.chains[1].stale_entries, 4);
+        assert!(report.total_reclaimable_bytes() > 0);
         let rendered = report.to_string();
         assert!(rendered.contains("10") || rendered.contains("records"));
         assert!(rendered.contains("dynamic descriptor"));
+        assert!(rendered.contains("reclaimable"));
     }
 
     #[test]

@@ -69,8 +69,9 @@ pub mod reclaim;
 pub mod record;
 pub mod recovery;
 mod runtime;
+pub mod writeset;
 
-pub use checksum::fnv1a64;
+pub use checksum::{fnv1a64, fnv1a64_reference, Fnv1a};
 pub use concurrent::{ConcurrentConfig, ReclaimDaemon, SharedStats, SpecSpmtShared, TxHandle};
 pub use hashlog::{HashLogConfig, HashLogSpmt};
 pub use inspect::{inspect_image, ChainSummary, InspectReport};
@@ -78,4 +79,6 @@ pub use layout::{
     PoolLayout, BLOCK_BYTES_SLOT, LAYOUT_SLOT, LEGACY_CHAIN_SLOTS, LOG_HEAD_SLOT_BASE,
 };
 pub use locked::LockedTxHandle;
+pub use reclaim::{FreshnessIndex, ReclaimState, ReclaimStats};
 pub use runtime::{ReclaimMode, SpecConfig, SpecSpmt};
+pub use writeset::{EntrySlot, WriteSet};

@@ -11,10 +11,33 @@
 //! may only be dropped when a younger committed record covers its bytes,
 //! never because of an in-flight transaction (the same requirement that
 //! motivates Fig. 11's epoch-overlap rule in the hardware design).
+//!
+//! # Incremental cycles
+//!
+//! A naive cycle re-parses every chain from PM and rebuilds the index from
+//! scratch — O(total log) even when nothing happened since the last cycle.
+//! [`ReclaimState`] makes cycles incremental:
+//!
+//! * each chain carries a **change watermark** `(head, generation)`
+//!   ([`crate::record::LogArea::generation`]); a chain whose watermark has
+//!   not moved since the last cycle is not re-parsed — its cached parse is
+//!   reused;
+//! * the [`FreshnessIndex`] **persists across cycles** and is only *fed*
+//!   the newly parsed records. This is sound because the index fold is
+//!   monotone ([`FreshnessIndex::insert_record`]): entries for records that
+//!   a rewrite has since dropped may linger, but a dropped record is by
+//!   definition covered by a younger retained one, so no freshness verdict
+//!   ever depends on vanished data;
+//! * when **no** chain changed, the whole cycle is a no-op: the index is
+//!   unchanged, so every chain that the previous cycle left fully fresh is
+//!   still fully fresh — skipping is always the safe side (a skipped
+//!   compaction only delays garbage collection, never corrupts recovery);
+//! * a chain whose compaction drops nothing is **not rewritten** (no new
+//!   blocks, no splice fences).
 
 use std::collections::HashMap;
 
-use crate::record::{LogEntry, LogRecord};
+use crate::record::{LogEntry, LogRecord, REC_HDR};
 
 /// Volatile index mapping each logged byte address to the youngest commit
 /// timestamp that wrote it.
@@ -26,18 +49,29 @@ pub struct FreshnessIndex {
 impl FreshnessIndex {
     /// Builds the index from committed records (any order, any thread).
     pub fn build<'a>(records: impl IntoIterator<Item = &'a LogRecord>) -> Self {
-        let mut newest: HashMap<usize, u64> = HashMap::new();
+        let mut idx = Self::default();
         for rec in records {
-            for e in &rec.entries {
-                for i in 0..e.value.len() {
-                    let slot = newest.entry(e.addr + i).or_insert(0);
-                    if rec.ts > *slot {
-                        *slot = rec.ts;
-                    }
+            idx.insert_record(rec);
+        }
+        idx
+    }
+
+    /// Folds one committed record into the index. The fold is monotone
+    /// (each byte keeps its *youngest* covering timestamp), so inserting a
+    /// record twice — or re-inserting records that survive a compaction —
+    /// is idempotent. This is what makes incremental maintenance safe: the
+    /// index may retain entries for records that were since dropped, but a
+    /// dropped record is by definition covered by a younger *retained*
+    /// one, so freshness decisions never rely on vanished data.
+    pub fn insert_record(&mut self, rec: &LogRecord) {
+        for e in &rec.entries {
+            for i in 0..e.value.len() {
+                let slot = self.newest.entry(e.addr + i).or_insert(0);
+                if rec.ts > *slot {
+                    *slot = rec.ts;
                 }
             }
         }
-        Self { newest }
     }
 
     /// Youngest commit timestamp covering `addr`, if any.
@@ -68,6 +102,142 @@ impl FreshnessIndex {
     /// Number of distinct bytes tracked.
     pub fn tracked_bytes(&self) -> usize {
         self.newest.len()
+    }
+}
+
+/// Observability counters for the incremental reclamator. All counters
+/// are cumulative over the runtime's lifetime except
+/// [`ReclaimStats::last_cycle_ns`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReclaimStats {
+    /// Reclamation cycles run (including no-op cycles).
+    pub cycles: u64,
+    /// Cycles where no chain's watermark had moved: the whole cycle was a
+    /// scan-free, rewrite-free no-op.
+    pub noop_cycles: u64,
+    /// Chains parsed from PM (watermark moved since the last cycle).
+    pub chains_scanned: u64,
+    /// Chain scans skipped because the `(head, generation)` watermark was
+    /// unchanged — the cached parse was reused.
+    pub chains_skipped: u64,
+    /// Chains rewritten (compaction dropped at least one entry).
+    pub chains_rewritten: u64,
+    /// Chain rewrites skipped because compaction dropped nothing — no new
+    /// blocks were written and no splice fences were issued.
+    pub rewrites_skipped: u64,
+    /// Entries kept across all compaction passes.
+    pub records_kept: u64,
+    /// Entries dropped as stale across all compaction passes.
+    pub records_dropped: u64,
+    /// Log bytes (record headers + payload) reclaimed by compaction.
+    pub bytes_reclaimed: u64,
+    /// Simulated duration of the most recent cycle, in nanoseconds.
+    pub last_cycle_ns: u64,
+}
+
+/// Per-chain scan cache: the watermark the cache was taken at plus the
+/// committed records parsed then. Volatile, like the index — rebuilt after
+/// a crash.
+#[derive(Debug, Default)]
+struct ChainCache {
+    /// `(head, generation)` of the chain when `records` was captured;
+    /// `None` forces a re-parse.
+    mark: Option<(usize, u64)>,
+    records: Vec<LogRecord>,
+}
+
+/// Volatile state carried across reclamation cycles: the persistent
+/// freshness index, per-chain scan caches with change watermarks, and the
+/// observability counters. See the module docs for why reusing all of this
+/// across cycles is sound.
+#[derive(Debug, Default)]
+pub struct ReclaimState {
+    index: FreshnessIndex,
+    chains: Vec<ChainCache>,
+    /// Cycle counters, surfaced through the runtimes' observability APIs.
+    pub stats: ReclaimStats,
+}
+
+impl ReclaimState {
+    /// Grows the per-chain cache vector to cover `n` chains.
+    pub fn ensure_chains(&mut self, n: usize) {
+        if self.chains.len() < n {
+            self.chains.resize_with(n, ChainCache::default);
+        }
+    }
+
+    /// Drops all cached state (indexes and watermarks), e.g. after
+    /// [`switch-out`](crate::runtime::SpecSpmt::switch_out) truncates the
+    /// log. Counters are preserved.
+    pub fn reset(&mut self) {
+        self.index = FreshnessIndex::default();
+        for c in &mut self.chains {
+            c.mark = None;
+            c.records.clear();
+        }
+    }
+
+    /// Forces chain `tid` to be re-parsed on the next cycle (used for
+    /// chains that were skipped mid-cycle, e.g. because a transaction was
+    /// open on them).
+    pub fn invalidate_chain(&mut self, tid: usize) {
+        self.ensure_chains(tid + 1);
+        self.chains[tid].mark = None;
+        self.chains[tid].records.clear();
+    }
+
+    /// Whether chain `tid`'s cached parse is still valid for watermark
+    /// `mark`.
+    pub fn is_current(&self, tid: usize, mark: (usize, u64)) -> bool {
+        self.chains.get(tid).is_some_and(|c| c.mark == Some(mark))
+    }
+
+    /// Installs a fresh parse of chain `tid` taken at watermark `mark`,
+    /// folding the records into the persistent freshness index.
+    pub fn install_parse(&mut self, tid: usize, mark: (usize, u64), records: Vec<LogRecord>) {
+        self.ensure_chains(tid + 1);
+        for r in &records {
+            self.index.insert_record(r);
+        }
+        let c = &mut self.chains[tid];
+        c.records = records;
+        c.mark = Some(mark);
+    }
+
+    /// Compacts chain `tid`'s cached records against the current index.
+    /// Returns `(kept records, dropped entry count, log bytes reclaimed)`;
+    /// a zero drop count means the chain needs no rewrite.
+    pub fn compact_chain(&self, tid: usize) -> (Vec<LogRecord>, u64, u64) {
+        let mut kept_all = Vec::new();
+        let mut dropped = 0u64;
+        let mut bytes = 0u64;
+        for rec in &self.chains[tid].records {
+            let before = (REC_HDR + rec.payload_len()) as u64;
+            let (kept, d) = self.index.compact_record(rec);
+            dropped += d;
+            match kept {
+                Some(k) => {
+                    bytes += before - (REC_HDR + k.payload_len()) as u64;
+                    kept_all.push(k);
+                }
+                None => bytes += before,
+            }
+        }
+        (kept_all, dropped, bytes)
+    }
+
+    /// Records that chain `tid` was rewritten to exactly `kept` at the new
+    /// watermark `mark`, so the next cycle can skip re-parsing it.
+    pub fn commit_rewrite(&mut self, tid: usize, mark: (usize, u64), kept: Vec<LogRecord>) {
+        self.ensure_chains(tid + 1);
+        let c = &mut self.chains[tid];
+        c.records = kept;
+        c.mark = Some(mark);
+    }
+
+    /// The persistent freshness index.
+    pub fn index(&self) -> &FreshnessIndex {
+        &self.index
     }
 }
 
@@ -127,6 +297,36 @@ mod tests {
         assert_eq!(kept.entries.len(), 1);
         assert_eq!(kept.entries[0].addr, 8);
         assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn reclaim_state_watermarks_cache_and_compact() {
+        use crate::record::ENTRY_HDR;
+        let mut st = ReclaimState::default();
+        st.ensure_chains(2);
+        assert!(!st.is_current(0, (64, 0)));
+        let r1 = rec(1, 0, &[1; 4]);
+        st.install_parse(0, (64, 3), vec![r1.clone()]);
+        assert!(st.is_current(0, (64, 3)));
+        assert!(!st.is_current(0, (64, 4)), "generation bump must invalidate");
+        assert!(!st.is_current(0, (65, 3)), "head move must invalidate");
+        // Nothing younger anywhere: chain 0 is fully fresh, no rewrite.
+        let (kept, dropped, bytes) = st.compact_chain(0);
+        assert_eq!(kept, vec![r1.clone()]);
+        assert_eq!((dropped, bytes), (0, 0));
+        // A younger record arriving on *another* chain stales the cached
+        // record of chain 0 through the persistent index.
+        st.install_parse(1, (128, 1), vec![rec(2, 0, &[2; 4])]);
+        let (kept, dropped, bytes) = st.compact_chain(0);
+        assert!(kept.is_empty());
+        assert_eq!(dropped, 1);
+        assert_eq!(bytes, (REC_HDR + ENTRY_HDR + 4) as u64);
+        st.commit_rewrite(0, (256, 0), kept);
+        assert!(st.is_current(0, (256, 0)));
+        st.invalidate_chain(0);
+        assert!(!st.is_current(0, (256, 0)));
+        st.reset();
+        assert_eq!(st.index().tracked_bytes(), 0);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use specpmt_pmem::{CrashImage, DeviceHandle, PmemDevice, PmemPool, SharedPmemPool};
 
-use crate::checksum::fnv1a64;
+use crate::checksum::Fnv1a;
 
 /// Bytes reserved at the start of each log block (forward + backward
 /// pointers).
@@ -62,6 +62,8 @@ impl ByteSource for PmemDevice {
         if addr + buf.len() > self.size() {
             return false;
         }
+        // `peek` returns a borrowed slice of the device image: a single
+        // copy into the caller's buffer, no intermediate allocation.
         buf.copy_from_slice(self.peek(addr, buf.len()));
         true
     }
@@ -76,7 +78,10 @@ impl ByteSource for DeviceHandle {
         if addr + buf.len() > self.size() {
             return false;
         }
-        buf.copy_from_slice(&self.peek(addr, buf.len()));
+        // `peek_into` copies straight from the (sharded) device image into
+        // the caller's buffer — the earlier `peek(..) -> Vec` round-trip
+        // allocated and copied every parsed header/payload twice.
+        self.peek_into(addr, buf);
         true
     }
 
@@ -120,22 +125,42 @@ impl LogRecord {
     }
 }
 
-/// Computes the record checksum over `len || ts || payload`.
+/// Computes the record checksum over `payload || len || ts`.
+///
+/// The variable-length payload comes *first* so the commit path can fold
+/// entry bytes into a streaming [`Fnv1a`] as they are staged and only
+/// append the fixed 12-byte `len || ts` suffix at seal time: FNV-1a is
+/// strictly sequential, so whatever is hashed first must be known first —
+/// and at staging time the payload bytes are known while the final length
+/// and commit timestamp are not. Runs without any temporary buffer.
 pub fn record_checksum(ts: u64, payload: &[u8]) -> u64 {
-    let mut bytes = Vec::with_capacity(12 + payload.len());
-    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    bytes.extend_from_slice(&ts.to_le_bytes());
-    bytes.extend_from_slice(payload);
-    fnv1a64(&bytes)
+    let mut h = Fnv1a::new();
+    h.update(payload);
+    record_checksum_finish(h, payload.len(), ts)
+}
+
+/// Finalizes a streaming payload hash into the record checksum by folding
+/// in the `len || ts` suffix. `payload_hash` must have been fed exactly
+/// the record's payload bytes in order.
+pub fn record_checksum_finish(mut payload_hash: Fnv1a, payload_len: usize, ts: u64) -> u64 {
+    payload_hash.update(&(payload_len as u32).to_le_bytes());
+    payload_hash.update(&ts.to_le_bytes());
+    payload_hash.finish()
+}
+
+/// Encodes a record header from precomputed parts — the seal fast path,
+/// where the checksum was accumulated incrementally during staging.
+pub fn encode_header_parts(ts: u64, payload_len: usize, checksum: u64) -> [u8; REC_HDR] {
+    let mut h = [0u8; REC_HDR];
+    h[0..4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    h[4..12].copy_from_slice(&ts.to_le_bytes());
+    h[12..20].copy_from_slice(&checksum.to_le_bytes());
+    h
 }
 
 /// Encodes a record header for the given payload.
 pub fn encode_header(ts: u64, payload: &[u8]) -> [u8; REC_HDR] {
-    let mut h = [0u8; REC_HDR];
-    h[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    h[4..12].copy_from_slice(&ts.to_le_bytes());
-    h[12..20].copy_from_slice(&record_checksum(ts, payload).to_le_bytes());
-    h
+    encode_header_parts(ts, payload.len(), record_checksum(ts, payload))
 }
 
 /// Appends one entry to a payload buffer.
@@ -143,6 +168,16 @@ pub fn push_entry(payload: &mut Vec<u8>, addr: usize, value: &[u8]) {
     payload.extend_from_slice(&(addr as u64).to_le_bytes());
     payload.extend_from_slice(&(value.len() as u32).to_le_bytes());
     payload.extend_from_slice(value);
+}
+
+/// Encodes the fixed-size entry header `[addr u64 | len u32]` on the
+/// stack — the allocation-free form of [`push_entry`] used by the
+/// reusable write set.
+pub fn entry_header(addr: usize, value_len: usize) -> [u8; ENTRY_HDR] {
+    let mut hdr = [0u8; ENTRY_HDR];
+    hdr[..8].copy_from_slice(&(addr as u64).to_le_bytes());
+    hdr[8..].copy_from_slice(&(value_len as u32).to_le_bytes());
+    hdr
 }
 
 /// Encodes a full record (header + payload) — used by compaction.
@@ -240,6 +275,9 @@ pub fn parse_chain<S: ByteSource>(src: &S, head: usize, block_bytes: usize) -> V
         return out;
     }
     let mut reader = StreamReader::new(src, head, block_bytes);
+    // One payload buffer reused across records: parsing a long chain does
+    // not allocate per record (reclamation parses every chain every cycle).
+    let mut payload = Vec::new();
     loop {
         let mut hdr = [0u8; REC_HDR];
         if !reader.read(&mut hdr) {
@@ -251,7 +289,8 @@ pub fn parse_chain<S: ByteSource>(src: &S, head: usize, block_bytes: usize) -> V
         }
         let ts = u64::from_le_bytes(hdr[4..12].try_into().expect("8 bytes"));
         let cksum = u64::from_le_bytes(hdr[12..20].try_into().expect("8 bytes"));
-        let mut payload = vec![0u8; len];
+        payload.clear();
+        payload.resize(len, 0);
         if !reader.read(&mut payload) {
             break;
         }
@@ -364,6 +403,12 @@ pub struct LogArea {
     tail: Cursor,
     block_bytes: usize,
     blocks: Vec<usize>,
+    /// Mutation generation: bumped on every append / in-place patch. The
+    /// pair `(head, generation)` is the chain's change watermark —
+    /// reclamation caches parsed records per chain and skips re-parsing
+    /// (and, when nothing was dropped last time, rewriting) chains whose
+    /// watermark has not moved.
+    generation: u64,
 }
 
 /// Allocates one log block, reusing `free` or batch-allocating from the
@@ -401,12 +446,24 @@ impl LogArea {
         // Zero terminator so parsing stops immediately.
         store.store(b + BLOCK_HDR, &[0u8; 4]);
         dirty.push((b, BLOCK_HDR + 4));
-        Self { head: b, tail: Cursor { block: b, pos: BLOCK_HDR }, block_bytes, blocks: vec![b] }
+        Self {
+            head: b,
+            tail: Cursor { block: b, pos: BLOCK_HDR },
+            block_bytes,
+            blocks: vec![b],
+            generation: 0,
+        }
     }
 
     /// First block of the chain.
     pub fn head(&self) -> usize {
         self.head
+    }
+
+    /// Mutation generation (see the field docs): `(head(), generation())`
+    /// is the chain's change watermark.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Current append position.
@@ -438,6 +495,7 @@ impl LogArea {
         bytes: &[u8],
         dirty: &mut Vec<(usize, usize)>,
     ) {
+        self.generation += 1;
         let mut off = 0;
         while off < bytes.len() {
             if self.tail.pos >= self.block_bytes {
@@ -470,12 +528,13 @@ impl LogArea {
     /// written (less than `bytes.len()` only if the chain ends — callers
     /// patching record headers must never hit that).
     pub fn write_at<S: LogStore>(
-        &self,
+        &mut self,
         store: &mut S,
         mut cursor: Cursor,
         bytes: &[u8],
         dirty: &mut Vec<(usize, usize)>,
     ) -> usize {
+        self.generation += 1;
         let mut off = 0;
         while off < bytes.len() {
             if cursor.pos >= self.block_bytes {
@@ -499,7 +558,11 @@ impl LogArea {
     /// it (the next record's header overwrites it in place). Bytes that
     /// would fall past the last block are dropped — parsing stops at the
     /// chain end anyway.
-    pub fn write_terminator<S: LogStore>(&self, store: &mut S, dirty: &mut Vec<(usize, usize)>) {
+    pub fn write_terminator<S: LogStore>(
+        &mut self,
+        store: &mut S,
+        dirty: &mut Vec<(usize, usize)>,
+    ) {
         self.write_at(store, self.tail, &[0u8; 4], dirty);
     }
 }

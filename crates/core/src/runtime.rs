@@ -1,16 +1,16 @@
 //! The [`SpecSpmt`] transaction runtime.
 
-use std::collections::{BTreeSet, HashMap};
-
 use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
 use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
 use crate::layout::PoolLayout;
-use crate::reclaim::FreshnessIndex;
+use crate::reclaim::{ReclaimState, ReclaimStats};
 use crate::record::{
-    encode_header, encode_record, push_entry, Cursor, LogArea, PoolStore, ENTRY_HDR, REC_HDR,
+    encode_header_parts, encode_record, entry_header, Cursor, LogArea, PoolStore, ENTRY_HDR,
+    REC_HDR,
 };
 use crate::recovery;
+use crate::writeset::WriteSet;
 
 /// How log reclamation runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,26 +69,22 @@ impl SpecConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct EntrySlot {
-    /// Offset of the value bytes inside the volatile payload buffer.
-    payload_off: usize,
-    len: usize,
-    /// Position of the value bytes in the PM log stream.
-    value_cursor: Cursor,
-}
-
 #[derive(Debug)]
 struct ThreadState {
     area: LogArea,
     in_tx: bool,
     tx_start: Cursor,
-    payload: Vec<u8>,
-    /// Write-set index: last logged entry per address (paper §4: only the
-    /// last update of a datum in a transaction needs a log record).
-    index: HashMap<usize, EntrySlot>,
+    /// Reusable write set (paper §4: only the last update of a datum in a
+    /// transaction needs a log record): open-addressing index + payload
+    /// arena + streaming record checksum, all cleared — never freed —
+    /// between transactions, so steady-state commits allocate nothing.
+    ws: WriteSet,
+    /// Dirty `(addr, len)` log ranges of the open transaction; coalesced
+    /// into one vectored flush at commit. Cleared, capacity kept.
     dirty: Vec<(usize, usize)>,
-    data_lines: BTreeSet<usize>,
+    /// SpecSPMT-DP only: cache-line *indices* of data stores, sorted and
+    /// deduplicated at commit for the second (data) flush+fence.
+    data_lines: Vec<usize>,
 }
 
 /// Software SpecPMT: the speculative-logging transaction runtime.
@@ -106,6 +102,9 @@ pub struct SpecSpmt {
     ts_counter: u64,
     free_blocks: Vec<usize>,
     stats: TxStats,
+    /// Incremental-reclamation state: persistent freshness index,
+    /// per-chain watermarked scan caches, cycle counters.
+    reclaim: ReclaimState,
 }
 
 impl SpecSpmt {
@@ -146,10 +145,9 @@ impl SpecSpmt {
                 area,
                 in_tx: false,
                 tx_start,
-                payload: Vec::new(),
-                index: HashMap::new(),
+                ws: WriteSet::new(),
                 dirty: Vec::new(),
-                data_lines: BTreeSet::new(),
+                data_lines: Vec::new(),
             });
         }
         pool.device_mut().flush_everything();
@@ -163,7 +161,14 @@ impl SpecSpmt {
             ts_counter: 1,
             free_blocks,
             stats: TxStats::default(),
+            reclaim: ReclaimState::default(),
         }
+    }
+
+    /// Cumulative reclamation counters (cycles, watermark skips, rewrites,
+    /// bytes reclaimed).
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.reclaim.stats
     }
 
     /// The persisted pool layout this runtime formatted.
@@ -206,28 +211,16 @@ impl SpecSpmt {
         self.stats.log_peak_bytes = self.stats.log_peak_bytes.max(self.stats.log_live_bytes);
     }
 
-    fn flush_lines(pool: &mut PmemPool, ranges: &[(usize, usize)]) {
-        // Deduplicate to lines and flush in ascending order so sequential
-        // log lines get the XPLine write-combining discount.
-        let mut lines = BTreeSet::new();
-        for &(addr, len) in ranges {
-            if len == 0 {
-                continue;
-            }
-            let first = addr / CACHE_LINE;
-            let last = (addr + len - 1) / CACHE_LINE;
-            for l in first..=last {
-                lines.insert(l * CACHE_LINE);
-            }
-        }
-        for l in lines {
-            pool.device_mut().clwb(l);
-        }
-    }
-
     /// Explicitly runs a log-reclamation cycle (the paper's explicit API).
     /// No-op while any thread has an open transaction or when reclamation
     /// is disabled.
+    ///
+    /// Cycles are incremental (see [`crate::reclaim`]): chains whose
+    /// `(head, generation)` watermark has not moved are not re-parsed, the
+    /// freshness index persists across cycles and is only fed newly parsed
+    /// records, and a chain whose compaction drops nothing is not
+    /// rewritten. A cycle in which no chain changed does no PM work at
+    /// all.
     pub fn reclaim_now(&mut self) {
         if self.cfg.reclaim_mode == ReclaimMode::Disabled {
             return;
@@ -236,36 +229,61 @@ impl SpecSpmt {
             return;
         }
         let t0 = self.pool.device().now_ns();
-
-        // Phase 1: scan — parse committed records of every thread and build
-        // the volatile freshness index (rebuilt from scratch after a crash;
-        // it needs no crash consistency of its own).
         let block_bytes = self.cfg.block_bytes;
-        let parsed: Vec<Vec<crate::record::LogRecord>> = self
-            .threads
-            .iter()
-            .map(|t| crate::record::parse_chain(self.pool.device(), t.area.head(), block_bytes))
-            .collect();
-        let index = FreshnessIndex::build(parsed.iter().flatten());
+        self.reclaim.ensure_chains(self.threads.len());
+        self.reclaim.stats.cycles += 1;
 
-        // Phase 2: compact — rewrite each chain with only fresh entries.
+        // Phase 1: scan — re-parse only the chains whose watermark moved,
+        // folding their records into the persistent freshness index (the
+        // index is volatile and rebuilt from the log after a crash; it
+        // needs no crash consistency of its own).
+        let mut any_changed = false;
+        for (tid, t) in self.threads.iter().enumerate() {
+            let mark = (t.area.head(), t.area.generation());
+            if self.reclaim.is_current(tid, mark) {
+                self.reclaim.stats.chains_skipped += 1;
+                continue;
+            }
+            any_changed = true;
+            let records =
+                crate::record::parse_chain(self.pool.device(), t.area.head(), block_bytes);
+            self.reclaim.install_parse(tid, mark, records);
+            self.reclaim.stats.chains_scanned += 1;
+        }
+        if !any_changed {
+            // The index is exactly what the previous cycle left: every
+            // chain it left fully fresh is still fully fresh.
+            self.reclaim.stats.noop_cycles += 1;
+            self.reclaim.stats.last_cycle_ns = self.pool.device().now_ns() - t0;
+            return;
+        }
+
+        // Phase 2: compact — rewrite only the chains whose compaction
+        // drops at least one entry (from the cached parses; freshness uses
+        // committed records of *all* threads via the shared index).
         let mut all_dirty = Vec::new();
-        let mut new_areas = Vec::with_capacity(self.threads.len());
+        let mut rewrites: Vec<(usize, LogArea, Vec<crate::record::LogRecord>)> = Vec::new();
         let mut dropped_total = 0u64;
-        for records in &parsed {
+        for tid in 0..self.threads.len() {
+            let (kept, dropped, bytes) = self.reclaim.compact_chain(tid);
+            if dropped == 0 {
+                self.reclaim.stats.rewrites_skipped += 1;
+                continue;
+            }
+            dropped_total += dropped;
+            self.reclaim.stats.records_dropped += dropped;
+            self.reclaim.stats.records_kept +=
+                kept.iter().map(|r| r.entries.len() as u64).sum::<u64>();
+            self.reclaim.stats.bytes_reclaimed += bytes;
             let mut dirty = Vec::new();
             let mut store = PoolStore::new(&mut self.pool, &mut self.free_blocks);
             let mut area = LogArea::create(&mut store, block_bytes, &mut dirty);
-            for rec in records {
-                let (kept, dropped) = index.compact_record(rec);
-                dropped_total += dropped;
-                if let Some(kept) = kept {
-                    area.append(&mut store, &encode_record(&kept), &mut dirty);
-                }
+            for rec in &kept {
+                area.append(&mut store, &encode_record(rec), &mut dirty);
             }
             area.write_terminator(&mut store, &mut dirty);
             all_dirty.extend(dirty);
-            new_areas.push(area);
+            rewrites.push((tid, area, kept));
         }
 
         // Persist the new chains before any head pointer moves (fence 1),
@@ -275,16 +293,18 @@ impl SpecSpmt {
         // issues these as background writes: they contend for the WPQ but
         // do not stall the application thread.
         let background = self.cfg.reclaim_mode == ReclaimMode::Background;
-        if background {
-            for &(addr, len) in &all_dirty {
-                self.pool.device_mut().background_range_write(addr, len);
+        if !rewrites.is_empty() {
+            if background {
+                for &(addr, len) in &all_dirty {
+                    self.pool.device_mut().background_range_write(addr, len);
+                }
+            } else {
+                self.pool.device_mut().clwb_ranges(&all_dirty);
+                self.pool.device_mut().sfence();
             }
-        } else {
-            Self::flush_lines(&mut self.pool, &all_dirty);
-            self.pool.device_mut().sfence();
         }
         let layout = self.layout;
-        for (tid, area) in new_areas.into_iter().enumerate() {
+        for (tid, area, kept) in rewrites {
             let addr = layout.head_addr(tid);
             if background {
                 let head = area.head() as u64;
@@ -293,6 +313,8 @@ impl SpecSpmt {
             } else {
                 layout.set_head(&mut self.pool, tid, area.head() as u64);
             }
+            self.reclaim.stats.chains_rewritten += 1;
+            self.reclaim.commit_rewrite(tid, (area.head(), area.generation()), kept);
             let old = std::mem::replace(&mut self.threads[tid].area, area);
             self.free_blocks.extend(old.into_blocks());
             let tail = self.threads[tid].area.tail();
@@ -301,6 +323,7 @@ impl SpecSpmt {
 
         self.stats.records_reclaimed += dropped_total;
         self.refresh_log_stats();
+        self.reclaim.stats.last_cycle_ns = self.pool.device().now_ns() - t0;
         if self.cfg.reclaim_mode == ReclaimMode::Background {
             self.stats.background_ns += self.pool.device().now_ns() - t0;
         }
@@ -352,7 +375,7 @@ impl SpecSpmt {
                 self.cfg.block_bytes,
                 &mut dirty,
             );
-            Self::flush_lines(&mut self.pool, &dirty);
+            self.pool.device_mut().clwb_ranges(&dirty);
             self.pool.device_mut().sfence();
             let layout = self.layout;
             layout.set_head(&mut self.pool, tid, area.head() as u64);
@@ -361,6 +384,9 @@ impl SpecSpmt {
             let tail = self.threads[tid].area.tail();
             self.threads[tid].tx_start = tail;
         }
+        // The log was truncated: cached parses and the freshness index no
+        // longer describe any live chain.
+        self.reclaim.reset();
         self.refresh_log_stats();
     }
 }
@@ -370,69 +396,53 @@ impl TxAccess for SpecSpmt {
         let tid = self.cur;
         assert!(!self.threads[tid].in_tx, "nested transaction on thread {tid}");
         self.stats.tx_begun += 1;
-        let t = &mut self.threads[tid];
-        t.payload.clear();
-        t.index.clear();
+        let Self { pool, free_blocks, threads, .. } = self;
+        let t = &mut threads[tid];
+        t.ws.begin();
         t.dirty.clear();
         t.data_lines.clear();
         t.tx_start = t.area.tail();
         t.in_tx = true;
         // Reserve the header: zero length marks the record open/uncommitted.
-        let mut dirty = Vec::new();
-        t.area.append(
-            &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
-            &[0u8; REC_HDR],
-            &mut dirty,
-        );
-        t.dirty.extend(dirty);
+        t.area.append(&mut PoolStore::new(pool, free_blocks), &[0u8; REC_HDR], &mut t.dirty);
     }
 
     fn write(&mut self, addr: usize, data: &[u8]) {
         let tid = self.cur;
         assert!(self.threads[tid].in_tx, "write outside transaction");
+        let Self { pool, free_blocks, threads, stats, cfg, .. } = self;
+        let t = &mut threads[tid];
         // In-place data update — never flushed by SpecSPMT.
-        self.pool.device_mut().write(addr, data);
-        self.stats.updates += 1;
-        self.stats.data_bytes += data.len() as u64;
-        if self.cfg.data_persistence && !data.is_empty() {
+        pool.device_mut().write(addr, data);
+        stats.updates += 1;
+        stats.data_bytes += data.len() as u64;
+        if cfg.data_persistence && !data.is_empty() {
             let first = addr / CACHE_LINE;
             let last = (addr + data.len() - 1) / CACHE_LINE;
-            for l in first..=last {
-                self.threads[tid].data_lines.insert(l * CACHE_LINE);
-            }
+            // Line *indices*; sorted and deduplicated once, at commit.
+            t.data_lines.extend(first..=last);
         }
         // splog: record the *new* value. No flush, no fence.
-        if let Some(slot) = self.threads[tid].index.get(&addr).copied() {
+        if let Some(slot) = t.ws.lookup(addr) {
             if slot.len == data.len() {
                 // Write-set indexing: overwrite the previous entry for this
                 // datum instead of appending a stale one.
-                let t = &mut self.threads[tid];
-                t.payload[slot.payload_off..slot.payload_off + data.len()].copy_from_slice(data);
-                let mut dirty = Vec::new();
+                t.ws.patch(slot, data);
                 t.area.write_at(
-                    &mut PoolStore::new(&mut self.pool, &mut self.free_blocks),
+                    &mut PoolStore::new(pool, free_blocks),
                     slot.value_cursor,
                     data,
-                    &mut dirty,
+                    &mut t.dirty,
                 );
-                t.dirty.extend(dirty);
                 return;
             }
         }
-        let t = &mut self.threads[tid];
-        let payload_off = t.payload.len() + ENTRY_HDR;
-        push_entry(&mut t.payload, addr, data);
-        let mut hdr = [0u8; ENTRY_HDR];
-        hdr[0..8].copy_from_slice(&(addr as u64).to_le_bytes());
-        hdr[8..12].copy_from_slice(&(data.len() as u32).to_le_bytes());
-        let mut dirty = Vec::new();
-        let mut store = PoolStore::new(&mut self.pool, &mut self.free_blocks);
-        t.area.append(&mut store, &hdr, &mut dirty);
+        let mut store = PoolStore::new(pool, free_blocks);
+        t.area.append(&mut store, &entry_header(addr, data.len()), &mut t.dirty);
         let value_cursor = t.area.tail();
-        t.area.append(&mut store, data, &mut dirty);
-        t.dirty.extend(dirty);
-        t.index.insert(addr, EntrySlot { payload_off, len: data.len(), value_cursor });
-        self.stats.log_bytes += (ENTRY_HDR + data.len()) as u64;
+        t.area.append(&mut store, data, &mut t.dirty);
+        t.ws.stage(addr, data, value_cursor);
+        stats.log_bytes += (ENTRY_HDR + data.len()) as u64;
     }
 
     fn read(&mut self, addr: usize, buf: &mut [u8]) {
@@ -446,33 +456,35 @@ impl TxAccess for SpecSpmt {
         let ts = self.ts_counter;
         self.ts_counter += 1;
 
-        let t = &mut self.threads[tid];
-        let header = encode_header(ts, &t.payload);
-        let mut dirty = Vec::new();
-        let mut store = PoolStore::new(&mut self.pool, &mut self.free_blocks);
-        let wrote = t.area.write_at(&mut store, t.tx_start, &header, &mut dirty);
+        let Self { pool, free_blocks, threads, stats, cfg, .. } = self;
+        let t = &mut threads[tid];
+        // Seal: the record checksum was streamed while entries were
+        // staged; only the fixed `(len, ts)` suffix is folded in here.
+        let header = encode_header_parts(ts, t.ws.payload().len(), t.ws.checksum(ts));
+        let mut store = PoolStore::new(pool, free_blocks);
+        let wrote = t.area.write_at(&mut store, t.tx_start, &header, &mut t.dirty);
         assert_eq!(wrote, REC_HDR, "record header must fit in the chain");
-        t.area.write_terminator(&mut store, &mut dirty);
-        t.dirty.extend(dirty);
-        self.stats.log_bytes += REC_HDR as u64;
+        t.area.write_terminator(&mut store, &mut t.dirty);
+        stats.log_bytes += REC_HDR as u64;
 
-        // The single commit fence: persist the whole record (sequential
-        // lines — cheap) and nothing else.
-        let ranges = std::mem::take(&mut self.threads[tid].dirty);
-        Self::flush_lines(&mut self.pool, &ranges);
-        self.pool.device_mut().sfence();
+        // The single commit fence: one vectored flush covering the whole
+        // record (coalesced, ascending lines — sequential and cheap) and
+        // nothing else. The dirty list is cleared, not freed.
+        pool.device_mut().clwb_ranges(&t.dirty);
+        t.dirty.clear();
+        pool.device_mut().sfence();
 
-        if self.cfg.data_persistence {
+        if cfg.data_persistence {
             // SpecSPMT-DP: also persist the data lines (second fence).
-            let lines = std::mem::take(&mut self.threads[tid].data_lines);
-            for l in lines {
-                self.pool.device_mut().clwb(l);
-            }
-            self.pool.device_mut().sfence();
+            t.data_lines.sort_unstable();
+            t.data_lines.dedup();
+            pool.device_mut().clwb_lines(&t.data_lines);
+            t.data_lines.clear();
+            pool.device_mut().sfence();
         }
 
-        self.threads[tid].in_tx = false;
-        self.stats.tx_committed += 1;
+        t.in_tx = false;
+        stats.tx_committed += 1;
         self.refresh_log_stats();
 
         // Implicit reclamation trigger (paper §4.2).

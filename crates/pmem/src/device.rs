@@ -25,15 +25,17 @@ pub enum TimingMode {
 }
 
 /// A line flush that has been issued but not yet fenced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct PendingFlush {
     line: usize,
     /// Simulated time at which the line is accepted into the WPQ — the
     /// instant it enters the persistence domain under ADR.
     accepted_at: u64,
     /// Contents of the line at `clwb` time. A later store to the line does
-    /// not change what this flush persists.
-    snapshot: Vec<u8>,
+    /// not change what this flush persists. Inline array (not `Vec`): the
+    /// commit path issues one of these per dirty line, and heap traffic
+    /// here would dominate the software cost being measured.
+    snapshot: [u8; CACHE_LINE],
 }
 
 /// Simulated byte-addressable persistent memory device.
@@ -74,6 +76,10 @@ pub struct PmemDevice {
     crash_fuel: Option<u64>,
     armed_policy: CrashPolicy,
     fired_image: Option<CrashImage>,
+    /// Reusable flush-plan scratch for [`Self::clwb_ranges`]: cleared, not
+    /// freed, between commits so steady-state flush planning is
+    /// allocation-free.
+    line_scratch: Vec<usize>,
 }
 
 impl PmemDevice {
@@ -95,6 +101,7 @@ impl PmemDevice {
             crash_fuel: None,
             armed_policy: CrashPolicy::AllLost,
             fired_image: None,
+            line_scratch: Vec::new(),
         }
     }
 
@@ -274,7 +281,8 @@ impl PmemDevice {
         let line = line_of(addr);
         assert!(line_start(line) < self.volatile.len(), "clwb out of bounds");
         self.tick_fuel();
-        let snapshot = self.volatile[line_start(line)..line_start(line) + CACHE_LINE].to_vec();
+        let mut snapshot = [0u8; CACHE_LINE];
+        snapshot.copy_from_slice(&self.volatile[line_start(line)..line_start(line) + CACHE_LINE]);
         if self.timing == TimingMode::Off {
             self.persisted[line_start(line)..line_start(line) + CACHE_LINE]
                 .copy_from_slice(&snapshot);
@@ -324,7 +332,8 @@ impl PmemDevice {
         assert!(line_start(line) < self.volatile.len(), "background write out of bounds");
         let start = line_start(line);
         if self.timing == TimingMode::Off {
-            let snapshot = self.volatile[start..start + CACHE_LINE].to_vec();
+            let mut snapshot = [0u8; CACHE_LINE];
+            snapshot.copy_from_slice(&self.volatile[start..start + CACHE_LINE]);
             self.persisted[start..start + CACHE_LINE].copy_from_slice(&snapshot);
             return;
         }
@@ -350,7 +359,8 @@ impl PmemDevice {
         if sequential {
             self.stats.seq_line_hits += 1;
         }
-        let snapshot = self.volatile[start..start + CACHE_LINE].to_vec();
+        let mut snapshot = [0u8; CACHE_LINE];
+        snapshot.copy_from_slice(&self.volatile[start..start + CACHE_LINE]);
         self.persisted[start..start + CACHE_LINE].copy_from_slice(&snapshot);
     }
 
@@ -366,6 +376,40 @@ impl PmemDevice {
         for line in lines_touching(addr, len) {
             self.clwb(line_start(line));
         }
+    }
+
+    /// Vectored `clwb`: one write-back per cache-line *index* in `lines`
+    /// (each element is `addr / CACHE_LINE`; sorted ascending and
+    /// deduplicated). The single-threaded device has no locks to batch,
+    /// so this is exactly per-line [`Self::clwb`] — it exists so commit
+    /// planners drive one flush API regardless of device flavour (the
+    /// [`crate::DeviceHandle`] version batches its shard/WPQ/pending lock
+    /// acquisitions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a line is out of bounds or the slice is not sorted and
+    /// deduplicated.
+    pub fn clwb_lines(&mut self, lines: &[usize]) {
+        assert!(
+            lines.windows(2).all(|w| w[0] < w[1]),
+            "clwb_lines requires a sorted, deduplicated batch"
+        );
+        for &line in lines {
+            self.clwb(line_start(line));
+        }
+    }
+
+    /// Vectored flush of a commit's dirty byte ranges: plans the sorted,
+    /// deduplicated line set with [`crate::geometry::coalesce_lines`] into
+    /// a reusable scratch buffer and issues it through
+    /// [`Self::clwb_lines`]. Flushes the exact line set a range-at-a-time
+    /// `clwb` loop would, with zero steady-state allocation.
+    pub fn clwb_ranges(&mut self, ranges: &[(usize, usize)]) {
+        let mut lines = std::mem::take(&mut self.line_scratch);
+        crate::geometry::coalesce_lines(ranges, &mut lines);
+        self.clwb_lines(&lines);
+        self.line_scratch = lines;
     }
 
     /// Store fence: stalls until all outstanding flushes are accepted into

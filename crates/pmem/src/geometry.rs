@@ -60,6 +60,33 @@ pub fn lines_touching(addr: usize, len: usize) -> impl Iterator<Item = usize> {
     first..=last
 }
 
+/// Flush planning: collapses a commit's dirty byte ranges into the sorted,
+/// deduplicated list of cache-line indices they touch, written into `out`
+/// (cleared first; its capacity is reused, so steady-state planning is
+/// allocation-free).
+///
+/// Zero-length ranges are skipped. The result is exactly the line set a
+/// range-at-a-time `clwb` loop would have flushed, in ascending order —
+/// the shape the vectored `clwb_lines` APIs require — so coalescing
+/// changes *which locks are taken how often*, never *which lines persist*.
+pub fn coalesce_lines(ranges: &[(usize, usize)], out: &mut Vec<usize>) {
+    out.clear();
+    for &(addr, len) in ranges {
+        if len == 0 {
+            continue;
+        }
+        for l in lines_touching(addr, len) {
+            // Adjacent dedup catches the common case (log appends produce
+            // runs of contiguous ranges) and keeps the sort input short.
+            if out.last() != Some(&l) {
+                out.push(l);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +110,21 @@ mod tests {
         assert_eq!(xpline_of_line(0), 0);
         assert_eq!(xpline_of_line(3), 0);
         assert_eq!(xpline_of_line(4), 1);
+    }
+
+    #[test]
+    fn coalesce_lines_sorts_dedups_and_skips_empty() {
+        let mut out = Vec::new();
+        // Out-of-order, overlapping, straddling, and empty ranges.
+        coalesce_lines(&[(300, 8), (0, 65), (60, 8), (128, 0), (64, 4)], &mut out);
+        assert_eq!(out, vec![0, 1, 4]);
+        // Reuse keeps correctness (and capacity).
+        let cap = out.capacity();
+        coalesce_lines(&[(640, 1)], &mut out);
+        assert_eq!(out, vec![10]);
+        assert_eq!(out.capacity(), cap);
+        coalesce_lines(&[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub use config::PmemConfig;
 pub use crash::{CrashImage, CrashPolicy};
 pub use device::{PmemDevice, TimingMode};
 pub use error::PmemError;
-pub use geometry::{line_of, line_start, word_of, CACHE_LINE, PERSIST_WORD, XPLINE};
+pub use geometry::{
+    coalesce_lines, line_of, line_start, word_of, CACHE_LINE, PERSIST_WORD, XPLINE,
+};
 pub use pool::{root_off, PmemPool, BUMP_OFF, POOL_HEADER_SIZE, POOL_MAGIC, ROOT_SLOTS};
 pub use rng::SplitMix64;
 pub use shared::{DeviceHandle, SharedPmemDevice, SharedPmemPool};

@@ -59,12 +59,17 @@ struct Shard {
 }
 
 /// A line flush issued by some handle but not yet fenced.
-#[derive(Debug, Clone)]
+///
+/// The snapshot is a fixed cache-line array (not a `Vec`): flushes are the
+/// hottest allocation site of the commit path, and an inline array keeps
+/// the whole pending set allocation-free once the pending vector has
+/// reached its steady-state capacity.
+#[derive(Debug, Clone, Copy)]
 struct PendingFlush {
     owner: u64,
     line: usize,
     accepted_at: u64,
-    snapshot: Vec<u8>,
+    snapshot: [u8; CACHE_LINE],
 }
 
 #[derive(Debug, Default)]
@@ -183,6 +188,8 @@ impl SharedPmemDevice {
             dev: self.clone(),
             id: self.inner.next_handle.fetch_add(1, Ordering::Relaxed),
             clock: AtomicU64::new(self.now_ns()),
+            scratch: Mutex::new(Vec::new()),
+            lines: Mutex::new(Vec::new()),
         }
     }
 
@@ -396,8 +403,15 @@ impl SharedPmemDevice {
     /// WPQ + media accounting for one line write-back; returns the time the
     /// flush is accepted into the persistence domain.
     fn wpq_accept(&self, line: usize, now: u64) -> u64 {
-        let cfg = &self.inner.cfg;
         let mut w = self.inner.wpq.lock().expect("wpq lock");
+        self.wpq_accept_locked(&mut w, line, now)
+    }
+
+    /// [`Self::wpq_accept`] body with the WPQ lock already held — the
+    /// batched flush path accepts a whole commit's lines under one lock
+    /// acquisition.
+    fn wpq_accept_locked(&self, w: &mut WpqModel, line: usize, now: u64) -> u64 {
+        let cfg = &self.inner.cfg;
         let xp = xpline_of_line(line);
         let ch = channel_of_xpline(xp, w.media_busy_until.len());
         while w.drains[ch].front().is_some_and(|&t| t <= now) {
@@ -415,7 +429,6 @@ impl SharedPmemDevice {
         w.media_busy_until[ch] = drain_at;
         w.last_media_xpline[ch] = Some(xp);
         w.drains[ch].push_back(drain_at);
-        drop(w);
         let stats = &self.inner.stats;
         stats.lines_persisted.fetch_add(1, Ordering::Relaxed);
         if sequential {
@@ -441,6 +454,17 @@ pub struct DeviceHandle {
     dev: SharedPmemDevice,
     id: u64,
     clock: AtomicU64,
+    /// Reusable flush scratch for [`Self::clwb_lines`] and
+    /// [`Self::sfence`]: cleared (capacity kept) between uses, so
+    /// steady-state commits allocate nothing. A handle belongs to one
+    /// thread, so the mutex is uncontended — it exists only to keep the
+    /// handle `Sync` without interior-mutability `unsafe`.
+    scratch: Mutex<Vec<PendingFlush>>,
+    /// Reusable flush-plan scratch for [`Self::clwb_ranges`]: holds the
+    /// coalesced cache-line indices between uses (cleared, capacity
+    /// kept), so planning a commit's flushes is allocation-free in
+    /// steady state. Same single-owner-mutex pattern as `scratch`.
+    lines: Mutex<Vec<usize>>,
 }
 
 impl DeviceHandle {
@@ -527,21 +551,34 @@ impl DeviceHandle {
     }
 
     /// Copies `len` bytes at `addr` out of the volatile image without
-    /// charging any cost (verification / debugging).
+    /// charging any cost (verification / debugging). Prefer
+    /// [`Self::peek_into`] on hot paths — it does not allocate.
     pub fn peek(&self, addr: usize, len: usize) -> Vec<u8> {
-        self.dev.check(addr, len).expect("peek out of bounds");
         let mut out = vec![0u8; len];
-        self.dev.for_stripes(addr, len, |shard, off, range| {
-            let n = range.len();
-            out[range].copy_from_slice(&shard.volatile[off..off + n]);
-        });
+        self.peek_into(addr, &mut out);
         out
+    }
+
+    /// Copies `buf.len()` bytes at `addr` out of the volatile image into
+    /// `buf` without charging any cost and without allocating — the
+    /// zero-copy read primitive for the parse and undo hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn peek_into(&self, addr: usize, buf: &mut [u8]) {
+        self.dev.check(addr, buf.len()).expect("peek out of bounds");
+        self.dev.for_stripes(addr, buf.len(), |shard, off, range| {
+            let n = range.len();
+            buf[range].copy_from_slice(&shard.volatile[off..off + n]);
+        });
     }
 
     /// Reads a `u64` from the volatile image without charging any cost.
     pub fn peek_u64(&self, addr: usize) -> u64 {
-        let b = self.peek(addr, 8);
-        u64::from_le_bytes(b.try_into().expect("8 bytes"))
+        let mut b = [0u8; 8];
+        self.peek_into(addr, &mut b);
+        u64::from_le_bytes(b)
     }
 
     /// Issues a `clwb` for the cache line containing `addr`. The line is
@@ -551,7 +588,8 @@ impl DeviceHandle {
         let line = line_of(addr);
         assert!(line_start(line) < self.dev.size(), "clwb out of bounds");
         self.dev.tick_fuel();
-        let snapshot = self.peek(line_start(line), CACHE_LINE);
+        let mut snapshot = [0u8; CACHE_LINE];
+        self.peek_into(line_start(line), &mut snapshot);
         if !self.dev.timing_is_on() {
             self.apply_persisted(line, &snapshot);
             return;
@@ -565,6 +603,86 @@ impl DeviceHandle {
             accepted_at,
             snapshot,
         });
+    }
+
+    /// Vectored `clwb`: issues a write-back for every cache-line *index*
+    /// in `lines` (each element is `addr / CACHE_LINE`; the slice must be
+    /// sorted ascending and deduplicated — commit planners produce exactly
+    /// that). Semantically identical to calling [`Self::clwb`] once per
+    /// line between the same pair of fences, but the whole batch acquires
+    /// each overlapped image shard once, the WPQ lock once, and the
+    /// pending lock once — instead of once *per line* — which is where the
+    /// per-commit shard-mutex traffic of the range-at-a-time path went.
+    ///
+    /// Crash semantics are unchanged: every line still burns one unit of
+    /// crash fuel (fuel is burned for the whole batch up front, while no
+    /// lock is held, so an armed capture can fire between any two lines of
+    /// the batch — the same nondeterminism interleaved flushes have), each
+    /// line snapshot joins the pending set individually, and nothing
+    /// crosses a fence (the batch is issued entirely between two fences of
+    /// this handle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a line is out of bounds or the slice is not sorted and
+    /// deduplicated.
+    pub fn clwb_lines(&self, lines: &[usize]) {
+        if lines.is_empty() {
+            return;
+        }
+        assert!(
+            lines.windows(2).all(|w| w[0] < w[1]),
+            "clwb_lines requires a sorted, deduplicated batch"
+        );
+        let last = *lines.last().expect("non-empty batch");
+        assert!(line_start(last) < self.dev.size(), "clwb out of bounds");
+        // One persistence op of crash fuel per line, burned before any
+        // shard lock below (fuel capture acquires every shard lock).
+        for _ in lines {
+            self.dev.tick_fuel();
+        }
+        let mut scratch = self.scratch.lock().expect("scratch lock");
+        scratch.clear();
+        // Snapshot shard group by shard group: lines are sorted, so lines
+        // of the same shard are adjacent and the guard is taken once.
+        let mut i = 0;
+        while i < lines.len() {
+            let shard_idx = line_start(lines[i]) / SHARD_BYTES;
+            let guard = self.dev.shard(shard_idx);
+            while i < lines.len() && line_start(lines[i]) / SHARD_BYTES == shard_idx {
+                let off = line_start(lines[i]) % SHARD_BYTES;
+                let mut snapshot = [0u8; CACHE_LINE];
+                snapshot.copy_from_slice(&guard.volatile[off..off + CACHE_LINE]);
+                scratch.push(PendingFlush {
+                    owner: self.id,
+                    line: lines[i],
+                    accepted_at: 0,
+                    snapshot,
+                });
+                i += 1;
+            }
+        }
+        if !self.dev.timing_is_on() {
+            for p in scratch.iter() {
+                self.apply_persisted(p.line, &p.snapshot);
+            }
+            scratch.clear();
+            return;
+        }
+        let issue_ns = self.dev.inner.cfg.clwb_issue_ns;
+        let t0 = self.local_now_ns();
+        {
+            // WPQ lock once for the whole batch; each line is accepted at
+            // the simulated instant its serial `clwb` would have issued.
+            let mut w = self.dev.inner.wpq.lock().expect("wpq lock");
+            for (k, p) in scratch.iter_mut().enumerate() {
+                let now = t0 + (k as u64 + 1) * issue_ns;
+                p.accepted_at = self.dev.wpq_accept_locked(&mut w, p.line, now);
+            }
+        }
+        self.local_charge(lines.len() as u64 * issue_ns);
+        self.dev.inner.stats.clwb_count.fetch_add(lines.len() as u64, Ordering::Relaxed);
+        self.dev.inner.pending.lock().expect("pending lock").extend(scratch.drain(..));
     }
 
     fn apply_persisted(&self, line: usize, snapshot: &[u8]) {
@@ -582,6 +700,20 @@ impl DeviceHandle {
         }
     }
 
+    /// Flush-plans and issues a whole commit's dirty `(addr, len)` ranges
+    /// in one vectored batch: coalesces them into the sorted, deduplicated
+    /// cache-line set ([`crate::geometry::coalesce_lines`]) in a reusable
+    /// scratch buffer, then hands the plan to [`Self::clwb_lines`]. The
+    /// line set — and hence what persists across any crash — is exactly
+    /// what a [`Self::clwb_range`] loop over the same ranges would flush;
+    /// only the lock-acquisition count changes. Zero-length ranges are
+    /// skipped; steady state allocates nothing.
+    pub fn clwb_ranges(&self, ranges: &[(usize, usize)]) {
+        let mut lines = self.lines.lock().expect("lines lock");
+        crate::geometry::coalesce_lines(ranges, &mut lines);
+        self.clwb_lines(&lines);
+    }
+
     /// Store fence: stalls until every flush **this handle** issued is
     /// accepted into the persistence domain, then applies them to the
     /// persisted image.
@@ -591,21 +723,23 @@ impl DeviceHandle {
         }
         self.dev.tick_fuel();
         self.dev.inner.stats.sfence_count.fetch_add(1, Ordering::Relaxed);
-        // Remove own entries under the lock; apply after releasing it so a
-        // shard lock is never acquired while holding the pending lock.
-        let mine: Vec<PendingFlush> = {
+        // Move own entries into the reusable scratch under the pending
+        // lock; apply after releasing it so a shard lock is never acquired
+        // while holding the pending lock. The scratch keeps its capacity,
+        // so steady-state fences allocate nothing.
+        let mut mine = self.scratch.lock().expect("scratch lock");
+        mine.clear();
+        {
             let mut pending = self.dev.inner.pending.lock().expect("pending lock");
-            let mut mine = Vec::new();
             pending.retain(|p| {
                 if p.owner == self.id {
-                    mine.push(p.clone());
+                    mine.push(*p);
                     false
                 } else {
                     true
                 }
             });
-            mine
-        };
+        }
         let target = mine.iter().map(|p| p.accepted_at).max().unwrap_or(0);
         let now = self.local_now_ns();
         if target > now {
@@ -614,9 +748,10 @@ impl DeviceHandle {
             self.dev.inner.clock_ns.fetch_max(target, Ordering::Relaxed);
         }
         self.local_charge(self.dev.inner.cfg.sfence_base_ns);
-        for p in mine {
+        for p in mine.iter() {
             self.apply_persisted(p.line, &p.snapshot);
         }
+        mine.clear();
     }
 
     /// Non-temporal store: write + flush in one step (still needs a fence).
@@ -640,7 +775,8 @@ impl DeviceHandle {
     pub fn background_line_write(&self, addr: usize) {
         let line = line_of(addr);
         assert!(line_start(line) < self.dev.size(), "background write out of bounds");
-        let snapshot = self.peek(line_start(line), CACHE_LINE);
+        let mut snapshot = [0u8; CACHE_LINE];
+        self.peek_into(line_start(line), &mut snapshot);
         if self.dev.timing_is_on() {
             let _ = self.dev.wpq_accept(line, self.local_now_ns());
         }
@@ -1002,5 +1138,89 @@ mod tests {
         let d = dev();
         let h = d.handle();
         assert!(h.try_write(64 * 1024 - 4, &[0u8; 16]).is_err());
+    }
+
+    /// The dirty ranges a commit hands to [`DeviceHandle::clwb_ranges`]:
+    /// unsorted, overlapping, sub-line, and spanning a shard boundary —
+    /// the worst case the coalescer must normalize.
+    fn messy_commit(h: &DeviceHandle) -> Vec<(usize, usize)> {
+        h.write_u64(0, 1);
+        h.write_u64(200, 2); // mid-line, same 4th line as 192
+        h.write_u64(128, 3);
+        h.write_u64(SHARD_BYTES - 8, 4); // straddles a shard boundary line pair
+        h.write_u64(SHARD_BYTES + 64, 5);
+        vec![
+            (SHARD_BYTES - 8, 16), // crosses the shard seam
+            (128, 80),             // covers lines 2 and 3
+            (0, 8),
+            (196, 12), // overlaps the (128, 80) range's last line
+            (200, 0),  // empty range contributes nothing
+            (128, 64), // exact duplicate line
+            (SHARD_BYTES + 64, 8),
+        ]
+    }
+
+    /// Vectored `clwb_ranges` persists exactly what flushing each range
+    /// serially persists: the `AllLost` images are byte-identical.
+    #[test]
+    fn clwb_ranges_matches_serial_flush_image() {
+        let serial = dev();
+        let vectored = dev();
+        let hs = serial.handle();
+        let hv = vectored.handle();
+        for r in messy_commit(&hs) {
+            hs.clwb_range(r.0, r.1);
+        }
+        hs.sfence();
+        let ranges = messy_commit(&hv);
+        hv.clwb_ranges(&ranges);
+        hv.sfence();
+        let a = serial.crash_with(CrashPolicy::AllLost);
+        let b = vectored.crash_with(CrashPolicy::AllLost);
+        for addr in [0usize, 128, 200, SHARD_BYTES - 8, SHARD_BYTES + 64] {
+            assert_eq!(a.read_u64(addr), b.read_u64(addr), "divergence at {addr:#x}");
+        }
+        assert_eq!(b.read_u64(0), 1);
+        assert_eq!(b.read_u64(SHARD_BYTES - 8), 4);
+    }
+
+    /// Crash-epoch sweep through the coalesced flush path: arm the crash at
+    /// every persistence-op budget through a vectored commit followed by a
+    /// fenced marker. Whenever the marker made it to PM, the fence before
+    /// it had completed, so *all* coalesced lines must be durable; before
+    /// that, each word is old-or-new but never torn garbage.
+    #[test]
+    fn clwb_ranges_crash_sweep_preserves_fence_order() {
+        const MARKER: usize = 8 * 1024;
+        for fuel in 1u64..40 {
+            let d = dev();
+            let h = d.handle();
+            d.arm_crash(fuel, CrashPolicy::AllLost);
+            let ranges = messy_commit(&h);
+            h.clwb_ranges(&ranges);
+            h.sfence();
+            h.write_u64(MARKER, 0xAB);
+            h.clwb(MARKER);
+            h.sfence();
+            let img = match d.take_fired_image() {
+                Some(img) => img,
+                None => d.crash_with(CrashPolicy::AllLost),
+            };
+            let expect = [(0usize, 1u64), (128, 3), (200, 2), (SHARD_BYTES - 8, 4)];
+            if img.read_u64(MARKER) == 0xAB {
+                for (addr, v) in expect {
+                    assert_eq!(
+                        img.read_u64(addr),
+                        v,
+                        "marker durable but {addr:#x} lost (fuel={fuel})"
+                    );
+                }
+            } else {
+                for (addr, v) in expect {
+                    let got = img.read_u64(addr);
+                    assert!(got == 0 || got == v, "torn word at {addr:#x} (fuel={fuel}): {got}");
+                }
+            }
+        }
     }
 }

@@ -65,6 +65,18 @@ fn main() {
         shared.log_footprint(),
         stats.reclaim_cycles,
     );
+    let rc = shared.reclaim_stats();
+    println!(
+        "reclaimer: {} cycles ({} no-op), {} chain scans skipped via watermark, \
+         {} rewrites skipped, {} entries dropped, {} log bytes reclaimed",
+        rc.cycles,
+        rc.noop_cycles,
+        rc.chains_skipped,
+        rc.rewrites_skipped,
+        rc.records_dropped,
+        rc.bytes_reclaimed,
+    );
+    assert!(rc.records_dropped > 0, "the churn workload must leave stale entries to drop");
     assert_eq!(stats.commits, THREADS as u64 * TXS_PER_THREAD);
     assert!(shared.log_footprint() < 64 * 1024, "daemon keeps the live log bounded");
 

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Commit-path microbench driver: runs the `commit_path` bench and captures
+# its one-line summary into BENCH_commit_path.json at the repo root.
+#
+# Entirely offline and dependency-free (the workspace has zero registry
+# dependencies; the bench uses its own harness, not criterion). Honors
+# SPECPMT_BENCH_SMOKE=1 for a fast smoke run and SPECPMT_COMMIT_BASELINE
+# to point the speedup comparison at a different baseline file.
+#
+# Summary keys: commit_ns_seq / commit_ns_shared (per-commit wall-clock),
+# allocs_per_tx_* (heap allocations per steady-state transaction, via the
+# bench's counting global allocator), reclaim_idle_ns / reclaim_churn_ns
+# (one reclamation cycle over idle vs churning chains), and
+# baseline_commit_ns_seq / speedup_seq against
+# results/commit_path_baseline.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_commit_path.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+cargo bench --offline -q -p specpmt-bench --bench commit_path -- "$@" | tee "$tmp"
+
+# The summary is the line whose bench name is exactly "commit_path" (the
+# per-section lines are "commit_path/seq" etc.).
+grep '"bench":"commit_path",' "$tmp" | tail -n 1 > "$out"
+[ -s "$out" ] || { echo "error: no commit_path summary line captured" >&2; exit 1; }
+echo "wrote $out"

@@ -32,4 +32,17 @@ run env SPECPMT_BENCH_SMOKE=1 cargo bench --offline -p specpmt-bench --bench sca
 run env SPECPMT_BENCH_SMOKE=1 cargo bench --offline -p specpmt-bench --bench scaling -- \
     --stripe-bytes 64,256 --threads 4 --app intruder
 
+# Commit-path bench smoke: scripts/bench.sh must produce a summary JSON
+# carrying every key the perf tracking relies on (the speedup comparison
+# reads results/commit_path_baseline.json, also offline).
+run env SPECPMT_BENCH_SMOKE=1 scripts/bench.sh
+for key in commit_ns_seq commit_ns_shared allocs_per_tx_seq allocs_per_tx_shared \
+    reclaim_idle_ns reclaim_churn_ns churn_over_idle baseline_commit_ns_seq speedup_seq; do
+    grep -q "\"$key\":" BENCH_commit_path.json ||
+        { echo "BENCH_commit_path.json missing key: $key" >&2; exit 1; }
+done
+if command -v python3 >/dev/null 2>&1; then
+    run python3 -c 'import json; json.load(open("BENCH_commit_path.json"))'
+fi
+
 echo "verify: OK"

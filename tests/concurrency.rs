@@ -315,3 +315,68 @@ fn full_streams_commit_when_crash_never_fires() {
     assert_eq!(out.committed_per_thread, vec![12; 4]);
     assert_eq!(out.boundary_per_thread, vec![false; 4]);
 }
+
+/// The incremental reclamator's `(head, generation)` watermarks: an idle
+/// chain is never re-parsed or rewritten (its cached parse is reused and a
+/// cycle over only-idle chains is a complete no-op), while a churning
+/// chain is compacted exactly once per burst of churn.
+#[test]
+fn reclaim_watermarks_skip_idle_chains() {
+    let dev = SharedPmemDevice::new(PmemConfig::new(1 << 22));
+    let pool = SharedPmemPool::create(dev);
+    let shared = SpecSpmtShared::new(pool, ConcurrentConfig::default().with_threads(2));
+    let a = shared.pool().alloc_direct(32, 8).unwrap();
+    let mut churn = shared.tx_handle(0);
+    let mut quiet = shared.tx_handle(1);
+
+    // Chain 1 commits once to a private word: nothing to reclaim there.
+    quiet.begin();
+    quiet.write_u64(a + 16, 9);
+    quiet.commit();
+    // Chain 0 overwrites one word twenty times: nineteen stale entries.
+    for i in 0..20u64 {
+        churn.begin();
+        churn.write_u64(a, i);
+        churn.commit();
+    }
+
+    shared.reclaim_cycle();
+    let s1 = shared.reclaim_stats();
+    assert_eq!(s1.cycles, 1);
+    assert_eq!(s1.chains_scanned, 2, "first cycle parses both chains");
+    assert_eq!(s1.chains_rewritten, 1, "churning chain compacted exactly once");
+    assert_eq!(s1.rewrites_skipped, 1, "quiet chain dropped nothing: no rewrite, no fences");
+    assert_eq!(s1.records_dropped, 19);
+
+    // Fully idle second cycle: no watermark moved, so the cycle is a no-op
+    // (no parses, no rewrites, no splice fences).
+    shared.reclaim_cycle();
+    let s2 = shared.reclaim_stats();
+    assert_eq!(s2.cycles, 2);
+    assert_eq!(s2.noop_cycles, 1);
+    assert_eq!(s2.chains_skipped, s1.chains_skipped + 2, "both cached parses reused");
+    assert_eq!(s2.chains_scanned, s1.chains_scanned, "idle chains are not re-parsed");
+    assert_eq!(s2.chains_rewritten, 1, "idle chain -> zero rewrites");
+    assert_eq!(s2.records_dropped, 19);
+
+    // Churn chain 0 again: the next cycle re-parses *only* that chain
+    // (chain 1 is skipped via its watermark) and compacts it once.
+    for i in 0..5u64 {
+        churn.begin();
+        churn.write_u64(a, 100 + i);
+        churn.commit();
+    }
+    shared.reclaim_cycle();
+    let s3 = shared.reclaim_stats();
+    assert_eq!(s3.chains_scanned, s2.chains_scanned + 1, "only the churned chain re-parsed");
+    assert!(s3.chains_skipped > s2.chains_skipped, "quiet chain skipped via watermark");
+    assert_eq!(s3.chains_rewritten, 2, "churning chain compacted exactly once more");
+    assert!(s3.bytes_reclaimed > s1.bytes_reclaimed);
+
+    // Compaction preserved crash semantics: recovery from a cacheless
+    // crash still replays the youngest value of every word.
+    let mut img = shared.device().crash_with(CrashPolicy::AllLost);
+    SpecSpmtShared::recover(&mut img);
+    assert_eq!(img.read_u64(a), 104);
+    assert_eq!(img.read_u64(a + 16), 9);
+}

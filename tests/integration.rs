@@ -192,3 +192,39 @@ fn scheduled_2pl_run_recovers_to_oracle_state() {
     SpecSpmt::recover(&mut img);
     outcome.oracle.verify(&img).expect("recovered state matches the schedule's oracle");
 }
+
+/// Sequential-runtime counterpart of the concurrent watermark test: an
+/// explicit `reclaim_now` on an unchanged log is a complete no-op (cached
+/// parses reused, zero rewrites), and a churned chain is compacted exactly
+/// once per burst.
+#[test]
+fn seq_reclaim_watermarks_make_idle_cycles_noops() {
+    let mut rt = SpecSpmt::new(
+        pool(),
+        SpecConfig { reclaim_threshold_bytes: usize::MAX, ..SpecConfig::default() },
+    );
+    let a = rt.pool_mut().alloc_direct(16, 8).unwrap();
+    for i in 0..20u64 {
+        rt.begin();
+        rt.write_u64(a, i);
+        rt.commit();
+    }
+
+    rt.reclaim_now();
+    let s1 = rt.reclaim_stats();
+    assert_eq!(s1.cycles, 1);
+    assert_eq!(s1.chains_rewritten, 1, "churned chain compacted exactly once");
+    assert_eq!(s1.records_dropped, 19);
+
+    rt.reclaim_now();
+    let s2 = rt.reclaim_stats();
+    assert_eq!(s2.cycles, 2);
+    assert_eq!(s2.noop_cycles, s1.noop_cycles + 1, "idle cycle is a no-op");
+    assert_eq!(s2.chains_scanned, s1.chains_scanned, "no chain re-parsed while idle");
+    assert_eq!(s2.chains_rewritten, 1, "idle chain -> zero rewrites");
+
+    // The compacted log still recovers the youngest committed value.
+    let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+    SpecSpmt::recover(&mut img);
+    assert_eq!(img.read_u64(a), 19);
+}

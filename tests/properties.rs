@@ -251,3 +251,40 @@ fn concurrent_crash_atomicity_random() {
         });
     }
 }
+
+/// The word-at-a-time FNV-1a (`fnv1a64`) and the streaming hasher
+/// ([`Fnv1a`], fed in arbitrary chunk splits) are bit-identical to the
+/// byte-serial reference for every length and every source alignment.
+///
+/// Lengths sweep 0..=257 deterministically (covering the 0–7 byte tail of
+/// every word boundary) plus random longer buffers; alignments sweep all 8
+/// byte offsets into a shared backing buffer so the word loop sees every
+/// misalignment the runtime can hand it.
+#[test]
+fn fnv_word_at_a_time_matches_byte_reference() {
+    use specpmt::core::{fnv1a64, fnv1a64_reference, Fnv1a};
+
+    let mut rng = SplitMix64::new(0xf17e);
+    let backing: Vec<u8> = (0..512 + 8).map(|_| rng.next_u8()).collect();
+    let mut lens: Vec<usize> = (0..=257).collect();
+    for _ in 0..32 {
+        lens.push(rng.range_usize(258, 512));
+    }
+    for &len in &lens {
+        for align in 0..8 {
+            let s = &backing[align..align + len];
+            let want = fnv1a64_reference(s);
+            assert_eq!(fnv1a64(s), want, "word loop diverges (len={len} align={align})");
+
+            // Streaming: random chunk splits must not change the digest.
+            let mut h = Fnv1a::new();
+            let mut off = 0;
+            while off < s.len() {
+                let take = rng.range_usize(1, s.len() - off);
+                h.update(&s[off..off + take]);
+                off += take;
+            }
+            assert_eq!(h.finish(), want, "streamed digest diverges (len={len} align={align})");
+        }
+    }
+}
