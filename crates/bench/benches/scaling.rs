@@ -30,6 +30,7 @@ use specpmt_bench::{
 use specpmt_core::{ConcurrentConfig, SpecSpmtShared};
 use specpmt_pmem::{PmemConfig, SharedPmemDevice, SharedPmemPool};
 use specpmt_stamp::Scale;
+use specpmt_telemetry::JsonWriter;
 use specpmt_txn::TxAccess;
 
 struct ScalePoint {
@@ -37,6 +38,9 @@ struct ScalePoint {
     wall_commits_per_sec: f64,
     log_footprint: usize,
     reclaim_cycles: u64,
+    /// Serialized telemetry block: merged counters, commit-phase latency
+    /// summaries, and the WPQ drain-wait histogram for the run.
+    telemetry_json: String,
 }
 
 /// Runs `threads` OS threads, each committing `txs_per_thread` transactions
@@ -58,6 +62,9 @@ fn run_scale(threads: usize, txs_per_thread: u64, daemon: bool) -> ScalePoint {
         ..ConcurrentConfig::default()
     };
     let shared = SpecSpmtShared::new(pool, cfg);
+    // Host-side metrics never touch the simulated timeline, so enabling
+    // them does not move `sim_commits_per_ms`.
+    shared.telemetry().set_enabled(true);
     let bases: Vec<usize> =
         (0..threads).map(|_| shared.pool().alloc_direct(64 * 1024, 64).unwrap()).collect();
 
@@ -100,11 +107,22 @@ fn run_scale(threads: usize, txs_per_thread: u64, daemon: bool) -> ScalePoint {
 
     let total = threads as u64 * txs_per_thread;
     let sim_elapsed_ns = *sim_elapsed_per_thread.iter().max().expect("threads >= 1");
+    let telemetry_json = {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        shared.telemetry().registry.emit(&mut w);
+        w.begin_object_field("wpq_drain");
+        shared.device().wpq_drain_histogram().emit(&mut w);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    };
     ScalePoint {
         sim_commits_per_ms: total as f64 / (sim_elapsed_ns as f64 / 1e6),
         wall_commits_per_sec: total as f64 / wall.as_secs_f64(),
         log_footprint: shared.log_footprint(),
         reclaim_cycles: shared.stats().reclaim_cycles,
+        telemetry_json,
     }
 }
 
@@ -130,8 +148,12 @@ fn main() {
                 "{{\"bench\":\"scaling\",\"threads\":{threads},\"daemon\":{daemon},\
                  \"txs_per_thread\":{txs_per_thread},\"sim_commits_per_ms\":{:.1},\
                  \"wall_commits_per_sec\":{:.0},\"log_footprint_bytes\":{},\
-                 \"reclaim_cycles\":{},\"scales_up\":{scales}}}",
-                p.sim_commits_per_ms, p.wall_commits_per_sec, p.log_footprint, p.reclaim_cycles
+                 \"reclaim_cycles\":{},\"scales_up\":{scales},\"telemetry\":{}}}",
+                p.sim_commits_per_ms,
+                p.wall_commits_per_sec,
+                p.log_footprint,
+                p.reclaim_cycles,
+                p.telemetry_json
             );
         }
     }

@@ -1,0 +1,182 @@
+//! `txstat`: per-phase commit-latency breakdown for the sequential and
+//! shared SpecSPMT runtimes — the profiling companion to the ROADMAP
+//! question "why is the shared-runtime commit ~4x the sequential one?".
+//!
+//! For each runtime and thread count (1, 8, 16) the binary runs a fixed
+//! write workload — the `commit_path` bench's transaction shape: eight
+//! scattered 16-byte updates in a 64 KiB region — with the metrics
+//! registry **enabled** and prints one JSON line carrying the merged
+//! counters, the per-phase latency summaries (count / mean / p50 / p90 /
+//! p99 / max), the device's WPQ drain-wait histogram and queue-depth
+//! high-water, and (for the shared runtime, which runs under strict 2PL
+//! with a shared hot address) the lock-table wait histogram.
+//!
+//! A final summary line reports the telemetry-**off** sequential commit
+//! cost (`commit_ns_seq`, directly comparable to the `commit_path` bench
+//! and its checked-in baseline in `results/commit_path_baseline.json`),
+//! the telemetry-on cost, and the on/off overhead ratio that guards the
+//! < 3% telemetry-off budget. `scripts/bench.sh` captures the output into
+//! `BENCH_txstat.json`; `scripts/verify.sh` smoke-checks the schema and
+//! the budget.
+
+use std::time::Instant;
+
+use specpmt_bench::{telemetry_block, POOL_BYTES};
+use specpmt_core::{
+    ConcurrentConfig, LockedTxHandle, ReclaimMode, SpecConfig, SpecSpmt, SpecSpmtShared,
+};
+use specpmt_pmem::{PmemConfig, PmemDevice, PmemPool, SharedPmemDevice, SharedPmemPool};
+use specpmt_telemetry::{JsonWriter, Metric, Phase};
+use specpmt_txn::{run_tx, SharedLockTable, TxAccess};
+
+const WRITES_PER_TX: usize = 8;
+const WRITE_BYTES: usize = 16;
+const REGION: usize = 64 * 1024;
+/// Every Nth shared-runtime transaction also bumps one shared counter, so
+/// the strict-2PL wrapper has real stripe contention to measure.
+const HOT_EVERY: u64 = 4;
+
+/// One representative transaction: 8 scattered 16-byte updates (the
+/// `commit_path` bench's shape, so `commit_ns_seq` stays comparable).
+fn tx_body<A: TxAccess>(a: &mut A, base: usize, round: u64) {
+    let mut val = [0u8; WRITE_BYTES];
+    for w in 0..WRITES_PER_TX {
+        val[..8].copy_from_slice(&(round + w as u64).to_le_bytes());
+        val[8..].copy_from_slice(&(round ^ w as u64).to_le_bytes());
+        let off = ((round as usize * 131 + w * 509) % (REGION / WRITE_BYTES - 1)) * WRITE_BYTES;
+        a.write(base + off, &val);
+    }
+}
+
+/// Runs the sequential runtime (`threads` round-robin slots on one OS
+/// thread) with telemetry enabled and prints its per-phase line.
+fn seq_point(threads: usize, txs: u64) {
+    let mut pool = PmemPool::create(PmemDevice::new(PmemConfig::new(POOL_BYTES)));
+    let base = pool.alloc_direct(REGION, 64).unwrap();
+    let cfg = SpecConfig { threads, reclaim_mode: ReclaimMode::Disabled, ..SpecConfig::default() };
+    let mut rt = SpecSpmt::new(pool, cfg);
+    rt.telemetry().set_enabled(true);
+    for round in 0..txs {
+        rt.set_thread((round % threads as u64) as usize);
+        rt.begin();
+        tx_body(&mut rt, base, round);
+        rt.commit();
+    }
+    let tel = rt.telemetry();
+    let commit = tel.registry.phase(Phase::Commit);
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    tel.registry.emit(&mut w);
+    w.end_object();
+    println!(
+        "{{\"bench\":\"txstat\",\"runtime\":\"seq\",\"threads\":{threads},\
+         \"commits\":{},\"commit_ns_avg\":{:.1},\"telemetry\":{}}}",
+        tel.registry.counter(Metric::Commits),
+        commit.mean(),
+        w.finish()
+    );
+}
+
+/// Runs the shared runtime on `threads` real OS threads under strict 2PL
+/// (disjoint per-thread regions plus one shared hot counter) with
+/// telemetry enabled and prints its per-phase line.
+fn shared_point(threads: usize, txs_per_thread: u64) {
+    let dev = SharedPmemDevice::new(PmemConfig::new(POOL_BYTES).with_media_channels(12));
+    let pool = SharedPmemPool::create(dev);
+    let shared =
+        SpecSpmtShared::new(pool, ConcurrentConfig { threads, ..ConcurrentConfig::default() });
+    let bases: Vec<usize> =
+        (0..threads).map(|_| shared.pool().alloc_direct(REGION, 64).unwrap()).collect();
+    let hot = shared.pool().alloc_direct(64, 64).unwrap();
+    shared.telemetry().set_enabled(true);
+    let locks = SharedLockTable::new(POOL_BYTES, 64);
+    let mut handles = LockedTxHandle::fleet(&shared, &locks, threads);
+    std::thread::scope(|s| {
+        for (t, h) in handles.iter_mut().enumerate() {
+            let base = bases[t];
+            s.spawn(move || {
+                for round in 0..txs_per_thread {
+                    run_tx(h, |tx| {
+                        tx_body(tx, base, round);
+                        if round % HOT_EVERY == 0 {
+                            let v = tx.read_u64(hot);
+                            tx.write_u64(hot, v + 1);
+                        }
+                    });
+                }
+            });
+        }
+    });
+    let tel = shared.telemetry();
+    let commit = tel.registry.phase(Phase::Commit);
+    println!(
+        "{{\"bench\":\"txstat\",\"runtime\":\"shared\",\"threads\":{threads},\
+         \"commits\":{},\"aborts\":{},\"retries\":{},\"commit_ns_avg\":{:.1},\
+         \"telemetry\":{}}}",
+        tel.registry.counter(Metric::Commits),
+        shared.stats().aborts,
+        tel.registry.counter(Metric::Retries),
+        commit.mean(),
+        telemetry_block(&shared, &locks)
+    );
+}
+
+/// Host nanoseconds per committed sequential transaction with the given
+/// telemetry state — the commit-throughput guard for the < 3% budget.
+/// Same runtime configuration and transaction shape as `commit_path`'s
+/// `commit_ns_seq`.
+fn seq_commit_ns(telemetry_on: bool, warmup: u64, measured: u64) -> f64 {
+    let mut pool = PmemPool::create(PmemDevice::new(PmemConfig::new(POOL_BYTES)));
+    let base = pool.alloc_direct(REGION, 64).unwrap();
+    let cfg = SpecConfig { reclaim_mode: ReclaimMode::Disabled, ..SpecConfig::default() };
+    let mut rt = SpecSpmt::new(pool, cfg);
+    rt.telemetry().set_enabled(telemetry_on);
+    let mut round = 0u64;
+    for _ in 0..warmup {
+        rt.begin();
+        tx_body(&mut rt, base, round);
+        rt.commit();
+        round += 1;
+    }
+    let t0 = Instant::now();
+    for _ in 0..measured {
+        rt.begin();
+        tx_body(&mut rt, base, round);
+        rt.commit();
+        round += 1;
+    }
+    t0.elapsed().as_nanos() as f64 / measured as f64
+}
+
+fn main() {
+    let smoke = specpmt_bench::harness::smoke_mode();
+    let (txs, warmup, measured) = if smoke { (96, 64, 192) } else { (4000, 512, 4096) };
+
+    for &threads in &[1usize, 8, 16] {
+        seq_point(threads, txs * threads as u64);
+        shared_point(threads, txs);
+    }
+
+    // Telemetry-off vs -on sequential commit cost. Median of three
+    // passes each, interleaved, so transient host noise does not land on
+    // one side only.
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let mut offs = Vec::new();
+    let mut ons = Vec::new();
+    for _ in 0..3 {
+        offs.push(seq_commit_ns(false, warmup, measured));
+        ons.push(seq_commit_ns(true, warmup, measured));
+    }
+    let off_ns = median(offs);
+    let on_ns = median(ons);
+    let overhead_pct = (on_ns / off_ns - 1.0) * 100.0;
+    println!(
+        "{{\"bench\":\"txstat\",\"writes_per_tx\":{WRITES_PER_TX},\
+         \"write_bytes\":{WRITE_BYTES},\"commit_ns_seq\":{off_ns:.1},\
+         \"commit_ns_seq_telemetry\":{on_ns:.1},\
+         \"telemetry_overhead_pct\":{overhead_pct:.2}}}"
+    );
+}

@@ -235,6 +235,7 @@ pub fn run_hw_suite(runtimes: &[HwRuntime], scale: Scale) -> Vec<Vec<RunReport>>
 use specpmt_core::{ConcurrentConfig, LockedTxHandle, PoolLayout, SpecSpmtShared};
 use specpmt_pmem::{SharedPmemDevice, SharedPmemPool};
 use specpmt_stamp::{run_app_mt, MtAppRun};
+use specpmt_telemetry::JsonWriter;
 use specpmt_txn::{LockTableStats, SharedLockTable};
 
 /// Knobs for one multi-threaded SpecSPMT run. The media provisioning is
@@ -247,11 +248,16 @@ pub struct MtRunConfig {
     pub media_channels: usize,
     /// [`SharedLockTable`] stripe size in bytes (power of two).
     pub stripe_bytes: usize,
+    /// Enable the runtime's metrics registry for the run (counters +
+    /// commit-phase histograms). Host-side instrumentation never perturbs
+    /// the *simulated* timeline, so enabling it does not move
+    /// `commits_per_ms`.
+    pub telemetry: bool,
 }
 
 impl Default for MtRunConfig {
     fn default() -> Self {
-        Self { media_channels: 12, stripe_bytes: 64 }
+        Self { media_channels: 12, stripe_bytes: 64, telemetry: false }
     }
 }
 
@@ -270,6 +276,35 @@ pub struct MtSweepPoint {
     /// cycle (these runs have no background daemon, so the final cycle is
     /// what quantifies how much of the workload's log was stale).
     pub reclaim: ReclaimStats,
+    /// Serialized telemetry block (one JSON object): merged counters and
+    /// per-phase latency summaries from the runtime's registry, plus the
+    /// device's WPQ drain-wait histogram and the lock table's wait
+    /// histogram. All-zero unless the run had telemetry enabled
+    /// ([`MtRunConfig::telemetry`] or `SPECPMT_TELEMETRY=1`).
+    pub telemetry_json: String,
+}
+
+/// Serializes one runtime's telemetry into a self-contained JSON object:
+/// the registry's counters and phase histograms, the shared device's
+/// WPQ drain-wait histogram + per-channel queue-depth high-water, and the
+/// lock table's stripe-wait histogram.
+pub fn telemetry_block(shared: &SpecSpmtShared, locks: &SharedLockTable) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    shared.telemetry().registry.emit(&mut w);
+    w.begin_object_field("wpq_drain");
+    shared.device().wpq_drain_histogram().emit(&mut w);
+    w.end_object();
+    w.begin_array_field("wpq_depth_high_water");
+    for d in shared.device().wpq_depth_high_water() {
+        w.value_u64(d);
+    }
+    w.end_array();
+    w.begin_object_field("lock_wait");
+    locks.wait_histogram().emit(&mut w);
+    w.end_object();
+    w.end_object();
+    w.finish()
 }
 
 /// Runs `app` on `threads` real OS threads over the concurrent SpecSPMT
@@ -301,6 +336,9 @@ pub fn run_spec_mt_cfg(
         SharedPmemPool::create(dev),
         ConcurrentConfig { threads, ..ConcurrentConfig::default() },
     );
+    if cfg.telemetry {
+        shared.telemetry().set_enabled(true);
+    }
     let locks = SharedLockTable::new(POOL_BYTES, cfg.stripe_bytes);
     let mut handles = LockedTxHandle::fleet(&shared, &locks, threads);
     let run = run_app_mt(app, &mut handles, scale);
@@ -314,11 +352,13 @@ pub fn run_spec_mt_cfg(
     // reclaim observability (chains skipped via watermark, entries
     // dropped, bytes compacted) without a daemon racing the measurement.
     shared.reclaim_cycle();
+    let telemetry_json = telemetry_block(&shared, &locks);
     MtSweepPoint {
         run,
         aborts: shared.stats().aborts,
         lock_stats: locks.stats(),
         reclaim: shared.reclaim_stats(),
+        telemetry_json,
     }
 }
 
@@ -431,7 +471,8 @@ pub fn print_mt_scaling(bench: &str, thread_counts: &[usize], scale: Scale, apps
     for &app in apps {
         let mut prev: Option<f64> = None;
         for &threads in thread_counts {
-            let point = run_spec_mt_cfg(app, threads, scale, MtRunConfig::default());
+            let cfg = MtRunConfig { telemetry: true, ..MtRunConfig::default() };
+            let point = run_spec_mt_cfg(app, threads, scale, cfg);
             let r = &point.run.report;
             let scales = prev.is_none_or(|p| r.commits_per_ms > p);
             prev = Some(r.commits_per_ms);
@@ -442,7 +483,8 @@ pub fn print_mt_scaling(bench: &str, thread_counts: &[usize], scale: Scale, apps
                  \"commits_per_ms\":{:.1},\"scales_up\":{scales},\
                  \"reclaim_cycles\":{},\"reclaim_chains_skipped\":{},\
                  \"reclaim_rewrites_skipped\":{},\"reclaim_entries_dropped\":{},\
-                 \"reclaim_bytes\":{},\"reclaim_last_cycle_ns\":{}}}",
+                 \"reclaim_bytes\":{},\"reclaim_last_cycle_ns\":{},\
+                 \"telemetry\":{}}}",
                 r.workload,
                 r.threads,
                 r.commits,
@@ -454,7 +496,8 @@ pub fn print_mt_scaling(bench: &str, thread_counts: &[usize], scale: Scale, apps
                 rc.rewrites_skipped,
                 rc.records_dropped,
                 rc.bytes_reclaimed,
-                rc.last_cycle_ns
+                rc.last_cycle_ns,
+                point.telemetry_json
             );
         }
     }

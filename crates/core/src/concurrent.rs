@@ -46,6 +46,7 @@ use std::time::Duration;
 use specpmt_pmem::{
     CrashImage, DeviceHandle, SharedPmemDevice, SharedPmemPool, TimingMode, BUMP_OFF, CACHE_LINE,
 };
+use specpmt_telemetry::{EventKind, Metric, Phase, Telemetry};
 use specpmt_txn::CommitReceipt;
 
 use crate::layout::PoolLayout;
@@ -145,6 +146,10 @@ pub struct SpecSpmtShared {
     /// cycle runs at a time; the mutex serializes explicit calls with the
     /// daemon.
     reclaim: Mutex<ReclaimState>,
+    /// Counters, commit-phase histograms, and the lifecycle event tracer.
+    /// Sized with one extra shard for the reclamation daemon (`tid ==
+    /// cfg.threads`). Off by default; see [`Telemetry`].
+    tel: Telemetry,
 }
 
 impl SpecSpmtShared {
@@ -181,6 +186,9 @@ impl SpecSpmtShared {
         }
         dev.flush_everything();
         dev.set_timing(prev);
+        // One telemetry shard per transaction thread plus one for the
+        // reclamation daemon.
+        let tel = Telemetry::new(cfg.threads + 1);
         Arc::new(Self {
             pool,
             cfg,
@@ -194,6 +202,7 @@ impl SpecSpmtShared {
             records_reclaimed: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             reclaim: Mutex::new(ReclaimState::default()),
+            tel,
         })
     }
 
@@ -215,6 +224,15 @@ impl SpecSpmtShared {
     /// The shared device.
     pub fn device(&self) -> &SharedPmemDevice {
         self.pool.device()
+    }
+
+    /// The runtime's telemetry bundle: per-thread counters, commit-phase
+    /// latency histograms, and the lifecycle event tracer. Disabled by
+    /// default; enable with [`Telemetry::set_enabled`] /
+    /// [`Telemetry::set_tracing`] or the `SPECPMT_TELEMETRY` /
+    /// `SPECPMT_TRACE` environment variables.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Creates the transaction handle for thread slot `tid`. Each slot must
@@ -282,7 +300,13 @@ impl SpecSpmtShared {
     pub fn reclaim_cycle(&self) {
         let handle = self.pool.handle();
         let t0 = self.device().now_ns();
+        // Host wall-clock for telemetry; cycles are rare, so the
+        // unconditional `Instant::now()` is well within budget. The daemon
+        // records into its dedicated shard (`tid == cfg.threads`).
+        let host_t0 = std::time::Instant::now();
+        let rtid = self.cfg.threads;
         let mut rs = self.reclaim.lock().expect("reclaim lock");
+        let bytes_before = rs.stats.bytes_reclaimed;
         rs.ensure_chains(self.areas.len());
         rs.stats.cycles += 1;
 
@@ -311,6 +335,10 @@ impl SpecSpmtShared {
             rs.stats.noop_cycles += 1;
             rs.stats.last_cycle_ns = self.device().now_ns() - t0;
             self.reclaim_cycles.fetch_add(1, Ordering::Relaxed);
+            let ns = u64::try_from(host_t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.tel.registry.add(rtid, Metric::ReclaimCycles, 1);
+            self.tel.registry.record(rtid, Phase::ReclaimCycle, ns);
+            self.tel.tracer.record(rtid, EventKind::ReclaimCycle, 0, ns);
             return;
         }
 
@@ -365,8 +393,13 @@ impl SpecSpmtShared {
             self.free_blocks.lock().expect("free lock").extend(new_area.into_blocks());
         }
         rs.stats.last_cycle_ns = self.device().now_ns() - t0;
+        let bytes = rs.stats.bytes_reclaimed.saturating_sub(bytes_before);
         self.records_reclaimed.fetch_add(dropped_total, Ordering::Relaxed);
         self.reclaim_cycles.fetch_add(1, Ordering::Relaxed);
+        let ns = u64::try_from(host_t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.tel.registry.add(rtid, Metric::ReclaimCycles, 1);
+        self.tel.registry.record(rtid, Phase::ReclaimCycle, ns);
+        self.tel.tracer.record(rtid, EventKind::ReclaimCycle, bytes, ns);
     }
 
     /// Orderly shutdown: make all durable data reachable without the log.
@@ -513,6 +546,8 @@ impl TxHandle {
         }
         drop(st);
         self.in_tx = true;
+        self.shared.tel.registry.add(self.tid, Metric::Begins, 1);
+        self.shared.tel.tracer.record(self.tid, EventKind::Begin, 0, 0);
     }
 
     /// Durably writes `data` at pool offset `addr` within the open
@@ -524,6 +559,8 @@ impl TxHandle {
     /// Panics outside a transaction.
     pub fn write(&mut self, addr: usize, data: &[u8]) {
         assert!(self.in_tx, "write outside transaction");
+        let _ws_span = self.shared.tel.registry.span(self.tid, Phase::Writeset);
+        self.shared.tel.tracer.record(self.tid, EventKind::Stage, addr as u64, data.len() as u64);
         if !data.is_empty() {
             // Volatile pre-image for the abort path, captured into the
             // reusable undo arena. `peek_into` is untimed and unsampled,
@@ -564,6 +601,7 @@ impl TxHandle {
         };
         drop(st);
         self.ws.stage(addr, data, value_cursor);
+        self.shared.tel.registry.add(self.tid, Metric::LogAppends, 1);
     }
 
     /// Reads `buf.len()` bytes at `addr` (direct in-place access — SpecPMT
@@ -601,6 +639,9 @@ impl TxHandle {
             // one entry header, and recovery replays it as a no-op.
             self.write(0, &[]);
         }
+        let tid = self.tid;
+        let commit_span = self.shared.tel.registry.span(tid, Phase::Commit);
+        let seal_span = self.shared.tel.registry.span(tid, Phase::Seal);
         let ts = self.shared.ts.fetch_add(1, Ordering::SeqCst);
         // Seal: the record checksum was streamed while entries were
         // staged; only the fixed `(len, ts)` suffix is folded in here.
@@ -614,30 +655,77 @@ impl TxHandle {
             assert_eq!(wrote, REC_HDR, "record header must fit in the chain");
             st.area.write_terminator(&mut store, &mut self.dirty);
         }
+        seal_span.stop();
+        self.shared.tel.tracer.record(tid, EventKind::Seal, ts, self.ws.payload().len() as u64);
 
         // The single commit fence: one vectored flush covering the whole
         // record (coalesced, ascending lines) and nothing else. The area
         // lock is held through the fence so the daemon never splices a
         // chain whose newest record is mid-persist. The dirty list is
         // cleared, not freed.
+        let flush_span = self.shared.tel.registry.span(tid, Phase::Flush);
         self.dev.clwb_ranges(&self.dirty);
+        flush_span.stop();
+        self.shared.tel.registry.add(tid, Metric::ClwbPlans, 1);
+        self.shared.tel.tracer.record(tid, EventKind::ClwbPlan, self.dirty.len() as u64, 0);
         self.dirty.clear();
-        self.dev.sfence();
+        let fence_span = self.shared.tel.registry.span(tid, Phase::Fence);
+        let fr = self.dev.sfence();
+        fence_span.stop();
+        self.shared.tel.registry.add(tid, Metric::Fences, 1);
+        self.shared.tel.tracer.record(tid, EventKind::Fence, fr.stall_ns, fr.flushes);
+        if fr.flushes > 0 {
+            self.shared.tel.registry.add(tid, Metric::WpqDrains, 1);
+            if fr.stall_ns > 0 {
+                self.shared.tel.registry.record(tid, Phase::WpqDrain, fr.stall_ns);
+                self.shared.tel.tracer.record(tid, EventKind::WpqDrain, fr.stall_ns, fr.flushes);
+            }
+        }
 
         if self.shared.cfg.data_persistence {
             // SpecSPMT-DP: also persist the data lines (second fence).
             self.data_lines.sort_unstable();
             self.data_lines.dedup();
+            let flush_span = self.shared.tel.registry.span(tid, Phase::Flush);
             self.dev.clwb_lines(&self.data_lines);
+            flush_span.stop();
+            self.shared.tel.registry.add(tid, Metric::ClwbPlans, 1);
+            self.shared.tel.tracer.record(
+                tid,
+                EventKind::ClwbPlan,
+                self.data_lines.len() as u64,
+                0,
+            );
             self.data_lines.clear();
-            self.dev.sfence();
+            let fence_span = self.shared.tel.registry.span(tid, Phase::Fence);
+            let fr = self.dev.sfence();
+            fence_span.stop();
+            self.shared.tel.registry.add(tid, Metric::Fences, 1);
+            self.shared.tel.tracer.record(tid, EventKind::Fence, fr.stall_ns, fr.flushes);
+            if fr.flushes > 0 {
+                self.shared.tel.registry.add(tid, Metric::WpqDrains, 1);
+                if fr.stall_ns > 0 {
+                    self.shared.tel.registry.record(tid, Phase::WpqDrain, fr.stall_ns);
+                    self.shared.tel.tracer.record(
+                        tid,
+                        EventKind::WpqDrain,
+                        fr.stall_ns,
+                        fr.flushes,
+                    );
+                }
+            }
         }
 
+        // Lock release: hand the chain back to the daemon.
+        let lock_span = self.shared.tel.registry.span(tid, Phase::LockRelease);
         st.open = false;
         drop(st);
+        lock_span.stop();
         self.in_tx = false;
         self.undo_addrs.clear();
         self.undo_data.clear();
+        let commit_ns = commit_span.stop();
+        self.shared.tel.tracer.record(tid, EventKind::Commit, ts, commit_ns);
         ts
     }
 
@@ -650,6 +738,7 @@ impl TxHandle {
     pub fn commit(&mut self) -> CommitReceipt {
         let ts = self.seal();
         self.shared.commits.fetch_add(1, Ordering::Relaxed);
+        self.shared.tel.registry.add(self.tid, Metric::Commits, 1);
         CommitReceipt::new(ts)
     }
 
@@ -681,6 +770,7 @@ impl TxHandle {
         self.undo_data = data;
         let _ = self.seal();
         self.shared.aborts.fetch_add(1, Ordering::Relaxed);
+        self.shared.tel.registry.add(self.tid, Metric::Aborts, 1);
     }
 }
 

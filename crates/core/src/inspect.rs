@@ -10,6 +10,7 @@
 use std::fmt;
 
 use specpmt_pmem::{root_off, CrashImage, POOL_MAGIC};
+use specpmt_telemetry::{JsonWriter, StatExport};
 
 use crate::layout::{PoolLayout, BLOCK_BYTES_SLOT};
 use crate::reclaim::FreshnessIndex;
@@ -88,6 +89,49 @@ impl InspectReport {
             }
         }
         out
+    }
+}
+
+impl StatExport for InspectReport {
+    fn export_name(&self) -> &'static str {
+        "inspect"
+    }
+
+    /// Emits the machine-readable counterpart of the [`fmt::Display`]
+    /// report: pool validity and geometry, per-chain record/entry/stale/
+    /// reclaimable counts (with timestamp ranges), and the same global
+    /// totals — one schema shared by `examples/log_inspect.rs --json`,
+    /// tests, and any external tooling.
+    fn emit(&self, w: &mut JsonWriter) {
+        w.field_bool("valid_pool", self.valid_pool);
+        w.field_u64("heap_bump", self.heap_bump);
+        w.field_u64("block_bytes", self.block_bytes as u64);
+        w.field_u64("threads", self.threads as u64);
+        w.field_bool("dynamic_layout", self.dynamic_layout);
+        w.begin_array_field("chains");
+        for c in &self.chains {
+            w.begin_object();
+            w.field_u64("tid", c.tid as u64);
+            w.field_u64("head", c.head as u64);
+            w.field_u64("records", c.records as u64);
+            w.field_u64("entries", c.entries as u64);
+            w.field_u64("payload_bytes", c.payload_bytes as u64);
+            w.field_u64("stale_entries", c.stale_entries as u64);
+            w.field_u64("reclaimable_bytes", c.reclaimable_bytes as u64);
+            if let Some((lo, hi)) = c.ts_range {
+                w.field_u64("ts_min", lo);
+                w.field_u64("ts_max", hi);
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.field_u64("total_records", self.total_records() as u64);
+        w.field_u64("total_stale_entries", self.total_stale_entries() as u64);
+        w.field_u64("total_reclaimable_bytes", self.total_reclaimable_bytes() as u64);
+        if let Some((lo, hi)) = self.ts_range() {
+            w.field_u64("ts_min", lo);
+            w.field_u64("ts_max", hi);
+        }
     }
 }
 
@@ -279,6 +323,36 @@ mod tests {
         assert_eq!(report.chains.len(), 17);
         assert_eq!(report.total_records(), 17);
         assert_eq!(report.chains[16].tid, 16);
+    }
+
+    #[test]
+    fn inspect_json_mirrors_display_totals() {
+        let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20)));
+        let mut rt = SpecSpmt::new(pool, SpecConfig { threads: 2, ..SpecConfig::default() });
+        let a = rt.pool_mut().alloc_direct(64, 64).unwrap();
+        for tid in 0..2 {
+            rt.set_thread(tid);
+            for v in 0..5u64 {
+                rt.begin();
+                rt.write_u64(a, v);
+                rt.commit();
+            }
+        }
+        let img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let report = inspect_image(&img);
+        let j = report.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"valid_pool\":true"), "{j}");
+        assert!(j.contains("\"dynamic_layout\":true"), "{j}");
+        assert!(j.contains("\"total_records\":10"), "{j}");
+        assert!(j.contains("\"total_stale_entries\":9"), "{j}");
+        assert!(j.contains("\"chains\":["), "{j}");
+        assert!(j.contains("\"stale_entries\":5"), "{j}");
+        assert!(j.contains("\"ts_min\":1"), "{j}");
+        assert!(j.contains("\"ts_max\":10"), "{j}");
+        // Per-chain reclaimable must sum to the global total.
+        let per_chain: usize = report.chains.iter().map(|c| c.reclaimable_bytes).sum();
+        assert_eq!(per_chain, report.total_reclaimable_bytes());
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! stripes it already holds, so an abort can always complete.
 
 use std::sync::Arc;
+use std::time::Instant;
 
+use specpmt_telemetry::{EventKind, Metric, Phase};
 use specpmt_txn::{CommitReceipt, LockGuard, SharedLockTable, TxAccess};
 
 use crate::concurrent::TxHandle;
@@ -59,6 +61,10 @@ pub struct LockedTxHandle {
     doomed: bool,
     /// SplitMix64 state for backoff jitter.
     rng: u64,
+    /// Doomed-and-aborted attempts of the current logical transaction
+    /// (reset when a commit succeeds); operand of the `abort_retry` trace
+    /// event.
+    retries: u64,
 }
 
 impl LockedTxHandle {
@@ -67,7 +73,7 @@ impl LockedTxHandle {
     /// every address transactions touch).
     pub fn new(inner: TxHandle, locks: Arc<SharedLockTable>) -> Self {
         let rng = 0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(inner.tid() as u64 + 1);
-        Self { inner, locks, guard: None, doomed: false, rng }
+        Self { inner, locks, guard: None, doomed: false, rng, retries: 0 }
     }
 
     /// The wrapped handle.
@@ -125,16 +131,46 @@ impl LockedTxHandle {
         if self.doomed {
             return false;
         }
-        for attempt in 0..TRY_LOCK_ATTEMPTS {
+        let tid = self.inner.tid();
+        // Fast path: the first try-lock succeeds with no clock read, so
+        // the uncontended acquisition costs nothing beyond the CAS.
+        {
             let guard = self.guard.as_mut().expect("lock guard outside transaction");
             if guard.try_extend(addr, len) {
+                self.inner.shared().telemetry().tracer.record(
+                    tid,
+                    EventKind::LockAcquire,
+                    addr as u64,
+                    0,
+                );
                 return true;
             }
-            let spins = (attempt + 1) + self.next_jitter();
+        }
+        // Contended path: time the bounded spin so the wait lands in both
+        // the table-wide wait histogram and the per-thread `lock_wait`
+        // phase.
+        let t0 = Instant::now();
+        for attempt in 1..TRY_LOCK_ATTEMPTS {
+            let spins = attempt + self.next_jitter();
             for _ in 0..spins {
                 std::hint::spin_loop();
             }
+            let guard = self.guard.as_mut().expect("lock guard outside transaction");
+            if guard.try_extend(addr, len) {
+                let wait_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.locks.record_wait_ns(wait_ns);
+                let tel = self.inner.shared().telemetry();
+                tel.registry.record(tid, Phase::LockWait, wait_ns);
+                tel.tracer.record(tid, EventKind::LockAcquire, addr as u64, wait_ns);
+                return true;
+            }
         }
+        let wait_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.locks.record_wait_ns(wait_ns);
+        let tel = self.inner.shared().telemetry();
+        tel.registry.record(tid, Phase::LockWait, wait_ns);
+        tel.registry.add(tid, Metric::Dooms, 1);
+        tel.tracer.record(tid, EventKind::Doom, tid as u64, 0);
         self.doomed = true;
         false
     }
@@ -152,6 +188,7 @@ impl LockedTxHandle {
         // Strict 2PL: locks release only after the commit record is
         // durable, so no other thread ever reads speculative state.
         self.guard = None;
+        self.retries = 0;
         receipt
     }
 }
@@ -191,6 +228,7 @@ impl TxAccess for LockedTxHandle {
     }
 
     fn abort(&mut self) {
+        let was_doomed = self.doomed;
         if self.inner.in_tx() {
             // The undo set only names addresses this transaction wrote —
             // stripes it already holds — so the restore always proceeds.
@@ -198,6 +236,13 @@ impl TxAccess for LockedTxHandle {
         }
         self.guard = None;
         self.doomed = false;
+        if was_doomed {
+            // A doomed abort is followed by a driver retry (`run_tx`).
+            self.retries += 1;
+            let tel = self.inner.shared().telemetry();
+            tel.registry.add(self.inner.tid(), Metric::Retries, 1);
+            tel.tracer.record(self.inner.tid(), EventKind::AbortRetry, self.retries, 0);
+        }
     }
 
     fn alloc(&mut self, size: usize, align: usize) -> usize {

@@ -37,6 +37,8 @@
 
 use std::collections::HashMap;
 
+use specpmt_telemetry::{JsonWriter, StatExport};
+
 use crate::record::{LogEntry, LogRecord, REC_HDR};
 
 /// Volatile index mapping each logged byte address to the youngest commit
@@ -133,6 +135,47 @@ pub struct ReclaimStats {
     pub bytes_reclaimed: u64,
     /// Simulated duration of the most recent cycle, in nanoseconds.
     pub last_cycle_ns: u64,
+}
+
+impl ReclaimStats {
+    /// Difference `self - earlier`, for measuring a phase. Cumulative
+    /// counters use saturating subtraction (crossed snapshots clamp to 0
+    /// instead of wrapping); the gauge [`ReclaimStats::last_cycle_ns`] is
+    /// carried over from `self` unchanged.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &ReclaimStats) -> ReclaimStats {
+        ReclaimStats {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            noop_cycles: self.noop_cycles.saturating_sub(earlier.noop_cycles),
+            chains_scanned: self.chains_scanned.saturating_sub(earlier.chains_scanned),
+            chains_skipped: self.chains_skipped.saturating_sub(earlier.chains_skipped),
+            chains_rewritten: self.chains_rewritten.saturating_sub(earlier.chains_rewritten),
+            rewrites_skipped: self.rewrites_skipped.saturating_sub(earlier.rewrites_skipped),
+            records_kept: self.records_kept.saturating_sub(earlier.records_kept),
+            records_dropped: self.records_dropped.saturating_sub(earlier.records_dropped),
+            bytes_reclaimed: self.bytes_reclaimed.saturating_sub(earlier.bytes_reclaimed),
+            last_cycle_ns: self.last_cycle_ns,
+        }
+    }
+}
+
+impl StatExport for ReclaimStats {
+    fn export_name(&self) -> &'static str {
+        "reclaim"
+    }
+
+    fn emit(&self, w: &mut JsonWriter) {
+        w.field_u64("cycles", self.cycles);
+        w.field_u64("noop_cycles", self.noop_cycles);
+        w.field_u64("chains_scanned", self.chains_scanned);
+        w.field_u64("chains_skipped", self.chains_skipped);
+        w.field_u64("chains_rewritten", self.chains_rewritten);
+        w.field_u64("rewrites_skipped", self.rewrites_skipped);
+        w.field_u64("records_kept", self.records_kept);
+        w.field_u64("records_dropped", self.records_dropped);
+        w.field_u64("bytes_reclaimed", self.bytes_reclaimed);
+        w.field_u64("last_cycle_ns", self.last_cycle_ns);
+    }
 }
 
 /// Per-chain scan cache: the watermark the cache was taken at plus the

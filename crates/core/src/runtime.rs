@@ -1,6 +1,7 @@
 //! The [`SpecSpmt`] transaction runtime.
 
 use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
+use specpmt_telemetry::{EventKind, Metric, Phase, Telemetry};
 use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
 use crate::layout::PoolLayout;
@@ -105,6 +106,9 @@ pub struct SpecSpmt {
     /// Incremental-reclamation state: persistent freshness index,
     /// per-chain watermarked scan caches, cycle counters.
     reclaim: ReclaimState,
+    /// Metrics registry + event tracer (off by default; see
+    /// [`SpecSpmt::telemetry`]).
+    tel: Telemetry,
 }
 
 impl SpecSpmt {
@@ -152,6 +156,7 @@ impl SpecSpmt {
         }
         pool.device_mut().flush_everything();
         pool.device_mut().set_timing(prev);
+        let tel = Telemetry::new(cfg.threads);
         Self {
             pool,
             cfg,
@@ -162,7 +167,17 @@ impl SpecSpmt {
             free_blocks,
             stats: TxStats::default(),
             reclaim: ReclaimState::default(),
+            tel,
         }
+    }
+
+    /// The runtime's telemetry bundle: per-thread counters, commit-phase
+    /// latency histograms, and the lifecycle event tracer. Disabled by
+    /// default (enable with [`Telemetry::set_enabled`] /
+    /// [`Telemetry::set_tracing`] or the `SPECPMT_TELEMETRY` /
+    /// `SPECPMT_TRACE` environment toggles).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Cumulative reclamation counters (cycles, watermark skips, rewrites,
@@ -229,6 +244,10 @@ impl SpecSpmt {
             return;
         }
         let t0 = self.pool.device().now_ns();
+        // Host wall-clock for the telemetry histogram; cycles are rare, so
+        // an unconditional `Instant::now()` here is well within budget.
+        let host_t0 = std::time::Instant::now();
+        let bytes_before = self.reclaim.stats.bytes_reclaimed;
         let block_bytes = self.cfg.block_bytes;
         self.reclaim.ensure_chains(self.threads.len());
         self.reclaim.stats.cycles += 1;
@@ -255,6 +274,10 @@ impl SpecSpmt {
             // chain it left fully fresh is still fully fresh.
             self.reclaim.stats.noop_cycles += 1;
             self.reclaim.stats.last_cycle_ns = self.pool.device().now_ns() - t0;
+            let ns = u64::try_from(host_t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.tel.registry.add(self.cur, Metric::ReclaimCycles, 1);
+            self.tel.registry.record(self.cur, Phase::ReclaimCycle, ns);
+            self.tel.tracer.record(self.cur, EventKind::ReclaimCycle, 0, ns);
             return;
         }
 
@@ -327,6 +350,11 @@ impl SpecSpmt {
         if self.cfg.reclaim_mode == ReclaimMode::Background {
             self.stats.background_ns += self.pool.device().now_ns() - t0;
         }
+        let ns = u64::try_from(host_t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let bytes = self.reclaim.stats.bytes_reclaimed.saturating_sub(bytes_before);
+        self.tel.registry.add(self.cur, Metric::ReclaimCycles, 1);
+        self.tel.registry.record(self.cur, Phase::ReclaimCycle, ns);
+        self.tel.tracer.record(self.cur, EventKind::ReclaimCycle, bytes, ns);
     }
 
     /// Adopts *external data* (Section 4.3.2): durable bytes produced by
@@ -396,7 +424,9 @@ impl TxAccess for SpecSpmt {
         let tid = self.cur;
         assert!(!self.threads[tid].in_tx, "nested transaction on thread {tid}");
         self.stats.tx_begun += 1;
-        let Self { pool, free_blocks, threads, .. } = self;
+        let Self { pool, free_blocks, threads, tel, stats, .. } = self;
+        tel.registry.add(tid, Metric::Begins, 1);
+        tel.tracer.record(tid, EventKind::Begin, stats.tx_begun, 0);
         let t = &mut threads[tid];
         t.ws.begin();
         t.dirty.clear();
@@ -410,8 +440,12 @@ impl TxAccess for SpecSpmt {
     fn write(&mut self, addr: usize, data: &[u8]) {
         let tid = self.cur;
         assert!(self.threads[tid].in_tx, "write outside transaction");
-        let Self { pool, free_blocks, threads, stats, cfg, .. } = self;
+        let Self { pool, free_blocks, threads, stats, cfg, tel, .. } = self;
         let t = &mut threads[tid];
+        // Write-set build phase: everything staged between begin and seal
+        // (in-place store + log staging + dedup bookkeeping).
+        let _ws_span = tel.registry.span(tid, Phase::Writeset);
+        tel.tracer.record(tid, EventKind::Stage, addr as u64, data.len() as u64);
         // In-place data update — never flushed by SpecSPMT.
         pool.device_mut().write(addr, data);
         stats.updates += 1;
@@ -456,35 +490,70 @@ impl TxAccess for SpecSpmt {
         let ts = self.ts_counter;
         self.ts_counter += 1;
 
-        let Self { pool, free_blocks, threads, stats, cfg, .. } = self;
+        let Self { pool, free_blocks, threads, stats, cfg, tel, .. } = self;
         let t = &mut threads[tid];
+        let commit_span = tel.registry.span(tid, Phase::Commit);
+
         // Seal: the record checksum was streamed while entries were
         // staged; only the fixed `(len, ts)` suffix is folded in here.
+        let seal_span = tel.registry.span(tid, Phase::Seal);
         let header = encode_header_parts(ts, t.ws.payload().len(), t.ws.checksum(ts));
+        seal_span.stop();
+        tel.tracer.record(tid, EventKind::Seal, ts, t.ws.payload().len() as u64);
+
+        let append_span = tel.registry.span(tid, Phase::Append);
         let mut store = PoolStore::new(pool, free_blocks);
         let wrote = t.area.write_at(&mut store, t.tx_start, &header, &mut t.dirty);
         assert_eq!(wrote, REC_HDR, "record header must fit in the chain");
         t.area.write_terminator(&mut store, &mut t.dirty);
+        append_span.stop();
+        tel.registry.add(tid, Metric::LogAppends, 1);
         stats.log_bytes += REC_HDR as u64;
 
         // The single commit fence: one vectored flush covering the whole
         // record (coalesced, ascending lines — sequential and cheap) and
         // nothing else. The dirty list is cleared, not freed.
+        let flush_span = tel.registry.span(tid, Phase::Flush);
         pool.device_mut().clwb_ranges(&t.dirty);
+        flush_span.stop();
+        tel.registry.add(tid, Metric::ClwbPlans, 1);
+        tel.tracer.record(tid, EventKind::ClwbPlan, t.dirty.len() as u64, 0);
         t.dirty.clear();
-        pool.device_mut().sfence();
+        let fence_span = tel.registry.span(tid, Phase::Fence);
+        let fr = pool.device_mut().sfence();
+        fence_span.stop();
+        tel.registry.add(tid, Metric::Fences, 1);
+        tel.tracer.record(tid, EventKind::Fence, fr.stall_ns, fr.flushes);
+        if fr.flushes > 0 {
+            tel.registry.add(tid, Metric::WpqDrains, 1);
+            if fr.stall_ns > 0 {
+                tel.registry.record(tid, Phase::WpqDrain, fr.stall_ns);
+                tel.tracer.record(tid, EventKind::WpqDrain, fr.stall_ns, fr.flushes);
+            }
+        }
 
         if cfg.data_persistence {
             // SpecSPMT-DP: also persist the data lines (second fence).
             t.data_lines.sort_unstable();
             t.data_lines.dedup();
+            let flush_span = tel.registry.span(tid, Phase::Flush);
             pool.device_mut().clwb_lines(&t.data_lines);
+            flush_span.stop();
+            tel.registry.add(tid, Metric::ClwbPlans, 1);
+            tel.tracer.record(tid, EventKind::ClwbPlan, t.data_lines.len() as u64, 0);
             t.data_lines.clear();
-            pool.device_mut().sfence();
+            let fence_span = tel.registry.span(tid, Phase::Fence);
+            let fr = pool.device_mut().sfence();
+            fence_span.stop();
+            tel.registry.add(tid, Metric::Fences, 1);
+            tel.tracer.record(tid, EventKind::Fence, fr.stall_ns, fr.flushes);
         }
 
         t.in_tx = false;
         stats.tx_committed += 1;
+        tel.registry.add(tid, Metric::Commits, 1);
+        let commit_ns = commit_span.stop();
+        tel.tracer.record(tid, EventKind::Commit, ts, commit_ns);
         self.refresh_log_stats();
 
         // Implicit reclamation trigger (paper §4.2).

@@ -24,6 +24,20 @@ pub enum TimingMode {
     Off,
 }
 
+/// What one store fence observed, returned by [`PmemDevice::sfence`] and
+/// [`crate::DeviceHandle::sfence`] for instrumentation. Plain statement
+/// callers can ignore it; telemetry-aware callers feed `stall_ns` into
+/// the WPQ-drain histogram and trace stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FenceReport {
+    /// Nanoseconds the fence stalled waiting for the WPQ to accept this
+    /// thread's outstanding flushes (0 when nothing was pending or the
+    /// queue had already drained).
+    pub stall_ns: u64,
+    /// Outstanding line flushes the fence completed.
+    pub flushes: u64,
+}
+
 /// A line flush that has been issued but not yet fenced.
 #[derive(Debug, Clone, Copy)]
 struct PendingFlush {
@@ -414,23 +428,29 @@ impl PmemDevice {
 
     /// Store fence: stalls until all outstanding flushes are accepted into
     /// the persistence domain, then applies them to the persisted image.
-    pub fn sfence(&mut self) {
+    /// Returns what the fence observed (WPQ-drain stall, flushes applied)
+    /// so instrumented callers can attribute fence cost; uninstrumented
+    /// callers simply ignore the report.
+    pub fn sfence(&mut self) -> FenceReport {
         if self.timing == TimingMode::Off {
             debug_assert!(self.pending.is_empty());
-            return;
+            return FenceReport::default();
         }
         self.tick_fuel();
         self.stats.sfence_count += 1;
         let target = self.pending.iter().map(|p| p.accepted_at).max().unwrap_or(0);
+        let stall_ns = target.saturating_sub(self.clock_ns);
         if target > self.clock_ns {
             self.stats.fence_stall_ns += target - self.clock_ns;
             self.clock_ns = target;
         }
         self.clock_ns += self.cfg.sfence_base_ns;
+        let flushes = self.pending.len() as u64;
         for p in self.pending.drain(..) {
             let start = line_start(p.line);
             self.persisted[start..start + CACHE_LINE].copy_from_slice(&p.snapshot);
         }
+        FenceReport { stall_ns, flushes }
     }
 
     /// Non-temporal store: writes `data` and flushes the touched lines in one

@@ -51,7 +51,7 @@ pub mod shared;
 pub use alloc::Reservation;
 pub use config::PmemConfig;
 pub use crash::{CrashImage, CrashPolicy};
-pub use device::{PmemDevice, TimingMode};
+pub use device::{FenceReport, PmemDevice, TimingMode};
 pub use error::PmemError;
 pub use geometry::{
     coalesce_lines, line_of, line_start, word_of, CACHE_LINE, PERSIST_WORD, XPLINE,

@@ -42,9 +42,11 @@ use crate::geometry::{
     channel_of_xpline, line_of, line_start, lines_touching, xpline_of_line, CACHE_LINE,
     PERSIST_WORD,
 };
+use specpmt_telemetry::{Histogram, HistogramSnapshot};
+
 use crate::{
-    PmemConfig, PmemError, PmemStats, TimingMode, BUMP_OFF, POOL_HEADER_SIZE, POOL_MAGIC,
-    ROOT_SLOTS,
+    FenceReport, PmemConfig, PmemError, PmemStats, TimingMode, BUMP_OFF, POOL_HEADER_SIZE,
+    POOL_MAGIC, ROOT_SLOTS,
 };
 
 /// Bytes per image shard (one mutex each). Must be a multiple of
@@ -82,6 +84,10 @@ struct WpqModel {
     /// [`crate::geometry::channel_of_xpline`]).
     media_busy_until: Vec<u64>,
     last_media_xpline: Vec<Option<usize>>,
+    /// Per-channel (per-DIMM) queue-depth high-water marks: the deepest
+    /// each WPQ has ever been right after accepting a flush. Telemetry
+    /// only — never consulted by the timing model.
+    depth_high_water: Vec<u64>,
 }
 
 #[derive(Debug)]
@@ -123,6 +129,9 @@ struct DevInner {
     crash: Mutex<CrashState>,
     next_handle: AtomicU64,
     stats: AtomicStats,
+    /// WPQ-drain waits observed at fences that completed at least one
+    /// flush (telemetry; lock-free log2 buckets).
+    wpq_drain_ns: Histogram,
 }
 
 /// Thread-safe simulated persistent-memory device (see module docs).
@@ -156,6 +165,7 @@ impl SharedPmemDevice {
                     drains: vec![VecDeque::new(); channels],
                     media_busy_until: vec![0; channels],
                     last_media_xpline: vec![None; channels],
+                    depth_high_water: vec![0; channels],
                 }),
                 pending: Mutex::new(Vec::new()),
                 clock_ns: AtomicU64::new(0),
@@ -168,6 +178,7 @@ impl SharedPmemDevice {
                 }),
                 next_handle: AtomicU64::new(0),
                 stats: AtomicStats::default(),
+                wpq_drain_ns: Histogram::new(),
             }),
         }
     }
@@ -211,6 +222,22 @@ impl SharedPmemDevice {
             bytes_loaded: s.bytes_loaded.load(Ordering::Relaxed),
             nt_stores: s.nt_stores.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot of the WPQ-drain wait histogram: the nanoseconds each
+    /// fence that completed at least one flush spent waiting for WPQ
+    /// acceptance. Together with [`Self::wpq_depth_high_water`] this is
+    /// the per-commit WPQ traffic picture the ROADMAP profiling question
+    /// asks for.
+    pub fn wpq_drain_histogram(&self) -> HistogramSnapshot {
+        self.inner.wpq_drain_ns.snapshot()
+    }
+
+    /// Per-channel (per-DIMM) WPQ queue-depth high-water marks: the
+    /// deepest each channel's queue has ever been right after accepting a
+    /// flush.
+    pub fn wpq_depth_high_water(&self) -> Vec<u64> {
+        self.inner.wpq.lock().expect("wpq lock").depth_high_water.clone()
     }
 
     /// Switches timing on or off device-wide (setup phases only — callers
@@ -429,6 +456,10 @@ impl SharedPmemDevice {
         w.media_busy_until[ch] = drain_at;
         w.last_media_xpline[ch] = Some(xp);
         w.drains[ch].push_back(drain_at);
+        let depth = w.drains[ch].len() as u64;
+        if depth > w.depth_high_water[ch] {
+            w.depth_high_water[ch] = depth;
+        }
         let stats = &self.inner.stats;
         stats.lines_persisted.fetch_add(1, Ordering::Relaxed);
         if sequential {
@@ -716,10 +747,13 @@ impl DeviceHandle {
 
     /// Store fence: stalls until every flush **this handle** issued is
     /// accepted into the persistence domain, then applies them to the
-    /// persisted image.
-    pub fn sfence(&self) {
+    /// persisted image. Returns what the fence observed (WPQ-drain stall,
+    /// flushes applied); fences that completed at least one flush also
+    /// feed the device-wide WPQ-drain histogram
+    /// ([`SharedPmemDevice::wpq_drain_histogram`]).
+    pub fn sfence(&self) -> FenceReport {
         if !self.dev.timing_is_on() {
-            return;
+            return FenceReport::default();
         }
         self.dev.tick_fuel();
         self.dev.inner.stats.sfence_count.fetch_add(1, Ordering::Relaxed);
@@ -742,16 +776,22 @@ impl DeviceHandle {
         }
         let target = mine.iter().map(|p| p.accepted_at).max().unwrap_or(0);
         let now = self.local_now_ns();
+        let stall_ns = target.saturating_sub(now);
         if target > now {
             self.dev.inner.stats.fence_stall_ns.fetch_add(target - now, Ordering::Relaxed);
             self.clock.fetch_max(target, Ordering::Relaxed);
             self.dev.inner.clock_ns.fetch_max(target, Ordering::Relaxed);
         }
         self.local_charge(self.dev.inner.cfg.sfence_base_ns);
+        let flushes = mine.len() as u64;
+        if flushes > 0 {
+            self.dev.inner.wpq_drain_ns.record(stall_ns);
+        }
         for p in mine.iter() {
             self.apply_persisted(p.line, &p.snapshot);
         }
         mine.clear();
+        FenceReport { stall_ns, flushes }
     }
 
     /// Non-temporal store: write + flush in one step (still needs a fence).
@@ -1010,6 +1050,36 @@ mod tests {
         let img = d.crash_with(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(0), 1);
         assert_eq!(img.read_u64(64), 2, "b's fence persisted b's snapshot");
+    }
+
+    #[test]
+    fn wpq_telemetry_tracks_drains_and_depth() {
+        let d = dev();
+        let h = d.handle();
+        assert_eq!(d.wpq_drain_histogram().count(), 0);
+        assert!(d.wpq_depth_high_water().iter().all(|&x| x == 0));
+        // Fence with nothing pending: no drain observation.
+        h.sfence();
+        assert_eq!(d.wpq_drain_histogram().count(), 0);
+        // A burst of flushes then a fence: one drain observation, and the
+        // accepting channel's depth high-water is at least 1.
+        for i in 0..8 {
+            h.write_u64(i * 64, i as u64);
+        }
+        for i in 0..8 {
+            h.clwb(i * 64);
+        }
+        let report = h.sfence();
+        assert_eq!(report.flushes, 8);
+        let hist = d.wpq_drain_histogram();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max, report.stall_ns);
+        assert!(d.wpq_depth_high_water().iter().any(|&x| x >= 1));
+        // Timing off: fences are free and unobserved.
+        d.set_timing(TimingMode::Off);
+        h.clwb(0);
+        assert_eq!(h.sfence(), FenceReport::default());
+        assert_eq!(d.wpq_drain_histogram().count(), 1);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! `specpmt-telemetry`: a unified, zero-dependency tracing + metrics
+//! layer for the SpecPMT transaction, pmem, and reclamation stacks.
+//!
+//! Three pieces (DESIGN.md §4.7):
+//!
+//! * [`metrics`] — a per-thread [`Registry`] of named counters
+//!   ([`Metric`]) and log2-bucketed latency histograms ([`Phase`],
+//!   [`Histogram`]) with p50/p90/p99/max summaries and cheap
+//!   `Instant`-based [`Span`] guards. Disabled by default: an inert span
+//!   reads no clock and touches no atomics, keeping the telemetry-off
+//!   commit path within its < 3% overhead budget.
+//! * [`trace`] — a bounded per-thread ring-buffer [`Tracer`] recording
+//!   the transaction lifecycle (begin / stage / seal / lock-acquire /
+//!   clwb-plan / fence / commit / abort-retry / doom) plus reclamation
+//!   and WPQ-drain events. Off by default; `SPECPMT_TRACE=1` enables it.
+//! * [`json`] — a hand-rolled [`JsonWriter`] (the workspace is
+//!   zero-dependency) and the [`StatExport`] trait that `PmemStats`,
+//!   `ReclaimStats`, and `LockTableStats` implement so every stat block
+//!   shares one JSON schema across live runs, benches, and `inspect`.
+//!
+//! This crate sits below `specpmt-pmem` in the dependency graph and has
+//! no dependencies of its own.
+
+#![deny(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::{JsonWriter, StatExport};
+pub use metrics::{
+    bucket_floor, bucket_of, Histogram, HistogramSnapshot, Metric, Phase, Registry, Span, BUCKETS,
+    METRIC_COUNT, METRIC_NAMES, PHASE_COUNT, PHASE_NAMES,
+};
+pub use trace::{
+    EventKind, TraceEvent, TraceSnapshot, Tracer, DEFAULT_CAPACITY, EVENT_KIND_COUNT,
+    EVENT_KIND_NAMES,
+};
+
+/// Reads a boolean env toggle: `1`, `true`, `yes`, `on` (case-insensitive)
+/// are truthy; unset or anything else is falsy.
+pub fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes" | "on"),
+        Err(_) => false,
+    }
+}
+
+/// One runtime's telemetry bundle: the metrics [`Registry`] and the event
+/// [`Tracer`], sized to the same thread count. Both start in their
+/// env-controlled default state (`SPECPMT_TELEMETRY` / `SPECPMT_TRACE`),
+/// which is *off* unless set — an inert bundle costs one relaxed atomic
+/// load per instrumentation site.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// Counters + phase-latency histograms.
+    pub registry: Registry,
+    /// Bounded per-thread lifecycle event rings.
+    pub tracer: Tracer,
+}
+
+impl Telemetry {
+    /// Builds a bundle with one registry shard and one trace ring per
+    /// thread.
+    pub fn new(threads: usize) -> Self {
+        Self { registry: Registry::new(threads), tracer: Tracer::new(threads) }
+    }
+
+    /// Enables or disables metrics recording (counters + histograms).
+    /// Tracing is controlled separately via [`Telemetry::set_tracing`].
+    pub fn set_enabled(&self, on: bool) {
+        self.registry.set_enabled(on);
+    }
+
+    /// Enables or disables event tracing.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    /// Zeroes the registry and empties the trace rings.
+    pub fn reset(&self) {
+        self.registry.reset();
+        self.tracer.clear();
+    }
+
+    /// Emits the merged metrics block plus a compact trace summary
+    /// (`trace_events`, `trace_dropped`) into the caller's open object.
+    /// Full event dumps go through
+    /// [`Tracer::snapshot`]/[`TraceSnapshot::emit`].
+    pub fn emit(&self, w: &mut JsonWriter) {
+        self.registry.emit(w);
+        let snap = self.tracer.snapshot();
+        w.field_u64("trace_events", snap.events.len() as u64);
+        w.field_u64("trace_dropped", snap.dropped);
+    }
+}
+
+impl StatExport for Telemetry {
+    fn export_name(&self) -> &'static str {
+        "telemetry"
+    }
+
+    fn emit(&self, w: &mut JsonWriter) {
+        Telemetry::emit(self, w);
+    }
+}

@@ -1,0 +1,305 @@
+//! Bounded per-thread ring-buffer event tracer for the transaction
+//! lifecycle, reclamation, and WPQ drains.
+//!
+//! Off by default; enabled by constructing the owning runtime with
+//! `SPECPMT_TRACE=1` in the environment (or via [`Tracer::set_enabled`]).
+//! Each thread records into its own fixed-capacity ring (capacity from
+//! `SPECPMT_TRACE_CAP`, default [`DEFAULT_CAPACITY`]); when a ring is
+//! full the *oldest* event is overwritten and a per-ring drop counter is
+//! bumped, so a wrapped ring still reports exactly how many events it
+//! lost. Events are plain-old-data (`at_ns`, `tid`, `kind`, two operand
+//! words) — recording allocates nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::JsonWriter;
+
+/// Default per-thread ring capacity (events).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// What happened. Operand meaning (`a`, `b`) is per-kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Transaction began. `a` = transactions begun so far on this thread.
+    Begin = 0,
+    /// A write was staged. `a` = pool offset, `b` = length.
+    Stage = 1,
+    /// Record header sealed. `a` = commit timestamp, `b` = payload bytes.
+    Seal = 2,
+    /// Address lock acquired. `a` = pool offset, `b` = wait nanoseconds.
+    LockAcquire = 3,
+    /// Flush plan executed. `a` = dirty ranges planned, `b` = unused (0).
+    ClwbPlan = 4,
+    /// Commit fence issued. `a` = WPQ-drain stall nanoseconds, `b` =
+    /// flushes the fence completed.
+    Fence = 5,
+    /// Transaction committed. `a` = commit timestamp, `b` = commit ns.
+    Commit = 6,
+    /// Transaction aborted and will retry. `a` = retry attempt number.
+    AbortRetry = 7,
+    /// Transaction doomed by a peer. `a` = dooming thread id.
+    Doom = 8,
+    /// Reclamation cycle finished. `a` = bytes reclaimed, `b` = cycle ns.
+    ReclaimCycle = 9,
+    /// WPQ drain observed at a fence (stall > 0). `a` = drain-wait ns,
+    /// `b` = flushes drained.
+    WpqDrain = 10,
+}
+
+/// Number of [`EventKind`] variants.
+pub const EVENT_KIND_COUNT: usize = 11;
+
+/// JSON/debug names for each [`EventKind`], index-aligned with the enum.
+pub const EVENT_KIND_NAMES: [&str; EVENT_KIND_COUNT] = [
+    "begin",
+    "stage",
+    "seal",
+    "lock_acquire",
+    "clwb_plan",
+    "fence",
+    "commit",
+    "abort_retry",
+    "doom",
+    "reclaim_cycle",
+    "wpq_drain",
+];
+
+/// One traced event (POD; 32 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the tracer's construction.
+    pub at_ns: u64,
+    /// Recording thread.
+    pub tid: u32,
+    /// Event kind.
+    pub kind: EventKind,
+    /// First operand (per-kind meaning).
+    pub a: u64,
+    /// Second operand (per-kind meaning).
+    pub b: u64,
+}
+
+/// Fixed-capacity overwrite-oldest ring.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event (only meaningful once full).
+    head: usize,
+    /// Live events (`<= buf.capacity()`).
+    len: usize,
+    /// Events overwritten since construction (never reset by wrapping).
+    dropped: u64,
+    cap: usize,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap), head: 0, len: 0, dropped: 0, cap }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.len < self.cap {
+            self.buf.push(ev);
+            self.len += 1;
+        } else {
+            // Full: overwrite the oldest slot and advance the head.
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in record order (oldest first).
+    fn ordered(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            out.push(self.buf[(self.head + i) % self.len.max(1)]);
+        }
+        out
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.len = 0;
+        self.dropped = 0;
+    }
+}
+
+/// Per-thread bounded event tracer. Owned by a runtime; threads record
+/// into their own shard (the per-shard mutex is uncontended in normal
+/// operation and skipped entirely while disabled).
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    shards: Vec<Mutex<Ring>>,
+}
+
+/// Merged view of all shards at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    /// All live events, globally ordered by `at_ns`.
+    pub events: Vec<TraceEvent>,
+    /// Total events lost to ring wrap, across all shards.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Counts live events of one kind.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Emits `"events":[{...}],"dropped":N` into the caller's open
+    /// object.
+    pub fn emit(&self, w: &mut JsonWriter) {
+        w.begin_array_field("events");
+        for e in &self.events {
+            w.begin_object();
+            w.field_u64("at_ns", e.at_ns);
+            w.field_u64("tid", e.tid as u64);
+            w.field_str("kind", EVENT_KIND_NAMES[e.kind as usize]);
+            w.field_u64("a", e.a);
+            w.field_u64("b", e.b);
+            w.end_object();
+        }
+        w.end_array();
+        w.field_u64("dropped", self.dropped);
+    }
+}
+
+impl Tracer {
+    /// Builds a tracer with one ring per thread. The initial enabled
+    /// state honors `SPECPMT_TRACE`; capacity honors `SPECPMT_TRACE_CAP`
+    /// (events per thread, default [`DEFAULT_CAPACITY`]).
+    pub fn new(threads: usize) -> Self {
+        let cap = std::env::var("SPECPMT_TRACE_CAP")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_CAPACITY);
+        Self::with_capacity(threads, cap)
+    }
+
+    /// Builds a tracer with an explicit per-thread ring capacity.
+    pub fn with_capacity(threads: usize, cap: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(crate::env_flag("SPECPMT_TRACE")),
+            epoch: Instant::now(),
+            shards: (0..threads.max(1)).map(|_| Mutex::new(Ring::new(cap.max(1)))).collect(),
+        }
+    }
+
+    /// Whether recording is live.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off (existing events are kept).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Records one event on `tid`'s ring. No-op while disabled.
+    #[inline]
+    pub fn record(&self, tid: usize, kind: EventKind, a: u64, b: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let at_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let ev = TraceEvent { at_ns, tid: tid as u32, kind, a, b };
+        let shard = &self.shards[tid % self.shards.len()];
+        if let Ok(mut ring) = shard.lock() {
+            ring.push(ev);
+        }
+    }
+
+    /// Merges every shard into one globally time-ordered snapshot
+    /// (without clearing the rings).
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            if let Ok(ring) = shard.lock() {
+                events.extend(ring.ordered());
+                dropped += ring.dropped;
+            }
+        }
+        events.sort_by_key(|e| e.at_ns);
+        TraceSnapshot { events, dropped }
+    }
+
+    /// Empties every ring and zeroes the drop counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            if let Ok(mut ring) = shard.lock() {
+                ring.clear();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::with_capacity(2, 8);
+        t.set_enabled(false);
+        t.record(0, EventKind::Begin, 0, 0);
+        let s = t.snapshot();
+        assert!(s.events.is_empty());
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn ring_wraps_without_losing_drop_count() {
+        let t = Tracer::with_capacity(1, 4);
+        t.set_enabled(true);
+        for i in 0..10u64 {
+            t.record(0, EventKind::Commit, i, 0);
+        }
+        let s = t.snapshot();
+        assert_eq!(s.events.len(), 4, "ring keeps only the newest cap events");
+        assert_eq!(s.dropped, 6, "every overwritten event is counted");
+        // The survivors are the newest four, in order.
+        let kept: Vec<u64> = s.events.iter().map(|e| e.a).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn snapshot_merges_threads_in_time_order() {
+        let t = Tracer::with_capacity(2, 8);
+        t.set_enabled(true);
+        t.record(0, EventKind::Begin, 1, 0);
+        t.record(1, EventKind::Begin, 2, 0);
+        t.record(0, EventKind::Commit, 3, 0);
+        let s = t.snapshot();
+        assert_eq!(s.events.len(), 3);
+        assert!(s.events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(s.count(EventKind::Begin), 2);
+        assert_eq!(s.count(EventKind::Commit), 1);
+        t.clear();
+        assert!(t.snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn emit_names_kinds() {
+        let t = Tracer::with_capacity(1, 4);
+        t.set_enabled(true);
+        t.record(0, EventKind::WpqDrain, 3, 250);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        t.snapshot().emit(&mut w);
+        w.end_object();
+        let j = w.finish();
+        assert!(j.contains("\"kind\":\"wpq_drain\""), "{j}");
+        assert!(j.contains("\"dropped\":0"), "{j}");
+    }
+}

@@ -21,6 +21,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use specpmt_telemetry::{Histogram, HistogramSnapshot, JsonWriter, StatExport};
+
 use crate::driver::TxOp;
 use crate::sched::{MultiThreaded, ScheduleOutcome};
 use crate::CommitOracle;
@@ -51,6 +53,28 @@ impl LockTableStats {
             self.conflicts as f64 / total as f64
         }
     }
+
+    /// Difference `self - earlier`, for measuring a phase (saturating:
+    /// crossed snapshots clamp to 0 instead of wrapping).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &LockTableStats) -> LockTableStats {
+        LockTableStats {
+            acquires: self.acquires.saturating_sub(earlier.acquires),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+        }
+    }
+}
+
+impl StatExport for LockTableStats {
+    fn export_name(&self) -> &'static str {
+        "locks"
+    }
+
+    fn emit(&self, w: &mut JsonWriter) {
+        w.field_u64("acquires", self.acquires);
+        w.field_u64("conflicts", self.conflicts);
+        w.field_f64("conflict_rate", self.conflict_rate());
+    }
 }
 
 /// Thread-safe striped address lock table.
@@ -65,6 +89,11 @@ pub struct SharedLockTable {
     owners: Vec<AtomicUsize>,
     acquires: AtomicU64,
     conflicts: AtomicU64,
+    /// Nanoseconds a transaction spent waiting (spinning/backing off)
+    /// before its stripes were acquired or it gave up. Fed by the
+    /// retrying caller (`LockedTxHandle`), since only the caller knows
+    /// when the wait started.
+    wait_ns: Histogram,
 }
 
 impl SharedLockTable {
@@ -82,6 +111,7 @@ impl SharedLockTable {
             owners: (0..stripes).map(|_| AtomicUsize::new(FREE)).collect(),
             acquires: AtomicU64::new(0),
             conflicts: AtomicU64::new(0),
+            wait_ns: Histogram::new(),
         })
     }
 
@@ -96,6 +126,19 @@ impl SharedLockTable {
             acquires: self.acquires.load(Ordering::Relaxed),
             conflicts: self.conflicts.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records one observed lock-acquisition wait (nanoseconds a caller
+    /// spent between its first failed `try_extend` and the final outcome
+    /// — acquisition, doom, or give-up). Zero-wait acquisitions need not
+    /// be recorded, so the histogram summarizes *contended* waits.
+    pub fn record_wait_ns(&self, ns: u64) {
+        self.wait_ns.record(ns);
+    }
+
+    /// Merged snapshot of the lock-wait histogram.
+    pub fn wait_histogram(&self) -> HistogramSnapshot {
+        self.wait_ns.snapshot()
     }
 
     /// Opens an empty guard for `tid`: the per-transaction handle through
@@ -359,5 +402,29 @@ mod tests {
         assert_eq!(st.acquires, 2);
         assert_eq!(st.conflicts, 1);
         assert!((st.conflict_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wait_histogram_accumulates() {
+        let t = SharedLockTable::new(1024, 64);
+        assert_eq!(t.wait_histogram().count(), 0);
+        t.record_wait_ns(100);
+        t.record_wait_ns(3000);
+        let h = t.wait_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max, 3000);
+        assert_eq!(h.sum, 3100);
+    }
+
+    #[test]
+    fn stats_delta_saturates_and_emits() {
+        let a = LockTableStats { acquires: 10, conflicts: 2 };
+        let b = LockTableStats { acquires: 4, conflicts: 5 };
+        let d = a.delta_since(&b);
+        assert_eq!(d.acquires, 6);
+        assert_eq!(d.conflicts, 0, "crossed snapshot clamps to zero");
+        let j = a.to_json();
+        assert!(j.contains("\"acquires\":10"), "{j}");
+        assert!(j.contains("\"conflict_rate\":"), "{j}");
     }
 }

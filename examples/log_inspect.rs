@@ -2,12 +2,18 @@
 //! crashed pool before (and after) running recovery.
 //!
 //! Run with: `cargo run --example log_inspect`
+//!
+//! Pass `--json` to emit the machine-readable report (same schema as the
+//! [`specpmt::telemetry::StatExport`] JSON surface) instead of the
+//! human-readable rendering.
 
 use specpmt::core::{inspect_image, SpecConfig, SpecSpmt};
 use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool};
+use specpmt::telemetry::StatExport;
 use specpmt::txn::{Recover, TxAccess, TxRuntime};
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20)));
     let mut rt = SpecSpmt::new(pool, SpecConfig { threads: 3, ..SpecConfig::default() });
 
@@ -28,14 +34,25 @@ fn main() {
     rt.write_u64(a + 8, 0xFFFF);
 
     let mut image = rt.pool().device().crash_with(CrashPolicy::Random(7));
-    println!("=== crashed pool ===");
-    println!("{}", inspect_image(&image));
+    if json {
+        // Machine-readable: one JSON object per line (crashed, recovered).
+        println!("{}", inspect_image(&image).to_json());
+    } else {
+        println!("=== crashed pool ===");
+        println!("{}", inspect_image(&image));
+    }
 
     SpecSpmt::recover(&mut image);
-    println!("=== after recovery ===");
-    for tid in 0..3usize {
-        println!("thread {tid} datum: {}", image.read_u64(a + tid * 8));
+    if json {
+        println!("{}", inspect_image(&image).to_json());
+    } else {
+        println!("=== after recovery ===");
+        for tid in 0..3usize {
+            println!("thread {tid} datum: {}", image.read_u64(a + tid * 8));
+        }
     }
     assert_eq!(image.read_u64(a + 8), 29 * 3 + 1, "interrupted update revoked");
-    println!("log_inspect OK");
+    if !json {
+        println!("log_inspect OK");
+    }
 }

@@ -1,18 +1,27 @@
 #!/usr/bin/env bash
 # Commit-path microbench driver: runs the `commit_path` bench and captures
-# its one-line summary into BENCH_commit_path.json at the repo root.
+# its one-line summary into BENCH_commit_path.json at the repo root, then
+# runs the `txstat` profiling bin and captures its per-phase JSON lines
+# into BENCH_txstat.json.
 #
 # Entirely offline and dependency-free (the workspace has zero registry
 # dependencies; the bench uses its own harness, not criterion). Honors
 # SPECPMT_BENCH_SMOKE=1 for a fast smoke run and SPECPMT_COMMIT_BASELINE
 # to point the speedup comparison at a different baseline file.
 #
-# Summary keys: commit_ns_seq / commit_ns_shared (per-commit wall-clock),
-# allocs_per_tx_* (heap allocations per steady-state transaction, via the
-# bench's counting global allocator), reclaim_idle_ns / reclaim_churn_ns
-# (one reclamation cycle over idle vs churning chains), and
-# baseline_commit_ns_seq / speedup_seq against
+# BENCH_commit_path.json keys: commit_ns_seq / commit_ns_shared
+# (per-commit wall-clock), allocs_per_tx_* (heap allocations per
+# steady-state transaction, via the bench's counting global allocator),
+# reclaim_idle_ns / reclaim_churn_ns (one reclamation cycle over idle vs
+# churning chains), and baseline_commit_ns_seq / speedup_seq against
 # results/commit_path_baseline.json.
+#
+# BENCH_txstat.json is JSON-lines: one per-phase breakdown object per
+# runtime/thread-count point (seq and shared at 1, 8, 16 threads, each
+# carrying the merged telemetry registry, lock-wait and WPQ-drain
+# histograms for the shared runtime) plus a final summary line with the
+# telemetry-off vs -on sequential commit cost and the overhead percentage
+# that scripts/verify.sh holds to the < 3% budget.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,3 +36,9 @@ cargo bench --offline -q -p specpmt-bench --bench commit_path -- "$@" | tee "$tm
 grep '"bench":"commit_path",' "$tmp" | tail -n 1 > "$out"
 [ -s "$out" ] || { echo "error: no commit_path summary line captured" >&2; exit 1; }
 echo "wrote $out"
+
+txout=BENCH_txstat.json
+cargo run --release --offline -q -p specpmt-bench --bin txstat | tee "$tmp"
+grep '"bench":"txstat"' "$tmp" > "$txout"
+[ -s "$txout" ] || { echo "error: no txstat lines captured" >&2; exit 1; }
+echo "wrote $txout"

@@ -45,4 +45,32 @@ if command -v python3 >/dev/null 2>&1; then
     run python3 -c 'import json; json.load(open("BENCH_commit_path.json"))'
 fi
 
+# txstat smoke: bench.sh also captured the per-phase profiler's JSON lines.
+# Both runtimes must report their phase breakdowns with the full telemetry
+# block (merged registry; lock-wait and WPQ-drain histograms for the shared
+# runtime), and the final summary line must show the telemetry-OFF
+# sequential commit cost within 3% of the checked-in commit_path baseline —
+# the "inert telemetry is free" budget from DESIGN.md §4.7.
+for key in '"bench":"txstat"' '"runtime":"seq"' '"runtime":"shared"' \
+    '"commit_ns_avg"' '"telemetry"' '"phases"' '"lock_wait"' '"wpq_drain"' \
+    '"commit_ns_seq"' '"telemetry_overhead_pct"'; do
+    grep -q "$key" BENCH_txstat.json ||
+        { echo "BENCH_txstat.json missing key: $key" >&2; exit 1; }
+done
+if command -v python3 >/dev/null 2>&1; then
+    run python3 - <<'EOF'
+import json
+lines = [json.loads(l) for l in open("BENCH_txstat.json") if l.strip()]
+summary = [l for l in lines if "commit_ns_seq" in l][-1]
+baseline = json.load(open("results/commit_path_baseline.json"))["commit_ns_seq"]
+off = summary["commit_ns_seq"]
+budget = baseline * 1.03
+assert off <= budget, (
+    f"telemetry-off commit cost {off:.1f} ns exceeds 3% budget over "
+    f"baseline {baseline:.1f} ns (limit {budget:.1f} ns)")
+print(f"txstat: telemetry-off {off:.1f} ns <= budget {budget:.1f} ns "
+      f"(baseline {baseline:.1f} ns)")
+EOF
+fi
+
 echo "verify: OK"

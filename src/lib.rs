@@ -12,6 +12,8 @@
 //! * [`hwsim`] / [`hwtx`] — the microarchitectural model and the hardware
 //!   transaction designs (SpecHPMT, EDE, HOOP).
 //! * [`stamp`] — the nine evaluated STAMP mini-workloads.
+//! * [`telemetry`] — zero-dependency counters, latency histograms, the
+//!   transaction event tracer, and the shared JSON export layer.
 //!
 //! See the repository README for a tour and `examples/` for runnable
 //! entry points, starting with `examples/quickstart.rs`.
@@ -24,4 +26,5 @@ pub use specpmt_hwsim as hwsim;
 pub use specpmt_hwtx as hwtx;
 pub use specpmt_pmem as pmem;
 pub use specpmt_stamp as stamp;
+pub use specpmt_telemetry as telemetry;
 pub use specpmt_txn as txn;

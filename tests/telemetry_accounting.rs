@@ -1,0 +1,129 @@
+//! Cross-layer telemetry accounting invariants: the tracer, the metrics
+//! registry, and the device's own persistence counters must agree with
+//! each other — otherwise the observability layer would be decorative.
+
+use specpmt::core::{ConcurrentConfig, ReclaimMode, SpecConfig, SpecSpmt, SpecSpmtShared};
+use specpmt::pmem::{PmemConfig, PmemDevice, PmemPool, SharedPmemDevice, SharedPmemPool};
+use specpmt::telemetry::{EventKind, Metric, Phase};
+use specpmt::txn::{TxAccess, TxRuntime};
+
+fn seq_runtime() -> (SpecSpmt, usize) {
+    let mut pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20)));
+    let base = pool.alloc_direct(4096, 64).unwrap();
+    let cfg = SpecConfig { reclaim_mode: ReclaimMode::Disabled, ..SpecConfig::default() };
+    (SpecSpmt::new(pool, cfg), base)
+}
+
+fn commit_n(rt: &mut SpecSpmt, base: usize, n: u64) {
+    for i in 0..n {
+        rt.begin();
+        rt.write_u64(base + ((i as usize * 24) % 4096 / 8) * 8, i);
+        rt.write_u64(base + ((i as usize * 40 + 8) % 4096 / 8) * 8, !i);
+        rt.commit();
+    }
+}
+
+/// Every simulated `sfence` the device executes while tracing is live must
+/// appear as exactly one `fence` trace event, and the `fences` counter
+/// must agree — the tracer is not allowed to drop or invent fences.
+#[test]
+fn traced_fence_events_match_device_sfence_count() {
+    let (mut rt, base) = seq_runtime();
+    rt.telemetry().set_enabled(true);
+    rt.telemetry().set_tracing(true);
+    let sfences_before = rt.pool().device().stats().sfence_count;
+
+    commit_n(&mut rt, base, 37);
+
+    let sfence_delta = rt.pool().device().stats().sfence_count - sfences_before;
+    assert_eq!(sfence_delta, 37, "one fence per commit (non-DP, reclamation disabled)");
+    let snap = rt.telemetry().tracer.snapshot();
+    assert_eq!(
+        snap.count(EventKind::Fence) as u64,
+        sfence_delta,
+        "every device sfence must be traced exactly once"
+    );
+    assert_eq!(rt.telemetry().registry.counter(Metric::Fences), sfence_delta);
+    assert_eq!(snap.count(EventKind::Commit), 37);
+    assert_eq!(snap.count(EventKind::Begin), 37);
+    assert_eq!(snap.dropped, 0, "default ring capacity must hold this run");
+}
+
+/// The instrumented sub-phases of a commit (seal, append, flush, fence,
+/// lock release) are nested inside the whole-commit envelope span, so
+/// their summed latencies can never exceed the envelope's. (Write-set
+/// staging happens in the transaction body, outside the envelope, and is
+/// deliberately excluded.)
+#[test]
+fn commit_subphase_sums_fit_inside_envelope() {
+    let (mut rt, base) = seq_runtime();
+    rt.telemetry().set_enabled(true);
+    commit_n(&mut rt, base, 200);
+
+    let reg = &rt.telemetry().registry;
+    let envelope = reg.phase(Phase::Commit);
+    assert_eq!(envelope.count(), 200);
+    let sub_sum: u64 = [Phase::Seal, Phase::Append, Phase::Flush, Phase::Fence, Phase::LockRelease]
+        .iter()
+        .map(|&p| reg.phase(p).sum)
+        .sum();
+    assert!(envelope.sum > 0, "200 commits must accumulate envelope time");
+    assert!(
+        sub_sum <= envelope.sum,
+        "sub-phases ({sub_sum} ns) must nest within the commit envelope ({} ns)",
+        envelope.sum
+    );
+}
+
+/// Same nesting invariant on the shared runtime's seal path, which also
+/// has a real lock-release phase (the area lock handed back to the
+/// daemon).
+#[test]
+fn shared_commit_subphase_sums_fit_inside_envelope() {
+    let dev = SharedPmemDevice::new(PmemConfig::new(1 << 20));
+    let pool = SharedPmemPool::create(dev);
+    let shared = SpecSpmtShared::new(pool, ConcurrentConfig::default());
+    shared.telemetry().set_enabled(true);
+    shared.telemetry().set_tracing(true);
+    let base = shared.pool().alloc_direct(4096, 64).unwrap();
+    let mut h = shared.tx_handle(0);
+    for i in 0..100u64 {
+        h.begin();
+        h.write_u64(base + ((i as usize * 16) % 4096 / 8) * 8, i);
+        h.commit();
+    }
+    let reg = &shared.telemetry().registry;
+    let envelope = reg.phase(Phase::Commit);
+    assert_eq!(envelope.count(), 100);
+    let sub_sum: u64 = [Phase::Seal, Phase::Append, Phase::Flush, Phase::Fence, Phase::LockRelease]
+        .iter()
+        .map(|&p| reg.phase(p).sum)
+        .sum();
+    assert!(sub_sum <= envelope.sum, "sub-phases must nest within the envelope");
+    // The shared runtime really exercises the lock-release phase.
+    assert_eq!(reg.phase(Phase::LockRelease).count(), 100);
+    // And the tracer agrees with the registry on lifecycle counts.
+    let snap = shared.telemetry().tracer.snapshot();
+    assert_eq!(snap.count(EventKind::Commit) as u64, reg.counter(Metric::Commits));
+    assert_eq!(snap.count(EventKind::Fence) as u64, reg.counter(Metric::Fences));
+}
+
+/// Telemetry begins disabled and its surfaces all read as empty; enabling
+/// + resetting round-trips cleanly.
+#[test]
+fn disabled_telemetry_reads_empty_and_reset_roundtrips() {
+    let (mut rt, base) = seq_runtime();
+    // Disabled by default: nothing records.
+    commit_n(&mut rt, base, 10);
+    assert_eq!(rt.telemetry().registry.counter(Metric::Commits), 0);
+    assert_eq!(rt.telemetry().registry.phase(Phase::Commit).count(), 0);
+    assert!(rt.telemetry().tracer.snapshot().events.is_empty());
+    // Enable, record, reset: back to empty.
+    rt.telemetry().set_enabled(true);
+    rt.telemetry().set_tracing(true);
+    commit_n(&mut rt, base, 5);
+    assert_eq!(rt.telemetry().registry.counter(Metric::Commits), 5);
+    rt.telemetry().reset();
+    assert_eq!(rt.telemetry().registry.counter(Metric::Commits), 0);
+    assert!(rt.telemetry().tracer.snapshot().events.is_empty());
+}
