@@ -10,6 +10,13 @@
 //! chains (nothing appended since the previous cycle) with one over
 //! *churning* chains (fresh overwrites between every cycle).
 //!
+//! Alongside the wall-clock sections, two *deterministic* keys
+//! (`commit_sim_ns_seq` / `commit_sim_ns_shared`) report the simulated
+//! device cost of a commit over a fixed transaction count — reproducible
+//! regardless of host load, which is what lets `scripts/perf_gate.sh`
+//! hold them to a tight regression tolerance while the noisy host-time
+//! keys get a loose one.
+//!
 //! Output: per-section JSON lines from the shared harness, then one
 //! summary line `{"bench":"commit_path",...}` that `scripts/bench.sh`
 //! captures into `BENCH_commit_path.json`.
@@ -21,6 +28,7 @@ use std::time::Instant;
 use specpmt_bench::harness::{bench, smoke_mode};
 use specpmt_core::{ConcurrentConfig, ReclaimMode, SpecConfig, SpecSpmt, SpecSpmtShared};
 use specpmt_pmem::{PmemConfig, PmemDevice, PmemPool, SharedPmemDevice, SharedPmemPool};
+use specpmt_telemetry::Phase;
 use specpmt_txn::TxAccess;
 
 /// Counts heap allocations (alloc + realloc; dealloc is free to the
@@ -119,6 +127,47 @@ fn bench_shared(samples: usize, iters: u64) -> CommitNumbers {
     CommitNumbers { commit_ns: report.per_iter_ns(), allocs_per_tx: allocs }
 }
 
+/// Transactions in the deterministic simulated-cost passes. Fixed (not
+/// scaled down in smoke mode): the passes take no host timing, so they
+/// are cheap, and a count independent of smoke mode means the captured
+/// number is comparable between a full baseline capture and the smoke
+/// run `scripts/verify.sh` gates with.
+const SIM_TXS: u64 = 512;
+
+/// Deterministic simulated commit cost of the sequential runtime: a
+/// fresh pool, a fixed transaction count, and the telemetry registry's
+/// `commit_sim` phase — simulated device nanoseconds, no host clock
+/// anywhere. Reproducible across runs and hosts, unlike the wall-clock
+/// sections, so `scripts/perf_gate.sh` holds it to a tight tolerance
+/// where the host keys get a loose one.
+fn sim_commit_ns_seq() -> f64 {
+    let mut pool = PmemPool::create(PmemDevice::new(PmemConfig::new(64 << 20)));
+    let base = pool.alloc_direct(REGION, 64).unwrap();
+    let cfg = SpecConfig { reclaim_mode: ReclaimMode::Disabled, ..SpecConfig::default() };
+    let mut rt = SpecSpmt::new(pool, cfg);
+    rt.telemetry().set_enabled(true);
+    for round in 0..SIM_TXS {
+        run_tx(&mut rt, base, round);
+    }
+    rt.telemetry().registry.phase(Phase::CommitSim).mean()
+}
+
+/// [`sim_commit_ns_seq`] for the shared runtime (one handle, per-commit
+/// fences — the comparison baseline the group-commit path is measured
+/// against in `txstat`).
+fn sim_commit_ns_shared() -> f64 {
+    let dev = SharedPmemDevice::new(PmemConfig::new(64 << 20));
+    let pool = SharedPmemPool::create(dev);
+    let base = pool.alloc_direct(REGION, 64).unwrap();
+    let shared = SpecSpmtShared::new(pool, ConcurrentConfig::default());
+    shared.telemetry().set_enabled(true);
+    let mut h = shared.tx_handle(0);
+    for round in 0..SIM_TXS {
+        run_tx(&mut h, base, round);
+    }
+    shared.telemetry().registry.phase(Phase::CommitSim).mean()
+}
+
 struct ReclaimNumbers {
     idle_ns: u64,
     churn_ns: u64,
@@ -204,6 +253,8 @@ fn main() {
 
     let seq = bench_seq(samples, iters);
     let shared = bench_shared(samples, iters);
+    let sim_seq = sim_commit_ns_seq();
+    let sim_shared = sim_commit_ns_shared();
     let reclaim = bench_reclaim(cycles, churn_txs);
 
     let churn_over_idle = reclaim.churn_ns as f64 / reclaim.idle_ns.max(1) as f64;
@@ -214,12 +265,15 @@ fn main() {
     println!(
         "{{\"bench\":\"commit_path\",\"writes_per_tx\":{WRITES_PER_TX},\
          \"write_bytes\":{WRITE_BYTES},\"commit_ns_seq\":{:.1},\
-         \"commit_ns_shared\":{:.1},\"allocs_per_tx_seq\":{:.2},\
+         \"commit_ns_shared\":{:.1},\"commit_sim_ns_seq\":{:.1},\
+         \"commit_sim_ns_shared\":{:.1},\"allocs_per_tx_seq\":{:.2},\
          \"allocs_per_tx_shared\":{:.2},\"reclaim_idle_ns\":{},\
          \"reclaim_churn_ns\":{},\"churn_over_idle\":{:.2},\
          \"baseline_commit_ns_seq\":{:.1},\"speedup_seq\":{:.2}}}",
         seq.commit_ns,
         shared.commit_ns,
+        sim_seq,
+        sim_shared,
         seq.allocs_per_tx,
         shared.allocs_per_tx,
         reclaim.idle_ns,

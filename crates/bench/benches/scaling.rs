@@ -17,15 +17,19 @@
 //! `LockedTxHandle` fleets and prints per-workload simulated commit
 //! throughput as JSON. With `--stripe-bytes A,B,..` it sweeps the shared
 //! lock table's stripe size at a fixed thread count and reports lock
-//! acquire/conflict counters per point; `--app NAME` filters either sweep
-//! to a single STAMP workload.
+//! acquire/conflict counters per point. With `--media-channels A,B,..` it
+//! sweeps the device's interleaved-DIMM count at a fixed thread count
+//! with the per-commit and group-commit paths side by side (the
+//! fence-batching provisioning study); `--app NAME` filters any sweep to
+//! a single STAMP workload.
 
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use specpmt_bench::harness::smoke_mode;
 use specpmt_bench::{
-    apps_arg, print_mt_scaling, print_stripe_sweep, stripe_bytes_arg, threads_arg,
+    apps_arg, media_channels_arg, print_media_sweep, print_mt_scaling, print_stripe_sweep,
+    stripe_bytes_arg, threads_arg,
 };
 use specpmt_core::{ConcurrentConfig, SpecSpmtShared};
 use specpmt_pmem::{PmemConfig, SharedPmemDevice, SharedPmemPool};
@@ -128,6 +132,11 @@ fn run_scale(threads: usize, txs_per_thread: u64, daemon: bool) -> ScalePoint {
 
 fn main() {
     let scale = if smoke_mode() { Scale::Tiny } else { Scale::Small };
+    if let Some(channels) = media_channels_arg() {
+        let threads = threads_arg().map_or(8, |counts| counts[0]);
+        print_media_sweep("scaling_media", &channels, threads, scale, &apps_arg());
+        return;
+    }
     if let Some(stripes) = stripe_bytes_arg() {
         let threads = threads_arg().map_or(4, |counts| counts[0]);
         print_stripe_sweep("scaling_stripe", &stripes, threads, scale, &apps_arg());

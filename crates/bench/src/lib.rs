@@ -253,11 +253,22 @@ pub struct MtRunConfig {
     /// the *simulated* timeline, so enabling it does not move
     /// `commits_per_ms`.
     pub telemetry: bool,
+    /// Route commits through the epoch/group-commit path
+    /// ([`ConcurrentConfig::group_commit`]) instead of a per-commit
+    /// flush + fence. Defaults to the `SPECPMT_GROUP_COMMIT` env toggle
+    /// (normally off) so the per-commit path stays the comparison
+    /// baseline.
+    pub group_commit: bool,
 }
 
 impl Default for MtRunConfig {
     fn default() -> Self {
-        Self { media_channels: 12, stripe_bytes: 64, telemetry: false }
+        Self {
+            media_channels: 12,
+            stripe_bytes: 64,
+            telemetry: false,
+            group_commit: specpmt_telemetry::env_flag("SPECPMT_GROUP_COMMIT"),
+        }
     }
 }
 
@@ -285,15 +296,49 @@ pub struct MtSweepPoint {
 }
 
 /// Serializes one runtime's telemetry into a self-contained JSON object:
-/// the registry's counters and phase histograms, the shared device's
-/// WPQ drain-wait histogram + per-channel queue-depth high-water, and the
-/// lock table's stripe-wait histogram.
+/// the registry's counters and phase histograms (transaction threads
+/// only), a `daemon` sub-object attributing the background threads'
+/// (reclamation daemon + group-commit combiner, which share the shard
+/// past the last transaction thread) fences, WPQ drains, and batch
+/// occupancies separately, the device's per-channel queue-depth
+/// high-water, and the lock table's stripe-wait histogram.
+///
+/// Every observation is attributed exactly once: the main block excludes
+/// the daemon's registry shard, so its `phases.wpq_drain` histogram is
+/// the transaction threads' drain waits and nothing else (there is no
+/// device-wide sibling `wpq_drain` key whose counts could disagree).
 pub fn telemetry_block(shared: &SpecSpmtShared, locks: &SharedLockTable) -> String {
+    use specpmt_telemetry::{Metric, Phase};
+    let reg = &shared.telemetry().registry;
+    let daemon_tid = shared.config().threads;
     let mut w = JsonWriter::new();
     w.begin_object();
-    shared.telemetry().registry.emit(&mut w);
-    w.begin_object_field("wpq_drain");
-    shared.device().wpq_drain_histogram().emit(&mut w);
+    reg.emit_excluding(&mut w, &[daemon_tid]);
+    w.begin_object_field("daemon");
+    w.begin_object_field("counters");
+    w.field_u64("fences", reg.counter_in(daemon_tid, Metric::Fences));
+    w.field_u64("wpq_drains", reg.counter_in(daemon_tid, Metric::WpqDrains));
+    w.field_u64("reclaim_cycles", reg.counter_in(daemon_tid, Metric::ReclaimCycles));
+    w.field_u64("group_batches", reg.counter_in(daemon_tid, Metric::GroupBatches));
+    w.end_object();
+    w.begin_object_field("phases");
+    for (name, phase) in [
+        ("wpq_drain", Phase::WpqDrain),
+        ("reclaim_cycle", Phase::ReclaimCycle),
+        // Batch occupancy: with the combiner daemon attached, every
+        // group-commit drain (and so the occupancy histogram) lands on
+        // the daemon's shard.
+        ("group_batch", Phase::GroupBatch),
+    ] {
+        let snap = reg.phase_in(daemon_tid, phase);
+        if snap.count() == 0 {
+            continue;
+        }
+        w.begin_object_field(name);
+        snap.emit(&mut w);
+        w.end_object();
+    }
+    w.end_object();
     w.end_object();
     w.begin_array_field("wpq_depth_high_water");
     for d in shared.device().wpq_depth_high_water() {
@@ -334,14 +379,20 @@ pub fn run_spec_mt_cfg(
         SharedPmemDevice::new(PmemConfig::new(POOL_BYTES).with_media_channels(cfg.media_channels));
     let shared = SpecSpmtShared::new(
         SharedPmemPool::create(dev),
-        ConcurrentConfig { threads, ..ConcurrentConfig::default() },
+        ConcurrentConfig { threads, group_commit: cfg.group_commit, ..ConcurrentConfig::default() },
     );
     if cfg.telemetry {
         shared.telemetry().set_enabled(true);
     }
     let locks = SharedLockTable::new(POOL_BYTES, cfg.stripe_bytes);
     let mut handles = LockedTxHandle::fleet(&shared, &locks, threads);
+    // Group commit runs with the dedicated combiner daemon so drain
+    // stalls land on the daemon's telemetry shard, not the committers'.
+    let combiner = cfg
+        .group_commit
+        .then(|| shared.spawn_group_combiner(std::time::Duration::from_micros(100)));
     let run = run_app_mt(app, &mut handles, scale);
+    drop(combiner);
     assert!(
         run.verified.is_ok(),
         "{} on SpecSPMT x{threads} failed verification: {:?}",
@@ -443,6 +494,35 @@ pub fn stripe_bytes_arg() -> Option<Vec<usize>> {
     Some(sizes)
 }
 
+/// Parses a `--media-channels A[,B,..]` flag (interleaved-DIMM counts for
+/// the WPQ-depth / fence-batching sweep). Returns `None` when absent.
+/// Counts are validated non-zero up front so a typo exits with a usage
+/// error instead of panicking inside the device constructor.
+pub fn media_channels_arg() -> Option<Vec<usize>> {
+    let args: Vec<String> = std::env::args().collect();
+    let at = args.iter().position(|a| a == "--media-channels")?;
+    let Some(list) = args.get(at + 1).filter(|a| !a.starts_with('-')) else {
+        usage_bail("--media-channels requires a comma-separated list of counts (e.g. 1,4,12)");
+    };
+    let counts: Vec<usize> = list
+        .split(',')
+        .map(|s| {
+            s.trim().parse::<usize>().unwrap_or_else(|_| {
+                usage_bail(&format!("--media-channels takes a comma-separated list, got {s:?}"))
+            })
+        })
+        .collect();
+    if counts.is_empty() {
+        usage_bail("--media-channels requires at least one count");
+    }
+    for &c in &counts {
+        if c == 0 {
+            usage_bail("--media-channels 0 invalid: a device needs at least one channel");
+        }
+    }
+    Some(counts)
+}
+
 /// Parses an `--app NAME` filter. Returns the full STAMP suite when
 /// absent; an unknown name exits with the list of valid names.
 pub fn apps_arg() -> Vec<StampApp> {
@@ -499,6 +579,49 @@ pub fn print_mt_scaling(bench: &str, thread_counts: &[usize], scale: Scale, apps
                 rc.last_cycle_ns,
                 point.telemetry_json
             );
+        }
+    }
+}
+
+/// Media-provisioning sweep for the group-commit study: runs each listed
+/// app at a fixed thread count across interleaved-DIMM counts, with the
+/// per-commit and group-commit paths side by side, and prints one JSON
+/// line per (app, channels, commit-path) triple. The telemetry block
+/// carries the batch-occupancy histogram (`group_batch`) and the combiner
+/// daemon's fence/drain attribution, so the sweep quantifies how much
+/// fence batching compensates for scarce media channels.
+pub fn print_media_sweep(
+    bench: &str,
+    channels: &[usize],
+    threads: usize,
+    scale: Scale,
+    apps: &[StampApp],
+) {
+    for &app in apps {
+        for &media_channels in channels {
+            for group_commit in [false, true] {
+                let cfg = MtRunConfig {
+                    media_channels,
+                    group_commit,
+                    telemetry: true,
+                    ..MtRunConfig::default()
+                };
+                let point = run_spec_mt_cfg(app, threads, scale, cfg);
+                let r = &point.run.report;
+                println!(
+                    "{{\"bench\":\"{bench}\",\"mode\":\"media\",\"runtime\":\"SpecSPMT\",\
+                     \"app\":\"{}\",\"threads\":{},\"media_channels\":{media_channels},\
+                     \"group_commit\":{group_commit},\"commits\":{},\"aborts\":{},\
+                     \"sim_ns\":{},\"commits_per_ms\":{:.1},\"telemetry\":{}}}",
+                    r.workload,
+                    r.threads,
+                    r.commits,
+                    point.aborts,
+                    r.sim_ns,
+                    r.commits_per_ms,
+                    point.telemetry_json
+                );
+            }
         }
     }
 }

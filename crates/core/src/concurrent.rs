@@ -44,10 +44,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use specpmt_pmem::{
-    CrashImage, DeviceHandle, SharedPmemDevice, SharedPmemPool, TimingMode, BUMP_OFF, CACHE_LINE,
+    coalesce_lines, CrashImage, DeviceHandle, SharedPmemDevice, SharedPmemPool, TimingMode,
+    BUMP_OFF, CACHE_LINE,
 };
-use specpmt_telemetry::{EventKind, Metric, Phase, Telemetry};
-use specpmt_txn::CommitReceipt;
+use specpmt_telemetry::{EventKind, Metric, Phase, Registry, Telemetry};
+use specpmt_txn::{CommitReceipt, GroupBatch, GroupCommitter};
 
 use crate::layout::PoolLayout;
 use crate::reclaim::{ReclaimState, ReclaimStats};
@@ -72,6 +73,22 @@ pub struct ConcurrentConfig {
     /// Aggregate log footprint (bytes) above which the daemon runs a
     /// reclamation cycle.
     pub reclaim_threshold_bytes: usize,
+    /// Route commits through the epoch/group-commit path
+    /// ([`specpmt_txn::GroupCommitter`]): committers stage their sealed
+    /// lines into the open epoch's batch and one combiner issues a single
+    /// coalesced flush+fence for the whole batch. Off by default (the
+    /// per-commit path is the comparison baseline); the default honours
+    /// the `SPECPMT_GROUP_COMMIT` environment variable.
+    pub group_commit: bool,
+    /// Group-commit batch window in host nanoseconds: a combiner holds
+    /// its epoch open in linger-long rounds while commits keep staging
+    /// (bounded by [`specpmt_txn::MAX_LINGER_ROUNDS`]). `0` is immediate
+    /// drain — batches then form only from natural commit overlap. On a
+    /// CPU-oversubscribed host the window is what makes fence batching
+    /// real: the combiner's timed wait yields the core to the threads
+    /// that are about to commit. The default honours
+    /// `SPECPMT_GROUP_LINGER_NS`.
+    pub group_linger_ns: u64,
 }
 
 impl Default for ConcurrentConfig {
@@ -81,6 +98,8 @@ impl Default for ConcurrentConfig {
             data_persistence: false,
             threads: 1,
             reclaim_threshold_bytes: 1 << 20,
+            group_commit: specpmt_telemetry::env_flag("SPECPMT_GROUP_COMMIT"),
+            group_linger_ns: specpmt_telemetry::env_u64("SPECPMT_GROUP_LINGER_NS", 0),
         }
     }
 }
@@ -97,6 +116,21 @@ impl ConcurrentConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the group-commit path.
+    #[must_use]
+    pub fn with_group_commit(mut self, on: bool) -> Self {
+        self.group_commit = on;
+        self
+    }
+
+    /// Sets the group-commit batch window (see
+    /// [`ConcurrentConfig::group_linger_ns`]).
+    #[must_use]
+    pub fn with_group_linger_ns(mut self, ns: u64) -> Self {
+        self.group_linger_ns = ns;
         self
     }
 }
@@ -141,6 +175,9 @@ pub struct SpecSpmtShared {
     reclaim_cycles: AtomicU64,
     records_reclaimed: AtomicU64,
     stop: AtomicBool,
+    /// Stop flag for the group-combiner daemon (separate from `stop` so
+    /// the reclaimer and the combiner shut down independently).
+    stop_group: AtomicBool,
     /// Incremental-reclamation state (persistent freshness index,
     /// per-chain watermarked scan caches, cycle counters). One reclamation
     /// cycle runs at a time; the mutex serializes explicit calls with the
@@ -150,6 +187,8 @@ pub struct SpecSpmtShared {
     /// Sized with one extra shard for the reclamation daemon (`tid ==
     /// cfg.threads`). Off by default; see [`Telemetry`].
     tel: Telemetry,
+    /// Epoch/group-commit combiner (used only when `cfg.group_commit`).
+    gc: GroupCommitter,
 }
 
 impl SpecSpmtShared {
@@ -189,6 +228,7 @@ impl SpecSpmtShared {
         // One telemetry shard per transaction thread plus one for the
         // reclamation daemon.
         let tel = Telemetry::new(cfg.threads + 1);
+        let gc = GroupCommitter::with_linger(std::time::Duration::from_nanos(cfg.group_linger_ns));
         Arc::new(Self {
             pool,
             cfg,
@@ -201,8 +241,10 @@ impl SpecSpmtShared {
             reclaim_cycles: AtomicU64::new(0),
             records_reclaimed: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            stop_group: AtomicBool::new(false),
             reclaim: Mutex::new(ReclaimState::default()),
             tel,
+            gc,
         })
     }
 
@@ -258,6 +300,7 @@ impl SpecSpmtShared {
             ws: WriteSet::new(),
             dirty: Vec::new(),
             data_lines: Vec::new(),
+            plan: Vec::new(),
             undo_addrs: Vec::new(),
             undo_data: Vec::new(),
         }
@@ -379,11 +422,23 @@ impl SpecSpmtShared {
                 area
             };
             // Fence 1: the new chain is fully persistent before any head
-            // pointer references it (one vectored, coalesced flush).
+            // pointer references it (one vectored, coalesced flush). The
+            // fence is attributed to the daemon's own telemetry shard so
+            // per-commit breakdowns never absorb background drains.
             handle.clwb_ranges(&dirty);
-            handle.sfence();
-            // Fence 2: atomically swap the 8-byte head pointer.
+            let fr = handle.sfence();
+            self.tel.registry.add(rtid, Metric::Fences, 1);
+            if fr.flushes > 0 {
+                self.tel.registry.add(rtid, Metric::WpqDrains, 1);
+                if fr.stall_ns > 0 {
+                    self.tel.registry.record(rtid, Phase::WpqDrain, fr.stall_ns);
+                    self.tel.tracer.record(rtid, EventKind::WpqDrain, fr.stall_ns, fr.flushes);
+                }
+            }
+            // Fence 2: atomically swap the 8-byte head pointer (persisted
+            // inside `set_head_shared`; also the daemon's).
             self.layout.set_head_shared(&self.pool, tid, new_area.head() as u64);
+            self.tel.registry.add(rtid, Metric::Fences, 1);
             rs.stats.chains_rewritten += 1;
             rs.commit_rewrite(tid, (new_area.head(), new_area.generation()), kept);
             std::mem::swap(&mut st.area, &mut new_area);
@@ -431,9 +486,86 @@ impl SpecSpmtShared {
         ReclaimDaemon { shared: Arc::clone(self), handle: Some(handle) }
     }
 
+    /// Spawns the dedicated group-commit combiner thread (the issue's
+    /// "handed to the daemon" election mode). While it runs, committing
+    /// threads never self-elect: they stage, wake the daemon, and wait
+    /// for their epoch's batch fence — so the fence stall against the
+    /// device's media backlog is confined to the daemon's timeline and
+    /// telemetry shard (`tid == threads`, reported under `daemon` in the
+    /// stats block) instead of rotating across every committer's
+    /// `commit_sim`. `idle_poll` bounds how long the daemon sleeps
+    /// between stop-flag checks when no work is staged.
+    ///
+    /// Stop (and join) it by dropping the returned handle or calling
+    /// [`GroupCombinerDaemon::stop`]; committers blocked mid-wait fall
+    /// back to flat combining. Meaningful only with
+    /// [`ConcurrentConfig::group_commit`] set.
+    pub fn spawn_group_combiner(self: &Arc<Self>, idle_poll: Duration) -> GroupCombinerDaemon {
+        let shared = Arc::clone(self);
+        shared.stop_group.store(false, Ordering::SeqCst);
+        shared.gc.set_daemon_combining(true);
+        let handle = std::thread::Builder::new()
+            .name("specpmt-groupc".into())
+            .spawn(move || {
+                let tid = shared.cfg.threads;
+                let dev = shared.pool.handle();
+                let reg = &shared.tel.registry;
+                while !shared.stop_group.load(Ordering::SeqCst) {
+                    let report = shared
+                        .gc
+                        .drain_next(idle_poll, |batch| drain_group_batch(&dev, reg, tid, batch));
+                    if let Some(r) = report {
+                        record_batch_drained(&shared.tel, tid, &r);
+                    }
+                }
+            })
+            .expect("spawn group combiner daemon");
+        GroupCombinerDaemon { shared: Arc::clone(self), handle: Some(handle) }
+    }
+
     /// Post-crash recovery (identical image format to [`crate::SpecSpmt`]).
     pub fn recover(image: &mut CrashImage) {
         recovery::recover_image(image);
+    }
+}
+
+/// One fused flush+fence per non-empty line set of a group batch — log
+/// lines first, then DP data lines, the same fence order the per-commit
+/// path uses. Fences are counted on `tid`'s telemetry shard; returns the
+/// summed `(stall_ns, flushes)` fence report.
+fn drain_group_batch(
+    dev: &DeviceHandle,
+    reg: &Registry,
+    tid: usize,
+    batch: &specpmt_txn::GroupBatch,
+) -> (u64, u64) {
+    let fr = dev.drain_lines(&batch.log_lines);
+    reg.add(tid, Metric::Fences, 1);
+    let (mut stall, mut flushes) = (fr.stall_ns, fr.flushes);
+    if !batch.data_lines.is_empty() {
+        let fr = dev.drain_lines(&batch.data_lines);
+        reg.add(tid, Metric::Fences, 1);
+        stall += fr.stall_ns;
+        flushes += fr.flushes;
+    }
+    (stall, flushes)
+}
+
+/// Batch-drain telemetry tail shared by the combiner paths: the batch
+/// size lands in the `group_batch_size` phase and the drain's WPQ stall
+/// in `wpq_drain`, all on the draining thread's shard.
+fn record_batch_drained(tel: &Telemetry, tid: usize, report: &specpmt_txn::GroupReport) {
+    let Some(txs) = report.combined else { return };
+    let reg = &tel.registry;
+    reg.add(tid, Metric::GroupBatches, 1);
+    reg.record(tid, Phase::GroupBatch, txs);
+    tel.tracer.record(tid, EventKind::Fence, report.stall_ns, report.flushes);
+    if report.flushes > 0 {
+        reg.add(tid, Metric::WpqDrains, 1);
+        if report.stall_ns > 0 {
+            reg.record(tid, Phase::WpqDrain, report.stall_ns);
+            tel.tracer.record(tid, EventKind::WpqDrain, report.stall_ns, report.flushes);
+        }
     }
 }
 
@@ -465,6 +597,39 @@ impl Drop for ReclaimDaemon {
     }
 }
 
+/// Handle to the dedicated group-commit combiner thread
+/// ([`SpecSpmtShared::spawn_group_combiner`]). Dropping it stops and
+/// joins the daemon; committers revert to flat combining.
+#[derive(Debug)]
+pub struct GroupCombinerDaemon {
+    shared: Arc<SpecSpmtShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl GroupCombinerDaemon {
+    /// Stops the daemon and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.stop_group.store(true, Ordering::SeqCst);
+        // Clearing the flag wakes stagers blocked on the committer state
+        // so they self-elect instead of waiting for a dead daemon; it
+        // also wakes the daemon's idle wait so it observes the stop flag.
+        self.shared.gc.set_daemon_combining(false);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GroupCombinerDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 /// Per-thread transaction handle of [`SpecSpmtShared`].
 ///
 /// The API mirrors the sequential runtime's transaction surface (`begin` /
@@ -489,6 +654,10 @@ pub struct TxHandle {
     /// SpecSPMT-DP only: cache-line *indices* of data stores, sorted and
     /// deduplicated at commit for the second (data) flush+fence.
     data_lines: Vec<usize>,
+    /// Group-commit only: reusable scratch for this commit's coalesced
+    /// log-line plan (the sorted, deduplicated line set staged into the
+    /// epoch batch). Cleared, never freed.
+    plan: Vec<usize>,
     /// Volatile pre-images of every in-place write of the open
     /// transaction, in write order — the [`TxHandle::abort`] path replays
     /// them in reverse through the normal logging write, turning the
@@ -601,7 +770,7 @@ impl TxHandle {
         };
         drop(st);
         self.ws.stage(addr, data, value_cursor);
-        self.shared.tel.registry.add(self.tid, Metric::LogAppends, 1);
+        self.shared.tel.registry.add(self.tid, Metric::LogEntries, 1);
     }
 
     /// Reads `buf.len()` bytes at `addr` (direct in-place access — SpecPMT
@@ -629,7 +798,18 @@ impl TxHandle {
     /// Seals the open record: timestamped, checksummed header plus the
     /// single SpecSPMT flush+fence. Shared tail of [`TxHandle::commit`] and
     /// [`TxHandle::abort`].
-    fn seal(&mut self) -> u64 {
+    /// `commit`: `true` for commit seals — they may ride the group-commit
+    /// batch window and record the `commit_sim` phase. `false` for
+    /// compensating (abort) records, which always fence solo: an aborting
+    /// transaction holds 2PL stripes its retry (and every conflicting
+    /// thread) is waiting on, so it releases them immediately instead of
+    /// parking in a batch window. Routing aborts through the window also
+    /// feeds the window's staged-growth check, extending it and dooming
+    /// yet more lock waiters — a retry storm.
+    /// `urgent`: a commit seal that must release contended resources
+    /// fast — it still stages into the batch (amortized fence) but slams
+    /// the window shut ([`GroupCommitter::commit_urgent`]).
+    fn seal(&mut self, commit: bool, urgent: bool) -> u64 {
         assert!(self.in_tx, "commit outside transaction");
         if self.ws.payload().is_empty() {
             // A zero-length record header is the chain terminator, so an
@@ -640,13 +820,20 @@ impl TxHandle {
             self.write(0, &[]);
         }
         let tid = self.tid;
-        let commit_span = self.shared.tel.registry.span(tid, Phase::Commit);
-        let seal_span = self.shared.tel.registry.span(tid, Phase::Seal);
-        let ts = self.shared.ts.fetch_add(1, Ordering::SeqCst);
+        // Everything at this level borrows a local clone of the Arc (not
+        // `self`) so the flush/fence tails below can take `&mut self`
+        // while the spans and the area lock stay live.
+        let shared = Arc::clone(&self.shared);
+        let commit_span = shared.tel.registry.span(tid, Phase::Commit);
+        let sim0 = self.dev.local_now_ns();
+        let seal_span = shared.tel.registry.span(tid, Phase::Seal);
+        let ts = shared.ts.fetch_add(1, Ordering::SeqCst);
         // Seal: the record checksum was streamed while entries were
         // staged; only the fixed `(len, ts)` suffix is folded in here.
         let header = encode_header_parts(ts, self.ws.payload().len(), self.ws.checksum(ts));
-        let mut st = self.shared.areas[self.tid].lock().expect("area lock");
+        seal_span.stop();
+        let append_span = shared.tel.registry.span(tid, Phase::Append);
+        let mut st = shared.areas[self.tid].lock().expect("area lock");
         {
             let mut free = self.shared.free_blocks.lock().expect("free lock");
             let mut store =
@@ -655,9 +842,50 @@ impl TxHandle {
             assert_eq!(wrote, REC_HDR, "record header must fit in the chain");
             st.area.write_terminator(&mut store, &mut self.dirty);
         }
-        seal_span.stop();
+        append_span.stop();
+        // One record appended per sealed transaction — same counter
+        // semantics as the sequential runtime (per-entry staging is
+        // counted separately as `log_entries` in `write`).
+        self.shared.tel.registry.add(tid, Metric::LogAppends, 1);
         self.shared.tel.tracer.record(tid, EventKind::Seal, ts, self.ws.payload().len() as u64);
 
+        if self.shared.cfg.group_commit && commit {
+            self.seal_group(tid, urgent);
+        } else {
+            self.seal_solo(tid);
+        }
+        // Simulated device nanoseconds this thread's timeline was charged
+        // for the seal (stores + flush issue + fence stall). Group-commit
+        // waiters charge only their append work — the combiner's timeline
+        // absorbs the shared batch drain. Abort seals are excluded: this
+        // is a per-*commit* cost metric, and compensating records always
+        // fence solo.
+        if commit {
+            shared.tel.registry.record(
+                tid,
+                Phase::CommitSim,
+                self.dev.local_now_ns().saturating_sub(sim0),
+            );
+        }
+
+        // Lock release: hand the chain back to the daemon.
+        let lock_span = self.shared.tel.registry.span(tid, Phase::LockRelease);
+        st.open = false;
+        drop(st);
+        lock_span.stop();
+        self.in_tx = false;
+        self.undo_addrs.clear();
+        self.undo_data.clear();
+        let commit_ns = commit_span.stop();
+        self.shared.tel.tracer.record(tid, EventKind::Commit, ts, commit_ns);
+        ts
+    }
+
+    /// Per-commit flush+fence tail of [`Self::seal`] — the comparison
+    /// baseline: this thread pays a full vectored flush and fence for its
+    /// own record (plus a second pair for DP data lines). Called with the
+    /// area lock held.
+    fn seal_solo(&mut self, tid: usize) {
         // The single commit fence: one vectored flush covering the whole
         // record (coalesced, ascending lines) and nothing else. The area
         // lock is held through the fence so the daemon never splices a
@@ -715,18 +943,43 @@ impl TxHandle {
                 }
             }
         }
+    }
 
-        // Lock release: hand the chain back to the daemon.
-        let lock_span = self.shared.tel.registry.span(tid, Phase::LockRelease);
-        st.open = false;
-        drop(st);
-        lock_span.stop();
-        self.in_tx = false;
-        self.undo_addrs.clear();
-        self.undo_data.clear();
-        let commit_ns = commit_span.stop();
-        self.shared.tel.tracer.record(tid, EventKind::Commit, ts, commit_ns);
-        ts
+    /// Group-commit tail of [`Self::seal`]: coalesce this record's lines,
+    /// stage them into the open epoch's batch, and block until a batch
+    /// fence covering them retires. Whichever staged thread combines the
+    /// epoch issues one fused [`DeviceHandle::drain_lines`] for the whole
+    /// batch's log lines (plus one for staged DP data lines) — durability
+    /// is identical to [`Self::seal_solo`], fences are amortized across
+    /// the batch. Called with the area lock held: 2PL semantics keep the
+    /// record's region locked until the receipt anyway, and the daemon
+    /// skips open chains, so waiting under the lock is safe (the combiner
+    /// takes no area locks).
+    fn seal_group(&mut self, tid: usize, urgent: bool) {
+        coalesce_lines(&self.dirty, &mut self.plan);
+        self.dirty.clear();
+        self.data_lines.sort_unstable();
+        self.data_lines.dedup();
+        self.shared.tel.registry.add(tid, Metric::ClwbPlans, 1);
+        self.shared.tel.tracer.record(tid, EventKind::ClwbPlan, self.plan.len() as u64, 0);
+        let reg = &self.shared.tel.registry;
+        let dev = &self.dev;
+        let wait_span = reg.span(tid, Phase::BatchWait);
+        // If this thread combines, the drain issues one fused flush+fence
+        // per non-empty line set from *its* handle (fences cover only the
+        // issuing handle's flushes). With a combiner daemon attached, the
+        // closure never runs here — the daemon drains from its own handle.
+        let drain = |batch: &GroupBatch| drain_group_batch(dev, reg, tid, batch);
+        let report = if urgent {
+            self.shared.gc.commit_urgent(&self.plan, &self.data_lines, drain)
+        } else {
+            self.shared.gc.commit(&self.plan, &self.data_lines, drain)
+        };
+        wait_span.stop();
+        self.plan.clear();
+        self.data_lines.clear();
+        reg.add(tid, Metric::GroupCommits, 1);
+        record_batch_drained(&self.shared.tel, tid, &report);
     }
 
     /// Commits the open transaction with the single SpecSPMT flush+fence;
@@ -736,7 +989,27 @@ impl TxHandle {
     ///
     /// Panics outside a transaction.
     pub fn commit(&mut self) -> CommitReceipt {
-        let ts = self.seal();
+        self.commit_with(false)
+    }
+
+    /// Commits like [`TxHandle::commit`] but slams the group-commit batch
+    /// window shut: the record still rides the shared batch fence
+    /// (amortized, not a solo drain), but the epoch drains immediately
+    /// instead of lingering for more arrivals. Lock-based callers use
+    /// this for contended transactions — parking a stripe other threads
+    /// are spinning on across a full batch window would exhaust their
+    /// try-lock budgets and doom them. No-op distinction when group
+    /// commit is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a transaction.
+    pub fn commit_urgent(&mut self) -> CommitReceipt {
+        self.commit_with(true)
+    }
+
+    fn commit_with(&mut self, urgent: bool) -> CommitReceipt {
+        let ts = self.seal(true, urgent);
         self.shared.commits.fetch_add(1, Ordering::Relaxed);
         self.shared.tel.registry.add(self.tid, Metric::Commits, 1);
         CommitReceipt::new(ts)
@@ -768,7 +1041,7 @@ impl TxHandle {
         }
         self.undo_addrs = addrs;
         self.undo_data = data;
-        let _ = self.seal();
+        let _ = self.seal(false, false);
         self.shared.aborts.fetch_add(1, Ordering::Relaxed);
         self.shared.tel.registry.add(self.tid, Metric::Aborts, 1);
     }
@@ -1093,6 +1366,273 @@ mod tests {
         let mut img = s.device().crash_with(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         assert_eq!(img.read_u64(a), 499);
+    }
+
+    #[test]
+    fn group_commit_value_survives_all_lost_crash() {
+        let s = shared(ConcurrentConfig::default().with_group_commit(true));
+        let a = alloc_region(&s, 64);
+        let mut h = s.tx_handle(0);
+        h.begin();
+        h.write_u64(a, 0xFEED);
+        h.commit();
+        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        assert_eq!(img.read_u64(a), 0xFEED);
+    }
+
+    /// An uncontended group commit is a batch of one: exactly one fence,
+    /// same as the per-commit path.
+    #[test]
+    fn group_commit_solo_is_one_fence_batch_of_one() {
+        let s = shared(ConcurrentConfig::default().with_group_commit(true));
+        s.telemetry().set_enabled(true);
+        let a = alloc_region(&s, 256);
+        let mut h = s.tx_handle(0);
+        let before = s.device().stats().sfence_count;
+        h.begin();
+        for i in 0..8 {
+            h.write_u64(a + i * 8, i as u64);
+        }
+        h.commit();
+        assert_eq!(s.device().stats().sfence_count - before, 1);
+        let reg = &s.telemetry().registry;
+        assert_eq!(reg.counter(Metric::GroupCommits), 1);
+        assert_eq!(reg.counter(Metric::GroupBatches), 1);
+        let occ = reg.phase(Phase::GroupBatch);
+        assert_eq!(occ.count(), 1);
+    }
+
+    /// Group-mode DP commits drain data lines with their own batch fence
+    /// and the data survives a crash without recovery, like the solo path.
+    #[test]
+    fn group_commit_dp_persists_data() {
+        let s = shared(ConcurrentConfig::default().dp().with_group_commit(true));
+        let a = alloc_region(&s, 64);
+        let mut h = s.tx_handle(0);
+        let before = s.device().stats().sfence_count;
+        h.begin();
+        h.write_u64(a, 5);
+        h.commit();
+        assert_eq!(s.device().stats().sfence_count - before, 2);
+        let img = s.device().crash_with(CrashPolicy::AllLost);
+        assert_eq!(img.read_u64(a), 5, "DP data survives without recovery");
+    }
+
+    /// Concurrent group-mode committers: every receipt's transaction is
+    /// durable, batch telemetry is consistent (each commit staged once,
+    /// batch occupancies sum to the commit count, fences never exceed
+    /// commits), and aborts flow through the group path too.
+    #[test]
+    fn group_commit_parallel_threads_commit_and_batch() {
+        let threads = 8usize;
+        let s = shared(ConcurrentConfig::default().with_threads(threads).with_group_commit(true));
+        s.telemetry().set_enabled(true);
+        let base = alloc_region(&s, threads * 64);
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let s = &s;
+                let mut h = s.tx_handle(tid);
+                scope.spawn(move || {
+                    for v in 0..50u64 {
+                        h.begin();
+                        h.write_u64(base + tid * 64, v);
+                        if v % 10 == 9 {
+                            h.abort(); // compensating record fences solo
+                        } else {
+                            h.commit();
+                        }
+                    }
+                });
+            }
+        });
+        let commits = threads as u64 * 45;
+        assert_eq!(s.stats().commits, commits);
+        assert_eq!(s.stats().aborts, threads as u64 * 5);
+        let reg = &s.telemetry().registry;
+        let group_commits = reg.counter(Metric::GroupCommits);
+        let batches = reg.counter(Metric::GroupBatches);
+        // Commits stage into batches; aborts fence solo (they hold stripes
+        // other threads are spinning on and must release immediately).
+        assert_eq!(group_commits, commits, "every commit staged exactly once");
+        assert!(batches >= 1 && batches <= group_commits);
+        let occ = reg.phase(Phase::GroupBatch);
+        assert_eq!(occ.count(), batches);
+        assert_eq!(occ.sum, group_commits, "batch occupancies sum to the staged commits");
+        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        for tid in 0..threads {
+            // Last surviving value: v=48 committed, v=49 aborted back.
+            assert_eq!(img.read_u64(base + tid * 64), 48, "thread {tid}");
+        }
+    }
+
+    /// The reclamation daemon coexists with group-mode committers (waiters
+    /// park holding their area lock; the daemon skips open chains and
+    /// never blocks the combiner).
+    #[test]
+    fn group_commit_with_reclaim_daemon() {
+        let s = shared(ConcurrentConfig {
+            threads: 2,
+            reclaim_threshold_bytes: 64 * 1024,
+            group_commit: true,
+            ..ConcurrentConfig::default()
+        });
+        let base = alloc_region(&s, 2 * 64);
+        let daemon = s.spawn_reclaimer(Duration::from_micros(200));
+        std::thread::scope(|scope| {
+            for tid in 0..2 {
+                let s = &s;
+                let mut h = s.tx_handle(tid);
+                scope.spawn(move || {
+                    for v in 0..3_000u64 {
+                        h.begin();
+                        h.write_u64(base + tid * 64, v);
+                        h.commit();
+                    }
+                });
+            }
+        });
+        daemon.stop();
+        s.reclaim_cycle();
+        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        for tid in 0..2 {
+            assert_eq!(img.read_u64(base + tid * 64), 2_999);
+        }
+    }
+
+    /// A dedicated group-combiner daemon owns every batch drain:
+    /// committers never fence (their telemetry shards record zero fences
+    /// and zero WPQ drains — all of that lands on the daemon's shard),
+    /// every receipt-holding commit is durable, and the batch occupancy
+    /// bookkeeping still sums to the commit count.
+    #[test]
+    fn group_combiner_daemon_owns_fences_and_commits_are_durable() {
+        let threads = 4usize;
+        let s = shared(ConcurrentConfig::default().with_threads(threads).with_group_commit(true));
+        s.telemetry().set_enabled(true);
+        let base = alloc_region(&s, threads * 64);
+        let mut combiner = s.spawn_group_combiner(Duration::from_micros(100));
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let s = &s;
+                let mut h = s.tx_handle(tid);
+                scope.spawn(move || {
+                    for v in 0..200u64 {
+                        h.begin();
+                        h.write_u64(base + tid * 64, v);
+                        h.commit();
+                    }
+                });
+            }
+        });
+        combiner.shutdown();
+        let commits = threads as u64 * 200;
+        assert_eq!(s.stats().commits, commits);
+        let reg = &s.telemetry().registry;
+        for tid in 0..threads {
+            assert_eq!(reg.counter_in(tid, Metric::Fences), 0, "committer {tid} never fences");
+            assert_eq!(reg.counter_in(tid, Metric::WpqDrains), 0, "committer {tid} never drains");
+        }
+        // Every fence and drain was issued from the daemon's shard.
+        let daemon_fences = reg.counter_in(threads, Metric::Fences);
+        let batches = reg.counter_in(threads, Metric::GroupBatches);
+        assert!(batches >= 1 && batches <= commits);
+        assert_eq!(daemon_fences, batches, "one fence per batch");
+        let occ = reg.phase_in(threads, Phase::GroupBatch);
+        assert_eq!(occ.count(), batches);
+        assert_eq!(occ.sum, commits, "batch occupancies sum to the commits");
+        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        for tid in 0..threads {
+            assert_eq!(img.read_u64(base + tid * 64), 199, "thread {tid}");
+        }
+    }
+
+    /// Stopping the combiner daemon mid-stream is safe: staged commits
+    /// fall back to flat combining (self-election) and nothing deadlocks
+    /// or loses durability.
+    #[test]
+    fn group_combiner_daemon_handoff_back_to_flat_combining() {
+        let s = shared(ConcurrentConfig::default().with_threads(2).with_group_commit(true));
+        let base = alloc_region(&s, 2 * 64);
+        let mut combiner = s.spawn_group_combiner(Duration::from_micros(100));
+        let mut h = s.tx_handle(0);
+        h.begin();
+        h.write_u64(base, 1);
+        h.commit();
+        combiner.shutdown();
+        // Daemon gone: commits self-elect again and still retire.
+        h.begin();
+        h.write_u64(base, 2);
+        h.commit();
+        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        SpecSpmtShared::recover(&mut img);
+        assert_eq!(img.read_u64(base), 2);
+    }
+
+    /// Crash-point sweep through the group-commit window (satellite:
+    /// batched-fence crash atomicity). Multi-op transactions on four
+    /// threads with the crash armed at every fuel budget across the run:
+    /// the capture lands before the combiner's batch fence, between the
+    /// fence and receipt distribution, and while waiters sit staged —
+    /// receipt-holders must never lose a transaction, boundary/non-receipt
+    /// transactions must be all-or-nothing after recovery.
+    #[test]
+    fn group_commit_mt_crash_sweep_all_lost() {
+        group_crash_sweep(CrashPolicy::AllLost, false);
+    }
+
+    #[test]
+    fn group_commit_mt_crash_sweep_random_policy() {
+        group_crash_sweep(CrashPolicy::Random(0xC0FFEE), false);
+    }
+
+    #[test]
+    fn group_commit_dp_mt_crash_sweep() {
+        group_crash_sweep(CrashPolicy::AllLost, true);
+    }
+
+    fn group_crash_sweep(policy: CrashPolicy, dp: bool) {
+        use specpmt_txn::driver::TxOp;
+        let threads = 4usize;
+        let region = 256usize;
+        for fuel in (1..90).step_by(2) {
+            let mut cfg = ConcurrentConfig::default().with_threads(threads).with_group_commit(true);
+            if dp {
+                cfg = cfg.dp();
+            }
+            let s = shared(cfg);
+            let base = alloc_region(&s, threads * region);
+            let bases: Vec<usize> = (0..threads).map(|t| base + t * region).collect();
+            let handles: Vec<TxHandle> = (0..threads).map(|t| s.tx_handle(t)).collect();
+            let streams: Vec<Vec<Vec<TxOp>>> = (0..threads as u8)
+                .map(|t| {
+                    (0..6u8)
+                        .map(|i| {
+                            vec![
+                                TxOp { addr: 0, data: vec![t * 32 + i + 1; 8] },
+                                TxOp { addr: 64, data: vec![t * 32 + i + 1; 8] },
+                                TxOp { addr: 160, data: vec![0xA0 + i; 4] },
+                            ]
+                        })
+                        .collect()
+                })
+                .collect();
+            let out = specpmt_txn::check_mt_crash_atomicity(
+                s.device(),
+                handles,
+                &bases,
+                region,
+                &streams,
+                fuel,
+                policy,
+                SpecSpmtShared::recover,
+            )
+            .unwrap_or_else(|e| panic!("fuel={fuel} dp={dp}: {e}"));
+            let _ = out;
+        }
     }
 
     #[test]

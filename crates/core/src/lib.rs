@@ -72,7 +72,9 @@ mod runtime;
 pub mod writeset;
 
 pub use checksum::{fnv1a64, fnv1a64_reference, Fnv1a};
-pub use concurrent::{ConcurrentConfig, ReclaimDaemon, SharedStats, SpecSpmtShared, TxHandle};
+pub use concurrent::{
+    ConcurrentConfig, GroupCombinerDaemon, ReclaimDaemon, SharedStats, SpecSpmtShared, TxHandle,
+};
 pub use hashlog::{HashLogConfig, HashLogSpmt};
 pub use inspect::{inspect_image, ChainSummary, InspectReport};
 pub use layout::{

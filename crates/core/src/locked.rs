@@ -31,8 +31,31 @@ pub use specpmt_txn::run_tx;
 /// How many times an acquisition retries the stripe CAS before dooming
 /// the transaction. Between attempts the handle spins briefly with a
 /// per-handle random jitter so that symmetric conflicts do not re-collide
-/// in lockstep.
-const TRY_LOCK_ATTEMPTS: u32 = 64;
+/// in lockstep; past [`YIELD_AFTER_ATTEMPT`] the pauses become scheduler
+/// yields. The budget is sized so that waiting out a stripe holder parked
+/// in a group-commit batch window (hundreds of microseconds) normally
+/// succeeds — dooming is the deadlock breaker of last resort, not the
+/// common contention outcome. (A single contended stripe cannot deadlock;
+/// only multi-stripe cycles need the doom.)
+const TRY_LOCK_ATTEMPTS: u32 = 1024;
+
+/// Attempt number past which the inter-attempt pause becomes a scheduler
+/// yield instead of a pure spin. Spinning assumes the stripe holder is
+/// running on another core; on an oversubscribed host the holder may be
+/// descheduled (or parked in a group-commit batch window), and only
+/// yielding gives it the core to finish and release. Without this, every
+/// contender burns its own quantum spinning, dooms, and retries — a
+/// thrash loop in which nobody progresses.
+const YIELD_AFTER_ATTEMPT: u32 = 8;
+
+/// Attempt count beyond which a successful contended acquisition marks
+/// the transaction for an *urgent* commit ([`TxHandle::commit_urgent`]),
+/// slamming the group-commit batch window shut so the stripe is released
+/// quickly. Brief collisions below the threshold ride the window
+/// normally — slamming on every touch of a popular stripe would cap
+/// batch sizes at the conflict rate and forfeit the fence amortization
+/// group commit exists for.
+const CONTENDED_SLAM_AFTER: u32 = 64;
 
 /// A [`TxHandle`] with strict-2PL concurrency control, safe to race
 /// against other `LockedTxHandle`s over the same [`SharedLockTable`].
@@ -59,6 +82,12 @@ pub struct LockedTxHandle {
     locks: Arc<SharedLockTable>,
     guard: Option<LockGuard>,
     doomed: bool,
+    /// Set when any acquisition of the current transaction hit the
+    /// contended path: at commit the handle seals urgently
+    /// ([`TxHandle::commit_urgent`]) so its stripes — which other
+    /// threads are spinning on right now — are not parked across a
+    /// full group-commit batch window.
+    contended: bool,
     /// SplitMix64 state for backoff jitter.
     rng: u64,
     /// Doomed-and-aborted attempts of the current logical transaction
@@ -73,7 +102,7 @@ impl LockedTxHandle {
     /// every address transactions touch).
     pub fn new(inner: TxHandle, locks: Arc<SharedLockTable>) -> Self {
         let rng = 0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(inner.tid() as u64 + 1);
-        Self { inner, locks, guard: None, doomed: false, rng, retries: 0 }
+        Self { inner, locks, guard: None, doomed: false, contended: false, rng, retries: 0 }
     }
 
     /// The wrapped handle.
@@ -151,12 +180,22 @@ impl LockedTxHandle {
         // phase.
         let t0 = Instant::now();
         for attempt in 1..TRY_LOCK_ATTEMPTS {
-            let spins = attempt + self.next_jitter();
-            for _ in 0..spins {
-                std::hint::spin_loop();
+            if attempt > YIELD_AFTER_ATTEMPT {
+                std::thread::yield_now();
+            } else {
+                let spins = attempt + self.next_jitter();
+                for _ in 0..spins {
+                    std::hint::spin_loop();
+                }
             }
             let guard = self.guard.as_mut().expect("lock guard outside transaction");
             if guard.try_extend(addr, len) {
+                if attempt > CONTENDED_SLAM_AFTER {
+                    // A long wait means real starvation pressure on this
+                    // stripe — commit urgently so it is released after one
+                    // batch drain, not a full batch window.
+                    self.contended = true;
+                }
                 let wait_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 self.locks.record_wait_ns(wait_ns);
                 let tel = self.inner.shared().telemetry();
@@ -184,7 +223,11 @@ impl LockedTxHandle {
     /// (doomed transactions must [`abort`](Self::abort)).
     pub fn commit(&mut self) -> CommitReceipt {
         assert!(!self.doomed, "commit of a doomed transaction (abort it instead)");
-        let receipt = self.inner.commit();
+        // A contended transaction holds stripes other threads are spinning
+        // on: it still rides the shared batch fence but slams the window
+        // shut, keeping 2PL hold times short instead of stretching them
+        // across a full batch window.
+        let receipt = if self.contended { self.inner.commit_urgent() } else { self.inner.commit() };
         // Strict 2PL: locks release only after the commit record is
         // durable, so no other thread ever reads speculative state.
         self.guard = None;
@@ -198,6 +241,7 @@ impl TxAccess for LockedTxHandle {
         self.inner.begin();
         self.guard = Some(self.locks.guard(self.inner.tid()));
         self.doomed = false;
+        self.contended = false;
     }
 
     fn write(&mut self, addr: usize, data: &[u8]) {

@@ -477,6 +477,7 @@ impl TxAccess for SpecSpmt {
         t.area.append(&mut store, data, &mut t.dirty);
         t.ws.stage(addr, data, value_cursor);
         stats.log_bytes += (ENTRY_HDR + data.len()) as u64;
+        tel.registry.add(tid, Metric::LogEntries, 1);
     }
 
     fn read(&mut self, addr: usize, buf: &mut [u8]) {
@@ -493,6 +494,7 @@ impl TxAccess for SpecSpmt {
         let Self { pool, free_blocks, threads, stats, cfg, tel, .. } = self;
         let t = &mut threads[tid];
         let commit_span = tel.registry.span(tid, Phase::Commit);
+        let sim0 = pool.device().now_ns();
 
         // Seal: the record checksum was streamed while entries were
         // staged; only the fixed `(len, ts)` suffix is folded in here.
@@ -552,6 +554,10 @@ impl TxAccess for SpecSpmt {
         t.in_tx = false;
         stats.tx_committed += 1;
         tel.registry.add(tid, Metric::Commits, 1);
+        // Simulated device nanoseconds charged for the seal — the
+        // scheduler-immune counterpart of the host-time `commit` span,
+        // comparable across runtimes.
+        tel.registry.record(tid, Phase::CommitSim, pool.device().now_ns().saturating_sub(sim0));
         let commit_ns = commit_span.stop();
         tel.tracer.record(tid, EventKind::Commit, ts, commit_ns);
         self.refresh_log_stats();

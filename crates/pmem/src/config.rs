@@ -79,6 +79,21 @@ impl PmemConfig {
         self
     }
 
+    /// Returns `self` with the per-channel WPQ depth replaced — the
+    /// sweepable queue-depth knob for the fence-batching study (a deeper
+    /// WPQ absorbs larger flush bursts before fences stall on media
+    /// occupancy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    #[must_use]
+    pub fn with_wpq_entries(mut self, entries: usize) -> Self {
+        assert!(entries > 0, "at least one WPQ slot");
+        self.wpq_entries = entries;
+        self
+    }
+
     /// Returns `self` with all timing costs zeroed — useful for pure
     /// correctness tests where simulated time is irrelevant.
     #[must_use]
@@ -121,6 +136,12 @@ mod tests {
     fn size_rounds_to_line() {
         let c = PmemConfig::new(100);
         assert_eq!(c.size, 128);
+    }
+
+    #[test]
+    fn wpq_entries_builder_replaces_depth() {
+        let c = PmemConfig::new(4096).with_wpq_entries(32);
+        assert_eq!(c.wpq_entries, 32);
     }
 
     #[test]

@@ -46,6 +46,15 @@ pub fn env_flag(name: &str) -> bool {
     }
 }
 
+/// Reads a numeric env knob; unset or unparsable values fall back to
+/// `default`.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
 /// One runtime's telemetry bundle: the metrics [`Registry`] and the event
 /// [`Tracer`], sized to the same thread count. Both start in their
 /// env-controlled default state (`SPECPMT_TELEMETRY` / `SPECPMT_TRACE`),

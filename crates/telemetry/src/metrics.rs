@@ -204,10 +204,28 @@ pub enum Phase {
     WpqDrain = 8,
     /// One background reclamation cycle.
     ReclaimCycle = 9,
+    /// Group commit: from staging a sealed record into the epoch batch
+    /// until the batch fence retires (combiner election, the shared drain,
+    /// and receipt handoff all live inside this span).
+    BatchWait = 10,
+    /// Group commit: *batch occupancy* — the histogram records the number
+    /// of transactions each retired batch carried (a size distribution,
+    /// not a latency; one observation per batch, recorded by the
+    /// combiner).
+    GroupBatch = 11,
+    /// Commit cost in **simulated device nanoseconds**: the device work
+    /// (stores, flush issue, fence stalls) charged to the committing
+    /// thread's timeline during seal. Unlike the host-time `commit` span,
+    /// this is deterministic and immune to scheduler preemption on
+    /// oversubscribed hosts, so it is the number cross-runtime commit
+    /// comparisons should use. Under group commit, waiters charge only
+    /// their append work — the combiner's timeline absorbs the shared
+    /// batch drain — so the mean directly shows fence amortization.
+    CommitSim = 12,
 }
 
 /// Number of [`Phase`] variants.
-pub const PHASE_COUNT: usize = 10;
+pub const PHASE_COUNT: usize = 13;
 
 /// JSON/bench names for each [`Phase`], index-aligned with the enum.
 pub const PHASE_NAMES: [&str; PHASE_COUNT] = [
@@ -221,6 +239,9 @@ pub const PHASE_NAMES: [&str; PHASE_COUNT] = [
     "lock_wait",
     "wpq_drain",
     "reclaim_cycle",
+    "batch_wait",
+    "group_batch_size",
+    "commit_sim",
 ];
 
 /// Monotone event counters kept per thread shard.
@@ -247,10 +268,18 @@ pub enum Metric {
     WpqDrains = 8,
     /// Reclamation cycles run.
     ReclaimCycles = 9,
+    /// Individual log *entries* appended (one per staged write that opened
+    /// a new entry; in-place write-set patches do not count).
+    LogEntries = 10,
+    /// Commits that went through the group-commit (epoch batch) path.
+    GroupCommits = 11,
+    /// Epoch batches drained (each costs one shared flush+fence; the
+    /// group path's fences-per-commit is `group_batches / group_commits`).
+    GroupBatches = 12,
 }
 
 /// Number of [`Metric`] variants.
-pub const METRIC_COUNT: usize = 10;
+pub const METRIC_COUNT: usize = 13;
 
 /// JSON names for each [`Metric`], index-aligned with the enum.
 pub const METRIC_NAMES: [&str; METRIC_COUNT] = [
@@ -264,6 +293,9 @@ pub const METRIC_NAMES: [&str; METRIC_COUNT] = [
     "log_appends",
     "wpq_drains",
     "reclaim_cycles",
+    "log_entries",
+    "group_commits",
+    "group_batches",
 ];
 
 /// One thread's slice of the registry. Cache-line aligned so two threads
@@ -357,6 +389,23 @@ impl Registry {
         self.shards.iter().map(|s| s.counters[m as usize].load(Ordering::Relaxed)).sum()
     }
 
+    /// Number of per-thread shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's value of one counter (no merging) — used to attribute
+    /// activity to a specific thread, e.g. the reclamation daemon's
+    /// dedicated shard vs the transaction threads.
+    pub fn counter_in(&self, tid: usize, m: Metric) -> u64 {
+        self.shard(tid).counters[m as usize].load(Ordering::Relaxed)
+    }
+
+    /// One shard's snapshot of one phase histogram (no merging).
+    pub fn phase_in(&self, tid: usize, p: Phase) -> HistogramSnapshot {
+        self.shard(tid).phases[p as usize].snapshot()
+    }
+
     /// Merged (all-shard) snapshot of one phase histogram.
     pub fn phase(&self, p: Phase) -> HistogramSnapshot {
         let mut out = HistogramSnapshot::default();
@@ -383,18 +432,31 @@ impl Registry {
     /// the standard histogram summary. Phases with zero observations are
     /// skipped to keep the block small.
     pub fn emit(&self, w: &mut JsonWriter) {
+        self.emit_excluding(w, &[]);
+    }
+
+    /// [`Registry::emit`] restricted to the shards whose index is **not**
+    /// in `exclude` — so a runtime with a dedicated daemon shard can emit
+    /// the transaction threads' view without the daemon's drains and
+    /// fences folded in (the daemon shard is emitted separately, keeping
+    /// every observation attributed exactly once).
+    pub fn emit_excluding(&self, w: &mut JsonWriter, exclude: &[usize]) {
+        let keep = |i: &usize| !exclude.contains(i);
         w.field_bool("enabled", self.enabled());
         w.begin_object_field("counters");
-        for (i, name) in METRIC_NAMES.iter().enumerate() {
-            let v: u64 = self.shards.iter().map(|s| s.counters[i].load(Ordering::Relaxed)).sum();
+        for (m, name) in METRIC_NAMES.iter().enumerate() {
+            let v: u64 = (0..self.shards.len())
+                .filter(keep)
+                .map(|i| self.shards[i].counters[m].load(Ordering::Relaxed))
+                .sum();
             w.field_u64(name, v);
         }
         w.end_object();
         w.begin_object_field("phases");
-        for (i, name) in PHASE_NAMES.iter().enumerate() {
+        for (p, name) in PHASE_NAMES.iter().enumerate() {
             let mut snap = HistogramSnapshot::default();
-            for s in &self.shards {
-                snap.merge(&s.phases[i].snapshot());
+            for i in (0..self.shards.len()).filter(keep) {
+                snap.merge(&self.shards[i].phases[p].snapshot());
             }
             if snap.count() == 0 {
                 continue;
@@ -523,6 +585,27 @@ mod tests {
         r.reset();
         assert_eq!(r.counter(Metric::Commits), 0);
         assert_eq!(r.phase(Phase::Seal).count(), 0);
+    }
+
+    #[test]
+    fn per_shard_access_and_exclusion_attribute_exactly_once() {
+        let r = Registry::new(3);
+        r.set_enabled(true);
+        r.add(0, Metric::Fences, 4);
+        r.add(2, Metric::Fences, 1); // the "daemon" shard
+        r.record(0, Phase::WpqDrain, 100);
+        r.record(2, Phase::WpqDrain, 900);
+        assert_eq!(r.counter(Metric::Fences), 5);
+        assert_eq!(r.counter_in(2, Metric::Fences), 1);
+        assert_eq!(r.phase_in(2, Phase::WpqDrain).count(), 1);
+        assert_eq!(r.phase_in(2, Phase::WpqDrain).max, 900);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        r.emit_excluding(&mut w, &[2]);
+        w.end_object();
+        let j = w.finish();
+        assert!(j.contains("\"fences\":4"), "{j}");
+        assert!(!j.contains("\"max_ns\":900"), "daemon shard must be excluded: {j}");
     }
 
     #[test]

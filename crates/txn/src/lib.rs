@@ -22,6 +22,7 @@
 
 pub mod access;
 pub mod driver;
+pub mod group;
 pub mod lock;
 pub mod mt;
 pub mod oracle;
@@ -30,6 +31,7 @@ mod runtime;
 pub mod sched;
 
 pub use access::{run_tx, CommitReceipt, TxAccess};
+pub use group::{GroupBatch, GroupCommitter, GroupReport, MAX_LINGER_ROUNDS};
 pub use lock::{run_interleaved_2pl, LockGuard, LockTableStats, LockedRun, SharedLockTable};
 pub use mt::{check_mt_crash_atomicity, MtScenario, TxThread};
 pub use oracle::CommitOracle;

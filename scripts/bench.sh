@@ -10,18 +10,26 @@
 # to point the speedup comparison at a different baseline file.
 #
 # BENCH_commit_path.json keys: commit_ns_seq / commit_ns_shared
-# (per-commit wall-clock), allocs_per_tx_* (heap allocations per
-# steady-state transaction, via the bench's counting global allocator),
-# reclaim_idle_ns / reclaim_churn_ns (one reclamation cycle over idle vs
-# churning chains), and baseline_commit_ns_seq / speedup_seq against
+# (per-commit wall-clock), commit_sim_ns_seq / commit_sim_ns_shared
+# (deterministic simulated commit cost over a fixed transaction count —
+# what scripts/perf_gate.sh holds to a tight regression tolerance),
+# allocs_per_tx_* (heap allocations per steady-state transaction, via the
+# bench's counting global allocator), reclaim_idle_ns / reclaim_churn_ns
+# (one reclamation cycle over idle vs churning chains), and
+# baseline_commit_ns_seq / speedup_seq against
 # results/commit_path_baseline.json.
 #
 # BENCH_txstat.json is JSON-lines: one per-phase breakdown object per
-# runtime/thread-count point (seq and shared at 1, 8, 16 threads, each
-# carrying the merged telemetry registry, lock-wait and WPQ-drain
-# histograms for the shared runtime) plus a final summary line with the
-# telemetry-off vs -on sequential commit cost and the overhead percentage
-# that scripts/verify.sh holds to the < 3% budget.
+# runtime/thread-count point (seq at 1/8/16 threads; shared at each count
+# with the per-commit path and the group-commit path side by side, the
+# group lines carrying fences_per_commit, batch occupancy, and the
+# amortized simulated commit cost), the 16-thread media-channel / WPQ
+# sweep, and a final summary line with the telemetry-off vs -on
+# sequential commit cost. scripts/verify.sh checks the schema, gates the
+# commit-path capture against results/commit_path_baseline.json via
+# scripts/perf_gate.sh, and asserts the group-commit acceptance budget
+# (16-thread amortized sim cost within 1.5x sequential, < 1 fence per
+# commit).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

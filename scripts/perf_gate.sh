@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Commit-path perf guardrail: compares a freshly captured
+# BENCH_commit_path.json against the checked-in baseline
+# (results/commit_path_baseline.json) and fails when a key regresses
+# beyond its tolerance. Zero dependencies (grep + awk), runs offline.
+#
+#   scripts/perf_gate.sh [current.json] [baseline.json]
+#
+# Two tolerance tiers, both overridable by environment:
+#
+#   SPECPMT_GATE_SIM_TOL_PCT  (default 5)  — commit_sim_ns_seq /
+#       commit_sim_ns_shared: simulated device cost over a fixed
+#       transaction count, deterministic across runs and hosts, so a
+#       tight bound actually catches commit-path regressions (an extra
+#       fence, a lost flush coalesce) instead of scheduler noise.
+#   SPECPMT_GATE_HOST_TOL_PCT (default 75) — commit_ns_seq /
+#       commit_ns_shared: host wall-clock, which on a shared CI core
+#       swings tens of percent between runs; the loose bound only trips
+#       on gross regressions (an accidental O(n^2), a debug build).
+#
+#   SPECPMT_GATE_ALLOC_SLACK  (default 1.0) — allocs_per_tx_seq /
+#       allocs_per_tx_shared: absolute allowance over the baseline's
+#       heap allocations per steady-state transaction (the zero-alloc
+#       commit path must not quietly start allocating).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cur=${1:-BENCH_commit_path.json}
+base=${2:-results/commit_path_baseline.json}
+sim_tol=${SPECPMT_GATE_SIM_TOL_PCT:-5}
+host_tol=${SPECPMT_GATE_HOST_TOL_PCT:-75}
+alloc_slack=${SPECPMT_GATE_ALLOC_SLACK:-1.0}
+
+[ -r "$cur" ] || { echo "perf gate: missing current summary $cur" >&2; exit 2; }
+[ -r "$base" ] || { echo "perf gate: missing baseline $base" >&2; exit 2; }
+
+# extract FILE KEY -> numeric value (the summaries are flat one-line JSON).
+extract() {
+    local v
+    v=$(grep -o "\"$2\":-\?[0-9.]*" "$1" | head -n 1 | cut -d: -f2)
+    [ -n "$v" ] || { echo "perf gate: $1 has no key \"$2\"" >&2; exit 2; }
+    echo "$v"
+}
+
+fail=0
+
+# gate_pct KEY TOL_PCT: relative bound, current <= baseline * (1 + tol%).
+gate_pct() {
+    local key=$1 tol=$2 c b
+    c=$(extract "$cur" "$key")
+    b=$(extract "$base" "$key")
+    awk -v c="$c" -v b="$b" -v tol="$tol" -v key="$key" 'BEGIN {
+        limit = b * (1 + tol / 100.0)
+        pct = b > 0 ? (c / b - 1) * 100.0 : 0
+        if (c > limit) {
+            printf "perf gate: FAIL %-22s %10.1f ns vs baseline %10.1f ns (%+.1f%%, tolerance %s%%)\n",
+                key, c, b, pct, tol
+            exit 1
+        }
+        printf "perf gate: ok   %-22s %10.1f ns vs baseline %10.1f ns (%+.1f%%, tolerance %s%%)\n",
+            key, c, b, pct, tol
+    }' || fail=1
+}
+
+# gate_abs KEY SLACK: absolute bound, current <= baseline + slack.
+gate_abs() {
+    local key=$1 slack=$2 c b
+    c=$(extract "$cur" "$key")
+    b=$(extract "$base" "$key")
+    awk -v c="$c" -v b="$b" -v slack="$slack" -v key="$key" 'BEGIN {
+        if (c > b + slack) {
+            printf "perf gate: FAIL %-22s %10.2f vs baseline %10.2f (slack %s)\n", key, c, b, slack
+            exit 1
+        }
+        printf "perf gate: ok   %-22s %10.2f vs baseline %10.2f (slack %s)\n", key, c, b, slack
+    }' || fail=1
+}
+
+gate_pct commit_sim_ns_seq "$sim_tol"
+gate_pct commit_sim_ns_shared "$sim_tol"
+gate_pct commit_ns_seq "$host_tol"
+gate_pct commit_ns_shared "$host_tol"
+gate_abs allocs_per_tx_seq "$alloc_slack"
+gate_abs allocs_per_tx_shared "$alloc_slack"
+
+if [ "$fail" -ne 0 ]; then
+    echo "perf gate: FAILED — commit path regressed beyond tolerance (baseline $base)" >&2
+    exit 1
+fi
+echo "perf gate: PASS ($cur vs $base)"
