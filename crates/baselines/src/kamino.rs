@@ -199,6 +199,7 @@ impl Recover for KaminoTx {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specpmt_pmem::CrashControl;
     use specpmt_pmem::{CrashPolicy, PmemConfig, PmemDevice};
 
     fn runtime() -> KaminoTx {
@@ -231,7 +232,7 @@ mod tests {
         // Data persistence is asynchronous (absorbed by the omitted backup
         // machinery): a crash where no cache line happened to be evicted
         // loses the data — only the address log survives.
-        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let img = rt.pool().device().capture(CrashPolicy::AllLost);
         for i in 0..8 {
             assert_eq!(img.read_u64(a + i * 64), 0, "data line {i} must not be flushed");
         }

@@ -128,6 +128,7 @@ impl Recover for NoLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specpmt_pmem::CrashControl;
     use specpmt_pmem::{CrashPolicy, PmemConfig, PmemDevice};
 
     fn runtime(cfg: NoLogConfig) -> NoLog {
@@ -154,7 +155,7 @@ mod tests {
         rt.begin();
         rt.write_u64(a, 7);
         rt.commit();
-        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let img = rt.pool().device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(a), 7);
     }
 

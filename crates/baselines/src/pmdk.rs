@@ -304,6 +304,7 @@ impl Recover for PmdkUndo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specpmt_pmem::CrashControl;
     use specpmt_pmem::{CrashPolicy, PmemConfig, PmemDevice};
 
     fn runtime() -> PmdkUndo {
@@ -327,7 +328,7 @@ mod tests {
         rt.write_u64(a, 5);
         rt.commit();
         // No recovery needed: undo logging persists data at commit.
-        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let img = rt.pool().device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(a), 5);
     }
 
@@ -340,7 +341,7 @@ mod tests {
         rt.commit();
         rt.begin();
         rt.write_u64(a, 2);
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         PmdkUndo::recover(&mut img);
         assert_eq!(img.read_u64(a), 1);
     }
@@ -352,7 +353,7 @@ mod tests {
         rt.begin();
         rt.write_u64(a, 1); // object snapshot taken here (old value 0)
         rt.write_u64(a, 2); // same object: no second snapshot
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         PmdkUndo::recover(&mut img);
         assert_eq!(img.read_u64(a), 0, "must revert to pre-transaction value");
     }
@@ -396,7 +397,7 @@ mod tests {
         rt.begin();
         rt.write_u64(a, 9);
         rt.commit();
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         PmdkUndo::recover(&mut img);
         assert_eq!(img.read_u64(a), 9);
     }

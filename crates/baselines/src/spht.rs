@@ -372,6 +372,7 @@ impl Recover for Spht {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specpmt_pmem::CrashControl;
     use specpmt_pmem::{CrashPolicy, PmemConfig, PmemDevice};
 
     fn runtime() -> Spht {
@@ -394,7 +395,7 @@ mod tests {
         rt.begin();
         rt.write_u64(a, 11);
         rt.commit();
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         Spht::recover(&mut img);
         assert_eq!(img.read_u64(a), 11);
     }
@@ -421,7 +422,7 @@ mod tests {
         rt.commit();
         rt.replay_now();
         // After replay the data itself is durable: no recovery needed.
-        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let img = rt.pool().device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(a), 3);
         assert!(rt.tx_stats().background_ns > 0);
     }
@@ -435,7 +436,7 @@ mod tests {
         rt.commit();
         rt.begin();
         rt.write_u64(a, 2);
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         Spht::recover(&mut img);
         assert_eq!(img.read_u64(a), 1);
     }
@@ -449,7 +450,7 @@ mod tests {
             rt.write_u64(a, v);
         }
         rt.commit();
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         Spht::recover(&mut img);
         assert_eq!(img.read_u64(a), 49);
     }

@@ -240,8 +240,10 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
 /// invocation directory and the workspace root, since `cargo bench` may be
 /// run from either.
 fn baseline_commit_ns_seq() -> Option<f64> {
-    let path = std::env::var("SPECPMT_COMMIT_BASELINE")
-        .unwrap_or_else(|_| "results/commit_path_baseline.json".to_string());
+    let path = specpmt_telemetry::Knobs::get()
+        .commit_baseline
+        .clone()
+        .unwrap_or_else(|| "results/commit_path_baseline.json".to_string());
     let manifest_rooted = format!("{}/../../{path}", env!("CARGO_MANIFEST_DIR"));
     let text = [path, manifest_rooted].iter().find_map(|p| std::fs::read_to_string(p).ok())?;
     json_number(&text, "commit_ns_seq")

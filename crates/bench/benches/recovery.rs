@@ -4,6 +4,7 @@
 
 use specpmt_bench::harness::{bench_with_setup, smoke_mode};
 use specpmt_core::{ReclaimMode, SpecConfig, SpecSpmt};
+use specpmt_pmem::CrashControl;
 use specpmt_pmem::{CrashImage, CrashPolicy, PmemConfig, PmemDevice, PmemPool};
 use specpmt_txn::{Recover, TxAccess, TxRuntime};
 
@@ -22,7 +23,7 @@ fn image_with_log(txs: u64) -> CrashImage {
         }
         rt.commit();
     }
-    rt.pool().device().crash_with(CrashPolicy::AllLost)
+    rt.pool().device().capture(CrashPolicy::AllLost)
 }
 
 fn main() {

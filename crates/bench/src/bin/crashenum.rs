@@ -1,0 +1,206 @@
+//! `crashenum`: deterministic crash-point enumeration driver.
+//!
+//! Drives the canonical smoke workloads
+//! ([`specpmt_core::crashsmoke`]) through the FIRST-style enumerator
+//! ([`specpmt_txn::enumerate`]): one sequential [`SpecSpmt`] workload with
+//! inline reclamation, plus the 4-thread [`SpecSpmtShared`] workload with
+//! group commit off *and* on (the two commit paths reach disjoint `mt/*`
+//! sites). Every labeled crash site each workload reaches is crashed at
+//! deterministically, recovered, and verified; the merged coverage is
+//! printed as one JSON line with a per-subsystem breakdown:
+//!
+//! ```json
+//! {"bench":"crashenum","sites_total":18,"sites_visited":18,"passed":true,
+//!  "subsystems":[{"name":"seq-commit","sites":4,"visited":4,...},...]}
+//! ```
+//!
+//! The exit status is non-zero if any case failed **or** any inventory
+//! site went unvisited (the zero-unvisited-labels acceptance check); each
+//! failure prints an exact `SPECPMT_CRASH_TARGET=<site>:<hit> ...` repro
+//! command on stderr.
+//!
+//! `--selftest-reorder` instead enumerates the deliberately buggy
+//! group-commit workload ([`specpmt_txn::crashenum::selftest`], receipt
+//! persisted *before* the batch fence) and exits zero only when the
+//! enumerator catches the bug and names the violated fence site — CI runs
+//! this as a must-fail check on the harness itself.
+//!
+//! `--cap N` bounds targeted runs per site (default 8); CI uses a small
+//! cap to keep the smoke tier fast.
+//!
+//! [`SpecSpmt`]: specpmt_core::SpecSpmt
+//! [`SpecSpmtShared`]: specpmt_core::SpecSpmtShared
+
+use specpmt_core::crashsmoke::{run_mt_smoke, run_seq_smoke};
+use specpmt_pmem::sites;
+use specpmt_telemetry::{JsonWriter, Metric, Registry};
+use specpmt_txn::crashenum::selftest;
+use specpmt_txn::{enumerate, EnumConfig, EnumReport};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Enumerates the injected-ordering-bug workload; exits zero only when
+/// the harness catches it and names the violated site.
+fn selftest_reorder() -> i32 {
+    let cfg = EnumConfig::new("cargo test -p specpmt-txn crashenum");
+    let report = match enumerate(&cfg, |plan| selftest::run_group_workload(plan, true)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("selftest observe pass failed (the bug only bites under a crash): {e}");
+            return 1;
+        }
+    };
+    let caught = !report.passed();
+    let named: Vec<&str> = report.failures().filter_map(|c| c.site).collect();
+    let fence_named = named.contains(&"mt/group/pre_fence");
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("bench", "crashenum_selftest")
+        .field_bool("bug_caught", caught)
+        .field_bool("fence_site_named", fence_named);
+    w.begin_array_field("failure_sites");
+    for s in &named {
+        w.value_str(s);
+    }
+    w.end_array();
+    if let Some(repro) = report.failures().find_map(|c| c.repro.as_deref()) {
+        w.field_str("sample_repro", repro);
+    }
+    w.end_object();
+    println!("{}", w.finish());
+    if caught && fence_named {
+        0
+    } else {
+        eprintln!(
+            "SELFTEST FAILED: injected receipt-before-fence bug was {} (named sites: {named:?})",
+            if caught { "caught but misattributed" } else { "not caught" }
+        );
+        1
+    }
+}
+
+/// One workload's enumeration, tagged for the merged report.
+fn workload(
+    name: &'static str,
+    cap: u64,
+    repro: &str,
+    run: impl FnMut(specpmt_pmem::CrashPlan) -> Result<specpmt_txn::RunSummary, String>,
+) -> Result<(EnumReport, &'static str), String> {
+    let cfg = EnumConfig { max_hits_per_site: cap, ..EnumConfig::new(repro) };
+    enumerate(&cfg, run).map(|r| (r, name)).map_err(|e| format!("{name}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--selftest-reorder") {
+        std::process::exit(selftest_reorder());
+    }
+    let cap: u64 = arg_value(&args, "--cap").map_or(8, |v| v.parse().expect("--cap takes a u64"));
+
+    let mut merged = EnumReport::default();
+    let mut workload_lines = Vec::new();
+    let runs = [
+        workload("seq", cap, "cargo test -p specpmt-core crashsmoke", run_seq_smoke),
+        workload("mt", cap, "cargo test -p specpmt-core crashsmoke", |plan| {
+            run_mt_smoke(plan, false)
+        }),
+        workload("mt-group", cap, "cargo test -p specpmt-core crashsmoke", |plan| {
+            run_mt_smoke(plan, true)
+        }),
+    ];
+    for res in runs {
+        let (report, name) = match res {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("observe pass failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        workload_lines.push((name, report.cases.len(), report.fired_cases(), report.passed()));
+        merged.merge(report);
+    }
+
+    // Harness-side telemetry: total labeled-site hits observed while
+    // armed. The runtimes never record this metric themselves (a disarmed
+    // crash point is a single flag check), so the counter is exactly the
+    // enumeration's doing.
+    let registry = Registry::new(1);
+    registry.set_enabled(true);
+    let total_hits: u64 = merged.discovered.iter().map(|&(_, n)| n).sum();
+    registry.add(0, Metric::CrashPoints, total_hits);
+
+    let visited = merged.visited();
+    let all_subsystems: Vec<&str> = {
+        let mut v: Vec<&str> = sites::ALL.iter().map(|s| s.subsystem).collect();
+        v.dedup();
+        v
+    };
+    let unvisited = merged.unvisited(&all_subsystems);
+
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("bench", "crashenum")
+        .field_u64("sites_total", sites::ALL.len() as u64)
+        .field_u64("sites_visited", visited.len() as u64)
+        .field_u64("cases", merged.cases.len() as u64)
+        .field_u64("fired_cases", merged.fired_cases() as u64)
+        .field_u64("crash_points", registry.counter(Metric::CrashPoints))
+        .field_bool("passed", merged.passed() && unvisited.is_empty());
+    w.begin_array_field("workloads");
+    for (name, cases, fired, passed) in &workload_lines {
+        w.begin_object()
+            .field_str("name", name)
+            .field_u64("cases", *cases as u64)
+            .field_u64("fired_cases", *fired as u64)
+            .field_bool("passed", *passed)
+            .end_object();
+    }
+    w.end_array();
+    w.begin_array_field("subsystems");
+    for &sub in &all_subsystems {
+        let in_sub: Vec<_> = sites::ALL.iter().filter(|s| s.subsystem == sub).collect();
+        let visited_n = in_sub.iter().filter(|s| visited.contains(&s.name)).count();
+        let cases = merged
+            .cases
+            .iter()
+            .filter(|c| c.site.is_some_and(|n| in_sub.iter().any(|s| s.name == n)))
+            .count();
+        let failed = merged
+            .failures()
+            .filter(|c| c.site.is_some_and(|n| in_sub.iter().any(|s| s.name == n)))
+            .count();
+        w.begin_object()
+            .field_str("name", sub)
+            .field_u64("sites", in_sub.len() as u64)
+            .field_u64("visited", visited_n as u64)
+            .field_u64("cases", cases as u64)
+            .field_bool("passed", failed == 0)
+            .end_object();
+    }
+    w.end_array();
+    w.begin_array_field("unvisited");
+    for site in &unvisited {
+        w.value_str(site.name);
+    }
+    w.end_array();
+    w.end_object();
+    println!("{}", w.finish());
+
+    let mut failed = false;
+    for line in merged.failure_lines() {
+        eprintln!("{line}");
+        failed = true;
+    }
+    if !unvisited.is_empty() {
+        eprintln!(
+            "unvisited labeled sites: {:?}",
+            unvisited.iter().map(|s| s.name).collect::<Vec<_>>()
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

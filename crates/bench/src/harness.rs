@@ -16,8 +16,7 @@ use std::time::Instant;
 /// measurement: under `cargo test` (cargo passes `--test` to `harness =
 /// false` bench targets) or when `SPECPMT_BENCH_SMOKE` is set.
 pub fn smoke_mode() -> bool {
-    std::env::args().skip(1).any(|a| a == "--test")
-        || std::env::var_os("SPECPMT_BENCH_SMOKE").is_some()
+    std::env::args().skip(1).any(|a| a == "--test") || specpmt_telemetry::Knobs::get().bench_smoke
 }
 
 /// One benchmark's samples. `samples[i]` is the wall-clock nanoseconds of

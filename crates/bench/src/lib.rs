@@ -267,7 +267,7 @@ impl Default for MtRunConfig {
             media_channels: 12,
             stripe_bytes: 64,
             telemetry: false,
-            group_commit: specpmt_telemetry::env_flag("SPECPMT_GROUP_COMMIT"),
+            group_commit: specpmt_telemetry::Knobs::get().group_commit,
         }
     }
 }

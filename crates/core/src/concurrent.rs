@@ -98,8 +98,8 @@ impl Default for ConcurrentConfig {
             data_persistence: false,
             threads: 1,
             reclaim_threshold_bytes: 1 << 20,
-            group_commit: specpmt_telemetry::env_flag("SPECPMT_GROUP_COMMIT"),
-            group_linger_ns: specpmt_telemetry::env_u64("SPECPMT_GROUP_LINGER_NS", 0),
+            group_commit: specpmt_telemetry::Knobs::get().group_commit,
+            group_linger_ns: specpmt_telemetry::Knobs::get().group_linger_ns,
         }
     }
 }
@@ -425,8 +425,10 @@ impl SpecSpmtShared {
             // pointer references it (one vectored, coalesced flush). The
             // fence is attributed to the daemon's own telemetry shard so
             // per-commit breakdowns never absorb background drains.
+            handle.crash_point("mt/reclaim/pre_fence");
             handle.clwb_ranges(&dirty);
             let fr = handle.sfence();
+            handle.crash_point("mt/reclaim/fence");
             self.tel.registry.add(rtid, Metric::Fences, 1);
             if fr.flushes > 0 {
                 self.tel.registry.add(rtid, Metric::WpqDrains, 1);
@@ -446,6 +448,7 @@ impl SpecSpmtShared {
             // Old blocks are recycled only after the swap fence, so a crash
             // image either references the old chain (intact) or the new.
             self.free_blocks.lock().expect("free lock").extend(new_area.into_blocks());
+            handle.crash_point("mt/reclaim/splice");
         }
         rs.stats.last_cycle_ns = self.device().now_ns() - t0;
         let bytes = rs.stats.bytes_reclaimed.saturating_sub(bytes_before);
@@ -539,6 +542,11 @@ fn drain_group_batch(
     tid: usize,
     batch: &specpmt_txn::GroupBatch,
 ) -> (u64, u64) {
+    // Every receipt in the batch is still unpublished here; after the
+    // fused drain(s) below, all of them are durable at once. Both the
+    // flat-combining and daemon drain paths funnel through this function,
+    // so the labels cover group commit in every election mode.
+    dev.crash_point("mt/group/pre_fence");
     let fr = dev.drain_lines(&batch.log_lines);
     reg.add(tid, Metric::Fences, 1);
     let (mut stall, mut flushes) = (fr.stall_ns, fr.flushes);
@@ -548,6 +556,7 @@ fn drain_group_batch(
         stall += fr.stall_ns;
         flushes += fr.flushes;
     }
+    dev.crash_point("mt/group/batch_fence");
     (stall, flushes)
 }
 
@@ -848,6 +857,7 @@ impl TxHandle {
         // counted separately as `log_entries` in `write`).
         self.shared.tel.registry.add(tid, Metric::LogAppends, 1);
         self.shared.tel.tracer.record(tid, EventKind::Seal, ts, self.ws.payload().len() as u64);
+        self.dev.crash_point("mt/commit/append");
 
         if self.shared.cfg.group_commit && commit {
             self.seal_group(tid, urgent);
@@ -897,9 +907,11 @@ impl TxHandle {
         self.shared.tel.registry.add(tid, Metric::ClwbPlans, 1);
         self.shared.tel.tracer.record(tid, EventKind::ClwbPlan, self.dirty.len() as u64, 0);
         self.dirty.clear();
+        self.dev.crash_point("mt/commit/flush");
         let fence_span = self.shared.tel.registry.span(tid, Phase::Fence);
         let fr = self.dev.sfence();
         fence_span.stop();
+        self.dev.crash_point("mt/commit/fence");
         self.shared.tel.registry.add(tid, Metric::Fences, 1);
         self.shared.tel.tracer.record(tid, EventKind::Fence, fr.stall_ns, fr.flushes);
         if fr.flushes > 0 {
@@ -925,9 +937,14 @@ impl TxHandle {
                 0,
             );
             self.data_lines.clear();
+            // DP's second drain reuses the commit flush/fence labels (same
+            // ordering invariant, same protocol step — see the sequential
+            // runtime's note).
+            self.dev.crash_point("mt/commit/flush");
             let fence_span = self.shared.tel.registry.span(tid, Phase::Fence);
             let fr = self.dev.sfence();
             fence_span.stop();
+            self.dev.crash_point("mt/commit/fence");
             self.shared.tel.registry.add(tid, Metric::Fences, 1);
             self.shared.tel.tracer.record(tid, EventKind::Fence, fr.stall_ns, fr.flushes);
             if fr.flushes > 0 {
@@ -964,6 +981,7 @@ impl TxHandle {
         self.shared.tel.tracer.record(tid, EventKind::ClwbPlan, self.plan.len() as u64, 0);
         let reg = &self.shared.tel.registry;
         let dev = &self.dev;
+        dev.crash_point("mt/group/stage");
         let wait_span = reg.span(tid, Phase::BatchWait);
         // If this thread combines, the drain issues one fused flush+fence
         // per non-empty line set from *its* handle (fences cover only the
@@ -1129,7 +1147,7 @@ impl specpmt_txn::TxThread for TxHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use specpmt_pmem::{CrashPolicy, PmemConfig};
+    use specpmt_pmem::{CrashControl, CrashPolicy, PmemConfig};
     use specpmt_txn::TxAccess as _;
 
     fn shared(cfg: ConcurrentConfig) -> Arc<SpecSpmtShared> {
@@ -1154,7 +1172,7 @@ mod tests {
         h.begin();
         h.write_u64(a, 0xFEED);
         h.commit();
-        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        let mut img = s.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         assert_eq!(img.read_u64(a), 0xFEED);
     }
@@ -1169,7 +1187,7 @@ mod tests {
         h.commit();
         h.begin();
         h.write_u64(a, 2);
-        let mut img = s.device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = s.device().capture(CrashPolicy::AllSurvive);
         SpecSpmtShared::recover(&mut img);
         assert_eq!(img.read_u64(a), 1, "uncommitted update must be revoked");
     }
@@ -1207,7 +1225,7 @@ mod tests {
             }
         });
         assert_eq!(s.stats().commits, 200);
-        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        let mut img = s.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         for tid in 0..4 {
             assert_eq!(img.read_u64(base + tid * 64), 49);
@@ -1230,7 +1248,7 @@ mod tests {
         h1.commit();
         s.reclaim_cycle();
         assert!(s.stats().records_reclaimed > 0, "older cross-thread entry dropped");
-        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        let mut img = s.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         assert_eq!(img.read_u64(a), 20, "youngest commit wins after compaction");
     }
@@ -1250,7 +1268,7 @@ mod tests {
         h1.write_u64(a + 32, 7);
         s.reclaim_cycle(); // must not touch h1's chain
         h1.commit();
-        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        let mut img = s.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         assert_eq!(img.read_u64(a), 99);
         assert_eq!(img.read_u64(a + 32), 7);
@@ -1284,7 +1302,7 @@ mod tests {
         // One final cycle with no open transactions bounds the tail.
         s.reclaim_cycle();
         assert!(s.log_footprint() <= 2 * 64 * 1024, "footprint {} not bounded", s.log_footprint());
-        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        let mut img = s.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         for tid in 0..2 {
             assert_eq!(img.read_u64(base + tid * 64), 4_999);
@@ -1301,7 +1319,7 @@ mod tests {
         h.write_u64(obj, 77);
         h.write_u64(root, obj as u64);
         h.commit();
-        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        let mut img = s.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         let obj2 = img.read_u64(root) as usize;
         assert_eq!(obj2, obj);
@@ -1318,7 +1336,7 @@ mod tests {
         h.write_u64(a, 5);
         h.commit();
         assert_eq!(s.device().stats().sfence_count - before, 2);
-        let img = s.device().crash_with(CrashPolicy::AllLost);
+        let img = s.device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(a), 5, "DP data survives without recovery");
     }
 
@@ -1344,7 +1362,7 @@ mod tests {
             }
         });
         assert_eq!(s.stats().commits, threads as u64 * 20);
-        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        let mut img = s.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         for tid in 0..threads {
             assert_eq!(img.read_u64(base + tid * 64), 19, "thread {tid}");
@@ -1363,7 +1381,7 @@ mod tests {
         }
         s.reclaim_cycle();
         assert!(s.stats().records_reclaimed > 0);
-        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        let mut img = s.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         assert_eq!(img.read_u64(a), 499);
     }
@@ -1376,7 +1394,7 @@ mod tests {
         h.begin();
         h.write_u64(a, 0xFEED);
         h.commit();
-        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        let mut img = s.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         assert_eq!(img.read_u64(a), 0xFEED);
     }
@@ -1415,7 +1433,7 @@ mod tests {
         h.write_u64(a, 5);
         h.commit();
         assert_eq!(s.device().stats().sfence_count - before, 2);
-        let img = s.device().crash_with(CrashPolicy::AllLost);
+        let img = s.device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(a), 5, "DP data survives without recovery");
     }
 
@@ -1459,7 +1477,7 @@ mod tests {
         let occ = reg.phase(Phase::GroupBatch);
         assert_eq!(occ.count(), batches);
         assert_eq!(occ.sum, group_commits, "batch occupancies sum to the staged commits");
-        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        let mut img = s.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         for tid in 0..threads {
             // Last surviving value: v=48 committed, v=49 aborted back.
@@ -1495,7 +1513,7 @@ mod tests {
         });
         daemon.stop();
         s.reclaim_cycle();
-        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        let mut img = s.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         for tid in 0..2 {
             assert_eq!(img.read_u64(base + tid * 64), 2_999);
@@ -1543,7 +1561,7 @@ mod tests {
         let occ = reg.phase_in(threads, Phase::GroupBatch);
         assert_eq!(occ.count(), batches);
         assert_eq!(occ.sum, commits, "batch occupancies sum to the commits");
-        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        let mut img = s.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         for tid in 0..threads {
             assert_eq!(img.read_u64(base + tid * 64), 199, "thread {tid}");
@@ -1567,7 +1585,7 @@ mod tests {
         h.begin();
         h.write_u64(base, 2);
         h.commit();
-        let mut img = s.device().crash_with(CrashPolicy::AllLost);
+        let mut img = s.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         assert_eq!(img.read_u64(base), 2);
     }
@@ -1595,44 +1613,56 @@ mod tests {
     }
 
     fn group_crash_sweep(policy: CrashPolicy, dp: bool) {
+        use specpmt_pmem::CrashPlan;
         use specpmt_txn::driver::TxOp;
+        use specpmt_txn::RunSummary;
         let threads = 4usize;
         let region = 256usize;
-        for fuel in (1..90).step_by(2) {
-            let mut cfg = ConcurrentConfig::default().with_threads(threads).with_group_commit(true);
-            if dp {
-                cfg = cfg.dp();
-            }
-            let s = shared(cfg);
-            let base = alloc_region(&s, threads * region);
-            let bases: Vec<usize> = (0..threads).map(|t| base + t * region).collect();
-            let handles: Vec<TxHandle> = (0..threads).map(|t| s.tx_handle(t)).collect();
-            let streams: Vec<Vec<Vec<TxOp>>> = (0..threads as u8)
-                .map(|t| {
-                    (0..6u8)
-                        .map(|i| {
-                            vec![
-                                TxOp { addr: 0, data: vec![t * 32 + i + 1; 8] },
-                                TxOp { addr: 64, data: vec![t * 32 + i + 1; 8] },
-                                TxOp { addr: 160, data: vec![0xA0 + i; 4] },
-                            ]
-                        })
-                        .collect()
+        let plans = CrashPlan::sweep_fuel((1..90).step_by(2).map(|n| n as u64), policy);
+        let report = specpmt_txn::run_fuel_sweep(
+            &plans,
+            "cargo test -p specpmt-core group_crash_sweep",
+            |plan| {
+                let mut cfg =
+                    ConcurrentConfig::default().with_threads(threads).with_group_commit(true);
+                if dp {
+                    cfg = cfg.dp();
+                }
+                let s = shared(cfg);
+                let base = alloc_region(&s, threads * region);
+                let bases: Vec<usize> = (0..threads).map(|t| base + t * region).collect();
+                let handles: Vec<TxHandle> = (0..threads).map(|t| s.tx_handle(t)).collect();
+                let streams: Vec<Vec<Vec<TxOp>>> = (0..threads as u8)
+                    .map(|t| {
+                        (0..6u8)
+                            .map(|i| {
+                                vec![
+                                    TxOp { addr: 0, data: vec![t * 32 + i + 1; 8] },
+                                    TxOp { addr: 64, data: vec![t * 32 + i + 1; 8] },
+                                    TxOp { addr: 160, data: vec![0xA0 + i; 4] },
+                                ]
+                            })
+                            .collect()
+                    })
+                    .collect();
+                specpmt_txn::check_mt_crash_atomicity(
+                    s.device(),
+                    handles,
+                    &bases,
+                    region,
+                    &streams,
+                    plan,
+                    SpecSpmtShared::recover,
+                )
+                .map(|out| RunSummary {
+                    fired: out.crash_fired,
+                    fired_at: out.fired_at,
+                    site_hits: out.site_hits,
                 })
-                .collect();
-            let out = specpmt_txn::check_mt_crash_atomicity(
-                s.device(),
-                handles,
-                &bases,
-                region,
-                &streams,
-                fuel,
-                policy,
-                SpecSpmtShared::recover,
-            )
-            .unwrap_or_else(|e| panic!("fuel={fuel} dp={dp}: {e}"));
-            let _ = out;
-        }
+                .map_err(|e| format!("dp={dp}: {e}"))
+            },
+        );
+        assert!(report.passed(), "failures:\n{}", report.failure_lines().join("\n"));
     }
 
     #[test]

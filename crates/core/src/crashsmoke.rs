@@ -1,0 +1,318 @@
+//! Canonical enumeration smoke workloads.
+//!
+//! The crash-point enumerator ([`specpmt_txn::crashenum`]) is generic over
+//! a *runner* closure; this module provides the two runners the repo's
+//! smoke tier drives — one per runtime — sized so that together they reach
+//! **every** labeled crash site in [`specpmt_pmem::sites`]:
+//!
+//! * [`run_seq_smoke`] — [`SpecSpmt`] with small log blocks, a tiny
+//!   reclamation threshold, and inline reclamation, so a short random
+//!   stream walks the full commit sequence (`seq/commit/*`), repeated
+//!   compaction cycles (`seq/reclaim/*`), and the layout head-pointer
+//!   writes (`layout/*`).
+//! * [`run_mt_smoke`] — [`SpecSpmtShared`] on four real threads with a
+//!   post-run compaction cycle, covering `mt/commit/*` (group commit off)
+//!   or `mt/group/*` (group commit on) plus `mt/reclaim/*`. Run it once
+//!   per group-commit setting and [`EnumReport::merge`] the reports to
+//!   cover both commit paths.
+//!
+//! Both runners execute the workload **fresh** (new device, pool, and
+//! runtime per call), recover from the captured image, and verify atomic
+//! durability, which is exactly the contract [`enumerate`] expects.
+//!
+//! [`EnumReport::merge`]: specpmt_txn::EnumReport::merge
+//! [`enumerate`]: specpmt_txn::enumerate
+
+use specpmt_pmem::{
+    CrashControl, CrashImage, CrashPlan, CrashPolicy, PmemConfig, SharedPmemDevice, SharedPmemPool,
+};
+use specpmt_txn::driver::{
+    fresh_pool_with_region, generate_stream, run_crash_scenario, verify_recovered, StreamSpec,
+};
+use specpmt_txn::{Recover, RunSummary, TxAccess, TxRuntime};
+
+use crate::{ConcurrentConfig, ReclaimMode, SpecConfig, SpecSpmt, SpecSpmtShared, TxHandle};
+
+/// Region bytes of the sequential smoke stream.
+const SEQ_REGION: usize = 64;
+
+/// Threads driven by the multi-threaded smoke workload.
+pub const MT_THREADS: usize = 4;
+/// Transactions each multi-threaded smoke thread commits.
+pub const MT_TXS: usize = 6;
+const MT_REGION: usize = 128;
+
+/// Runs the sequential smoke workload with `plan` armed and returns the
+/// run summary plus the recovered crash image (for bit-exact replay
+/// checks).
+///
+/// The workload is fully deterministic: a fixed-seed 40-transaction stream
+/// over a 64-byte region on a [`SpecSpmt`] with 256-byte log blocks and
+/// inline reclamation above a 1 KiB footprint, so compaction (and its
+/// splice into the layout head slots) happens many times mid-stream.
+///
+/// # Errors
+///
+/// Returns the first atomic-durability violation found in the recovered
+/// image.
+pub fn run_seq_smoke_with_image(plan: CrashPlan) -> Result<(RunSummary, CrashImage), String> {
+    let (pool, base) = fresh_pool_with_region(1 << 19, SEQ_REGION);
+    let mut rt = SpecSpmt::new(
+        pool,
+        SpecConfig {
+            block_bytes: 256,
+            reclaim_threshold_bytes: 1024,
+            reclaim_mode: ReclaimMode::Inline,
+            ..SpecConfig::default()
+        },
+    );
+    // External-data protocol: one committed snapshot of zeros first.
+    let zeros = vec![0u8; SEQ_REGION];
+    rt.begin();
+    rt.write(base, &zeros);
+    rt.commit();
+
+    let stream = generate_stream(&StreamSpec {
+        txs: 40,
+        max_writes_per_tx: 4,
+        max_write_len: 8,
+        region_len: SEQ_REGION,
+        seed: 0xC0DE,
+    });
+    let mut outcome = run_crash_scenario(&mut rt, base, &stream, plan);
+    let fired = outcome.image.is_some();
+    let summary =
+        RunSummary { fired, fired_at: outcome.fired_at, site_hits: outcome.site_hits.clone() };
+    let mut image = match outcome.image.take() {
+        Some(img) => img,
+        None => {
+            rt.close();
+            rt.pool().device().capture(CrashPolicy::AllLost)
+        }
+    };
+    SpecSpmt::recover(&mut image);
+    verify_recovered(&outcome, &image)?;
+    Ok((summary, image))
+}
+
+/// [`run_seq_smoke_with_image`] without the image — the exact shape
+/// [`enumerate`](specpmt_txn::enumerate) wants.
+///
+/// # Errors
+///
+/// Returns the first atomic-durability violation found in the recovered
+/// image.
+pub fn run_seq_smoke(plan: CrashPlan) -> Result<RunSummary, String> {
+    run_seq_smoke_with_image(plan).map(|(summary, _)| summary)
+}
+
+/// The monotone value thread `t`'s `k`-th transaction writes (1-based
+/// `k`); recovery checks rest on the values increasing within a thread.
+fn mt_value(t: usize, k: usize) -> u64 {
+    ((t as u64 + 1) << 32) | k as u64
+}
+
+/// Runs the multi-threaded smoke workload with `plan` armed.
+///
+/// [`MT_THREADS`] real threads each commit [`MT_TXS`] transactions into a
+/// disjoint region; every transaction writes the same *pair* of words
+/// (base and base+64), so a torn pair after recovery is an atomicity
+/// violation and the pair value must be at least the thread's last
+/// definitely-committed transaction (crash-epoch bracketing classifies
+/// definite commits). After the threads join, one [`SpecSpmtShared::
+/// reclaim_cycle`] compacts the churned chains, deterministically walking
+/// the `mt/reclaim/*` splice protocol.
+///
+/// With `group_commit` the commits funnel through the batched-fence group
+/// path (`mt/group/*` sites); without it each commit seals solo
+/// (`mt/commit/flush`, `mt/commit/fence`).
+///
+/// # Errors
+///
+/// Returns the first torn pair or lost definitely-committed transaction
+/// found in the recovered image.
+pub fn run_mt_smoke(plan: CrashPlan, group_commit: bool) -> Result<RunSummary, String> {
+    let dev = SharedPmemDevice::new(PmemConfig::new(1 << 22));
+    let pool = SharedPmemPool::create(dev.clone());
+    let cfg = ConcurrentConfig {
+        reclaim_threshold_bytes: 1024,
+        ..ConcurrentConfig::default().with_threads(MT_THREADS).with_group_commit(group_commit)
+    };
+    let shared = SpecSpmtShared::new(pool, cfg);
+    let bases: Vec<usize> = (0..MT_THREADS)
+        .map(|_| shared.pool().alloc_direct(MT_REGION, 64).expect("pool holds all regions"))
+        .collect();
+    let mut handles: Vec<TxHandle> = (0..MT_THREADS).map(|t| shared.tx_handle(t)).collect();
+
+    // Committed snapshot of zeros per region before the crash is armed.
+    let zeros = vec![0u8; MT_REGION];
+    for (h, &base) in handles.iter_mut().zip(&bases) {
+        h.begin();
+        h.write(base, &zeros);
+        h.commit();
+    }
+
+    dev.arm(plan);
+    let definite: Vec<usize> = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for (t, (mut h, &base)) in handles.into_iter().zip(&bases).enumerate() {
+            let dev = dev.clone();
+            workers.push(scope.spawn(move || {
+                let mut last_definite = 0usize;
+                for k in 1..=MT_TXS {
+                    let (e0, f0) = dev.observe();
+                    if f0 {
+                        break; // image frozen: later commits cannot be in it
+                    }
+                    let v = mt_value(t, k).to_le_bytes();
+                    h.begin();
+                    h.write(base, &v);
+                    h.write(base + 64, &v);
+                    h.commit();
+                    let (e1, _) = dev.observe();
+                    if e0 % 2 == 0 && e1 == e0 {
+                        last_definite = k;
+                    } else {
+                        break; // boundary commit: all-or-nothing from here
+                    }
+                }
+                last_definite
+            }));
+        }
+        workers.into_iter().map(|w| w.join().expect("worker panicked")).collect()
+    });
+
+    // Each chain now holds MT_TXS-fold churn on two words: one compaction
+    // cycle rewrites every chain through the two-fence splice.
+    shared.reclaim_cycle();
+
+    let summary =
+        RunSummary { fired: dev.fired(), fired_at: dev.fired_at(), site_hits: dev.site_hits() };
+    let mut image = match dev.take_image() {
+        Some(img) => img,
+        None => {
+            dev.flush_everything();
+            dev.capture(CrashPolicy::AllLost)
+        }
+    };
+    SpecSpmtShared::recover(&mut image);
+
+    for (t, (&base, &last_definite)) in bases.iter().zip(&definite).enumerate() {
+        let (a, b) = (image.read_u64(base), image.read_u64(base + 64));
+        if a != b {
+            return Err(format!("thread {t}: torn pair {a:#x} / {b:#x} after recovery"));
+        }
+        let floor = if last_definite == 0 { 0 } else { mt_value(t, last_definite) };
+        if a < floor {
+            return Err(format!(
+                "thread {t}: definitely-committed tx {last_definite} lost \
+                 (recovered {a:#x} < {floor:#x})"
+            ));
+        }
+        if a != 0 && a > mt_value(t, MT_TXS) {
+            return Err(format!("thread {t}: recovered value {a:#x} was never written"));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specpmt_pmem::sites;
+    use specpmt_txn::{enumerate, EnumConfig, EnumReport};
+
+    #[test]
+    fn seq_smoke_enumerates_every_seq_and_layout_site() {
+        let cfg = EnumConfig::new("cargo test -p specpmt-core crashsmoke");
+        let report = enumerate(&cfg, run_seq_smoke).expect("observe pass");
+        assert!(report.passed(), "failures:\n{}", report.failure_lines().join("\n"));
+        // Single-threaded determinism: every targeted case fires.
+        assert_eq!(report.fired_cases(), report.cases.len());
+        let unvisited = report.unvisited(&["seq-commit", "seq-reclaim", "layout"]);
+        assert!(unvisited.is_empty(), "unvisited labeled sites: {unvisited:?}");
+    }
+
+    #[test]
+    fn mt_smoke_enumerates_every_mt_site_across_both_commit_paths() {
+        let cfg = EnumConfig::new("cargo test -p specpmt-core crashsmoke");
+        let mut merged = EnumReport::default();
+        for group in [false, true] {
+            let report = enumerate(&cfg, |plan| run_mt_smoke(plan, group)).expect("observe pass");
+            assert!(
+                report.passed(),
+                "group={group} failures:\n{}",
+                report.failure_lines().join("\n")
+            );
+            merged.merge(report);
+        }
+        let unvisited = merged.unvisited(&["mt-commit", "mt-group", "mt-reclaim", "layout"]);
+        assert!(unvisited.is_empty(), "unvisited labeled sites: {unvisited:?}");
+    }
+
+    #[test]
+    fn smoke_workloads_cover_the_entire_site_inventory() {
+        // The zero-unvisited-labels acceptance check: merged across the
+        // smoke workloads, every site in the inventory is reachable.
+        let cfg = EnumConfig { max_hits_per_site: 0, ..EnumConfig::new("inventory") };
+        let mut merged = EnumReport::default();
+        merged.merge(enumerate(&cfg, run_seq_smoke).expect("seq observe"));
+        for group in [false, true] {
+            merged.merge(enumerate(&cfg, |plan| run_mt_smoke(plan, group)).expect("mt observe"));
+        }
+        let all: Vec<&str> = sites::ALL.iter().map(|s| s.subsystem).collect();
+        let unvisited = merged.unvisited(&all);
+        assert!(unvisited.is_empty(), "unvisited labeled sites: {unvisited:?}");
+    }
+
+    #[test]
+    fn env_crash_target_replays_on_the_smoke_workloads() {
+        // This is where the enumerator's printed repro command lands:
+        // `SPECPMT_CRASH_TARGET=<site>:<hit> cargo test -p specpmt-core
+        // crashsmoke` replays that exact crash on whichever smoke workload
+        // reaches the site. Unset, the test drives the same path with a
+        // default sequential target so it never silently no-ops.
+        let (site, hit) = match &crate::knobs::Knobs::get().crash_target {
+            Some((site, hit)) => (site.clone(), *hit),
+            None => ("seq/commit/fence".to_string(), 1),
+        };
+        let plan = CrashPlan::parse_target(&format!("{site}:{hit}"))
+            .unwrap_or_else(|e| panic!("SPECPMT_CRASH_TARGET rejected: {e}"));
+        let canonical = sites::lookup(&site).expect("validated by parse_target");
+        let summary = match canonical.subsystem {
+            "mt-group" => run_mt_smoke(plan, true),
+            s if s.starts_with("mt-") => run_mt_smoke(plan, false),
+            _ => run_seq_smoke(plan),
+        }
+        .unwrap_or_else(|e| panic!("targeted crash at {site}:{hit} broke recovery: {e}"));
+        // MT targets can race past the crash point (the run then verified
+        // an orderly shutdown instead); whenever the crash fired, it must
+        // have fired exactly where the target said.
+        if summary.fired {
+            assert_eq!(summary.fired_at, Some((canonical.name, hit)));
+        } else {
+            assert!(canonical.name.starts_with("mt/"), "seq targets are deterministic");
+        }
+    }
+
+    #[test]
+    fn targeted_seq_replay_is_bit_identical() {
+        // Exact-repro contract: enumerate, pick a covered site, re-run via
+        // a parsed SPECPMT_CRASH_TARGET-style plan, and the crash image is
+        // bit-identical with the same (site, hit).
+        let cfg = EnumConfig::new("replay");
+        let report = enumerate(&cfg, run_seq_smoke).expect("observe pass");
+        let (site, hits) = *report
+            .discovered
+            .iter()
+            .find(|(s, _)| *s == "seq/commit/fence")
+            .expect("commit fence is reachable");
+        let hit = hits.min(3);
+        let plan = CrashPlan::parse_target(&format!("{site}:{hit}")).expect("parsable target");
+        let (s1, img1) = run_seq_smoke_with_image(plan).expect("first replay");
+        let (s2, img2) = run_seq_smoke_with_image(plan).expect("second replay");
+        assert_eq!(s1.fired_at, Some((site, hit)));
+        assert_eq!(s2.fired_at, Some((site, hit)));
+        assert_eq!(img1, img2, "replayed crash images diverged");
+    }
+}

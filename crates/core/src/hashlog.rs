@@ -309,6 +309,7 @@ impl Recover for HashLogSpmt {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specpmt_pmem::CrashControl;
     use specpmt_pmem::{CrashPolicy, PmemConfig, PmemDevice};
 
     fn runtime() -> HashLogSpmt {
@@ -331,7 +332,7 @@ mod tests {
         rt.begin();
         rt.write_u64(a, 42);
         rt.commit();
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         HashLogSpmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 42);
     }
@@ -345,7 +346,7 @@ mod tests {
         rt.commit();
         rt.begin();
         rt.write_u64(a, 2);
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         HashLogSpmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 1);
     }
@@ -362,7 +363,7 @@ mod tests {
         // Start a sixth update, crash before commit.
         rt.begin();
         rt.write_u64(a, 6);
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         HashLogSpmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 5);
     }
@@ -379,7 +380,7 @@ mod tests {
             rt.write_u64(a, v);
         }
         rt.commit();
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         HashLogSpmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 49);
     }
@@ -407,7 +408,7 @@ mod tests {
             rt.write_u64(a + i * CHUNK, i as u64);
         }
         rt.commit();
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         HashLogSpmt::recover(&mut img);
         for i in 0..(1 << 12) / CHUNK {
             assert_eq!(img.read_u64(a + i * CHUNK), i as u64);

@@ -268,6 +268,7 @@ pub fn inspect_image(image: &CrashImage) -> InspectReport {
 mod tests {
     use super::*;
     use crate::{SpecConfig, SpecSpmt};
+    use specpmt_pmem::CrashControl;
     use specpmt_pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool};
     use specpmt_txn::{TxAccess, TxRuntime};
 
@@ -284,7 +285,7 @@ mod tests {
                 rt.commit();
             }
         }
-        let img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         let report = inspect_image(&img);
         assert!(report.valid_pool);
         assert!(report.dynamic_layout);
@@ -317,7 +318,7 @@ mod tests {
             rt.write_u64(a + tid * 8, tid as u64);
             rt.commit();
         }
-        let img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         let report = inspect_image(&img);
         assert_eq!(report.threads, 17);
         assert_eq!(report.chains.len(), 17);
@@ -338,7 +339,7 @@ mod tests {
                 rt.commit();
             }
         }
-        let img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         let report = inspect_image(&img);
         let j = report.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
@@ -374,7 +375,7 @@ mod tests {
         rt.commit();
         rt.begin();
         rt.write_u64(a, 2); // open, uncommitted
-        let img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         let report = inspect_image(&img);
         assert_eq!(report.total_records(), 1, "uncommitted record must not count");
     }

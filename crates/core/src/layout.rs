@@ -248,9 +248,12 @@ impl PoolLayout {
 
     /// Writes and immediately persists thread `tid`'s chain head.
     pub fn set_head(&self, pool: &mut PmemPool, tid: usize, head: u64) {
+        use specpmt_pmem::CrashControl;
         let addr = self.head_addr(tid);
         pool.device_mut().write_u64(addr, head);
+        pool.device().crash_point("layout/head_write");
         pool.device_mut().persist_range(addr, 8);
+        pool.device().crash_point("layout/head_persist");
     }
 
     /// [`PoolLayout::set_head`] for the shared (concurrent) pool.
@@ -258,14 +261,16 @@ impl PoolLayout {
         let addr = self.head_addr(tid);
         let h = pool.handle();
         h.write_u64(addr, head);
+        h.crash_point("layout/head_write");
         h.persist_range(addr, 8);
+        h.crash_point("layout/head_persist");
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use specpmt_pmem::{CrashImage, CrashPolicy, PmemConfig, PmemDevice};
+    use specpmt_pmem::{CrashControl, CrashImage, CrashPolicy, PmemConfig, PmemDevice};
 
     fn pool() -> PmemPool {
         PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20)))
@@ -279,7 +284,7 @@ mod tests {
             assert!(l.is_dynamic());
             assert_eq!(l.threads(), threads);
             assert_eq!(l.block_bytes(), 4096);
-            let img = p.device().crash_with(CrashPolicy::AllLost);
+            let img = p.device().capture(CrashPolicy::AllLost);
             let back = PoolLayout::read(&img).expect("layout parses from crash image");
             assert_eq!(back, l, "{threads} threads");
         }
@@ -290,7 +295,7 @@ mod tests {
         let mut p = pool();
         let l = PoolLayout::format(&mut p, 17, 256);
         l.set_head(&mut p, 16, 0xABCD);
-        let img = p.device().crash_with(CrashPolicy::AllLost);
+        let img = p.device().capture(CrashPolicy::AllLost);
         let back = PoolLayout::read(&img).unwrap();
         assert_eq!(back.head(&img, 16), 0xABCD);
         assert_eq!(back.head(&img, 0), 0, "unset heads read as empty");
@@ -303,7 +308,7 @@ mod tests {
         let mut p = pool();
         p.set_root_direct(BLOCK_BYTES_SLOT, 4096);
         p.set_root_direct(LOG_HEAD_SLOT_BASE + 5, 0x1000);
-        let img = p.device().crash_with(CrashPolicy::AllLost);
+        let img = p.device().capture(CrashPolicy::AllLost);
         let l = PoolLayout::read(&img).expect("legacy layout parses");
         assert!(!l.is_dynamic());
         assert_eq!(l.threads(), LEGACY_CHAIN_SLOTS);
@@ -317,17 +322,17 @@ mod tests {
         // Not a pool at all.
         assert!(PoolLayout::read(&CrashImage::new(vec![0xAB; 4096])).is_none());
         // A pool with no runtime metadata (legacy block size 0).
-        let img = pool().device().crash_with(CrashPolicy::AllSurvive);
+        let img = pool().device().capture(CrashPolicy::AllSurvive);
         assert!(PoolLayout::read(&img).is_none());
         // A torn descriptor: flip one header byte, checksum must catch it.
         let mut p = pool();
         let l = PoolLayout::format(&mut p, 4, 4096);
-        let mut img = p.device().crash_with(CrashPolicy::AllLost);
+        let mut img = p.device().capture(CrashPolicy::AllLost);
         let b = img.read_u64(l.desc_base() + 16);
         img.write_bytes(l.desc_base() + 16, &(b ^ 1).to_le_bytes());
         assert!(PoolLayout::read(&img).is_none(), "checksum must reject a torn descriptor");
         // A dangling descriptor pointer.
-        let mut img2 = p.device().crash_with(CrashPolicy::AllLost);
+        let mut img2 = p.device().capture(CrashPolicy::AllLost);
         img2.write_bytes(root_off(LAYOUT_SLOT), &(u64::MAX).to_le_bytes());
         assert!(PoolLayout::read(&img2).is_none());
     }
@@ -360,7 +365,7 @@ mod tests {
         let p = SharedPmemPool::create(dev);
         let l = PoolLayout::format_shared(&p, 32, 512);
         l.set_head_shared(&p, 31, 0x2222);
-        let img = p.device().crash_with(CrashPolicy::AllLost);
+        let img = p.device().capture(CrashPolicy::AllLost);
         let back = PoolLayout::read(&img).unwrap();
         assert_eq!(back, l);
         assert_eq!(back.head(&img, 31), 0x2222);

@@ -50,7 +50,8 @@
 //!
 //! // Crash with *nothing* evicted from the cache: the datum itself never
 //! // reached PM, but recovery replays it from the speculative log.
-//! let mut img = rt.pool().device().crash_with(specpmt_pmem::CrashPolicy::AllLost);
+//! use specpmt_pmem::CrashControl;
+//! let mut img = rt.pool().device().capture(specpmt_pmem::CrashPolicy::AllLost);
 //! SpecSpmt::recover(&mut img);
 //! assert_eq!(img.read_u64(slot), 7);
 //! # Ok::<(), specpmt_pmem::PmemError>(())
@@ -61,6 +62,7 @@
 
 mod checksum;
 pub mod concurrent;
+pub mod crashsmoke;
 pub mod hashlog;
 pub mod inspect;
 pub mod layout;
@@ -71,10 +73,13 @@ pub mod recovery;
 mod runtime;
 pub mod writeset;
 
+pub use specpmt_telemetry::knobs;
+
 pub use checksum::{fnv1a64, fnv1a64_reference, Fnv1a};
 pub use concurrent::{
     ConcurrentConfig, GroupCombinerDaemon, ReclaimDaemon, SharedStats, SpecSpmtShared, TxHandle,
 };
+pub use crashsmoke::{run_mt_smoke, run_seq_smoke, run_seq_smoke_with_image};
 pub use hashlog::{HashLogConfig, HashLogSpmt};
 pub use inspect::{inspect_image, ChainSummary, InspectReport};
 pub use layout::{

@@ -341,6 +341,7 @@ impl TxAccess for LockedTxHandle {
 mod tests {
     use super::*;
     use crate::{ConcurrentConfig, SpecSpmtShared};
+    use specpmt_pmem::CrashControl;
     use specpmt_pmem::{CrashPolicy, PmemConfig, SharedPmemDevice, SharedPmemPool};
 
     fn fixture(threads: usize) -> (Arc<SpecSpmtShared>, Arc<SharedLockTable>) {
@@ -415,7 +416,7 @@ mod tests {
         h.begin();
         h.write_u64(a, 99);
         TxAccess::abort(&mut h);
-        let mut img = shared.device().crash_with(CrashPolicy::AllLost);
+        let mut img = shared.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         assert_eq!(img.read_u64(a), 5, "compensating record restores the committed value");
     }
@@ -436,7 +437,7 @@ mod tests {
         assert!(h1.doomed());
         TxAccess::abort(&mut h1);
         LockedTxHandle::commit(&mut h0);
-        let mut img = shared.device().crash_with(CrashPolicy::AllLost);
+        let mut img = shared.device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         assert_eq!(img.read_u64(root) as usize, obj);
     }

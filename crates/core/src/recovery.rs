@@ -55,6 +55,7 @@ pub fn recover_image(image: &mut CrashImage) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specpmt_pmem::CrashControl;
 
     #[test]
     fn non_specpmt_image_is_untouched() {
@@ -69,7 +70,7 @@ mod tests {
         let pool = specpmt_pmem::PmemPool::create(specpmt_pmem::PmemDevice::new(
             specpmt_pmem::PmemConfig::new(1 << 16),
         ));
-        let mut img = pool.device().crash_with(specpmt_pmem::CrashPolicy::AllSurvive);
+        let mut img = pool.device().capture(specpmt_pmem::CrashPolicy::AllSurvive);
         let before = img.clone();
         recover_image(&mut img);
         assert_eq!(img, before);

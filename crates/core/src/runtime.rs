@@ -1,6 +1,6 @@
 //! The [`SpecSpmt`] transaction runtime.
 
-use specpmt_pmem::{CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
+use specpmt_pmem::{CrashControl, CrashImage, PmemPool, TimingMode, BUMP_OFF, CACHE_LINE};
 use specpmt_telemetry::{EventKind, Metric, Phase, Telemetry};
 use specpmt_txn::{Recover, TxAccess, TxRuntime, TxStats};
 
@@ -316,7 +316,9 @@ impl SpecSpmt {
         // issues these as background writes: they contend for the WPQ but
         // do not stall the application thread.
         let background = self.cfg.reclaim_mode == ReclaimMode::Background;
-        if !rewrites.is_empty() {
+        let spliced = !rewrites.is_empty();
+        if spliced {
+            self.pool.device().crash_point("seq/reclaim/pre_fence");
             if background {
                 for &(addr, len) in &all_dirty {
                     self.pool.device_mut().background_range_write(addr, len);
@@ -325,6 +327,7 @@ impl SpecSpmt {
                 self.pool.device_mut().clwb_ranges(&all_dirty);
                 self.pool.device_mut().sfence();
             }
+            self.pool.device().crash_point("seq/reclaim/fence");
         }
         let layout = self.layout;
         for (tid, area, kept) in rewrites {
@@ -342,6 +345,9 @@ impl SpecSpmt {
             self.free_blocks.extend(old.into_blocks());
             let tail = self.threads[tid].area.tail();
             self.threads[tid].tx_start = tail;
+        }
+        if spliced {
+            self.pool.device().crash_point("seq/reclaim/splice");
         }
 
         self.stats.records_reclaimed += dropped_total;
@@ -502,6 +508,7 @@ impl TxAccess for SpecSpmt {
         let header = encode_header_parts(ts, t.ws.payload().len(), t.ws.checksum(ts));
         seal_span.stop();
         tel.tracer.record(tid, EventKind::Seal, ts, t.ws.payload().len() as u64);
+        pool.device().crash_point("seq/commit/seal");
 
         let append_span = tel.registry.span(tid, Phase::Append);
         let mut store = PoolStore::new(pool, free_blocks);
@@ -511,6 +518,7 @@ impl TxAccess for SpecSpmt {
         append_span.stop();
         tel.registry.add(tid, Metric::LogAppends, 1);
         stats.log_bytes += REC_HDR as u64;
+        pool.device().crash_point("seq/commit/append");
 
         // The single commit fence: one vectored flush covering the whole
         // record (coalesced, ascending lines — sequential and cheap) and
@@ -521,9 +529,11 @@ impl TxAccess for SpecSpmt {
         tel.registry.add(tid, Metric::ClwbPlans, 1);
         tel.tracer.record(tid, EventKind::ClwbPlan, t.dirty.len() as u64, 0);
         t.dirty.clear();
+        pool.device().crash_point("seq/commit/flush");
         let fence_span = tel.registry.span(tid, Phase::Fence);
         let fr = pool.device_mut().sfence();
         fence_span.stop();
+        pool.device().crash_point("seq/commit/fence");
         tel.registry.add(tid, Metric::Fences, 1);
         tel.tracer.record(tid, EventKind::Fence, fr.stall_ns, fr.flushes);
         if fr.flushes > 0 {
@@ -544,9 +554,15 @@ impl TxAccess for SpecSpmt {
             tel.registry.add(tid, Metric::ClwbPlans, 1);
             tel.tracer.record(tid, EventKind::ClwbPlan, t.data_lines.len() as u64, 0);
             t.data_lines.clear();
+            // DP's second drain reuses the commit flush/fence labels: it
+            // stresses the same ordering invariant at the same protocol
+            // step, and a per-variant label would be unreachable from the
+            // default-config smoke workloads.
+            pool.device().crash_point("seq/commit/flush");
             let fence_span = tel.registry.span(tid, Phase::Fence);
             let fr = pool.device_mut().sfence();
             fence_span.stop();
+            pool.device().crash_point("seq/commit/fence");
             tel.registry.add(tid, Metric::Fences, 1);
             tel.tracer.record(tid, EventKind::Fence, fr.stall_ns, fr.flushes);
         }
@@ -664,7 +680,7 @@ mod tests {
         rt.begin();
         rt.write_u64(a, 0xFEED);
         rt.commit();
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         SpecSpmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 0xFEED);
     }
@@ -679,7 +695,7 @@ mod tests {
         rt.begin();
         rt.write_u64(a, 2);
         // Crash before commit, with *everything* (data + torn log) evicted.
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         SpecSpmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 1, "uncommitted update must be revoked");
     }
@@ -710,7 +726,7 @@ mod tests {
         let s1 = rt.pool().device().stats().delta_since(&s0);
         assert_eq!(s1.sfence_count, 2);
         // Data survives AllLost even without recovery.
-        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let img = rt.pool().device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(a), 1);
     }
 
@@ -726,7 +742,7 @@ mod tests {
         // Only one entry logged (plus header bytes).
         let logged = rt.tx_stats().log_bytes;
         assert_eq!(logged, (REC_HDR + ENTRY_HDR + 8) as u64);
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         SpecSpmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 99);
     }
@@ -740,7 +756,7 @@ mod tests {
         rt.write_u64(obj, 77);
         rt.write_u64(root, obj as u64);
         rt.commit();
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         SpecSpmt::recover(&mut img);
         let obj2 = img.read_u64(root) as usize;
         assert_eq!(obj2, obj);
@@ -766,7 +782,7 @@ mod tests {
         let after = rt.log_footprint();
         assert!(after < before, "reclamation must shrink the log: {before} -> {after}");
         assert!(rt.tx_stats().records_reclaimed > 0);
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         SpecSpmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 1999);
     }
@@ -833,7 +849,7 @@ mod tests {
         rt.begin();
         rt.write_u64(a, 30);
         rt.commit();
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         SpecSpmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 30, "youngest commit wins across threads");
     }
@@ -851,7 +867,7 @@ mod tests {
             rt.write_u64(a + tid * 64, 1000 + tid as u64);
             rt.commit();
         }
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         SpecSpmt::recover(&mut img);
         for tid in 0..17 {
             assert_eq!(img.read_u64(a + tid * 64), 1000 + tid as u64, "thread {tid}");
@@ -898,7 +914,7 @@ mod tests {
         // An interrupted update to the foreign datum is now revocable.
         rt.begin();
         rt.write_u64(a, 0xBAD);
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         SpecSpmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 0x0123);
     }
@@ -921,7 +937,7 @@ mod tests {
         rt.commit();
         rt.switch_out();
         // No recovery at all: data must already be persistent.
-        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let img = rt.pool().device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(a), 0xCAFE);
     }
 
@@ -934,7 +950,7 @@ mod tests {
             rt.write_u64(a + i * 8, i as u64);
         }
         rt.commit();
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         SpecSpmt::recover(&mut img);
         for i in 0..512 {
             assert_eq!(img.read_u64(a + i * 8), i as u64);

@@ -189,6 +189,7 @@ impl UndoLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specpmt_pmem::CrashControl;
     use specpmt_pmem::CrashPolicy;
 
     #[test]
@@ -204,7 +205,7 @@ mod tests {
         pool.device_mut().sfence();
         // Now clobber the data and crash with everything surviving.
         pool.device_mut().write_u64(a, 999);
-        let mut img = pool.device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = pool.device().capture(CrashPolicy::AllSurvive);
         UndoLog::recover(&mut img);
         assert_eq!(img.read_u64(a), 7);
     }
@@ -220,7 +221,7 @@ mod tests {
         undo.truncate(pool.device_mut(), &mut flush);
         flush_line_set(pool.device_mut(), &flush);
         pool.device_mut().sfence();
-        let mut img = pool.device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = pool.device().capture(CrashPolicy::AllSurvive);
         UndoLog::recover(&mut img);
         assert_eq!(img.read_u64(a), 5);
         assert_eq!(undo.used(), 0);

@@ -166,6 +166,7 @@ impl Recover for Ede {
 mod tests {
     use super::*;
     use crate::common::hw_pool;
+    use specpmt_pmem::CrashControl;
     use specpmt_pmem::CrashPolicy;
 
     fn runtime() -> Ede {
@@ -179,7 +180,7 @@ mod tests {
         rt.begin();
         rt.write_u64(a, 3);
         rt.commit();
-        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let img = rt.pool().device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(a), 3);
     }
 
@@ -192,7 +193,7 @@ mod tests {
         rt.commit();
         rt.begin();
         rt.write_u64(a, 2);
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         Ede::recover(&mut img);
         assert_eq!(img.read_u64(a), 1);
     }

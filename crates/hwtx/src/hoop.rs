@@ -290,6 +290,7 @@ impl Recover for Hoop {
 mod tests {
     use super::*;
     use crate::common::hw_pool;
+    use specpmt_pmem::CrashControl;
     use specpmt_pmem::CrashPolicy;
 
     fn runtime() -> Hoop {
@@ -312,7 +313,7 @@ mod tests {
         rt.write_u64(a, 77);
         rt.commit();
         // Home location never updated (no GC yet): recovery must replay.
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         Hoop::recover(&mut img);
         assert_eq!(img.read_u64(a), 77);
     }
@@ -329,7 +330,7 @@ mod tests {
         // HOOP's uncommitted updates live on chip: a crash discards them
         // (the in-place volatile value models read redirection, so even
         // AllSurvive must be revoked by replaying the committed log).
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         Hoop::recover(&mut img);
         assert_eq!(img.read_u64(a), 1);
     }
@@ -349,7 +350,7 @@ mod tests {
         assert!(rt.tx_stats().records_reclaimed > 0, "GC must have run");
         assert!(rt.log_footprint() <= 3 * 4096);
         // After GC the home locations are durable even without the log.
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         Hoop::recover(&mut img);
         // Slot 3 was last written by v = 99 (99 % 32 == 3).
         assert_eq!(img.read_u64(a + 3 * 64), 99);
@@ -394,7 +395,7 @@ mod tests {
             rt.write_u64(a, v);
         }
         rt.commit();
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         Hoop::recover(&mut img);
         assert_eq!(img.read_u64(a), 49);
     }

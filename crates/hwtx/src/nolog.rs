@@ -124,6 +124,7 @@ impl Recover for HwNoLog {
 mod tests {
     use super::*;
     use crate::common::hw_pool;
+    use specpmt_pmem::CrashControl;
     use specpmt_pmem::CrashPolicy;
 
     #[test]
@@ -133,7 +134,7 @@ mod tests {
         rt.begin();
         rt.write_u64(a, 9);
         rt.commit();
-        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let img = rt.pool().device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(a), 9);
     }
 

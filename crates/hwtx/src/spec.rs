@@ -569,6 +569,7 @@ impl HwSpecPmt {
 mod tests {
     use super::*;
     use crate::common::hw_pool;
+    use specpmt_pmem::CrashControl;
     use specpmt_pmem::CrashPolicy;
 
     fn runtime(cfg: HwSpecConfig) -> HwSpecPmt {
@@ -600,7 +601,7 @@ mod tests {
         rt.write_u64(a, 5);
         rt.commit();
         // Cold data is flushed at commit — durable without recovery.
-        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let img = rt.pool().device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(a), 5);
     }
 
@@ -627,7 +628,7 @@ mod tests {
         rt.commit();
         let _ = flushed_before;
         // The datum itself stayed in cache; recovery replays the record.
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         HwSpecPmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 0xABCD);
     }
@@ -644,7 +645,7 @@ mod tests {
         rt.write_u64(a, 2222);
         // Crash before commit with everything surviving (in-place update
         // reached PM): the speculative record for 1111 must win.
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         HwSpecPmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 1111);
     }
@@ -658,7 +659,7 @@ mod tests {
         rt.commit();
         rt.begin();
         rt.write_u64(a, 2);
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         HwSpecPmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 1);
     }
@@ -688,7 +689,7 @@ mod tests {
         rt.write_u64(a, 42);
         rt.commit();
         assert_eq!(rt.pool().device().stats().sfence_count - before, 1);
-        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let img = rt.pool().device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(a), 42);
     }
 
@@ -717,7 +718,7 @@ mod tests {
             rt.log_footprint()
         );
         // Recovery still works after reclamations.
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         HwSpecPmt::recover(&mut img);
         assert_eq!(img.read_u64(a + 31 * 4096), 11);
     }
@@ -732,11 +733,11 @@ mod tests {
         assert_eq!(rt.hw_stats().pages_made_hot, 0);
         assert_eq!(rt.hw_stats().bulk_copies, 0);
         // And it still behaves like a correct undo-logging runtime.
-        let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let img = rt.pool().device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(a), 15, "cold path persists data at commit");
         rt.begin();
         rt.write_u64(a, 999);
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         HwSpecPmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 15);
     }
@@ -754,7 +755,7 @@ mod tests {
             last = v;
         }
         // Both arms were sampled; correctness holds throughout.
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         HwSpecPmt::recover(&mut img);
         assert_eq!(img.read_u64(a + (last as usize % 4) * 4096), last);
     }
@@ -774,7 +775,7 @@ mod tests {
             rt.write_u64(a, 0xE000 + v);
             rt.commit();
         }
-        let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
         HwSpecPmt::recover(&mut img);
         assert_eq!(img.read_u64(a), 0xE000 + 199);
     }

@@ -1,6 +1,18 @@
-//! Crash images and crash nondeterminism policies.
+//! Crash images, crash nondeterminism policies, and the unified
+//! fault-injection plan/control API.
+//!
+//! Historically each device flavour grew its own ad-hoc injection surface
+//! (`arm_crash` / `crash_fired` / `crash_with`, fuel counts only). This
+//! module unifies them: a [`CrashPlan`] says *when* to crash (fuel-based
+//! [`CrashTrigger::AfterOps`], labeled [`CrashTrigger::AtSite`], or the
+//! count-only [`CrashTrigger::Observe`]) and *what survives* (a
+//! [`CrashPolicy`]); the [`CrashControl`] trait lets one harness drive both
+//! [`crate::PmemDevice`] and [`crate::SharedPmemDevice`] through the same
+//! calls, including the FIRST-style labeled crash points
+//! ([`CrashControl::crash_point`]) the deterministic enumerator targets.
 
 use crate::rng::SplitMix64;
+use crate::sites;
 
 /// Controls which *unfenced* data survives a simulated crash.
 ///
@@ -103,6 +115,284 @@ impl CrashImage {
     }
 }
 
+/// What fires an armed [`CrashPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashTrigger {
+    /// Fuel-based: the image is captured immediately **before** the
+    /// `after_ops`-th subsequent persistence-affecting operation (stores,
+    /// flushes, fences — reads and timing-off operations do not count).
+    AfterOps(u64),
+    /// Labeled: the image is captured at the `nth_hit`-th execution
+    /// (1-based) of the named crash site (see [`crate::sites`] for the
+    /// inventory). Deterministic under any interleaving: hits are counted
+    /// under the device's crash serialization.
+    AtSite {
+        /// Site name from the [`crate::sites`] inventory.
+        site: &'static str,
+        /// Which execution of the site to crash at (1-based).
+        nth_hit: u64,
+    },
+    /// Never fires: labeled-site hits are counted but no image is captured.
+    /// This is the enumerator's discovery pass — run the workload once,
+    /// read back [`CrashControl::site_hits`], then target each `(site,
+    /// hit)` pair with [`CrashTrigger::AtSite`].
+    Observe,
+}
+
+/// A complete fault-injection plan: *when* to crash ([`CrashTrigger`]) ×
+/// *what unfenced data survives* ([`CrashPolicy`]).
+///
+/// Built with [`CrashPlan::after_ops`], [`CrashPlan::at_site`], or
+/// [`CrashPlan::observe`], optionally refined with
+/// [`CrashPlan::with_policy`] (default [`CrashPolicy::AllLost`]), and armed
+/// on either device flavour through [`CrashControl::arm`].
+///
+/// ```
+/// use specpmt_pmem::{CrashPlan, CrashPolicy};
+///
+/// let fuel = CrashPlan::after_ops(17).with_policy(CrashPolicy::Random(1));
+/// let site = CrashPlan::parse_target("seq/commit/flush:2").unwrap();
+/// assert_eq!(site.target().as_deref(), Some("seq/commit/flush:2"));
+/// assert!(fuel.target().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    trigger: CrashTrigger,
+    policy: CrashPolicy,
+}
+
+impl CrashPlan {
+    /// Fuel plan: crash before the `after_ops`-th persistence op.
+    pub fn after_ops(after_ops: u64) -> Self {
+        Self { trigger: CrashTrigger::AfterOps(after_ops), policy: CrashPolicy::AllLost }
+    }
+
+    /// Labeled plan: crash at the `nth_hit`-th execution (1-based) of
+    /// `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nth_hit` is zero (hit counts are 1-based).
+    pub fn at_site(site: &'static str, nth_hit: u64) -> Self {
+        assert!(nth_hit >= 1, "site hit counts are 1-based");
+        Self { trigger: CrashTrigger::AtSite { site, nth_hit }, policy: CrashPolicy::AllLost }
+    }
+
+    /// Count-only plan: never crashes, records labeled-site hit counts.
+    pub fn observe() -> Self {
+        Self { trigger: CrashTrigger::Observe, policy: CrashPolicy::AllLost }
+    }
+
+    /// Replaces the survival policy (builder style).
+    pub fn with_policy(mut self, policy: CrashPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The plan's trigger.
+    pub fn trigger(&self) -> CrashTrigger {
+        self.trigger
+    }
+
+    /// The plan's survival policy.
+    pub fn policy(&self) -> CrashPolicy {
+        self.policy
+    }
+
+    /// Parses a `SPECPMT_CRASH_TARGET`-style `site:hit` string (e.g.
+    /// `seq/commit/flush:2`) into a labeled plan. The site must be in the
+    /// [`crate::sites`] inventory; the hit count is 1-based.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed component (missing `:`,
+    /// unknown site, or non-numeric / zero hit count).
+    pub fn parse_target(s: &str) -> Result<Self, String> {
+        let (name, hit) = s
+            .rsplit_once(':')
+            .ok_or_else(|| format!("crash target `{s}` is not of the form site:hit"))?;
+        let site = sites::lookup(name)
+            .ok_or_else(|| format!("unknown crash site `{name}` (see specpmt_pmem::sites)"))?;
+        let nth_hit: u64 =
+            hit.parse().map_err(|_| format!("crash target hit count `{hit}` is not an integer"))?;
+        if nth_hit == 0 {
+            return Err("crash target hit counts are 1-based".into());
+        }
+        Ok(Self::at_site(site.name, nth_hit))
+    }
+
+    /// The `site:hit` string for a labeled plan — the value to put in
+    /// `SPECPMT_CRASH_TARGET` to reproduce it. `None` for fuel and observe
+    /// plans.
+    pub fn target(&self) -> Option<String> {
+        match self.trigger {
+            CrashTrigger::AtSite { site, nth_hit } => Some(format!("{site}:{nth_hit}")),
+            _ => None,
+        }
+    }
+
+    /// Builds one fuel plan per entry of `fuels`, all under `policy` — the
+    /// shape the hand-rolled `for crash_after in ...` sweeps take when
+    /// ported onto the shared enumeration reporting.
+    pub fn sweep_fuel(fuels: impl IntoIterator<Item = u64>, policy: CrashPolicy) -> Vec<Self> {
+        fuels.into_iter().map(|f| Self::after_ops(f).with_policy(policy)).collect()
+    }
+}
+
+/// The unified fault-injection control surface, implemented by both
+/// [`crate::PmemDevice`] and [`crate::SharedPmemDevice`] so one harness
+/// drives either flavour.
+///
+/// All methods take `&self`: the single-threaded device keeps its crash
+/// state behind interior mutability so `&PmemDevice` and
+/// `&SharedPmemDevice` expose the same surface.
+///
+/// After an armed plan fires, execution **continues** (the capture is a
+/// side effect, like a debugger snapshot); drivers poll
+/// [`CrashControl::fired`] and retrieve the image with
+/// [`CrashControl::take_image`].
+pub trait CrashControl {
+    /// Arms `plan`, clearing any previous plan, fired image, and site-hit
+    /// counts.
+    fn arm(&self, plan: CrashPlan);
+
+    /// Disarms any armed plan (fired image and hit counts are kept).
+    fn disarm(&self);
+
+    /// Whether an armed plan has fired.
+    fn fired(&self) -> bool;
+
+    /// The `(site, hit)` a labeled plan fired at, if one did.
+    fn fired_at(&self) -> Option<(&'static str, u64)>;
+
+    /// Takes the captured crash image, if an armed plan fired.
+    fn take_image(&self) -> Option<CrashImage>;
+
+    /// Captures a crash image at the current instant under `policy`,
+    /// independent of any armed plan (the orderly "crash now" primitive).
+    fn capture(&self, policy: CrashPolicy) -> CrashImage;
+
+    /// Atomically observes `(epoch, fired)`. The epoch increments twice
+    /// per capture (odd ⇒ capture in progress); bracketing a commit with
+    /// two `observe` calls classifies it as definitely-committed (no
+    /// capture overlapped) or boundary (all-or-nothing). See
+    /// [`crate::SharedPmemDevice`]'s module docs for the full protocol.
+    fn observe(&self) -> (u64, bool);
+
+    /// Per-site hit counts recorded since the last [`CrashControl::arm`]
+    /// (sites are counted whenever a plan is armed with a labeled or
+    /// observe trigger).
+    fn site_hits(&self) -> Vec<(&'static str, u64)>;
+
+    /// Executes the labeled crash site `site`: with no labeled/observe
+    /// plan armed this is a single flag check; with one armed it counts
+    /// the hit and captures an image when the armed `(site, nth_hit)`
+    /// target matches. Runtimes call this at every ordering-sensitive
+    /// point of their persistence protocols (see [`crate::sites`]).
+    fn crash_point(&self, site: &'static str);
+}
+
+/// Per-site hit table: tiny linear-scan map keyed by `&'static str` site
+/// names (the inventory has ~20 entries; hashing would cost more than the
+/// scan).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SiteHitTable(Vec<(&'static str, u64)>);
+
+impl SiteHitTable {
+    /// Increments `site`'s count and returns the new (1-based) value.
+    pub(crate) fn bump(&mut self, site: &'static str) -> u64 {
+        for (name, n) in self.0.iter_mut() {
+            if *name == site {
+                *n += 1;
+                return *n;
+            }
+        }
+        self.0.push((site, 1));
+        1
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.0.clone()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+/// Shared crash-injection state machine: both device flavours embed one
+/// (the single-threaded device behind a `RefCell`, the shared device
+/// behind its crash mutex) so fuel accounting, site matching, and the
+/// epoch protocol cannot drift apart between them.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CrashCtl {
+    pub(crate) plan: Option<CrashPlan>,
+    pub(crate) fired: Option<CrashImage>,
+    pub(crate) fired_at: Option<(&'static str, u64)>,
+    pub(crate) hits: SiteHitTable,
+    /// Two increments per capture: odd ⇒ capture in progress.
+    pub(crate) epoch: u64,
+}
+
+impl CrashCtl {
+    /// Arms a new plan, resetting fired state and hit counts.
+    pub(crate) fn arm(&mut self, plan: CrashPlan) {
+        self.plan = Some(plan);
+        self.fired = None;
+        self.fired_at = None;
+        self.hits.clear();
+    }
+
+    /// One persistence op happened. Returns the capture policy when fuel
+    /// ran out; the caller must clear its fuel-armed flag, build the image
+    /// (outside any crash lock), and [`CrashCtl::store`] it.
+    pub(crate) fn fuel_tick(&mut self) -> Option<CrashPolicy> {
+        let plan = self.plan.as_mut()?;
+        let CrashTrigger::AfterOps(fuel) = plan.trigger else {
+            return None;
+        };
+        if fuel == 0 {
+            let policy = plan.policy;
+            self.plan = None;
+            self.epoch += 1;
+            Some(policy)
+        } else {
+            plan.trigger = CrashTrigger::AfterOps(fuel - 1);
+            None
+        }
+    }
+
+    /// One execution of labeled site `site` happened. Counts the hit and
+    /// returns the capture policy and matched hit when the armed target
+    /// fires; same caller contract as [`CrashCtl::fuel_tick`].
+    pub(crate) fn site_tick(&mut self, site: &'static str) -> Option<(CrashPolicy, u64)> {
+        let plan = self.plan.as_ref()?;
+        match plan.trigger {
+            CrashTrigger::AtSite { .. } | CrashTrigger::Observe => {}
+            CrashTrigger::AfterOps(_) => return None,
+        }
+        let hit = self.hits.bump(site);
+        let CrashTrigger::AtSite { site: target, nth_hit } = plan.trigger else {
+            return None;
+        };
+        if target == site && nth_hit == hit {
+            let policy = plan.policy;
+            self.plan = None;
+            self.fired_at = Some((site, hit));
+            self.epoch += 1;
+            Some((policy, hit))
+        } else {
+            None
+        }
+    }
+
+    /// Completes a capture begun by `fuel_tick` / `site_tick`.
+    pub(crate) fn store(&mut self, image: CrashImage) {
+        self.fired = Some(image);
+        self.epoch += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +435,81 @@ mod tests {
         assert_eq!(img.read_bytes(0, 3), &[1, 2, 3]);
         assert_eq!(img.len(), 64);
         assert!(!img.is_empty());
+    }
+
+    #[test]
+    fn plan_builders_round_trip() {
+        let p = CrashPlan::after_ops(7).with_policy(CrashPolicy::AllSurvive);
+        assert_eq!(p.trigger(), CrashTrigger::AfterOps(7));
+        assert_eq!(p.policy(), CrashPolicy::AllSurvive);
+        assert!(p.target().is_none());
+        let site = crate::sites::ALL[0].name;
+        let p = CrashPlan::at_site(site, 3);
+        assert_eq!(p.policy(), CrashPolicy::AllLost);
+        assert_eq!(p.target(), Some(format!("{site}:3")));
+        assert_eq!(CrashPlan::observe().trigger(), CrashTrigger::Observe);
+    }
+
+    #[test]
+    fn parse_target_accepts_inventory_sites_only() {
+        let site = crate::sites::ALL[0].name;
+        let p = CrashPlan::parse_target(&format!("{site}:2")).unwrap();
+        assert_eq!(p.trigger(), CrashTrigger::AtSite { site, nth_hit: 2 });
+        assert!(CrashPlan::parse_target("nonsense").is_err());
+        assert!(CrashPlan::parse_target("no/such/site:1").is_err());
+        assert!(CrashPlan::parse_target(&format!("{site}:zero")).is_err());
+        assert!(CrashPlan::parse_target(&format!("{site}:0")).is_err());
+    }
+
+    #[test]
+    fn sweep_fuel_builds_one_plan_per_fuel() {
+        let plans = CrashPlan::sweep_fuel([3, 9], CrashPolicy::Random(5));
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].trigger(), CrashTrigger::AfterOps(3));
+        assert_eq!(plans[1].trigger(), CrashTrigger::AfterOps(9));
+        assert!(plans.iter().all(|p| p.policy() == CrashPolicy::Random(5)));
+    }
+
+    #[test]
+    fn ctl_fuel_counts_down_then_fires_once() {
+        let mut c = CrashCtl::default();
+        c.arm(CrashPlan::after_ops(2));
+        assert!(c.fuel_tick().is_none()); // 2 -> 1
+        assert!(c.fuel_tick().is_none()); // 1 -> 0
+        let policy = c.fuel_tick().expect("fires at 0");
+        assert_eq!(policy, CrashPolicy::AllLost);
+        assert_eq!(c.epoch, 1, "odd while capture in progress");
+        c.store(CrashImage::new(vec![0; 8]));
+        assert_eq!(c.epoch, 2);
+        assert!(c.fuel_tick().is_none(), "plan consumed");
+    }
+
+    #[test]
+    fn ctl_site_counts_hits_and_fires_at_nth() {
+        let site = crate::sites::ALL[0].name;
+        let other = crate::sites::ALL[1].name;
+        let mut c = CrashCtl::default();
+        c.arm(CrashPlan::at_site(site, 2));
+        assert!(c.site_tick(site).is_none()); // hit 1
+        assert!(c.site_tick(other).is_none()); // unrelated site counted too
+        let (_, hit) = c.site_tick(site).expect("fires at hit 2");
+        assert_eq!(hit, 2);
+        assert_eq!(c.fired_at, Some((site, 2)));
+        assert_eq!(c.hits.snapshot(), vec![(site, 2), (other, 1)]);
+        c.store(CrashImage::new(vec![0; 8]));
+        assert!(c.site_tick(site).is_none(), "plan consumed");
+    }
+
+    #[test]
+    fn ctl_observe_counts_without_firing() {
+        let site = crate::sites::ALL[0].name;
+        let mut c = CrashCtl::default();
+        c.arm(CrashPlan::observe());
+        for _ in 0..5 {
+            assert!(c.site_tick(site).is_none());
+        }
+        assert!(c.fuel_tick().is_none());
+        assert_eq!(c.hits.snapshot(), vec![(site, 5)]);
+        assert_eq!(c.epoch, 0);
     }
 }

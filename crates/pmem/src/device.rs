@@ -1,8 +1,9 @@
 //! The simulated persistent-memory device.
 
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 
-use crate::crash::{CrashImage, CrashPolicy};
+use crate::crash::{CrashControl, CrashCtl, CrashImage, CrashPlan, CrashPolicy, CrashTrigger};
 use crate::geometry::{
     channel_of_xpline, line_of, line_start, lines_touching, xpline_of_line, CACHE_LINE,
     PERSIST_WORD,
@@ -85,11 +86,20 @@ pub struct PmemDevice {
     clock_ns: u64,
     timing: TimingMode,
     stats: PmemStats,
-    /// Fault injection: remaining persistence-affecting operations before a
-    /// crash image is captured (see [`Self::arm_crash`]).
-    crash_fuel: Option<u64>,
-    armed_policy: CrashPolicy,
-    fired_image: Option<CrashImage>,
+    /// Fuel-triggered plan armed: lets [`Self::tick_fuel`] skip the crash
+    /// state entirely on unarmed devices (one flag read per persistence
+    /// op). `Cell`/`RefCell` rather than plain fields so the unified
+    /// [`CrashControl`] surface works through `&self` on both device
+    /// flavours; this device is single-threaded, so interior mutability
+    /// costs a flag check, not a lock.
+    fuel_armed: Cell<bool>,
+    /// Labeled/observe plan armed: [`CrashControl::crash_point`] is a
+    /// single flag read when this is clear — the disarmed cost of a
+    /// labeled site.
+    site_armed: Cell<bool>,
+    /// Fault-injection state machine (plan, fired image, site-hit counts,
+    /// capture epoch) shared with [`crate::SharedPmemDevice`].
+    crash: RefCell<CrashCtl>,
     /// Reusable flush-plan scratch for [`Self::clwb_ranges`]: cleared, not
     /// freed, between commits so steady-state flush planning is
     /// allocation-free.
@@ -112,9 +122,9 @@ impl PmemDevice {
             clock_ns: 0,
             timing: TimingMode::On,
             stats: PmemStats::default(),
-            crash_fuel: None,
-            armed_policy: CrashPolicy::AllLost,
-            fired_image: None,
+            fuel_armed: Cell::new(false),
+            site_armed: Cell::new(false),
+            crash: RefCell::new(CrashCtl::default()),
             line_scratch: Vec::new(),
         }
     }
@@ -165,41 +175,34 @@ impl PmemDevice {
         }
     }
 
-    /// Arms fault injection: a crash image under `policy` is captured
-    /// immediately **before** the `after_ops`-th subsequent
-    /// persistence-affecting operation (stores, flushes, fences — reads and
-    /// timing-off operations do not count). Execution then continues
-    /// normally; the captured image is retrieved with
-    /// [`Self::take_fired_image`]. This is how test drivers crash a runtime
-    /// *inside* its commit sequence (e.g. between a log flush and its
-    /// fence).
+    /// Arms fault injection with a fuel count (legacy shim).
+    #[deprecated(since = "0.7.0", note = "arm a CrashPlan through CrashControl::arm instead")]
     pub fn arm_crash(&mut self, after_ops: u64, policy: CrashPolicy) {
-        self.crash_fuel = Some(after_ops);
-        self.armed_policy = policy;
-        self.fired_image = None;
+        CrashControl::arm(self, CrashPlan::after_ops(after_ops).with_policy(policy));
     }
 
-    /// Whether an armed crash has fired.
+    /// Whether an armed crash has fired (legacy shim).
+    #[deprecated(since = "0.7.0", note = "use CrashControl::fired instead")]
     pub fn crash_fired(&self) -> bool {
-        self.fired_image.is_some()
+        self.fired()
     }
 
-    /// Takes the captured crash image, if the armed crash fired.
+    /// Takes the captured crash image, if the armed crash fired (legacy
+    /// shim).
+    #[deprecated(since = "0.7.0", note = "use CrashControl::take_image instead")]
     pub fn take_fired_image(&mut self) -> Option<CrashImage> {
-        self.fired_image.take()
+        self.take_image()
     }
 
     fn tick_fuel(&mut self) {
-        if self.timing == TimingMode::Off {
+        if self.timing == TimingMode::Off || !self.fuel_armed.get() {
             return;
         }
-        match self.crash_fuel {
-            Some(0) if self.fired_image.is_none() => {
-                self.fired_image = Some(self.crash_with(self.armed_policy));
-            }
-            Some(0) => {}
-            Some(f) => self.crash_fuel = Some(f - 1),
-            None => {}
+        let fire = self.crash.borrow_mut().fuel_tick();
+        if let Some(policy) = fire {
+            self.fuel_armed.set(false);
+            let image = self.build_image(policy);
+            self.crash.borrow_mut().store(image);
         }
     }
 
@@ -469,6 +472,12 @@ impl PmemDevice {
         self.sfence();
     }
 
+    /// Produces a crash image under `policy` (legacy shim).
+    #[deprecated(since = "0.7.0", note = "use CrashControl::capture instead")]
+    pub fn crash_with(&self, policy: CrashPolicy) -> CrashImage {
+        self.build_image(policy)
+    }
+
     /// Produces the memory image a crash at the current instant could leave,
     /// governed by `policy`:
     ///
@@ -477,7 +486,7 @@ impl PmemDevice {
     ///   ADR drains the WPQ on power failure;
     /// * in-flight flushes and plain dirty words survive per `policy`
     ///   (cache evictions can persist any subset, at 8-byte granularity).
-    pub fn crash_with(&self, policy: CrashPolicy) -> CrashImage {
+    fn build_image(&self, policy: CrashPolicy) -> CrashImage {
         let mut image = self.persisted.clone();
         let mut rng = policy.rng();
         // Flushes already accepted into the persistence domain.
@@ -501,9 +510,9 @@ impl PmemDevice {
         CrashImage::new(image)
     }
 
-    /// Shorthand for [`Self::crash_with`]`(CrashPolicy::Random(seed))`.
+    /// Shorthand for [`CrashControl::capture`]`(CrashPolicy::Random(seed))`.
     pub fn crash(&self, seed: u64) -> CrashImage {
-        self.crash_with(CrashPolicy::Random(seed))
+        self.build_image(CrashPolicy::Random(seed))
     }
 
     /// Drains every outstanding flush and persists **all** dirty data, as an
@@ -520,6 +529,65 @@ impl PmemDevice {
             self.clwb(line_start(l));
         }
         self.sfence();
+    }
+}
+
+impl CrashControl for PmemDevice {
+    fn arm(&self, plan: CrashPlan) {
+        self.crash.borrow_mut().arm(plan);
+        match plan.trigger() {
+            CrashTrigger::AfterOps(_) => {
+                self.fuel_armed.set(true);
+                self.site_armed.set(false);
+            }
+            CrashTrigger::AtSite { .. } | CrashTrigger::Observe => {
+                self.fuel_armed.set(false);
+                self.site_armed.set(true);
+            }
+        }
+    }
+
+    fn disarm(&self) {
+        self.crash.borrow_mut().plan = None;
+        self.fuel_armed.set(false);
+        self.site_armed.set(false);
+    }
+
+    fn fired(&self) -> bool {
+        self.crash.borrow().fired.is_some()
+    }
+
+    fn fired_at(&self) -> Option<(&'static str, u64)> {
+        self.crash.borrow().fired_at
+    }
+
+    fn take_image(&self) -> Option<CrashImage> {
+        self.crash.borrow_mut().fired.take()
+    }
+
+    fn capture(&self, policy: CrashPolicy) -> CrashImage {
+        self.build_image(policy)
+    }
+
+    fn observe(&self) -> (u64, bool) {
+        let c = self.crash.borrow();
+        (c.epoch, c.fired.is_some())
+    }
+
+    fn site_hits(&self) -> Vec<(&'static str, u64)> {
+        self.crash.borrow().hits.snapshot()
+    }
+
+    fn crash_point(&self, site: &'static str) {
+        if self.timing == TimingMode::Off || !self.site_armed.get() {
+            return;
+        }
+        let fire = self.crash.borrow_mut().site_tick(site);
+        if let Some((policy, _)) = fire {
+            self.site_armed.set(false);
+            let image = self.build_image(policy);
+            self.crash.borrow_mut().store(image);
+        }
     }
 }
 
@@ -542,7 +610,7 @@ mod tests {
     fn unflushed_store_lost_in_pessimistic_crash() {
         let mut d = dev();
         d.write_u64(0, 7);
-        let img = d.crash_with(CrashPolicy::AllLost);
+        let img = d.capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(0), 0);
     }
 
@@ -550,7 +618,7 @@ mod tests {
     fn unflushed_store_survives_optimistic_crash() {
         let mut d = dev();
         d.write_u64(0, 7);
-        let img = d.crash_with(CrashPolicy::AllSurvive);
+        let img = d.capture(CrashPolicy::AllSurvive);
         assert_eq!(img.read_u64(0), 7);
     }
 
@@ -572,7 +640,7 @@ mod tests {
         d.clwb(0);
         d.write_u64(0, 2); // after the flush snapshot
         d.sfence();
-        let img = d.crash_with(CrashPolicy::AllLost);
+        let img = d.capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(0), 1);
         assert_eq!(d.read_u64(0), 2);
     }
@@ -584,7 +652,7 @@ mod tests {
         d.write_u64(0, 9);
         d.clwb(0);
         d.advance(10_000);
-        let img = d.crash_with(CrashPolicy::AllLost);
+        let img = d.capture(CrashPolicy::AllLost);
         // accepted_at <= clock because the WPQ had free slots at issue time.
         assert_eq!(img.read_u64(0), 9);
     }
@@ -659,7 +727,7 @@ mod tests {
         d.sfence();
         assert_eq!(d.now_ns(), 0);
         assert_eq!(d.stats().clwb_count, 0);
-        let img = d.crash_with(CrashPolicy::AllLost);
+        let img = d.capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(0), 5);
     }
 
@@ -687,7 +755,7 @@ mod tests {
         let mut d = dev();
         d.write_u64(64, 42);
         d.persist_range(64, 8);
-        let img = d.crash_with(CrashPolicy::AllLost);
+        let img = d.capture(CrashPolicy::AllLost);
         let mut d2 = PmemDevice::from_image(PmemConfig::new(4096), &img);
         assert_eq!(d2.read_u64(64), 42);
     }
@@ -698,7 +766,7 @@ mod tests {
         d.write_u64(0, 1);
         d.write_u64(512, 2);
         d.flush_everything();
-        let img = d.crash_with(CrashPolicy::AllLost);
+        let img = d.capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(0), 1);
         assert_eq!(img.read_u64(512), 2);
     }
@@ -714,11 +782,11 @@ mod tests {
     fn armed_crash_fires_before_nth_op() {
         let mut d = dev();
         d.write_u64(0, 1); // op 0 (not counted: arm below)
-        d.arm_crash(1, CrashPolicy::AllLost);
+        d.arm(CrashPlan::after_ops(1));
         d.write_u64(8, 2); // op executes (fuel 1 -> 0)
         d.write_u64(16, 3); // crash fires before this op
-        assert!(d.crash_fired());
-        let img = d.take_fired_image().unwrap();
+        assert!(d.fired());
+        let img = d.take_image().unwrap();
         // Nothing was flushed, AllLost: all writes gone.
         assert_eq!(img.read_u64(0), 0);
         assert_eq!(img.read_u64(8), 0);
@@ -731,10 +799,10 @@ mod tests {
     fn armed_crash_between_clwb_and_fence_loses_inflight_flush() {
         let mut d = dev();
         d.write_u64(0, 7);
-        d.arm_crash(1, CrashPolicy::AllLost);
+        d.arm(CrashPlan::after_ops(1));
         d.clwb(0); // executes; crash fires before the fence
         d.sfence();
-        let img = d.take_fired_image().unwrap();
+        let img = d.take_image().unwrap();
         // In-flight (not yet accepted) flush is lost under AllLost.
         assert_eq!(img.read_u64(0), 0);
     }
@@ -742,13 +810,13 @@ mod tests {
     #[test]
     fn armed_crash_does_not_fire_during_timing_off() {
         let mut d = dev();
-        d.arm_crash(0, CrashPolicy::AllLost);
+        d.arm(CrashPlan::after_ops(0));
         d.set_timing(TimingMode::Off);
         d.write_u64(0, 1);
-        assert!(!d.crash_fired());
+        assert!(!d.fired());
         d.set_timing(TimingMode::On);
         d.write_u64(8, 2);
-        assert!(d.crash_fired());
+        assert!(d.fired());
     }
 
     #[test]
@@ -756,8 +824,76 @@ mod tests {
         let mut d = dev();
         d.nt_store(256, &[9u8; 16]);
         d.sfence();
-        let img = d.crash_with(CrashPolicy::AllLost);
+        let img = d.capture(CrashPolicy::AllLost);
         assert_eq!(img.as_bytes()[256], 9);
         assert_eq!(d.stats().nt_stores, 1);
+    }
+
+    const SITE_A: &str = "seq/commit/flush";
+    const SITE_B: &str = "seq/commit/fence";
+
+    #[test]
+    fn crash_point_fires_at_targeted_hit() {
+        let mut d = dev();
+        d.arm(CrashPlan::at_site(SITE_A, 2));
+        d.write_u64(0, 7);
+        d.crash_point(SITE_A); // hit 1
+        assert!(!d.fired());
+        d.crash_point(SITE_B); // other site, counted but no fire
+        d.crash_point(SITE_A); // hit 2: fires here
+        assert!(d.fired());
+        assert_eq!(d.fired_at(), Some((SITE_A, 2)));
+        // AllLost + nothing flushed: the store is gone in the image.
+        assert_eq!(d.take_image().unwrap().read_u64(0), 0);
+        // Execution continued; later hits are not counted (plan consumed).
+        let hits = d.site_hits();
+        assert_eq!(hits, vec![(SITE_A, 2), (SITE_B, 1)]);
+    }
+
+    #[test]
+    fn observe_counts_sites_without_firing() {
+        let mut d = dev();
+        d.arm(CrashPlan::observe());
+        for _ in 0..3 {
+            d.crash_point(SITE_A);
+        }
+        d.write_u64(0, 1); // fuel path untouched by observe plans
+        assert!(!d.fired());
+        assert_eq!(d.site_hits(), vec![(SITE_A, 3)]);
+        assert_eq!(d.observe(), (0, false), "observe plans never bump the epoch");
+    }
+
+    #[test]
+    fn crash_point_is_inert_when_disarmed_or_fuel_armed() {
+        let mut d = dev();
+        d.crash_point(SITE_A);
+        assert!(d.site_hits().is_empty());
+        d.arm(CrashPlan::after_ops(100));
+        d.crash_point(SITE_A);
+        assert!(d.site_hits().is_empty(), "fuel plans do not count sites");
+        d.disarm();
+        d.write_u64(0, 1);
+        assert!(!d.fired());
+    }
+
+    #[test]
+    fn crash_point_respects_timing_off() {
+        let mut d = dev();
+        d.arm(CrashPlan::at_site(SITE_A, 1));
+        d.set_timing(TimingMode::Off);
+        d.crash_point(SITE_A);
+        assert!(!d.fired());
+        d.set_timing(TimingMode::On);
+        d.crash_point(SITE_A);
+        assert!(d.fired());
+    }
+
+    #[test]
+    fn site_capture_bumps_epoch_twice() {
+        let d = dev();
+        assert_eq!(d.observe(), (0, false));
+        d.arm(CrashPlan::at_site(SITE_A, 1));
+        d.crash_point(SITE_A);
+        assert_eq!(d.observe(), (2, true), "two epoch increments per capture");
     }
 }

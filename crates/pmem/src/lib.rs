@@ -47,10 +47,11 @@ mod stats;
 pub mod alloc;
 pub mod pool;
 pub mod shared;
+pub mod sites;
 
 pub use alloc::Reservation;
 pub use config::PmemConfig;
-pub use crash::{CrashImage, CrashPolicy};
+pub use crash::{CrashControl, CrashImage, CrashPlan, CrashPolicy, CrashTrigger};
 pub use device::{FenceReport, PmemDevice, TimingMode};
 pub use error::PmemError;
 pub use geometry::{

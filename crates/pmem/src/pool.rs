@@ -172,7 +172,7 @@ impl PmemPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CrashPolicy, PmemConfig};
+    use crate::{CrashControl, CrashPolicy, PmemConfig};
 
     fn pool() -> PmemPool {
         PmemPool::create(PmemDevice::new(PmemConfig::new(64 * 1024)))
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn header_survives_pessimistic_crash() {
         let p = pool();
-        let img = p.device().crash_with(CrashPolicy::AllLost);
+        let img = p.device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(0), POOL_MAGIC);
     }
 
@@ -197,7 +197,7 @@ mod tests {
         let mut p = pool();
         let off = p.alloc_direct(100, 8).unwrap();
         assert!(off >= POOL_HEADER_SIZE);
-        let img = p.device().crash_with(CrashPolicy::AllLost);
+        let img = p.device().capture(CrashPolicy::AllLost);
         assert!(img.read_u64(BUMP_OFF) as usize >= off + 100);
     }
 
@@ -205,7 +205,7 @@ mod tests {
     fn open_restores_bump_and_rejects_garbage() {
         let mut p = pool();
         let off = p.alloc_direct(64, 8).unwrap();
-        let img = p.device().crash_with(CrashPolicy::AllLost);
+        let img = p.device().capture(CrashPolicy::AllLost);
         let p2 = PmemPool::open(&img, PmemConfig::new(64 * 1024)).unwrap();
         // New allocations don't overlap the old one.
         let mut p2 = p2;
@@ -220,7 +220,7 @@ mod tests {
     fn roots_persist() {
         let mut p = pool();
         p.set_root_direct(3, 0x1234);
-        let img = p.device().crash_with(CrashPolicy::AllLost);
+        let img = p.device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(root_off(3)), 0x1234);
     }
 
@@ -230,7 +230,7 @@ mod tests {
         let r = p.reserve(64, 8).unwrap();
         assert!(r.new_bump.is_some());
         // Not persisted: a pessimistic crash reverts the bump.
-        let img = p.device().crash_with(CrashPolicy::AllLost);
+        let img = p.device().capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(BUMP_OFF), POOL_HEADER_SIZE as u64);
     }
 

@@ -20,12 +20,14 @@
 //!
 //! Crash semantics match the single-threaded device: fenced (and
 //! WPQ-accepted) flushes always survive, everything else survives per
-//! [`CrashPolicy`]. Armed crashes ([`SharedPmemDevice::arm_crash`]) capture
-//! the image *between* operations of whichever thread exhausts the fuel;
-//! concurrently committing threads observe the capture through the **crash
-//! epoch** ([`SharedPmemDevice::crash_epoch`]): a transaction whose commit
-//! fence completed with no epoch change is definitely in the image, one
-//! that overlapped a capture is a boundary case (all-or-nothing).
+//! [`CrashPolicy`]. Armed crash plans ([`CrashControl::arm`]) capture
+//! the image *between* operations of whichever thread exhausts the fuel —
+//! or at a labeled crash site ([`CrashControl::crash_point`]) when the
+//! plan targets one; concurrently committing threads observe the capture
+//! through the **crash epoch** ([`SharedPmemDevice::crash_epoch`]): a
+//! transaction whose commit fence completed with no epoch change is
+//! definitely in the image, one that overlapped a capture is a boundary
+//! case (all-or-nothing).
 //!
 //! Lock ordering (deadlock freedom): the crash mutex is only taken while
 //! holding no other lock; shard mutexes are always taken in ascending index
@@ -37,7 +39,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::alloc::{Reservation, SizeClassAllocator};
-use crate::crash::{CrashImage, CrashPolicy};
+use crate::crash::{CrashControl, CrashCtl, CrashImage, CrashPlan, CrashPolicy, CrashTrigger};
 use crate::geometry::{
     channel_of_xpline, line_of, line_start, lines_touching, xpline_of_line, CACHE_LINE,
     PERSIST_WORD,
@@ -90,21 +92,6 @@ struct WpqModel {
     depth_high_water: Vec<u64>,
 }
 
-#[derive(Debug)]
-struct CrashState {
-    fuel: Option<u64>,
-    policy: CrashPolicy,
-    fired: Option<CrashImage>,
-    /// Incremented **twice** per capture: once before the image is built
-    /// (odd ⇒ capture in progress) and once after it is stored (even ⇒
-    /// idle). Readers bracket a commit with two [`crash_observe`] calls:
-    /// `e0 == e1 && e0` even and not fired at `e0` ⇒ no capture overlapped
-    /// the commit ⇒ the commit is in any later-fired image.
-    ///
-    /// [`crash_observe`]: SharedPmemDevice::crash_observe
-    epoch: u64,
-}
-
 #[derive(Debug, Default)]
 struct AtomicStats {
     clwb_count: AtomicU64,
@@ -126,12 +113,23 @@ struct DevInner {
     pending: Mutex<Vec<PendingFlush>>,
     clock_ns: AtomicU64,
     timing_on: AtomicBool,
-    crash: Mutex<CrashState>,
-    /// Mirrors "an armed crash exists" so the per-operation fuel tick can
-    /// skip the crash mutex entirely on unarmed devices (benchmarks and
-    /// production-shaped runs): one relaxed load instead of a global lock
-    /// acquisition per persistence op.
+    /// Unified fault-injection state machine (plan, fired image, site-hit
+    /// counts, capture epoch — see [`CrashCtl`]). The epoch increments
+    /// **twice** per capture: once before the image is built (odd ⇒
+    /// capture in progress) and once after it is stored (even ⇒ idle).
+    /// Readers bracket a commit with two [`CrashControl::observe`] calls:
+    /// `e0 == e1 && e0` even and not fired at `e0` ⇒ no capture overlapped
+    /// the commit ⇒ the commit is in any later-fired image.
+    crash: Mutex<CrashCtl>,
+    /// Mirrors "a fuel-triggered plan is armed" so the per-operation fuel
+    /// tick can skip the crash mutex entirely on unarmed devices
+    /// (benchmarks and production-shaped runs): one relaxed load instead
+    /// of a global lock acquisition per persistence op.
     crash_armed: AtomicBool,
+    /// Mirrors "a labeled/observe plan is armed": the disarmed cost of a
+    /// [`CrashControl::crash_point`] call is this single load, keeping
+    /// labeled sites free on the measured commit path.
+    site_armed: AtomicBool,
     next_handle: AtomicU64,
     stats: AtomicStats,
     /// WPQ-drain waits observed at fences that completed at least one
@@ -175,13 +173,9 @@ impl SharedPmemDevice {
                 pending: Mutex::new(Vec::new()),
                 clock_ns: AtomicU64::new(0),
                 timing_on: AtomicBool::new(true),
-                crash: Mutex::new(CrashState {
-                    fuel: None,
-                    policy: CrashPolicy::AllLost,
-                    fired: None,
-                    epoch: 0,
-                }),
+                crash: Mutex::new(CrashCtl::default()),
                 crash_armed: AtomicBool::new(false),
+                site_armed: AtomicBool::new(false),
                 next_handle: AtomicU64::new(0),
                 stats: AtomicStats::default(),
                 wpq_drain_ns: Histogram::new(),
@@ -261,28 +255,23 @@ impl SharedPmemDevice {
         }
     }
 
-    /// Arms fault injection: a crash image under `policy` is captured
-    /// immediately before the `after_ops`-th subsequent persistence
-    /// operation (counting ops from **all** threads).
+    /// Arms fault injection with a fuel count (legacy shim).
+    #[deprecated(since = "0.7.0", note = "arm a CrashPlan through CrashControl::arm instead")]
     pub fn arm_crash(&self, after_ops: u64, policy: CrashPolicy) {
-        let mut c = self.inner.crash.lock().expect("crash lock");
-        c.fuel = Some(after_ops);
-        c.policy = policy;
-        c.fired = None;
-        // Published while the crash lock is held so it can never be cleared
-        // by a concurrent fuel-exhaustion tick that interleaves with a
-        // re-arm (both stores are serialized by the lock).
-        self.inner.crash_armed.store(true, Ordering::Release);
+        self.arm(CrashPlan::after_ops(after_ops).with_policy(policy));
     }
 
-    /// Whether an armed crash has fired.
+    /// Whether an armed crash has fired (legacy shim).
+    #[deprecated(since = "0.7.0", note = "use CrashControl::fired instead")]
     pub fn crash_fired(&self) -> bool {
-        self.inner.crash.lock().expect("crash lock").fired.is_some()
+        self.fired()
     }
 
-    /// Takes the captured crash image, if the armed crash fired.
+    /// Takes the captured crash image, if the armed crash fired (legacy
+    /// shim).
+    #[deprecated(since = "0.7.0", note = "use CrashControl::take_image instead")]
     pub fn take_fired_image(&self) -> Option<CrashImage> {
-        self.inner.crash.lock().expect("crash lock").fired.take()
+        self.take_image()
     }
 
     /// Raw crash-epoch counter (two increments per capture; odd while a
@@ -292,31 +281,21 @@ impl SharedPmemDevice {
         self.inner.crash.lock().expect("crash lock").epoch
     }
 
-    /// Atomically observes `(epoch, fired)`.
-    ///
-    /// The commit-bracketing protocol: observe `(e0, f0)` before starting a
-    /// transaction and `(e1, _)` after its commit fence. If `f0` is false,
-    /// `e0` is even, and `e1 == e0`, no image capture started anywhere
-    /// inside the bracket — the transaction is *definitely* contained in
-    /// any image captured later. Otherwise a capture overlapped the
-    /// transaction and it is a boundary case: recovery surfaces it entirely
-    /// or not at all.
+    /// Atomically observes `(epoch, fired)` (legacy shim).
+    #[deprecated(since = "0.7.0", note = "use CrashControl::observe instead")]
     pub fn crash_observe(&self) -> (u64, bool) {
-        let c = self.inner.crash.lock().expect("crash lock");
-        (c.epoch, c.fired.is_some())
+        self.observe()
     }
 
-    /// Produces the memory image a crash at this instant could leave (same
-    /// policy semantics as [`crate::PmemDevice::crash_with`]). Shards are
-    /// snapshot one at a time; in-flight mutations on other threads land on
-    /// one side or the other, which is exactly crash nondeterminism.
+    /// Produces a crash image under `policy` (legacy shim).
+    #[deprecated(since = "0.7.0", note = "use CrashControl::capture instead")]
     pub fn crash_with(&self, policy: CrashPolicy) -> CrashImage {
-        self.capture(policy)
+        self.build_image(policy)
     }
 
-    /// Shorthand for [`Self::crash_with`]`(CrashPolicy::Random(seed))`.
+    /// Shorthand for [`CrashControl::capture`]`(CrashPolicy::Random(seed))`.
     pub fn crash(&self, seed: u64) -> CrashImage {
-        self.crash_with(CrashPolicy::Random(seed))
+        self.build_image(CrashPolicy::Random(seed))
     }
 
     /// Copies every shard's volatile image into its persisted image — the
@@ -377,44 +356,34 @@ impl SharedPmemDevice {
         }
         // Unarmed fast path: benchmarks and production-shaped runs never
         // arm a crash, so skip the global crash mutex entirely. Threads
-        // that race an `arm_crash` may skip a tick or two before observing
+        // that race an `arm` may skip a tick or two before observing
         // the flag — harnesses arm before spawning workers (spawn
         // synchronizes), so the fuel count they request is exact.
         if !self.inner.crash_armed.load(Ordering::Acquire) {
             return;
         }
-        let (capture, policy) = {
+        let fire = {
             let mut c = self.inner.crash.lock().expect("crash lock");
-            match c.fuel {
-                Some(0) => {
-                    // Disarm before capturing so exactly one thread (this
-                    // one) performs the capture even under races. The flag
-                    // is cleared under the lock (see `arm_crash`).
-                    c.fuel = None;
-                    c.epoch += 1;
-                    self.inner.crash_armed.store(false, Ordering::Release);
-                    (true, c.policy)
-                }
-                Some(f) => {
-                    c.fuel = Some(f - 1);
-                    (false, c.policy)
-                }
-                None => (false, c.policy),
+            let fire = c.fuel_tick();
+            if fire.is_some() {
+                // Disarm before capturing so exactly one thread (this
+                // one) performs the capture even under races. The flag
+                // is cleared under the lock (see `arm`).
+                self.inner.crash_armed.store(false, Ordering::Release);
             }
+            fire
         };
-        if capture {
+        if let Some(policy) = fire {
             // Built outside the crash lock (shard locks are acquired fresh
             // below; no thread waits on the crash lock while holding a
             // shard lock). The epoch is odd during this window, so commit
             // brackets that overlap the build classify as boundary.
-            let image = self.capture(policy);
-            let mut c = self.inner.crash.lock().expect("crash lock");
-            c.fired = Some(image);
-            c.epoch += 1;
+            let image = self.build_image(policy);
+            self.inner.crash.lock().expect("crash lock").store(image);
         }
     }
 
-    fn capture(&self, policy: CrashPolicy) -> CrashImage {
+    fn build_image(&self, policy: CrashPolicy) -> CrashImage {
         // Snapshot both images shard by shard (ascending order).
         let mut volatile = Vec::with_capacity(self.inner.size);
         let mut image = Vec::with_capacity(self.inner.size);
@@ -486,6 +455,95 @@ impl SharedPmemDevice {
             stats.seq_line_hits.fetch_add(1, Ordering::Relaxed);
         }
         accepted_at
+    }
+}
+
+impl CrashControl for SharedPmemDevice {
+    fn arm(&self, plan: CrashPlan) {
+        let mut c = self.inner.crash.lock().expect("crash lock");
+        c.arm(plan);
+        // Both flags are published while the crash lock is held so they
+        // can never be cleared by a concurrent exhaustion tick that
+        // interleaves with a re-arm (all stores are serialized by the
+        // lock).
+        let (fuel, site) = match plan.trigger() {
+            CrashTrigger::AfterOps(_) => (true, false),
+            CrashTrigger::AtSite { .. } | CrashTrigger::Observe => (false, true),
+        };
+        self.inner.crash_armed.store(fuel, Ordering::Release);
+        self.inner.site_armed.store(site, Ordering::Release);
+    }
+
+    fn disarm(&self) {
+        let mut c = self.inner.crash.lock().expect("crash lock");
+        c.plan = None;
+        self.inner.crash_armed.store(false, Ordering::Release);
+        self.inner.site_armed.store(false, Ordering::Release);
+    }
+
+    fn fired(&self) -> bool {
+        self.inner.crash.lock().expect("crash lock").fired.is_some()
+    }
+
+    fn fired_at(&self) -> Option<(&'static str, u64)> {
+        self.inner.crash.lock().expect("crash lock").fired_at
+    }
+
+    fn take_image(&self) -> Option<CrashImage> {
+        self.inner.crash.lock().expect("crash lock").fired.take()
+    }
+
+    /// Produces the memory image a crash at this instant could leave (same
+    /// policy semantics as the single-threaded device). Shards are
+    /// snapshot one at a time; in-flight mutations on other threads land
+    /// on one side or the other, which is exactly crash nondeterminism.
+    fn capture(&self, policy: CrashPolicy) -> CrashImage {
+        self.build_image(policy)
+    }
+
+    /// Atomically observes `(epoch, fired)`.
+    ///
+    /// The commit-bracketing protocol: observe `(e0, f0)` before starting a
+    /// transaction and `(e1, _)` after its commit fence. If `f0` is false,
+    /// `e0` is even, and `e1 == e0`, no image capture started anywhere
+    /// inside the bracket — the transaction is *definitely* contained in
+    /// any image captured later. Otherwise a capture overlapped the
+    /// transaction and it is a boundary case: recovery surfaces it entirely
+    /// or not at all.
+    fn observe(&self) -> (u64, bool) {
+        let c = self.inner.crash.lock().expect("crash lock");
+        (c.epoch, c.fired.is_some())
+    }
+
+    fn site_hits(&self) -> Vec<(&'static str, u64)> {
+        self.inner.crash.lock().expect("crash lock").hits.snapshot()
+    }
+
+    /// Executes a labeled crash site. Disarmed (no labeled/observe plan)
+    /// cost is one relaxed-ordering flag load — the same fast-path pattern
+    /// as the fuel tick, on a separate flag so fuel sweeps and labeled
+    /// runs never pay for each other. Hit counting and target matching
+    /// happen under the crash mutex, which makes `site:hit` targeting
+    /// deterministic under any thread interleaving.
+    fn crash_point(&self, site: &'static str) {
+        if !self.inner.site_armed.load(Ordering::Acquire) || !self.timing_is_on() {
+            return;
+        }
+        let fire = {
+            let mut c = self.inner.crash.lock().expect("crash lock");
+            let fire = c.site_tick(site);
+            if fire.is_some() {
+                // Disarm under the lock: exactly one thread captures.
+                self.inner.site_armed.store(false, Ordering::Release);
+            }
+            fire
+        };
+        if let Some((policy, _)) = fire {
+            // Image built outside the crash lock; epoch is odd during the
+            // build, so overlapping commit brackets classify as boundary.
+            let image = self.build_image(policy);
+            self.inner.crash.lock().expect("crash lock").store(image);
+        }
     }
 }
 
@@ -963,6 +1021,13 @@ impl DeviceHandle {
             self.local_charge(ns);
         }
     }
+
+    /// Executes a labeled crash site on the shared device (see
+    /// [`CrashControl::crash_point`]): one relaxed flag load when no
+    /// labeled plan is armed.
+    pub fn crash_point(&self, site: &'static str) {
+        self.dev.crash_point(site);
+    }
 }
 
 /// Thread-safe persistent pool over a [`SharedPmemDevice`] — the shared
@@ -1148,7 +1213,7 @@ mod tests {
         h.write_u64(0, 7);
         h.clwb(0);
         h.sfence();
-        assert_eq!(d.crash_with(CrashPolicy::AllLost).read_u64(0), 7);
+        assert_eq!(d.capture(CrashPolicy::AllLost).read_u64(0), 7);
     }
 
     #[test]
@@ -1156,8 +1221,8 @@ mod tests {
         let d = dev();
         let h = d.handle();
         h.write_u64(0, 7);
-        assert_eq!(d.crash_with(CrashPolicy::AllLost).read_u64(0), 0);
-        assert_eq!(d.crash_with(CrashPolicy::AllSurvive).read_u64(0), 7);
+        assert_eq!(d.capture(CrashPolicy::AllLost).read_u64(0), 0);
+        assert_eq!(d.capture(CrashPolicy::AllSurvive).read_u64(0), 7);
     }
 
     #[test]
@@ -1174,7 +1239,7 @@ mod tests {
         a.sfence();
         b.write_u64(64, 3); // volatile overwrite after b's snapshot
         b.sfence();
-        let img = d.crash_with(CrashPolicy::AllLost);
+        let img = d.capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(0), 1);
         assert_eq!(img.read_u64(64), 2, "b's fence persisted b's snapshot");
     }
@@ -1219,7 +1284,7 @@ mod tests {
         h.sfence();
         assert_eq!(d.now_ns(), 0);
         assert_eq!(d.stats().clwb_count, 0);
-        assert_eq!(d.crash_with(CrashPolicy::AllLost).read_u64(0), 5);
+        assert_eq!(d.capture(CrashPolicy::AllLost).read_u64(0), 5);
     }
 
     #[test]
@@ -1227,13 +1292,13 @@ mod tests {
         let d = dev();
         let h = d.handle();
         assert_eq!(d.crash_epoch(), 0);
-        d.arm_crash(1, CrashPolicy::AllLost);
+        d.arm(CrashPlan::after_ops(1));
         h.write_u64(0, 1); // fuel 1 -> 0
         h.write_u64(8, 2); // fires before this op
-        assert!(d.crash_fired());
+        assert!(d.fired());
         assert_eq!(d.crash_epoch(), 2, "two increments per capture");
-        assert_eq!(d.crash_observe(), (2, true));
-        let img = d.take_fired_image().unwrap();
+        assert_eq!(d.observe(), (2, true));
+        let img = d.take_image().unwrap();
         assert_eq!(img.read_u64(0), 0);
         assert_eq!(h.read_u64(8), 2, "execution continues after capture");
     }
@@ -1255,7 +1320,7 @@ mod tests {
                 });
             }
         });
-        let img = d.crash_with(CrashPolicy::AllLost);
+        let img = d.capture(CrashPolicy::AllLost);
         for t in 0..4usize {
             for i in 0..64usize {
                 let a = t * 32 * 1024 + i * CACHE_LINE;
@@ -1284,7 +1349,7 @@ mod tests {
                 });
             }
         });
-        let img = d.crash_with(CrashPolicy::AllLost);
+        let img = d.capture(CrashPolicy::AllLost);
         for t in 0..32usize {
             for i in 0..16usize {
                 let a = t * 16 * 1024 + i * CACHE_LINE;
@@ -1313,7 +1378,7 @@ mod tests {
         h.write_u64(0, 1);
         h.write_u64(SHARD_BYTES + 8, 2);
         d.flush_everything();
-        let img = d.crash_with(CrashPolicy::AllLost);
+        let img = d.capture(CrashPolicy::AllLost);
         assert_eq!(img.read_u64(0), 1);
         assert_eq!(img.read_u64(SHARD_BYTES + 8), 2);
     }
@@ -1324,7 +1389,7 @@ mod tests {
         assert_eq!(pool.handle().peek_u64(0), POOL_MAGIC);
         let off = pool.alloc_direct(100, 8).unwrap();
         assert!(off >= POOL_HEADER_SIZE);
-        let img = pool.device().crash_with(CrashPolicy::AllLost);
+        let img = pool.device().capture(CrashPolicy::AllLost);
         assert!(img.read_u64(BUMP_OFF) as usize >= off + 100);
         pool.set_root_direct(3, 0x77);
         assert_eq!(pool.root(3), 0x77);
@@ -1372,8 +1437,8 @@ mod tests {
         let ranges = messy_commit(&hv);
         hv.clwb_ranges(&ranges);
         hv.sfence();
-        let a = serial.crash_with(CrashPolicy::AllLost);
-        let b = vectored.crash_with(CrashPolicy::AllLost);
+        let a = serial.capture(CrashPolicy::AllLost);
+        let b = vectored.capture(CrashPolicy::AllLost);
         for addr in [0usize, 128, 200, SHARD_BYTES - 8, SHARD_BYTES + 64] {
             assert_eq!(a.read_u64(addr), b.read_u64(addr), "divergence at {addr:#x}");
         }
@@ -1392,16 +1457,16 @@ mod tests {
         for fuel in 1u64..40 {
             let d = dev();
             let h = d.handle();
-            d.arm_crash(fuel, CrashPolicy::AllLost);
+            d.arm(CrashPlan::after_ops(fuel));
             let ranges = messy_commit(&h);
             h.clwb_ranges(&ranges);
             h.sfence();
             h.write_u64(MARKER, 0xAB);
             h.clwb(MARKER);
             h.sfence();
-            let img = match d.take_fired_image() {
+            let img = match d.take_image() {
                 Some(img) => img,
-                None => d.crash_with(CrashPolicy::AllLost),
+                None => d.capture(CrashPolicy::AllLost),
             };
             let expect = [(0usize, 1u64), (128, 3), (200, 2), (SHARD_BYTES - 8, 4)];
             if img.read_u64(MARKER) == 0xAB {
@@ -1444,8 +1509,8 @@ mod tests {
         assert_eq!(sf.clwb_count, su.clwb_count);
         assert_eq!(sf.sfence_count, su.sfence_count);
         assert_eq!(sf.lines_persisted, su.lines_persisted);
-        let a = unfused.crash_with(CrashPolicy::AllLost);
-        let b = fused.crash_with(CrashPolicy::AllLost);
+        let a = unfused.capture(CrashPolicy::AllLost);
+        let b = fused.capture(CrashPolicy::AllLost);
         for addr in [0usize, 128, 200, SHARD_BYTES - 8, SHARD_BYTES + 64] {
             assert_eq!(a.read_u64(addr), b.read_u64(addr), "divergence at {addr:#x}");
         }
@@ -1462,7 +1527,7 @@ mod tests {
         for fuel in 1u64..40 {
             let d = dev();
             let h = d.handle();
-            d.arm_crash(fuel, CrashPolicy::AllLost);
+            d.arm(CrashPlan::after_ops(fuel));
             let ranges = messy_commit(&h);
             let mut lines = Vec::new();
             crate::geometry::coalesce_lines(&ranges, &mut lines);
@@ -1470,9 +1535,9 @@ mod tests {
             h.write_u64(MARKER, 0xAB);
             h.clwb(MARKER);
             h.sfence();
-            let img = match d.take_fired_image() {
+            let img = match d.take_image() {
                 Some(img) => img,
-                None => d.crash_with(CrashPolicy::AllLost),
+                None => d.capture(CrashPolicy::AllLost),
             };
             let expect = [(0usize, 1u64), (128, 3), (200, 2), (SHARD_BYTES - 8, 4)];
             if img.read_u64(MARKER) == 0xAB {
@@ -1499,13 +1564,82 @@ mod tests {
     fn crash_rearm_after_fire_still_captures() {
         let d = dev();
         let h = d.handle();
-        d.arm_crash(1, CrashPolicy::AllLost);
+        d.arm(CrashPlan::after_ops(1));
         h.write_u64(0, 7);
         h.persist_range(0, 8);
-        assert!(d.take_fired_image().is_some());
-        d.arm_crash(1, CrashPolicy::AllLost);
+        assert!(d.take_image().is_some());
+        d.arm(CrashPlan::after_ops(1));
         h.write_u64(8, 9);
         h.persist_range(8, 8);
-        assert!(d.take_fired_image().is_some());
+        assert!(d.take_image().is_some());
+    }
+
+    const SITE: &str = "mt/commit/fence";
+
+    #[test]
+    fn crash_point_targets_exact_hit_across_threads() {
+        // 4 threads each execute the same labeled site 8 times; targeting
+        // hit 13 must fire exactly once, at the 13th global execution
+        // (whichever thread lands it), with the epoch protocol observed.
+        let d = dev();
+        d.arm(CrashPlan::at_site(SITE, 13));
+        thread::scope(|s| {
+            for t in 0..4usize {
+                let h = d.handle();
+                s.spawn(move || {
+                    for i in 0..8usize {
+                        h.write_u64(t * 4096 + i * 64, 1);
+                        h.crash_point(SITE);
+                    }
+                });
+            }
+        });
+        assert!(d.fired());
+        assert_eq!(d.fired_at(), Some((SITE, 13)));
+        assert_eq!(d.crash_epoch(), 2, "two increments per capture");
+        // Hits stop counting once the plan fires.
+        let total: u64 = d.site_hits().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 13);
+    }
+
+    #[test]
+    fn observe_plan_counts_all_hits_without_firing() {
+        let d = dev();
+        d.arm(CrashPlan::observe());
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let h = d.handle();
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        h.crash_point(SITE);
+                    }
+                });
+            }
+        });
+        assert!(!d.fired());
+        assert_eq!(d.site_hits(), vec![(SITE, 32)]);
+        assert_eq!(d.observe(), (0, false), "observe never bumps the epoch");
+    }
+
+    #[test]
+    fn crash_point_disarmed_and_fuel_armed_is_inert() {
+        let d = dev();
+        let h = d.handle();
+        h.crash_point(SITE);
+        assert!(d.site_hits().is_empty());
+        d.arm(CrashPlan::after_ops(1000));
+        h.crash_point(SITE);
+        assert!(d.site_hits().is_empty(), "fuel plans do not count sites");
+        d.disarm();
+        h.write_u64(0, 1);
+        assert!(!d.fired());
+        // Timing off suppresses site captures like it does fuel ones.
+        d.arm(CrashPlan::at_site(SITE, 1));
+        d.set_timing(TimingMode::Off);
+        h.crash_point(SITE);
+        assert!(!d.fired());
+        d.set_timing(TimingMode::On);
+        h.crash_point(SITE);
+        assert!(d.fired());
     }
 }

@@ -1,0 +1,144 @@
+//! The typed `SPECPMT_*` environment-knob surface.
+//!
+//! Every environment variable the workspace reads is parsed **here, once**
+//! into a [`Knobs`] struct ([`Knobs::get`] caches the first parse for the
+//! process lifetime). Ad-hoc `std::env::var("SPECPMT_..")` calls sprinkled
+//! across crates are not allowed — a knob nobody can enumerate is a knob
+//! nobody can document, and the verify tier greps for strays.
+//!
+//! | Variable | Default | Accepted values | Meaning |
+//! |---|---|---|---|
+//! | `SPECPMT_TELEMETRY` | off | `1/true/yes/on` | Start metric registries enabled. |
+//! | `SPECPMT_TRACE` | off | `1/true/yes/on` | Start lifecycle tracers enabled. |
+//! | `SPECPMT_TRACE_CAP` | [`crate::DEFAULT_CAPACITY`] | positive integer | Per-thread trace-ring capacity (events). |
+//! | `SPECPMT_GROUP_COMMIT` | off | `1/true/yes/on` | Default the shared runtime to epoch/group commit. |
+//! | `SPECPMT_GROUP_LINGER_NS` | `0` | non-negative integer | Combiner linger budget per batch, simulated ns. |
+//! | `SPECPMT_COMMIT_BASELINE` | `results/commit_path_baseline.json` | path | Baseline file the commit-path bench compares against. |
+//! | `SPECPMT_BENCH_SMOKE` | off | set (any value) | Run benches at bounded smoke scale. |
+//! | `SPECPMT_CRASH_TARGET` | unset | `site:hit` | Deterministic crash target for the enumeration harness (1-based hit count; site names in `specpmt_pmem::sites`). |
+
+use std::sync::OnceLock;
+
+/// Reads a boolean env toggle: `1`, `true`, `yes`, `on` (case-insensitive)
+/// are truthy; unset or anything else is falsy.
+fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes" | "on"),
+        Err(_) => false,
+    }
+}
+
+/// Reads a numeric env knob; unset or unparsable values fall back to
+/// `default`.
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+/// The parsed `SPECPMT_*` knob set (see the module table for each knob's
+/// default and accepted values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Knobs {
+    /// `SPECPMT_TELEMETRY`: start metric registries enabled.
+    pub telemetry: bool,
+    /// `SPECPMT_TRACE`: start lifecycle tracers enabled.
+    pub trace: bool,
+    /// `SPECPMT_TRACE_CAP`: per-thread trace-ring capacity; `None` means
+    /// the built-in [`crate::DEFAULT_CAPACITY`].
+    pub trace_cap: Option<usize>,
+    /// `SPECPMT_GROUP_COMMIT`: default the shared runtime to group commit.
+    pub group_commit: bool,
+    /// `SPECPMT_GROUP_LINGER_NS`: combiner linger budget (simulated ns).
+    pub group_linger_ns: u64,
+    /// `SPECPMT_COMMIT_BASELINE`: override path of the commit-path
+    /// baseline JSON; `None` means the checked-in default.
+    pub commit_baseline: Option<String>,
+    /// `SPECPMT_BENCH_SMOKE`: set (to anything) runs benches at smoke
+    /// scale.
+    pub bench_smoke: bool,
+    /// `SPECPMT_CRASH_TARGET`: a `site:hit` crash target for the
+    /// deterministic enumeration harness, kept as raw strings here (this
+    /// crate sits below `specpmt-pmem`, which owns the typed `CrashPlan`
+    /// and validates the site name against its inventory).
+    pub crash_target: Option<(String, u64)>,
+}
+
+impl Knobs {
+    /// Parses the environment fresh. Prefer [`Knobs::get`] outside tests —
+    /// knobs are meant to be read once at startup.
+    pub fn from_env() -> Self {
+        let trace_cap = std::env::var("SPECPMT_TRACE_CAP")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0);
+        let commit_baseline =
+            std::env::var("SPECPMT_COMMIT_BASELINE").ok().filter(|s| !s.trim().is_empty());
+        let crash_target =
+            std::env::var("SPECPMT_CRASH_TARGET").ok().and_then(|s| Self::parse_crash_target(&s));
+        Self {
+            telemetry: env_flag("SPECPMT_TELEMETRY"),
+            trace: env_flag("SPECPMT_TRACE"),
+            trace_cap,
+            group_commit: env_flag("SPECPMT_GROUP_COMMIT"),
+            group_linger_ns: env_u64("SPECPMT_GROUP_LINGER_NS", 0),
+            commit_baseline,
+            bench_smoke: std::env::var_os("SPECPMT_BENCH_SMOKE").is_some(),
+            crash_target,
+        }
+    }
+
+    /// The process-wide knob set, parsed once on first use.
+    pub fn get() -> &'static Knobs {
+        static KNOBS: OnceLock<Knobs> = OnceLock::new();
+        KNOBS.get_or_init(Knobs::from_env)
+    }
+
+    /// Splits a `site:hit` target string; hit counts are 1-based, so `0`
+    /// (like any malformed target) is rejected. Full site-name validation
+    /// happens in `specpmt_pmem::CrashPlan::parse_target`.
+    fn parse_crash_target(s: &str) -> Option<(String, u64)> {
+        let (site, hit) = s.rsplit_once(':')?;
+        let hit: u64 = hit.trim().parse().ok()?;
+        if site.is_empty() || hit == 0 {
+            return None;
+        }
+        Some((site.to_string(), hit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_all_off() {
+        // The test runner environment must not leak SPECPMT_* settings
+        // into this assertion; construct from a scrubbed environment.
+        for (k, _) in std::env::vars() {
+            if k.starts_with("SPECPMT_") {
+                // Defaults can't be asserted under an externally-set knob.
+                return;
+            }
+        }
+        let k = Knobs::from_env();
+        assert!(!k.telemetry && !k.trace && !k.group_commit && !k.bench_smoke);
+        assert_eq!(k.trace_cap, None);
+        assert_eq!(k.group_linger_ns, 0);
+        assert_eq!(k.commit_baseline, None);
+        assert_eq!(k.crash_target, None);
+    }
+
+    #[test]
+    fn crash_target_parses_site_and_hit() {
+        assert_eq!(
+            Knobs::parse_crash_target("seq/commit/flush:2"),
+            Some(("seq/commit/flush".to_string(), 2))
+        );
+        assert_eq!(Knobs::parse_crash_target("no-colon"), None);
+        assert_eq!(Knobs::parse_crash_target("site:0"), None, "hit counts are 1-based");
+        assert_eq!(Knobs::parse_crash_target(":3"), None);
+        assert_eq!(Knobs::parse_crash_target("a/b:x"), None);
+    }
+}

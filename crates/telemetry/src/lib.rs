@@ -18,16 +18,23 @@
 //!   `ReclaimStats`, and `LockTableStats` implement so every stat block
 //!   shares one JSON schema across live runs, benches, and `inspect`.
 //!
+//! A fourth piece rides along because this crate is the workspace's leaf:
+//! [`knobs`] — the typed [`Knobs`] struct that parses every `SPECPMT_*`
+//! environment variable once at startup (re-exported by `specpmt-core` as
+//! `specpmt_core::knobs` for the upper layers).
+//!
 //! This crate sits below `specpmt-pmem` in the dependency graph and has
 //! no dependencies of its own.
 
 #![deny(missing_docs)]
 
 pub mod json;
+pub mod knobs;
 pub mod metrics;
 pub mod trace;
 
 pub use json::{JsonWriter, StatExport};
+pub use knobs::Knobs;
 pub use metrics::{
     bucket_floor, bucket_of, Histogram, HistogramSnapshot, Metric, Phase, Registry, Span, BUCKETS,
     METRIC_COUNT, METRIC_NAMES, PHASE_COUNT, PHASE_NAMES,
@@ -36,24 +43,6 @@ pub use trace::{
     EventKind, TraceEvent, TraceSnapshot, Tracer, DEFAULT_CAPACITY, EVENT_KIND_COUNT,
     EVENT_KIND_NAMES,
 };
-
-/// Reads a boolean env toggle: `1`, `true`, `yes`, `on` (case-insensitive)
-/// are truthy; unset or anything else is falsy.
-pub fn env_flag(name: &str) -> bool {
-    match std::env::var(name) {
-        Ok(v) => matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes" | "on"),
-        Err(_) => false,
-    }
-}
-
-/// Reads a numeric env knob; unset or unparsable values fall back to
-/// `default`.
-pub fn env_u64(name: &str, default: u64) -> u64 {
-    match std::env::var(name) {
-        Ok(v) => v.trim().parse().unwrap_or(default),
-        Err(_) => default,
-    }
-}
 
 /// One runtime's telemetry bundle: the metrics [`Registry`] and the event
 /// [`Tracer`], sized to the same thread count. Both start in their

@@ -276,10 +276,14 @@ pub enum Metric {
     /// Epoch batches drained (each costs one shared flush+fence; the
     /// group path's fences-per-commit is `group_batches / group_commits`).
     GroupBatches = 12,
+    /// Labeled crash-point sites hit while a site plan was armed (the
+    /// crash-enumeration harness's per-run visit count; zero in normal
+    /// operation because disarmed sites never reach telemetry).
+    CrashPoints = 13,
 }
 
 /// Number of [`Metric`] variants.
-pub const METRIC_COUNT: usize = 13;
+pub const METRIC_COUNT: usize = 14;
 
 /// JSON names for each [`Metric`], index-aligned with the enum.
 pub const METRIC_NAMES: [&str; METRIC_COUNT] = [
@@ -296,6 +300,7 @@ pub const METRIC_NAMES: [&str; METRIC_COUNT] = [
     "log_entries",
     "group_commits",
     "group_batches",
+    "crash_points",
 ];
 
 /// One thread's slice of the registry. Cache-line aligned so two threads
@@ -332,7 +337,7 @@ impl Registry {
     /// Builds a registry with one shard per thread. Honors the
     /// `SPECPMT_TELEMETRY` env toggle for the initial enabled state.
     pub fn new(threads: usize) -> Self {
-        let enabled = crate::env_flag("SPECPMT_TELEMETRY");
+        let enabled = crate::Knobs::get().telemetry;
         Self {
             enabled: AtomicBool::new(enabled),
             shards: (0..threads.max(1)).map(|_| Shard::new()).collect(),

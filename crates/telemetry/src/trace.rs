@@ -177,18 +177,14 @@ impl Tracer {
     /// state honors `SPECPMT_TRACE`; capacity honors `SPECPMT_TRACE_CAP`
     /// (events per thread, default [`DEFAULT_CAPACITY`]).
     pub fn new(threads: usize) -> Self {
-        let cap = std::env::var("SPECPMT_TRACE_CAP")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&c| c > 0)
-            .unwrap_or(DEFAULT_CAPACITY);
+        let cap = crate::Knobs::get().trace_cap.unwrap_or(DEFAULT_CAPACITY);
         Self::with_capacity(threads, cap)
     }
 
     /// Builds a tracer with an explicit per-thread ring capacity.
     pub fn with_capacity(threads: usize, cap: usize) -> Self {
         Self {
-            enabled: AtomicBool::new(crate::env_flag("SPECPMT_TRACE")),
+            enabled: AtomicBool::new(crate::Knobs::get().trace),
             epoch: Instant::now(),
             shards: (0..threads.max(1)).map(|_| Mutex::new(Ring::new(cap.max(1)))).collect(),
         }

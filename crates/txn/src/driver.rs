@@ -1,18 +1,20 @@
 //! Crash-injection test driver.
 //!
 //! The driver generates random transaction streams, executes them on any
-//! [`TxRuntime`], crashes the device at an arbitrary persistence-operation
-//! boundary (including *inside* a commit sequence, via
-//! [`specpmt_pmem::PmemDevice::arm_crash`]), runs the runtime's recovery on
-//! the crash image, and verifies atomic durability against a
-//! [`CommitOracle`]:
+//! [`TxRuntime`], crashes the device according to an armed
+//! [`CrashPlan`] — after a persistence-operation fuel budget or at the
+//! n-th hit of a labeled crash site (see [`specpmt_pmem::sites`]) — runs
+//! the runtime's recovery on the crash image, and verifies atomic
+//! durability against a [`CommitOracle`]:
 //!
 //! * every byte written by a committed transaction has its committed value;
 //! * writes of uncommitted transactions are revoked;
 //! * a transaction interrupted mid-commit may surface either entirely or
 //!   not at all — never partially.
 
-use specpmt_pmem::{CrashImage, CrashPolicy, PmemConfig, PmemDevice, PmemPool, SplitMix64};
+use specpmt_pmem::{
+    CrashControl, CrashImage, CrashPlan, CrashPolicy, PmemConfig, PmemDevice, PmemPool, SplitMix64,
+};
 
 use crate::{CommitOracle, Recover, TxRuntime};
 
@@ -80,6 +82,12 @@ pub struct ScenarioOutcome {
     pub oracle: CommitOracle,
     /// Base offset of the data region inside the pool.
     pub region_base: usize,
+    /// The `(site, hit)` a labeled plan fired at (`None` for fuel plans
+    /// or when the crash never fired).
+    pub fired_at: Option<(&'static str, u64)>,
+    /// Labeled-site hit counts observed during the run (empty for fuel
+    /// plans, which bypass site counting).
+    pub site_hits: Vec<(&'static str, u64)>,
 }
 
 /// Creates a fresh pool of `pool_bytes` with a zeroed data region of
@@ -102,19 +110,18 @@ pub fn fresh_pool_with_region(pool_bytes: usize, region_len: usize) -> (PmemPool
     (pool, base)
 }
 
-/// Executes `stream` on `rt` with a crash armed after `crash_after_ops`
-/// persistence operations, under `policy`.
+/// Executes `stream` on `rt` with `plan` armed on the device.
 ///
 /// Returns the scenario outcome. If the crash never fires (the stream ends
-/// first), `outcome.image` is `None` and all transactions committed.
+/// first, or an observe plan was armed), `outcome.image` is `None` and all
+/// transactions committed.
 pub fn run_crash_scenario<R: TxRuntime>(
     rt: &mut R,
     region_base: usize,
     stream: &[Vec<TxOp>],
-    crash_after_ops: u64,
-    policy: CrashPolicy,
+    plan: CrashPlan,
 ) -> ScenarioOutcome {
-    rt.pool_mut().device_mut().arm_crash(crash_after_ops, policy);
+    rt.pool().device().arm(plan);
     let mut oracle = CommitOracle::new();
     let mut committed = 0usize;
     let mut boundary = None;
@@ -127,14 +134,14 @@ pub fn run_crash_scenario<R: TxRuntime>(
             rt.write(region_base + op.addr, &op.data);
             oracle.write(region_base + op.addr, &op.data);
             applied.push(TxOp { addr: op.addr, data: op.data.clone() });
-            if rt.pool().device().crash_fired() {
+            if rt.pool().device().fired() {
                 // Crashed mid-transaction: all of it must be revoked.
                 oracle.abort();
                 break 'stream;
             }
         }
         rt.commit();
-        if rt.pool().device().crash_fired() {
+        if rt.pool().device().fired() {
             // Crash fired inside the commit sequence: either outcome is
             // legal, but it must be atomic.
             oracle.abort();
@@ -144,13 +151,23 @@ pub fn run_crash_scenario<R: TxRuntime>(
         oracle.commit();
         committed += 1;
         rt.maintain();
-        if rt.pool().device().crash_fired() {
+        if rt.pool().device().fired() {
             break 'stream;
         }
     }
 
-    let image = rt.pool_mut().device_mut().take_fired_image();
-    ScenarioOutcome { image, committed_txs: committed, boundary, oracle, region_base }
+    let dev = rt.pool().device();
+    let (fired_at, site_hits) = (dev.fired_at(), dev.site_hits());
+    let image = dev.take_image();
+    ScenarioOutcome {
+        image,
+        committed_txs: committed,
+        boundary,
+        oracle,
+        region_base,
+        fired_at,
+        site_hits,
+    }
 }
 
 /// Verifies a recovered image against the scenario outcome.
@@ -206,8 +223,8 @@ pub fn verify_recovered(outcome: &ScenarioOutcome, image: &CrashImage) -> Result
 
 /// End-to-end crash-atomicity check for a runtime type.
 ///
-/// Builds a pool, runs a random stream with a crash armed at
-/// `crash_after_ops`, recovers with `R::recover`, and verifies atomicity.
+/// Builds a pool, runs a random stream with `plan` armed, recovers with
+/// `R::recover`, and verifies atomicity.
 ///
 /// # Errors
 ///
@@ -215,8 +232,7 @@ pub fn verify_recovered(outcome: &ScenarioOutcome, image: &CrashImage) -> Result
 pub fn check_crash_atomicity<R, F>(
     make: F,
     spec: &StreamSpec,
-    crash_after_ops: u64,
-    policy: CrashPolicy,
+    plan: CrashPlan,
 ) -> Result<ScenarioOutcome, String>
 where
     R: TxRuntime + Recover,
@@ -232,7 +248,7 @@ where
     rt.write(base, &zeros);
     rt.commit();
     let stream = generate_stream(spec);
-    let mut outcome = run_crash_scenario(&mut rt, base, &stream, crash_after_ops, policy);
+    let mut outcome = run_crash_scenario(&mut rt, base, &stream, plan);
     if let Some(mut image) = outcome.image.take() {
         R::recover(&mut image);
         verify_recovered(&outcome, &image)?;
@@ -241,7 +257,7 @@ where
         // No crash: orderly close must leave the committed state durable
         // under the most adversarial policy.
         rt.close();
-        let mut image = rt.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut image = rt.pool().device().capture(CrashPolicy::AllLost);
         R::recover(&mut image);
         verify_recovered(&outcome, &image)?;
         outcome.image = Some(image);
@@ -280,7 +296,7 @@ mod tests {
     #[test]
     fn fresh_pool_region_is_zeroed_and_persistent() {
         let (pool, base) = fresh_pool_with_region(1 << 20, 256);
-        let img = pool.device().crash_with(CrashPolicy::AllLost);
+        let img = pool.device().capture(CrashPolicy::AllLost);
         assert!(img.read_bytes(base, 256).iter().all(|&b| b == 0));
     }
 
@@ -296,8 +312,10 @@ mod tests {
             boundary: Some(vec![TxOp { addr: 0, data: vec![1, 1] }]),
             oracle,
             region_base: base,
+            fired_at: None,
+            site_hits: Vec::new(),
         };
-        let mut img = pool.device().crash_with(CrashPolicy::AllLost);
+        let mut img = pool.device().capture(CrashPolicy::AllLost);
         img.write_bytes(base, &[1, 0]);
         let err = verify_recovered(&outcome, &img).unwrap_err();
         assert!(err.contains("partially"));

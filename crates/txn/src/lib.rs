@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod crashenum;
 pub mod driver;
 pub mod group;
 pub mod lock;
@@ -31,6 +32,7 @@ mod runtime;
 pub mod sched;
 
 pub use access::{run_tx, CommitReceipt, TxAccess};
+pub use crashenum::{enumerate, run_fuel_sweep, CaseResult, EnumConfig, EnumReport, RunSummary};
 pub use group::{GroupBatch, GroupCommitter, GroupReport, MAX_LINGER_ROUNDS};
 pub use lock::{run_interleaved_2pl, LockGuard, LockTableStats, LockedRun, SharedLockTable};
 pub use mt::{check_mt_crash_atomicity, MtScenario, TxThread};

@@ -4,7 +4,7 @@
 //! core. This module drives N actual `std::thread`s against one
 //! [`SharedPmemDevice`] and still verifies atomic durability, using the
 //! device's *crash-epoch bracketing* protocol
-//! ([`SharedPmemDevice::crash_observe`]):
+//! ([`CrashControl::observe`]):
 //!
 //! * observe `(e0, f0)` before a transaction and `(e1, _)` after its commit
 //!   fence;
@@ -19,7 +19,7 @@
 //! (at most one) boundary transaction must be all-or-nothing, and nothing
 //! else may touch the region.
 
-use specpmt_pmem::{CrashImage, CrashPolicy, SharedPmemDevice};
+use specpmt_pmem::{CrashControl, CrashImage, CrashPlan, CrashPolicy, SharedPmemDevice};
 
 use crate::driver::{verify_recovered, ScenarioOutcome, TxOp};
 use crate::CommitOracle;
@@ -53,12 +53,18 @@ pub struct MtScenario {
     pub boundary_per_thread: Vec<bool>,
     /// Whether the armed crash fired during the run.
     pub crash_fired: bool,
+    /// The `(site, hit)` a labeled plan fired at (`None` for fuel plans
+    /// or when the crash never fired).
+    pub fired_at: Option<(&'static str, u64)>,
+    /// Labeled-site hit counts observed during the run (empty for fuel
+    /// plans, which bypass site counting).
+    pub site_hits: Vec<(&'static str, u64)>,
 }
 
-/// Runs per-thread transaction streams on real OS threads with a crash
-/// armed after `crash_after_ops` persistence operations (any thread), then
-/// recovers the image with `recover` and verifies per-thread atomic
-/// durability.
+/// Runs per-thread transaction streams on real OS threads with `plan`
+/// armed on the shared device (fuel burns on any thread; labeled targets
+/// count hits globally in arrival order), then recovers the image with
+/// `recover` and verifies per-thread atomic durability.
 ///
 /// `handles[t]` drives thread `t`'s stream into the disjoint region
 /// `[thread_bases[t], thread_bases[t] + region_len)`; stream addresses are
@@ -74,15 +80,14 @@ pub struct MtScenario {
 ///
 /// Panics if `handles`, `thread_bases`, and `streams` disagree in length,
 /// or if a stream op exceeds `region_len`.
-#[allow(clippy::too_many_arguments)] // harness entry point: the scenario *is* eight knobs
+#[allow(clippy::too_many_arguments)] // harness entry point: the scenario *is* seven knobs
 pub fn check_mt_crash_atomicity<H: TxThread>(
     dev: &SharedPmemDevice,
     handles: Vec<H>,
     thread_bases: &[usize],
     region_len: usize,
     streams: &[Vec<Vec<TxOp>>],
-    crash_after_ops: u64,
-    policy: CrashPolicy,
+    plan: CrashPlan,
     recover: fn(&mut CrashImage),
 ) -> Result<MtScenario, String> {
     assert_eq!(handles.len(), streams.len(), "one handle per stream");
@@ -106,7 +111,7 @@ pub fn check_mt_crash_atomicity<H: TxThread>(
         h.commit();
     }
 
-    dev.arm_crash(crash_after_ops, policy);
+    dev.arm(plan);
 
     // Execution: real threads, epoch-bracketed commits.
     let results: Vec<ThreadOutcome> = std::thread::scope(|scope| {
@@ -117,7 +122,7 @@ pub fn check_mt_crash_atomicity<H: TxThread>(
                 let mut committed: Vec<Vec<TxOp>> = Vec::new();
                 let mut boundary: Option<Vec<TxOp>> = None;
                 for tx in stream {
-                    let (e0, f0) = dev.crash_observe();
+                    let (e0, f0) = dev.observe();
                     if f0 {
                         // Image already frozen: nothing later can be in it.
                         break;
@@ -127,7 +132,7 @@ pub fn check_mt_crash_atomicity<H: TxThread>(
                         h.write(base + op.addr, &op.data);
                     }
                     h.commit();
-                    let (e1, _) = dev.crash_observe();
+                    let (e1, _) = dev.observe();
                     if e0 % 2 == 0 && e1 == e0 {
                         committed.push(tx.clone());
                     } else {
@@ -143,12 +148,13 @@ pub fn check_mt_crash_atomicity<H: TxThread>(
 
     // Image: the fired capture, or an adversarial post-shutdown image when
     // the stream ended first.
-    let crash_fired = dev.crash_fired();
-    let mut image = match dev.take_fired_image() {
+    let crash_fired = dev.fired();
+    let (fired_at, site_hits) = (dev.fired_at(), dev.site_hits());
+    let mut image = match dev.take_image() {
         Some(img) => img,
         None => {
             dev.flush_everything();
-            dev.crash_with(CrashPolicy::AllLost)
+            dev.capture(CrashPolicy::AllLost)
         }
     };
     recover(&mut image);
@@ -174,12 +180,14 @@ pub fn check_mt_crash_atomicity<H: TxThread>(
             boundary: boundary.clone(),
             oracle,
             region_base: base,
+            fired_at,
+            site_hits: Vec::new(),
         };
         verify_recovered(&outcome, &image).map_err(|e| format!("thread {tid}: {e}"))?;
         committed_per_thread.push(committed.len());
         boundary_per_thread.push(boundary.is_some());
     }
-    Ok(MtScenario { committed_per_thread, boundary_per_thread, crash_fired })
+    Ok(MtScenario { committed_per_thread, boundary_per_thread, crash_fired, fired_at, site_hits })
 }
 
 #[cfg(test)]
@@ -237,8 +245,7 @@ mod tests {
             &[256, 512],
             64,
             &streams,
-            40,
-            CrashPolicy::AllLost,
+            CrashPlan::after_ops(40).with_policy(CrashPolicy::AllLost),
             no_recover,
         )
         .expect("single-op txs are atomic under per-op persistence");
@@ -264,8 +271,7 @@ mod tests {
                 &[256],
                 64,
                 &streams,
-                crash_after,
-                CrashPolicy::AllLost,
+                CrashPlan::after_ops(crash_after).with_policy(CrashPolicy::AllLost),
                 no_recover,
             )
             .is_err()

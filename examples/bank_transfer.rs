@@ -11,8 +11,9 @@
 
 use specpmt::baselines::{PmdkConfig, PmdkUndo, Spht, SphtConfig};
 use specpmt::core::{HashLogConfig, HashLogSpmt, SpecConfig, SpecSpmt};
-use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool};
+use specpmt::pmem::{CrashPlan, CrashPolicy, PmemConfig, PmemDevice, PmemPool};
 use specpmt::txn::{Recover, TxRuntime};
+use specpmt_pmem::CrashControl;
 
 const ACCOUNTS: usize = 16;
 const INITIAL: u64 = 1_000;
@@ -38,7 +39,9 @@ where
     }
     rt.commit();
 
-    rt.pool_mut().device_mut().arm_crash(fuel, CrashPolicy::Random(seed));
+    rt.pool_mut()
+        .device_mut()
+        .arm(CrashPlan::after_ops(fuel).with_policy(CrashPolicy::Random(seed)));
 
     let mut state = seed | 1;
     let mut step = || {
@@ -58,17 +61,17 @@ where
         }
         rt.commit();
         rt.maintain();
-        if rt.pool().device().crash_fired() {
+        if rt.pool().device().fired() {
             break;
         }
     }
 
     // Crash (or finish), recover, audit.
-    let mut image = match rt.pool_mut().device_mut().take_fired_image() {
+    let mut image = match rt.pool_mut().device_mut().take_image() {
         Some(img) => img,
         None => {
             rt.close();
-            rt.pool().device().crash_with(CrashPolicy::AllLost)
+            rt.pool().device().capture(CrashPolicy::AllLost)
         }
     };
     R::recover(&mut image);

@@ -11,6 +11,7 @@
 //!
 //! Run with: `cargo run --example concurrent`
 
+use specpmt_pmem::CrashControl;
 use std::time::Duration;
 
 use specpmt::core::{ConcurrentConfig, SpecSpmtShared};
@@ -88,7 +89,7 @@ fn main() {
 
     // 6. Crash with the most adversarial cache behaviour (no in-place data
     //    write ever reached PM) and recover from the log alone.
-    let mut image = shared.device().crash_with(CrashPolicy::AllLost);
+    let mut image = shared.device().capture(CrashPolicy::AllLost);
     SpecSpmtShared::recover(&mut image);
     for (t, &ledger) in ledgers.iter().enumerate() {
         assert_eq!(image.read_u64(ledger), TXS_PER_THREAD, "thread {t} recovered count");

@@ -7,6 +7,7 @@
 use specpmt::hwtx::{hw_pool, Ede, EdeConfig, HwSpecConfig, HwSpecPmt};
 use specpmt::pmem::CrashPolicy;
 use specpmt::txn::{Recover, TxAccess, TxRuntime};
+use specpmt_pmem::CrashControl;
 
 fn main() {
     let mut rt = HwSpecPmt::new(
@@ -54,7 +55,7 @@ fn main() {
 
     // Crash with the whole cache lost: speculative records recover the
     // hot data that was never flushed.
-    let mut image = rt.pool().device().crash_with(CrashPolicy::AllLost);
+    let mut image = rt.pool().device().capture(CrashPolicy::AllLost);
     HwSpecPmt::recover(&mut image);
     assert_eq!(image.read_u64(arr), 398);
     assert_eq!(image.read_u64(arr + 4096), 399);

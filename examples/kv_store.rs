@@ -12,6 +12,7 @@ use specpmt::baselines::{KaminoConfig, KaminoTx, NoLog, NoLogConfig, PmdkConfig,
 use specpmt::core::{SpecConfig, SpecSpmt};
 use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool};
 use specpmt::txn::{Recover, TxRuntime};
+use specpmt_pmem::CrashControl;
 
 /// A crash-atomic fixed-capacity hash map of `u64 -> u64`.
 struct PersistentKv {
@@ -88,7 +89,7 @@ where
     assert_eq!(kv.get(&mut rt, 123_456), None);
 
     // Crash + recover: latest committed values must survive.
-    let mut image = rt.pool().device().crash_with(CrashPolicy::AllLost);
+    let mut image = rt.pool().device().capture(CrashPolicy::AllLost);
     R::recover(&mut image);
     if rt.crash_consistent() {
         let idx_base = kv.base;

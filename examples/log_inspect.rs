@@ -11,6 +11,7 @@ use specpmt::core::{inspect_image, SpecConfig, SpecSpmt};
 use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool};
 use specpmt::telemetry::StatExport;
 use specpmt::txn::{Recover, TxAccess, TxRuntime};
+use specpmt_pmem::CrashControl;
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
@@ -33,7 +34,7 @@ fn main() {
     rt.begin();
     rt.write_u64(a + 8, 0xFFFF);
 
-    let mut image = rt.pool().device().crash_with(CrashPolicy::Random(7));
+    let mut image = rt.pool().device().capture(CrashPolicy::Random(7));
     if json {
         // Machine-readable: one JSON object per line (crashed, recovered).
         println!("{}", inspect_image(&image).to_json());

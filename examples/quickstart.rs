@@ -11,6 +11,7 @@
 use specpmt::core::{SpecConfig, SpecSpmt};
 use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool};
 use specpmt::txn::{Recover, TxAccess, TxRuntime};
+use specpmt_pmem::CrashControl;
 
 fn main() {
     // 1. Create a persistent pool (a simulated PM device) and the runtime.
@@ -44,7 +45,7 @@ fn main() {
     //    update DID reach PM, while nothing else was ever evicted.
     rt.begin();
     rt.write_u64(hits, 99_999);
-    let mut image = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+    let mut image = rt.pool().device().capture(CrashPolicy::AllSurvive);
 
     // 5. Recover: replay the speculative log.
     SpecSpmt::recover(&mut image);
@@ -55,7 +56,7 @@ fn main() {
     assert_eq!(misses_rec, 66);
 
     // 6. The same holds if *nothing* was evicted (pure cache-resident run):
-    let mut image = rt.pool().device().crash_with(CrashPolicy::AllLost);
+    let mut image = rt.pool().device().capture(CrashPolicy::AllLost);
     SpecSpmt::recover(&mut image);
     assert_eq!(image.read_u64(hits), 34);
     assert_eq!(image.read_u64(misses), 66);

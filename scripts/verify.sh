@@ -14,9 +14,54 @@ run cargo test -q --offline --workspace
 run cargo fmt --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Deprecation gate: the workspace declares no #[deprecated] shims and calls
-# none — the legacy LockTable / run_interleaved_locked pair is deleted.
+# Deprecation gate: in-tree code never calls a #[deprecated] shim (the
+# legacy crash-injection surface keeps shims for one release, but every
+# caller in the workspace has migrated to the CrashControl/CrashPlan API).
 run env RUSTFLAGS="-D deprecated" cargo check --offline --workspace --all-targets
+
+# Config hygiene: every SPECPMT_* environment variable is parsed exactly
+# once, in specpmt_telemetry::knobs — raw env reads elsewhere bypass the
+# documented defaults and the once-per-process parse.
+if grep -rn 'env::var' crates src examples tests benches 2>/dev/null \
+    --include='*.rs' | grep SPECPMT | grep -v 'knobs\.rs'; then
+    echo "raw SPECPMT_* env read outside specpmt_telemetry::knobs" >&2
+    exit 1
+fi
+
+# Crash-point enumeration smoke: the FIRST-style harness enumerates every
+# labeled crash site the smoke workloads reach (sequential + 4-thread
+# shared, group commit off and on), crashes at each deterministically, and
+# verifies recovery. The run must visit the ENTIRE site inventory — an
+# unvisited label means dead instrumentation or a lost code path.
+enum_out=$(mktemp)
+run cargo run --release --offline -q -p specpmt-bench --bin crashenum -- --cap 2 \
+    | tee "$enum_out"
+for key in '"bench":"crashenum"' '"passed":true' '"unvisited":[]'; do
+    grep -qF "$key" "$enum_out" ||
+        { echo "crashenum output missing key: $key" >&2; exit 1; }
+done
+if grep -q '"sites_visited":' "$enum_out"; then
+    total=$(sed 's/.*"sites_total":\([0-9]*\).*/\1/' "$enum_out")
+    visited=$(sed 's/.*"sites_visited":\([0-9]*\).*/\1/' "$enum_out")
+    [ "$total" = "$visited" ] ||
+        { echo "crashenum visited $visited of $total labeled sites" >&2; exit 1; }
+fi
+rm -f "$enum_out"
+
+# Enumerator self-test: a deliberately reordered receipt (persisted before
+# the group-commit batch fence) must be caught and the violated fence site
+# named — a crash harness that cannot catch the bug class it exists for is
+# not a harness.
+selftest_out=$(mktemp)
+echo "==> crashenum --selftest-reorder (injected ordering bug must be caught)"
+cargo run --release --offline -q -p specpmt-bench --bin crashenum -- --selftest-reorder \
+    | tee "$selftest_out" ||
+    { echo "crashenum self-test: injected ordering bug was NOT caught" >&2; exit 1; }
+for key in '"bug_caught":true' '"fence_site_named":true' 'SPECPMT_CRASH_TARGET='; do
+    grep -qF "$key" "$selftest_out" ||
+        { echo "crashenum self-test output missing key: $key" >&2; exit 1; }
+done
+rm -f "$selftest_out"
 
 # Multi-threaded STAMP smoke: every workload once at small scale on two real
 # OS threads over LockedTxHandle fleets (one JSON line per app).

@@ -9,25 +9,31 @@
 //! both SpecSPMT and SpecSPMT-DP, with and without the background
 //! reclamation daemon racing the application threads.
 
+use specpmt_pmem::CrashControl;
 use std::time::Duration;
 
 use specpmt::core::{ConcurrentConfig, LockedTxHandle, SpecSpmtShared};
-use specpmt::pmem::{CrashPolicy, PmemConfig, SharedPmemDevice, SharedPmemPool};
+use specpmt::pmem::{
+    CrashPlan, CrashPolicy, CrashTrigger, PmemConfig, SharedPmemDevice, SharedPmemPool,
+};
 use specpmt::txn::driver::{generate_stream, StreamSpec, TxOp};
-use specpmt::txn::{check_mt_crash_atomicity, run_tx, MtScenario, SharedLockTable, TxAccess};
+use specpmt::txn::{
+    check_mt_crash_atomicity, run_fuel_sweep, run_tx, MtScenario, RunSummary, SharedLockTable,
+    TxAccess,
+};
 
 const REGION_LEN: usize = 256;
 
 /// Builds a shared pool with `threads` disjoint data regions, runs one
-/// random stream per thread with a crash armed at `crash_after`, and
-/// verifies atomic durability. Returns the scenario for extra assertions.
+/// random stream per thread with `plan` armed, and verifies atomic
+/// durability. Returns the scenario for extra assertions, or the first
+/// atomicity violation.
 fn run_scenario(
     cfg: ConcurrentConfig,
-    crash_after: u64,
-    policy: CrashPolicy,
+    plan: CrashPlan,
     seed: u64,
     daemon_poll: Option<Duration>,
-) -> MtScenario {
+) -> Result<MtScenario, String> {
     let threads = cfg.threads;
     let dev = SharedPmemDevice::new(PmemConfig::new(1 << 22));
     let pool = SharedPmemPool::create(dev.clone());
@@ -56,67 +62,77 @@ fn run_scenario(
         &bases,
         REGION_LEN,
         &streams,
-        crash_after,
-        policy,
+        plan,
         SpecSpmtShared::recover,
     )
-    .unwrap_or_else(|e| {
-        panic!(
-            "atomicity violation (threads={threads} crash_after={crash_after} \
-             policy={policy:?} seed={seed}): {e}"
-        )
-    });
+    .map_err(|e| format!("threads={threads} plan={plan:?} seed={seed}: {e}"));
     if let Some(d) = daemon {
         d.stop();
     }
     out
 }
 
+/// Adapts a scenario outcome to the enumerator's per-run summary so the
+/// fuel sweeps below share [`run_fuel_sweep`]'s coverage/failure report.
+fn summarize(out: MtScenario) -> RunSummary {
+    RunSummary { fired: out.crash_fired, fired_at: out.fired_at, site_hits: out.site_hits }
+}
+
+/// Fuel used by a sweep plan, for deriving per-case seeds.
+fn fuel_of(plan: CrashPlan) -> u64 {
+    match plan.trigger() {
+        CrashTrigger::AfterOps(n) => n,
+        t => panic!("sweep plan has non-fuel trigger {t:?}"),
+    }
+}
+
+/// Sweeps `fuels` × `policies` through [`run_fuel_sweep`] so every case
+/// lands in one merged report with shared failure formatting.
+fn sweep_policies(
+    cfg_of: impl Fn() -> ConcurrentConfig,
+    fuels: &[u64],
+    policies: &[CrashPolicy],
+    seed_mul: u64,
+    daemon_poll: Option<Duration>,
+    repro: &str,
+) {
+    let mut merged = specpmt::txn::EnumReport::default();
+    for (p, &policy) in policies.iter().enumerate() {
+        let plans = CrashPlan::sweep_fuel(fuels.iter().copied(), policy);
+        let report = run_fuel_sweep(&plans, repro, |plan| {
+            let seed = fuel_of(plan).wrapping_mul(seed_mul) + p as u64;
+            run_scenario(cfg_of(), plan, seed, daemon_poll).map(summarize)
+        });
+        merged.merge(report);
+    }
+    assert!(merged.passed(), "atomicity violations:\n{}", merged.failure_lines().join("\n"));
+}
+
 #[test]
 fn specpmt_mt_sweep_all_policies() {
     for threads in [2usize, 4] {
-        for crash_after in [3u64, 17, 41, 97, 211, 4001] {
-            for (p, policy) in [
-                CrashPolicy::AllLost,
-                CrashPolicy::AllSurvive,
-                CrashPolicy::Random(crash_after ^ 0x5eed),
-            ]
-            .into_iter()
-            .enumerate()
-            {
-                run_scenario(
-                    ConcurrentConfig::default().with_threads(threads),
-                    crash_after,
-                    policy,
-                    crash_after.wrapping_mul(7) + p as u64,
-                    None,
-                );
-            }
-        }
+        sweep_policies(
+            || ConcurrentConfig::default().with_threads(threads),
+            &[3, 17, 41, 97, 211, 4001],
+            &[CrashPolicy::AllLost, CrashPolicy::AllSurvive, CrashPolicy::Random(0x5eed)],
+            7,
+            None,
+            "cargo test --test concurrency specpmt_mt_sweep_all_policies",
+        );
     }
 }
 
 #[test]
 fn specpmt_dp_mt_sweep_all_policies() {
     for threads in [2usize, 4] {
-        for crash_after in [5u64, 23, 61, 131, 3001] {
-            for (p, policy) in [
-                CrashPolicy::AllLost,
-                CrashPolicy::AllSurvive,
-                CrashPolicy::Random(crash_after ^ 0xd9),
-            ]
-            .into_iter()
-            .enumerate()
-            {
-                run_scenario(
-                    ConcurrentConfig::default().dp().with_threads(threads),
-                    crash_after,
-                    policy,
-                    crash_after.wrapping_mul(13) + p as u64,
-                    None,
-                );
-            }
-        }
+        sweep_policies(
+            || ConcurrentConfig::default().dp().with_threads(threads),
+            &[5, 23, 61, 131, 3001],
+            &[CrashPolicy::AllLost, CrashPolicy::AllSurvive, CrashPolicy::Random(0xd9)],
+            13,
+            None,
+            "cargo test --test concurrency specpmt_dp_mt_sweep_all_policies",
+        );
     }
 }
 
@@ -125,38 +141,32 @@ fn specpmt_mt_sweep_with_reclaim_daemon_racing() {
     // A tiny threshold keeps the daemon compacting continuously while the
     // application threads commit — crashes may land inside a reclamation
     // cycle, exercising the two-fence splice under fire.
-    for crash_after in [29u64, 83, 241, 701] {
-        for policy in [CrashPolicy::AllLost, CrashPolicy::Random(crash_after)] {
-            let cfg = ConcurrentConfig {
-                reclaim_threshold_bytes: 2048,
-                ..ConcurrentConfig::default().with_threads(4)
-            };
-            run_scenario(
-                cfg,
-                crash_after,
-                policy,
-                crash_after + 1,
-                Some(Duration::from_micros(50)),
-            );
-        }
-    }
+    sweep_policies(
+        || ConcurrentConfig {
+            reclaim_threshold_bytes: 2048,
+            ..ConcurrentConfig::default().with_threads(4)
+        },
+        &[29, 83, 241, 701],
+        &[CrashPolicy::AllLost, CrashPolicy::Random(0x29)],
+        1,
+        Some(Duration::from_micros(50)),
+        "cargo test --test concurrency specpmt_mt_sweep_with_reclaim_daemon_racing",
+    );
 }
 
 #[test]
 fn specpmt_dp_mt_with_reclaim_daemon_racing() {
-    for crash_after in [37u64, 149, 499] {
-        let cfg = ConcurrentConfig {
+    sweep_policies(
+        || ConcurrentConfig {
             reclaim_threshold_bytes: 2048,
             ..ConcurrentConfig::default().dp().with_threads(2)
-        };
-        run_scenario(
-            cfg,
-            crash_after,
-            CrashPolicy::AllLost,
-            crash_after + 2,
-            Some(Duration::from_micros(50)),
-        );
-    }
+        },
+        &[37, 149, 499],
+        &[CrashPolicy::AllLost],
+        1,
+        Some(Duration::from_micros(50)),
+        "cargo test --test concurrency specpmt_dp_mt_with_reclaim_daemon_racing",
+    );
 }
 
 // --- racing writers on overlapping stripes ------------------------------
@@ -203,14 +213,14 @@ fn run_racing_writers(threads: usize, crash_after: u64, seed: u64) -> bool {
         }
     });
 
-    dev.arm_crash(crash_after, CrashPolicy::Random(seed ^ 0xc4a5));
+    dev.arm(CrashPlan::after_ops(crash_after).with_policy(CrashPolicy::Random(seed ^ 0xc4a5)));
     std::thread::scope(|s| {
         for (t, h) in handles.iter_mut().enumerate() {
             let dev = dev.clone();
             s.spawn(move || {
                 let mut rng = seed.wrapping_mul(31).wrapping_add(t as u64 + 1);
                 for i in 0..24u64 {
-                    if dev.crash_observe().1 {
+                    if dev.observe().1 {
                         break; // image frozen: later commits cannot be captured
                     }
                     let slot = (splitmix(&mut rng) as usize) % SLOTS;
@@ -226,12 +236,12 @@ fn run_racing_writers(threads: usize, crash_after: u64, seed: u64) -> bool {
     });
     assert_eq!(locks.held_stripes(), 0, "stripes leaked after commit/abort");
 
-    let crash_fired = dev.crash_fired();
-    let mut image = match dev.take_fired_image() {
+    let crash_fired = dev.fired();
+    let mut image = match dev.take_image() {
         Some(img) => img,
         None => {
             dev.flush_everything();
-            dev.crash_with(CrashPolicy::AllLost)
+            dev.capture(CrashPolicy::AllLost)
         }
     };
     SpecSpmtShared::recover(&mut image);
@@ -306,11 +316,11 @@ fn full_streams_commit_when_crash_never_fires() {
     // survive an adversarial post-shutdown AllLost image.
     let out = run_scenario(
         ConcurrentConfig::default().with_threads(4),
-        u64::MAX / 2,
-        CrashPolicy::AllLost,
+        CrashPlan::after_ops(u64::MAX / 2).with_policy(CrashPolicy::AllLost),
         99,
         None,
-    );
+    )
+    .expect("crash-free run verifies");
     assert!(!out.crash_fired);
     assert_eq!(out.committed_per_thread, vec![12; 4]);
     assert_eq!(out.boundary_per_thread, vec![false; 4]);
@@ -375,7 +385,7 @@ fn reclaim_watermarks_skip_idle_chains() {
 
     // Compaction preserved crash semantics: recovery from a cacheless
     // crash still replays the youngest value of every word.
-    let mut img = shared.device().crash_with(CrashPolicy::AllLost);
+    let mut img = shared.device().capture(CrashPolicy::AllLost);
     SpecSpmtShared::recover(&mut img);
     assert_eq!(img.read_u64(a), 104);
     assert_eq!(img.read_u64(a + 16), 9);

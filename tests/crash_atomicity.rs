@@ -7,7 +7,7 @@
 
 use specpmt::baselines::{PmdkConfig, PmdkUndo, Spht, SphtConfig};
 use specpmt::core::{HashLogConfig, HashLogSpmt, ReclaimMode, SpecConfig, SpecSpmt};
-use specpmt::pmem::{CrashPolicy, PmemPool};
+use specpmt::pmem::{CrashPlan, CrashPolicy, PmemPool};
 use specpmt::txn::driver::{check_crash_atomicity, StreamSpec};
 use specpmt::txn::{Recover, TxRuntime};
 
@@ -64,7 +64,8 @@ where
                 CrashPolicy::AllSurvive,
                 CrashPolicy::Random(seed * 1000 + crash_after),
             ] {
-                let outcome = check_crash_atomicity(make, &spec_stream, crash_after, policy)
+                let plan = CrashPlan::after_ops(crash_after).with_policy(policy);
+                let outcome = check_crash_atomicity(make, &spec_stream, plan)
                     .unwrap_or_else(|e| {
                         panic!(
                             "atomicity violated (seed {seed}, crash_after {crash_after}, {policy:?}): {e}"
@@ -128,7 +129,11 @@ fn specspmt_crash_mid_reclamation_recovers() {
                 },
             )
         };
-        check_crash_atomicity(make, &spec_stream, fuel, CrashPolicy::Random(fuel))
-            .unwrap_or_else(|e| panic!("mid-reclamation crash (fuel {fuel}): {e}"));
+        check_crash_atomicity(
+            make,
+            &spec_stream,
+            CrashPlan::after_ops(fuel).with_policy(CrashPolicy::Random(fuel)),
+        )
+        .unwrap_or_else(|e| panic!("mid-reclamation crash (fuel {fuel}): {e}"));
     }
 }

@@ -6,6 +6,7 @@ use specpmt::hwtx::{hw_pool, HwSpecConfig, HwSpecPmt};
 use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool};
 use specpmt::stamp::{run_app, Scale, StampApp};
 use specpmt::txn::{Recover, TxAccess, TxRuntime};
+use specpmt_pmem::CrashControl;
 
 fn pool() -> PmemPool {
     PmemPool::create(PmemDevice::new(PmemConfig::new(16 << 20)))
@@ -34,7 +35,7 @@ fn multithread_interleaving_recovers_in_commit_order() {
     rt.set_thread(2);
     rt.begin();
     rt.write_u64(a, 0xDEAD);
-    let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+    let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
     SpecSpmt::recover(&mut img);
     assert_eq!(img.read_u64(a), (rounds - 1) * 4 + 3, "youngest commit wins");
     for tid in 0..4usize {
@@ -71,7 +72,7 @@ fn multithread_reclamation_preserves_revocability() {
     rt.set_thread(1);
     rt.begin();
     rt.write_u64(a, 0xBAD);
-    let mut img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+    let mut img = rt.pool().device().capture(CrashPolicy::AllSurvive);
     SpecSpmt::recover(&mut img);
     assert_eq!(img.read_u64(a), 299, "w3 must be revoked to the last committed value");
 }
@@ -89,11 +90,11 @@ fn mode_switch_handoff() {
     }
     rt.switch_out();
     // After the switch, even a recovery-free image is fully consistent.
-    let img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+    let img = rt.pool().device().capture(CrashPolicy::AllLost);
     assert_eq!(img.read_u64(a), 16);
     assert_eq!(img.read_u64(a + 8), 17);
     // And the (now truncated) log replays to the same state.
-    let mut img2 = rt.pool().device().crash_with(CrashPolicy::AllLost);
+    let mut img2 = rt.pool().device().capture(CrashPolicy::AllLost);
     SpecSpmt::recover(&mut img2);
     assert_eq!(img2.read_u64(a), 16);
 }
@@ -107,7 +108,7 @@ fn workload_state_survives_crash_after_run() {
     assert!(run.verified.is_ok());
     let committed = run.report.tx.tx_committed;
 
-    let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+    let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
     SpecSpmt::recover(&mut img);
     // Spot-check: re-running verification against the recovered image is
     // heavyweight; instead check the reservation counter monotonicity
@@ -141,7 +142,7 @@ fn hw_spec_epoch_lifecycle_recovers() {
         rt.write_u64(a + 4096 * (2 + (round as usize % 6)), round);
         rt.commit();
     }
-    let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+    let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
     HwSpecPmt::recover(&mut img);
     assert_eq!(img.read_u64(a), 119);
     assert_eq!(img.read_u64(a + 4096), 357);
@@ -188,7 +189,7 @@ fn scheduled_2pl_run_recovers_to_oracle_state() {
     assert_eq!(outcome.committed_per_thread, vec![15, 15, 15]);
     assert_eq!(locks.held_stripes(), 0, "strict 2PL released everything");
 
-    let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+    let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
     SpecSpmt::recover(&mut img);
     outcome.oracle.verify(&img).expect("recovered state matches the schedule's oracle");
 }
@@ -224,7 +225,7 @@ fn seq_reclaim_watermarks_make_idle_cycles_noops() {
     assert_eq!(s2.chains_rewritten, 1, "idle chain -> zero rewrites");
 
     // The compacted log still recovers the youngest committed value.
-    let mut img = rt.pool().device().crash_with(CrashPolicy::AllLost);
+    let mut img = rt.pool().device().capture(CrashPolicy::AllLost);
     SpecSpmt::recover(&mut img);
     assert_eq!(img.read_u64(a), 19);
 }

@@ -6,6 +6,7 @@
 use specpmt::core::{inspect_image, PoolLayout, SpecConfig, SpecSpmt};
 use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool};
 use specpmt::txn::{Recover, TxAccess, TxRuntime};
+use specpmt_pmem::CrashControl;
 
 const POOL_BYTES: usize = 1 << 21;
 
@@ -40,7 +41,7 @@ fn every_thread_count_recovers_committed_values_under_crash_sweeps() {
             CrashPolicy::Random(0xD1CE),
         ];
         for policy in policies {
-            let mut img = rt.pool().device().crash_with(policy);
+            let mut img = rt.pool().device().capture(policy);
             SpecSpmt::recover(&mut img);
             for (tid, &slot) in slots.iter().enumerate() {
                 assert_eq!(
@@ -57,7 +58,7 @@ fn every_thread_count_recovers_committed_values_under_crash_sweeps() {
 fn inspect_round_trips_formatted_geometry() {
     for threads in [1usize, 8, 17, PoolLayout::MAX_THREADS] {
         let (rt, _) = committed_runtime(threads);
-        let img = rt.pool().device().crash_with(CrashPolicy::AllSurvive);
+        let img = rt.pool().device().capture(CrashPolicy::AllSurvive);
         let report = inspect_image(&img);
         assert!(report.valid_pool, "{threads} threads: pool magic");
         assert!(report.dynamic_layout, "{threads} threads: descriptor expected");
@@ -89,7 +90,7 @@ fn crash_mid_commit_on_thread_sixteen_of_seventeen_thread_pool() {
     rt.begin();
     rt.write_u64(slots[16], 0xDEAD);
     for seed in 0..16u64 {
-        let mut img = rt.pool().device().crash_with(CrashPolicy::Random(seed));
+        let mut img = rt.pool().device().capture(CrashPolicy::Random(seed));
         SpecSpmt::recover(&mut img);
         assert_eq!(img.read_u64(slots[16]), 0xBEEF, "seed {seed}: torn commit must not replay");
         for (tid, &slot) in slots.iter().enumerate().take(16) {

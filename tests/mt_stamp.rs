@@ -8,6 +8,7 @@ use specpmt::core::{ConcurrentConfig, LockedTxHandle, SpecSpmtShared};
 use specpmt::pmem::{PmemConfig, SharedPmemDevice, SharedPmemPool};
 use specpmt::stamp::{run_app_mt, Scale, StampApp};
 use specpmt::txn::SharedLockTable;
+use specpmt_pmem::CrashControl;
 
 const POOL_BYTES: usize = 1 << 23;
 
@@ -54,7 +55,7 @@ fn sixteen_thread_fleet_runs_past_the_legacy_cap() {
         assert_eq!(locks.held_stripes(), 0, "{} @ 16 threads: leak", app.name());
         // The pool the fleet wrote must still parse and recover as a
         // 16-thread dynamic layout.
-        let mut img = shared.pool().device().crash_with(CrashPolicy::AllLost);
+        let mut img = shared.pool().device().capture(CrashPolicy::AllLost);
         SpecSpmtShared::recover(&mut img);
         let report = specpmt::core::inspect_image(&img);
         assert!(report.dynamic_layout, "{}: dynamic layout", app.name());

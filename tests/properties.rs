@@ -7,9 +7,12 @@
 use specpmt::core::reclaim::FreshnessIndex;
 use specpmt::core::record::{encode_record, parse_chain, LogArea, LogEntry, LogRecord, PoolStore};
 use specpmt::core::{SpecConfig, SpecSpmt};
-use specpmt::pmem::{CrashPolicy, PmemConfig, PmemDevice, PmemPool, SplitMix64, TimingMode};
+use specpmt::pmem::{
+    CrashPlan, CrashPolicy, PmemConfig, PmemDevice, PmemPool, SplitMix64, TimingMode,
+};
 use specpmt::txn::driver::{check_crash_atomicity, StreamSpec};
 use specpmt::txn::{Recover, TxAccess, TxRuntime};
+use specpmt_pmem::CrashControl;
 
 /// Draws a random log record: 1–5 entries of 1–40 bytes in a 4 KiB window
 /// above the root block.
@@ -111,10 +114,14 @@ fn specspmt_crash_atomicity_random() {
                 },
             )
         };
-        check_crash_atomicity(make, &spec_stream, crash_after, CrashPolicy::Random(policy_seed))
-            .unwrap_or_else(|e| {
-                panic!("atomicity violation (seed={seed} crash_after={crash_after}): {e}")
-            });
+        check_crash_atomicity(
+            make,
+            &spec_stream,
+            CrashPlan::after_ops(crash_after).with_policy(CrashPolicy::Random(policy_seed)),
+        )
+        .unwrap_or_else(|e| {
+            panic!("atomicity violation (seed={seed} crash_after={crash_after}): {e}")
+        });
     }
 }
 
@@ -134,7 +141,7 @@ fn last_write_wins_within_tx() {
         }
         rt.commit();
         for policy in [CrashPolicy::AllLost, CrashPolicy::AllSurvive, CrashPolicy::Random(1)] {
-            let mut img = rt.pool().device().crash_with(policy);
+            let mut img = rt.pool().device().capture(policy);
             SpecSpmt::recover(&mut img);
             assert_eq!(
                 img.read_u64(a),
@@ -173,7 +180,7 @@ fn device_persistence_invariants() {
                 volatile_only.remove(&addr);
             }
         }
-        let img = dev.crash_with(CrashPolicy::AllLost);
+        let img = dev.capture(CrashPolicy::AllLost);
         for (&addr, &v) in &persisted {
             if !volatile_only.contains_key(&addr) {
                 assert_eq!(img.read_u64(addr), v, "fenced write lost at {addr} (seed={seed})");
@@ -239,8 +246,7 @@ fn concurrent_crash_atomicity_random() {
             &bases,
             region_len,
             &streams,
-            crash_after,
-            policy,
+            CrashPlan::after_ops(crash_after).with_policy(policy),
             SpecSpmtShared::recover,
         )
         .unwrap_or_else(|e| {
