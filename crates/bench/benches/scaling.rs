@@ -32,7 +32,7 @@ use specpmt_bench::{
     stripe_bytes_arg, threads_arg,
 };
 use specpmt_core::{ConcurrentConfig, SpecSpmtShared};
-use specpmt_pmem::{PmemConfig, SharedPmemDevice, SharedPmemPool};
+use specpmt_pmem::PmemConfig;
 use specpmt_stamp::Scale;
 use specpmt_telemetry::JsonWriter;
 use specpmt_txn::TxAccess;
@@ -58,14 +58,10 @@ fn run_scale(threads: usize, txs_per_thread: u64, daemon: bool) -> ScalePoint {
     // bandwidth, or no amount of concurrency could scale; and with eight
     // log streams there must be enough channels that streams rarely shear
     // each other's sequential-write window.
-    let dev = SharedPmemDevice::new(PmemConfig::new(64 << 20).with_media_channels(12));
-    let pool = SharedPmemPool::create(dev);
-    let cfg = ConcurrentConfig {
-        threads,
-        reclaim_threshold_bytes: 256 * 1024,
-        ..ConcurrentConfig::default()
-    };
-    let shared = SpecSpmtShared::new(pool, cfg);
+    let shared = SpecSpmtShared::open_or_format(
+        PmemConfig::new(64 << 20).with_media_channels(12),
+        ConcurrentConfig::builder().threads(threads).reclaim_threshold_bytes(256 * 1024).build(),
+    );
     // Host-side metrics never touch the simulated timeline, so enabling
     // them does not move `sim_commits_per_ms`.
     shared.telemetry().set_enabled(true);

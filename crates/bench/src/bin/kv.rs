@@ -1,0 +1,225 @@
+//! KV front-end benchmark: the service-shaped proof point for SpecPMT.
+//!
+//! Three sections, each emitting `{"bench":"kv",...}` JSON lines that
+//! `scripts/bench.sh` captures into `BENCH_kv.json`:
+//!
+//! 1. **Deterministic point** (`"mode":"deterministic"`, first line) — a
+//!    single worker drives a fixed-seed zipfian stream with daemons and
+//!    the SLO governor off, so every transaction replays the same
+//!    simulated-device timeline on any host. The per-op-class mean
+//!    simulated latencies (`kv_sim_ns_get` …) are what
+//!    `scripts/perf_gate.sh` holds to the tight regression tolerance;
+//!    the host-clock twins (`kv_host_ns_*`) ride along for reference.
+//! 2. **Sweep** (`"mode":"sweep"`) — shards x worker-threads x zipfian θ,
+//!    up to the headline 4-shard / 16-worker / θ=0.99 point. Each line
+//!    carries per-op-class host and simulated p50/p99/p999, per-shard
+//!    WPQ-drain and lock-wait p99 tails, and the admission counters
+//!    (under contention the SLO governor is live, so shed counts are
+//!    part of the result, not noise).
+//! 3. **Quota demo** (`"mode":"quota_demo"`) — an undersized per-tenant
+//!    window quota must shed (`rejected_quota > 0`) while every
+//!    *accepted* put survives a crash capture of each shard exactly
+//!    once; the bin asserts both, `scripts/verify.sh` re-checks the
+//!    emitted counters.
+//!
+//! `SPECPMT_BENCH_SMOKE=1` shrinks op counts and the sweep grid.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use specpmt_bench::harness::smoke_mode;
+use specpmt_core::SpecSpmtShared;
+use specpmt_kv::{AdmissionConfig, KvConfig, KvService, LoadGen, WorkloadSpec, OP_CLASSES};
+use specpmt_pmem::{CrashControl, CrashPolicy};
+
+/// Shared service shape for every section: tables sized so the default
+/// 8192-key tenant spaces stay under 50% occupancy per shard.
+fn base_config(shards: usize, workers: usize) -> KvConfig {
+    KvConfig::default()
+        .with_shards(shards)
+        .with_workers(workers)
+        .with_capacity_per_shard(1 << 13)
+        .with_pool_bytes(16 << 20)
+}
+
+/// Appends `"<class>_<kind>_{p50,p99,p999}_ns":...` for every op class.
+fn emit_quantiles(out: &mut String, svc: &KvService) {
+    for &class in &OP_CLASSES {
+        let host = svc.stats().host(class);
+        let sim = svc.stats().sim(class);
+        for (kind, snap) in [("host", &host), ("sim", &sim)] {
+            let _ = write!(
+                out,
+                ",\"{c}_{kind}_p50_ns\":{},\"{c}_{kind}_p99_ns\":{},\"{c}_{kind}_p999_ns\":{}",
+                snap.quantile(0.5),
+                snap.quantile(0.99),
+                snap.quantile(0.999),
+                c = class.as_str(),
+            );
+        }
+        let _ = write!(out, ",\"{}_completed\":{}", class.as_str(), svc.stats().completed(class));
+    }
+}
+
+/// Appends the per-shard tail diagnostics the SLO governor watches.
+fn emit_shard_tails(out: &mut String, svc: &KvService) {
+    let drains: Vec<String> = (0..svc.config().shards)
+        .map(|s| svc.shard(s).runtime().device().wpq_drain_histogram().quantile(0.99).to_string())
+        .collect();
+    let locks: Vec<String> = (0..svc.config().shards)
+        .map(|s| svc.shard(s).locks().wait_histogram().quantile(0.99).to_string())
+        .collect();
+    let _ = write!(
+        out,
+        ",\"shard_drain_p99_ns\":[{}],\"shard_lock_p99_ns\":[{}]",
+        drains.join(","),
+        locks.join(",")
+    );
+}
+
+fn emit_admission(out: &mut String, svc: &KvService) {
+    let a = svc.admission_stats();
+    let _ = write!(
+        out,
+        ",\"accepted\":{},\"rejected_quota\":{},\"rejected_slo\":{},\"shed_permille\":{}",
+        a.accepted, a.rejected_quota, a.rejected_slo, a.shed_permille
+    );
+}
+
+/// Single-worker fixed-seed run with every nondeterminism source off;
+/// the mean simulated nanoseconds per op class are host-independent.
+fn run_deterministic(ops: usize) {
+    let svc = KvService::open(base_config(2, 1).with_daemons(false).with_governor_every(0));
+    let mut gen = LoadGen::new(WorkloadSpec { key_space: 4096, ..WorkloadSpec::default() });
+    let mut w = svc.worker(0);
+    let host0 = Instant::now();
+    for _ in 0..ops {
+        let op = gen.next_op();
+        w.execute(op).expect("deterministic pass admits everything");
+    }
+    let wall = host0.elapsed();
+
+    let mut line = format!("{{\"bench\":\"kv\",\"mode\":\"deterministic\",\"ops\":{ops}");
+    for &class in &OP_CLASSES {
+        let _ = write!(
+            line,
+            ",\"kv_sim_ns_{c}\":{:.1},\"kv_host_ns_{c}\":{:.1}",
+            svc.stats().sim(class).mean(),
+            svc.stats().host(class).mean(),
+            c = class.as_str(),
+        );
+    }
+    let _ = write!(
+        line,
+        ",\"wall_ops_per_sec\":{:.0},\"completed\":{}}}",
+        ops as f64 / wall.as_secs_f64(),
+        svc.stats().completed_total()
+    );
+    println!("{line}");
+    svc.shutdown();
+}
+
+/// One sweep point: `workers` OS threads, each replaying its own seeded
+/// zipfian stream against a `shards`-way service with daemons and the
+/// SLO governor live.
+fn run_sweep_point(shards: usize, workers: usize, theta: f64, ops_per_worker: usize) {
+    let svc = KvService::open(base_config(shards, workers));
+    let spec = WorkloadSpec { theta, ..WorkloadSpec::default() };
+    let host0 = Instant::now();
+    std::thread::scope(|s| {
+        for wid in 0..workers {
+            let svc = &svc;
+            s.spawn(move || {
+                let mut gen =
+                    LoadGen::new(WorkloadSpec { seed: spec.seed ^ (wid as u64) << 32, ..spec });
+                let mut w = svc.worker(wid);
+                for _ in 0..ops_per_worker {
+                    // Open loop: rejections (quota/SLO shed) are counted by
+                    // the admission gate, not retried.
+                    let _ = w.execute(gen.next_op());
+                }
+            });
+        }
+    });
+    let wall = host0.elapsed();
+
+    let offered = workers * ops_per_worker;
+    let mut line = format!(
+        "{{\"bench\":\"kv\",\"mode\":\"sweep\",\"shards\":{shards},\"workers\":{workers},\
+         \"theta\":{theta},\"offered\":{offered}"
+    );
+    let _ = write!(
+        line,
+        ",\"completed\":{},\"wall_ops_per_sec\":{:.0}",
+        svc.stats().completed_total(),
+        offered as f64 / wall.as_secs_f64()
+    );
+    emit_admission(&mut line, &svc);
+    emit_quantiles(&mut line, &svc);
+    emit_shard_tails(&mut line, &svc);
+    line.push('}');
+    println!("{line}");
+    svc.shutdown();
+}
+
+/// Undersized per-tenant quota: most of the offered burst must be shed,
+/// and every accepted put must survive a crash capture of its shard.
+fn run_quota_demo(offered: u64) {
+    let quota = AdmissionConfig { window_ops: 256, quota_per_window: 32, ..Default::default() };
+    let svc = KvService::open(
+        base_config(2, 1).with_daemons(false).with_governor_every(0).with_admission(quota),
+    );
+    let mut w = svc.worker(0);
+    let mut accepted_puts: Vec<(u32, u64, u64)> = Vec::new();
+    for i in 0..offered {
+        let (tenant, key, value) = ((i % 2) as u32, i, i.wrapping_mul(3) | 1);
+        match w.put(tenant, key, value) {
+            Ok(()) => accepted_puts.push((tenant, key, value)),
+            Err(e) => assert_eq!(e, specpmt_kv::KvError::QuotaExceeded, "unexpected {e}"),
+        }
+    }
+    let stats = svc.admission_stats();
+    assert!(stats.rejected_quota > 0, "undersized quota must shed");
+    assert_eq!(stats.accepted as usize, accepted_puts.len());
+
+    // Exactly-once for the accepted side: capture every shard as a crash
+    // image, run recovery, and require each acknowledged put — and only
+    // the acknowledged value — to be present.
+    let mut images: Vec<_> = (0..svc.config().shards)
+        .map(|s| svc.shard(s).runtime().device().capture(CrashPolicy::AllLost))
+        .collect();
+    for img in &mut images {
+        SpecSpmtShared::recover(img);
+    }
+    for &(tenant, key, value) in &accepted_puts {
+        let shard = svc.router().shard_of(tenant, key);
+        let got = svc.shard(shard).table().get_in_image(&images[shard], tenant, key);
+        assert_eq!(got, Some(value), "accepted put (t{tenant}, k{key}) lost or mangled");
+    }
+
+    println!(
+        "{{\"bench\":\"kv\",\"mode\":\"quota_demo\",\"offered\":{offered},\"accepted\":{},\
+         \"rejected_quota\":{},\"window_ops\":256,\"quota_per_window\":32,\
+         \"accepted_survive_crash\":true}}",
+        stats.accepted, stats.rejected_quota
+    );
+    svc.shutdown();
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    run_deterministic(if smoke { 5_000 } else { 60_000 });
+
+    // Sweep up to the headline 4-shard / 16-worker / θ=0.99 point; the
+    // smoke grid keeps one contended point so the governor path still runs.
+    let grid: &[(usize, usize)] = if smoke { &[(2, 4)] } else { &[(1, 4), (2, 8), (4, 16)] };
+    let thetas: &[f64] = if smoke { &[0.99] } else { &[0.0, 0.99] };
+    let ops_per_worker = if smoke { 1_000 } else { 3_000 };
+    for &(shards, workers) in grid {
+        for &theta in thetas {
+            run_sweep_point(shards, workers, theta, ops_per_worker);
+        }
+    }
+
+    run_quota_demo(if smoke { 2_048 } else { 8_192 });
+}

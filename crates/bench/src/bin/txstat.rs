@@ -38,7 +38,7 @@ use specpmt_bench::{media_channels_arg, telemetry_block, POOL_BYTES};
 use specpmt_core::{
     ConcurrentConfig, LockedTxHandle, ReclaimMode, SpecConfig, SpecSpmt, SpecSpmtShared,
 };
-use specpmt_pmem::{PmemConfig, PmemDevice, PmemPool, SharedPmemDevice, SharedPmemPool};
+use specpmt_pmem::{PmemConfig, PmemDevice, PmemPool};
 use specpmt_telemetry::{JsonWriter, Metric, Phase};
 use specpmt_txn::{run_tx, SharedLockTable, TxAccess};
 
@@ -132,20 +132,15 @@ impl SharedOpts {
 /// and prints its per-phase line.
 fn shared_point(opts: &SharedOpts) {
     let threads = opts.threads;
-    let dev = SharedPmemDevice::new(
+    let shared = SpecSpmtShared::open_or_format(
         PmemConfig::new(POOL_BYTES)
             .with_media_channels(opts.media_channels)
             .with_wpq_entries(opts.wpq_entries),
-    );
-    let pool = SharedPmemPool::create(dev);
-    let shared = SpecSpmtShared::new(
-        pool,
-        ConcurrentConfig {
-            threads,
-            group_commit: opts.group_commit,
-            group_linger_ns: opts.linger_ns(),
-            ..ConcurrentConfig::default()
-        },
+        ConcurrentConfig::builder()
+            .threads(threads)
+            .group_commit(opts.group_commit)
+            .group_linger_ns(opts.linger_ns())
+            .build(),
     );
     let bases: Vec<usize> =
         (0..threads).map(|_| shared.pool().alloc_direct(REGION, 64).unwrap()).collect();

@@ -233,7 +233,7 @@ pub fn run_hw_suite(runtimes: &[HwRuntime], scale: Scale) -> Vec<Vec<RunReport>>
 // --- multi-threaded (real OS threads) SpecSPMT mode ------------------------
 
 use specpmt_core::{ConcurrentConfig, LockedTxHandle, PoolLayout, SpecSpmtShared};
-use specpmt_pmem::{SharedPmemDevice, SharedPmemPool};
+
 use specpmt_stamp::{run_app_mt, MtAppRun};
 use specpmt_telemetry::JsonWriter;
 use specpmt_txn::{LockTableStats, SharedLockTable};
@@ -375,11 +375,9 @@ pub fn run_spec_mt_cfg(
     scale: Scale,
     cfg: MtRunConfig,
 ) -> MtSweepPoint {
-    let dev =
-        SharedPmemDevice::new(PmemConfig::new(POOL_BYTES).with_media_channels(cfg.media_channels));
-    let shared = SpecSpmtShared::new(
-        SharedPmemPool::create(dev),
-        ConcurrentConfig { threads, group_commit: cfg.group_commit, ..ConcurrentConfig::default() },
+    let shared = SpecSpmtShared::open_or_format(
+        PmemConfig::new(POOL_BYTES).with_media_channels(cfg.media_channels),
+        ConcurrentConfig::builder().threads(threads).group_commit(cfg.group_commit).build(),
     );
     if cfg.telemetry {
         shared.telemetry().set_enabled(true);

@@ -105,6 +105,16 @@ impl Default for ConcurrentConfig {
 }
 
 impl ConcurrentConfig {
+    /// Starts a builder seeded with the defaults (which honour the
+    /// `SPECPMT_*` knobs via [`specpmt_telemetry::Knobs`]). The builder is
+    /// the one construction path for non-default configurations — prefer
+    /// it over field-struct literals, which `scripts/verify.sh` rejects
+    /// outside this module.
+    #[must_use]
+    pub fn builder() -> ConcurrentConfigBuilder {
+        ConcurrentConfigBuilder { cfg: Self::default() }
+    }
+
     /// The SpecSPMT-DP variant of this configuration.
     #[must_use]
     pub fn dp(mut self) -> Self {
@@ -132,6 +142,119 @@ impl ConcurrentConfig {
     pub fn with_group_linger_ns(mut self, ns: u64) -> Self {
         self.group_linger_ns = ns;
         self
+    }
+}
+
+/// Builder for [`ConcurrentConfig`], started with
+/// [`ConcurrentConfig::builder`]. Every field has a setter; unset fields
+/// keep the knob-aware defaults of [`ConcurrentConfig::default`].
+///
+/// ```
+/// use specpmt_core::concurrent::{ConcurrentConfig, SpecSpmtShared};
+///
+/// let cfg = ConcurrentConfig::builder()
+///     .threads(4)
+///     .reclaim_threshold_bytes(256 * 1024)
+///     .build();
+/// let shared = SpecSpmtShared::open_or_format(4 << 20, cfg);
+/// assert_eq!(shared.config().threads, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfigBuilder {
+    cfg: ConcurrentConfig,
+}
+
+impl ConcurrentConfigBuilder {
+    /// Log block size in bytes (see [`ConcurrentConfig::block_bytes`]).
+    #[must_use]
+    pub fn block_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.block_bytes = bytes;
+        self
+    }
+
+    /// Selects (or deselects) the SpecSPMT-DP variant.
+    #[must_use]
+    pub fn data_persistence(mut self, on: bool) -> Self {
+        self.cfg.data_persistence = on;
+        self
+    }
+
+    /// Number of application threads
+    /// (1..=[`PoolLayout::MAX_THREADS`]).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Aggregate log footprint above which a reclamation cycle runs.
+    #[must_use]
+    pub fn reclaim_threshold_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.reclaim_threshold_bytes = bytes;
+        self
+    }
+
+    /// Routes commits through the epoch/group-commit path.
+    #[must_use]
+    pub fn group_commit(mut self, on: bool) -> Self {
+        self.cfg.group_commit = on;
+        self
+    }
+
+    /// Group-commit batch window in host nanoseconds.
+    #[must_use]
+    pub fn group_linger_ns(mut self, ns: u64) -> Self {
+        self.cfg.group_linger_ns = ns;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> ConcurrentConfig {
+        self.cfg
+    }
+}
+
+/// Where [`SpecSpmtShared::open_or_format`] gets its backing pool.
+///
+/// The runtime is simulation-backed, so "path or memory" resolves to one
+/// of: a fresh device of a given size, a fresh device with explicit
+/// [`PmemConfig`] timing/topology, an already-provisioned device, or an
+/// existing pool (reopened in place). Each variant converts via `From`,
+/// so call sites just pass the thing they have.
+#[derive(Debug)]
+pub enum PoolSource {
+    /// Format a fresh device of this many bytes (default timing model).
+    Bytes(usize),
+    /// Format a fresh device with this configuration.
+    Config(specpmt_pmem::PmemConfig),
+    /// Build a pool on an existing device.
+    Device(SharedPmemDevice),
+    /// Use an existing pool as-is.
+    Pool(SharedPmemPool),
+}
+
+impl From<usize> for PoolSource {
+    fn from(bytes: usize) -> Self {
+        PoolSource::Bytes(bytes)
+    }
+}
+
+impl From<specpmt_pmem::PmemConfig> for PoolSource {
+    fn from(cfg: specpmt_pmem::PmemConfig) -> Self {
+        PoolSource::Config(cfg)
+    }
+}
+
+impl From<SharedPmemDevice> for PoolSource {
+    fn from(dev: SharedPmemDevice) -> Self {
+        PoolSource::Device(dev)
+    }
+}
+
+impl From<SharedPmemPool> for PoolSource {
+    fn from(pool: SharedPmemPool) -> Self {
+        PoolSource::Pool(pool)
     }
 }
 
@@ -246,6 +369,37 @@ impl SpecSpmtShared {
             tel,
             gc,
         })
+    }
+
+    /// One-stop construction: provisions (or adopts) the backing pool from
+    /// any [`PoolSource`] — a byte size, a [`specpmt_pmem::PmemConfig`], a
+    /// device, or an existing pool — formats it for `cfg`, and returns the
+    /// runtime. This is the single construction path callers should use;
+    /// it replaces the former device/pool/new boilerplate:
+    ///
+    /// ```
+    /// use specpmt_core::concurrent::{ConcurrentConfig, SpecSpmtShared};
+    ///
+    /// let shared = SpecSpmtShared::open_or_format(
+    ///     16 << 20,
+    ///     ConcurrentConfig::builder().threads(2).build(),
+    /// );
+    /// let mut h = shared.tx_handle(0);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SpecSpmtShared::new`].
+    pub fn open_or_format(source: impl Into<PoolSource>, cfg: ConcurrentConfig) -> Arc<Self> {
+        let pool = match source.into() {
+            PoolSource::Bytes(bytes) => {
+                SharedPmemPool::create(SharedPmemDevice::new(specpmt_pmem::PmemConfig::new(bytes)))
+            }
+            PoolSource::Config(pcfg) => SharedPmemPool::create(SharedPmemDevice::new(pcfg)),
+            PoolSource::Device(dev) => SharedPmemPool::create(dev),
+            PoolSource::Pool(pool) => pool,
+        };
+        Self::new(pool, cfg)
     }
 
     /// The active configuration.
@@ -1147,12 +1301,11 @@ impl specpmt_txn::TxThread for TxHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use specpmt_pmem::{CrashControl, CrashPolicy, PmemConfig};
+    use specpmt_pmem::{CrashControl, CrashPolicy};
     use specpmt_txn::TxAccess as _;
 
     fn shared(cfg: ConcurrentConfig) -> Arc<SpecSpmtShared> {
-        let dev = SharedPmemDevice::new(PmemConfig::new(1 << 22));
-        SpecSpmtShared::new(SharedPmemPool::create(dev), cfg)
+        SpecSpmtShared::open_or_format(1usize << 22, cfg)
     }
 
     fn alloc_region(s: &Arc<SpecSpmtShared>, bytes: usize) -> usize {
@@ -1276,11 +1429,9 @@ mod tests {
 
     #[test]
     fn daemon_bounds_log_footprint() {
-        let s = shared(ConcurrentConfig {
-            threads: 2,
-            reclaim_threshold_bytes: 64 * 1024,
-            ..ConcurrentConfig::default()
-        });
+        let s = shared(
+            ConcurrentConfig::builder().threads(2).reclaim_threshold_bytes(64 * 1024).build(),
+        );
         let base = alloc_region(&s, 2 * 64);
         let daemon = s.spawn_reclaimer(Duration::from_micros(200));
         std::thread::scope(|scope| {
@@ -1490,12 +1641,13 @@ mod tests {
     /// never blocks the combiner).
     #[test]
     fn group_commit_with_reclaim_daemon() {
-        let s = shared(ConcurrentConfig {
-            threads: 2,
-            reclaim_threshold_bytes: 64 * 1024,
-            group_commit: true,
-            ..ConcurrentConfig::default()
-        });
+        let s = shared(
+            ConcurrentConfig::builder()
+                .threads(2)
+                .reclaim_threshold_bytes(64 * 1024)
+                .group_commit(true)
+                .build(),
+        );
         let base = alloc_region(&s, 2 * 64);
         let daemon = s.spawn_reclaimer(Duration::from_micros(200));
         std::thread::scope(|scope| {

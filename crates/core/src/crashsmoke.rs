@@ -24,7 +24,7 @@
 //! [`enumerate`]: specpmt_txn::enumerate
 
 use specpmt_pmem::{
-    CrashControl, CrashImage, CrashPlan, CrashPolicy, PmemConfig, SharedPmemDevice, SharedPmemPool,
+    CrashControl, CrashImage, CrashPlan, CrashPolicy, PmemConfig, SharedPmemDevice,
 };
 use specpmt_txn::driver::{
     fresh_pool_with_region, generate_stream, run_crash_scenario, verify_recovered, StreamSpec,
@@ -133,12 +133,12 @@ fn mt_value(t: usize, k: usize) -> u64 {
 /// found in the recovered image.
 pub fn run_mt_smoke(plan: CrashPlan, group_commit: bool) -> Result<RunSummary, String> {
     let dev = SharedPmemDevice::new(PmemConfig::new(1 << 22));
-    let pool = SharedPmemPool::create(dev.clone());
-    let cfg = ConcurrentConfig {
-        reclaim_threshold_bytes: 1024,
-        ..ConcurrentConfig::default().with_threads(MT_THREADS).with_group_commit(group_commit)
-    };
-    let shared = SpecSpmtShared::new(pool, cfg);
+    let cfg = ConcurrentConfig::builder()
+        .threads(MT_THREADS)
+        .group_commit(group_commit)
+        .reclaim_threshold_bytes(1024)
+        .build();
+    let shared = SpecSpmtShared::open_or_format(dev.clone(), cfg);
     let bases: Vec<usize> = (0..MT_THREADS)
         .map(|_| shared.pool().alloc_direct(MT_REGION, 64).expect("pool holds all regions"))
         .collect();

@@ -77,7 +77,8 @@ pub use specpmt_telemetry::knobs;
 
 pub use checksum::{fnv1a64, fnv1a64_reference, Fnv1a};
 pub use concurrent::{
-    ConcurrentConfig, GroupCombinerDaemon, ReclaimDaemon, SharedStats, SpecSpmtShared, TxHandle,
+    ConcurrentConfig, ConcurrentConfigBuilder, GroupCombinerDaemon, PoolSource, ReclaimDaemon,
+    SharedStats, SpecSpmtShared, TxHandle,
 };
 pub use crashsmoke::{run_mt_smoke, run_seq_smoke, run_seq_smoke_with_image};
 pub use hashlog::{HashLogConfig, HashLogSpmt};

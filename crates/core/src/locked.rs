@@ -65,11 +65,9 @@ const CONTENDED_SLAM_AFTER: u32 = 64;
 ///
 /// ```
 /// use specpmt_core::{ConcurrentConfig, LockedTxHandle, SpecSpmtShared};
-/// use specpmt_pmem::{PmemConfig, SharedPmemDevice, SharedPmemPool};
 /// use specpmt_txn::{run_tx, SharedLockTable, TxAccess};
 ///
-/// let dev = SharedPmemDevice::new(PmemConfig::new(1 << 20));
-/// let shared = SpecSpmtShared::new(SharedPmemPool::create(dev), ConcurrentConfig::default());
+/// let shared = SpecSpmtShared::open_or_format(1usize << 20, ConcurrentConfig::default());
 /// let locks = SharedLockTable::new(1 << 20, 64);
 /// let mut h = LockedTxHandle::new(shared.tx_handle(0), locks);
 /// let a = h.setup_alloc(8, 8);

@@ -2,7 +2,7 @@
 //! fault-injection plan/control API.
 //!
 //! Historically each device flavour grew its own ad-hoc injection surface
-//! (`arm_crash` / `crash_fired` / `crash_with`, fuel counts only). This
+//! (fuel-count arm/fire/capture shims, since removed). This
 //! module unifies them: a [`CrashPlan`] says *when* to crash (fuel-based
 //! [`CrashTrigger::AfterOps`], labeled [`CrashTrigger::AtSite`], or the
 //! count-only [`CrashTrigger::Observe`]) and *what survives* (a
@@ -51,7 +51,7 @@ impl CrashPolicy {
 
 /// The contents of persistent memory after a simulated crash.
 ///
-/// Produced by [`crate::PmemDevice::crash_with`]; recovery routines mutate
+/// Produced by [`CrashControl::capture`]; recovery routines mutate
 /// the image in place and verification reads it back.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrashImage {

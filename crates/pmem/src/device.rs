@@ -175,25 +175,6 @@ impl PmemDevice {
         }
     }
 
-    /// Arms fault injection with a fuel count (legacy shim).
-    #[deprecated(since = "0.7.0", note = "arm a CrashPlan through CrashControl::arm instead")]
-    pub fn arm_crash(&mut self, after_ops: u64, policy: CrashPolicy) {
-        CrashControl::arm(self, CrashPlan::after_ops(after_ops).with_policy(policy));
-    }
-
-    /// Whether an armed crash has fired (legacy shim).
-    #[deprecated(since = "0.7.0", note = "use CrashControl::fired instead")]
-    pub fn crash_fired(&self) -> bool {
-        self.fired()
-    }
-
-    /// Takes the captured crash image, if the armed crash fired (legacy
-    /// shim).
-    #[deprecated(since = "0.7.0", note = "use CrashControl::take_image instead")]
-    pub fn take_fired_image(&mut self) -> Option<CrashImage> {
-        self.take_image()
-    }
-
     fn tick_fuel(&mut self) {
         if self.timing == TimingMode::Off || !self.fuel_armed.get() {
             return;
@@ -470,12 +451,6 @@ impl PmemDevice {
     pub fn persist_range(&mut self, addr: usize, len: usize) {
         self.clwb_range(addr, len);
         self.sfence();
-    }
-
-    /// Produces a crash image under `policy` (legacy shim).
-    #[deprecated(since = "0.7.0", note = "use CrashControl::capture instead")]
-    pub fn crash_with(&self, policy: CrashPolicy) -> CrashImage {
-        self.build_image(policy)
     }
 
     /// Produces the memory image a crash at the current instant could leave,

@@ -255,42 +255,11 @@ impl SharedPmemDevice {
         }
     }
 
-    /// Arms fault injection with a fuel count (legacy shim).
-    #[deprecated(since = "0.7.0", note = "arm a CrashPlan through CrashControl::arm instead")]
-    pub fn arm_crash(&self, after_ops: u64, policy: CrashPolicy) {
-        self.arm(CrashPlan::after_ops(after_ops).with_policy(policy));
-    }
-
-    /// Whether an armed crash has fired (legacy shim).
-    #[deprecated(since = "0.7.0", note = "use CrashControl::fired instead")]
-    pub fn crash_fired(&self) -> bool {
-        self.fired()
-    }
-
-    /// Takes the captured crash image, if the armed crash fired (legacy
-    /// shim).
-    #[deprecated(since = "0.7.0", note = "use CrashControl::take_image instead")]
-    pub fn take_fired_image(&self) -> Option<CrashImage> {
-        self.take_image()
-    }
-
     /// Raw crash-epoch counter (two increments per capture; odd while a
     /// capture is in progress). See the module docs for the bracketing
     /// protocol.
     pub fn crash_epoch(&self) -> u64 {
         self.inner.crash.lock().expect("crash lock").epoch
-    }
-
-    /// Atomically observes `(epoch, fired)` (legacy shim).
-    #[deprecated(since = "0.7.0", note = "use CrashControl::observe instead")]
-    pub fn crash_observe(&self) -> (u64, bool) {
-        self.observe()
-    }
-
-    /// Produces a crash image under `policy` (legacy shim).
-    #[deprecated(since = "0.7.0", note = "use CrashControl::capture instead")]
-    pub fn crash_with(&self, policy: CrashPolicy) -> CrashImage {
-        self.build_image(policy)
     }
 
     /// Shorthand for [`CrashControl::capture`]`(CrashPolicy::Random(seed))`.

@@ -15,7 +15,7 @@ use specpmt_pmem::CrashControl;
 use std::time::Duration;
 
 use specpmt::core::{ConcurrentConfig, SpecSpmtShared};
-use specpmt::pmem::{CrashPolicy, PmemConfig, SharedPmemDevice, SharedPmemPool};
+use specpmt::pmem::CrashPolicy;
 use specpmt::txn::TxAccess;
 
 const THREADS: usize = 4;
@@ -24,14 +24,10 @@ const TXS_PER_THREAD: u64 = 500;
 fn main() {
     // 1. One shared device + pool; a concurrent runtime with a small
     //    reclamation threshold so the daemon has work to do.
-    let dev = SharedPmemDevice::new(PmemConfig::new(4 << 20));
-    let pool = SharedPmemPool::create(dev);
-    let cfg = ConcurrentConfig {
-        threads: THREADS,
-        reclaim_threshold_bytes: 16 * 1024,
-        ..ConcurrentConfig::default()
-    };
-    let shared = SpecSpmtShared::new(pool, cfg);
+    let shared = SpecSpmtShared::open_or_format(
+        4usize << 20,
+        ConcurrentConfig::builder().threads(THREADS).reclaim_threshold_bytes(16 * 1024).build(),
+    );
 
     // 2. Per-thread ledgers: [counter, checksum] pairs of u64.
     let ledgers: Vec<usize> =

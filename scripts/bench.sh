@@ -19,6 +19,11 @@
 # baseline_commit_ns_seq / speedup_seq against
 # results/commit_path_baseline.json.
 #
+# BENCH_kv.json is JSON-lines from the `kv` bin: one deterministic
+# single-worker point (per-op-class simulated means, kv_sim_ns_*, which
+# the perf gate holds to the tight tolerance), the shards x workers x
+# zipfian-theta sweep, and the undersized-quota admission demo.
+#
 # BENCH_txstat.json is JSON-lines: one per-phase breakdown object per
 # runtime/thread-count point (seq at 1/8/16 threads; shared at each count
 # with the per-commit path and the group-commit path side by side, the
@@ -50,3 +55,14 @@ cargo run --release --offline -q -p specpmt-bench --bin txstat | tee "$tmp"
 grep '"bench":"txstat"' "$tmp" > "$txout"
 [ -s "$txout" ] || { echo "error: no txstat lines captured" >&2; exit 1; }
 echo "wrote $txout"
+
+# KV front-end bench: JSON-lines — the deterministic single-worker point
+# first (kv_sim_ns_* keys, gated by scripts/perf_gate.sh against
+# results/kv_baseline.json), then the shards x workers x zipfian-theta
+# sweep with per-op-class p50/p99/p999 and admission counters, then the
+# undersized-quota shed demo.
+kvout=BENCH_kv.json
+cargo run --release --offline -q -p specpmt-bench --bin kv | tee "$tmp"
+grep '"bench":"kv"' "$tmp" > "$kvout"
+[ -s "$kvout" ] || { echo "error: no kv lines captured" >&2; exit 1; }
+echo "wrote $kvout"

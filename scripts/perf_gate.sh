@@ -4,7 +4,12 @@
 # (results/commit_path_baseline.json) and fails when a key regresses
 # beyond its tolerance. Zero dependencies (grep + awk), runs offline.
 #
-#   scripts/perf_gate.sh [current.json] [baseline.json]
+#   scripts/perf_gate.sh [current.json] [baseline.json] [kv.json] [kv_baseline.json]
+#
+# The KV pair defaults to BENCH_kv.json vs results/kv_baseline.json and is
+# gated when both files are present: the deterministic single-worker
+# kv_sim_ns_* per-op-class means replay the same simulated-device timeline
+# on any host, so they share the tight simulated tolerance.
 #
 # Two tolerance tiers, both overridable by environment:
 #
@@ -27,6 +32,8 @@ cd "$(dirname "$0")/.."
 
 cur=${1:-BENCH_commit_path.json}
 base=${2:-results/commit_path_baseline.json}
+kv_cur=${3:-BENCH_kv.json}
+kv_base=${4:-results/kv_baseline.json}
 sim_tol=${SPECPMT_GATE_SIM_TOL_PCT:-5}
 host_tol=${SPECPMT_GATE_HOST_TOL_PCT:-75}
 alloc_slack=${SPECPMT_GATE_ALLOC_SLACK:-1.0}
@@ -44,11 +51,12 @@ extract() {
 
 fail=0
 
-# gate_pct KEY TOL_PCT: relative bound, current <= baseline * (1 + tol%).
+# gate_pct KEY TOL_PCT [CUR_FILE] [BASE_FILE]: relative bound,
+# current <= baseline * (1 + tol%).
 gate_pct() {
     local key=$1 tol=$2 c b
-    c=$(extract "$cur" "$key")
-    b=$(extract "$base" "$key")
+    c=$(extract "${3:-$cur}" "$key")
+    b=$(extract "${4:-$base}" "$key")
     awk -v c="$c" -v b="$b" -v tol="$tol" -v key="$key" 'BEGIN {
         limit = b * (1 + tol / 100.0)
         pct = b > 0 ? (c / b - 1) * 100.0 : 0
@@ -82,6 +90,17 @@ gate_pct commit_ns_seq "$host_tol"
 gate_pct commit_ns_shared "$host_tol"
 gate_abs allocs_per_tx_seq "$alloc_slack"
 gate_abs allocs_per_tx_shared "$alloc_slack"
+
+# KV deterministic per-op-class simulated latencies (first line of the
+# kv capture). Skipped when either side is absent so the commit-path
+# gate still works standalone.
+if [ -r "$kv_cur" ] && [ -r "$kv_base" ]; then
+    for op in get put delete cas scan; do
+        gate_pct "kv_sim_ns_$op" "$sim_tol" "$kv_cur" "$kv_base"
+    done
+else
+    echo "perf gate: kv capture or baseline absent, skipping kv keys"
+fi
 
 if [ "$fail" -ne 0 ]; then
     echo "perf gate: FAILED — commit path regressed beyond tolerance (baseline $base)" >&2

@@ -28,6 +28,16 @@ if grep -rn 'env::var' crates src examples tests benches 2>/dev/null \
     exit 1
 fi
 
+# Construction hygiene: ConcurrentConfig is built through its builder (or
+# Default) everywhere — in-tree struct literals outside the defining
+# module bypass the builder's defaults and invariants.
+if grep -rn 'ConcurrentConfig {' crates src examples tests benches 2>/dev/null \
+    --include='*.rs' | grep -v 'crates/core/src/concurrent.rs'; then
+    echo "ConcurrentConfig struct literal outside crates/core/src/concurrent.rs" >&2
+    echo "(use ConcurrentConfig::builder() / ::default())" >&2
+    exit 1
+fi
+
 # Crash-point enumeration smoke: the FIRST-style harness enumerates every
 # labeled crash site the smoke workloads reach (sequential + 4-thread
 # shared, group commit off and on), crashes at each deterministically, and
@@ -140,6 +150,36 @@ if scripts/perf_gate.sh "$inj" >/dev/null 2>&1; then
 fi
 echo "perf gate self-test: injected regression caught, OK"
 rm -f "$inj"
+
+# KV front-end smoke: bench.sh captured the kv bin's JSON lines. The file
+# must carry the deterministic per-op-class simulated keys (gated above by
+# scripts/perf_gate.sh), the headline 4-shard / 16-worker / theta-0.99
+# sweep point with per-op-class p50/p99/p999 and per-shard tails, and the
+# undersized-quota demo showing admission control actually shedding while
+# accepted ops survive a crash capture.
+for key in '"mode":"deterministic"' '"kv_sim_ns_get"' '"kv_sim_ns_put"' \
+    '"kv_sim_ns_delete"' '"kv_sim_ns_cas"' '"kv_sim_ns_scan"' \
+    '"mode":"sweep"' '"shards":4,"workers":16,"theta":0.99' \
+    '"get_host_p50_ns"' '"get_host_p99_ns"' '"get_host_p999_ns"' \
+    '"cas_sim_p999_ns"' '"shard_drain_p99_ns"' '"shard_lock_p99_ns"' \
+    '"rejected_slo"' '"shed_permille"' \
+    '"mode":"quota_demo"' '"accepted_survive_crash":true'; do
+    grep -q "$key" BENCH_kv.json ||
+        { echo "BENCH_kv.json missing key: $key" >&2; exit 1; }
+done
+quota_rejected=$(grep '"mode":"quota_demo"' BENCH_kv.json |
+    sed 's/.*"rejected_quota":\([0-9]*\).*/\1/')
+[ "${quota_rejected:-0}" -gt 0 ] ||
+    { echo "kv quota demo shed nothing (rejected_quota=$quota_rejected)" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    run python3 -c 'import json
+[json.loads(l) for l in open("BENCH_kv.json") if l.strip()]'
+fi
+
+# KV crash smoke: crash a shard mid-CAS at a labeled commit-fence site,
+# recover the image, and require exactly-once for every definitely-acked
+# op (plus rejection of stale CAS retries after recovery).
+run cargo test -q --offline -p specpmt-kv --test crash
 
 # txstat: bench.sh also captured the per-phase profiler's JSON lines. Both
 # runtimes must report their phase breakdowns with the full telemetry block,

@@ -12,6 +12,8 @@
 //! * [`hwsim`] / [`hwtx`] — the microarchitectural model and the hardware
 //!   transaction designs (SpecHPMT, EDE, HOOP).
 //! * [`stamp`] — the nine evaluated STAMP mini-workloads.
+//! * [`kv`] — the sharded multi-tenant KV service scenario (zipfian load,
+//!   per-tenant admission control, SLO backpressure).
 //! * [`telemetry`] — zero-dependency counters, latency histograms, the
 //!   transaction event tracer, and the shared JSON export layer.
 //!
@@ -24,6 +26,7 @@ pub use specpmt_baselines as baselines;
 pub use specpmt_core as core;
 pub use specpmt_hwsim as hwsim;
 pub use specpmt_hwtx as hwtx;
+pub use specpmt_kv as kv;
 pub use specpmt_pmem as pmem;
 pub use specpmt_stamp as stamp;
 pub use specpmt_telemetry as telemetry;

@@ -142,10 +142,7 @@ fn specpmt_mt_sweep_with_reclaim_daemon_racing() {
     // application threads commit — crashes may land inside a reclamation
     // cycle, exercising the two-fence splice under fire.
     sweep_policies(
-        || ConcurrentConfig {
-            reclaim_threshold_bytes: 2048,
-            ..ConcurrentConfig::default().with_threads(4)
-        },
+        || ConcurrentConfig::builder().threads(4).reclaim_threshold_bytes(2048).build(),
         &[29, 83, 241, 701],
         &[CrashPolicy::AllLost, CrashPolicy::Random(0x29)],
         1,
@@ -157,9 +154,12 @@ fn specpmt_mt_sweep_with_reclaim_daemon_racing() {
 #[test]
 fn specpmt_dp_mt_with_reclaim_daemon_racing() {
     sweep_policies(
-        || ConcurrentConfig {
-            reclaim_threshold_bytes: 2048,
-            ..ConcurrentConfig::default().dp().with_threads(2)
+        || {
+            ConcurrentConfig::builder()
+                .threads(2)
+                .reclaim_threshold_bytes(2048)
+                .data_persistence(true)
+                .build()
         },
         &[37, 149, 499],
         &[CrashPolicy::AllLost],
