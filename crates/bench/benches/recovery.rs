@@ -1,42 +1,139 @@
-//! Recovery-time benchmark: post-crash replay cost as the log grows.
+//! Recovery-time benchmark: parallel, checkpoint-bounded replay.
 //!
-//! Output is one JSON line per log size (see `specpmt_bench::harness`).
+//! Builds one deterministic 32-chain crash image (every chain driven
+//! round-robin from a single OS thread, so commit timestamps and block
+//! placement replay identically on any host) with a checkpoint covering
+//! all but the final rounds, then recovers clones of it across the parse
+//! thread sweep with and without the checkpoint. Two claims are measured:
+//!
+//! * **Parse speedup** — chains are parsed independently, so the
+//!   deterministic cost model's parse term (the busiest worker's byte
+//!   share) shrinks near-linearly in `--threads`.
+//! * **Checkpoint bound** — a log-size sweep at fixed checkpoint lag
+//!   shows checkpointed replay cost staying flat while full replay grows
+//!   with the log.
+//!
+//! Output is JSON lines (see `specpmt_bench::harness`): one
+//! `"bench":"recovery"` summary whose `recovery_sim_ns_t{N}_{full,ckpt}`
+//! keys scripts/perf_gate.sh gates at the tight simulated tolerance
+//! against results/recovery_baseline.json, then one
+//! `"bench":"recovery/sweep"` line per log size.
+//!
+//! `-- --threads 1,8,32` overrides the parse-thread sweep.
 
-use specpmt_bench::harness::{bench_with_setup, smoke_mode};
-use specpmt_core::{ReclaimMode, SpecConfig, SpecSpmt};
-use specpmt_pmem::CrashControl;
-use specpmt_pmem::{CrashImage, CrashPolicy, PmemConfig, PmemDevice, PmemPool};
-use specpmt_txn::{Recover, TxAccess, TxRuntime};
+use std::time::Instant;
 
-/// Builds a crash image whose log holds `txs` committed transactions.
-fn image_with_log(txs: u64) -> CrashImage {
-    let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(32 << 20)));
-    let mut rt = SpecSpmt::new(
-        pool,
-        SpecConfig { reclaim_mode: ReclaimMode::Disabled, ..SpecConfig::default() },
-    );
-    let base = rt.pool_mut().alloc_direct(64 * 1024, 64).unwrap();
-    for i in 0..txs {
-        rt.begin();
-        for w in 0..4usize {
-            rt.write_u64(base + ((i as usize * 97 + w * 31) % 8000) * 8, i);
+use specpmt_bench::harness::smoke_mode;
+use specpmt_core::{ConcurrentConfig, RecoveryOptions, SpecSpmtShared};
+use specpmt_pmem::{CrashControl, CrashImage, CrashPolicy, PmemConfig, SharedPmemDevice};
+
+/// Chains in the benchmark image (also the runtime's thread count).
+const CHAINS: usize = 32;
+
+/// Builds a crash image with `CHAINS` log chains holding `rounds`
+/// committed transactions each. A checkpoint is written `tail_rounds`
+/// rounds before the end, so checkpointed recovery replays only the tail.
+/// Fully deterministic: one OS thread drives every handle round-robin.
+fn image_with_chains(rounds: usize, tail_rounds: usize) -> CrashImage {
+    let dev = SharedPmemDevice::new(PmemConfig::new(64 << 20));
+    let cfg =
+        ConcurrentConfig::builder().threads(CHAINS).reclaim_threshold_bytes(usize::MAX).build();
+    let shared = SpecSpmtShared::open_or_format(dev.clone(), cfg);
+    let bases: Vec<usize> = (0..CHAINS)
+        .map(|_| shared.pool().alloc_direct(4096, 64).expect("pool holds all regions"))
+        .collect();
+    let mut handles: Vec<_> = (0..CHAINS).map(|t| shared.tx_handle(t)).collect();
+    for r in 0..rounds {
+        if r + tail_rounds == rounds {
+            shared.write_checkpoint().expect("all chains committed");
         }
-        rt.commit();
+        for (t, h) in handles.iter_mut().enumerate() {
+            let v = (((t as u64) << 32) | r as u64).to_le_bytes();
+            h.begin();
+            // Two rotating slots per chain so compact replay still has
+            // stale bytes to skip and the checkpoint holds real runs.
+            h.write(bases[t] + (r % 16) * 64, &v);
+            h.write(bases[t] + 2048 + (r % 8) * 64, &v);
+            h.commit();
+        }
     }
-    rt.pool().device().capture(CrashPolicy::AllLost)
+    shared.close();
+    dev.capture(CrashPolicy::AllLost)
+}
+
+/// Recovers a clone of `img` under `opts`; returns (report, host_ns,
+/// recovered image) — callers assert the images agree.
+fn recover_clone(
+    img: &CrashImage,
+    opts: &RecoveryOptions,
+) -> (specpmt_core::RecoveryReport, u64, CrashImage) {
+    let mut clone = img.clone();
+    let t0 = Instant::now();
+    let report = specpmt_core::recover_image_opts(&mut clone, opts);
+    let host_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (report, host_ns, clone)
+}
+
+/// Parses `--threads 1,8,32` from the bench args (ignoring harness flags
+/// like `--test`); falls back to the default sweep.
+fn thread_sweep() -> Vec<usize> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--threads" {
+            return pair[1]
+                .split(',')
+                .map(|s| s.trim().parse().expect("--threads takes a comma-separated list"))
+                .collect();
+        }
+    }
+    vec![1, 8, 32]
 }
 
 fn main() {
-    let (samples, sizes): (usize, &[u64]) =
-        if smoke_mode() { (2, &[50]) } else { (11, &[100, 1000, 5000]) };
-    for &txs in sizes {
-        let img = image_with_log(txs);
-        // Clone in setup so the measurement covers replay only.
-        bench_with_setup(
-            &format!("recovery_replay/{txs}"),
-            samples,
-            || img.clone(),
-            |mut img| SpecSpmt::recover(&mut img),
+    let smoke = smoke_mode();
+    let (rounds, tail) = if smoke { (8, 2) } else { (64, 4) };
+    let threads = thread_sweep();
+
+    let img = image_with_chains(rounds, tail);
+    let mut fields = format!(
+        "\"bench\":\"recovery\",\"chains\":{CHAINS},\"rounds\":{rounds},\"tail_rounds\":{tail}"
+    );
+    let (serial_report, _, reference) = recover_clone(&img, &RecoveryOptions::default());
+    for &t in &threads {
+        let full = RecoveryOptions::parallel(t).without_checkpoint();
+        let (full_rep, full_host, full_img) = recover_clone(&img, &full);
+        let (ckpt_rep, ckpt_host, ckpt_img) = recover_clone(&img, &RecoveryOptions::parallel(t));
+        assert_eq!(full_img, reference, "full replay diverged at {t} parse threads");
+        assert_eq!(ckpt_img, reference, "checkpointed replay diverged at {t} parse threads");
+        assert!(ckpt_rep.checkpoint_used, "image should carry a live checkpoint");
+        let (full_sim, ckpt_sim) = (full_rep.sim_ns(), ckpt_rep.sim_ns());
+        fields.push_str(&format!(
+            ",\"recovery_sim_ns_t{t}_full\":{full_sim},\"recovery_sim_ns_t{t}_ckpt\":{ckpt_sim},\
+             \"recovery_host_ns_t{t}_full\":{full_host},\"recovery_host_ns_t{t}_ckpt\":{ckpt_host}"
+        ));
+    }
+    println!("{{{fields},\"recovery_sim_ns_serial\":{}}}", serial_report.sim_ns());
+
+    // Log-size sweep at fixed checkpoint lag: full replay cost grows with
+    // the log, checkpointed replay stays flat (bounded by the tail). The
+    // smallest point saturates the rotating write set (16 slots), so the
+    // checkpointed replay portion is byte-identical across sizes.
+    let sizes: &[usize] = if smoke { &[16, 32] } else { &[16, 64, 256] };
+    for &rounds in sizes {
+        let img = image_with_chains(rounds, tail);
+        let opts = RecoveryOptions::parallel(*threads.last().expect("non-empty sweep"));
+        let (full_rep, _, full_img) = recover_clone(&img, &opts.without_checkpoint());
+        let (ckpt_rep, _, ckpt_img) = recover_clone(&img, &opts);
+        assert_eq!(full_img, ckpt_img, "sweep divergence at {rounds} rounds");
+        println!(
+            "{{\"bench\":\"recovery/sweep\",\"rounds\":{rounds},\"full_sim_ns\":{},\
+             \"ckpt_sim_ns\":{},\"full_replay_sim_ns\":{},\"ckpt_replay_sim_ns\":{},\
+             \"records_skipped\":{}}}",
+            full_rep.sim_ns(),
+            ckpt_rep.sim_ns(),
+            full_rep.replay_sim_ns(),
+            ckpt_rep.replay_sim_ns(),
+            ckpt_rep.records_skipped_checkpoint,
         );
     }
 }

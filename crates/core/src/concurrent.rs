@@ -38,8 +38,9 @@
 //! at a time, and the free-block lock is only acquired while holding an
 //! area lock (never the reverse). Device-internal locks nest below both.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -53,10 +54,10 @@ use specpmt_txn::{CommitReceipt, GroupBatch, GroupCommitter};
 use crate::layout::PoolLayout;
 use crate::reclaim::{ReclaimState, ReclaimStats};
 use crate::record::{
-    encode_header_parts, encode_record, entry_header, parse_chain, Cursor, LogArea, SharedStore,
-    REC_HDR,
+    encode_checkpoint, encode_header_parts, encode_record, entry_header, parse_chain,
+    CheckpointRecord, Cursor, LogArea, LogEntry, SharedStore, REC_HDR,
 };
-use crate::recovery;
+use crate::recovery::{self, RecoveryOptions, RecoveryReport};
 use crate::writeset::WriteSet;
 
 /// Configuration for [`SpecSpmtShared`].
@@ -89,6 +90,12 @@ pub struct ConcurrentConfig {
     /// that are about to commit. The default honours
     /// `SPECPMT_GROUP_LINGER_NS`.
     pub group_linger_ns: u64,
+    /// Emit a checkpoint record ([`SpecSpmtShared::write_checkpoint`])
+    /// from the reclamation daemon every N completed reclamation cycles,
+    /// bounding post-crash replay to data since the last checkpoint. `0`
+    /// (the default) disables automatic checkpoints; explicit
+    /// `write_checkpoint` calls work either way.
+    pub checkpoint_interval_cycles: u64,
 }
 
 impl Default for ConcurrentConfig {
@@ -100,6 +107,7 @@ impl Default for ConcurrentConfig {
             reclaim_threshold_bytes: 1 << 20,
             group_commit: specpmt_telemetry::Knobs::get().group_commit,
             group_linger_ns: specpmt_telemetry::Knobs::get().group_linger_ns,
+            checkpoint_interval_cycles: 0,
         }
     }
 }
@@ -208,6 +216,14 @@ impl ConcurrentConfigBuilder {
         self
     }
 
+    /// Reclamation cycles between automatic checkpoints (see
+    /// [`ConcurrentConfig::checkpoint_interval_cycles`]; 0 disables).
+    #[must_use]
+    pub fn checkpoint_interval_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.checkpoint_interval_cycles = cycles;
+        self
+    }
+
     /// Finishes the builder.
     #[must_use]
     pub fn build(self) -> ConcurrentConfig {
@@ -288,10 +304,23 @@ pub struct SharedStats {
 pub struct SpecSpmtShared {
     pool: SharedPmemPool,
     cfg: ConcurrentConfig,
-    layout: PoolLayout,
+    /// The persisted layout. Behind a lock because the registration table
+    /// can grow at runtime ([`Self::register_thread`] past capacity swaps
+    /// in a larger descriptor). Reads are cheap copies.
+    layout: RwLock<PoolLayout>,
     /// Next commit timestamp (models `rdtscp`: globally ordered).
     ts: AtomicU64,
-    areas: Vec<Mutex<AreaState>>,
+    /// One slot per registered chain. The outer lock is write-held only
+    /// while a registration appends a slot; the hot paths clone their
+    /// slot's `Arc` once at handle creation and never touch the vector.
+    areas: RwLock<Vec<Arc<Mutex<AreaState>>>>,
+    /// Thread slots returned by [`TxHandle::detach`], reusable by the
+    /// next [`Self::register_thread`] (their chains stay valid).
+    detached: Mutex<Vec<usize>>,
+    /// The live checkpoint chain (None before the first checkpoint);
+    /// doubles as the checkpoint-writer serialization lock.
+    ckpt_area: Mutex<Option<LogArea>>,
+    checkpoints: AtomicU64,
     free_blocks: Mutex<Vec<usize>>,
     commits: AtomicU64,
     aborts: AtomicU64,
@@ -344,7 +373,7 @@ impl SpecSpmtShared {
                 &mut dirty,
             );
             layout.set_head_shared(&pool, tid, area.head() as u64);
-            areas.push(Mutex::new(AreaState { area, open: false }));
+            areas.push(Arc::new(Mutex::new(AreaState { area, open: false })));
         }
         dev.flush_everything();
         dev.set_timing(prev);
@@ -355,9 +384,12 @@ impl SpecSpmtShared {
         Arc::new(Self {
             pool,
             cfg,
-            layout,
+            layout: RwLock::new(layout),
             ts: AtomicU64::new(1),
-            areas,
+            areas: RwLock::new(areas),
+            detached: Mutex::new(Vec::new()),
+            ckpt_area: Mutex::new(None),
+            checkpoints: AtomicU64::new(0),
             free_blocks: Mutex::new(free),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
@@ -407,9 +439,10 @@ impl SpecSpmtShared {
         &self.cfg
     }
 
-    /// The persisted pool layout this runtime formatted.
+    /// The persisted pool layout this runtime formatted (a copy — the
+    /// live descriptor can grow when threads register past capacity).
     pub fn layout(&self) -> PoolLayout {
-        self.layout
+        *self.layout.read().expect("layout lock")
     }
 
     /// The shared pool.
@@ -445,10 +478,27 @@ impl SpecSpmtShared {
             "thread {tid} out of range (configured for {})",
             self.cfg.threads
         );
+        self.handle_for(tid)
+    }
+
+    /// Builds a handle for an already-registered slot (static or dynamic).
+    fn handle_for(self: &Arc<Self>, tid: usize) -> TxHandle {
+        let area = {
+            let areas = self.areas.read().expect("areas lock");
+            Arc::clone(&areas[tid])
+        };
+        // Telemetry is sharded per *configured* thread plus the daemon
+        // shard (`cfg.threads`). Dynamically-registered slots fold onto a
+        // configured shard so they never collide with the daemon's — the
+        // combiner-ownership invariants (committers own zero fences under
+        // a daemon) must keep holding with registered threads attached.
+        let tel_tid = if tid < self.cfg.threads { tid } else { tid % self.cfg.threads };
         TxHandle {
             shared: Arc::clone(self),
             dev: self.pool.handle(),
+            area,
             tid,
+            tel_tid,
             in_tx: false,
             tx_start: Cursor { block: 0, pos: 0 },
             ws: WriteSet::new(),
@@ -460,9 +510,72 @@ impl SpecSpmtShared {
         }
     }
 
+    /// Number of thread slots currently registered (static slots from the
+    /// configuration plus dynamically attached ones, including detached
+    /// slots awaiting reuse).
+    pub fn registered_threads(&self) -> usize {
+        self.areas.read().expect("areas lock").len()
+    }
+
+    /// Checkpoints written so far (see
+    /// [`ConcurrentConfig::checkpoint_interval_cycles`] and
+    /// [`Self::write_checkpoint`]).
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.load(Ordering::Relaxed)
+    }
+
+    /// Dynamically registers a new thread with the runtime and returns its
+    /// transaction handle — the paper's fixed `threads`-at-format model
+    /// lifted to runtime attach/detach. A detached slot (see
+    /// [`TxHandle::detach`]) is reused first; otherwise a fresh chain is
+    /// created and, if the registration table is full, the persisted
+    /// layout descriptor grows (atomic root-slot swap; old readers keep
+    /// working through the legacy fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registration table is at [`PoolLayout::MAX_THREADS`].
+    pub fn register_thread(self: &Arc<Self>) -> TxHandle {
+        if let Some(tid) = self.detached.lock().expect("detached lock").pop() {
+            return self.handle_for(tid);
+        }
+        let dev = self.device();
+        let prev = dev.timing();
+        dev.set_timing(TimingMode::Off);
+        let tid = {
+            let mut areas = self.areas.write().expect("areas lock");
+            let tid = areas.len();
+            let mut layout = self.layout.write().expect("layout lock");
+            if tid >= layout.threads() {
+                *layout = layout.grow_shared(&self.pool, tid + 1);
+            }
+            let handle = self.pool.handle();
+            let mut dirty = Vec::new();
+            let area = {
+                let mut free = self.free_blocks.lock().expect("free lock");
+                let mut store = SharedStore { handle: &handle, pool: &self.pool, free: &mut free };
+                LogArea::create(&mut store, self.cfg.block_bytes, &mut dirty)
+            };
+            handle.clwb_ranges(&dirty);
+            handle.sfence();
+            layout.set_head_shared(&self.pool, tid, area.head() as u64);
+            areas.push(Arc::new(Mutex::new(AreaState { area, open: false })));
+            tid
+        };
+        dev.set_timing(prev);
+        self.handle_for(tid)
+    }
+
     /// Current aggregate log footprint in bytes.
     pub fn log_footprint(&self) -> usize {
-        self.areas.iter().map(|a| a.lock().expect("area lock").area.footprint()).sum()
+        let areas = self.snapshot_areas();
+        areas.iter().map(|a| a.lock().expect("area lock").area.footprint()).sum()
+    }
+
+    /// Clones the slot list (cheap: `Arc` per slot) so iteration never
+    /// holds the registration lock across per-chain work.
+    fn snapshot_areas(&self) -> Vec<Arc<Mutex<AreaState>>> {
+        self.areas.read().expect("areas lock").clone()
     }
 
     /// Counter snapshot.
@@ -502,9 +615,10 @@ impl SpecSpmtShared {
         // records into its dedicated shard (`tid == cfg.threads`).
         let host_t0 = std::time::Instant::now();
         let rtid = self.cfg.threads;
+        let areas = self.snapshot_areas();
         let mut rs = self.reclaim.lock().expect("reclaim lock");
         let bytes_before = rs.stats.bytes_reclaimed;
-        rs.ensure_chains(self.areas.len());
+        rs.ensure_chains(areas.len());
         rs.stats.cycles += 1;
 
         // Phase 1: scan. Chains whose watermark moved are parsed under
@@ -512,7 +626,7 @@ impl SpecSpmtShared {
         // the persistent index; the index may be stale by the time a chain
         // is compacted, which errs toward keeping entries.
         let mut any_changed = false;
-        for (tid, slot) in self.areas.iter().enumerate() {
+        for (tid, slot) in areas.iter().enumerate() {
             let st = slot.lock().expect("area lock");
             let mark = (st.area.head(), st.area.generation());
             if rs.is_current(tid, mark) {
@@ -541,7 +655,7 @@ impl SpecSpmtShared {
 
         // Phase 2: compact each chain from its cached parse.
         let mut dropped_total = 0u64;
-        for (tid, slot) in self.areas.iter().enumerate() {
+        for (tid, slot) in areas.iter().enumerate() {
             let mut st = slot.lock().expect("area lock");
             if st.open {
                 continue; // an open record pins the chain
@@ -593,7 +707,11 @@ impl SpecSpmtShared {
             }
             // Fence 2: atomically swap the 8-byte head pointer (persisted
             // inside `set_head_shared`; also the daemon's).
-            self.layout.set_head_shared(&self.pool, tid, new_area.head() as u64);
+            self.layout.read().expect("layout lock").set_head_shared(
+                &self.pool,
+                tid,
+                new_area.head() as u64,
+            );
             self.tel.registry.add(rtid, Metric::Fences, 1);
             rs.stats.chains_rewritten += 1;
             rs.commit_rewrite(tid, (new_area.head(), new_area.generation()), kept);
@@ -634,6 +752,12 @@ impl SpecSpmtShared {
                 while !shared.stop.load(Ordering::SeqCst) {
                     if shared.log_footprint() > shared.cfg.reclaim_threshold_bytes {
                         shared.reclaim_cycle();
+                        let every = shared.cfg.checkpoint_interval_cycles;
+                        if every > 0
+                            && shared.reclaim_cycles.load(Ordering::Relaxed).is_multiple_of(every)
+                        {
+                            shared.write_checkpoint();
+                        }
                     } else {
                         std::thread::sleep(poll);
                     }
@@ -683,6 +807,130 @@ impl SpecSpmtShared {
     /// Post-crash recovery (identical image format to [`crate::SpecSpmt`]).
     pub fn recover(image: &mut CrashImage) {
         recovery::recover_image(image);
+    }
+
+    /// Post-crash recovery with explicit [`RecoveryOptions`] (parallel
+    /// chain parsing, checkpoint-bounded replay). Bit-identical to
+    /// [`Self::recover`] for every crash image; returns the cost report.
+    pub fn recover_opts(image: &mut CrashImage, opts: &RecoveryOptions) -> RecoveryReport {
+        recovery::recover_image_opts(image, opts)
+    }
+
+    /// Writes a checkpoint record bounding future recovery replay: the
+    /// last-writer-wins fold of every record with commit timestamp `<=
+    /// watermark`, where the watermark is the minimum last-committed
+    /// timestamp across non-empty chains at scan time. Recovery applies
+    /// the checkpoint image first and replays only records younger than
+    /// the watermark.
+    ///
+    /// Soundness of the watermark: a commit timestamp is issued
+    /// (`fetch_add`) *before* the area lock is taken in `seal`, but each
+    /// chain's timestamps are issued in chain order by its single owning
+    /// thread — so any record still in flight on a chain carries a
+    /// timestamp greater than that chain's last committed one, hence
+    /// greater than the minimum. A chain that is open but has *no*
+    /// committed record yet provides no such bound, so the checkpoint is
+    /// skipped (returns `None`) in that case. Chains registered after the
+    /// snapshot draw timestamps above the counter's snapshot value, which
+    /// is above the watermark.
+    ///
+    /// Returns the watermark, or `None` when no checkpoint could be
+    /// written (no committed records, or an open chain without a bound).
+    pub fn write_checkpoint(&self) -> Option<u64> {
+        let handle = self.pool.handle();
+        // The checkpoint-area mutex doubles as the writer lock: one
+        // checkpoint at a time, and the old chain stays reachable until
+        // the new head is persisted.
+        let mut ckpt_guard = self.ckpt_area.lock().expect("ckpt lock");
+        let areas = self.snapshot_areas();
+
+        // Scan: per-chain committed records under that chain's lock.
+        let mut chains = Vec::with_capacity(areas.len());
+        let mut watermark = u64::MAX;
+        for slot in &areas {
+            let st = slot.lock().expect("area lock");
+            let records = parse_chain(&handle, st.area.head(), self.cfg.block_bytes);
+            let open = st.open;
+            drop(st);
+            match records.last() {
+                Some(last) => watermark = watermark.min(last.ts),
+                // An open chain with nothing committed yet bounds nothing:
+                // its in-flight record may carry any timestamp.
+                None if open => return None,
+                None => {}
+            }
+            chains.push(records);
+        }
+        if watermark == u64::MAX {
+            return None; // no committed records anywhere
+        }
+
+        // Fold records up to the watermark, last writer wins, into one
+        // byte map; equal timestamps resolve by ascending chain index —
+        // the same tie-break `committed_records` documents.
+        let mut indexed: Vec<(u64, usize, &crate::record::LogRecord)> = Vec::new();
+        for (idx, records) in chains.iter().enumerate() {
+            for rec in records {
+                if rec.ts <= watermark {
+                    indexed.push((rec.ts, idx, rec));
+                }
+            }
+        }
+        if indexed.is_empty() {
+            return None;
+        }
+        indexed.sort_by_key(|&(ts, idx, _)| (ts, idx));
+        let mut bytes: BTreeMap<usize, u8> = BTreeMap::new();
+        for (_, _, rec) in &indexed {
+            for e in &rec.entries {
+                for (i, &b) in e.value.iter().enumerate() {
+                    bytes.insert(e.addr + i, b);
+                }
+            }
+        }
+        // Coalesce the byte map into disjoint, address-sorted runs.
+        let mut entries: Vec<LogEntry> = Vec::new();
+        for (addr, b) in bytes {
+            match entries.last_mut() {
+                Some(e) if e.addr + e.value.len() == addr => e.value.push(b),
+                _ => entries.push(LogEntry { addr, value: vec![b] }),
+            }
+        }
+        let ckpt = CheckpointRecord { watermark, entries };
+        let encoded = encode_checkpoint(&ckpt);
+
+        // Persist protocol: build the new chain, flush+fence it, then
+        // atomically swap the descriptor's checkpoint head. A crash at
+        // any labeled site leaves either the old checkpoint (intact) or
+        // the new one reachable — never a half-spliced head.
+        let mut dirty = Vec::new();
+        let new_area = {
+            let mut free = self.free_blocks.lock().expect("free lock");
+            let mut store = SharedStore { handle: &handle, pool: &self.pool, free: &mut free };
+            let mut area = LogArea::create(&mut store, self.cfg.block_bytes, &mut dirty);
+            area.append(&mut store, &encoded, &mut dirty);
+            area
+        };
+        handle.crash_point("ckpt/write");
+        handle.clwb_ranges(&dirty);
+        handle.sfence();
+        // Both checkpoint fences land on the daemon's telemetry shard:
+        // checkpointing is background work, never a committer's cost.
+        self.tel.registry.add(self.cfg.threads, Metric::Fences, 1);
+        handle.crash_point("ckpt/persist");
+        self.layout
+            .read()
+            .expect("layout lock")
+            .set_ckpt_head_shared(&self.pool, new_area.head() as u64);
+        self.tel.registry.add(self.cfg.threads, Metric::Fences, 1);
+        handle.crash_point("ckpt/splice");
+        let old = ckpt_guard.replace(new_area);
+        drop(ckpt_guard);
+        if let Some(old_area) = old {
+            self.free_blocks.lock().expect("free lock").extend(old_area.into_blocks());
+        }
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Some(watermark)
     }
 }
 
@@ -805,7 +1053,15 @@ impl Drop for GroupCombinerDaemon {
 pub struct TxHandle {
     shared: Arc<SpecSpmtShared>,
     dev: DeviceHandle,
+    /// This slot's chain state, cloned out of the registration table at
+    /// handle creation — the hot paths never touch the table again, so
+    /// dynamic registration on other threads cannot stall a commit.
+    area: Arc<Mutex<AreaState>>,
     tid: usize,
+    /// Telemetry shard this handle records into: `tid` for configured
+    /// slots, folded (`tid % threads`) for dynamically registered ones —
+    /// never the daemon shard.
+    tel_tid: usize,
     in_tx: bool,
     tx_start: Cursor,
     /// Reusable write set: open-addressing index + payload arena +
@@ -865,7 +1121,7 @@ impl TxHandle {
         self.data_lines.clear();
         self.undo_addrs.clear();
         self.undo_data.clear();
-        let mut st = self.shared.areas[self.tid].lock().expect("area lock");
+        let mut st = self.area.lock().expect("area lock");
         assert!(!st.open, "thread slot {} already has an open transaction", self.tid);
         st.open = true;
         self.tx_start = st.area.tail();
@@ -878,8 +1134,8 @@ impl TxHandle {
         }
         drop(st);
         self.in_tx = true;
-        self.shared.tel.registry.add(self.tid, Metric::Begins, 1);
-        self.shared.tel.tracer.record(self.tid, EventKind::Begin, 0, 0);
+        self.shared.tel.registry.add(self.tel_tid, Metric::Begins, 1);
+        self.shared.tel.tracer.record(self.tel_tid, EventKind::Begin, 0, 0);
     }
 
     /// Durably writes `data` at pool offset `addr` within the open
@@ -891,8 +1147,13 @@ impl TxHandle {
     /// Panics outside a transaction.
     pub fn write(&mut self, addr: usize, data: &[u8]) {
         assert!(self.in_tx, "write outside transaction");
-        let _ws_span = self.shared.tel.registry.span(self.tid, Phase::Writeset);
-        self.shared.tel.tracer.record(self.tid, EventKind::Stage, addr as u64, data.len() as u64);
+        let _ws_span = self.shared.tel.registry.span(self.tel_tid, Phase::Writeset);
+        self.shared.tel.tracer.record(
+            self.tel_tid,
+            EventKind::Stage,
+            addr as u64,
+            data.len() as u64,
+        );
         if !data.is_empty() {
             // Volatile pre-image for the abort path, captured into the
             // reusable undo arena. `peek_into` is untimed and unsampled,
@@ -910,7 +1171,7 @@ impl TxHandle {
             // Line *indices*; sorted and deduplicated once, at commit.
             self.data_lines.extend(first..=last);
         }
-        let mut st = self.shared.areas[self.tid].lock().expect("area lock");
+        let mut st = self.area.lock().expect("area lock");
         if let Some(slot) = self.ws.lookup(addr) {
             if slot.len == data.len() {
                 // Write-set indexing: overwrite the previous entry in place.
@@ -933,7 +1194,7 @@ impl TxHandle {
         };
         drop(st);
         self.ws.stage(addr, data, value_cursor);
-        self.shared.tel.registry.add(self.tid, Metric::LogEntries, 1);
+        self.shared.tel.registry.add(self.tel_tid, Metric::LogEntries, 1);
     }
 
     /// Reads `buf.len()` bytes at `addr` (direct in-place access — SpecPMT
@@ -982,11 +1243,12 @@ impl TxHandle {
             // one entry header, and recovery replays it as a no-op.
             self.write(0, &[]);
         }
-        let tid = self.tid;
-        // Everything at this level borrows a local clone of the Arc (not
+        let tid = self.tel_tid;
+        // Everything at this level borrows local clones of the Arcs (not
         // `self`) so the flush/fence tails below can take `&mut self`
         // while the spans and the area lock stay live.
         let shared = Arc::clone(&self.shared);
+        let area = Arc::clone(&self.area);
         let commit_span = shared.tel.registry.span(tid, Phase::Commit);
         let sim0 = self.dev.local_now_ns();
         let seal_span = shared.tel.registry.span(tid, Phase::Seal);
@@ -996,7 +1258,7 @@ impl TxHandle {
         let header = encode_header_parts(ts, self.ws.payload().len(), self.ws.checksum(ts));
         seal_span.stop();
         let append_span = shared.tel.registry.span(tid, Phase::Append);
-        let mut st = shared.areas[self.tid].lock().expect("area lock");
+        let mut st = area.lock().expect("area lock");
         {
             let mut free = self.shared.free_blocks.lock().expect("free lock");
             let mut store =
@@ -1183,7 +1445,7 @@ impl TxHandle {
     fn commit_with(&mut self, urgent: bool) -> CommitReceipt {
         let ts = self.seal(true, urgent);
         self.shared.commits.fetch_add(1, Ordering::Relaxed);
-        self.shared.tel.registry.add(self.tid, Metric::Commits, 1);
+        self.shared.tel.registry.add(self.tel_tid, Metric::Commits, 1);
         CommitReceipt::new(ts)
     }
 
@@ -1215,7 +1477,20 @@ impl TxHandle {
         self.undo_data = data;
         let _ = self.seal(false, false);
         self.shared.aborts.fetch_add(1, Ordering::Relaxed);
-        self.shared.tel.registry.add(self.tid, Metric::Aborts, 1);
+        self.shared.tel.registry.add(self.tel_tid, Metric::Aborts, 1);
+    }
+
+    /// Detaches this handle's thread slot from the runtime, returning the
+    /// slot to the registration free list — the next
+    /// [`SpecSpmtShared::register_thread`] reuses it (and its chain, which
+    /// stays valid and recoverable throughout).
+    ///
+    /// # Panics
+    ///
+    /// Panics with an open transaction.
+    pub fn detach(self) {
+        assert!(!self.in_tx, "detach with open transaction on thread {}", self.tid);
+        self.shared.detached.lock().expect("detached lock").push(self.tid);
     }
 }
 

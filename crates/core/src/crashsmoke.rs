@@ -11,14 +11,19 @@
 //!   compaction cycles (`seq/reclaim/*`), and the layout head-pointer
 //!   writes (`layout/*`).
 //! * [`run_mt_smoke`] — [`SpecSpmtShared`] on four real threads with a
-//!   post-run compaction cycle, covering `mt/commit/*` (group commit off)
-//!   or `mt/group/*` (group commit on) plus `mt/reclaim/*`. Run it once
-//!   per group-commit setting and [`EnumReport::merge`] the reports to
-//!   cover both commit paths.
+//!   post-run compaction cycle and a checkpoint write, covering
+//!   `mt/commit/*` (group commit off) or `mt/group/*` (group commit on)
+//!   plus `mt/reclaim/*` and `ckpt/*`. Run it once per group-commit
+//!   setting and [`EnumReport::merge`] the reports to cover both commit
+//!   paths.
 //!
 //! Both runners execute the workload **fresh** (new device, pool, and
 //! runtime per call), recover from the captured image, and verify atomic
-//! durability, which is exactly the contract [`enumerate`] expects.
+//! durability, which is exactly the contract [`enumerate`] expects. They
+//! also recover every image twice — once with the serial reference
+//! replay, once with parallel parsing plus checkpoint-bounded replay —
+//! and assert the two images are bit-identical, so each enumerated crash
+//! case doubles as an equivalence check for the optimized recovery path.
 //!
 //! [`EnumReport::merge`]: specpmt_txn::EnumReport::merge
 //! [`enumerate`]: specpmt_txn::enumerate
@@ -31,7 +36,22 @@ use specpmt_txn::driver::{
 };
 use specpmt_txn::{Recover, RunSummary, TxAccess, TxRuntime};
 
+use crate::recovery::RecoveryOptions;
 use crate::{ConcurrentConfig, ReclaimMode, SpecConfig, SpecSpmt, SpecSpmtShared, TxHandle};
+
+/// Recovers `image` through the serial reference path, then recovers a
+/// pristine clone through parallel parsing + checkpoint-bounded replay
+/// and asserts bit-identity — the acceptance contract that the optimized
+/// recovery is equivalent on *every* enumerated crash case.
+fn recover_and_check_equivalence(image: &mut CrashImage) {
+    let mut optimized = image.clone();
+    SpecSpmt::recover(image);
+    crate::recovery::recover_image_opts(&mut optimized, &RecoveryOptions::parallel(4));
+    assert_eq!(
+        *image, optimized,
+        "parallel/checkpointed recovery diverged from the serial reference"
+    );
+}
 
 /// Region bytes of the sequential smoke stream.
 const SEQ_REGION: usize = 64;
@@ -90,7 +110,7 @@ pub fn run_seq_smoke_with_image(plan: CrashPlan) -> Result<(RunSummary, CrashIma
             rt.pool().device().capture(CrashPolicy::AllLost)
         }
     };
-    SpecSpmt::recover(&mut image);
+    recover_and_check_equivalence(&mut image);
     verify_recovered(&outcome, &image)?;
     Ok((summary, image))
 }
@@ -185,6 +205,10 @@ pub fn run_mt_smoke(plan: CrashPlan, group_commit: bool) -> Result<RunSummary, S
     // Each chain now holds MT_TXS-fold churn on two words: one compaction
     // cycle rewrites every chain through the two-fence splice.
     shared.reclaim_cycle();
+    // One checkpoint write walks the ckpt/* splice protocol; recovery of
+    // the captured image then exercises checkpoint-bounded replay (or its
+    // torn-checkpoint fallback, when the crash lands mid-protocol).
+    shared.write_checkpoint();
 
     let summary =
         RunSummary { fired: dev.fired(), fired_at: dev.fired_at(), site_hits: dev.site_hits() };
@@ -195,7 +219,7 @@ pub fn run_mt_smoke(plan: CrashPlan, group_commit: bool) -> Result<RunSummary, S
             dev.capture(CrashPolicy::AllLost)
         }
     };
-    SpecSpmtShared::recover(&mut image);
+    recover_and_check_equivalence(&mut image);
 
     for (t, (&base, &last_definite)) in bases.iter().zip(&definite).enumerate() {
         let (a, b) = (image.read_u64(base), image.read_u64(base + 64));
@@ -246,7 +270,8 @@ mod tests {
             );
             merged.merge(report);
         }
-        let unvisited = merged.unvisited(&["mt-commit", "mt-group", "mt-reclaim", "layout"]);
+        let unvisited =
+            merged.unvisited(&["mt-commit", "mt-group", "mt-reclaim", "ckpt", "layout"]);
         assert!(unvisited.is_empty(), "unvisited labeled sites: {unvisited:?}");
     }
 
@@ -281,7 +306,7 @@ mod tests {
         let canonical = sites::lookup(&site).expect("validated by parse_target");
         let summary = match canonical.subsystem {
             "mt-group" => run_mt_smoke(plan, true),
-            s if s.starts_with("mt-") => run_mt_smoke(plan, false),
+            s if s.starts_with("mt-") || s == "ckpt" => run_mt_smoke(plan, false),
             _ => run_seq_smoke(plan),
         }
         .unwrap_or_else(|e| panic!("targeted crash at {site}:{hit} broke recovery: {e}"));

@@ -6,29 +6,42 @@
 //! pool root slot per thread, capping the runtime at 8 threads (the pool
 //! has 16 root slots and half are spoken for). [`PoolLayout`] removes the
 //! cap: at format time the runtime allocates a **layout descriptor** on
-//! the heap — thread count, block size and a per-thread head-slot table —
-//! checksums the static part, and points root slot [`LAYOUT_SLOT`] at it.
-//! Everything that parses a pool after a crash ([`crate::recovery`],
-//! [`crate::inspect`]) reads the descriptor instead of assuming the old
-//! fixed slots.
+//! the heap — a registration table of chain-head slots plus the block
+//! size — checksums the static part, and points root slot [`LAYOUT_SLOT`]
+//! at it. Everything that parses a pool after a crash
+//! ([`crate::recovery`], [`crate::inspect`]) reads the descriptor instead
+//! of assuming the old fixed slots.
 //!
 //! ```text
 //! root slot 3 (LAYOUT_SLOT) ──► descriptor (heap, 64-byte aligned)
 //!   0  .. 8   layout magic "SPLAYOUT"
 //!   8  .. 12  version (u32)
-//!   12 .. 16  thread count (u32, 1..=32)
+//!   12 .. 16  chain capacity (u32, 1..=4096)
 //!   16 .. 24  log block bytes (u64)
 //!   24 .. 32  FNV-1a checksum of bytes 0..24
-//!   32 .. 32 + 8·threads   per-thread chain-head pointers (u64 each)
+//!   32 .. 40  checkpoint chain head (u64, v2+; 0 = no checkpoint)
+//!   40 .. 40 + 8·capacity   per-thread chain-head pointers (u64 each)
 //! ```
 //!
 //! The header (bytes 0..32) is written once at format time and never
-//! mutated, so its checksum catches a torn or foreign descriptor. The head
-//! table **is** mutated at runtime (log reclamation splices a compacted
-//! chain in by atomically rewriting one aligned 8-byte head — the paper's
-//! two-fence protocol), so it is deliberately *not* covered by the
-//! checksum; a head pointer self-validates by chain parsing, exactly like
+//! mutated, so its checksum catches a torn or foreign descriptor. The
+//! checkpoint head and the head table **are** mutated at runtime (log
+//! reclamation and checkpointing splice new chains in by atomically
+//! rewriting one aligned 8-byte pointer — the paper's two-fence protocol),
+//! so they are deliberately *not* covered by the checksum; a head pointer
+//! self-validates by chain (or checkpoint-record) parsing, exactly like
 //! the old root slots did.
+//!
+//! # Dynamic registration
+//!
+//! A v2 descriptor is a *registration table*: `capacity` is how many
+//! chain-head slots exist, not how many threads are live. Threads (and
+//! `specpmt-kv` shard pools) attach at runtime by claiming the next free
+//! slot; when the table fills, [`PoolLayout::grow_shared`] allocates a
+//! larger descriptor, copies the head table and checkpoint head, persists
+//! it, and atomically re-points [`LAYOUT_SLOT`] — a crash sees either the
+//! old or the new descriptor, both of which describe every committed
+//! chain.
 //!
 //! # Legacy pools
 //!
@@ -36,8 +49,10 @@
 //! hardware models and baselines (`specpmt-hwtx`, `specpmt-baselines`)
 //! still format [`LEGACY_CHAIN_SLOTS`] fixed chains rooted at
 //! [`LOG_HEAD_SLOT_BASE`] with the block size in [`BLOCK_BYTES_SLOT`].
-//! [`PoolLayout::read`] transparently degrades to that layout, so one
-//! recovery/inspection path serves both generations of pool.
+//! A v1 descriptor (PR 3 .. PR 8 pools: head table at offset 32, no
+//! checkpoint head, capacity ≤ 32) still parses too. [`PoolLayout::read`]
+//! transparently degrades, so one recovery/inspection path serves all
+//! three generations of pool.
 
 use specpmt_pmem::{root_off, PmemPool, SharedPmemPool, POOL_HEADER_SIZE, POOL_MAGIC};
 
@@ -61,26 +76,45 @@ pub const LEGACY_CHAIN_SLOTS: usize = 8;
 /// Magic identifying a layout descriptor ("SPLAYOUT").
 pub const LAYOUT_MAGIC: u64 = 0x5350_4c41_594f_5554;
 
-/// Current descriptor version.
-pub const LAYOUT_VERSION: u32 = 1;
+/// Current descriptor version (v2: registration table + checkpoint head).
+pub const LAYOUT_VERSION: u32 = 2;
 
-/// Descriptor header bytes preceding the head table.
-pub const DESC_HDR: usize = 32;
+/// The previous fixed-at-format descriptor version (head table at offset
+/// 32, no checkpoint head). Still readable.
+pub const LAYOUT_VERSION_V1: u32 = 1;
+
+/// Descriptor header bytes preceding the head table in a **v1**
+/// descriptor.
+pub const DESC_HDR_V1: usize = 32;
+
+/// Descriptor header bytes preceding the head table in a **v2**
+/// descriptor (v1 header + the mutable checkpoint-head pointer).
+pub const DESC_HDR: usize = 40;
+
+/// Offset of the checkpoint chain head within a v2 descriptor.
+pub const CKPT_HEAD_OFF: usize = 32;
+
+/// The v1 descriptor's capacity cap (reads of old pools enforce it).
+const MAX_THREADS_V1: usize = 32;
 
 /// Valid log block sizes (shared with recovery's plausibility check).
 const BLOCK_BYTES_RANGE: std::ops::RangeInclusive<usize> = 64..=(1 << 20);
 
 /// A parsed (or freshly formatted) pool layout: where each thread's log
-/// chain head lives and how large log blocks are.
+/// chain head lives, where the checkpoint chain head lives, and how large
+/// log blocks are.
 ///
-/// Copyable by design — the runtimes keep one by value and pass it around
-/// freely while mutating the pool it describes.
+/// Copyable by design — the runtimes keep one (behind a lock when the
+/// registration table can grow) and pass it around freely while mutating
+/// the pool it describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolLayout {
     threads: usize,
     block_bytes: usize,
     /// Heap offset of the descriptor; 0 marks a legacy fixed-slot layout.
     desc_base: usize,
+    /// Descriptor version (0 on legacy pools).
+    version: u32,
 }
 
 fn read_u64_at<S: ByteSource>(src: &S, addr: usize) -> Option<u64> {
@@ -89,8 +123,11 @@ fn read_u64_at<S: ByteSource>(src: &S, addr: usize) -> Option<u64> {
 }
 
 impl PoolLayout {
-    /// Maximum threads a pool can be formatted for.
-    pub const MAX_THREADS: usize = 32;
+    /// Maximum chain slots a pool's registration table can grow to. The
+    /// old fixed-at-format cap was 32; v2 descriptors grow on demand up
+    /// to this bound (8 · 4096 = 32 KiB of head table, still tiny next to
+    /// a single log block chain).
+    pub const MAX_THREADS: usize = 4096;
 
     fn descriptor_bytes(threads: usize, block_bytes: usize) -> Vec<u8> {
         let mut d = vec![0u8; DESC_HDR + 8 * threads];
@@ -117,9 +154,9 @@ impl PoolLayout {
         );
     }
 
-    /// Formats a layout descriptor on `pool`'s heap (head table zeroed) and
-    /// roots it at [`LAYOUT_SLOT`]. [`BLOCK_BYTES_SLOT`] is mirrored for
-    /// legacy tooling.
+    /// Formats a layout descriptor on `pool`'s heap (head table and
+    /// checkpoint head zeroed) and roots it at [`LAYOUT_SLOT`].
+    /// [`BLOCK_BYTES_SLOT`] is mirrored for legacy tooling.
     ///
     /// # Panics
     ///
@@ -134,7 +171,7 @@ impl PoolLayout {
         pool.device_mut().persist_range(desc_base, bytes.len());
         pool.set_root_direct(LAYOUT_SLOT, desc_base as u64);
         pool.set_root_direct(BLOCK_BYTES_SLOT, block_bytes as u64);
-        Self { threads, block_bytes, desc_base }
+        Self { threads, block_bytes, desc_base, version: LAYOUT_VERSION }
     }
 
     /// [`PoolLayout::format`] for the shared (concurrent) pool.
@@ -153,7 +190,61 @@ impl PoolLayout {
         h.persist_range(desc_base, bytes.len());
         pool.set_root_direct(LAYOUT_SLOT, desc_base as u64);
         pool.set_root_direct(BLOCK_BYTES_SLOT, block_bytes as u64);
-        Self { threads, block_bytes, desc_base }
+        Self { threads, block_bytes, desc_base, version: LAYOUT_VERSION }
+    }
+
+    /// Grows the registration table to at least `min_capacity` slots:
+    /// allocates a fresh (larger) descriptor, copies the live head table
+    /// and checkpoint head into it, persists it fully, then atomically
+    /// re-points [`LAYOUT_SLOT`] at it. Returns the new layout.
+    ///
+    /// The old descriptor is left in place (the pool heap is a bump
+    /// allocator); a crash between the copy and the root swap sees the
+    /// old descriptor, which still describes every committed chain —
+    /// slots beyond its capacity are by construction empty at that point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a legacy layout, if `min_capacity` exceeds
+    /// [`Self::MAX_THREADS`], or if the heap cannot hold the new
+    /// descriptor.
+    pub fn grow_shared(&self, pool: &SharedPmemPool, min_capacity: usize) -> Self {
+        assert!(self.desc_base != 0, "legacy pools cannot grow a registration table");
+        assert!(
+            min_capacity <= Self::MAX_THREADS,
+            "thread count {min_capacity} out of range (1..={})",
+            Self::MAX_THREADS
+        );
+        if min_capacity <= self.threads {
+            return *self;
+        }
+        // Double-at-least growth keeps the number of root swaps
+        // logarithmic in the final thread count.
+        let capacity = min_capacity.max(self.threads * 2).min(Self::MAX_THREADS);
+        Self::check_format_args(capacity, self.block_bytes);
+        let mut bytes = Self::descriptor_bytes(capacity, self.block_bytes);
+        let h = pool.handle();
+        // Carry the mutable tail over: checkpoint head + live head table.
+        bytes[CKPT_HEAD_OFF..CKPT_HEAD_OFF + 8]
+            .copy_from_slice(&(self.ckpt_head(&h) as u64).to_le_bytes());
+        for tid in 0..self.threads {
+            let head = self.head(&h, tid) as u64;
+            let off = DESC_HDR + 8 * tid;
+            bytes[off..off + 8].copy_from_slice(&head.to_le_bytes());
+        }
+        let desc_base =
+            pool.alloc_direct(bytes.len(), 64).expect("pool too small for grown descriptor");
+        h.write(desc_base, &bytes);
+        h.persist_range(desc_base, bytes.len());
+        // The atomic generation switch: an aligned 8-byte root store,
+        // persisted inside `set_root_direct`.
+        pool.set_root_direct(LAYOUT_SLOT, desc_base as u64);
+        Self {
+            threads: capacity,
+            block_bytes: self.block_bytes,
+            desc_base,
+            version: LAYOUT_VERSION,
+        }
     }
 
     /// Parses the layout from any byte source (crash image, live device or
@@ -173,21 +264,27 @@ impl PoolLayout {
             if !BLOCK_BYTES_RANGE.contains(&block_bytes) {
                 return None;
             }
-            return Some(Self { threads: LEGACY_CHAIN_SLOTS, block_bytes, desc_base: 0 });
+            return Some(Self {
+                threads: LEGACY_CHAIN_SLOTS,
+                block_bytes,
+                desc_base: 0,
+                version: 0,
+            });
         }
         if desc_base < POOL_HEADER_SIZE
-            || desc_base.checked_add(DESC_HDR).is_none_or(|end| end > src.source_len())
+            || desc_base.checked_add(DESC_HDR_V1).is_none_or(|end| end > src.source_len())
         {
             return None;
         }
-        let mut hdr = [0u8; DESC_HDR];
+        let mut hdr = [0u8; DESC_HDR_V1];
         if !src.read_at(desc_base, &mut hdr) {
             return None;
         }
         if u64::from_le_bytes(hdr[0..8].try_into().expect("8 bytes")) != LAYOUT_MAGIC {
             return None;
         }
-        if u32::from_le_bytes(hdr[8..12].try_into().expect("4 bytes")) != LAYOUT_VERSION {
+        let version = u32::from_le_bytes(hdr[8..12].try_into().expect("4 bytes"));
+        if version != LAYOUT_VERSION_V1 && version != LAYOUT_VERSION {
             return None;
         }
         let sum = u64::from_le_bytes(hdr[24..32].try_into().expect("8 bytes"));
@@ -196,16 +293,20 @@ impl PoolLayout {
         }
         let threads = u32::from_le_bytes(hdr[12..16].try_into().expect("4 bytes")) as usize;
         let block_bytes = u64::from_le_bytes(hdr[16..24].try_into().expect("8 bytes")) as usize;
-        if !(1..=Self::MAX_THREADS).contains(&threads)
+        let max = if version == LAYOUT_VERSION_V1 { MAX_THREADS_V1 } else { Self::MAX_THREADS };
+        let hdr_len = if version == LAYOUT_VERSION_V1 { DESC_HDR_V1 } else { DESC_HDR };
+        if !(1..=max).contains(&threads)
             || !BLOCK_BYTES_RANGE.contains(&block_bytes)
-            || desc_base + DESC_HDR + 8 * threads > src.source_len()
+            || desc_base + hdr_len + 8 * threads > src.source_len()
         {
             return None;
         }
-        Some(Self { threads, block_bytes, desc_base })
+        Some(Self { threads, block_bytes, desc_base, version })
     }
 
-    /// Number of per-thread log chains.
+    /// Number of chain-head slots in the registration table (the number of
+    /// per-thread log chains recovery must consider; unclaimed slots hold
+    /// a zero head and parse as empty chains).
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -221,9 +322,24 @@ impl PoolLayout {
         self.desc_base != 0
     }
 
+    /// Descriptor version: 0 legacy, 1 fixed-at-format, 2 registration
+    /// table + checkpoint head.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
     /// Heap offset of the descriptor (0 on legacy pools).
     pub fn desc_base(&self) -> usize {
         self.desc_base
+    }
+
+    /// Bytes preceding this descriptor's head table.
+    fn table_off(&self) -> usize {
+        if self.version == LAYOUT_VERSION_V1 {
+            DESC_HDR_V1
+        } else {
+            DESC_HDR
+        }
     }
 
     /// Pool offset of thread `tid`'s chain-head pointer (an aligned u64 —
@@ -237,7 +353,7 @@ impl PoolLayout {
         if self.desc_base == 0 {
             root_off(LOG_HEAD_SLOT_BASE + tid)
         } else {
-            self.desc_base + DESC_HDR + 8 * tid
+            self.desc_base + self.table_off() + 8 * tid
         }
     }
 
@@ -265,6 +381,36 @@ impl PoolLayout {
         h.persist_range(addr, 8);
         h.crash_point("layout/head_persist");
     }
+
+    /// Pool offset of the checkpoint chain head, when this descriptor has
+    /// one (v2+ only).
+    pub fn ckpt_head_addr(&self) -> Option<usize> {
+        (self.desc_base != 0 && self.version >= LAYOUT_VERSION)
+            .then(|| self.desc_base + CKPT_HEAD_OFF)
+    }
+
+    /// Reads the checkpoint chain head (0 = no checkpoint; legacy and v1
+    /// pools always read 0).
+    pub fn ckpt_head<S: ByteSource>(&self, src: &S) -> usize {
+        match self.ckpt_head_addr() {
+            Some(addr) => read_u64_at(src, addr).unwrap_or(0) as usize,
+            None => 0,
+        }
+    }
+
+    /// Writes and immediately persists the checkpoint chain head — the
+    /// atomic splice of the checkpoint protocol (crash sites around it are
+    /// placed by the caller, `SpecSpmtShared::write_checkpoint`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a layout without a checkpoint slot (legacy or v1).
+    pub fn set_ckpt_head_shared(&self, pool: &SharedPmemPool, head: u64) {
+        let addr = self.ckpt_head_addr().expect("layout has no checkpoint slot (v1/legacy)");
+        let h = pool.handle();
+        h.write_u64(addr, head);
+        h.persist_range(addr, 8);
+    }
 }
 
 #[cfg(test)]
@@ -278,10 +424,11 @@ mod tests {
 
     #[test]
     fn format_then_read_round_trips() {
-        for threads in [1usize, 2, 8, 17, 32] {
+        for threads in [1usize, 2, 8, 17, 32, 100] {
             let mut p = pool();
             let l = PoolLayout::format(&mut p, threads, 4096);
             assert!(l.is_dynamic());
+            assert_eq!(l.version(), LAYOUT_VERSION);
             assert_eq!(l.threads(), threads);
             assert_eq!(l.block_bytes(), 4096);
             let img = p.device().capture(CrashPolicy::AllLost);
@@ -302,6 +449,34 @@ mod tests {
     }
 
     #[test]
+    fn v1_descriptor_still_parses_with_table_at_offset_32() {
+        // Hand-build a v1 descriptor (what PR 3..8 pools persisted): head
+        // table directly after the 32-byte header, no checkpoint slot.
+        let mut p = pool();
+        let threads = 5usize;
+        let mut d = vec![0u8; DESC_HDR_V1 + 8 * threads];
+        d[0..8].copy_from_slice(&LAYOUT_MAGIC.to_le_bytes());
+        d[8..12].copy_from_slice(&LAYOUT_VERSION_V1.to_le_bytes());
+        d[12..16].copy_from_slice(&(threads as u32).to_le_bytes());
+        d[16..24].copy_from_slice(&4096u64.to_le_bytes());
+        let sum = fnv1a64(&d[0..24]);
+        d[24..32].copy_from_slice(&sum.to_le_bytes());
+        d[32..40].copy_from_slice(&0x1000u64.to_le_bytes()); // head[0]
+        let base = p.alloc_direct(d.len(), 64).unwrap();
+        p.device_mut().write(base, &d);
+        p.device_mut().persist_range(base, d.len());
+        p.set_root_direct(LAYOUT_SLOT, base as u64);
+        p.set_root_direct(BLOCK_BYTES_SLOT, 4096);
+        let img = p.device().capture(CrashPolicy::AllLost);
+        let l = PoolLayout::read(&img).expect("v1 descriptor parses");
+        assert_eq!(l.version(), LAYOUT_VERSION_V1);
+        assert_eq!(l.threads(), threads);
+        assert_eq!(l.head(&img, 0), 0x1000, "v1 head table sits at offset 32");
+        assert_eq!(l.ckpt_head(&img), 0, "v1 descriptors have no checkpoint head");
+        assert!(l.ckpt_head_addr().is_none());
+    }
+
+    #[test]
     fn legacy_pool_degrades_to_fixed_slots() {
         // A pool formatted the old way: block size + fixed root slots, no
         // descriptor (LAYOUT_SLOT stays 0). hwtx/baselines still do this.
@@ -315,6 +490,7 @@ mod tests {
         assert_eq!(l.block_bytes(), 4096);
         assert_eq!(l.head_addr(5), root_off(LOG_HEAD_SLOT_BASE + 5));
         assert_eq!(l.head(&img, 5), 0x1000);
+        assert_eq!(l.ckpt_head(&img), 0, "legacy pools never have a checkpoint");
     }
 
     #[test]
@@ -335,17 +511,21 @@ mod tests {
         let mut img2 = p.device().capture(CrashPolicy::AllLost);
         img2.write_bytes(root_off(LAYOUT_SLOT), &(u64::MAX).to_le_bytes());
         assert!(PoolLayout::read(&img2).is_none());
+        // An unknown version.
+        let mut img3 = p.device().capture(CrashPolicy::AllLost);
+        img3.write_bytes(l.desc_base() + 8, &99u32.to_le_bytes());
+        assert!(PoolLayout::read(&img3).is_none(), "unknown versions are rejected");
     }
 
     #[test]
-    #[should_panic(expected = "out of range (1..=32)")]
+    #[should_panic(expected = "out of range (1..=4096)")]
     fn format_rejects_zero_threads() {
         let mut p = pool();
         let _ = PoolLayout::format(&mut p, 0, 4096);
     }
 
     #[test]
-    #[should_panic(expected = "out of range (1..=32)")]
+    #[should_panic(expected = "out of range (1..=4096)")]
     fn format_rejects_too_many_threads() {
         let mut p = pool();
         let _ = PoolLayout::format(&mut p, PoolLayout::MAX_THREADS + 1, 4096);
@@ -369,5 +549,36 @@ mod tests {
         let back = PoolLayout::read(&img).unwrap();
         assert_eq!(back, l);
         assert_eq!(back.head(&img, 31), 0x2222);
+    }
+
+    #[test]
+    fn ckpt_head_round_trips_and_survives_growth() {
+        let dev = specpmt_pmem::SharedPmemDevice::new(PmemConfig::new(1 << 20));
+        let p = SharedPmemPool::create(dev);
+        let l = PoolLayout::format_shared(&p, 2, 512);
+        l.set_head_shared(&p, 1, 0x3333);
+        l.set_ckpt_head_shared(&p, 0x4444);
+        assert_eq!(l.ckpt_head(&p.handle()), 0x4444);
+        let grown = l.grow_shared(&p, 9);
+        assert!(grown.threads() >= 9);
+        assert_eq!(grown.block_bytes(), l.block_bytes());
+        assert_ne!(grown.desc_base(), l.desc_base());
+        // Mutable tail carried over, and a crash image parses the *new*
+        // descriptor from the swapped root.
+        let img = p.device().capture(CrashPolicy::AllLost);
+        let back = PoolLayout::read(&img).unwrap();
+        assert_eq!(back, grown);
+        assert_eq!(back.head(&img, 1), 0x3333);
+        assert_eq!(back.ckpt_head(&img), 0x4444);
+        assert_eq!(back.head(&img, 8), 0, "new slots start empty");
+    }
+
+    #[test]
+    fn growth_is_idempotent_below_capacity() {
+        let dev = specpmt_pmem::SharedPmemDevice::new(PmemConfig::new(1 << 20));
+        let p = SharedPmemPool::create(dev);
+        let l = PoolLayout::format_shared(&p, 8, 512);
+        let same = l.grow_shared(&p, 4);
+        assert_eq!(same, l, "no growth needed, no new descriptor");
     }
 }

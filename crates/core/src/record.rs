@@ -302,6 +302,97 @@ pub fn parse_chain<S: ByteSource>(src: &S, head: usize, block_bytes: usize) -> V
     out
 }
 
+/// Magic opening a checkpoint record ("SPCKPT00").
+pub const CKPT_MAGIC: u64 = 0x5350_434b_5054_3030;
+
+/// Checkpoint record header size:
+/// `magic (u64) | watermark (u64) | len (u32) | checksum (u64)`.
+pub const CKPT_HDR: usize = 28;
+
+/// Upper bound on a checkpoint's payload (a checkpoint snapshots live
+/// data, which can legitimately dwarf any single transaction record).
+pub const MAX_CKPT_PAYLOAD: usize = 1 << 28;
+
+/// A parsed, checksum-valid checkpoint record (see
+/// [`crate::recovery`]): the last-writer-wins resolution of every
+/// committed entry with commit timestamp `<= watermark`, stored as
+/// disjoint, address-sorted runs.
+///
+/// Replaying the checkpoint's entries and then every committed record
+/// with `ts > watermark` recovers the same image as replaying the full
+/// log — which is what bounds replay cost by data since the checkpoint
+/// instead of total log size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// Every committed record with `ts <= watermark` is folded into this
+    /// checkpoint; records above it must still be replayed.
+    pub watermark: u64,
+    /// Snapshot runs: disjoint address ranges, sorted ascending by `addr`.
+    pub entries: Vec<LogEntry>,
+}
+
+impl CheckpointRecord {
+    /// Total payload bytes the entries encode to.
+    pub fn payload_len(&self) -> usize {
+        self.entries.iter().map(|e| ENTRY_HDR + e.value.len()).sum()
+    }
+}
+
+/// Encodes a full checkpoint record (header + entry payload). The
+/// checksum covers `payload || len || watermark` via [`record_checksum`]
+/// (the watermark rides in the timestamp seat), so a torn checkpoint is
+/// rejected exactly like a torn transaction record.
+pub fn encode_checkpoint(ckpt: &CheckpointRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(ckpt.payload_len());
+    for e in &ckpt.entries {
+        push_entry(&mut payload, e.addr, &e.value);
+    }
+    let mut out = Vec::with_capacity(CKPT_HDR + payload.len());
+    out.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&ckpt.watermark.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&record_checksum(ckpt.watermark, &payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parses the checkpoint record stored in the block chain at `head`.
+///
+/// Returns `None` for an empty head, a bad magic, an implausible length,
+/// an unreadable chain, or a checksum mismatch — the torn-checkpoint
+/// cases, where recovery must fall back to a full log replay.
+pub fn parse_checkpoint<S: ByteSource>(
+    src: &S,
+    head: usize,
+    block_bytes: usize,
+) -> Option<CheckpointRecord> {
+    if head == 0 || head + block_bytes > src.source_len() || block_bytes <= BLOCK_HDR {
+        return None;
+    }
+    let mut reader = StreamReader::new(src, head, block_bytes);
+    let mut hdr = [0u8; CKPT_HDR];
+    if !reader.read(&mut hdr) {
+        return None;
+    }
+    if u64::from_le_bytes(hdr[0..8].try_into().expect("8 bytes")) != CKPT_MAGIC {
+        return None;
+    }
+    let watermark = u64::from_le_bytes(hdr[8..16].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(hdr[16..20].try_into().expect("4 bytes")) as usize;
+    if len > MAX_CKPT_PAYLOAD {
+        return None;
+    }
+    let cksum = u64::from_le_bytes(hdr[20..28].try_into().expect("8 bytes"));
+    let mut payload = vec![0u8; len];
+    if !reader.read(&mut payload) {
+        return None;
+    }
+    if record_checksum(watermark, &payload) != cksum {
+        return None;
+    }
+    Some(CheckpointRecord { watermark, entries: parse_entries(&payload) })
+}
+
 /// The mutable storage a [`LogArea`] writes through — abstracts over the
 /// single-threaded [`PmemPool`] and a per-thread [`DeviceHandle`] of a
 /// [`SharedPmemPool`], so the log-chain code is written once and shared by
@@ -715,6 +806,55 @@ mod tests {
         free.push(b1);
         let b2 = take_block(&mut pool, &mut free, BB);
         assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_across_blocks() {
+        let mut pool = pool();
+        let mut free = Vec::new();
+        let mut dirty = Vec::new();
+        let mut area = LogArea::create(&mut PoolStore::new(&mut pool, &mut free), BB, &mut dirty);
+        let ckpt = CheckpointRecord {
+            watermark: 42,
+            entries: vec![
+                LogEntry { addr: 0x100, value: vec![7u8; 3 * BB] },
+                LogEntry { addr: 0x500, value: vec![9u8; 5] },
+            ],
+        };
+        area.append(
+            &mut PoolStore::new(&mut pool, &mut free),
+            &encode_checkpoint(&ckpt),
+            &mut dirty,
+        );
+        let back = parse_checkpoint(pool.device(), area.head(), BB).expect("checkpoint parses");
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn torn_checkpoint_is_rejected() {
+        let mut pool = pool();
+        let mut free = Vec::new();
+        let mut dirty = Vec::new();
+        let mut area = LogArea::create(&mut PoolStore::new(&mut pool, &mut free), BB, &mut dirty);
+        let ckpt = CheckpointRecord {
+            watermark: 7,
+            entries: vec![LogEntry { addr: 0x40, value: vec![1, 2, 3, 4] }],
+        };
+        area.append(
+            &mut PoolStore::new(&mut pool, &mut free),
+            &encode_checkpoint(&ckpt),
+            &mut dirty,
+        );
+        // Corrupt one payload byte: the checksum must reject the record.
+        let addr = area.head() + BLOCK_HDR + CKPT_HDR + ENTRY_HDR + 1;
+        pool.device_mut().write(addr, &[0xFF]);
+        assert!(parse_checkpoint(pool.device(), area.head(), BB).is_none());
+        // A wrong magic (e.g. a transaction record in the slot) is rejected.
+        let mut area2 = LogArea::create(&mut PoolStore::new(&mut pool, &mut free), BB, &mut dirty);
+        append_record(&mut area2, &mut pool, &mut free, &rec(1, 0x40, &[1; 4]));
+        assert!(parse_checkpoint(pool.device(), area2.head(), BB).is_none());
+        // Empty head.
+        assert!(parse_checkpoint(pool.device(), 0, BB).is_none());
     }
 
     #[test]

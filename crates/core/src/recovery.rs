@@ -1,9 +1,9 @@
 //! Post-crash recovery for software SpecPMT.
 //!
-//! Recovery is intentionally simple (Section 3.1): walk every thread's log
-//! chain from its persistent head pointer, keep only checksum-valid
-//! (= committed) records, then replay all entries across threads in commit
-//! timestamp order. Replaying effectively:
+//! The reference path is intentionally simple (Section 3.1): walk every
+//! thread's log chain from its persistent head pointer, keep only
+//! checksum-valid (= committed) records, then replay all entries across
+//! threads in commit timestamp order. Replaying effectively:
 //!
 //! * **redoes** committed transactions whose in-place data writes never
 //!   reached PM (the speculative log holds the committed values), and
@@ -12,11 +12,41 @@
 //!
 //! Unreclaimed stale records may replay too; they are overwritten by
 //! fresher records later in the order, which is harmless.
+//!
+//! # The fast path
+//!
+//! [`recover_image_opts`] produces a **bit-identical** image to the
+//! reference replay, faster, via three independent levers:
+//!
+//! * **Parallel chain parsing** — the record checksum doubles as the
+//!   commit flag and is validated per chain, so each chain parses on its
+//!   own OS thread ([`RecoveryOptions::parse_threads`]); chains are
+//!   assigned round-robin by index, which keeps the partition (and the
+//!   reported parse makespan) deterministic.
+//! * **Timestamp merge with a deterministic tie-break** — per-chain record
+//!   lists are already timestamp-sorted (a chain's timestamps are issued
+//!   in append order from the global counter), so a k-way merge on the
+//!   key `(ts, chain index)` reproduces the reference order exactly: the
+//!   reference concatenates chains in ascending `tid` order and stable-
+//!   sorts by `ts`, which leaves equal timestamps in ascending chain
+//!   order. See [`committed_records`] for the tie-break contract.
+//! * **Last-writer-wins replay** — the merged sequence is applied in
+//!   *reverse* with a byte-claim bitmap: a byte is written by the last
+//!   record that touches it and every superseded (stale) store is skipped
+//!   instead of copied. Same final image, bytes written once.
+//!
+//! A [`CheckpointRecord`] (written by
+//! `SpecSpmtShared::write_checkpoint`, head persisted in the layout
+//! descriptor) bounds how much log must replay at all: it snapshots the
+//! last-writer-wins state of every record with `ts <= watermark`, so
+//! recovery replays the checkpoint's runs plus only the records above the
+//! watermark. A torn or unparsable checkpoint silently degrades to the
+//! full replay — the checkpoint is purely redundant state.
 
 use specpmt_pmem::CrashImage;
 
 use crate::layout::PoolLayout;
-use crate::record::{parse_chain, LogRecord};
+use crate::record::{parse_chain, parse_checkpoint, CheckpointRecord, LogRecord, REC_HDR};
 
 /// Parses every thread's committed records from a crash image.
 ///
@@ -24,6 +54,19 @@ use crate::record::{parse_chain, LogRecord};
 /// slots) determines how many chains exist and where their heads live.
 /// Returns records sorted by commit timestamp (ascending). An image
 /// without SpecPMT metadata yields no records.
+///
+/// # Tie-break contract
+///
+/// Records with **equal timestamps** (impossible from one live runtime,
+/// whose timestamps come from a global atomic counter — but possible
+/// across independently-written pools or hand-built images) are ordered
+/// by **ascending chain index, then chain position**: chains are scanned
+/// in `tid` order and the sort is stable. The parallel merge in
+/// [`recover_image_opts`] reproduces this order bit-identically by
+/// merging on the key `(ts, chain index)` — within one chain equal
+/// timestamps keep append order. Recovery's final image depends on this
+/// order, so it is a compatibility contract, not an implementation
+/// detail.
 pub fn committed_records(image: &CrashImage) -> Vec<LogRecord> {
     let Some(layout) = PoolLayout::read(image) else {
         return Vec::new();
@@ -40,7 +83,8 @@ pub fn committed_records(image: &CrashImage) -> Vec<LogRecord> {
 }
 
 /// Repairs `image` in place by replaying all committed records in
-/// timestamp order.
+/// timestamp order — the serial reference path. [`recover_image_opts`]
+/// must (and is tested to) produce a bit-identical image.
 pub fn recover_image(image: &mut CrashImage) {
     let records = committed_records(image);
     for rec in &records {
@@ -50,6 +94,321 @@ pub fn recover_image(image: &mut CrashImage) {
             }
         }
     }
+}
+
+/// Tuning for [`recover_image_opts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOptions {
+    /// OS threads parsing log chains (clamped to `1..=chains`). 1 parses
+    /// inline on the calling thread.
+    pub parse_threads: usize,
+    /// Honour a persisted checkpoint record (skip records at or below its
+    /// watermark). Off forces the full replay even when a checkpoint
+    /// exists — the bench uses that to measure the bound.
+    pub use_checkpoint: bool,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        Self { parse_threads: 1, use_checkpoint: true }
+    }
+}
+
+impl RecoveryOptions {
+    /// Options with `parse_threads` workers and the checkpoint honoured.
+    #[must_use]
+    pub fn parallel(parse_threads: usize) -> Self {
+        Self { parse_threads, use_checkpoint: true }
+    }
+
+    /// Disables the checkpoint (full replay).
+    #[must_use]
+    pub fn without_checkpoint(mut self) -> Self {
+        self.use_checkpoint = false;
+        self
+    }
+}
+
+/// What a [`recover_image_opts`] run did — the recovery bench's raw
+/// material and the source of the deterministic `recovery_sim_ns_*` keys.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Chain slots the layout exposed (registration-table capacity).
+    pub chains: usize,
+    /// Chains that actually held committed records.
+    pub chains_nonempty: usize,
+    /// Parse workers used (after clamping).
+    pub parse_threads: usize,
+    /// Committed records parsed across all chains.
+    pub records_parsed: usize,
+    /// Records replayed (above the checkpoint watermark, or all of them).
+    pub records_replayed: usize,
+    /// Records skipped because a checkpoint already covers them.
+    pub records_skipped_checkpoint: usize,
+    /// Log bytes parsed (record headers + payloads), summed over chains.
+    pub bytes_parsed: u64,
+    /// Largest per-worker share of `bytes_parsed` under the round-robin
+    /// chain partition — the parse phase's critical path. Equal-sized
+    /// chains give `bytes_parsed / parse_threads`, i.e. linear speedup.
+    pub parse_makespan_bytes: u64,
+    /// Bytes actually stored into the image (each byte exactly once).
+    pub bytes_replayed: u64,
+    /// Entry bytes skipped as stale (superseded by a later writer).
+    pub bytes_skipped_stale: u64,
+    /// A checkpoint was parsed and honoured.
+    pub checkpoint_used: bool,
+    /// The honoured checkpoint's watermark (0 when none).
+    pub checkpoint_watermark: u64,
+    /// Runs the honoured checkpoint contributed.
+    pub checkpoint_entries: usize,
+}
+
+/// Deterministic cost model for the simulated `recovery_sim_ns_*` keys:
+/// fixed restart overhead, parse cost on the critical path (the slowest
+/// worker), a per-record merge-and-apply step for every record that
+/// enters the replay, a much cheaper timestamp-compare visit for records
+/// a checkpoint lets replay skip, and per-byte store cost. The constants
+/// are calibrated to the same order of magnitude as the simulated device
+/// (≈1 ns/byte streaming reads, ≈100 ns of heap work per record) — their
+/// exact values matter less than their determinism: the perf gate
+/// compares them at the tight 5% tier across hosts.
+const SIM_FIXED_NS: u64 = 2_000;
+const SIM_PARSE_NS_PER_BYTE: u64 = 2;
+const SIM_MERGE_NS_PER_RECORD: u64 = 120;
+const SIM_SKIP_NS_PER_RECORD: u64 = 10;
+const SIM_REPLAY_NS_PER_BYTE: u64 = 4;
+
+impl RecoveryReport {
+    /// Simulated time-to-recover in nanoseconds under the model above.
+    /// Parse parallelism shows up through [`Self::parse_makespan_bytes`];
+    /// the checkpoint bound shows up through the merge term moving from
+    /// every parsed record to only [`Self::records_replayed`] (skipped
+    /// records pay just the watermark compare).
+    pub fn sim_ns(&self) -> u64 {
+        SIM_FIXED_NS
+            + self.parse_makespan_bytes * SIM_PARSE_NS_PER_BYTE
+            + (self.records_skipped_checkpoint as u64) * SIM_SKIP_NS_PER_RECORD
+            + self.replay_sim_ns()
+    }
+
+    /// The replay portion of [`Self::sim_ns`] (merge + byte stores) —
+    /// the part a checkpoint bounds: with one, it depends only on the
+    /// data written since the watermark, not on total log size.
+    pub fn replay_sim_ns(&self) -> u64 {
+        (self.records_replayed as u64) * SIM_MERGE_NS_PER_RECORD
+            + self.bytes_replayed * SIM_REPLAY_NS_PER_BYTE
+    }
+}
+
+/// Per-chain parse results, in chain-index order.
+struct ParsedChains {
+    records: Vec<Vec<LogRecord>>,
+    bytes_per_chain: Vec<u64>,
+    makespan: u64,
+}
+
+fn chain_bytes(records: &[LogRecord]) -> u64 {
+    records.iter().map(|r| (REC_HDR + r.payload_len()) as u64).sum()
+}
+
+/// Parses every chain, `threads`-wide with a deterministic round-robin
+/// partition (worker `w` owns chains `w, w + threads, ...`).
+fn parse_chains(image: &CrashImage, layout: &PoolLayout, threads: usize) -> ParsedChains {
+    let heads: Vec<usize> = (0..layout.threads()).map(|tid| layout.head(image, tid)).collect();
+    let block_bytes = layout.block_bytes();
+    let workers = threads.clamp(1, heads.len().max(1));
+    let mut records: Vec<Vec<LogRecord>> = Vec::with_capacity(heads.len());
+    if workers <= 1 {
+        for &head in &heads {
+            records.push(if head == 0 {
+                Vec::new()
+            } else {
+                parse_chain(image, head, block_bytes)
+            });
+        }
+    } else {
+        let mut slots: Vec<Vec<LogRecord>> = (0..heads.len()).map(|_| Vec::new()).collect();
+        std::thread::scope(|scope| {
+            let mut joins = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let heads = &heads;
+                joins.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut idx = w;
+                    while idx < heads.len() {
+                        if heads[idx] != 0 {
+                            out.push((idx, parse_chain(image, heads[idx], block_bytes)));
+                        }
+                        idx += workers;
+                    }
+                    out
+                }));
+            }
+            for j in joins {
+                for (idx, recs) in j.join().expect("chain parse worker panicked") {
+                    slots[idx] = recs;
+                }
+            }
+        });
+        records = slots;
+    }
+    let bytes_per_chain: Vec<u64> = records.iter().map(|r| chain_bytes(r)).collect();
+    // The deterministic makespan of the round-robin partition: the busiest
+    // worker's byte total (what the parse phase's wall clock tracks).
+    let mut per_worker = vec![0u64; workers];
+    for (idx, b) in bytes_per_chain.iter().enumerate() {
+        per_worker[idx % workers] += b;
+    }
+    let makespan = per_worker.into_iter().max().unwrap_or(0);
+    ParsedChains { records, bytes_per_chain, makespan }
+}
+
+/// K-way merge of per-chain record lists on the key `(ts, chain index)` —
+/// bit-identical to [`committed_records`]' concatenate-then-stable-sort
+/// order (see the tie-break contract there).
+fn merge_chains(chains: Vec<Vec<LogRecord>>) -> Vec<LogRecord> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let total: usize = chains.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<LogRecord>> =
+        chains.into_iter().map(Vec::into_iter).collect();
+    let mut heap = BinaryHeap::with_capacity(iters.len());
+    for (idx, it) in iters.iter_mut().enumerate() {
+        if let Some(rec) = it.next() {
+            heap.push(Reverse((rec.ts, idx, RecordBox(rec))));
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse((_, idx, boxed))) = heap.pop() {
+        out.push(boxed.0);
+        if let Some(rec) = iters[idx].next() {
+            heap.push(Reverse((rec.ts, idx, RecordBox(rec))));
+        }
+    }
+    out
+}
+
+/// Heap payload wrapper: ordering is fully decided by the `(ts, chain)`
+/// prefix of the tuple, so the record itself never needs comparing.
+struct RecordBox(LogRecord);
+
+impl PartialEq for RecordBox {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for RecordBox {}
+impl PartialOrd for RecordBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RecordBox {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// One store the replay phase must apply, in forward replay order.
+enum ReplayItem<'a> {
+    /// A checkpoint run (replays first; anything else supersedes it).
+    Ckpt(&'a crate::record::LogEntry),
+    /// A record entry.
+    Entry(&'a crate::record::LogEntry),
+}
+
+/// Repairs `image` in place — same result as [`recover_image`], computed
+/// with parallel chain parsing, a checkpoint-bounded record set, and
+/// last-writer-wins byte resolution. Returns the work report.
+pub fn recover_image_opts(image: &mut CrashImage, opts: &RecoveryOptions) -> RecoveryReport {
+    let mut report =
+        RecoveryReport { parse_threads: opts.parse_threads.max(1), ..RecoveryReport::default() };
+    let Some(layout) = PoolLayout::read(image) else {
+        return report;
+    };
+    report.chains = layout.threads();
+
+    // Checkpoint first: a torn/unparsable record degrades to full replay.
+    let ckpt: Option<CheckpointRecord> = if opts.use_checkpoint {
+        let head = layout.ckpt_head(image);
+        parse_checkpoint(image, head, layout.block_bytes())
+    } else {
+        None
+    };
+
+    let parsed = parse_chains(image, &layout, opts.parse_threads);
+    report.parse_threads = opts.parse_threads.clamp(1, layout.threads().max(1));
+    report.chains_nonempty = parsed.records.iter().filter(|r| !r.is_empty()).count();
+    report.records_parsed = parsed.records.iter().map(Vec::len).sum();
+    report.bytes_parsed = parsed.bytes_per_chain.iter().sum();
+    report.parse_makespan_bytes = parsed.makespan;
+
+    let merged = merge_chains(parsed.records);
+
+    // Forward replay order: checkpoint runs, then every record above the
+    // watermark. Records at or below it are exactly what the checkpoint
+    // folded in, so they are skipped wholesale.
+    let watermark = match &ckpt {
+        Some(c) => {
+            report.checkpoint_used = true;
+            report.checkpoint_watermark = c.watermark;
+            report.checkpoint_entries = c.entries.len();
+            c.watermark
+        }
+        None => 0,
+    };
+    let mut forward: Vec<ReplayItem> = Vec::new();
+    if let Some(c) = &ckpt {
+        forward.extend(c.entries.iter().map(ReplayItem::Ckpt));
+    }
+    for rec in &merged {
+        if report.checkpoint_used && rec.ts <= watermark {
+            report.records_skipped_checkpoint += 1;
+            continue;
+        }
+        report.records_replayed += 1;
+        forward.extend(rec.entries.iter().map(ReplayItem::Entry));
+    }
+
+    // Last-writer-wins: walk the forward order in reverse, claim bytes in
+    // a bitmap, store only bytes nobody later (in forward order) wrote.
+    // This reproduces "last store wins" without writing any byte twice.
+    // The reference path drops any entry that does not fit the image, so
+    // the same bounds check is applied *before* claiming.
+    let mut claimed = vec![0u64; image.len().div_ceil(64)];
+    for item in forward.iter().rev() {
+        let e = match item {
+            ReplayItem::Ckpt(e) | ReplayItem::Entry(e) => e,
+        };
+        if e.value.is_empty() || e.addr + e.value.len() > image.len() {
+            continue;
+        }
+        // Claim-and-write per byte; runs of unclaimed bytes are written in
+        // one store to keep the common (no-overlap) case cheap.
+        let mut run_start: Option<usize> = None;
+        for i in 0..e.value.len() {
+            let addr = e.addr + i;
+            let (word, bit) = (addr / 64, addr % 64);
+            let fresh = claimed[word] & (1 << bit) == 0;
+            if fresh {
+                claimed[word] |= 1 << bit;
+                if run_start.is_none() {
+                    run_start = Some(i);
+                }
+            } else if let Some(s) = run_start.take() {
+                image.write_bytes(e.addr + s, &e.value[s..i]);
+                report.bytes_replayed += (i - s) as u64;
+            }
+            if !fresh {
+                report.bytes_skipped_stale += 1;
+            }
+        }
+        if let Some(s) = run_start.take() {
+            image.write_bytes(e.addr + s, &e.value[s..]);
+            report.bytes_replayed += (e.value.len() - s) as u64;
+        }
+    }
+    report
 }
 
 #[cfg(test)]
@@ -63,6 +422,10 @@ mod tests {
         let before = img.clone();
         recover_image(&mut img);
         assert_eq!(img, before);
+        let mut img2 = before.clone();
+        let report = recover_image_opts(&mut img2, &RecoveryOptions::parallel(4));
+        assert_eq!(img2, before);
+        assert_eq!(report, RecoveryReport { parse_threads: 4, ..RecoveryReport::default() });
     }
 
     #[test]
@@ -74,5 +437,39 @@ mod tests {
         let before = img.clone();
         recover_image(&mut img);
         assert_eq!(img, before);
+        let mut img2 = before.clone();
+        recover_image_opts(&mut img2, &RecoveryOptions::default());
+        assert_eq!(img2, before);
+    }
+
+    #[test]
+    fn sim_model_rewards_parallel_parse_and_checkpoint_bound() {
+        let full = RecoveryReport {
+            chains: 8,
+            parse_threads: 1,
+            records_parsed: 1000,
+            records_replayed: 1000,
+            bytes_parsed: 80_000,
+            parse_makespan_bytes: 80_000,
+            bytes_replayed: 40_000,
+            ..RecoveryReport::default()
+        };
+        let parallel = RecoveryReport { parse_threads: 8, parse_makespan_bytes: 10_000, ..full };
+        assert!(parallel.sim_ns() < full.sim_ns());
+        let ckpt = RecoveryReport {
+            records_replayed: 50,
+            records_skipped_checkpoint: 950,
+            checkpoint_used: true,
+            ..full
+        };
+        // Same parse and byte-store work, but 950 records downgrade from
+        // the merge-and-apply charge to the watermark-compare charge.
+        assert!(ckpt.sim_ns() < full.sim_ns());
+        assert!(ckpt.replay_sim_ns() < full.replay_sim_ns());
+        // The replay portion ignores log size entirely: doubling parse
+        // work moves sim_ns but not replay_sim_ns.
+        let bigger_log =
+            RecoveryReport { bytes_parsed: 160_000, parse_makespan_bytes: 160_000, ..ckpt };
+        assert_eq!(bigger_log.replay_sim_ns(), ckpt.replay_sim_ns());
     }
 }

@@ -875,7 +875,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range (1..=32)")]
+    #[should_panic(expected = "out of range (1..=4096)")]
     fn thread_count_past_layout_max_panics_with_actual_max() {
         let pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 22)));
         let _ = SpecSpmt::new(

@@ -21,9 +21,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use specpmt_core::{
-    ConcurrentConfig, GroupCombinerDaemon, LockedTxHandle, ReclaimDaemon, SpecSpmtShared,
+    ConcurrentConfig, GroupCombinerDaemon, LockedTxHandle, ReclaimDaemon, RecoveryOptions,
+    RecoveryReport, SpecSpmtShared,
 };
-use specpmt_pmem::PmemConfig;
+use specpmt_pmem::{CrashImage, PmemConfig};
 use specpmt_telemetry::{Histogram, HistogramSnapshot};
 use specpmt_txn::{run_tx, SharedLockTable, TxAccess};
 
@@ -175,6 +176,14 @@ impl KvShard {
     /// The shard's persistent table root.
     pub fn table(&self) -> ShardTable {
         self.table
+    }
+
+    /// Recovers a captured crash image of this shard through the
+    /// parallel, checkpoint-bounded engine (parse threads capped at 4 —
+    /// a shard rarely carries more chains than its worker quota), and
+    /// returns the report so callers can assert on replay shape.
+    pub fn recover_image(&self, img: &mut CrashImage) -> RecoveryReport {
+        SpecSpmtShared::recover_opts(img, &RecoveryOptions::parallel(4))
     }
 
     /// Worst observable tail of this shard right now: the max of the
@@ -576,7 +585,9 @@ mod tests {
         for shard in 0..svc.config().shards {
             let s = svc.shard(shard);
             let mut img = s.runtime().device().capture(CrashPolicy::AllLost);
-            SpecSpmtShared::recover(&mut img);
+            let report = s.recover_image(&mut img);
+            assert!(report.chains_nonempty >= 1, "the worker's chain holds the puts");
+            assert!(report.records_replayed >= 1);
             for key in 0..64u64 {
                 if svc.router().shard_of(0, key) == shard {
                     assert_eq!(s.table().get_in_image(&img, 0, key), Some(key * 3), "key {key}");

@@ -12,7 +12,6 @@
 //!
 //! `scripts/verify.sh` runs this test as its kv crash smoke.
 
-use specpmt_core::SpecSpmtShared;
 use specpmt_kv::{CasOutcome, KvConfig, KvService};
 use specpmt_pmem::{CrashControl, CrashPlan, CrashPolicy};
 
@@ -75,7 +74,8 @@ fn shard_crash_mid_cas_keeps_acked_ops_exactly_once() {
     assert!(applied >= definite);
 
     let mut img = dev.take_image().expect("fired crash leaves an image");
-    SpecSpmtShared::recover(&mut img);
+    let report = svc.shard(hot_shard).recover_image(&mut img);
+    assert!(report.chains_nonempty >= 1, "the crashed worker's chain survives");
 
     let hot_table = svc.shard(hot_shard).table();
     let recovered = hot_table
@@ -94,7 +94,7 @@ fn shard_crash_mid_cas_keeps_acked_ops_exactly_once() {
     assert_eq!(w.get(tenant, cold_key).unwrap(), Some(4242));
     let cold_dev = svc.shard(cold_shard).runtime().device();
     let mut cold_img = cold_dev.capture(CrashPolicy::AllLost);
-    SpecSpmtShared::recover(&mut cold_img);
+    svc.shard(cold_shard).recover_image(&mut cold_img);
     assert_eq!(svc.shard(cold_shard).table().get_in_image(&cold_img, tenant, cold_key), Some(4242));
 
     svc.shutdown();

@@ -129,6 +129,22 @@ pub const ALL: &[CrashSite] = &[
         "layout",
         "head slot persisted; the swap is durable and must not replay the retired area",
     ),
+    // --- checkpoint write/persist/splice ---------------------------------
+    site(
+        "ckpt/write",
+        "ckpt",
+        "checkpoint record staged, flush pending; the old checkpoint head is still authoritative",
+    ),
+    site(
+        "ckpt/persist",
+        "ckpt",
+        "checkpoint chain durable, head not yet swapped; recovery must keep using the old one",
+    ),
+    site(
+        "ckpt/splice",
+        "ckpt",
+        "checkpoint head swapped and persisted; replay below the watermark must match the record",
+    ),
 ];
 
 /// Looks up a site by name, returning the canonical `const` entry (and

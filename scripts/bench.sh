@@ -24,6 +24,13 @@
 # the perf gate holds to the tight tolerance), the shards x workers x
 # zipfian-theta sweep, and the undersized-quota admission demo.
 #
+# BENCH_recovery.json is JSON-lines from the `recovery` bench: one
+# summary line with deterministic recovery_sim_ns_t{1,8,32}_{full,ckpt}
+# keys (parse-thread sweep with and without checkpoint-bounded replay,
+# gated by scripts/perf_gate.sh against results/recovery_baseline.json),
+# then one recovery/sweep line per log size showing checkpointed replay
+# cost flat while full replay grows.
+#
 # BENCH_txstat.json is JSON-lines: one per-phase breakdown object per
 # runtime/thread-count point (seq at 1/8/16 threads; shared at each count
 # with the per-commit path and the group-commit path side by side, the
@@ -66,3 +73,13 @@ cargo run --release --offline -q -p specpmt-bench --bin kv | tee "$tmp"
 grep '"bench":"kv"' "$tmp" > "$kvout"
 [ -s "$kvout" ] || { echo "error: no kv lines captured" >&2; exit 1; }
 echo "wrote $kvout"
+
+# Recovery bench: the 1/8/32 parse-thread sweep over one deterministic
+# 32-chain crash image (summary line, gated keys) plus the log-size sweep
+# (checkpoint-bound lines).
+recout=BENCH_recovery.json
+cargo bench --offline -q -p specpmt-bench --bench recovery -- --threads 1,8,32 | tee "$tmp"
+grep '"bench":"recovery' "$tmp" > "$recout"
+grep -q '"bench":"recovery",' "$recout" ||
+    { echo "error: no recovery summary line captured" >&2; exit 1; }
+echo "wrote $recout"

@@ -4,12 +4,19 @@
 # (results/commit_path_baseline.json) and fails when a key regresses
 # beyond its tolerance. Zero dependencies (grep + awk), runs offline.
 #
-#   scripts/perf_gate.sh [current.json] [baseline.json] [kv.json] [kv_baseline.json]
+#   scripts/perf_gate.sh [current.json] [baseline.json] [kv.json] [kv_baseline.json] \
+#       [recovery.json] [recovery_baseline.json]
 #
 # The KV pair defaults to BENCH_kv.json vs results/kv_baseline.json and is
 # gated when both files are present: the deterministic single-worker
 # kv_sim_ns_* per-op-class means replay the same simulated-device timeline
 # on any host, so they share the tight simulated tolerance.
+#
+# The recovery pair defaults to BENCH_recovery.json vs
+# results/recovery_baseline.json, likewise gated only when both are
+# present: the recovery_sim_ns_t{1,8,32}_{full,ckpt} keys come from the
+# recovery bench's deterministic cost model over a fixed 32-chain crash
+# image, so they also hold at the tight simulated tolerance.
 #
 # Two tolerance tiers, both overridable by environment:
 #
@@ -34,6 +41,8 @@ cur=${1:-BENCH_commit_path.json}
 base=${2:-results/commit_path_baseline.json}
 kv_cur=${3:-BENCH_kv.json}
 kv_base=${4:-results/kv_baseline.json}
+rec_cur=${5:-BENCH_recovery.json}
+rec_base=${6:-results/recovery_baseline.json}
 sim_tol=${SPECPMT_GATE_SIM_TOL_PCT:-5}
 host_tol=${SPECPMT_GATE_HOST_TOL_PCT:-75}
 alloc_slack=${SPECPMT_GATE_ALLOC_SLACK:-1.0}
@@ -100,6 +109,19 @@ if [ -r "$kv_cur" ] && [ -r "$kv_base" ]; then
     done
 else
     echo "perf gate: kv capture or baseline absent, skipping kv keys"
+fi
+
+# Recovery deterministic simulated time-to-recover (summary line of the
+# recovery bench): the parse-thread sweep with and without the
+# checkpoint. Skipped when either side is absent.
+if [ -r "$rec_cur" ] && [ -r "$rec_base" ]; then
+    for t in 1 8 32; do
+        for mode in full ckpt; do
+            gate_pct "recovery_sim_ns_t${t}_${mode}" "$sim_tol" "$rec_cur" "$rec_base"
+        done
+    done
+else
+    echo "perf gate: recovery capture or baseline absent, skipping recovery keys"
 fi
 
 if [ "$fail" -ne 0 ]; then

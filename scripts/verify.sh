@@ -151,6 +151,70 @@ fi
 echo "perf gate self-test: injected regression caught, OK"
 rm -f "$inj"
 
+# Recovery smoke: bench.sh captured the recovery bench's 1/8/32
+# parse-thread sweep. The summary line must carry every gated key, the
+# sweep lines must show checkpoint-bounded replay actually bounding —
+# at the largest log size, checkpointed recovery must beat full replay
+# and its replay portion must match the smallest size's (flat in total
+# log size, the time-to-recover SLO mechanism).
+for key in '"bench":"recovery"' '"recovery_sim_ns_t1_full"' '"recovery_sim_ns_t1_ckpt"' \
+    '"recovery_sim_ns_t8_full"' '"recovery_sim_ns_t8_ckpt"' \
+    '"recovery_sim_ns_t32_full"' '"recovery_sim_ns_t32_ckpt"' \
+    '"recovery_sim_ns_serial"' '"bench":"recovery/sweep"' '"ckpt_replay_sim_ns"'; do
+    grep -q "$key" BENCH_recovery.json ||
+        { echo "BENCH_recovery.json missing key: $key" >&2; exit 1; }
+done
+grep '"bench":"recovery/sweep"' BENCH_recovery.json | awk '
+    {
+        match($0, /"full_sim_ns":[0-9]+/); full = substr($0, RSTART + 14, RLENGTH - 14) + 0
+        match($0, /"ckpt_sim_ns":[0-9]+/); ckpt = substr($0, RSTART + 14, RLENGTH - 14) + 0
+        match($0, /"ckpt_replay_sim_ns":[0-9]+/)
+        replay = substr($0, RSTART + 21, RLENGTH - 21) + 0
+        if (NR == 1) first_replay = replay
+        last_full = full; last_ckpt = ckpt; last_replay = replay
+    }
+    END {
+        if (NR < 2) { print "recovery sweep has fewer than 2 points" > "/dev/stderr"; exit 1 }
+        if (last_ckpt >= last_full) {
+            printf "recovery: checkpointed %d ns does not beat full %d ns at the large point\n",
+                last_ckpt, last_full > "/dev/stderr"
+            exit 1
+        }
+        if (last_replay > first_replay * 1.05) {
+            printf "recovery: checkpointed replay grew with log size (%d -> %d ns)\n",
+                first_replay, last_replay > "/dev/stderr"
+            exit 1
+        }
+        printf "recovery smoke: ckpt %d ns < full %d ns at the large point, replay flat (%d ns), OK\n",
+            last_ckpt, last_full, last_replay
+    }' || exit 1
+if command -v python3 >/dev/null 2>&1; then
+    run python3 -c 'import json
+[json.loads(l) for l in open("BENCH_recovery.json") if l.strip()]'
+fi
+
+# Guardrail self-test for the recovery keys: a synthetic 2x regression in
+# the 32-thread checkpointed time-to-recover must make the gate fail.
+inj=$(mktemp)
+awk '{
+    if (match($0, /"recovery_sim_ns_t32_ckpt":[0-9]+/)) {
+        v = substr($0, RSTART + 27, RLENGTH - 27) + 0
+        sub(/"recovery_sim_ns_t32_ckpt":[0-9]+/,
+            sprintf("\"recovery_sim_ns_t32_ckpt\":%d", v * 2))
+    }
+    print
+}' BENCH_recovery.json > "$inj"
+echo "==> perf gate self-test (injected 2x recovery_sim_ns_t32_ckpt regression must fail)"
+if scripts/perf_gate.sh BENCH_commit_path.json results/commit_path_baseline.json \
+    BENCH_kv.json results/kv_baseline.json "$inj" results/recovery_baseline.json \
+    >/dev/null 2>&1; then
+    echo "perf gate self-test: injected recovery regression was NOT caught" >&2
+    rm -f "$inj"
+    exit 1
+fi
+echo "perf gate self-test: injected recovery regression caught, OK"
+rm -f "$inj"
+
 # KV front-end smoke: bench.sh captured the kv bin's JSON lines. The file
 # must carry the deterministic per-op-class simulated keys (gated above by
 # scripts/perf_gate.sh), the headline 4-shard / 16-worker / theta-0.99

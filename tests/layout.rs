@@ -10,14 +10,18 @@ use specpmt_pmem::CrashControl;
 
 const POOL_BYTES: usize = 1 << 21;
 
-fn pool() -> PmemPool {
-    PmemPool::create(PmemDevice::new(PmemConfig::new(POOL_BYTES)))
+/// Sizes the pool to the thread count: every chain takes at least one
+/// default-size log block (batched), so the registration-table maximum
+/// (4096 threads) needs tens of MiB where the small sweeps need 2.
+fn pool_for(threads: usize) -> PmemPool {
+    let bytes = POOL_BYTES.max(threads * SpecConfig::default().block_bytes * 2);
+    PmemPool::create(PmemDevice::new(PmemConfig::new(bytes)))
 }
 
 /// Formats a runtime at `threads`, commits one distinct value per logical
 /// thread, and returns it together with the per-thread slot addresses.
 fn committed_runtime(threads: usize) -> (SpecSpmt, Vec<usize>) {
-    let mut rt = SpecSpmt::new(pool(), SpecConfig { threads, ..SpecConfig::default() });
+    let mut rt = SpecSpmt::new(pool_for(threads), SpecConfig { threads, ..SpecConfig::default() });
     let slots: Vec<usize> =
         (0..threads).map(|_| rt.pool_mut().alloc_direct(8, 8).expect("alloc")).collect();
     for (tid, &slot) in slots.iter().enumerate() {

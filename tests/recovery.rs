@@ -1,0 +1,252 @@
+//! Recovery boundary contracts through the facade: the documented
+//! equal-timestamp tie-break, legacy (non-descriptor) pools through the
+//! new parallel engine, torn-checkpoint fallback to full replay, and
+//! chains created by dynamic thread registration.
+
+use specpmt::core::layout::{BLOCK_BYTES_SLOT, LOG_HEAD_SLOT_BASE};
+use specpmt::core::record::{encode_record, LogArea, LogEntry, LogRecord, PoolStore, BLOCK_HDR};
+use specpmt::core::{
+    recover_image_opts, ConcurrentConfig, PoolLayout, RecoveryOptions, SpecSpmtShared,
+};
+use specpmt::pmem::{
+    CrashControl, CrashImage, CrashPolicy, PmemConfig, PmemDevice, PmemPool, SharedPmemDevice,
+};
+
+/// Recovers a clone of `img` under `opts` and returns (report, image).
+fn recover_clone(
+    img: &CrashImage,
+    opts: &RecoveryOptions,
+) -> (specpmt::core::RecoveryReport, CrashImage) {
+    let mut clone = img.clone();
+    let report = recover_image_opts(&mut clone, opts);
+    (report, clone)
+}
+
+/// Hand-builds a *legacy* pool (no layout descriptor, heads in fixed root
+/// slots) whose two chains carry records with the same commit timestamp:
+/// the adversarial input for the documented tie-break. Returns the image
+/// plus the two probed addresses.
+///
+/// * `shared_addr` is written by chain 0 (ts 7) and chain 1 (ts 7) —
+///   equal timestamps resolve by ascending chain index, so chain 1's
+///   byte lands last and wins.
+/// * `pos_addr` is written twice by chain 0, both at ts 7 — equal
+///   timestamps within one chain resolve by chain position, so the
+///   later record wins.
+fn legacy_equal_ts_image() -> (CrashImage, usize, usize) {
+    const BLOCK: usize = 256;
+    let mut pool = PmemPool::create(PmemDevice::new(PmemConfig::new(1 << 20)));
+    let shared_addr = pool.alloc_direct(8, 8).expect("alloc");
+    let pos_addr = pool.alloc_direct(8, 8).expect("alloc");
+    let mut free = Vec::new();
+    let mut dirty = Vec::new();
+
+    let chain_records = [
+        vec![
+            LogRecord {
+                ts: 7,
+                entries: vec![
+                    LogEntry { addr: shared_addr, value: 0xAA00u64.to_le_bytes().to_vec() },
+                    LogEntry { addr: pos_addr, value: 0xBB00u64.to_le_bytes().to_vec() },
+                ],
+            },
+            LogRecord {
+                ts: 7,
+                entries: vec![LogEntry { addr: pos_addr, value: 0xBB01u64.to_le_bytes().to_vec() }],
+            },
+        ],
+        vec![LogRecord {
+            ts: 7,
+            entries: vec![LogEntry { addr: shared_addr, value: 0xAA01u64.to_le_bytes().to_vec() }],
+        }],
+    ];
+    let mut heads = Vec::new();
+    for records in &chain_records {
+        let mut store = PoolStore::new(&mut pool, &mut free);
+        let mut area = LogArea::create(&mut store, BLOCK, &mut dirty);
+        for rec in records {
+            area.append(&mut store, &encode_record(rec), &mut dirty);
+            area.write_terminator(&mut store, &mut dirty);
+        }
+        heads.push(area.head());
+    }
+
+    // Legacy wiring: no LAYOUT_SLOT descriptor, just the fixed root slots.
+    pool.set_root_direct(BLOCK_BYTES_SLOT, BLOCK as u64);
+    for (tid, &head) in heads.iter().enumerate() {
+        pool.set_root_direct(LOG_HEAD_SLOT_BASE + tid, head as u64);
+    }
+    // AllSurvive keeps the hand-staged (never flushed) bytes.
+    (pool.device().capture(CrashPolicy::AllSurvive), shared_addr, pos_addr)
+}
+
+/// Equal commit timestamps resolve by ascending chain index, then chain
+/// position — the contract `committed_records` documents — and the
+/// parallel merge reproduces the serial order bit-identically.
+#[test]
+fn equal_timestamp_tie_break_is_chain_index_then_position() {
+    let (img, shared_addr, pos_addr) = legacy_equal_ts_image();
+
+    let (serial_rep, serial_img) = recover_clone(&img, &RecoveryOptions::default());
+    assert_eq!(serial_rep.chains_nonempty, 2);
+    assert_eq!(serial_rep.records_parsed, 3);
+    assert!(!serial_rep.checkpoint_used, "legacy pools have no checkpoint");
+    // Chain 1 beats chain 0 at equal ts; within chain 0 the later record
+    // beats the earlier one.
+    assert_eq!(serial_img.read_u64(shared_addr), 0xAA01);
+    assert_eq!(serial_img.read_u64(pos_addr), 0xBB01);
+
+    for parse_threads in [2, 8] {
+        let (rep, par_img) = recover_clone(&img, &RecoveryOptions::parallel(parse_threads));
+        assert_eq!(
+            par_img, serial_img,
+            "parallel merge at {parse_threads} threads diverged from the serial tie-break order"
+        );
+        assert_eq!(rep.records_replayed, serial_rep.records_replayed);
+    }
+}
+
+/// A legacy (non-descriptor) pool parses through the new engine: the
+/// fixed root-slot heads are honored and the report shows the legacy
+/// chain-slot geometry.
+#[test]
+fn legacy_pool_recovers_through_the_parallel_engine() {
+    let (img, shared_addr, _) = legacy_equal_ts_image();
+    let layout = PoolLayout::read(&img).expect("legacy pool still parses");
+    assert_eq!(layout.ckpt_head(&img), 0, "legacy pools carry no checkpoint head");
+
+    let (rep, recovered) = recover_clone(&img, &RecoveryOptions::parallel(4));
+    assert_eq!(rep.chains, layout.threads());
+    assert_eq!(rep.chains_nonempty, 2);
+    assert!(!rep.checkpoint_used);
+    assert_eq!(rep.checkpoint_watermark, 0);
+    assert_eq!(recovered.read_u64(shared_addr), 0xAA01);
+}
+
+/// Builds a 32-thread shared-runtime crash image carrying a live
+/// checkpoint plus post-checkpoint tail commits. Returns the image and
+/// the per-thread probed slots (each holding `0xC0DE_0000 + tid` from the
+/// final round).
+fn checkpointed_image(threads: usize) -> (CrashImage, Vec<usize>) {
+    let dev = SharedPmemDevice::new(PmemConfig::new(32 << 20));
+    let cfg =
+        ConcurrentConfig::builder().threads(threads).reclaim_threshold_bytes(usize::MAX).build();
+    let shared = SpecSpmtShared::open_or_format(dev.clone(), cfg);
+    let slots: Vec<usize> =
+        (0..threads).map(|_| shared.pool().alloc_direct(64, 8).expect("alloc")).collect();
+    let mut handles: Vec<_> = (0..threads).map(|t| shared.tx_handle(t)).collect();
+    for round in 0..4u64 {
+        if round == 3 {
+            let wm = shared.write_checkpoint().expect("all chains committed");
+            assert!(wm > 0, "watermark covers the committed prefix");
+        }
+        for (t, h) in handles.iter_mut().enumerate() {
+            h.begin();
+            h.write(slots[t], &(0xC0DE_0000 + t as u64 + (round << 32)).to_le_bytes());
+            h.commit();
+        }
+    }
+    shared.close();
+    (dev.capture(CrashPolicy::AllLost), slots)
+}
+
+/// A torn checkpoint (corrupted checksum) must not be trusted: recovery
+/// falls back to full log replay, bit-identically between the serial and
+/// parallel paths, and still lands every committed value.
+#[test]
+fn torn_checkpoint_falls_back_to_full_replay() {
+    let (img, slots) = checkpointed_image(32);
+
+    // The pristine image really does carry a usable checkpoint.
+    let (pristine_rep, pristine_img) = recover_clone(&img, &RecoveryOptions::parallel(4));
+    assert!(pristine_rep.checkpoint_used);
+    assert!(pristine_rep.records_skipped_checkpoint > 0);
+
+    // Tear it: flip bits in the checksum field of the checkpoint record
+    // (CKPT header layout: magic | watermark | len | checksum).
+    let mut torn = img.clone();
+    let layout = PoolLayout::read(&torn).expect("v2 pool parses");
+    let head = layout.ckpt_head(&torn);
+    assert_ne!(head, 0, "checkpoint head must be spliced in");
+    let sum_addr = head + BLOCK_HDR + 20;
+    torn.write_u64(sum_addr, torn.read_u64(sum_addr) ^ 0xFFFF_FFFF);
+
+    let (serial_rep, serial_img) = recover_clone(&torn, &RecoveryOptions::default());
+    let (par_rep, par_img) = recover_clone(&torn, &RecoveryOptions::parallel(4));
+    assert!(!serial_rep.checkpoint_used, "torn checkpoint must be rejected");
+    assert!(!par_rep.checkpoint_used);
+    assert_eq!(par_rep.records_skipped_checkpoint, 0);
+    assert!(
+        par_rep.records_replayed >= pristine_rep.records_replayed,
+        "fallback replays at least the checkpointed path's tail"
+    );
+    assert_eq!(par_img, serial_img, "fallback paths diverged");
+    for (t, &slot) in slots.iter().enumerate() {
+        assert_eq!(par_img.read_u64(slot), pristine_img.read_u64(slot), "slot of thread {t}");
+        assert_eq!(par_img.read_u64(slot) & 0xFFFF_FFFF, 0xC0DE_0000 + t as u64);
+    }
+}
+
+/// Explicitly disabling the checkpoint replays the full log and matches
+/// the checkpointed result byte for byte.
+#[test]
+fn checkpoint_and_full_replay_agree_on_a_live_checkpoint() {
+    let (img, _) = checkpointed_image(8);
+    let opts = RecoveryOptions::parallel(4);
+    let (full_rep, full_img) = recover_clone(&img, &opts.without_checkpoint());
+    let (ckpt_rep, ckpt_img) = recover_clone(&img, &opts);
+    assert!(!full_rep.checkpoint_used);
+    assert!(ckpt_rep.checkpoint_used);
+    assert!(ckpt_rep.records_replayed < full_rep.records_replayed);
+    assert_eq!(full_img, ckpt_img);
+}
+
+/// Chains created by dynamic registration — including chains that forced
+/// descriptor growth past the formatted capacity, and a slot reused after
+/// detach — recover like statically configured ones.
+#[test]
+fn dynamically_registered_chains_recover_after_crash() {
+    let dev = SharedPmemDevice::new(PmemConfig::new(32 << 20));
+    let cfg = ConcurrentConfig::builder().threads(2).build();
+    let shared = SpecSpmtShared::open_or_format(dev.clone(), cfg);
+
+    // Six dynamic threads against a 2-slot table: registration must grow
+    // the descriptor.
+    let mut slots = Vec::new();
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let slot = shared.pool().alloc_direct(8, 8).expect("alloc");
+        let mut h = shared.register_thread();
+        h.begin();
+        h.write(slot, &(0xD11D_0000 + t).to_le_bytes());
+        h.commit();
+        slots.push(slot);
+        handles.push(h);
+    }
+    // Two statically configured slots plus the six dynamic ones.
+    assert_eq!(shared.registered_threads(), 8);
+
+    // Detach one thread and re-register: the slot (and its chain) is
+    // reused, and the new owner's commit supersedes the old value.
+    handles.pop().expect("six handles").detach();
+    let mut reused = shared.register_thread();
+    assert_eq!(shared.registered_threads(), 8, "detached slot is reused, not re-grown");
+    reused.begin();
+    reused.write(slots[5], &0xD11D_0005_0000u64.to_le_bytes());
+    reused.commit();
+
+    shared.close();
+    let img = dev.capture(CrashPolicy::AllLost);
+    let layout = PoolLayout::read(&img).expect("grown pool parses");
+    assert!(layout.threads() >= 6, "descriptor grew to hold the dynamic chains");
+
+    let (serial_rep, serial_img) = recover_clone(&img, &RecoveryOptions::default());
+    let (par_rep, par_img) = recover_clone(&img, &RecoveryOptions::parallel(4));
+    assert_eq!(par_img, serial_img, "parallel recovery of dynamic chains diverged");
+    assert!(serial_rep.chains_nonempty >= 6);
+    assert_eq!(par_rep.records_replayed, serial_rep.records_replayed);
+    for (t, &slot) in slots.iter().take(5).enumerate() {
+        assert_eq!(par_img.read_u64(slot), 0xD11D_0000 + t as u64);
+    }
+    assert_eq!(par_img.read_u64(slots[5]), 0xD11D_0005_0000, "reused slot carries the last commit");
+}
