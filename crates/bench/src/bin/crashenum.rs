@@ -25,8 +25,17 @@
 //! enumerator catches the bug and names the violated fence site — CI runs
 //! this as a must-fail check on the harness itself.
 //!
+//! `--selftest-forensics` validates the flight-recorder decode end to
+//! end: a correct group-commit run crashed at `mt/group/pre_fence` must
+//! decode to a **clean** [`ForensicReport`], while the same run with
+//! PR 7's receipt-before-fence bug re-injected
+//! (`bbox_eager_receipts`) must produce a report whose violation names
+//! `mt/group/pre_fence`. Exits zero only when both arms behave.
+//!
 //! `--cap N` bounds targeted runs per site (default 8); CI uses a small
 //! cap to keep the smoke tier fast.
+//!
+//! [`ForensicReport`]: specpmt_core::ForensicReport
 //!
 //! [`SpecSpmt`]: specpmt_core::SpecSpmt
 //! [`SpecSpmtShared`]: specpmt_core::SpecSpmtShared
@@ -81,6 +90,80 @@ fn selftest_reorder() -> i32 {
     }
 }
 
+/// One arm of the forensics selftest: a short group-commit run on the
+/// real runtime (recorder on), crashed at the combiner's pre-fence
+/// point, decoded by [`specpmt_core::forensics`].
+fn forensics_arm(buggy: bool) -> specpmt_core::ForensicReport {
+    use specpmt_core::{ConcurrentConfig, SpecSpmtShared};
+    use specpmt_pmem::{CrashControl, CrashPlan};
+    use specpmt_txn::TxAccess as _;
+
+    let rt = SpecSpmtShared::open_or_format(
+        1usize << 20,
+        ConcurrentConfig::builder()
+            .threads(1)
+            .group_commit(true)
+            .flight_recorder(true)
+            .bbox_capacity(64)
+            .bbox_eager_receipts(buggy)
+            .build(),
+    );
+    let base = rt.pool().alloc_direct(64, 64).expect("alloc");
+    rt.pool().handle().persist_range(base, 64);
+    let mut h = rt.tx_handle(0);
+    // Warm-up commits give the ring durable history and a real
+    // durability frontier for the decoder to check receipts against.
+    for i in 0..3u64 {
+        h.begin();
+        h.write_u64(base, i);
+        h.commit();
+    }
+    // Crash the next commit at the pre-fence point: its record is
+    // appended but unfenced. Correct runtime → no receipt exists yet →
+    // clean report. Buggy runtime → the eagerly persisted receipt
+    // outruns the durability frontier → violation at this site.
+    rt.device().arm(CrashPlan::parse_target("mt/group/pre_fence:1").expect("known site"));
+    h.begin();
+    h.write_u64(base, 42);
+    h.commit();
+    drop(h);
+    let img = rt.device().take_image().expect("every group commit crosses pre_fence");
+    specpmt_core::forensics(&img)
+}
+
+/// Runs both selftest arms and reports whether forensics can tell a
+/// correct runtime from a reordered one.
+fn selftest_forensics() -> i32 {
+    let clean = forensics_arm(false);
+    let buggy = forensics_arm(true);
+    let clean_ok = clean.recorder_present && clean.is_clean();
+    let bug_caught = !buggy.is_clean();
+    let site_named = buggy.violations.iter().any(|v| v.site == "mt/group/pre_fence");
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("bench", "selftest_forensics")
+        .field_bool("clean_ok", clean_ok)
+        .field_bool("bug_caught", bug_caught)
+        .field_bool("site_named", site_named);
+    if let Some(v) = buggy.violations.first() {
+        w.field_str(
+            "sample_violation",
+            &format!("tid {} seq {} commit_ts {} at {}", v.tid, v.seq, v.commit_ts, v.site),
+        );
+    }
+    w.end_object();
+    println!("{}", w.finish());
+    if clean_ok && bug_caught && site_named {
+        0
+    } else {
+        eprintln!(
+            "SELFTEST FAILED: clean_ok={clean_ok} bug_caught={bug_caught} \
+             site_named={site_named}\n--- clean ---\n{clean}\n--- buggy ---\n{buggy}"
+        );
+        1
+    }
+}
+
 /// One workload's enumeration, tagged for the merged report.
 fn workload(
     name: &'static str,
@@ -96,6 +179,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--selftest-reorder") {
         std::process::exit(selftest_reorder());
+    }
+    if args.iter().any(|a| a == "--selftest-forensics") {
+        std::process::exit(selftest_forensics());
     }
     let cap: u64 = arg_value(&args, "--cap").map_or(8, |v| v.parse().expect("--cap takes a u64"));
 

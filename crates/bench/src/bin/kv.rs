@@ -25,12 +25,14 @@
 //! `SPECPMT_BENCH_SMOKE=1` shrinks op counts and the sweep grid.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use specpmt_bench::harness::smoke_mode;
 use specpmt_core::SpecSpmtShared;
 use specpmt_kv::{AdmissionConfig, KvConfig, KvService, LoadGen, WorkloadSpec, OP_CLASSES};
 use specpmt_pmem::{CrashControl, CrashPolicy};
+use specpmt_telemetry::{JsonWriter, Series};
 
 /// Shared service shape for every section: tables sized so the default
 /// 8192-key tenant spaces stay under 50% occupancy per shard.
@@ -53,7 +55,7 @@ fn emit_quantiles(out: &mut String, svc: &KvService) {
                 ",\"{c}_{kind}_p50_ns\":{},\"{c}_{kind}_p99_ns\":{},\"{c}_{kind}_p999_ns\":{}",
                 snap.quantile(0.5),
                 snap.quantile(0.99),
-                snap.quantile(0.999),
+                snap.p999(),
                 c = class.as_str(),
             );
         }
@@ -125,21 +127,45 @@ fn run_deterministic(ops: usize) {
 fn run_sweep_point(shards: usize, workers: usize, theta: f64, ops_per_worker: usize) {
     let svc = KvService::open(base_config(shards, workers));
     let spec = WorkloadSpec { theta, ..WorkloadSpec::default() };
+    // Live export: sample shard 0's registry at a fixed cadence while
+    // the workers run (the shards are symmetric under the router, so one
+    // shard's series shows the service's throughput/stall shape).
+    let registry = &svc.shard(0).runtime().telemetry().registry;
+    registry.set_enabled(true);
+    let done = AtomicBool::new(false);
     let host0 = Instant::now();
-    std::thread::scope(|s| {
-        for wid in 0..workers {
-            let svc = &svc;
-            s.spawn(move || {
-                let mut gen =
-                    LoadGen::new(WorkloadSpec { seed: spec.seed ^ (wid as u64) << 32, ..spec });
-                let mut w = svc.worker(wid);
-                for _ in 0..ops_per_worker {
-                    // Open loop: rejections (quota/SLO shed) are counted by
-                    // the admission gate, not retried.
-                    let _ = w.execute(gen.next_op());
-                }
-            });
+    let series = std::thread::scope(|s| {
+        let workers_h: Vec<_> = (0..workers)
+            .map(|wid| {
+                let svc = &svc;
+                s.spawn(move || {
+                    let mut gen =
+                        LoadGen::new(WorkloadSpec { seed: spec.seed ^ (wid as u64) << 32, ..spec });
+                    let mut w = svc.worker(wid);
+                    for _ in 0..ops_per_worker {
+                        // Open loop: rejections (quota/SLO shed) are counted by
+                        // the admission gate, not retried.
+                        let _ = w.execute(gen.next_op());
+                    }
+                })
+            })
+            .collect();
+        let done = &done;
+        let sampler = s.spawn(move || {
+            let mut series = Series::new();
+            let t0 = Instant::now();
+            while !done.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                series.push(t0.elapsed().as_nanos() as u64, registry.snapshot_delta());
+            }
+            series.push(t0.elapsed().as_nanos() as u64, registry.snapshot_delta());
+            series
+        });
+        for h in workers_h {
+            h.join().expect("worker thread");
         }
+        done.store(true, Ordering::Relaxed);
+        sampler.join().expect("sampler thread")
     });
     let wall = host0.elapsed();
 
@@ -157,6 +183,13 @@ fn run_sweep_point(shards: usize, workers: usize, theta: f64, ops_per_worker: us
     emit_admission(&mut line, &svc);
     emit_quantiles(&mut line, &svc);
     emit_shard_tails(&mut line, &svc);
+    let _ = write!(line, ",\"series_shard\":0,");
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    series.emit_field(&mut w);
+    w.end_object();
+    let frag = w.finish();
+    line.push_str(&frag[1..frag.len() - 1]);
     line.push('}');
     println!("{line}");
     svc.shutdown();

@@ -34,12 +34,14 @@
 
 use std::time::Instant;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use specpmt_bench::{media_channels_arg, telemetry_block, POOL_BYTES};
 use specpmt_core::{
     ConcurrentConfig, LockedTxHandle, ReclaimMode, SpecConfig, SpecSpmt, SpecSpmtShared,
 };
 use specpmt_pmem::{PmemConfig, PmemDevice, PmemPool};
-use specpmt_telemetry::{JsonWriter, Metric, Phase};
+use specpmt_telemetry::{JsonWriter, Metric, Phase, Series};
 use specpmt_txn::{run_tx, SharedLockTable, TxAccess};
 
 const WRITES_PER_TX: usize = 8;
@@ -61,6 +63,17 @@ fn tx_body<A: TxAccess>(a: &mut A, base: usize, round: u64) {
     }
 }
 
+/// Renders a [`Series`] as the `"series":{...}` fragment the point
+/// lines splice into their printed JSON objects.
+fn series_fragment(series: &Series) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    series.emit_field(&mut w);
+    w.end_object();
+    let s = w.finish();
+    s[1..s.len() - 1].to_string()
+}
+
 /// Runs the sequential runtime (`threads` round-robin slots on one OS
 /// thread) with telemetry enabled and prints its per-phase line.
 fn seq_point(threads: usize, txs: u64) {
@@ -69,11 +82,21 @@ fn seq_point(threads: usize, txs: u64) {
     let cfg = SpecConfig { threads, reclaim_mode: ReclaimMode::Disabled, ..SpecConfig::default() };
     let mut rt = SpecSpmt::new(pool, cfg);
     rt.telemetry().set_enabled(true);
+    // Live export: one interval snapshot every eighth of the run
+    // (deterministic in rounds — the single-threaded point needs no
+    // sampler thread).
+    let mut series = Series::new();
+    let sample_every = (txs / 8).max(1);
+    let t0 = Instant::now();
     for round in 0..txs {
         rt.set_thread((round % threads as u64) as usize);
         rt.begin();
         tx_body(&mut rt, base, round);
         rt.commit();
+        if (round + 1) % sample_every == 0 {
+            let delta = rt.telemetry().registry.snapshot_delta();
+            series.push(t0.elapsed().as_nanos() as u64, delta);
+        }
     }
     let tel = rt.telemetry();
     let commit = tel.registry.phase(Phase::Commit);
@@ -85,7 +108,7 @@ fn seq_point(threads: usize, txs: u64) {
     println!(
         "{{\"bench\":\"txstat\",\"runtime\":\"seq\",\"threads\":{threads},\
          \"commits\":{},\"commit_ns_avg\":{:.1},\"commit_sim_ns_avg\":{:.1},\
-         \"commit_sim_amortized_ns_avg\":{:.1},\
+         \"commit_sim_amortized_ns_avg\":{:.1},{},\
          \"telemetry\":{}}}",
         tel.registry.counter(Metric::Commits),
         commit.mean(),
@@ -93,6 +116,7 @@ fn seq_point(threads: usize, txs: u64) {
         // No combiner daemon in the sequential runtime: the amortized
         // column equals the plain per-commit simulated cost.
         sim.mean(),
+        series_fragment(&series),
         w.finish()
     );
 }
@@ -146,6 +170,10 @@ fn shared_point(opts: &SharedOpts) {
         (0..threads).map(|_| shared.pool().alloc_direct(REGION, 64).unwrap()).collect();
     let hot = shared.pool().alloc_direct(64, 64).unwrap();
     shared.telemetry().set_enabled(true);
+    // Tracing on as well: the `trace` block reports the exact ring
+    // capacity and drop count, the observable the `SPECPMT_TRACE_CAP`
+    // sizing rule is stated against.
+    shared.telemetry().set_tracing(true);
     let locks = SharedLockTable::new(POOL_BYTES, 64);
     let mut handles = LockedTxHandle::fleet(&shared, &locks, threads);
     // Group mode runs with the dedicated combiner daemon: batch drains
@@ -155,21 +183,46 @@ fn shared_point(opts: &SharedOpts) {
         .group_commit
         .then(|| shared.spawn_group_combiner(std::time::Duration::from_micros(100)));
     let txs_per_thread = opts.txs_per_thread;
-    std::thread::scope(|s| {
-        for (t, h) in handles.iter_mut().enumerate() {
-            let base = bases[t];
-            s.spawn(move || {
-                for round in 0..txs_per_thread {
-                    run_tx(h, |tx| {
-                        tx_body(tx, base, round);
-                        if round % HOT_EVERY == 0 {
-                            let v = tx.read_u64(hot);
-                            tx.write_u64(hot, v + 1);
-                        }
-                    });
-                }
-            });
+    // Live export: a sampler thread pushes registry delta snapshots at a
+    // fixed cadence while the workers run, plus one final point covering
+    // the tail interval — the `series` block of `BENCH_txstat.json`.
+    let registry = &shared.telemetry().registry;
+    let done = AtomicBool::new(false);
+    let series = std::thread::scope(|s| {
+        let workers: Vec<_> = handles
+            .iter_mut()
+            .enumerate()
+            .map(|(t, h)| {
+                let base = bases[t];
+                s.spawn(move || {
+                    for round in 0..txs_per_thread {
+                        run_tx(h, |tx| {
+                            tx_body(tx, base, round);
+                            if round % HOT_EVERY == 0 {
+                                let v = tx.read_u64(hot);
+                                tx.write_u64(hot, v + 1);
+                            }
+                        });
+                    }
+                })
+            })
+            .collect();
+        let done = &done;
+        let sampler = s.spawn(move || {
+            let mut series = Series::new();
+            let t0 = Instant::now();
+            while !done.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                series.push(t0.elapsed().as_nanos() as u64, registry.snapshot_delta());
+            }
+            series.push(t0.elapsed().as_nanos() as u64, registry.snapshot_delta());
+            series
+        });
+        for wkr in workers {
+            wkr.join().expect("worker thread");
         }
+        done.store(true, Ordering::Relaxed);
+        sampler.join().expect("sampler thread")
     });
     drop(combiner);
     let tel = shared.telemetry();
@@ -206,6 +259,7 @@ fn shared_point(opts: &SharedOpts) {
          \"fences_per_commit\":{fences_per_commit:.3},\
          \"group_commits\":{},\"group_batches\":{},\
          \"batch_txs_mean\":{:.3},\"batch_txs_max\":{},\
+         \"flight_recorder\":{},{},\
          \"telemetry\":{}}}",
         opts.mode,
         opts.group_commit,
@@ -219,6 +273,8 @@ fn shared_point(opts: &SharedOpts) {
         tel.registry.counter(Metric::GroupBatches),
         batch.mean(),
         batch.max,
+        shared.config().flight_recorder,
+        series_fragment(&series),
         telemetry_block(&shared, &locks)
     );
 }

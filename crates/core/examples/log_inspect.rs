@@ -1,0 +1,80 @@
+//! `inspect` — the `fsck`-style CLI over a crashed pool.
+//!
+//! Builds the canonical multi-threaded demo workload (flight recorder
+//! on), crashes it, and prints what an operator would see:
+//!
+//! ```text
+//! cargo run -p specpmt-core --example log_inspect              # chain summary
+//! cargo run -p specpmt-core --example log_inspect -- --forensics
+//! cargo run -p specpmt-core --example log_inspect -- --json --forensics
+//! cargo run -p specpmt-core --example log_inspect -- --crash mt/commit/fence:2
+//! ```
+//!
+//! `--crash site:hit` picks the injection point (default
+//! `mt/commit/fence:1`); `--forensics` appends the flight-recorder
+//! decode ([`specpmt_core::forensics`]) to the chain summary; `--json`
+//! emits both reports as machine-readable JSON instead of tables.
+
+use specpmt_core::{forensics, inspect_image, ConcurrentConfig, SpecSpmtShared};
+use specpmt_pmem::{CrashControl, CrashPlan, CrashPolicy};
+use specpmt_telemetry::StatExport;
+use specpmt_txn::TxAccess as _;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let want_forensics = args.iter().any(|a| a == "--forensics");
+    let target = arg_value(&args, "--crash").unwrap_or_else(|| "mt/commit/fence:6".into());
+    let plan = match CrashPlan::parse_target(&target) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("--crash {target}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // A small 2-thread workload with the recorder on: interleaved
+    // commits on disjoint words, crashed wherever `--crash` points.
+    let rt = SpecSpmtShared::open_or_format(
+        1usize << 20,
+        ConcurrentConfig::builder().threads(2).flight_recorder(true).build(),
+    );
+    let base = rt.pool().alloc_direct(128, 64).expect("alloc");
+    rt.pool().handle().persist_range(base, 128);
+    rt.device().arm(plan);
+    std::thread::scope(|s| {
+        for tid in 0..2 {
+            let rt = &rt;
+            s.spawn(move || {
+                let mut h = rt.tx_handle(tid);
+                for v in 0..8u64 {
+                    h.begin();
+                    h.write_u64(base + tid * 64, v);
+                    h.commit();
+                }
+            });
+        }
+    });
+    let image = rt.device().take_image().unwrap_or_else(|| {
+        eprintln!("note: {target} never fired; inspecting an orderly shutdown image");
+        rt.device().capture(CrashPolicy::AllLost)
+    });
+
+    let report = inspect_image(&image);
+    let fx = want_forensics.then(|| forensics(&image));
+    if json {
+        println!("{}", report.to_json());
+        if let Some(fx) = &fx {
+            println!("{}", fx.to_json());
+        }
+    } else {
+        println!("{report}");
+        if let Some(fx) = &fx {
+            println!("{fx}");
+        }
+    }
+}

@@ -45,10 +45,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use specpmt_pmem::{
-    coalesce_lines, CrashImage, DeviceHandle, SharedPmemDevice, SharedPmemPool, TimingMode,
-    BUMP_OFF, CACHE_LINE,
+    coalesce_lines, line_of, sites, BlackBoxSink, CrashImage, DeviceHandle, SharedPmemDevice,
+    SharedPmemPool, TimingMode, BUMP_OFF, CACHE_LINE,
 };
-use specpmt_telemetry::{EventKind, Metric, Phase, Registry, Telemetry};
+use specpmt_telemetry::{BbKind, EventKind, Metric, Phase, Registry, Telemetry};
 use specpmt_txn::{CommitReceipt, GroupBatch, GroupCommitter};
 
 use crate::layout::PoolLayout;
@@ -96,6 +96,26 @@ pub struct ConcurrentConfig {
     /// (the default) disables automatic checkpoints; explicit
     /// `write_checkpoint` calls work either way.
     pub checkpoint_interval_cycles: u64,
+    /// Enable the persistent flight recorder: a PM-resident black box of
+    /// per-thread event rings ([`specpmt_pmem::BlackBoxSink`]) whose
+    /// cache lines piggyback on flushes the commit/reclaim/checkpoint
+    /// paths already issue — zero extra fences on the commit path. Off by
+    /// default (the default honours `SPECPMT_FLIGHT_RECORDER`); decode a
+    /// crash image's surviving rings with
+    /// [`crate::recovery::forensics`].
+    pub flight_recorder: bool,
+    /// Events per flight-recorder ring (one ring per thread plus one for
+    /// the daemons). The default honours `SPECPMT_BBOX_CAP`.
+    pub bbox_capacity: usize,
+    /// Fence-stall threshold (simulated ns) above which the recorder logs
+    /// a `fence_stall` event. The default honours `SPECPMT_BBOX_STALL_NS`.
+    pub bbox_stall_ns: u64,
+    /// **Selftest only** — deliberately stage commit receipts *before*
+    /// the commit fence (re-injecting the PR-7 receipt-before-fence bug)
+    /// so `crashenum --selftest-forensics` can prove the forensic report
+    /// catches the resulting ordering violation. Never set in production
+    /// configurations.
+    pub bbox_eager_receipts: bool,
 }
 
 impl Default for ConcurrentConfig {
@@ -108,9 +128,21 @@ impl Default for ConcurrentConfig {
             group_commit: specpmt_telemetry::Knobs::get().group_commit,
             group_linger_ns: specpmt_telemetry::Knobs::get().group_linger_ns,
             checkpoint_interval_cycles: 0,
+            flight_recorder: specpmt_telemetry::Knobs::get().flight_recorder,
+            bbox_capacity: specpmt_telemetry::Knobs::get()
+                .bbox_cap
+                .unwrap_or(specpmt_telemetry::blackbox::DEFAULT_RING_CAPACITY),
+            bbox_stall_ns: specpmt_telemetry::Knobs::get()
+                .bbox_stall_ns
+                .unwrap_or(DEFAULT_BBOX_STALL_NS),
+            bbox_eager_receipts: false,
         }
     }
 }
+
+/// Default fence-stall threshold (simulated ns) for flight-recorder
+/// `fence_stall` events when `SPECPMT_BBOX_STALL_NS` is unset.
+pub const DEFAULT_BBOX_STALL_NS: u64 = 10_000;
 
 impl ConcurrentConfig {
     /// Starts a builder seeded with the defaults (which honour the
@@ -221,6 +253,38 @@ impl ConcurrentConfigBuilder {
     #[must_use]
     pub fn checkpoint_interval_cycles(mut self, cycles: u64) -> Self {
         self.cfg.checkpoint_interval_cycles = cycles;
+        self
+    }
+
+    /// Enables or disables the persistent flight recorder (see
+    /// [`ConcurrentConfig::flight_recorder`]).
+    #[must_use]
+    pub fn flight_recorder(mut self, on: bool) -> Self {
+        self.cfg.flight_recorder = on;
+        self
+    }
+
+    /// Events per flight-recorder ring (see
+    /// [`ConcurrentConfig::bbox_capacity`]).
+    #[must_use]
+    pub fn bbox_capacity(mut self, events: usize) -> Self {
+        self.cfg.bbox_capacity = events;
+        self
+    }
+
+    /// Fence-stall threshold for recorder `fence_stall` events (see
+    /// [`ConcurrentConfig::bbox_stall_ns`]).
+    #[must_use]
+    pub fn bbox_stall_ns(mut self, ns: u64) -> Self {
+        self.cfg.bbox_stall_ns = ns;
+        self
+    }
+
+    /// **Selftest only**: re-inject the receipt-before-fence bug (see
+    /// [`ConcurrentConfig::bbox_eager_receipts`]).
+    #[must_use]
+    pub fn bbox_eager_receipts(mut self, on: bool) -> Self {
+        self.cfg.bbox_eager_receipts = on;
         self
     }
 
@@ -341,6 +405,12 @@ pub struct SpecSpmtShared {
     tel: Telemetry,
     /// Epoch/group-commit combiner (used only when `cfg.group_commit`).
     gc: GroupCommitter,
+    /// The PM-resident flight recorder (None unless
+    /// [`ConcurrentConfig::flight_recorder`]): one event ring per thread
+    /// plus one for the daemons, rooted in the layout descriptor's
+    /// black-box slot and flushed only by piggybacking on fences the
+    /// commit/reclaim/checkpoint paths already issue.
+    bbox: Option<Arc<BlackBoxSink>>,
 }
 
 impl SpecSpmtShared {
@@ -375,6 +445,23 @@ impl SpecSpmtShared {
             layout.set_head_shared(&pool, tid, area.head() as u64);
             areas.push(Arc::new(Mutex::new(AreaState { area, open: false })));
         }
+        // Flight recorder: allocate and format the black-box region (one
+        // ring per thread + one daemon ring), root it in the descriptor's
+        // v3 slot, and attach the sink to the device so every layer that
+        // can reach the pool records through one sink. Still inside the
+        // timing-off setup window — the format fence is free.
+        let bbox = cfg.flight_recorder.then(|| {
+            let rings = cfg.threads + 1;
+            let capacity = cfg.bbox_capacity.max(1);
+            let bytes = specpmt_telemetry::blackbox::region_bytes(rings, capacity);
+            let base =
+                pool.alloc_direct(bytes, 64).expect("pool too small for flight-recorder rings");
+            let sink =
+                Arc::new(BlackBoxSink::format(&handle, base, rings, capacity, cfg.bbox_stall_ns));
+            layout.set_bbox_head_shared(&pool, base as u64);
+            dev.attach_blackbox(Arc::clone(&sink));
+            sink
+        });
         dev.flush_everything();
         dev.set_timing(prev);
         // One telemetry shard per transaction thread plus one for the
@@ -400,6 +487,7 @@ impl SpecSpmtShared {
             reclaim: Mutex::new(ReclaimState::default()),
             tel,
             gc,
+            bbox,
         })
     }
 
@@ -462,6 +550,13 @@ impl SpecSpmtShared {
     /// `SPECPMT_TRACE` environment variables.
     pub fn telemetry(&self) -> &Telemetry {
         &self.tel
+    }
+
+    /// The flight-recorder sink, when [`ConcurrentConfig::flight_recorder`]
+    /// is set (`None` otherwise — the recorder-off hot path pays exactly
+    /// this `Option` check).
+    pub fn blackbox(&self) -> Option<&Arc<BlackBoxSink>> {
+        self.bbox.as_ref()
     }
 
     /// Creates the transaction handle for thread slot `tid`. Each slot must
@@ -689,6 +784,12 @@ impl SpecSpmtShared {
                 area.write_terminator(&mut store, &mut dirty);
                 area
             };
+            // Flight recorder: the daemon ring's pending slots ride this
+            // cycle's first fence.
+            let bbox_carried = match &self.bbox {
+                Some(bb) => bb.take_dirty(rtid, &mut dirty),
+                None => 0,
+            };
             // Fence 1: the new chain is fully persistent before any head
             // pointer references it (one vectored, coalesced flush). The
             // fence is attributed to the daemon's own telemetry shard so
@@ -697,6 +798,9 @@ impl SpecSpmtShared {
             handle.clwb_ranges(&dirty);
             let fr = handle.sfence();
             handle.crash_point("mt/reclaim/fence");
+            if bbox_carried > 0 {
+                handle.crash_point(sites::BBOX_PERSIST);
+            }
             self.tel.registry.add(rtid, Metric::Fences, 1);
             if fr.flushes > 0 {
                 self.tel.registry.add(rtid, Metric::WpqDrains, 1);
@@ -719,8 +823,16 @@ impl SpecSpmtShared {
             drop(st);
             // Old blocks are recycled only after the swap fence, so a crash
             // image either references the old chain (intact) or the new.
-            self.free_blocks.lock().expect("free lock").extend(new_area.into_blocks());
+            let freed = {
+                let blocks = new_area.into_blocks();
+                let n = blocks.len() as u64;
+                self.free_blocks.lock().expect("free lock").extend(blocks);
+                n
+            };
             handle.crash_point("mt/reclaim/splice");
+            if let Some(bb) = &self.bbox {
+                bb.record_now(&handle, rtid, BbKind::ReclaimSplice, dropped, freed, 0);
+            }
         }
         rs.stats.last_cycle_ns = self.device().now_ns() - t0;
         let bytes = rs.stats.bytes_reclaimed.saturating_sub(bytes_before);
@@ -911,12 +1023,21 @@ impl SpecSpmtShared {
             area.append(&mut store, &encoded, &mut dirty);
             area
         };
+        // Flight recorder: the daemon ring's pending slots ride the
+        // checkpoint's persist fence.
+        let bbox_carried = match &self.bbox {
+            Some(bb) => bb.take_dirty(self.cfg.threads, &mut dirty),
+            None => 0,
+        };
         handle.crash_point("ckpt/write");
         handle.clwb_ranges(&dirty);
         handle.sfence();
         // Both checkpoint fences land on the daemon's telemetry shard:
         // checkpointing is background work, never a committer's cost.
         self.tel.registry.add(self.cfg.threads, Metric::Fences, 1);
+        if bbox_carried > 0 {
+            handle.crash_point(sites::BBOX_PERSIST);
+        }
         handle.crash_point("ckpt/persist");
         self.layout
             .read()
@@ -924,6 +1045,16 @@ impl SpecSpmtShared {
             .set_ckpt_head_shared(&self.pool, new_area.head() as u64);
         self.tel.registry.add(self.cfg.threads, Metric::Fences, 1);
         handle.crash_point("ckpt/splice");
+        if let Some(bb) = &self.bbox {
+            bb.record_now(
+                &handle,
+                self.cfg.threads,
+                BbKind::CkptSplice,
+                ckpt.watermark,
+                ckpt.entries.len() as u64,
+                0,
+            );
+        }
         let old = ckpt_guard.replace(new_area);
         drop(ckpt_guard);
         if let Some(old_area) = old {
@@ -944,12 +1075,36 @@ fn drain_group_batch(
     tid: usize,
     batch: &specpmt_txn::GroupBatch,
 ) -> (u64, u64) {
+    // Flight recorder: the batch fence covers every stager, so carry
+    // every ring's pending event slots with it (folded into the same
+    // fused drain — no fence of their own).
+    let bbox = dev.device().blackbox();
+    let mut bbox_carried = 0;
+    let mut lines_with_bbox = Vec::new();
+    let log_lines = match &bbox {
+        Some(bb) => {
+            let mut ranges = Vec::new();
+            bbox_carried = bb.take_dirty_all(&mut ranges);
+            if bbox_carried == 0 {
+                &batch.log_lines
+            } else {
+                lines_with_bbox.extend_from_slice(&batch.log_lines);
+                for (addr, len) in ranges {
+                    lines_with_bbox.extend(line_of(addr)..=line_of(addr + len - 1));
+                }
+                lines_with_bbox.sort_unstable();
+                lines_with_bbox.dedup();
+                &lines_with_bbox
+            }
+        }
+        None => &batch.log_lines,
+    };
     // Every receipt in the batch is still unpublished here; after the
     // fused drain(s) below, all of them are durable at once. Both the
     // flat-combining and daemon drain paths funnel through this function,
     // so the labels cover group commit in every election mode.
     dev.crash_point("mt/group/pre_fence");
-    let fr = dev.drain_lines(&batch.log_lines);
+    let fr = dev.drain_lines(log_lines);
     reg.add(tid, Metric::Fences, 1);
     let (mut stall, mut flushes) = (fr.stall_ns, fr.flushes);
     if !batch.data_lines.is_empty() {
@@ -959,6 +1114,16 @@ fn drain_group_batch(
         flushes += fr.flushes;
     }
     dev.crash_point("mt/group/batch_fence");
+    if let Some(bb) = &bbox {
+        if bbox_carried > 0 {
+            dev.crash_point(sites::BBOX_PERSIST);
+        }
+        let site = sites::index_of("mt/group/batch_fence").unwrap_or(0) as u64;
+        bb.record_now(dev, tid, BbKind::BatchSeal, batch.txs, site, 0);
+        if stall > bb.stall_threshold_ns() {
+            bb.record_now(dev, tid, BbKind::FenceStall, stall, flushes, 0);
+        }
+    }
     (stall, flushes)
 }
 
@@ -1108,6 +1273,18 @@ impl TxHandle {
         self.in_tx
     }
 
+    /// Records an application-level event into this thread's
+    /// flight-recorder ring (no-op when the recorder is off). Higher
+    /// layers — the kv service's `KvOp`/`KvOpDone` markers and governor
+    /// decisions — use this; like every recorder write, the slot's
+    /// persist rides the next fence this thread already pays, so the
+    /// call adds no ordering traffic of its own.
+    pub fn record_event(&self, kind: BbKind, a: u64, b: u64, aux: u8) {
+        if let Some(bb) = &self.shared.bbox {
+            bb.record_now(&self.dev, self.tel_tid, kind, a, b, aux);
+        }
+    }
+
     /// Starts a transaction on this thread's chain.
     ///
     /// # Panics
@@ -1136,6 +1313,9 @@ impl TxHandle {
         self.in_tx = true;
         self.shared.tel.registry.add(self.tel_tid, Metric::Begins, 1);
         self.shared.tel.tracer.record(self.tel_tid, EventKind::Begin, 0, 0);
+        if let Some(bb) = &self.shared.bbox {
+            bb.record_now(&self.dev, self.tel_tid, BbKind::TxBegin, 0, 0, 0);
+        }
     }
 
     /// Durably writes `data` at pool offset `addr` within the open
@@ -1275,6 +1455,19 @@ impl TxHandle {
         self.shared.tel.tracer.record(tid, EventKind::Seal, ts, self.ws.payload().len() as u64);
         self.dev.crash_point("mt/commit/append");
 
+        if commit && shared.cfg.bbox_eager_receipts {
+            if let Some(bb) = &shared.bbox {
+                // Selftest-only bug re-injection (PR 7's receipt-before-
+                // fence): publish the commit receipt durably *before* the
+                // commit fence. A crash between here and the fence leaves
+                // a persisted TxCommit whose record never became durable —
+                // exactly the violation `forensics` must catch.
+                let site = sites::index_of("mt/group/pre_fence").unwrap_or(0) as u64;
+                let (addr, len) = bb.record_now(&self.dev, tid, BbKind::TxCommit, ts, site, 1);
+                self.dev.persist_range(addr, len);
+            }
+        }
+
         if self.shared.cfg.group_commit && commit {
             self.seal_group(tid, urgent);
         } else {
@@ -1292,6 +1485,21 @@ impl TxHandle {
                 Phase::CommitSim,
                 self.dev.local_now_ns().saturating_sub(sim0),
             );
+        }
+        if commit && !shared.cfg.bbox_eager_receipts {
+            if let Some(bb) = &shared.bbox {
+                // Commit receipt, staged only now — after the fence that
+                // made the record durable returned. This ordering is the
+                // forensic tail invariant: a persisted TxCommit implies
+                // its record was already in the persisted image. The slot
+                // itself rides the *next* already-scheduled fence.
+                let (site, aux) = if shared.cfg.group_commit {
+                    (sites::index_of("mt/group/batch_fence"), 1)
+                } else {
+                    (sites::index_of("mt/commit/fence"), 0)
+                };
+                bb.record_now(&self.dev, tid, BbKind::TxCommit, ts, site.unwrap_or(0) as u64, aux);
+            }
         }
 
         // Lock release: hand the chain back to the daemon.
@@ -1312,6 +1520,13 @@ impl TxHandle {
     /// own record (plus a second pair for DP data lines). Called with the
     /// area lock held.
     fn seal_solo(&mut self, tid: usize) {
+        // Flight recorder: fold this ring's pending event slots into the
+        // commit flush below — they ride the fence this commit already
+        // pays, never one of their own.
+        let bbox_carried = match &self.shared.bbox {
+            Some(bb) => bb.take_dirty(tid, &mut self.dirty),
+            None => 0,
+        };
         // The single commit fence: one vectored flush covering the whole
         // record (coalesced, ascending lines) and nothing else. The area
         // lock is held through the fence so the daemon never splices a
@@ -1328,6 +1543,14 @@ impl TxHandle {
         let fr = self.dev.sfence();
         fence_span.stop();
         self.dev.crash_point("mt/commit/fence");
+        if let Some(bb) = &self.shared.bbox {
+            if bbox_carried > 0 {
+                self.dev.crash_point(sites::BBOX_PERSIST);
+            }
+            if fr.stall_ns > bb.stall_threshold_ns() {
+                bb.record_now(&self.dev, tid, BbKind::FenceStall, fr.stall_ns, fr.flushes, 0);
+            }
+        }
         self.shared.tel.registry.add(tid, Metric::Fences, 1);
         self.shared.tel.tracer.record(tid, EventKind::Fence, fr.stall_ns, fr.flushes);
         if fr.flushes > 0 {
@@ -1478,6 +1701,9 @@ impl TxHandle {
         let _ = self.seal(false, false);
         self.shared.aborts.fetch_add(1, Ordering::Relaxed);
         self.shared.tel.registry.add(self.tel_tid, Metric::Aborts, 1);
+        if let Some(bb) = &self.shared.bbox {
+            bb.record_now(&self.dev, self.tel_tid, BbKind::TxAbort, 0, 0, 0);
+        }
     }
 
     /// Detaches this handle's thread slot from the runtime, returning the

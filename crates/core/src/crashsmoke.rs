@@ -43,14 +43,30 @@ use crate::{ConcurrentConfig, ReclaimMode, SpecConfig, SpecSpmt, SpecSpmtShared,
 /// pristine clone through parallel parsing + checkpoint-bounded replay
 /// and asserts bit-identity — the acceptance contract that the optimized
 /// recovery is equivalent on *every* enumerated crash case.
-fn recover_and_check_equivalence(image: &mut CrashImage) {
+///
+/// Every image also runs through [`crate::recovery::forensics`]: the
+/// decode must never fail (torn ring slots degrade to counts), the
+/// receipt-ahead-of-durability check must come back clean, and the event
+/// record must be consistent with what recovery reported. That makes each
+/// enumerated crash case double as a black-box soundness check.
+fn recover_and_check_equivalence(image: &mut CrashImage) -> crate::recovery::RecoveryReport {
     let mut optimized = image.clone();
     SpecSpmt::recover(image);
-    crate::recovery::recover_image_opts(&mut optimized, &RecoveryOptions::parallel(4));
+    let report = crate::recovery::recover_image_opts(&mut optimized, &RecoveryOptions::parallel(4));
     assert_eq!(
         *image, optimized,
         "parallel/checkpointed recovery diverged from the serial reference"
     );
+    let fx = crate::recovery::forensics(image);
+    assert!(
+        fx.is_clean(),
+        "forensic violations on a correct runtime: {:?}\n{fx}\n{}",
+        fx.violations,
+        crate::inspect::inspect_image(image),
+    );
+    let issues = fx.check_against(&report);
+    assert!(issues.is_empty(), "forensics inconsistent with recovery: {issues:?}\n{fx}");
+    report
 }
 
 /// Region bytes of the sequential smoke stream.
@@ -153,10 +169,15 @@ fn mt_value(t: usize, k: usize) -> u64 {
 /// found in the recovered image.
 pub fn run_mt_smoke(plan: CrashPlan, group_commit: bool) -> Result<RunSummary, String> {
     let dev = SharedPmemDevice::new(PmemConfig::new(1 << 22));
+    // The flight recorder runs with a deliberately tiny ring so the smoke
+    // stream wraps every ring, covering the `bbox/*` sites and the
+    // overwrite path in one enumeration.
     let cfg = ConcurrentConfig::builder()
         .threads(MT_THREADS)
         .group_commit(group_commit)
         .reclaim_threshold_bytes(1024)
+        .flight_recorder(true)
+        .bbox_capacity(32)
         .build();
     let shared = SpecSpmtShared::open_or_format(dev.clone(), cfg);
     let bases: Vec<usize> = (0..MT_THREADS)
@@ -220,6 +241,10 @@ pub fn run_mt_smoke(plan: CrashPlan, group_commit: bool) -> Result<RunSummary, S
         }
     };
     recover_and_check_equivalence(&mut image);
+    // The recorder was formatted before the crash armed, so the region
+    // must decode on every enumerated image.
+    let fx = crate::recovery::forensics(&image);
+    assert!(fx.recorder_present, "flight-recorder region missing from the mt crash image");
 
     for (t, (&base, &last_definite)) in bases.iter().zip(&definite).enumerate() {
         let (a, b) = (image.read_u64(base), image.read_u64(base + 64));
@@ -305,7 +330,7 @@ mod tests {
             .unwrap_or_else(|e| panic!("SPECPMT_CRASH_TARGET rejected: {e}"));
         let canonical = sites::lookup(&site).expect("validated by parse_target");
         let summary = match canonical.subsystem {
-            "mt-group" => run_mt_smoke(plan, true),
+            "mt-group" | "bbox" => run_mt_smoke(plan, true),
             s if s.starts_with("mt-") || s == "ckpt" => run_mt_smoke(plan, false),
             _ => run_seq_smoke(plan),
         }
@@ -316,7 +341,10 @@ mod tests {
         if summary.fired {
             assert_eq!(summary.fired_at, Some((canonical.name, hit)));
         } else {
-            assert!(canonical.name.starts_with("mt/"), "seq targets are deterministic");
+            assert!(
+                canonical.name.starts_with("mt/") || canonical.name.starts_with("bbox/"),
+                "seq targets are deterministic"
+            );
         }
     }
 

@@ -20,7 +20,8 @@
 //!   16 .. 24  log block bytes (u64)
 //!   24 .. 32  FNV-1a checksum of bytes 0..24
 //!   32 .. 40  checkpoint chain head (u64, v2+; 0 = no checkpoint)
-//!   40 .. 40 + 8·capacity   per-thread chain-head pointers (u64 each)
+//!   40 .. 48  black-box region base (u64, v3+; 0 = recorder never on)
+//!   48 .. 48 + 8·capacity   per-thread chain-head pointers (u64 each)
 //! ```
 //!
 //! The header (bytes 0..32) is written once at format time and never
@@ -50,9 +51,10 @@
 //! still format [`LEGACY_CHAIN_SLOTS`] fixed chains rooted at
 //! [`LOG_HEAD_SLOT_BASE`] with the block size in [`BLOCK_BYTES_SLOT`].
 //! A v1 descriptor (PR 3 .. PR 8 pools: head table at offset 32, no
-//! checkpoint head, capacity ≤ 32) still parses too. [`PoolLayout::read`]
-//! transparently degrades, so one recovery/inspection path serves all
-//! three generations of pool.
+//! checkpoint head, capacity ≤ 32) still parses, as does a v2 descriptor
+//! (PR 9 pools: checkpoint head at 32, head table at 40, no black-box
+//! slot). [`PoolLayout::read`] transparently degrades, so one
+//! recovery/inspection path serves all four generations of pool.
 
 use specpmt_pmem::{root_off, PmemPool, SharedPmemPool, POOL_HEADER_SIZE, POOL_MAGIC};
 
@@ -76,11 +78,15 @@ pub const LEGACY_CHAIN_SLOTS: usize = 8;
 /// Magic identifying a layout descriptor ("SPLAYOUT").
 pub const LAYOUT_MAGIC: u64 = 0x5350_4c41_594f_5554;
 
-/// Current descriptor version (v2: registration table + checkpoint head).
-pub const LAYOUT_VERSION: u32 = 2;
+/// Current descriptor version (v3: v2 + the flight-recorder region base).
+pub const LAYOUT_VERSION: u32 = 3;
 
-/// The previous fixed-at-format descriptor version (head table at offset
-/// 32, no checkpoint head). Still readable.
+/// The registration-table + checkpoint-head descriptor version (PR 9
+/// pools: head table at offset 40, no black-box slot). Still readable.
+pub const LAYOUT_VERSION_V2: u32 = 2;
+
+/// The fixed-at-format descriptor version (head table at offset 32, no
+/// checkpoint head). Still readable.
 pub const LAYOUT_VERSION_V1: u32 = 1;
 
 /// Descriptor header bytes preceding the head table in a **v1**
@@ -89,10 +95,20 @@ pub const DESC_HDR_V1: usize = 32;
 
 /// Descriptor header bytes preceding the head table in a **v2**
 /// descriptor (v1 header + the mutable checkpoint-head pointer).
-pub const DESC_HDR: usize = 40;
+pub const DESC_HDR_V2: usize = 40;
 
-/// Offset of the checkpoint chain head within a v2 descriptor.
+/// Descriptor header bytes preceding the head table in a **v3**
+/// descriptor (v2 header + the mutable black-box region base).
+pub const DESC_HDR: usize = 48;
+
+/// Offset of the checkpoint chain head within a v2+ descriptor.
 pub const CKPT_HEAD_OFF: usize = 32;
+
+/// Offset of the black-box (flight recorder) region base within a v3
+/// descriptor. Like the checkpoint head it is mutable, non-checksummed
+/// state: the region it points at self-validates via its own
+/// checksummed header, and 0 means the recorder was never enabled.
+pub const BBOX_HEAD_OFF: usize = 40;
 
 /// The v1 descriptor's capacity cap (reads of old pools enforce it).
 const MAX_THREADS_V1: usize = 32;
@@ -224,9 +240,12 @@ impl PoolLayout {
         Self::check_format_args(capacity, self.block_bytes);
         let mut bytes = Self::descriptor_bytes(capacity, self.block_bytes);
         let h = pool.handle();
-        // Carry the mutable tail over: checkpoint head + live head table.
+        // Carry the mutable tail over: checkpoint head, black-box base,
+        // and the live head table.
         bytes[CKPT_HEAD_OFF..CKPT_HEAD_OFF + 8]
             .copy_from_slice(&(self.ckpt_head(&h) as u64).to_le_bytes());
+        bytes[BBOX_HEAD_OFF..BBOX_HEAD_OFF + 8]
+            .copy_from_slice(&(self.bbox_head(&h) as u64).to_le_bytes());
         for tid in 0..self.threads {
             let head = self.head(&h, tid) as u64;
             let off = DESC_HDR + 8 * tid;
@@ -284,7 +303,7 @@ impl PoolLayout {
             return None;
         }
         let version = u32::from_le_bytes(hdr[8..12].try_into().expect("4 bytes"));
-        if version != LAYOUT_VERSION_V1 && version != LAYOUT_VERSION {
+        if !(LAYOUT_VERSION_V1..=LAYOUT_VERSION).contains(&version) {
             return None;
         }
         let sum = u64::from_le_bytes(hdr[24..32].try_into().expect("8 bytes"));
@@ -294,7 +313,11 @@ impl PoolLayout {
         let threads = u32::from_le_bytes(hdr[12..16].try_into().expect("4 bytes")) as usize;
         let block_bytes = u64::from_le_bytes(hdr[16..24].try_into().expect("8 bytes")) as usize;
         let max = if version == LAYOUT_VERSION_V1 { MAX_THREADS_V1 } else { Self::MAX_THREADS };
-        let hdr_len = if version == LAYOUT_VERSION_V1 { DESC_HDR_V1 } else { DESC_HDR };
+        let hdr_len = match version {
+            LAYOUT_VERSION_V1 => DESC_HDR_V1,
+            LAYOUT_VERSION_V2 => DESC_HDR_V2,
+            _ => DESC_HDR,
+        };
         if !(1..=max).contains(&threads)
             || !BLOCK_BYTES_RANGE.contains(&block_bytes)
             || desc_base + hdr_len + 8 * threads > src.source_len()
@@ -323,7 +346,7 @@ impl PoolLayout {
     }
 
     /// Descriptor version: 0 legacy, 1 fixed-at-format, 2 registration
-    /// table + checkpoint head.
+    /// table + checkpoint head, 3 adds the black-box region base.
     pub fn version(&self) -> u32 {
         self.version
     }
@@ -335,10 +358,10 @@ impl PoolLayout {
 
     /// Bytes preceding this descriptor's head table.
     fn table_off(&self) -> usize {
-        if self.version == LAYOUT_VERSION_V1 {
-            DESC_HDR_V1
-        } else {
-            DESC_HDR
+        match self.version {
+            LAYOUT_VERSION_V1 => DESC_HDR_V1,
+            LAYOUT_VERSION_V2 => DESC_HDR_V2,
+            _ => DESC_HDR,
         }
     }
 
@@ -385,7 +408,7 @@ impl PoolLayout {
     /// Pool offset of the checkpoint chain head, when this descriptor has
     /// one (v2+ only).
     pub fn ckpt_head_addr(&self) -> Option<usize> {
-        (self.desc_base != 0 && self.version >= LAYOUT_VERSION)
+        (self.desc_base != 0 && self.version >= LAYOUT_VERSION_V2)
             .then(|| self.desc_base + CKPT_HEAD_OFF)
     }
 
@@ -409,6 +432,37 @@ impl PoolLayout {
         let addr = self.ckpt_head_addr().expect("layout has no checkpoint slot (v1/legacy)");
         let h = pool.handle();
         h.write_u64(addr, head);
+        h.persist_range(addr, 8);
+    }
+
+    /// Pool offset of the black-box (flight recorder) region base, when
+    /// this descriptor has one (v3+ only).
+    pub fn bbox_head_addr(&self) -> Option<usize> {
+        (self.desc_base != 0 && self.version >= LAYOUT_VERSION)
+            .then(|| self.desc_base + BBOX_HEAD_OFF)
+    }
+
+    /// Reads the black-box region base (0 = recorder never enabled;
+    /// legacy, v1 and v2 pools always read 0).
+    pub fn bbox_head<S: ByteSource>(&self, src: &S) -> usize {
+        match self.bbox_head_addr() {
+            Some(addr) => read_u64_at(src, addr).unwrap_or(0) as usize,
+            None => 0,
+        }
+    }
+
+    /// Writes and immediately persists the black-box region base. Done
+    /// once at runtime construction (setup, not the commit path), so the
+    /// extra fence here is free; the region it points at self-validates
+    /// via its own checksummed header.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a layout without a black-box slot (legacy, v1 or v2).
+    pub fn set_bbox_head_shared(&self, pool: &SharedPmemPool, base: u64) {
+        let addr = self.bbox_head_addr().expect("layout has no black-box slot (pre-v3)");
+        let h = pool.handle();
+        h.write_u64(addr, base);
         h.persist_range(addr, 8);
     }
 }
@@ -474,6 +528,53 @@ mod tests {
         assert_eq!(l.head(&img, 0), 0x1000, "v1 head table sits at offset 32");
         assert_eq!(l.ckpt_head(&img), 0, "v1 descriptors have no checkpoint head");
         assert!(l.ckpt_head_addr().is_none());
+    }
+
+    #[test]
+    fn v2_descriptor_still_parses_with_table_at_offset_40() {
+        // Hand-build a v2 descriptor (what PR 9 pools persisted):
+        // checkpoint head at 32, head table directly after the 40-byte
+        // header, no black-box slot.
+        let mut p = pool();
+        let threads = 3usize;
+        let mut d = vec![0u8; DESC_HDR_V2 + 8 * threads];
+        d[0..8].copy_from_slice(&LAYOUT_MAGIC.to_le_bytes());
+        d[8..12].copy_from_slice(&LAYOUT_VERSION_V2.to_le_bytes());
+        d[12..16].copy_from_slice(&(threads as u32).to_le_bytes());
+        d[16..24].copy_from_slice(&4096u64.to_le_bytes());
+        let sum = fnv1a64(&d[0..24]);
+        d[24..32].copy_from_slice(&sum.to_le_bytes());
+        d[CKPT_HEAD_OFF..CKPT_HEAD_OFF + 8].copy_from_slice(&0x5555u64.to_le_bytes());
+        d[40..48].copy_from_slice(&0x1000u64.to_le_bytes()); // head[0]
+        let base = p.alloc_direct(d.len(), 64).unwrap();
+        p.device_mut().write(base, &d);
+        p.device_mut().persist_range(base, d.len());
+        p.set_root_direct(LAYOUT_SLOT, base as u64);
+        p.set_root_direct(BLOCK_BYTES_SLOT, 4096);
+        let img = p.device().capture(CrashPolicy::AllLost);
+        let l = PoolLayout::read(&img).expect("v2 descriptor parses");
+        assert_eq!(l.version(), LAYOUT_VERSION_V2);
+        assert_eq!(l.threads(), threads);
+        assert_eq!(l.head(&img, 0), 0x1000, "v2 head table sits at offset 40");
+        assert_eq!(l.ckpt_head(&img), 0x5555, "v2 checkpoint head still readable");
+        assert!(l.ckpt_head_addr().is_some(), "v2 keeps its checkpoint slot under v3 code");
+        assert_eq!(l.bbox_head(&img), 0, "v2 descriptors have no black-box slot");
+        assert!(l.bbox_head_addr().is_none());
+    }
+
+    #[test]
+    fn bbox_head_round_trips_and_survives_growth() {
+        let dev = specpmt_pmem::SharedPmemDevice::new(PmemConfig::new(1 << 20));
+        let p = SharedPmemPool::create(dev);
+        let l = PoolLayout::format_shared(&p, 2, 512);
+        assert_eq!(l.bbox_head(&p.handle()), 0, "fresh pools start with no recorder region");
+        l.set_bbox_head_shared(&p, 0x7777);
+        assert_eq!(l.bbox_head(&p.handle()), 0x7777);
+        let grown = l.grow_shared(&p, 5);
+        let img = p.device().capture(CrashPolicy::AllLost);
+        let back = PoolLayout::read(&img).unwrap();
+        assert_eq!(back, grown);
+        assert_eq!(back.bbox_head(&img), 0x7777, "growth carries the black-box base");
     }
 
     #[test]

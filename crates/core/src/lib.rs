@@ -89,6 +89,9 @@ pub use layout::{
 pub use locked::LockedTxHandle;
 pub use reclaim::{FreshnessIndex, ReclaimState, ReclaimStats};
 pub use record::{encode_checkpoint, parse_checkpoint, CheckpointRecord};
-pub use recovery::{recover_image_opts, RecoveryOptions, RecoveryReport};
+pub use recovery::{
+    forensics, recover_image_opts, ForensicInFlight, ForensicReport, ForensicViolation,
+    RecoveryOptions, RecoveryReport,
+};
 pub use runtime::{ReclaimMode, SpecConfig, SpecSpmt};
 pub use writeset::{EntrySlot, WriteSet};

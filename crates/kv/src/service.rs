@@ -25,7 +25,7 @@ use specpmt_core::{
     RecoveryReport, SpecSpmtShared,
 };
 use specpmt_pmem::{CrashImage, PmemConfig};
-use specpmt_telemetry::{Histogram, HistogramSnapshot};
+use specpmt_telemetry::{BbKind, Histogram, HistogramSnapshot};
 use specpmt_txn::{run_tx, SharedLockTable, TxAccess};
 
 use crate::admission::{Admission, AdmissionConfig, AdmissionStats, KvError};
@@ -65,6 +65,12 @@ pub struct KvConfig {
     /// Sample shard tails into the shed governor every N admitted ops
     /// (0 disables the governor).
     pub governor_every: u64,
+    /// Enable each shard runtime's persistent flight recorder. Workers
+    /// then bracket every operation with `KvOp`/`KvOpDone` events and
+    /// log governor rejections, so a shard crash image names the
+    /// in-flight op class under `forensics`. Defaults to the runtime's
+    /// own default (the `SPECPMT_FLIGHT_RECORDER` knob).
+    pub flight_recorder: bool,
 }
 
 impl Default for KvConfig {
@@ -82,6 +88,7 @@ impl Default for KvConfig {
             stripe_bytes: 64,
             admission: AdmissionConfig::default(),
             governor_every: 256,
+            flight_recorder: ConcurrentConfig::default().flight_recorder,
         }
     }
 }
@@ -147,6 +154,13 @@ impl KvConfig {
     #[must_use]
     pub fn with_governor_every(mut self, every: u64) -> Self {
         self.governor_every = every;
+        self
+    }
+
+    /// Enables or disables the per-shard flight recorder.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, on: bool) -> Self {
+        self.flight_recorder = on;
         self
     }
 }
@@ -288,6 +302,7 @@ impl KvService {
                         .threads(cfg.workers)
                         .group_commit(cfg.group_commit)
                         .reclaim_threshold_bytes(cfg.reclaim_threshold_bytes)
+                        .flight_recorder(cfg.flight_recorder)
                         .build(),
                 );
                 let locks = SharedLockTable::new(cfg.pool_bytes, cfg.stripe_bytes);
@@ -391,7 +406,13 @@ impl KvWorker<'_> {
     /// [`KvError::Overloaded`]) or [`KvError::TableFull`] from the shard
     /// table.
     pub fn execute(&mut self, op: KvOp) -> Result<OpResult, KvError> {
-        let seq = self.service.admission.try_admit(op.tenant)?;
+        let seq = match self.service.admission.try_admit(op.tenant) {
+            Ok(seq) => seq,
+            Err(e) => {
+                self.record_rejection(op.tenant, e);
+                return Err(e);
+            }
+        };
         let out = self.execute_admitted(op);
         self.service.maybe_govern(seq);
         out
@@ -442,7 +463,13 @@ impl KvWorker<'_> {
         expected: Option<u64>,
         new: u64,
     ) -> Result<CasOutcome, KvError> {
-        let seq = self.service.admission.try_admit(tenant)?;
+        let seq = match self.service.admission.try_admit(tenant) {
+            Ok(seq) => seq,
+            Err(e) => {
+                self.record_rejection(tenant, e);
+                return Err(e);
+            }
+        };
         let out = self.run_cas(tenant, key, expected, new);
         self.service.maybe_govern(seq);
         out
@@ -490,6 +517,10 @@ impl KvWorker<'_> {
         let shard = self.service.router.shard_of(op.tenant, op.key);
         let table = self.service.shards[shard].table;
         let h = &mut self.handles[shard];
+        // Flight recorder: bracket the op on its shard's ring. A crash
+        // image holding the `KvOp` marker without its `KvOpDone` names
+        // this class as in flight at the instant of failure.
+        h.inner().record_event(BbKind::KvOp, op.key, shard as u64, op.class.index() as u8);
         let host0 = Instant::now();
         let sim0 = h.local_now_ns();
         let out = match op.class {
@@ -505,7 +536,7 @@ impl KvWorker<'_> {
             }))),
             OpClass::Cas => unreachable!("cas handled by run_cas"),
         };
-        self.finish(op.class, host0, sim0, shard, out.is_ok());
+        self.finish(op.class, host0, sim0, shard, op.key, out.is_ok());
         out
     }
 
@@ -519,22 +550,55 @@ impl KvWorker<'_> {
         let shard = self.service.router.shard_of(tenant, key);
         let table = self.service.shards[shard].table;
         let h = &mut self.handles[shard];
+        h.inner().record_event(BbKind::KvOp, key, shard as u64, OpClass::Cas.index() as u8);
         let host0 = Instant::now();
         let sim0 = h.local_now_ns();
         let out = run_tx(h, |tx| table.cas(tx, tenant, key, expected, new))
             .map_err(|_| KvError::TableFull);
-        self.finish(OpClass::Cas, host0, sim0, shard, out.is_ok());
+        self.finish(OpClass::Cas, host0, sim0, shard, key, out.is_ok());
         out
     }
 
-    fn finish(&mut self, class: OpClass, host0: Instant, sim0: u64, shard: usize, ok: bool) {
+    fn finish(
+        &mut self,
+        class: OpClass,
+        host0: Instant,
+        sim0: u64,
+        shard: usize,
+        key: u64,
+        ok: bool,
+    ) {
         let sim_ns = self.handles[shard].local_now_ns().saturating_sub(sim0);
         let host_ns = host0.elapsed().as_nanos() as u64;
+        self.handles[shard].inner().record_event(
+            BbKind::KvOpDone,
+            key,
+            shard as u64,
+            class.index() as u8,
+        );
         let stats = &self.service.stats;
         stats.sim[class.index()].record(sim_ns);
         stats.host[class.index()].record(host_ns);
         if ok {
             stats.completed[class.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Flight recorder: log an admission rejection on shard 0's ring —
+    /// the request never reached a shard, so the first ring serves as
+    /// the service-wide governor channel.
+    fn record_rejection(&self, tenant: u32, err: KvError) {
+        let h = self.handles[0].inner();
+        match err {
+            KvError::Overloaded => {
+                let worst = self.service.shards.iter().map(KvShard::tail_p99_ns).max().unwrap_or(0);
+                h.record_event(BbKind::GovShed, worst, u64::from(tenant), 0);
+            }
+            KvError::QuotaExceeded => {
+                let window = self.service.cfg.admission.window_ops;
+                h.record_event(BbKind::GovQuota, window, u64::from(tenant), 0);
+            }
+            KvError::TableFull => {}
         }
     }
 }
@@ -594,6 +658,66 @@ mod tests {
                 }
             }
         }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn forensics_names_the_in_flight_op_class_on_a_shard_crash() {
+        use specpmt_core::forensics;
+        use specpmt_pmem::{CrashControl, CrashPlan};
+        let svc = KvService::open(small().with_flight_recorder(true));
+        let mut w = svc.worker(0);
+        for key in 0..16 {
+            w.put(0, key, key + 1).unwrap();
+        }
+        // Crash the owning shard from inside a CAS: `mt/commit/fence`
+        // fires after the commit fence (which carries the staged `KvOp`
+        // marker to PM) but before the receipt and the `KvOpDone`, so
+        // the image holds an unmatched `KvOp` naming the class.
+        let key = 5u64;
+        let shard = svc.router().shard_of(0, key);
+        let dev = svc.shard(shard).runtime().device();
+        dev.arm(CrashPlan::parse_target("mt/commit/fence:1").unwrap());
+        assert_eq!(w.cas(0, key, Some(6), 99).unwrap(), CasOutcome::Applied);
+        let mut img = dev.take_image().expect("the cas commit crossed the armed site");
+        let fx = forensics(&img);
+        assert!(fx.recorder_present, "kv shards format a recorder region:\n{fx}");
+        assert!(fx.is_clean(), "correct runtime, clean report: {:?}\n{fx}", fx.violations);
+        let classes: Vec<_> = fx.in_flight.iter().filter_map(|f| f.kv_op).collect();
+        assert!(classes.contains(&"cas"), "in flight {classes:?}\n{fx}");
+        // The decoded tail must agree with what recovery then finds.
+        let report = svc.shard(shard).recover_image(&mut img);
+        let issues = fx.check_against(&report);
+        assert!(issues.is_empty(), "{issues:?}");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn rejections_land_on_the_governor_ring() {
+        use specpmt_core::forensics;
+        use specpmt_pmem::{CrashControl, CrashPolicy};
+        let cfg = small().with_flight_recorder(true).with_admission(AdmissionConfig {
+            window_ops: 8,
+            quota_per_window: 2,
+            ..AdmissionConfig::default()
+        });
+        let svc = KvService::open(cfg);
+        let mut w = svc.worker(0);
+        let mut rejected = 0;
+        for key in 0..8 {
+            if w.put(0, key, key).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "an undersized quota must reject");
+        // Rejections are recorded on shard 0's ring; a put on shard 0
+        // persists them (the marker rides that commit's fence).
+        let key0 = (0..64).find(|&k| svc.router().shard_of(0, k) == 0).unwrap();
+        while w.put(0, key0, 1).is_err() {}
+        let img = svc.shard(0).runtime().device().capture(CrashPolicy::AllLost);
+        let fx = forensics(&img);
+        let quota_events = fx.events.iter().filter(|e| e.kind == BbKind::GovQuota).count();
+        assert!(quota_events > 0, "GovQuota events survive on shard 0's ring:\n{fx}");
         svc.shutdown();
     }
 

@@ -10,15 +10,22 @@
 //! bracketing protocol: a commit whose `observe()` epoch is even and
 //! unchanged across the call definitely precedes the crash capture.
 //!
+//! With the flight recorder on, the crashed shard's image additionally
+//! decodes to a [`specpmt_core::forensics`] report that names the
+//! in-flight op class (`cas`) — the black box survives the same crash
+//! the data does.
+//!
 //! `scripts/verify.sh` runs this test as its kv crash smoke.
 
+use specpmt_core::forensics;
 use specpmt_kv::{CasOutcome, KvConfig, KvService};
 use specpmt_pmem::{CrashControl, CrashPlan, CrashPolicy};
 
 fn crash_config() -> KvConfig {
     // Two shards, one worker, no daemons: the per-commit fence path runs
     // on the worker thread, so `mt/commit/fence` fires mid-CAS
-    // deterministically.
+    // deterministically. The flight recorder is on so the crash image
+    // carries a decodable black box alongside the data.
     KvConfig::default()
         .with_shards(2)
         .with_workers(1)
@@ -26,6 +33,7 @@ fn crash_config() -> KvConfig {
         .with_pool_bytes(4 << 20)
         .with_daemons(false)
         .with_governor_every(0)
+        .with_flight_recorder(true)
 }
 
 #[test]
@@ -74,8 +82,21 @@ fn shard_crash_mid_cas_keeps_acked_ops_exactly_once() {
     assert!(applied >= definite);
 
     let mut img = dev.take_image().expect("fired crash leaves an image");
+
+    // Crash forensics: `mt/commit/fence` fires after the commit fence
+    // (which carries the staged `KvOp` marker to PM) but before the
+    // receipt and `KvOpDone`, so the black box must decode cleanly and
+    // name the interrupted op class.
+    let fx = forensics(&img);
+    assert!(fx.recorder_present, "kv shards format a recorder region:\n{fx}");
+    assert!(fx.is_clean(), "correct runtime, clean report: {:?}\n{fx}", fx.violations);
+    let classes: Vec<_> = fx.in_flight.iter().filter_map(|f| f.kv_op).collect();
+    assert!(classes.contains(&"cas"), "forensics must name the mid-crash cas: {classes:?}\n{fx}");
+
     let report = svc.shard(hot_shard).recover_image(&mut img);
     assert!(report.chains_nonempty >= 1, "the crashed worker's chain survives");
+    let issues = fx.check_against(&report);
+    assert!(issues.is_empty(), "forensic tail must agree with recovery: {issues:?}");
 
     let hot_table = svc.shard(hot_shard).table();
     let recovered = hot_table

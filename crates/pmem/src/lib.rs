@@ -45,11 +45,13 @@ mod rng;
 mod stats;
 
 pub mod alloc;
+pub mod blackbox;
 pub mod pool;
 pub mod shared;
 pub mod sites;
 
 pub use alloc::Reservation;
+pub use blackbox::BlackBoxSink;
 pub use config::PmemConfig;
 pub use crash::{CrashControl, CrashImage, CrashPlan, CrashPolicy, CrashTrigger};
 pub use device::{FenceReport, PmemDevice, TimingMode};

@@ -135,6 +135,11 @@ struct DevInner {
     /// WPQ-drain waits observed at fences that completed at least one
     /// flush (telemetry; lock-free log2 buckets).
     wpq_drain_ns: Histogram,
+    /// The attached flight-recorder sink, if the owning runtime enabled
+    /// one ([`SharedPmemDevice::attach_blackbox`]). Hanging it off the
+    /// device lets every layer that can reach the pool (kv governor,
+    /// reclamation daemon) record events without new plumbing.
+    bbox: Mutex<Option<Arc<crate::blackbox::BlackBoxSink>>>,
 }
 
 /// Thread-safe simulated persistent-memory device (see module docs).
@@ -179,6 +184,7 @@ impl SharedPmemDevice {
                 next_handle: AtomicU64::new(0),
                 stats: AtomicStats::default(),
                 wpq_drain_ns: Histogram::new(),
+                bbox: Mutex::new(None),
             }),
         }
     }
@@ -202,6 +208,19 @@ impl SharedPmemDevice {
             scratch: Mutex::new(Vec::new()),
             lines: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Attaches (or replaces) the flight-recorder sink for this device.
+    /// Called once by the runtime that formatted/reopened the black-box
+    /// region; other layers reach it through [`SharedPmemDevice::blackbox`].
+    pub fn attach_blackbox(&self, sink: Arc<crate::blackbox::BlackBoxSink>) {
+        *self.inner.bbox.lock().unwrap_or_else(|e| e.into_inner()) = Some(sink);
+    }
+
+    /// The attached flight-recorder sink, if any. `None` means the
+    /// recorder is off — callers skip their `record` calls entirely.
+    pub fn blackbox(&self) -> Option<Arc<crate::blackbox::BlackBoxSink>> {
+        self.inner.bbox.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Current simulated time in nanoseconds (global across threads).
@@ -353,26 +372,36 @@ impl SharedPmemDevice {
     }
 
     fn build_image(&self, policy: CrashPolicy) -> CrashImage {
-        // Snapshot both images shard by shard (ascending order).
+        // A real crash is one instant: hold the pending set and *every*
+        // shard lock together while copying, so no concurrent store or
+        // fence can land between shard copies. Without this, a commit
+        // fence racing the capture could reach a high-address shard
+        // (copied late) while its log record lives in a low-address shard
+        // (copied early) — an image no power failure can produce, which
+        // would break any cross-address ordering invariant (e.g. the
+        // flight recorder's receipt-after-fence rule). No other path
+        // holds two of these locks at once, so the ascending sweep cannot
+        // deadlock.
+        let pending = self.inner.pending.lock().expect("pending lock");
+        let shards: Vec<_> =
+            self.inner.shards.iter().map(|s| s.lock().expect("shard lock")).collect();
         let mut volatile = Vec::with_capacity(self.inner.size);
         let mut image = Vec::with_capacity(self.inner.size);
-        for shard in &self.inner.shards {
-            let s = shard.lock().expect("shard lock");
+        for s in &shards {
             volatile.extend_from_slice(&s.volatile);
             image.extend_from_slice(&s.persisted);
         }
         let now = self.now_ns();
         let mut rng = policy.rng();
-        {
-            let pending = self.inner.pending.lock().expect("pending lock");
-            for p in pending.iter() {
-                let survives = if p.accepted_at <= now { true } else { policy.survives(&mut rng) };
-                if survives {
-                    let start = line_start(p.line);
-                    image[start..start + CACHE_LINE].copy_from_slice(&p.snapshot);
-                }
+        for p in pending.iter() {
+            let survives = if p.accepted_at <= now { true } else { policy.survives(&mut rng) };
+            if survives {
+                let start = line_start(p.line);
+                image[start..start + CACHE_LINE].copy_from_slice(&p.snapshot);
             }
         }
+        drop(shards);
+        drop(pending);
         let words = self.inner.size / PERSIST_WORD;
         for w in 0..words {
             let a = w * PERSIST_WORD;
@@ -463,9 +492,10 @@ impl CrashControl for SharedPmemDevice {
     }
 
     /// Produces the memory image a crash at this instant could leave (same
-    /// policy semantics as the single-threaded device). Shards are
-    /// snapshot one at a time; in-flight mutations on other threads land
-    /// on one side or the other, which is exactly crash nondeterminism.
+    /// policy semantics as the single-threaded device). The snapshot is
+    /// point-in-time: every shard is locked for the duration of the copy,
+    /// so a concurrent fence lands entirely before or entirely after the
+    /// capture — never split across shards.
     fn capture(&self, policy: CrashPolicy) -> CrashImage {
         self.build_image(policy)
     }

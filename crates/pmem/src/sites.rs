@@ -14,6 +14,12 @@
 //!
 //! [`CrashControl::crash_point`]: crate::CrashControl::crash_point
 
+/// Name of the flight-recorder slot-store site (see [`ALL`]).
+pub const BBOX_WRITE: &str = "bbox/write";
+
+/// Name of the flight-recorder fence-carried-events site (see [`ALL`]).
+pub const BBOX_PERSIST: &str = "bbox/persist";
+
 /// One labeled crash site: its name, owning subsystem, and the ordering
 /// invariant a crash at this point stresses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,12 +151,36 @@ pub const ALL: &[CrashSite] = &[
         "ckpt",
         "checkpoint head swapped and persisted; replay below the watermark must match the record",
     ),
+    // --- flight-recorder (black box) rings -------------------------------
+    site(
+        BBOX_WRITE,
+        "bbox",
+        "event slot stored, unflushed; a torn slot is skipped by checksum, never failing recovery",
+    ),
+    site(
+        BBOX_PERSIST,
+        "bbox",
+        "a fence carrying black-box lines retired; the events it covered are durable",
+    ),
 ];
 
 /// Looks up a site by name, returning the canonical `const` entry (and
 /// hence a `&'static str` name usable in a [`crate::CrashPlan`]).
 pub fn lookup(name: &str) -> Option<&'static CrashSite> {
     ALL.iter().find(|s| s.name == name)
+}
+
+/// Position of a site in [`ALL`]. The stable index is what flight-recorder
+/// `TxCommit`/`BatchSeal` events carry in their `b` operand to name the
+/// fence site they completed behind; [`name_of`] is the reverse mapping.
+pub fn index_of(name: &str) -> Option<usize> {
+    ALL.iter().position(|s| s.name == name)
+}
+
+/// Name of the site at `index` in [`ALL`] (`None` when out of range).
+/// Forensics uses this to render the site index a black-box event carries.
+pub fn name_of(index: usize) -> Option<&'static str> {
+    ALL.get(index).map(|s| s.name)
 }
 
 #[cfg(test)]
@@ -178,5 +208,16 @@ mod tests {
             assert_eq!(lookup(s.name).unwrap().name, s.name);
         }
         assert!(lookup("no/such/site").is_none());
+    }
+
+    #[test]
+    fn index_and_name_round_trip() {
+        for (i, s) in ALL.iter().enumerate() {
+            assert_eq!(index_of(s.name), Some(i));
+            assert_eq!(name_of(i), Some(s.name));
+        }
+        assert_eq!(index_of("no/such/site"), None);
+        assert_eq!(name_of(ALL.len()), None);
+        assert!(lookup(BBOX_WRITE).is_some() && lookup(BBOX_PERSIST).is_some());
     }
 }

@@ -1,0 +1,155 @@
+//! Live time-series export: periodic [`Registry`] delta snapshots
+//! rendered as a `series` JSON block.
+//!
+//! The flight recorder (DESIGN.md §4.11) covers the *post-mortem* side of
+//! observability; this module covers the *live* side with the same event
+//! vocabulary. A bench or service loop calls
+//! [`Registry::snapshot_delta`][crate::Registry::snapshot_delta] at a
+//! fixed cadence, pushes each delta into a [`Series`], and emits the
+//! whole series into its JSON artifact — every point carries the
+//! interval's counter increments and phase count/sum deltas, so
+//! throughput dips and latency spikes are attributable to a moment, not
+//! smeared over the run.
+
+use crate::json::JsonWriter;
+use crate::metrics::{DeltaSnapshot, Metric, Phase, METRIC_NAMES, PHASE_NAMES};
+
+/// Phases whose count/sum deltas every series point carries (the hot
+/// commit pipeline plus the two stall sources txstat attributes to).
+pub const SERIES_PHASES: [Phase; 5] =
+    [Phase::Commit, Phase::CommitSim, Phase::WpqDrain, Phase::LockWait, Phase::BatchWait];
+
+/// One sampled interval: the registry deltas since the previous point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Sample time (caller-supplied ns since the run started).
+    pub at_ns: u64,
+    /// Counter and phase deltas over the interval.
+    pub delta: DeltaSnapshot,
+}
+
+/// An append-only sequence of interval snapshots plus its JSON writer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Series {
+    points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one interval sample.
+    pub fn push(&mut self, at_ns: u64, delta: DeltaSnapshot) {
+        self.points.push(SeriesPoint { at_ns, delta });
+    }
+
+    /// Number of sampled intervals.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when nothing has been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Sampled points, oldest first.
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// Emits `"series":{"points_len":N,"points":[{...}]}` into the
+    /// caller's open object. Every point carries `at_ns`, all
+    /// [`METRIC_NAMES`] counter deltas, and `<phase>_count` /
+    /// `<phase>_sum_ns` for each of [`SERIES_PHASES`] — a fixed schema
+    /// the verify tier checks.
+    pub fn emit_field(&self, w: &mut JsonWriter) {
+        w.begin_object_field("series");
+        w.field_u64("points_len", self.points.len() as u64);
+        w.begin_array_field("points");
+        for p in &self.points {
+            w.begin_object();
+            w.field_u64("at_ns", p.at_ns);
+            for (i, name) in METRIC_NAMES.iter().enumerate() {
+                w.field_u64(name, p.delta.metrics[i]);
+            }
+            for ph in SERIES_PHASES {
+                let name = PHASE_NAMES[ph as usize];
+                w.field_u64(&format!("{name}_count"), p.delta.phase_counts[ph as usize]);
+                w.field_u64(&format!("{name}_sum_ns"), p.delta.phase_sums[ph as usize]);
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    /// Sum of one counter's deltas across all points (cross-check hook:
+    /// must never exceed the registry's cumulative counter).
+    pub fn total(&self, m: Metric) -> u64 {
+        self.points.iter().map(|p| p.delta.metrics[m as usize]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn deltas_reset_between_points_and_sum_to_totals() {
+        let r = Registry::new(2);
+        r.set_enabled(true);
+        let mut series = Series::new();
+        let d0 = r.snapshot_delta();
+        assert_eq!(d0.metrics[Metric::Commits as usize], 0, "baseline delta is empty");
+
+        r.add(0, Metric::Commits, 3);
+        r.record(0, Phase::Commit, 100);
+        series.push(1_000, r.snapshot_delta());
+
+        r.add(1, Metric::Commits, 2);
+        r.record(1, Phase::Commit, 50);
+        series.push(2_000, r.snapshot_delta());
+
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.points()[0].delta.metrics[Metric::Commits as usize], 3);
+        assert_eq!(series.points()[1].delta.metrics[Metric::Commits as usize], 2);
+        assert_eq!(series.points()[1].delta.phase_counts[Phase::Commit as usize], 1);
+        assert_eq!(series.points()[1].delta.phase_sums[Phase::Commit as usize], 50);
+        assert_eq!(series.total(Metric::Commits), r.counter(Metric::Commits));
+    }
+
+    #[test]
+    fn emit_has_the_fixed_schema() {
+        let r = Registry::new(1);
+        r.set_enabled(true);
+        r.add(0, Metric::Fences, 1);
+        let mut series = Series::new();
+        series.push(500, r.snapshot_delta());
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        series.emit_field(&mut w);
+        w.end_object();
+        let j = w.finish();
+        assert!(j.contains("\"series\":{\"points_len\":1,\"points\":[{"), "{j}");
+        assert!(j.contains("\"at_ns\":500"), "{j}");
+        assert!(j.contains("\"fences\":1"), "{j}");
+        assert!(j.contains("\"commit_count\":0"), "{j}");
+        assert!(j.contains("\"commit_sim_sum_ns\":0"), "{j}");
+    }
+
+    #[test]
+    fn delta_survives_registry_reset_without_underflow() {
+        let r = Registry::new(1);
+        r.set_enabled(true);
+        r.add(0, Metric::Commits, 5);
+        let _ = r.snapshot_delta();
+        r.reset();
+        r.add(0, Metric::Commits, 1);
+        let d = r.snapshot_delta();
+        assert_eq!(d.metrics[Metric::Commits as usize], 1, "reset re-baselines the delta state");
+    }
+}

@@ -6,35 +6,80 @@
 //! across crates are not allowed — a knob nobody can enumerate is a knob
 //! nobody can document, and the verify tier greps for strays.
 //!
+//! Malformed or out-of-range values are **named errors**
+//! ([`KnobError`]), never silent defaults: a typo'd
+//! `SPECPMT_TRACE_CAP=40K` fails fast with the variable name, the
+//! offending value, and what was expected, instead of quietly running
+//! with the default capacity.
+//!
 //! | Variable | Default | Accepted values | Meaning |
 //! |---|---|---|---|
-//! | `SPECPMT_TELEMETRY` | off | `1/true/yes/on` | Start metric registries enabled. |
-//! | `SPECPMT_TRACE` | off | `1/true/yes/on` | Start lifecycle tracers enabled. |
-//! | `SPECPMT_TRACE_CAP` | [`crate::DEFAULT_CAPACITY`] | positive integer | Per-thread trace-ring capacity (events). |
-//! | `SPECPMT_GROUP_COMMIT` | off | `1/true/yes/on` | Default the shared runtime to epoch/group commit. |
+//! | `SPECPMT_TELEMETRY` | off | `1/true/yes/on` (or `0/false/no/off`) | Start metric registries enabled. |
+//! | `SPECPMT_TRACE` | off | boolean as above | Start lifecycle tracers enabled. |
+//! | `SPECPMT_TRACE_CAP` | [`crate::DEFAULT_CAPACITY`] | integer `1..=16777216` | Per-thread trace-ring capacity (events). Size it to the window you need to look back over: each event is 32 bytes in DRAM, and a full ring overwrites oldest-first while counting drops — so pick `cap ≥ expected events per thread between snapshots` to keep `dropped` at 0. |
+//! | `SPECPMT_GROUP_COMMIT` | off | boolean as above | Default the shared runtime to epoch/group commit. |
 //! | `SPECPMT_GROUP_LINGER_NS` | `0` | non-negative integer | Combiner linger budget per batch, simulated ns. |
 //! | `SPECPMT_COMMIT_BASELINE` | `results/commit_path_baseline.json` | path | Baseline file the commit-path bench compares against. |
 //! | `SPECPMT_BENCH_SMOKE` | off | set (any value) | Run benches at bounded smoke scale. |
 //! | `SPECPMT_CRASH_TARGET` | unset | `site:hit` | Deterministic crash target for the enumeration harness (1-based hit count; site names in `specpmt_pmem::sites`). |
+//! | `SPECPMT_FLIGHT_RECORDER` | off | boolean as above | Default the shared runtime's PM-resident flight recorder on. |
+//! | `SPECPMT_BBOX_CAP` | [`crate::blackbox::DEFAULT_RING_CAPACITY`] | integer `16..=1048576` | Flight-recorder events per ring (per thread). |
+//! | `SPECPMT_BBOX_STALL_NS` | `10000` | non-negative integer | Fence-stall threshold (simulated ns) above which the recorder logs a `fence_stall` event. |
 
+use std::fmt;
 use std::sync::OnceLock;
 
-/// Reads a boolean env toggle: `1`, `true`, `yes`, `on` (case-insensitive)
-/// are truthy; unset or anything else is falsy.
-fn env_flag(name: &str) -> bool {
-    match std::env::var(name) {
-        Ok(v) => matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes" | "on"),
-        Err(_) => false,
+/// A named environment-knob parse failure: which variable, what it held,
+/// and what was expected. Surfaced by [`Knobs::try_from_env`]; the
+/// process-wide [`Knobs::get`] panics with this message rather than
+/// running with a value the operator didn't ask for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnobError {
+    /// The offending `SPECPMT_*` variable.
+    pub var: &'static str,
+    /// The raw value found in the environment.
+    pub value: String,
+    /// What the variable accepts.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for KnobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}={:?}: expected {}", self.var, self.value, self.expected)
     }
 }
 
-/// Reads a numeric env knob; unset or unparsable values fall back to
-/// `default`.
-fn env_u64(name: &str, default: u64) -> u64 {
-    match std::env::var(name) {
-        Ok(v) => v.trim().parse().unwrap_or(default),
-        Err(_) => default,
+impl std::error::Error for KnobError {}
+
+fn bad(var: &'static str, value: &str, expected: &'static str) -> KnobError {
+    KnobError { var, value: value.to_string(), expected }
+}
+
+/// Parses a boolean toggle: `1/true/yes/on` are truthy, `0/false/no/off`
+/// (and empty) are falsy, anything else is a named error.
+fn parse_flag(var: &'static str, raw: Option<&str>) -> Result<bool, KnobError> {
+    let Some(raw) = raw else { return Ok(false) };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => Ok(true),
+        "" | "0" | "false" | "no" | "off" => Ok(false),
+        _ => Err(bad(var, raw, "a boolean (1/true/yes/on or 0/false/no/off)")),
     }
+}
+
+/// Parses an integer knob within `[lo, hi]`; unset returns `None`.
+fn parse_ranged(
+    var: &'static str,
+    raw: Option<&str>,
+    lo: u64,
+    hi: u64,
+    expected: &'static str,
+) -> Result<Option<u64>, KnobError> {
+    let Some(raw) = raw else { return Ok(None) };
+    let v: u64 = raw.trim().parse().map_err(|_| bad(var, raw, expected))?;
+    if !(lo..=hi).contains(&v) {
+        return Err(bad(var, raw, expected));
+    }
+    Ok(Some(v))
 }
 
 /// The parsed `SPECPMT_*` knob set (see the module table for each knob's
@@ -63,29 +108,105 @@ pub struct Knobs {
     /// crate sits below `specpmt-pmem`, which owns the typed `CrashPlan`
     /// and validates the site name against its inventory).
     pub crash_target: Option<(String, u64)>,
+    /// `SPECPMT_FLIGHT_RECORDER`: default the shared runtime's
+    /// PM-resident flight recorder on.
+    pub flight_recorder: bool,
+    /// `SPECPMT_BBOX_CAP`: flight-recorder events per ring; `None` means
+    /// [`crate::blackbox::DEFAULT_RING_CAPACITY`].
+    pub bbox_cap: Option<usize>,
+    /// `SPECPMT_BBOX_STALL_NS`: fence-stall event threshold (simulated
+    /// ns); `None` means the runtime default (10 µs).
+    pub bbox_stall_ns: Option<u64>,
 }
 
 impl Knobs {
+    /// Parses knobs through an arbitrary lookup function — the
+    /// environment in production ([`Knobs::try_from_env`]), a map in
+    /// tests. Returns the first [`KnobError`] encountered.
+    pub fn from_lookup(look: &dyn Fn(&str) -> Option<String>) -> Result<Self, KnobError> {
+        let get = |name: &str| look(name);
+        let telemetry = parse_flag("SPECPMT_TELEMETRY", get("SPECPMT_TELEMETRY").as_deref())?;
+        let trace = parse_flag("SPECPMT_TRACE", get("SPECPMT_TRACE").as_deref())?;
+        let trace_cap = parse_ranged(
+            "SPECPMT_TRACE_CAP",
+            get("SPECPMT_TRACE_CAP").as_deref(),
+            1,
+            1 << 24,
+            "an integer ring capacity in 1..=16777216",
+        )?
+        .map(|v| v as usize);
+        let group_commit =
+            parse_flag("SPECPMT_GROUP_COMMIT", get("SPECPMT_GROUP_COMMIT").as_deref())?;
+        let group_linger_ns = parse_ranged(
+            "SPECPMT_GROUP_LINGER_NS",
+            get("SPECPMT_GROUP_LINGER_NS").as_deref(),
+            0,
+            u64::MAX,
+            "a non-negative integer (simulated ns)",
+        )?
+        .unwrap_or(0);
+        let commit_baseline = get("SPECPMT_COMMIT_BASELINE").filter(|s| !s.trim().is_empty());
+        let bench_smoke = get("SPECPMT_BENCH_SMOKE").is_some();
+        let crash_target = match get("SPECPMT_CRASH_TARGET") {
+            None => None,
+            Some(raw) => Some(Self::parse_crash_target(&raw).ok_or_else(|| {
+                bad(
+                    "SPECPMT_CRASH_TARGET",
+                    &raw,
+                    "a site:hit target with a 1-based hit count (e.g. mt/commit/fence:3)",
+                )
+            })?),
+        };
+        let flight_recorder =
+            parse_flag("SPECPMT_FLIGHT_RECORDER", get("SPECPMT_FLIGHT_RECORDER").as_deref())?;
+        let bbox_cap = parse_ranged(
+            "SPECPMT_BBOX_CAP",
+            get("SPECPMT_BBOX_CAP").as_deref(),
+            16,
+            1 << 20,
+            "an integer events-per-ring capacity in 16..=1048576",
+        )?
+        .map(|v| v as usize);
+        let bbox_stall_ns = parse_ranged(
+            "SPECPMT_BBOX_STALL_NS",
+            get("SPECPMT_BBOX_STALL_NS").as_deref(),
+            0,
+            u64::MAX,
+            "a non-negative integer (simulated ns)",
+        )?;
+        Ok(Self {
+            telemetry,
+            trace,
+            trace_cap,
+            group_commit,
+            group_linger_ns,
+            commit_baseline,
+            bench_smoke,
+            crash_target,
+            flight_recorder,
+            bbox_cap,
+            bbox_stall_ns,
+        })
+    }
+
+    /// Parses the process environment, surfacing the first malformed
+    /// knob as a named error.
+    pub fn try_from_env() -> Result<Self, KnobError> {
+        Self::from_lookup(&|name| std::env::var(name).ok())
+    }
+
     /// Parses the environment fresh. Prefer [`Knobs::get`] outside tests —
     /// knobs are meant to be read once at startup.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`KnobError`] message when a `SPECPMT_*` variable
+    /// holds a malformed or out-of-range value — failing fast beats
+    /// silently running with a default the operator didn't ask for.
     pub fn from_env() -> Self {
-        let trace_cap = std::env::var("SPECPMT_TRACE_CAP")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&c| c > 0);
-        let commit_baseline =
-            std::env::var("SPECPMT_COMMIT_BASELINE").ok().filter(|s| !s.trim().is_empty());
-        let crash_target =
-            std::env::var("SPECPMT_CRASH_TARGET").ok().and_then(|s| Self::parse_crash_target(&s));
-        Self {
-            telemetry: env_flag("SPECPMT_TELEMETRY"),
-            trace: env_flag("SPECPMT_TRACE"),
-            trace_cap,
-            group_commit: env_flag("SPECPMT_GROUP_COMMIT"),
-            group_linger_ns: env_u64("SPECPMT_GROUP_LINGER_NS", 0),
-            commit_baseline,
-            bench_smoke: std::env::var_os("SPECPMT_BENCH_SMOKE").is_some(),
-            crash_target,
+        match Self::try_from_env() {
+            Ok(k) => k,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -111,23 +232,96 @@ impl Knobs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
+
+    fn from_map(pairs: &[(&str, &str)]) -> Result<Knobs, KnobError> {
+        let map: HashMap<String, String> =
+            pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        Knobs::from_lookup(&move |name| map.get(name).cloned())
+    }
 
     #[test]
     fn defaults_are_all_off() {
-        // The test runner environment must not leak SPECPMT_* settings
-        // into this assertion; construct from a scrubbed environment.
-        for (k, _) in std::env::vars() {
-            if k.starts_with("SPECPMT_") {
-                // Defaults can't be asserted under an externally-set knob.
-                return;
-            }
-        }
-        let k = Knobs::from_env();
+        let k = from_map(&[]).expect("empty environment parses");
         assert!(!k.telemetry && !k.trace && !k.group_commit && !k.bench_smoke);
+        assert!(!k.flight_recorder);
         assert_eq!(k.trace_cap, None);
         assert_eq!(k.group_linger_ns, 0);
         assert_eq!(k.commit_baseline, None);
         assert_eq!(k.crash_target, None);
+        assert_eq!(k.bbox_cap, None);
+        assert_eq!(k.bbox_stall_ns, None);
+    }
+
+    #[test]
+    fn well_formed_values_parse() {
+        let k = from_map(&[
+            ("SPECPMT_TELEMETRY", "on"),
+            ("SPECPMT_TRACE", "0"),
+            ("SPECPMT_TRACE_CAP", " 128 "),
+            ("SPECPMT_GROUP_COMMIT", "TRUE"),
+            ("SPECPMT_GROUP_LINGER_NS", "250"),
+            ("SPECPMT_COMMIT_BASELINE", "results/alt.json"),
+            ("SPECPMT_BENCH_SMOKE", "whatever"),
+            ("SPECPMT_CRASH_TARGET", "mt/commit/fence:3"),
+            ("SPECPMT_FLIGHT_RECORDER", "yes"),
+            ("SPECPMT_BBOX_CAP", "64"),
+            ("SPECPMT_BBOX_STALL_NS", "5000"),
+        ])
+        .expect("all values are well-formed");
+        assert!(k.telemetry && !k.trace && k.group_commit && k.bench_smoke);
+        assert_eq!(k.trace_cap, Some(128));
+        assert_eq!(k.group_linger_ns, 250);
+        assert_eq!(k.commit_baseline.as_deref(), Some("results/alt.json"));
+        assert_eq!(k.crash_target, Some(("mt/commit/fence".to_string(), 3)));
+        assert!(k.flight_recorder);
+        assert_eq!(k.bbox_cap, Some(64));
+        assert_eq!(k.bbox_stall_ns, Some(5000));
+    }
+
+    /// Every documented variable with a constrained value space must
+    /// produce a **named** error on malformed input — the variable name
+    /// and the offending value both appear in the message.
+    #[test]
+    fn malformed_values_name_the_variable() {
+        let cases: &[(&str, &str)] = &[
+            ("SPECPMT_TELEMETRY", "maybe"),
+            ("SPECPMT_TRACE", "2"),
+            ("SPECPMT_TRACE_CAP", "40K"),
+            ("SPECPMT_TRACE_CAP", "0"),
+            ("SPECPMT_TRACE_CAP", "-5"),
+            ("SPECPMT_GROUP_COMMIT", "enable"),
+            ("SPECPMT_GROUP_LINGER_NS", "fast"),
+            ("SPECPMT_GROUP_LINGER_NS", "-1"),
+            ("SPECPMT_CRASH_TARGET", "no-colon"),
+            ("SPECPMT_CRASH_TARGET", "site:0"),
+            ("SPECPMT_CRASH_TARGET", ":3"),
+            ("SPECPMT_CRASH_TARGET", "a/b:x"),
+            ("SPECPMT_FLIGHT_RECORDER", "si"),
+            ("SPECPMT_BBOX_CAP", "huge"),
+            ("SPECPMT_BBOX_CAP", "8"),
+            ("SPECPMT_BBOX_CAP", "99999999"),
+            ("SPECPMT_BBOX_STALL_NS", "10ms"),
+        ];
+        for (var, value) in cases {
+            let err =
+                from_map(&[(var, value)]).expect_err(&format!("{var}={value} must be rejected"));
+            assert_eq!(err.var, *var);
+            assert_eq!(err.value, *value);
+            let msg = err.to_string();
+            assert!(msg.contains(var), "error must name the variable: {msg}");
+            assert!(msg.contains(value), "error must show the value: {msg}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected_not_clamped() {
+        // TRACE_CAP above its documented ceiling.
+        let err = from_map(&[("SPECPMT_TRACE_CAP", "16777217")]).unwrap_err();
+        assert_eq!(err.var, "SPECPMT_TRACE_CAP");
+        // BBOX_CAP below its documented floor.
+        let err = from_map(&[("SPECPMT_BBOX_CAP", "15")]).unwrap_err();
+        assert_eq!(err.var, "SPECPMT_BBOX_CAP");
     }
 
     #[test]
@@ -140,5 +334,18 @@ mod tests {
         assert_eq!(Knobs::parse_crash_target("site:0"), None, "hit counts are 1-based");
         assert_eq!(Knobs::parse_crash_target(":3"), None);
         assert_eq!(Knobs::parse_crash_target("a/b:x"), None);
+    }
+
+    #[test]
+    fn env_parse_does_not_panic_on_clean_process_env() {
+        // The test-runner environment is expected to be well-formed; the
+        // named-error path is exercised through `from_lookup` above.
+        for (k, _) in std::env::vars() {
+            if k.starts_with("SPECPMT_") {
+                return; // externally-set knobs: nothing to assert here
+            }
+        }
+        let k = Knobs::try_from_env().expect("clean environment parses");
+        assert!(!k.telemetry);
     }
 }

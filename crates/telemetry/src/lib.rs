@@ -28,16 +28,20 @@
 
 #![deny(missing_docs)]
 
+pub mod blackbox;
+pub mod export;
 pub mod json;
 pub mod knobs;
 pub mod metrics;
 pub mod trace;
 
+pub use blackbox::{BbEvent, BbKind};
+pub use export::{Series, SeriesPoint};
 pub use json::{JsonWriter, StatExport};
-pub use knobs::Knobs;
+pub use knobs::{KnobError, Knobs};
 pub use metrics::{
-    bucket_floor, bucket_of, Histogram, HistogramSnapshot, Metric, Phase, Registry, Span, BUCKETS,
-    METRIC_COUNT, METRIC_NAMES, PHASE_COUNT, PHASE_NAMES,
+    bucket_floor, bucket_of, DeltaSnapshot, Histogram, HistogramSnapshot, Metric, Phase, Registry,
+    Span, BUCKETS, METRIC_COUNT, METRIC_NAMES, PHASE_COUNT, PHASE_NAMES,
 };
 pub use trace::{
     EventKind, TraceEvent, TraceSnapshot, Tracer, DEFAULT_CAPACITY, EVENT_KIND_COUNT,

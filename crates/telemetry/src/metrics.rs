@@ -19,6 +19,7 @@
 //! and `2^k` always fall in adjacent buckets (a tested invariant).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::json::JsonWriter;
@@ -95,6 +96,13 @@ impl Histogram {
             max: self.max.load(Ordering::Relaxed),
         }
     }
+
+    /// Live quantile estimate (see [`HistogramSnapshot::quantile`]) — the
+    /// one quantile API every consumer (`KvStats`, txstat, benches) goes
+    /// through instead of hand-rolling percentile math.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
 }
 
 /// Owned, mergeable histogram state with quantile summaries.
@@ -161,9 +169,15 @@ impl HistogramSnapshot {
         self.max = self.max.max(other.max);
     }
 
+    /// The p99.9 tail estimate (the quantile `specpmt-kv`'s SLO math
+    /// keys on; exposed here so no consumer hand-rolls it).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Emits the standard summary fields (`count`, `sum_ns`, `mean_ns`,
-    /// `p50_ns`, `p90_ns`, `p99_ns`, `max_ns`) into the caller's open
-    /// object.
+    /// `p50_ns`, `p90_ns`, `p99_ns`, `p999_ns`, `max_ns`) into the
+    /// caller's open object.
     pub fn emit(&self, w: &mut JsonWriter) {
         w.field_u64("count", self.count());
         w.field_u64("sum_ns", self.sum);
@@ -171,6 +185,7 @@ impl HistogramSnapshot {
         w.field_u64("p50_ns", self.quantile(0.50));
         w.field_u64("p90_ns", self.quantile(0.90));
         w.field_u64("p99_ns", self.quantile(0.99));
+        w.field_u64("p999_ns", self.p999());
         w.field_u64("max_ns", self.max);
     }
 }
@@ -303,6 +318,48 @@ pub const METRIC_NAMES: [&str; METRIC_COUNT] = [
     "crash_points",
 ];
 
+/// Counter and phase deltas over one sampling interval, returned by
+/// [`Registry::snapshot_delta`] and rendered by
+/// [`crate::export::Series`]. All arrays are index-aligned with
+/// [`Metric`] / [`Phase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaSnapshot {
+    /// Counter increments since the previous delta snapshot.
+    pub metrics: [u64; METRIC_COUNT],
+    /// Phase observation-count increments.
+    pub phase_counts: [u64; PHASE_COUNT],
+    /// Phase sum-of-observations increments (ns, except size-valued
+    /// phases like `group_batch_size`).
+    pub phase_sums: [u64; PHASE_COUNT],
+}
+
+impl Default for DeltaSnapshot {
+    fn default() -> Self {
+        Self {
+            metrics: [0; METRIC_COUNT],
+            phase_counts: [0; PHASE_COUNT],
+            phase_sums: [0; PHASE_COUNT],
+        }
+    }
+}
+
+impl DeltaSnapshot {
+    /// One counter's increment over the interval.
+    pub fn metric(&self, m: Metric) -> u64 {
+        self.metrics[m as usize]
+    }
+
+    /// One phase's (count, sum) increment over the interval.
+    pub fn phase(&self, p: Phase) -> (u64, u64) {
+        (self.phase_counts[p as usize], self.phase_sums[p as usize])
+    }
+
+    /// `true` when nothing was recorded in the interval.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.iter().all(|&v| v == 0) && self.phase_counts.iter().all(|&v| v == 0)
+    }
+}
+
 /// One thread's slice of the registry. Cache-line aligned so two threads
 /// never share a shard line.
 #[derive(Debug)]
@@ -331,6 +388,9 @@ impl Shard {
 pub struct Registry {
     enabled: AtomicBool,
     shards: Vec<Shard>,
+    /// Cumulative totals at the last [`Registry::snapshot_delta`] call
+    /// (cold path only — sampling cadence is per interval, not per op).
+    delta_base: Mutex<DeltaSnapshot>,
 }
 
 impl Registry {
@@ -341,6 +401,7 @@ impl Registry {
         Self {
             enabled: AtomicBool::new(enabled),
             shards: (0..threads.max(1)).map(|_| Shard::new()).collect(),
+            delta_base: Mutex::new(DeltaSnapshot::default()),
         }
     }
 
@@ -420,7 +481,9 @@ impl Registry {
         out
     }
 
-    /// Zeroes every counter and histogram in every shard.
+    /// Zeroes every counter and histogram in every shard, and
+    /// re-baselines the [`Registry::snapshot_delta`] state so the next
+    /// delta measures from the reset, not from before it.
     pub fn reset(&self) {
         for s in &self.shards {
             for c in &s.counters {
@@ -430,6 +493,48 @@ impl Registry {
                 h.reset();
             }
         }
+        if let Ok(mut base) = self.delta_base.lock() {
+            *base = DeltaSnapshot::default();
+        }
+    }
+
+    /// Returns the counter and phase increments since the previous
+    /// `snapshot_delta` call (the first call measures from construction
+    /// or the last [`Registry::reset`]) and advances the baseline — the
+    /// sampling primitive behind the `series` block in the bench
+    /// artifacts ([`crate::export::Series`]).
+    ///
+    /// Concurrent recorders may land between the per-entry reads; such
+    /// late increments are never lost, they surface in the next delta
+    /// (totals are monotone, and the baseline is the exact totals this
+    /// call observed).
+    pub fn snapshot_delta(&self) -> DeltaSnapshot {
+        let mut now = DeltaSnapshot::default();
+        for (m, slot) in now.metrics.iter_mut().enumerate() {
+            *slot = self.shards.iter().map(|s| s.counters[m].load(Ordering::Relaxed)).sum();
+        }
+        for p in 0..PHASE_COUNT {
+            let mut count = 0u64;
+            let mut sum = 0u64;
+            for s in &self.shards {
+                let snap = s.phases[p].snapshot();
+                count += snap.count();
+                sum += snap.sum;
+            }
+            now.phase_counts[p] = count;
+            now.phase_sums[p] = sum;
+        }
+        let mut base = self.delta_base.lock().unwrap_or_else(|e| e.into_inner());
+        let mut delta = DeltaSnapshot::default();
+        for i in 0..METRIC_COUNT {
+            delta.metrics[i] = now.metrics[i].saturating_sub(base.metrics[i]);
+        }
+        for i in 0..PHASE_COUNT {
+            delta.phase_counts[i] = now.phase_counts[i].saturating_sub(base.phase_counts[i]);
+            delta.phase_sums[i] = now.phase_sums[i].saturating_sub(base.phase_sums[i]);
+        }
+        *base = now;
+        delta
     }
 
     /// Emits the merged registry as fields of the caller's open object:

@@ -196,6 +196,22 @@ impl Tracer {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// Per-thread ring capacity (events). Exported alongside
+    /// [`Tracer::dropped_total`] so a JSON consumer can tell a
+    /// comfortably-sized ring (`dropped == 0`) from one that needs a
+    /// bigger `SPECPMT_TRACE_CAP` (see the sizing rule in
+    /// [`crate::knobs`]).
+    pub fn capacity(&self) -> usize {
+        self.shards.first().and_then(|s| s.lock().ok().map(|r| r.cap)).unwrap_or(DEFAULT_CAPACITY)
+    }
+
+    /// Exact events lost to ring wrap across all shards since
+    /// construction (or the last [`Tracer::clear`]). Cheaper than a full
+    /// [`Tracer::snapshot`] when only the drop count is needed.
+    pub fn dropped_total(&self) -> u64 {
+        self.shards.iter().filter_map(|s| s.lock().ok().map(|r| r.dropped)).sum()
+    }
+
     /// Turns recording on or off (existing events are kept).
     pub fn set_enabled(&self, on: bool) {
         self.enabled.store(on, Ordering::Relaxed);
@@ -264,6 +280,8 @@ mod tests {
         let s = t.snapshot();
         assert_eq!(s.events.len(), 4, "ring keeps only the newest cap events");
         assert_eq!(s.dropped, 6, "every overwritten event is counted");
+        assert_eq!(t.capacity(), 4);
+        assert_eq!(t.dropped_total(), 6, "accessor matches the snapshot's count");
         // The survivors are the newest four, in order.
         let kept: Vec<u64> = s.events.iter().map(|e| e.a).collect();
         assert_eq!(kept, vec![6, 7, 8, 9]);

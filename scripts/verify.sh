@@ -73,6 +73,22 @@ for key in '"bug_caught":true' '"fence_site_named":true' 'SPECPMT_CRASH_TARGET='
 done
 rm -f "$selftest_out"
 
+# Forensics self-test: the flight-recorder decode must tell a correct
+# group-commit runtime (clean report) from one with PR 7's
+# receipt-before-fence bug re-injected (violation naming
+# mt/group/pre_fence). A black box that cannot implicate the bug class it
+# records for is decoration.
+forensics_out=$(mktemp)
+echo "==> crashenum --selftest-forensics (re-injected receipt bug must be named)"
+cargo run --release --offline -q -p specpmt-bench --bin crashenum -- --selftest-forensics \
+    | tee "$forensics_out" ||
+    { echo "crashenum forensics self-test failed" >&2; exit 1; }
+for key in '"clean_ok":true' '"bug_caught":true' '"site_named":true'; do
+    grep -qF "$key" "$forensics_out" ||
+        { echo "forensics self-test output missing key: $key" >&2; exit 1; }
+done
+rm -f "$forensics_out"
+
 # Multi-threaded STAMP smoke: every workload once at small scale on two real
 # OS threads over LockedTxHandle fleets (one JSON line per app).
 run cargo run --release --offline -p specpmt-bench --bin fig12_software_speedup -- --threads 2
@@ -130,6 +146,24 @@ fi
 # baseline (deterministic simulated keys tight, host wall-clock keys loose;
 # see scripts/perf_gate.sh for the tolerances).
 run scripts/perf_gate.sh
+
+# Flight-recorder budget: every bench runs with the recorder off (the
+# default), so the deterministic simulated commit costs just captured ARE
+# the recorder-off numbers. Hold them to the 3% telemetry budget against
+# the checked-in baseline — tighter than the perf gate's general 5% sim
+# tolerance — so recorder plumbing on the commit path stays free when
+# disabled.
+for key in commit_sim_ns_seq commit_sim_ns_shared; do
+    cur=$(grep -o "\"$key\":[0-9.]*" BENCH_commit_path.json | head -n 1 | cut -d: -f2)
+    ref=$(grep -o "\"$key\":[0-9.]*" results/commit_path_baseline.json | head -n 1 | cut -d: -f2)
+    awk -v c="$cur" -v r="$ref" -v k="$key" 'BEGIN {
+        if (c > r * 1.03) {
+            printf "recorder-off budget: %s %.1f ns exceeds 3%% of baseline %.1f ns\n", k, c, r
+            exit 1
+        }
+        printf "recorder-off budget: %s %.1f ns within 3%% of baseline %.1f ns\n", k, c, r
+    }' || exit 1
+done
 
 # Guardrail self-test: a synthetic commit-path regression (2x the
 # deterministic simulated commit cost) must make the gate fail — a gate
@@ -226,7 +260,7 @@ for key in '"mode":"deterministic"' '"kv_sim_ns_get"' '"kv_sim_ns_put"' \
     '"mode":"sweep"' '"shards":4,"workers":16,"theta":0.99' \
     '"get_host_p50_ns"' '"get_host_p99_ns"' '"get_host_p999_ns"' \
     '"cas_sim_p999_ns"' '"shard_drain_p99_ns"' '"shard_lock_p99_ns"' \
-    '"rejected_slo"' '"shed_permille"' \
+    '"rejected_slo"' '"shed_permille"' '"series_shard":0' '"points_len"' \
     '"mode":"quota_demo"' '"accepted_survive_crash":true'; do
     grep -q "$key" BENCH_kv.json ||
         { echo "BENCH_kv.json missing key: $key" >&2; exit 1; }
@@ -253,7 +287,8 @@ for key in '"bench":"txstat"' '"runtime":"seq"' '"runtime":"shared"' \
     '"commit_ns_avg"' '"commit_sim_ns_avg"' '"commit_sim_amortized_ns_avg"' \
     '"group_commit":true' '"fences_per_commit"' '"batch_txs_mean"' \
     '"mode":"sweep"' '"telemetry"' '"phases"' '"lock_wait"' '"wpq_drain"' \
-    '"commit_ns_seq"' '"telemetry_overhead_pct"'; do
+    '"commit_ns_seq"' '"telemetry_overhead_pct"' '"series"' '"points_len"' \
+    '"flight_recorder"' '"trace"'; do
     grep -q "$key" BENCH_txstat.json ||
         { echo "BENCH_txstat.json missing key: $key" >&2; exit 1; }
 done
@@ -302,6 +337,41 @@ assert g16["fences_per_commit"] < 1.0, (
     f"({g16['fences_per_commit']:.3f})")
 print(f"txstat: group commit 16t amortized {amort:.1f} ns <= 1.5x seq "
       f"{seq_sim:.1f} ns, {g16['fences_per_commit']:.3f} fences/commit, OK")
+
+# Live-export schema: every point line carrying a series block must obey
+# the fixed SeriesPoint schema (at_ns + the full counter-delta set + the
+# five phase pairs), and the summed commit deltas must reconcile exactly
+# with the cumulative commit count the same line reports — a lossless
+# sampler neither drops nor double-counts an interval.
+PHASES = ("commit", "commit_sim", "wpq_drain", "lock_wait", "batch_wait")
+with_series = [l for l in lines if "series" in l]
+assert with_series, "no txstat line carries a series block"
+for l in with_series:
+    s = l["series"]
+    assert s["points_len"] == len(s["points"]) >= 1, s["points_len"]
+    for p in s["points"]:
+        assert "at_ns" in p and "commits" in p and "fences" in p, sorted(p)
+        for ph in PHASES:
+            assert f"{ph}_count" in p and f"{ph}_sum_ns" in p, (ph, sorted(p))
+    at = [p["at_ns"] for p in s["points"]]
+    assert at == sorted(at), "series timestamps must be monotone"
+    if "commits" in l:
+        delta_sum = sum(p["commits"] for p in s["points"])
+        assert delta_sum == l["commits"], (delta_sum, l["commits"])
+shared_series = [l for l in with_series if l.get("runtime") == "shared"]
+assert shared_series, "the shared runtime points must carry a live series"
+assert all("flight_recorder" in l for l in shared_series)
+# Trace accounting: `capacity` is the per-thread ring size, `events` the
+# merged total across every ring (tx threads plus the combiner daemon's),
+# so events is bounded by capacity x (threads + 1); anything the rings
+# evicted beyond that is what `dropped` counts exactly.
+last = shared_series[-1]
+tr = last["telemetry"]["trace"]
+assert tr["capacity"] >= 1, tr
+assert tr["events"] <= tr["capacity"] * (last.get("threads", 1) + 1), tr
+print(f"txstat: {len(with_series)} series blocks OK "
+      f"(last shared point: {shared_series[-1]['series']['points_len']} points, "
+      f"trace {tr['events']}/{tr['capacity']} dropped {tr['dropped']})")
 EOF
 fi
 
